@@ -1,0 +1,182 @@
+// M1 — operator micro-benchmarks (google-benchmark): the kernel-level costs
+// behind Table 3's ablation.
+//
+//   * fused WL+grad+HPWL vs the three separate kernels vs the tape-decomposed
+//     elementary-op graph (operator combination / reduction),
+//   * extracted vs joint density accumulation (operator extraction),
+//   * the spectral Poisson solve with and without the potential synthesis,
+//   * FFT/DCT transform costs across grid sizes.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fft/dct.h"
+#include "fft/fft.h"
+#include "io/generator.h"
+#include "ops/density.h"
+#include "ops/electrostatics.h"
+#include "ops/netlist_view.h"
+#include "ops/wirelength.h"
+#include "ops/wirelength_tape.h"
+#include "tensor/tape.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace xplace;
+
+struct Fixture {
+  db::Database db;
+  ops::NetlistView view;
+  std::vector<float> x, y, gx, gy;
+
+  explicit Fixture(std::size_t cells) {
+    io::GeneratorSpec spec;
+    spec.name = "micro";
+    spec.num_cells = cells;
+    spec.num_nets = cells + cells / 20;
+    spec.seed = 7;
+    db = io::generate(spec);
+    db.insert_fillers(1);
+    view = ops::build_netlist_view(db);
+    const std::size_t n = db.num_cells_total();
+    x.resize(n);
+    y.resize(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      x[c] = static_cast<float>(db.x(c));
+      y[c] = static_cast<float>(db.y(c));
+    }
+    gx.assign(n, 0.0f);
+    gy.assign(n, 0.0f);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f(8000);
+  return f;
+}
+
+void BM_WirelengthFused(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    std::fill(f.gx.begin(), f.gx.end(), 0.0f);
+    std::fill(f.gy.begin(), f.gy.end(), 0.0f);
+    const ops::WirelengthSums sums =
+        ops::fused_wl_grad_hpwl(f.view, f.x.data(), f.y.data(), 8.0f,
+                                f.gx.data(), f.gy.data());
+    benchmark::DoNotOptimize(sums);
+  }
+}
+BENCHMARK(BM_WirelengthFused);
+
+void BM_WirelengthSeparate(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    std::fill(f.gx.begin(), f.gx.end(), 0.0f);
+    std::fill(f.gy.begin(), f.gy.end(), 0.0f);
+    const double wl = ops::wa_wirelength(f.view, f.x.data(), f.y.data(), 8.0f);
+    ops::wa_gradient(f.view, f.x.data(), f.y.data(), 8.0f, f.gx.data(), f.gy.data());
+    const double h = ops::hpwl(f.view, f.x.data(), f.y.data());
+    benchmark::DoNotOptimize(wl + h);
+  }
+}
+BENCHMARK(BM_WirelengthSeparate);
+
+void BM_WirelengthTapeAutograd(benchmark::State& state) {
+  Fixture& f = fixture();
+  ops::TapeWirelength tape_wl(f.view);
+  tensor::Tape tape;
+  for (auto _ : state) {
+    std::fill(f.gx.begin(), f.gx.end(), 0.0f);
+    std::fill(f.gy.begin(), f.gy.end(), 0.0f);
+    const double wl = tape_wl.forward(tape, f.x.data(), f.y.data(), 8.0f,
+                                      f.gx.data(), f.gy.data());
+    tape.backward();
+    const double h = tape_wl.hpwl_op(f.x.data(), f.y.data());
+    benchmark::DoNotOptimize(wl + h);
+  }
+}
+BENCHMARK(BM_WirelengthTapeAutograd);
+
+void BM_DensityExtracted(benchmark::State& state) {
+  Fixture& f = fixture();
+  ops::DensityGrid grid(f.db, 128);
+  std::vector<double> d(grid.num_bins()), dfl(grid.num_bins()), total(grid.num_bins());
+  for (auto _ : state) {
+    grid.accumulate_range("m.d", f.x.data(), f.y.data(), 0, f.db.num_physical(),
+                          d.data(), true);
+    grid.accumulate_range("m.dfl", f.x.data(), f.y.data(), f.db.num_physical(),
+                          f.db.num_cells_total(), dfl.data(), true);
+    for (std::size_t b = 0; b < total.size(); ++b) total[b] = d[b] + dfl[b];
+    benchmark::DoNotOptimize(grid.overflow(d.data()));
+  }
+}
+BENCHMARK(BM_DensityExtracted);
+
+void BM_DensityJoint(benchmark::State& state) {
+  Fixture& f = fixture();
+  ops::DensityGrid grid(f.db, 128);
+  std::vector<double> d(grid.num_bins()), total(grid.num_bins());
+  for (auto _ : state) {
+    grid.accumulate_range("m.joint", f.x.data(), f.y.data(), 0,
+                          f.db.num_cells_total(), total.data(), true);
+    grid.accumulate_range("m.ovfl", f.x.data(), f.y.data(), 0,
+                          f.db.num_physical(), d.data(), true);
+    benchmark::DoNotOptimize(grid.overflow(d.data()));
+  }
+}
+BENCHMARK(BM_DensityJoint);
+
+void BM_PoissonFieldOnly(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  ops::PoissonSolver solver(m, 1.0, 1.0);
+  Rng rng(1);
+  std::vector<double> rho(static_cast<std::size_t>(m) * m);
+  for (auto& v : rho) v = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    solver.solve(rho.data(), /*want_potential=*/false);
+    benchmark::DoNotOptimize(solver.ex().data());
+  }
+}
+BENCHMARK(BM_PoissonFieldOnly)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PoissonWithPotential(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  ops::PoissonSolver solver(m, 1.0, 1.0);
+  Rng rng(1);
+  std::vector<double> rho(static_cast<std::size_t>(m) * m);
+  for (auto& v : rho) v = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    solver.solve(rho.data(), /*want_potential=*/true);
+    benchmark::DoNotOptimize(solver.energy(rho.data()));
+  }
+}
+BENCHMARK(BM_PoissonWithPotential)->Arg(128);
+
+void BM_Dct2d(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> map(m * m);
+  for (auto& v : map) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    fft::dct2(map.data(), m, m);
+    benchmark::DoNotOptimize(map.data());
+  }
+}
+BENCHMARK(BM_Dct2d)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Fft1d(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<fft::Complex> v(n);
+  for (auto& c : v) c = fft::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  for (auto _ : state) {
+    fft::fft(v.data(), n);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_Fft1d)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table 1 — Benchmarks Statistics.
+//
+// Prints the per-design statistics of the synthetic ISPD 2005 / ISPD 2015
+// suites at the chosen scale, next to the paper's cell/net counts so the
+// structural correspondence is auditable.
+//
+//   ./bench_table1_stats [--scale 100]
+#include <cstdio>
+
+#include "db/stats.h"
+#include "io/suites.h"
+#include "util/arg_parser.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace xplace;
+  log::set_level(log::Level::kWarn);
+  ArgParser args(argc, argv);
+  const double scale = args.get_double("scale", 100.0);
+
+  std::printf("=== Table 1: Benchmarks Statistics (synthetic suites, 1/%.0f scale) ===\n",
+              scale);
+  std::printf("%-16s %10s %10s | %s\n", "design", "paper#cell", "paper#net",
+              db::DesignStats::header().c_str());
+  auto print_suite = [&](const char* name,
+                         const std::vector<io::SuiteEntry>& suite) {
+    std::printf("--- %s ---\n", name);
+    for (const io::SuiteEntry& e : suite) {
+      db::Database db = io::make_design(e, scale);
+      const db::DesignStats s = db::compute_stats(db);
+      std::printf("%-16s %9zuk %9zuk | %s\n", e.design.c_str(),
+                  e.paper_cells / 1000, e.paper_nets / 1000, s.row().c_str());
+    }
+  };
+  print_suite("ISPD 2005", io::ispd2005_suite());
+  print_suite("ISPD 2015", io::ispd2015_suite());
+  return 0;
+}

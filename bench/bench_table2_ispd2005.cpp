@@ -1,0 +1,136 @@
+// Table 2 — HPWL(×10⁶) and runtime on the ISPD 2005 suite:
+// DREAMPlace-mode vs Xplace vs Xplace-NN, identical LG/DP for all three.
+//
+// Expected shape (paper): Xplace ≈ 1.6× faster GP than DREAMPlace with equal
+// or slightly better HPWL; Xplace-NN shaves ~1‰ HPWL at moderate GP-time
+// overhead; DP time identical across engines.
+//
+//   ./bench_table2_ispd2005 [--scale 100] [--designs adaptec1,adaptec2]
+//                           [--nn-steps 200] [--skip-nn]
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench/common.h"
+#include "nn/data.h"
+#include "nn/fno.h"
+#include "util/arg_parser.h"
+#include "util/logging.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xplace;
+  log::set_level(log::Level::kWarn);
+  ArgParser args(argc, argv);
+  const double scale = args.get_double("scale", 100.0);
+  const bool skip_nn = args.get_bool("skip-nn", false);
+  const int nn_steps = static_cast<int>(args.get_int("nn-steps", 500));
+
+  std::vector<std::string> designs;
+  if (args.has("designs")) {
+    designs = split_csv(args.get("designs"));
+  } else {
+    for (const auto& e : io::ispd2005_suite()) designs.push_back(e.design);
+  }
+
+  // Train the field network once on synthetic data (Section 4.3: no real
+  // benchmark data needed) and reuse it for every design.
+  nn::FieldNet net;  // paper-class configuration (~414k parameters)
+  if (!skip_nn) {
+    std::fprintf(stderr, "training FieldNet (%zu params, %d steps @32x32)...\n",
+                 net.num_params(), nn_steps);
+    nn::Adam opt(net.parameters(), 2e-3);
+    auto data = nn::make_field_dataset(32, 24, 2027);
+    std::vector<double> grad;
+    for (int step = 0; step < nn_steps; ++step) {
+      const nn::FieldSample& s = data[step % data.size()];
+      const auto input = nn::FieldNet::make_input(s.density, 32, 32);
+      const auto& pred = net.forward(input, 32, 32);
+      nn::relative_l2(pred, s.field_x, grad);
+      net.zero_grad();
+      net.backward(grad);
+      opt.step();
+    }
+  }
+
+  struct Row {
+    std::string design;
+    bench::PipelineResult dream, xplace, xnn;
+  };
+  std::vector<Row> rows;
+
+  for (const std::string& name : designs) {
+    Row row;
+    row.design = name;
+    {
+      db::Database db = io::make_design(name, scale);
+      row.dream = bench::run_pipeline(
+          db, bench::table_config(core::PlacerConfig::dreamplace()));
+    }
+    {
+      db::Database db = io::make_design(name, scale);
+      row.xplace =
+          bench::run_pipeline(db, bench::table_config(core::PlacerConfig::xplace()));
+    }
+    if (!skip_nn) {
+      db::Database db = io::make_design(name, scale);
+      nn::FnoGuidance guide(&net, /*predict_every=*/2, 0.02, /*predict_grid=*/64, /*r_cutoff=*/0.3);
+      row.xnn = bench::run_pipeline(
+          db, bench::table_config(core::PlacerConfig::xplace()), &guide);
+    }
+    rows.push_back(row);
+    std::fprintf(stderr, "done %s\n", name.c_str());
+  }
+
+  std::printf("=== Table 2: ISPD 2005 — HPWL(x1e6) and runtime (s), scale 1/%.0f ===\n",
+              scale);
+  std::printf("%-10s | %10s %8s %8s | %10s %8s %8s | %10s %8s %8s\n", "design",
+              "DP.HPWL", "GP/s", "DP/s", "Xp.HPWL", "GP/s", "DP/s", "NN.HPWL",
+              "GP/s", "DP/s");
+  Row sum{};
+  for (const Row& r : rows) {
+    std::printf("%-10s | %10.4f %8.2f %8.2f | %10.4f %8.2f %8.2f | %10.4f %8.2f %8.2f\n",
+                r.design.c_str(), r.dream.hpwl / 1e6, r.dream.gp_seconds,
+                r.dream.dp_seconds, r.xplace.hpwl / 1e6, r.xplace.gp_seconds,
+                r.xplace.dp_seconds, r.xnn.hpwl / 1e6, r.xnn.gp_seconds,
+                r.xnn.dp_seconds);
+    sum.dream.hpwl += r.dream.hpwl;
+    sum.dream.gp_seconds += r.dream.gp_seconds;
+    sum.dream.dp_seconds += r.dream.dp_seconds;
+    sum.xplace.hpwl += r.xplace.hpwl;
+    sum.xplace.gp_seconds += r.xplace.gp_seconds;
+    sum.xplace.dp_seconds += r.xplace.dp_seconds;
+    sum.xnn.hpwl += r.xnn.hpwl;
+    sum.xnn.gp_seconds += r.xnn.gp_seconds;
+    sum.xnn.dp_seconds += r.xnn.dp_seconds;
+  }
+  std::printf("%-10s | %10.4f %8.2f %8.2f | %10.4f %8.2f %8.2f | %10.4f %8.2f %8.2f\n",
+              "Sum", sum.dream.hpwl / 1e6, sum.dream.gp_seconds,
+              sum.dream.dp_seconds, sum.xplace.hpwl / 1e6, sum.xplace.gp_seconds,
+              sum.xplace.dp_seconds, sum.xnn.hpwl / 1e6, sum.xnn.gp_seconds,
+              sum.xnn.dp_seconds);
+  if (sum.xplace.hpwl > 0) {
+    std::printf("%-10s | %10.4f %8.3f %8.3f | %10.4f %8.3f %8.3f | %10.4f %8.3f %8.3f\n",
+                "Ratio", sum.dream.hpwl / sum.xplace.hpwl,
+                sum.dream.gp_seconds / sum.xplace.gp_seconds,
+                sum.dream.dp_seconds / sum.xplace.dp_seconds, 1.0, 1.0, 1.0,
+                skip_nn ? 0.0 : sum.xnn.hpwl / sum.xplace.hpwl,
+                skip_nn ? 0.0 : sum.xnn.gp_seconds / sum.xplace.gp_seconds,
+                skip_nn ? 0.0 : sum.xnn.dp_seconds / sum.xplace.dp_seconds);
+  }
+  std::printf("(paper ratios: DREAMPlace HPWL 1.003, GP 1.626; Xplace-NN HPWL 0.999, GP 1.442)\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Table 3 — Ablation of the operator-level optimization techniques:
+// per-GP-iteration time for the cumulative tiers
+//   {none} → {OR} → {OR,OC} → {OR,OC,OE} → Xplace(all) → DREAMPlace-mode,
+// each measured over a fixed iteration window on every ISPD 2005 design.
+//
+// Ratios are relative to full Xplace (=100%), matching the paper's format.
+// Two timing modes are reported:
+//   * pure CPU kernel time (this machine's honest cost), and
+//   * with the simulated CUDA launch latency (--launch-us, default 8), which
+//     restores the launch-overhead regime the paper's OR technique targets
+//     (see DESIGN.md, substitution table).
+// Kernel-launch counts per iteration are also printed — those are
+// hardware-independent evidence of the operator-graph reduction.
+//
+//   ./bench_table3_ablation [--scale 100] [--iters 120] [--launch-us 8]
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "tensor/dispatch.h"
+#include "util/arg_parser.h"
+#include "util/logging.h"
+
+namespace {
+
+struct TierResult {
+  double ms_per_iter = 0.0;
+  double launches_per_iter = 0.0;
+};
+
+TierResult run_tier(const std::string& design, double scale,
+                    const xplace::core::PlacerConfig& base, int iters,
+                    double launch_latency) {
+  using namespace xplace;
+  db::Database db = io::make_design(design, scale);
+  core::PlacerConfig cfg = base;
+  cfg.grid_dim = 128;
+  cfg.max_iters = iters;
+  cfg.stop_overflow = 0.0;  // run exactly `iters` iterations
+  tensor::LaunchLatencyGuard guard(launch_latency);
+  core::GlobalPlacer placer(db, cfg);
+  const core::GlobalPlaceResult res = placer.run();
+  TierResult out;
+  out.ms_per_iter = res.avg_iter_ms;
+  out.launches_per_iter =
+      static_cast<double>(res.kernel_launches) / res.iterations;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xplace;
+  log::set_level(log::Level::kWarn);
+  ArgParser args(argc, argv);
+  const double scale = args.get_double("scale", 300.0);
+  const int iters = static_cast<int>(args.get_int("iters", 250));
+  const double launch_us = args.get_double("launch-us", 8.0);
+
+  struct Tier {
+    const char* label;
+    core::PlacerConfig cfg;
+  };
+  const std::vector<Tier> tiers = {
+      {"none        ", core::PlacerConfig::ablation(false, false, false, false)},
+      {"OR          ", core::PlacerConfig::ablation(true, false, false, false)},
+      {"OR+OC       ", core::PlacerConfig::ablation(true, true, false, false)},
+      {"OR+OC+OE    ", core::PlacerConfig::ablation(true, true, true, false)},
+      {"Xplace (all)", core::PlacerConfig::ablation(true, true, true, true)},
+      {"DREAMPlace  ", core::PlacerConfig::dreamplace()},
+  };
+
+  std::vector<std::string> designs;
+  for (const auto& e : io::ispd2005_suite()) designs.push_back(e.design);
+
+  for (int latency_mode = 0; latency_mode < 2; ++latency_mode) {
+    const double latency = latency_mode == 0 ? 0.0 : launch_us * 1e-6;
+    std::printf("=== Table 3: per-GP-iteration time, scale 1/%.0f, %d iters, "
+                "launch latency %.0f us ===\n",
+                scale, iters, latency * 1e6);
+    // header
+    std::printf("%-14s", "method");
+    for (const auto& d : designs) std::printf(" %9.9s", d.c_str());
+    std::printf(" %9s\n", "Avg");
+
+    std::vector<std::vector<TierResult>> all(tiers.size());
+    for (std::size_t t = 0; t < tiers.size(); ++t) {
+      for (const auto& d : designs) {
+        all[t].push_back(run_tier(d, scale, tiers[t].cfg, iters, latency));
+      }
+      std::fprintf(stderr, "tier %s done (latency %.0fus)\n", tiers[t].label,
+                   latency * 1e6);
+    }
+    const std::size_t xp = 4;  // Xplace row index
+    for (std::size_t t = 0; t < tiers.size(); ++t) {
+      std::printf("%-14s", tiers[t].label);
+      double ratio_sum = 0.0;
+      for (std::size_t d = 0; d < designs.size(); ++d) {
+        const double ratio = 100.0 * all[t][d].ms_per_iter / all[xp][d].ms_per_iter;
+        ratio_sum += ratio;
+        std::printf(" %8.0f%%", ratio);
+      }
+      std::printf(" %8.0f%%\n", ratio_sum / designs.size());
+    }
+    std::printf("%-14s", "Xplace ms/it");
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+      std::printf(" %9.3f", all[xp][d].ms_per_iter);
+    }
+    std::printf("\n%-14s", "launches/it");
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+      std::printf(" %9.1f", all[xp][d].launches_per_iter);
+    }
+    std::printf("  (Xplace)\n%-14s", "launches/it");
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+      std::printf(" %9.1f", all[5][d].launches_per_iter);
+    }
+    std::printf("  (DREAMPlace)\n\n");
+  }
+  std::printf("(paper avg ratios: none 159%%, OR 113%%, OR+OC 108%%, OR+OC+OE 104%%, "
+              "Xplace 100%%, DREAMPlace 296%%)\n");
+  return 0;
+}

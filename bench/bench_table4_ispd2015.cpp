@@ -1,0 +1,105 @@
+// Table 4 — HPWL(×10⁶), top5 overflow (OVFL-5) and runtime on the ISPD 2015
+// suite (fence regions removed, as in the paper): DREAMPlace-mode vs Xplace,
+// identical LG/DP and identical congestion evaluation.
+//
+// Expected shape (paper): Xplace ≈ 2.8× faster GP, HPWL ratio ≈ 1.001,
+// OVFL-5 ratio ≈ 1.000, DP time ≈ equal.
+//
+//   ./bench_table4_ispd2015 [--scale 100] [--designs fft_1,fft_2]
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench/common.h"
+#include "route/congestion.h"
+#include "util/arg_parser.h"
+#include "util/logging.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xplace;
+  log::set_level(log::Level::kWarn);
+  ArgParser args(argc, argv);
+  const double scale = args.get_double("scale", 100.0);
+
+  std::vector<std::string> designs;
+  if (args.has("designs")) {
+    designs = split_csv(args.get("designs"));
+  } else {
+    for (const auto& e : io::ispd2015_suite()) designs.push_back(e.design);
+  }
+
+  route::CongestionConfig ccfg;
+  ccfg.grid = 64;
+  ccfg.tracks_per_gcell = args.get_double("tracks", 8.0);
+
+  struct Row {
+    std::string design;
+    bench::PipelineResult dream, xplace;
+    double dream_ovfl5 = 0.0, xplace_ovfl5 = 0.0;
+  };
+  std::vector<Row> rows;
+
+  for (const std::string& name : designs) {
+    Row row;
+    row.design = name;
+    {
+      db::Database db = io::make_design(name, scale);
+      row.dream = bench::run_pipeline(
+          db, bench::table_config(core::PlacerConfig::dreamplace()));
+      row.dream_ovfl5 = route::estimate_congestion(db, ccfg).top5_utilization * 100.0;
+    }
+    {
+      db::Database db = io::make_design(name, scale);
+      row.xplace =
+          bench::run_pipeline(db, bench::table_config(core::PlacerConfig::xplace()));
+      row.xplace_ovfl5 = route::estimate_congestion(db, ccfg).top5_utilization * 100.0;
+    }
+    rows.push_back(row);
+    std::fprintf(stderr, "done %s\n", name.c_str());
+  }
+
+  std::printf("=== Table 4: ISPD 2015 — HPWL(x1e6), OVFL-5, runtime (s), scale 1/%.0f ===\n",
+              scale);
+  std::printf("%-16s | %9s %8s %7s %7s | %9s %8s %7s %7s\n", "design",
+              "DP.HPWL", "OVFL-5", "GP/s", "DP/s", "Xp.HPWL", "OVFL-5", "GP/s",
+              "DP/s");
+  double sum_dh = 0, sum_do = 0, sum_dg = 0, sum_dd = 0;
+  double sum_xh = 0, sum_xo = 0, sum_xg = 0, sum_xd = 0;
+  for (const Row& r : rows) {
+    std::printf("%-16s | %9.3f %8.2f %7.2f %7.2f | %9.3f %8.2f %7.2f %7.2f\n",
+                r.design.c_str(), r.dream.hpwl / 1e6, r.dream_ovfl5,
+                r.dream.gp_seconds, r.dream.dp_seconds, r.xplace.hpwl / 1e6,
+                r.xplace_ovfl5, r.xplace.gp_seconds, r.xplace.dp_seconds);
+    sum_dh += r.dream.hpwl;
+    sum_do += r.dream_ovfl5;
+    sum_dg += r.dream.gp_seconds;
+    sum_dd += r.dream.dp_seconds;
+    sum_xh += r.xplace.hpwl;
+    sum_xo += r.xplace_ovfl5;
+    sum_xg += r.xplace.gp_seconds;
+    sum_xd += r.xplace.dp_seconds;
+  }
+  std::printf("%-16s | %9.3f %8.2f %7.2f %7.2f | %9.3f %8.2f %7.2f %7.2f\n",
+              "Sum", sum_dh / 1e6, sum_do, sum_dg, sum_dd, sum_xh / 1e6, sum_xo,
+              sum_xg, sum_xd);
+  if (sum_xh > 0) {
+    std::printf("%-16s | %9.4f %8.3f %7.3f %7.3f |  (Xplace = 1.000)\n", "Ratio",
+                sum_dh / sum_xh, sum_do / sum_xo, sum_dg / sum_xg, sum_dd / sum_xd);
+  }
+  std::printf("(paper ratios: DREAMPlace HPWL 1.001, OVFL-5 1.000, GP 2.837, DP 0.991)\n");
+  return 0;
+}

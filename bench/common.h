@@ -1,0 +1,65 @@
+// Shared helpers for the table-reproduction bench binaries.
+//
+// Each bench regenerates one table of the paper on the synthetic ISPD suites
+// (see DESIGN.md for the substitution rationale). The pipeline mirrors the
+// paper's: GP (DREAMPlace-mode / Xplace / Xplace-NN) → identical LG (Abacus)
+// → identical DP (global swap + ISM + local reorder) for every engine, so the
+// comparison isolates the global placer exactly as in Section 4.1.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/placer.h"
+#include "db/database.h"
+#include "dp/detailed_placer.h"
+#include "io/suites.h"
+#include "lg/abacus.h"
+#include "lg/checker.h"
+#include "nn/guidance.h"
+#include "util/timer.h"
+
+namespace xplace::bench {
+
+struct PipelineResult {
+  double hpwl = 0.0;       ///< final HPWL after LG+DP
+  double gp_hpwl = 0.0;    ///< HPWL straight out of GP
+  double gp_seconds = 0.0;
+  double dp_seconds = 0.0; ///< LG + DP (reported jointly as "DP" like the paper)
+  double overflow = 0.0;
+  int gp_iterations = 0;
+  double gp_ms_per_iter = 0.0;
+  bool legal = false;
+};
+
+/// GP → Abacus LG → DP on `db` (in place). `guidance` may be null.
+inline PipelineResult run_pipeline(db::Database& db,
+                                   const core::PlacerConfig& cfg,
+                                   core::FieldGuidance* guidance = nullptr) {
+  PipelineResult out;
+  core::GlobalPlacer placer(db, cfg);
+  if (guidance != nullptr) placer.set_field_guidance(guidance);
+  const core::GlobalPlaceResult gp = placer.run();
+  out.gp_hpwl = gp.hpwl;
+  out.gp_seconds = gp.gp_seconds;
+  out.overflow = gp.overflow;
+  out.gp_iterations = gp.iterations;
+  out.gp_ms_per_iter = gp.avg_iter_ms;
+
+  Stopwatch dp_watch;
+  lg::abacus_legalize(db);
+  dp::detailed_place(db);
+  out.dp_seconds = dp_watch.seconds();
+  out.hpwl = db.hpwl();
+  out.legal = lg::check_legality(db).legal();
+  return out;
+}
+
+/// Standard GP config for the table benches at the given scale.
+inline core::PlacerConfig table_config(core::PlacerConfig cfg) {
+  cfg.grid_dim = 128;
+  cfg.max_iters = 1200;
+  return cfg;
+}
+
+}  // namespace xplace::bench

@@ -1,0 +1,54 @@
+// Routability analysis of a placement (the ISPD 2015 evaluation path):
+// place a design, then print the congestion map summary and an ASCII heatmap
+// of gcell utilization.
+//
+//   ./congestion_report [--cells 4000] [--gcells 32] [--tracks 8]
+#include <algorithm>
+#include <cstdio>
+
+#include "core/placer.h"
+#include "dp/detailed_placer.h"
+#include "io/generator.h"
+#include "lg/abacus.h"
+#include "route/congestion.h"
+#include "util/arg_parser.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace xplace;
+  ArgParser args(argc, argv);
+
+  io::GeneratorSpec spec;
+  spec.name = "congestion_demo";
+  spec.num_cells = static_cast<std::size_t>(args.get_int("cells", 4000));
+  spec.num_nets = spec.num_cells + spec.num_cells / 20;
+  spec.seed = 5;
+  db::Database db = io::generate(spec);
+
+  core::GlobalPlacer placer(db, core::PlacerConfig::xplace());
+  placer.run();
+  lg::abacus_legalize(db);
+  dp::detailed_place(db);
+
+  route::CongestionConfig cfg;
+  cfg.grid = static_cast<int>(args.get_int("gcells", 32));
+  cfg.tracks_per_gcell = args.get_double("tracks", 8.0);
+  const route::CongestionResult res = route::estimate_congestion(db, cfg);
+  std::printf("congestion: %s\n\n", res.summary().c_str());
+
+  // ASCII heatmap of combined H+V utilization (top = max y).
+  const char* shades = " .:-=+*#%@";
+  std::printf("gcell utilization heatmap (%dx%d, capacity %.0f tracks/dir):\n",
+              cfg.grid, cfg.grid, cfg.tracks_per_gcell);
+  for (int iy = cfg.grid - 1; iy >= 0; --iy) {
+    for (int ix = 0; ix < cfg.grid; ++ix) {
+      const std::size_t b = static_cast<std::size_t>(ix) * cfg.grid + iy;
+      const double util = 0.5 * (res.demand_h[b] / res.capacity_h +
+                                 res.demand_v[b] / res.capacity_v);
+      const int level = std::clamp(static_cast<int>(util * 9.99), 0, 9);
+      std::putchar(shades[level]);
+    }
+    std::putchar('\n');
+  }
+  return 0;
+}

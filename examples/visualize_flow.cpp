@@ -1,0 +1,76 @@
+// Visualization walkthrough: runs the full flow and dumps SVG layouts plus
+// density/field heatmaps at each stage (initial, mid-GP, post-GP, post-DP).
+//
+//   ./visualize_flow [--cells 3000] [--outdir /tmp/xplace_viz]
+#include <cstdio>
+#include <filesystem>
+
+#include "core/placer.h"
+#include "dp/detailed_placer.h"
+#include "io/generator.h"
+#include "io/plot.h"
+#include "lg/abacus.h"
+#include "ops/density.h"
+#include "ops/electrostatics.h"
+#include "util/arg_parser.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace xplace;
+  ArgParser args(argc, argv);
+  const std::string outdir = args.get("outdir", "/tmp/xplace_viz");
+  std::filesystem::create_directories(outdir);
+
+  io::GeneratorSpec spec;
+  spec.name = "viz";
+  spec.num_cells = static_cast<std::size_t>(args.get_int("cells", 3000));
+  spec.num_nets = spec.num_cells + spec.num_cells / 20;
+  spec.num_fences = 1;
+  spec.seed = 8;
+  db::Database db = io::generate(spec);
+
+  io::SvgOptions svg;
+  svg.draw_nets = true;
+  io::write_placement_svg(db, outdir + "/0_initial.svg", svg);
+
+  // Mid-GP snapshot: run a capped GP first.
+  {
+    core::PlacerConfig cfg = core::PlacerConfig::xplace();
+    cfg.max_iters = 150;
+    cfg.stop_overflow = 0.0;
+    core::GlobalPlacer placer(db, cfg);
+    placer.run();
+    io::write_placement_svg(db, outdir + "/1_mid_gp.svg", svg);
+    // Density map + field at this stage.
+    ops::DensityGrid grid(db, 128);
+    std::vector<float> x(db.num_cells_total()), y(db.num_cells_total());
+    for (std::size_t c = 0; c < db.num_cells_total(); ++c) {
+      x[c] = static_cast<float>(db.x(c));
+      y[c] = static_cast<float>(db.y(c));
+    }
+    std::vector<double> map(grid.num_bins());
+    grid.accumulate_range("viz", x.data(), y.data(), 0, db.num_cells_total(),
+                          map.data(), true);
+    io::write_density_ppm(map, 128, outdir + "/1_density.ppm");
+    ops::PoissonSolver solver(128, grid.bin_w(), grid.bin_h());
+    solver.solve(map.data(), false);
+    io::write_signed_map_ppm(solver.ex(), 128, outdir + "/1_field_x.ppm");
+    io::write_signed_map_ppm(solver.ey(), 128, outdir + "/1_field_y.ppm");
+  }
+
+  // Finish GP from the snapshot (keep positions).
+  {
+    core::PlacerConfig cfg = core::PlacerConfig::xplace();
+    cfg.center_init_noise = -1.0;  // keep current positions
+    core::GlobalPlacer placer(db, cfg);
+    const auto res = placer.run();
+    std::printf("GP: hpwl %.6g overflow %.4f\n", res.hpwl, res.overflow);
+    io::write_placement_svg(db, outdir + "/2_post_gp.svg", svg);
+  }
+
+  lg::abacus_legalize(db);
+  dp::detailed_place(db);
+  io::write_placement_svg(db, outdir + "/3_final.svg", svg);
+  std::printf("final hpwl %.6g; images in %s\n", db.hpwl(), outdir.c_str());
+  return 0;
+}

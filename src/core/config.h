@@ -1,0 +1,77 @@
+// Global placement configuration.
+//
+// The four `op_*` switches correspond one-to-one to the paper's ablation rows
+// (Table 3); `stage_aware_schedule` is Algorithm 1. `PlacerConfig::xplace()`
+// enables everything; `PlacerConfig::dreamplace()` models the baseline
+// (autograd-tape execution, unfused kernels, joint density, per-iteration
+// scheduling, plus the baseline's extra per-iteration passes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xplace::core {
+
+enum class OptimizerKind { kNesterov, kAdam };
+
+struct PlacerConfig {
+  // ---- grid / stopping -----------------------------------------------------
+  int grid_dim = 128;              ///< M (power of two)
+  int max_iters = 1500;
+  int min_iters = 30;
+  double stop_overflow = 0.07;     ///< terminate when OVFL drops below this
+  double divergence_hpwl_ratio = 5.0;  ///< abort if HPWL exceeds best × this
+
+  // ---- operator-level optimizations (Section 3.1) ---------------------------
+  bool op_reduction = true;    ///< direct numerical gradients, no autograd tape
+  bool op_combination = true;  ///< fused WA-wl + grad + HPWL kernel
+  bool op_extraction = true;   ///< reuse movable density map D for OVFL and D̃
+  bool op_skipping = true;     ///< skip density grad when r < 0.01 ∧ iter < 100
+
+  /// Model the baseline's additional per-iteration operator passes (pin
+  /// position materialization, net-mask application, explicit syncs). Only
+  /// meaningful with op_reduction == false.
+  bool baseline_extra_ops = false;
+
+  // ---- scheduling (Section 3.2) ---------------------------------------------
+  bool stage_aware_schedule = true;  ///< Algorithm 1: slow updates mid-stage
+  int stage_update_period = 3;       ///< parameter update period when 0.5<ω<0.95
+  double omega_low = 0.5;
+  double omega_high = 0.95;
+
+  // ---- γ schedule (ePlace) ---------------------------------------------------
+  /// γ = gamma_base_factor · bin_w · 10^((overflow − 0.1) · 20/9 − 1)
+  double gamma_base_factor = 8.0;
+
+  // ---- λ schedule -------------------------------------------------------------
+  /// λ₀ = lambda_init_factor · Σ|∇WL| / Σ|∇D| at the first iteration.
+  double lambda_init_factor = 1.0e-4;
+  /// μ = clamp(mu_base^(1 − ΔHPWL/(hpwl_ref_rel·HPWL₀)), mu_min, mu_max)
+  double mu_base = 1.1;
+  double mu_min = 1.0;
+  double mu_max = 1.1;
+  double hpwl_ref_rel = 3.5e-3;
+
+  // ---- optimizer ---------------------------------------------------------------
+  OptimizerKind optimizer = OptimizerKind::kNesterov;
+  double initial_step_bins = 0.10;   ///< first-step mean displacement, in bins
+  double max_step_bins = 1.0;        ///< clamp per-iteration max displacement
+
+  // ---- misc ---------------------------------------------------------------------
+  std::uint64_t filler_seed = 1;
+  std::uint64_t init_noise_seed = 2;
+  /// Movable cells start at the region center plus Gaussian noise of this
+  /// fraction of the region size (ePlace-style initialization). Negative
+  /// keeps the positions already in the database.
+  double center_init_noise = 0.001;
+  bool verbose = false;
+
+  static PlacerConfig xplace();
+  static PlacerConfig dreamplace();
+  /// Ablation tier: reduction/combination/extraction/skipping toggled
+  /// cumulatively, everything else Xplace defaults.
+  static PlacerConfig ablation(bool reduction, bool combination,
+                               bool extraction, bool skipping);
+};
+
+}  // namespace xplace::core

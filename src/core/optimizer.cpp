@@ -1,0 +1,235 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/dispatch.h"
+
+namespace xplace::core {
+
+using tensor::Dispatcher;
+
+// ---------------- Preconditioner ----------------
+
+Preconditioner::Preconditioner(const db::Database& db)
+    : n_total_(db.num_cells_total()) {
+  num_nets_.resize(n_total_);
+  area_.resize(n_total_);
+  scratch_.resize(n_total_);
+  for (std::size_t c = 0; c < n_total_; ++c) {
+    num_nets_[c] = static_cast<float>(db.cell_num_nets(c));
+    area_[c] = static_cast<float>(db.area(c));
+  }
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    sum_nets_ += num_nets_[c];
+    sum_area_ += area_[c];
+  }
+}
+
+void Preconditioner::apply(float lambda, float* grad_x, float* grad_y,
+                           bool in_place) const {
+  auto& disp = Dispatcher::global();
+  auto body = [&](float* gx, float* gy) {
+    for (std::size_t c = 0; c < n_total_; ++c) {
+      const float p = std::max(1.0f, num_nets_[c] + lambda * area_[c]);
+      gx[c] /= p;
+      gy[c] /= p;
+    }
+  };
+  if (in_place) {
+    disp.run("precond.apply_", [&] { body(grad_x, grad_y); });
+  } else {
+    // Expression-graph style: compute the divisor tensor, then two divides.
+    disp.run("precond.build", [&] {
+      for (std::size_t c = 0; c < n_total_; ++c)
+        scratch_[c] = std::max(1.0f, num_nets_[c] + lambda * area_[c]);
+    });
+    disp.run("precond.div", [&] {
+      for (std::size_t c = 0; c < n_total_; ++c) grad_x[c] /= scratch_[c];
+    });
+    disp.run("precond.div", [&] {
+      for (std::size_t c = 0; c < n_total_; ++c) grad_y[c] /= scratch_[c];
+    });
+  }
+}
+
+// ---------------- clamp bounds ----------------
+
+void build_clamp_bounds(const db::Database& db, std::vector<float>& min_x,
+                        std::vector<float>& max_x, std::vector<float>& min_y,
+                        std::vector<float>& max_y) {
+  const std::size_t n = db.num_cells_total();
+  min_x.resize(n);
+  max_x.resize(n);
+  min_y.resize(n);
+  max_y.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (db.kind(c) == db::CellKind::kFixed) {
+      min_x[c] = max_x[c] = static_cast<float>(db.x(c));
+      min_y[c] = max_y[c] = static_cast<float>(db.y(c));
+      continue;
+    }
+    // Fenced cells are confined to their fence rectangle (which keeps the
+    // fence constraint feasible throughout GP); everyone else to the region.
+    RectD bounds = db.region();
+    const int fence = db.cell_fence(c);
+    if (fence >= 0) bounds = db.fences()[fence].rect.intersection(bounds);
+    const double hw = std::min(db.width(c) * 0.5, bounds.width() * 0.5);
+    const double hh = std::min(db.height(c) * 0.5, bounds.height() * 0.5);
+    min_x[c] = static_cast<float>(bounds.lx + hw);
+    max_x[c] = static_cast<float>(bounds.hx - hw);
+    min_y[c] = static_cast<float>(bounds.ly + hh);
+    max_y[c] = static_cast<float>(bounds.hy - hh);
+    if (max_x[c] < min_x[c]) max_x[c] = min_x[c];
+    if (max_y[c] < min_y[c]) max_y[c] = min_y[c];
+  }
+}
+
+// ---------------- Nesterov ----------------
+
+NesterovOptimizer::NesterovOptimizer(const db::Database& db,
+                                     const PlacerConfig& cfg, int grid_dim)
+    : db_(db),
+      n_total_(db.num_cells_total()),
+      n_movable_(db.num_movable()),
+      n_physical_(db.num_physical()) {
+  bin_size_ = std::min(db.region().width(), db.region().height()) / grid_dim;
+  initial_step_ = cfg.initial_step_bins * bin_size_;
+  max_step_ = cfg.max_step_bins * bin_size_;
+  u_x_.resize(n_total_);
+  u_y_.resize(n_total_);
+  for (std::size_t c = 0; c < n_total_; ++c) {
+    u_x_[c] = static_cast<float>(db.x(c));
+    u_y_[c] = static_cast<float>(db.y(c));
+  }
+  build_clamp_bounds(db, min_x_, max_x_, min_y_, max_y_);
+  clamp(u_x_, u_y_);
+  v_x_ = u_x_;
+  v_y_ = u_y_;
+  v_prev_x_ = v_x_;
+  v_prev_y_ = v_y_;
+  g_prev_x_.assign(n_total_, 0.0f);
+  g_prev_y_.assign(n_total_, 0.0f);
+}
+
+void NesterovOptimizer::clamp(std::vector<float>& x,
+                              std::vector<float>& y) const {
+  for (std::size_t c = 0; c < n_total_; ++c) {
+    x[c] = std::clamp(x[c], min_x_[c], max_x_[c]);
+    y[c] = std::clamp(y[c], min_y_[c], max_y_[c]);
+  }
+}
+
+void NesterovOptimizer::step(const float* grad_x, const float* grad_y) {
+  auto& disp = Dispatcher::global();
+
+  // Steplength: Lipschitz prediction η = ‖Δv‖ / ‖Δg‖ (one reduce launch).
+  double eta = initial_step_;
+  if (!first_) {
+    double dv2 = 0.0, dg2 = 0.0;
+    disp.run("nesterov.lipschitz_reduce", [&] {
+      for (std::size_t c = 0; c < n_total_; ++c) {
+        const double dvx = v_x_[c] - v_prev_x_[c];
+        const double dvy = v_y_[c] - v_prev_y_[c];
+        const double dgx = grad_x[c] - g_prev_x_[c];
+        const double dgy = grad_y[c] - g_prev_y_[c];
+        dv2 += dvx * dvx + dvy * dvy;
+        dg2 += dgx * dgx + dgy * dgy;
+      }
+    });
+    if (dg2 > 1e-30 && dv2 > 1e-30) {
+      eta = std::sqrt(dv2 / dg2);
+    }
+  } else {
+    // Scale the first step so the mean displacement is initial_step_.
+    double gsum = 0.0;
+    std::size_t moving = 0;
+    disp.run("nesterov.first_step_reduce", [&] {
+      for (std::size_t c = 0; c < n_total_; ++c) {
+        if (min_x_[c] == max_x_[c] && min_y_[c] == max_y_[c]) continue;  // fixed
+        gsum += std::fabs(grad_x[c]) + std::fabs(grad_y[c]);
+        ++moving;
+      }
+    });
+    if (gsum > 1e-30) eta = initial_step_ * (2.0 * moving) / gsum;
+    first_ = false;
+  }
+
+  // Clamp η so no cell moves more than max_step_ this iteration.
+  float gmax = 0.0f;
+  disp.run("nesterov.gmax_reduce", [&] {
+    for (std::size_t c = 0; c < n_total_; ++c) {
+      gmax = std::max(gmax, std::max(std::fabs(grad_x[c]), std::fabs(grad_y[c])));
+    }
+  });
+  if (gmax > 0.0f && eta * gmax > max_step_) eta = max_step_ / gmax;
+
+  // Nesterov update (one fused in-place launch):
+  //   u⁺ = clamp(v − η g);  a⁺ = (1+√(4a²+1))/2;
+  //   v⁺ = clamp(u⁺ + (a−1)/a⁺ · (u⁺ − u)).
+  const double a_next = (1.0 + std::sqrt(4.0 * a_k_ * a_k_ + 1.0)) * 0.5;
+  const float coef = static_cast<float>((a_k_ - 1.0) / a_next);
+  a_k_ = a_next;
+  disp.run("nesterov.update_", [&] {
+    for (std::size_t c = 0; c < n_total_; ++c) {
+      v_prev_x_[c] = v_x_[c];
+      v_prev_y_[c] = v_y_[c];
+      g_prev_x_[c] = grad_x[c];
+      g_prev_y_[c] = grad_y[c];
+      const float ux_new = std::clamp(
+          static_cast<float>(v_x_[c] - eta * grad_x[c]), min_x_[c], max_x_[c]);
+      const float uy_new = std::clamp(
+          static_cast<float>(v_y_[c] - eta * grad_y[c]), min_y_[c], max_y_[c]);
+      v_x_[c] = std::clamp(ux_new + coef * (ux_new - u_x_[c]), min_x_[c], max_x_[c]);
+      v_y_[c] = std::clamp(uy_new + coef * (uy_new - u_y_[c]), min_y_[c], max_y_[c]);
+      u_x_[c] = ux_new;
+      u_y_[c] = uy_new;
+    }
+  });
+}
+
+// ---------------- Adam ----------------
+
+AdamOptimizer::AdamOptimizer(const db::Database& db, const PlacerConfig& cfg,
+                             int grid_dim, double lr_bins)
+    : db_(db), n_total_(db.num_cells_total()), n_physical_(db.num_physical()) {
+  const double bin =
+      std::min(db.region().width(), db.region().height()) / grid_dim;
+  lr_ = lr_bins * bin;
+  (void)cfg;
+  x_.resize(n_total_);
+  y_.resize(n_total_);
+  for (std::size_t c = 0; c < n_total_; ++c) {
+    x_[c] = static_cast<float>(db.x(c));
+    y_[c] = static_cast<float>(db.y(c));
+  }
+  m_x_.assign(n_total_, 0.0f);
+  m_y_.assign(n_total_, 0.0f);
+  v2_x_.assign(n_total_, 0.0f);
+  v2_y_.assign(n_total_, 0.0f);
+  build_clamp_bounds(db, min_x_, max_x_, min_y_, max_y_);
+}
+
+void AdamOptimizer::step(const float* grad_x, const float* grad_y) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  Dispatcher::global().run("adam.update_", [&] {
+    for (std::size_t c = 0; c < n_total_; ++c) {
+      m_x_[c] = static_cast<float>(beta1_ * m_x_[c] + (1 - beta1_) * grad_x[c]);
+      m_y_[c] = static_cast<float>(beta1_ * m_y_[c] + (1 - beta1_) * grad_y[c]);
+      v2_x_[c] = static_cast<float>(beta2_ * v2_x_[c] +
+                                    (1 - beta2_) * grad_x[c] * grad_x[c]);
+      v2_y_[c] = static_cast<float>(beta2_ * v2_y_[c] +
+                                    (1 - beta2_) * grad_y[c] * grad_y[c]);
+      const double mx = m_x_[c] / bc1, my = m_y_[c] / bc1;
+      const double vx = v2_x_[c] / bc2, vy = v2_y_[c] / bc2;
+      x_[c] = std::clamp(static_cast<float>(x_[c] - lr_ * mx / (std::sqrt(vx) + eps_)),
+                         min_x_[c], max_x_[c]);
+      y_[c] = std::clamp(static_cast<float>(y_[c] - lr_ * my / (std::sqrt(vy) + eps_)),
+                         min_y_[c], max_y_[c]);
+    }
+  });
+}
+
+}  // namespace xplace::core

@@ -1,0 +1,124 @@
+// Optimizers for the global placement objective.
+//
+// The primary optimizer is ePlace's Nesterov scheme with Lipschitz-constant
+// steplength prediction: the step is η_k = ‖v_k − v_{k−1}‖ / ‖g̃_k − g̃_{k−1}‖
+// over the preconditioned gradients g̃, which adapts automatically as λ grows.
+// Adam is provided as an alternative (the placement-as-training view of
+// DREAMPlace); Nesterov consistently converges faster on these objectives.
+//
+// The preconditioner is the diagonal of H̃_W + λH̃_D (Section 3.2):
+// precond_i = max(1, |S_i| + λ·A_i), with |S_i| = 0 for fillers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.h"
+#include "db/database.h"
+
+namespace xplace::core {
+
+class Preconditioner {
+ public:
+  explicit Preconditioner(const db::Database& db);
+
+  /// In-place divide grads by max(1, |S_i| + λ A_i). One kernel launch
+  /// (in-place, OR style) or two (out-of-place) per call depending on
+  /// `in_place`.
+  void apply(float lambda, float* grad_x, float* grad_y, bool in_place) const;
+
+  /// ω = λ·Σ A_i / (Σ|S_i| + λ·Σ A_i) over movable cells — the placement
+  /// stage indicator of Section 3.2.
+  double omega(double lambda) const {
+    return lambda * sum_area_ / (sum_nets_ + lambda * sum_area_);
+  }
+
+ private:
+  std::vector<float> num_nets_;  ///< |S_i| per cell (0 for fillers)
+  std::vector<float> area_;      ///< A_i per cell
+  double sum_nets_ = 0.0;        ///< Σ|S_i| over movable
+  double sum_area_ = 0.0;        ///< ΣA_i over movable
+  std::size_t n_total_;
+  mutable std::vector<float> scratch_;  ///< out-of-place result buffer
+};
+
+/// Interface shared by the optimizers. Positions are center coordinates of
+/// ALL cells (movable + fixed + filler); only movable and filler entries are
+/// updated — fixed cells never move.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// One step given the preconditioned gradient evaluated at the *query
+  /// point* returned by the previous query()/initial positions. Returns the
+  /// positions to evaluate the next gradient at.
+  virtual void step(const float* grad_x, const float* grad_y) = 0;
+
+  /// Current query point (where the gradient should be evaluated).
+  virtual const float* query_x() const = 0;
+  virtual const float* query_y() const = 0;
+
+  /// Best-known solution positions (for Nesterov, the major iterate u_k).
+  virtual const float* solution_x() const = 0;
+  virtual const float* solution_y() const = 0;
+};
+
+class NesterovOptimizer : public Optimizer {
+ public:
+  NesterovOptimizer(const db::Database& db, const PlacerConfig& cfg,
+                    int grid_dim);
+
+  void step(const float* grad_x, const float* grad_y) override;
+  const float* query_x() const override { return v_x_.data(); }
+  const float* query_y() const override { return v_y_.data(); }
+  const float* solution_x() const override { return u_x_.data(); }
+  const float* solution_y() const override { return u_y_.data(); }
+
+ private:
+  void clamp(std::vector<float>& x, std::vector<float>& y) const;
+
+  const db::Database& db_;
+  std::size_t n_total_, n_movable_, n_physical_;
+  double bin_size_;
+  double initial_step_, max_step_;
+  double a_k_ = 1.0;
+  bool first_ = true;
+
+  std::vector<float> u_x_, u_y_;  ///< major iterates
+  std::vector<float> v_x_, v_y_;  ///< lookahead (gradient query) points
+  std::vector<float> v_prev_x_, v_prev_y_;
+  std::vector<float> g_prev_x_, g_prev_y_;
+  // Region clamp bounds per cell (inset by the half-size).
+  std::vector<float> min_x_, max_x_, min_y_, max_y_;
+};
+
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(const db::Database& db, const PlacerConfig& cfg, int grid_dim,
+                double lr_bins = 1.0);
+
+  void step(const float* grad_x, const float* grad_y) override;
+  const float* query_x() const override { return x_.data(); }
+  const float* query_y() const override { return y_.data(); }
+  const float* solution_x() const override { return x_.data(); }
+  const float* solution_y() const override { return y_.data(); }
+
+ private:
+  const db::Database& db_;
+  std::size_t n_total_, n_physical_;
+  double lr_;
+  double beta1_ = 0.9, beta2_ = 0.999, eps_ = 1e-8;
+  long t_ = 0;
+  std::vector<float> x_, y_;
+  std::vector<float> m_x_, m_y_, v2_x_, v2_y_;
+  std::vector<float> min_x_, max_x_, min_y_, max_y_;
+};
+
+/// Builds the per-cell clamp bounds shared by the optimizers: centers stay
+/// inside the region inset by each cell's half extent (fixed cells get
+/// degenerate bounds at their position).
+void build_clamp_bounds(const db::Database& db, std::vector<float>& min_x,
+                        std::vector<float>& max_x, std::vector<float>& min_y,
+                        std::vector<float>& max_y);
+
+}  // namespace xplace::core

@@ -1,0 +1,172 @@
+#include "core/placer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/dispatch.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace xplace::core {
+
+PlacerConfig PlacerConfig::xplace() { return PlacerConfig{}; }
+
+PlacerConfig PlacerConfig::dreamplace() {
+  PlacerConfig cfg;
+  cfg.op_reduction = false;
+  cfg.op_combination = false;
+  cfg.op_extraction = false;
+  cfg.op_skipping = false;
+  cfg.stage_aware_schedule = false;
+  cfg.baseline_extra_ops = true;
+  return cfg;
+}
+
+PlacerConfig PlacerConfig::ablation(bool reduction, bool combination,
+                                    bool extraction, bool skipping) {
+  PlacerConfig cfg;
+  cfg.op_reduction = reduction;
+  cfg.op_combination = combination;
+  cfg.op_extraction = extraction;
+  cfg.op_skipping = skipping;
+  return cfg;
+}
+
+GlobalPlacer::GlobalPlacer(db::Database& db, const PlacerConfig& cfg)
+    : db_(db), cfg_(cfg) {
+  if (db_.num_fillers() == 0) db_.insert_fillers(cfg_.filler_seed);
+  init_positions();
+  engine_ = std::make_unique<GradientEngine>(db_, cfg_);
+  precond_ = std::make_unique<Preconditioner>(db_);
+  scheduler_ = std::make_unique<Scheduler>(
+      cfg_, engine_->grid().bin_w());
+  if (cfg_.optimizer == OptimizerKind::kNesterov) {
+    optimizer_ = std::make_unique<NesterovOptimizer>(db_, cfg_, cfg_.grid_dim);
+  } else {
+    optimizer_ = std::make_unique<AdamOptimizer>(db_, cfg_, cfg_.grid_dim);
+  }
+}
+
+GlobalPlacer::~GlobalPlacer() = default;
+
+void GlobalPlacer::set_field_guidance(FieldGuidance* guidance) {
+  engine_->set_field_guidance(guidance);
+}
+
+void GlobalPlacer::init_positions() {
+  if (cfg_.center_init_noise < 0.0) return;  // keep given positions
+  Rng rng(cfg_.init_noise_seed);
+  const auto& r = db_.region();
+  const double cx = r.cx(), cy = r.cy();
+  const double sx = r.width() * cfg_.center_init_noise;
+  const double sy = r.height() * cfg_.center_init_noise;
+  for (std::size_t c = 0; c < db_.num_movable(); ++c) {
+    const int fence = db_.cell_fence(c);
+    if (fence >= 0) {
+      // Fenced cells start at their fence's center (keeps GP feasible).
+      const RectD& fr = db_.fences()[fence].rect;
+      db_.set_position(c, fr.cx() + rng.normal(0.0, sx * 0.2),
+                       fr.cy() + rng.normal(0.0, sy * 0.2));
+      continue;
+    }
+    db_.set_position(c, cx + rng.normal(0.0, sx), cy + rng.normal(0.0, sy));
+  }
+  // Fillers keep their uniform-random insert positions.
+}
+
+GlobalPlaceResult GlobalPlacer::run() {
+  auto& disp = tensor::Dispatcher::global();
+  const std::uint64_t launches_before = disp.total_launches();
+  Stopwatch gp_watch;
+
+  const std::size_t n = db_.num_cells_total();
+  std::vector<float> grad_x(n, 0.0f), grad_y(n, 0.0f);
+
+  GlobalPlaceResult result;
+  double best_hpwl = 1e300;
+  double gamma = scheduler_->gamma(1.0);
+  double overflow = 1.0;
+
+  for (int iter = 0; iter < cfg_.max_iters; ++iter) {
+    Stopwatch iter_watch;
+    const double lambda = scheduler_->lambda();
+    const double omega = precond_->omega(lambda);
+
+    GradientResult g = engine_->compute(
+        optimizer_->query_x(), optimizer_->query_y(), static_cast<float>(gamma),
+        static_cast<float>(lambda), iter, omega, grad_x.data(), grad_y.data());
+
+    if (!scheduler_->lambda_initialized()) {
+      scheduler_->init_lambda(g.wl_grad_norm, g.density_grad_norm, g.hpwl);
+    }
+
+    precond_->apply(static_cast<float>(scheduler_->lambda()), grad_x.data(),
+                    grad_y.data(), /*in_place=*/cfg_.op_reduction);
+    optimizer_->step(grad_x.data(), grad_y.data());
+
+    overflow = g.overflow;
+    const bool updated = scheduler_->maybe_update(iter, g.hpwl, omega);
+    if (updated) {
+      gamma = scheduler_->gamma(overflow);
+    }
+
+    IterationRecord rec;
+    rec.iter = iter;
+    rec.hpwl = g.hpwl;
+    rec.wa_wl = g.wa_wl;
+    rec.overflow = overflow;
+    rec.gamma = gamma;
+    rec.lambda = scheduler_->lambda();
+    rec.omega = omega;
+    rec.r_ratio = g.r_ratio;
+    rec.step_seconds = iter_watch.seconds();
+    rec.density_skipped = g.density_skipped;
+    rec.params_updated = updated;
+    recorder_.add(rec);
+
+    if (cfg_.verbose && iter % 50 == 0) {
+      XP_INFO("[%s] iter %4d  hpwl %.6g  ovfl %.4f  gamma %.3g  lambda %.3g  omega %.3f",
+              db_.design_name().c_str(), iter, g.hpwl, overflow, gamma,
+              scheduler_->lambda(), omega);
+    }
+
+    best_hpwl = std::min(best_hpwl, g.hpwl);
+    result.iterations = iter + 1;
+    if (iter >= cfg_.min_iters && overflow < cfg_.stop_overflow) {
+      result.converged = true;
+      break;
+    }
+    if (g.hpwl > best_hpwl * cfg_.divergence_hpwl_ratio && iter > 100) {
+      XP_WARN("[%s] divergence detected at iter %d (hpwl %.4g vs best %.4g)",
+              db_.design_name().c_str(), iter, g.hpwl, best_hpwl);
+      break;
+    }
+  }
+
+  // Commit the major iterate back to the database (movable cells only;
+  // fillers are internal to the electrostatic system).
+  const float* sx = optimizer_->solution_x();
+  const float* sy = optimizer_->solution_y();
+  for (std::size_t c = 0; c < db_.num_movable(); ++c) {
+    db_.set_position(c, sx[c], sy[c]);
+  }
+  // Keep filler positions in the db too (harmless; useful for debugging).
+  for (std::size_t c = db_.num_physical(); c < n; ++c) {
+    db_.set_position(c, sx[c], sy[c]);
+  }
+
+  result.hpwl = db_.hpwl();
+  result.overflow = overflow;
+  result.gp_seconds = gp_watch.seconds();
+  result.avg_iter_ms =
+      result.iterations > 0 ? result.gp_seconds * 1e3 / result.iterations : 0.0;
+  result.kernel_launches = disp.total_launches() - launches_before;
+  XP_INFO("[%s] GP done: %d iters, hpwl %.6g, ovfl %.4f, %.2fs (%.2f ms/iter), %llu launches",
+          db_.design_name().c_str(), result.iterations, result.hpwl,
+          result.overflow, result.gp_seconds, result.avg_iter_ms,
+          static_cast<unsigned long long>(result.kernel_launches));
+  return result;
+}
+
+}  // namespace xplace::core

@@ -1,0 +1,62 @@
+// GlobalPlacer: the placement core engine of Figure 1 — gradient engine,
+// optimizer, evaluator/recorder and scheduler wired into the GP loop.
+//
+// Usage:
+//   db.finalize();                         // parser or generator output
+//   GlobalPlacer placer(db, PlacerConfig::xplace());
+//   GlobalPlaceResult res = placer.run();  // writes positions back into db
+//
+// The placer inserts filler cells into `db` (if not present), initializes
+// movable cells at the region center (ePlace-style), and on completion writes
+// the final movable positions back into the database (fillers are dropped
+// from the result; they exist only inside the electrostatic system).
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/gradient_engine.h"
+#include "core/optimizer.h"
+#include "core/recorder.h"
+#include "core/scheduler.h"
+#include "db/database.h"
+
+namespace xplace::core {
+
+struct GlobalPlaceResult {
+  double hpwl = 0.0;          ///< final exact HPWL
+  double overflow = 0.0;      ///< final overflow ratio
+  int iterations = 0;
+  double gp_seconds = 0.0;    ///< wall-clock of the GP loop
+  double avg_iter_ms = 0.0;
+  bool converged = false;     ///< stop_overflow reached (vs iteration cap)
+  std::uint64_t kernel_launches = 0;  ///< dispatcher launches in the loop
+};
+
+class GlobalPlacer {
+ public:
+  /// `db` must be finalized; fillers are inserted here if absent.
+  GlobalPlacer(db::Database& db, const PlacerConfig& cfg);
+  ~GlobalPlacer();
+
+  /// Optional neural guidance (Section 3.3); must outlive run().
+  void set_field_guidance(FieldGuidance* guidance);
+
+  GlobalPlaceResult run();
+
+  const Recorder& recorder() const { return recorder_; }
+  const GradientEngine& engine() const { return *engine_; }
+
+ private:
+  void init_positions();
+
+  db::Database& db_;
+  PlacerConfig cfg_;
+  std::unique_ptr<GradientEngine> engine_;
+  std::unique_ptr<Preconditioner> precond_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<Scheduler> scheduler_;
+  Recorder recorder_;
+};
+
+}  // namespace xplace::core

@@ -1,0 +1,22 @@
+#include "core/recorder.h"
+
+#include <cstdio>
+
+namespace xplace::core {
+
+std::string Recorder::to_csv() const {
+  std::string out =
+      "iter,hpwl,wa_wl,overflow,gamma,lambda,omega,r_ratio,step_ms,"
+      "density_skipped,params_updated\n";
+  char buf[256];
+  for (const IterationRecord& r : records_) {
+    std::snprintf(buf, sizeof(buf), "%d,%.8g,%.8g,%.6f,%.6g,%.6g,%.6f,%.6g,%.4f,%d,%d\n",
+                  r.iter, r.hpwl, r.wa_wl, r.overflow, r.gamma, r.lambda,
+                  r.omega, r.r_ratio, r.step_seconds * 1e3,
+                  r.density_skipped ? 1 : 0, r.params_updated ? 1 : 0);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace xplace::core

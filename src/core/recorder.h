@@ -1,0 +1,37 @@
+// Per-iteration metric recording (the "recorder" block of Figure 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xplace::core {
+
+struct IterationRecord {
+  int iter = 0;
+  double hpwl = 0.0;
+  double wa_wl = 0.0;
+  double overflow = 0.0;
+  double gamma = 0.0;
+  double lambda = 0.0;
+  double omega = 0.0;     ///< stage indicator (Section 3.2)
+  double r_ratio = 0.0;   ///< λ|∇D| / |∇WL| (Section 3.1.4)
+  double step_seconds = 0.0;
+  bool density_skipped = false;
+  bool params_updated = true;
+};
+
+class Recorder {
+ public:
+  void add(const IterationRecord& rec) { records_.push_back(rec); }
+  const std::vector<IterationRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  const IterationRecord& back() const { return records_.back(); }
+
+  /// CSV with a header row; used by the convergence-trace bench.
+  std::string to_csv() const;
+
+ private:
+  std::vector<IterationRecord> records_;
+};
+
+}  // namespace xplace::core

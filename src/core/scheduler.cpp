@@ -1,0 +1,51 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xplace::core {
+
+Scheduler::Scheduler(const PlacerConfig& cfg, double bin_w)
+    : cfg_(cfg), bin_w_(bin_w) {}
+
+double Scheduler::gamma(double overflow) const {
+  const double ovfl = std::clamp(overflow, 0.0, 1.0);
+  return cfg_.gamma_base_factor * bin_w_ *
+         std::pow(10.0, (ovfl - 0.1) * (20.0 / 9.0) - 1.0);
+}
+
+void Scheduler::init_lambda(double wl_grad_norm, double density_grad_norm,
+                            double hpwl0) {
+  lambda_ = density_grad_norm > 1e-30
+                ? cfg_.lambda_init_factor * wl_grad_norm / density_grad_norm
+                : cfg_.lambda_init_factor;
+  hpwl_ref_ = std::max(1.0, cfg_.hpwl_ref_rel * hpwl0);
+  prev_hpwl_ = hpwl0;
+  lambda_init_ = true;
+}
+
+bool Scheduler::maybe_update(int iter, double hpwl, double omega) {
+  (void)iter;
+  ++iters_since_update_;
+  // Algorithm 1: in the intermediate stage, parameters update only every
+  // `stage_update_period` iterations to fully exploit the optimization space.
+  if (cfg_.stage_aware_schedule && omega > cfg_.omega_low &&
+      omega < cfg_.omega_high &&
+      iters_since_update_ < cfg_.stage_update_period) {
+    return false;
+  }
+  iters_since_update_ = 0;
+
+  const double delta = hpwl - prev_hpwl_;
+  prev_hpwl_ = hpwl;
+  // Δref scales with the *current* HPWL (ePlace's absolute 3.5e5 is ≈3.5e-3
+  // of its designs' HPWL); this keeps μ meaningful across design scales and
+  // placement stages.
+  const double ref = std::max(1.0, cfg_.hpwl_ref_rel * hpwl);
+  const double mu = std::clamp(std::pow(cfg_.mu_base, 1.0 - delta / ref),
+                               cfg_.mu_min, cfg_.mu_max);
+  lambda_ *= mu;
+  return true;
+}
+
+}  // namespace xplace::core

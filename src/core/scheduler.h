@@ -1,0 +1,47 @@
+// Parameter scheduling: the γ/λ update laws of ePlace plus the paper's
+// placement-stage-aware gating (Algorithm 1).
+//
+// γ (wirelength smoothness):   γ = k·bin_w·10^((overflow − 0.1)·20/9 − 1),
+//   so γ shrinks (WA → HPWL) as the placement spreads out.
+// λ (density weight):          λ₀ from the gradient-norm ratio at iteration 0;
+//   afterwards λ ← μ·λ with μ = clamp(μ₀^(1 − ΔHPWL/Δref), μ_min, μ_max):
+//   shrinking HPWL accelerates densification, regressions slow it down.
+// Stage gating (Algorithm 1):  with ω = λ|H_D|/(|H_W|+λ|H_D|), parameters are
+//   updated every iteration in the early (ω<0.5) and final (ω>0.95) stages
+//   but only every `stage_update_period` iterations in between.
+#pragma once
+
+#include "core/config.h"
+
+namespace xplace::core {
+
+class Scheduler {
+ public:
+  Scheduler(const PlacerConfig& cfg, double bin_w);
+
+  /// γ from overflow (always recomputed; it is a pure function).
+  double gamma(double overflow) const;
+
+  /// Initialize λ from the first gradient norms.
+  void init_lambda(double wl_grad_norm, double density_grad_norm,
+                   double hpwl0);
+
+  /// Called once per iteration with the current metrics; decides (per
+  /// Algorithm 1) whether parameters update this iteration and applies the
+  /// λ update if so. Returns true when an update happened.
+  bool maybe_update(int iter, double hpwl, double omega);
+
+  double lambda() const { return lambda_; }
+  bool lambda_initialized() const { return lambda_init_; }
+
+ private:
+  PlacerConfig cfg_;
+  double bin_w_;
+  double lambda_ = 0.0;
+  bool lambda_init_ = false;
+  double prev_hpwl_ = -1.0;
+  double hpwl_ref_ = 1.0;  ///< Δref = hpwl_ref_rel · HPWL₀
+  int iters_since_update_ = 0;
+};
+
+}  // namespace xplace::core

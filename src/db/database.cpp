@@ -1,0 +1,318 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace xplace::db {
+
+void Database::require_builder() const {
+  if (finalized_) {
+    throw std::logic_error("Database already finalized");
+  }
+}
+
+int Database::add_cell(std::string name, double width, double height,
+                       CellKind kind) {
+  require_builder();
+  if (width < 0.0 || height < 0.0) {
+    throw std::invalid_argument("cell '" + name + "' has negative size");
+  }
+  if (cell_index_.count(name) != 0) {
+    throw std::invalid_argument("duplicate cell name '" + name + "'");
+  }
+  const int id = static_cast<int>(cell_names_.size());
+  cell_index_.emplace(name, id);
+  cell_names_.push_back(std::move(name));
+  widths_.push_back(width);
+  heights_.push_back(height);
+  kinds_.push_back(kind);
+  x_.push_back(0.0);
+  y_.push_back(0.0);
+  return id;
+}
+
+int Database::add_net(std::string name, double weight) {
+  require_builder();
+  const int id = static_cast<int>(net_names_.size());
+  net_names_.push_back(std::move(name));
+  net_weights_.push_back(weight);
+  return id;
+}
+
+void Database::add_pin(int net, int cell, double ox, double oy) {
+  require_builder();
+  assert(net >= 0 && net < static_cast<int>(net_names_.size()));
+  assert(cell >= 0 && cell < static_cast<int>(cell_names_.size()));
+  raw_pins_.push_back(RawPin{net, cell, ox, oy});
+}
+
+void Database::set_initial_position(int cell, double x, double y) {
+  x_[cell] = x;
+  y_[cell] = y;
+}
+
+int Database::add_fence_region(std::string name, const RectD& rect) {
+  require_builder();
+  if (rect.width() <= 0.0 || rect.height() <= 0.0) {
+    throw std::invalid_argument("fence region '" + name + "' is degenerate");
+  }
+  fences_.push_back(FenceRegion{std::move(name), rect});
+  return static_cast<int>(fences_.size() - 1);
+}
+
+void Database::assign_to_fence(int cell, int fence) {
+  require_builder();
+  if (fence < 0 || fence >= static_cast<int>(fences_.size())) {
+    throw std::invalid_argument("unknown fence id");
+  }
+  if (kinds_[cell] != CellKind::kMovable) {
+    throw std::invalid_argument("only movable cells can be fenced");
+  }
+  if (cell_fence_.empty()) cell_fence_.assign(cell_names_.size(), -1);
+  cell_fence_.resize(cell_names_.size(), -1);
+  cell_fence_[cell] = fence;
+}
+
+void Database::finalize() {
+  require_builder();
+  const std::size_t n = cell_names_.size();
+
+  // Stable permutation: movable cells first, fixed cells after.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return (kinds_[a] == CellKind::kMovable) > (kinds_[b] == CellKind::kMovable);
+  });
+  std::vector<std::uint32_t> old_to_new(n);
+  for (std::size_t i = 0; i < n; ++i) old_to_new[order[i]] = static_cast<std::uint32_t>(i);
+
+  auto permute = [&](auto& v) {
+    using V = std::decay_t<decltype(v)>;
+    V out(v.size());
+    for (std::size_t i = 0; i < n; ++i) out[i] = std::move(v[order[i]]);
+    v = std::move(out);
+  };
+  permute(cell_names_);
+  permute(widths_);
+  permute(heights_);
+  permute(kinds_);
+  permute(x_);
+  permute(y_);
+  if (!cell_fence_.empty()) {
+    cell_fence_.resize(n, -1);
+    permute(cell_fence_);
+  }
+  cell_index_.clear();
+  for (std::size_t i = 0; i < n; ++i) cell_index_.emplace(cell_names_[i], static_cast<int>(i));
+
+  num_movable_ = static_cast<std::size_t>(
+      std::count(kinds_.begin(), kinds_.end(), CellKind::kMovable));
+  num_physical_ = n;
+
+  // Build net CSR. Pins keep their within-net insertion order.
+  const std::size_t num_nets = net_names_.size();
+  net_pin_start_.assign(num_nets + 1, 0);
+  for (const RawPin& p : raw_pins_) ++net_pin_start_[p.net + 1];
+  for (std::size_t e = 0; e < num_nets; ++e) net_pin_start_[e + 1] += net_pin_start_[e];
+  const std::size_t num_pins = raw_pins_.size();
+  pin_cell_.resize(num_pins);
+  pin_net_.resize(num_pins);
+  pin_offset_x_.resize(num_pins);
+  pin_offset_y_.resize(num_pins);
+  {
+    std::vector<std::uint32_t> cursor(net_pin_start_.begin(), net_pin_start_.end() - 1);
+    for (const RawPin& p : raw_pins_) {
+      const std::uint32_t slot = cursor[p.net]++;
+      pin_cell_[slot] = old_to_new[p.cell];
+      pin_net_[slot] = static_cast<std::uint32_t>(p.net);
+      pin_offset_x_[slot] = p.ox;
+      pin_offset_y_[slot] = p.oy;
+    }
+  }
+  raw_pins_.clear();
+  raw_pins_.shrink_to_fit();
+
+  // Build cell→pin CSR.
+  cell_pin_start_.assign(n + 1, 0);
+  for (std::uint32_t c : pin_cell_) ++cell_pin_start_[c + 1];
+  for (std::size_t c = 0; c < n; ++c) cell_pin_start_[c + 1] += cell_pin_start_[c];
+  cell_pin_list_.resize(num_pins);
+  {
+    std::vector<std::uint32_t> cursor(cell_pin_start_.begin(), cell_pin_start_.end() - 1);
+    for (std::uint32_t p = 0; p < num_pins; ++p) {
+      cell_pin_list_[cursor[pin_cell_[p]]++] = p;
+    }
+  }
+
+  // Default region: bounding box of rows if provided and region unset.
+  if (region_.width() <= 0.0 && !rows_.empty()) {
+    RectD r{rows_[0].lx, rows_[0].ly, rows_[0].hx(), rows_[0].hy()};
+    for (const Row& row : rows_) {
+      r = r.united(RectD{row.lx, row.ly, row.hx(), row.hy()});
+    }
+    region_ = r;
+  }
+
+  total_movable_area_ = 0.0;
+  for (std::size_t c = 0; c < num_movable_; ++c) total_movable_area_ += area(c);
+  fixed_area_in_region_ = 0.0;
+  for (std::size_t c = num_movable_; c < n; ++c) {
+    fixed_area_in_region_ += cell_rect(c).overlap_area(region_);
+  }
+
+  finalized_ = true;
+  XP_DEBUG("finalized design '%s': %zu movable, %zu fixed, %zu nets, %zu pins",
+           design_name_.c_str(), num_movable_, num_fixed(), num_nets, num_pins);
+}
+
+void Database::scale_cell_width(std::size_t cell, double factor) {
+  if (!finalized_) throw std::logic_error("scale_cell_width before finalize");
+  if (cell >= num_movable_) {
+    throw std::invalid_argument("scale_cell_width: not a movable cell");
+  }
+  if (num_cells_total() != num_physical_) {
+    throw std::logic_error("scale_cell_width after filler insertion");
+  }
+  if (factor <= 0.0) throw std::invalid_argument("non-positive inflation factor");
+  const double old_area = area(cell);
+  widths_[cell] *= factor;
+  total_movable_area_ += area(cell) - old_area;
+}
+
+void Database::insert_fillers(std::uint64_t seed) {
+  if (!finalized_) throw std::logic_error("insert_fillers before finalize");
+  if (num_cells_total() != num_physical_) {
+    throw std::logic_error("fillers already inserted");
+  }
+  if (num_movable_ == 0) return;
+
+  // Filler size: mean movable width/height (ePlace uses the middle of the
+  // sorted size distribution; the mean is equivalent for our size mixes).
+  double mean_w = 0.0, mean_h = 0.0;
+  for (std::size_t c = 0; c < num_movable_; ++c) {
+    mean_w += widths_[c];
+    mean_h += heights_[c];
+  }
+  mean_w /= static_cast<double>(num_movable_);
+  mean_h /= static_cast<double>(num_movable_);
+  const double one_area = std::max(1e-12, mean_w * mean_h);
+
+  Rng rng(seed);
+  std::size_t total_count = 0;
+  // Per electrostatic region: allowed area, fixed blockage inside it, member
+  // movable area; filler budget = D_t·free − movable (DREAMPlace 3.0 style).
+  const int num_regions = static_cast<int>(fences_.size());
+  for (int k = -1; k < num_regions; ++k) {
+    double allowed_area;
+    RectD bounds = region_;
+    if (k >= 0) {
+      bounds = fences_[k].rect.intersection(region_);
+      allowed_area = std::max(0.0, bounds.width()) * std::max(0.0, bounds.height());
+    } else {
+      allowed_area = region_.area();
+      for (const FenceRegion& f : fences_) {
+        allowed_area -= f.rect.intersection(region_).area();
+      }
+    }
+    double fixed_area = 0.0;
+    for (std::size_t c = num_movable_; c < num_physical_; ++c) {
+      const RectD r = cell_rect(c).intersection(region_);
+      if (r.width() <= 0 || r.height() <= 0) continue;
+      if (k >= 0) {
+        fixed_area += r.overlap_area(fences_[k].rect);
+      } else {
+        double inside_fences = 0.0;
+        for (const FenceRegion& f : fences_) inside_fences += r.overlap_area(f.rect);
+        fixed_area += r.area() - inside_fences;
+      }
+    }
+    double movable_area = 0.0;
+    for (std::size_t c = 0; c < num_movable_; ++c) {
+      if (cell_fence(c) == k) movable_area += area(c);
+    }
+    const double filler_area =
+        std::max(0.0, target_density_ * (allowed_area - fixed_area) - movable_area);
+    const std::size_t count = static_cast<std::size_t>(filler_area / one_area);
+    if (count == 0) continue;
+
+    const double lo_x = bounds.lx + mean_w * 0.5, hi_x = bounds.hx - mean_w * 0.5;
+    const double lo_y = bounds.ly + mean_h * 0.5, hi_y = bounds.hy - mean_h * 0.5;
+    for (std::size_t i = 0; i < count; ++i) {
+      const int id = static_cast<int>(cell_names_.size());
+      cell_names_.push_back("__filler_" + std::to_string(total_count + i));
+      widths_.push_back(mean_w);
+      heights_.push_back(mean_h);
+      kinds_.push_back(CellKind::kFiller);
+      double fx, fy;
+      if (k < 0 && !fences_.empty()) {
+        // Default-region fillers: rejection-sample outside the fences.
+        fx = rng.uniform(lo_x, std::max(lo_x + 1e-9, hi_x));
+        fy = rng.uniform(lo_y, std::max(lo_y + 1e-9, hi_y));
+        for (int tries = 0; tries < 16; ++tries) {
+          bool inside = false;
+          for (const FenceRegion& f : fences_) {
+            if (f.rect.contains(fx, fy)) {
+              inside = true;
+              break;
+            }
+          }
+          if (!inside) break;
+          fx = rng.uniform(lo_x, std::max(lo_x + 1e-9, hi_x));
+          fy = rng.uniform(lo_y, std::max(lo_y + 1e-9, hi_y));
+        }
+      } else {
+        fx = rng.uniform(lo_x, std::max(lo_x + 1e-9, hi_x));
+        fy = rng.uniform(lo_y, std::max(lo_y + 1e-9, hi_y));
+      }
+      x_.push_back(fx);
+      y_.push_back(fy);
+      if (!cell_fence_.empty() || k >= 0) {
+        if (cell_fence_.empty()) cell_fence_.assign(static_cast<std::size_t>(id), -1);
+        cell_fence_.resize(static_cast<std::size_t>(id) + 1, -1);
+        cell_fence_[id] = k;
+      }
+    }
+    total_count += count;
+  }
+  if (!cell_fence_.empty()) cell_fence_.resize(num_cells_total(), -1);
+  // Fillers carry no pins: extend the cell-pin CSR with empty ranges.
+  cell_pin_start_.resize(num_cells_total() + 1, cell_pin_start_[num_physical_]);
+  XP_DEBUG("inserted %zu fillers of %.3g x %.3g", total_count, mean_w, mean_h);
+}
+
+int Database::cell_id(const std::string& name) const {
+  auto it = cell_index_.find(name);
+  return it == cell_index_.end() ? -1 : it->second;
+}
+
+double Database::net_hpwl(std::size_t net) const {
+  const std::size_t begin = net_pin_start_[net], end = net_pin_start_[net + 1];
+  if (end - begin < 2) return 0.0;
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (std::size_t p = begin; p < end; ++p) {
+    const std::uint32_t c = pin_cell_[p];
+    const double px = x_[c] + pin_offset_x_[p];
+    const double py = y_[c] + pin_offset_y_[p];
+    min_x = std::min(min_x, px);
+    max_x = std::max(max_x, px);
+    min_y = std::min(min_y, py);
+    max_y = std::max(max_y, py);
+  }
+  return (max_x - min_x) + (max_y - min_y);
+}
+
+double Database::hpwl() const {
+  double total = 0.0;
+  for (std::size_t e = 0; e < num_nets(); ++e) {
+    total += net_weights_[e] * net_hpwl(e);
+  }
+  return total;
+}
+
+}  // namespace xplace::db

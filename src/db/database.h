@@ -1,0 +1,216 @@
+// Placement database: the netlist + geometry model shared by every stage
+// (global placement, legalization, detailed placement, routing estimation).
+//
+// Layout convention after finalize():
+//   cell ids [0, num_movable)                    — movable standard cells
+//   cell ids [num_movable, num_physical)         — fixed cells (macros, pads)
+//   cell ids [num_physical, num_cells_total)     — filler cells (no pins)
+//
+// All cell positions are *center* coordinates in the same unit as the region
+// rectangle. Pin offsets are relative to the cell center.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace xplace::db {
+
+enum class CellKind : std::uint8_t { kMovable = 0, kFixed = 1, kFiller = 2 };
+
+/// A fence region (ISPD 2015): cells assigned to it must be placed inside
+/// `rect`; unassigned cells must stay outside every fence.
+struct FenceRegion {
+  std::string name;
+  RectD rect;
+};
+
+/// One placement row (from bookshelf .scl). Cells legalize onto rows at
+/// site-aligned x positions.
+struct Row {
+  double lx = 0.0;       ///< left edge
+  double ly = 0.0;       ///< bottom edge
+  double height = 0.0;   ///< row (= standard cell) height
+  double site_width = 1.0;
+  int num_sites = 0;
+
+  double hx() const { return lx + site_width * num_sites; }
+  double hy() const { return ly + height; }
+};
+
+class Database {
+ public:
+  // ---- construction (builder phase) ------------------------------------
+  /// Adds a cell; returns a provisional id that is remapped by finalize().
+  int add_cell(std::string name, double width, double height, CellKind kind);
+  int add_net(std::string name, double weight = 1.0);
+  /// Pin on `net` attached to `cell` at offset (ox, oy) from the cell center.
+  void add_pin(int net, int cell, double ox, double oy);
+
+  void set_region(const RectD& region) { region_ = region; }
+  void set_target_density(double d) { target_density_ = d; }
+  void add_row(const Row& row) { rows_.push_back(row); }
+  void set_design_name(std::string name) { design_name_ = std::move(name); }
+
+  /// Declares a fence region; returns its id. Builder phase only.
+  int add_fence_region(std::string name, const RectD& rect);
+  /// Assigns a (provisional-id) movable cell to a fence. Builder phase only.
+  void assign_to_fence(int cell, int fence);
+
+  /// Set the initial (center) position of a cell by provisional id.
+  void set_initial_position(int cell, double x, double y);
+
+  /// Reorders cells movable-first/fixed-after, builds pin CSR structures,
+  /// and freezes the database. Must be called exactly once.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Scales a movable cell's width by `factor` (routability-driven
+  /// inflation). Allowed after finalize (before fillers are inserted);
+  /// updates the cached movable area.
+  void scale_cell_width(std::size_t cell, double factor);
+
+  /// Appends filler cells per ePlace: total filler area equals
+  /// target_density * free_area - movable_area (clamped at 0); each filler is
+  /// a square with side = sqrt(mean movable cell area), at random positions.
+  /// Must be called after finalize(). Safe to call with zero result.
+  void insert_fillers(std::uint64_t seed = 1);
+
+  // ---- identity ---------------------------------------------------------
+  const std::string& design_name() const { return design_name_; }
+
+  // ---- sizes --------------------------------------------------------------
+  std::size_t num_movable() const { return num_movable_; }
+  std::size_t num_fixed() const { return num_physical_ - num_movable_; }
+  std::size_t num_physical() const { return num_physical_; }
+  std::size_t num_fillers() const { return widths_.size() - num_physical_; }
+  std::size_t num_cells_total() const { return widths_.size(); }
+  std::size_t num_nets() const { return net_names_.size(); }
+  std::size_t num_pins() const { return pin_cell_.size(); }
+
+  bool is_movable(std::size_t cell) const { return cell < num_movable_; }
+  bool is_filler(std::size_t cell) const { return cell >= num_physical_; }
+
+  // ---- geometry -----------------------------------------------------------
+  const RectD& region() const { return region_; }
+  double target_density() const { return target_density_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  double width(std::size_t cell) const { return widths_[cell]; }
+  double height(std::size_t cell) const { return heights_[cell]; }
+  double area(std::size_t cell) const { return widths_[cell] * heights_[cell]; }
+  CellKind kind(std::size_t cell) const { return kinds_[cell]; }
+  const std::string& cell_name(std::size_t cell) const { return cell_names_[cell]; }
+  const std::string& net_name(std::size_t net) const { return net_names_[net]; }
+  double net_weight(std::size_t net) const { return net_weights_[net]; }
+
+  /// Cell id by name; -1 if unknown. (Names are unique per design.)
+  int cell_id(const std::string& name) const;
+
+  // ---- fence regions --------------------------------------------------------
+  const std::vector<FenceRegion>& fences() const { return fences_; }
+  bool has_fences() const { return !fences_.empty(); }
+  /// Fence id of a cell, or -1 for the default (outside-all-fences) region.
+  int cell_fence(std::size_t cell) const {
+    return cell_fence_.empty() ? -1 : cell_fence_[cell];
+  }
+
+  // ---- positions (center coordinates) -------------------------------------
+  double x(std::size_t cell) const { return x_[cell]; }
+  double y(std::size_t cell) const { return y_[cell]; }
+  void set_position(std::size_t cell, double x, double y) {
+    x_[cell] = x;
+    y_[cell] = y;
+  }
+  const std::vector<double>& x() const { return x_; }
+  const std::vector<double>& y() const { return y_; }
+  std::vector<double>& mutable_x() { return x_; }
+  std::vector<double>& mutable_y() { return y_; }
+
+  RectD cell_rect(std::size_t cell) const {
+    const double hw = widths_[cell] * 0.5, hh = heights_[cell] * 0.5;
+    return {x_[cell] - hw, y_[cell] - hh, x_[cell] + hw, y_[cell] + hh};
+  }
+
+  // ---- connectivity (valid after finalize) ---------------------------------
+  /// Net pins occupy [net_pin_start(e), net_pin_start(e+1)) in the pin arrays.
+  std::size_t net_pin_start(std::size_t net) const { return net_pin_start_[net]; }
+  std::size_t net_degree(std::size_t net) const {
+    return net_pin_start_[net + 1] - net_pin_start_[net];
+  }
+  int pin_cell(std::size_t pin) const { return pin_cell_[pin]; }
+  double pin_offset_x(std::size_t pin) const { return pin_offset_x_[pin]; }
+  double pin_offset_y(std::size_t pin) const { return pin_offset_y_[pin]; }
+
+  /// Pins of a cell occupy [cell_pin_start(c), cell_pin_start(c+1)) in
+  /// cell_pin_list(); filler cells have empty ranges.
+  std::size_t cell_pin_start(std::size_t cell) const { return cell_pin_start_[cell]; }
+  const std::vector<std::uint32_t>& cell_pin_list() const { return cell_pin_list_; }
+  std::uint32_t pin_net(std::size_t pin) const { return pin_net_[pin]; }
+
+  /// Number of nets incident to a cell (|S_i| in the preconditioner).
+  std::size_t cell_num_nets(std::size_t cell) const {
+    return cell_pin_start_[cell + 1] - cell_pin_start_[cell];
+  }
+
+  // ---- derived quantities ---------------------------------------------------
+  double total_movable_area() const { return total_movable_area_; }
+  /// Area of fixed cells clipped to the region.
+  double fixed_area_in_region() const { return fixed_area_in_region_; }
+
+  /// Exact total HPWL at current positions: Σ_e w_e * (Δx + Δy). Nets with
+  /// fewer than 2 pins contribute zero.
+  double hpwl() const;
+
+  /// Per-net HPWL (unweighted) for one net.
+  double net_hpwl(std::size_t net) const;
+
+ private:
+  void require_builder() const;
+
+  std::string design_name_ = "unnamed";
+  bool finalized_ = false;
+
+  // Cell store (movable-first after finalize).
+  std::vector<std::string> cell_names_;
+  std::vector<double> widths_, heights_;
+  std::vector<CellKind> kinds_;
+  std::vector<double> x_, y_;
+  std::size_t num_movable_ = 0;
+  std::size_t num_physical_ = 0;
+  std::unordered_map<std::string, int> cell_index_;
+
+  // Net store.
+  std::vector<std::string> net_names_;
+  std::vector<double> net_weights_;
+
+  // Builder-phase pins (net, cell, offset).
+  struct RawPin {
+    int net;
+    int cell;
+    double ox, oy;
+  };
+  std::vector<RawPin> raw_pins_;
+
+  // CSR pin structures (after finalize).
+  std::vector<std::uint32_t> net_pin_start_;
+  std::vector<std::uint32_t> pin_cell_;
+  std::vector<std::uint32_t> pin_net_;
+  std::vector<double> pin_offset_x_, pin_offset_y_;
+  std::vector<std::uint32_t> cell_pin_start_;
+  std::vector<std::uint32_t> cell_pin_list_;
+
+  RectD region_{0, 0, 0, 0};
+  double target_density_ = 1.0;
+  std::vector<Row> rows_;
+  std::vector<FenceRegion> fences_;
+  std::vector<int> cell_fence_;  ///< per-cell fence id (-1 default); empty if no fences
+
+  double total_movable_area_ = 0.0;
+  double fixed_area_in_region_ = 0.0;
+};
+
+}  // namespace xplace::db

@@ -1,0 +1,40 @@
+#include "db/stats.h"
+
+#include <cstdio>
+
+#include "db/database.h"
+
+namespace xplace::db {
+
+std::string DesignStats::header() {
+  return "design            #movable   #fixed    #nets     #pins  avgdeg   util  tdens";
+}
+
+std::string DesignStats::row() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-16s %9zu %8zu %8zu %9zu  %5.2f  %5.3f  %5.2f",
+                design.c_str(), num_movable, num_fixed, num_nets, num_pins,
+                avg_net_degree, utilization, target_density);
+  return buf;
+}
+
+DesignStats compute_stats(const Database& db) {
+  DesignStats s;
+  s.design = db.design_name();
+  s.num_movable = db.num_movable();
+  s.num_fixed = db.num_fixed();
+  s.num_nets = db.num_nets();
+  s.num_pins = db.num_pins();
+  s.avg_net_degree =
+      s.num_nets == 0 ? 0.0
+                      : static_cast<double>(s.num_pins) / static_cast<double>(s.num_nets);
+  s.movable_area = db.total_movable_area();
+  s.fixed_area = db.fixed_area_in_region();
+  s.region_area = db.region().area();
+  const double free_area = s.region_area - s.fixed_area;
+  s.utilization = free_area > 0.0 ? s.movable_area / free_area : 0.0;
+  s.target_density = db.target_density();
+  return s;
+}
+
+}  // namespace xplace::db

@@ -1,0 +1,30 @@
+// Design statistics (Table 1 of the paper) and utilization summaries.
+#pragma once
+
+#include <string>
+
+namespace xplace::db {
+
+class Database;
+
+struct DesignStats {
+  std::string design;
+  std::size_t num_movable = 0;
+  std::size_t num_fixed = 0;
+  std::size_t num_nets = 0;
+  std::size_t num_pins = 0;
+  double avg_net_degree = 0.0;
+  double movable_area = 0.0;
+  double fixed_area = 0.0;
+  double region_area = 0.0;
+  double utilization = 0.0;  ///< movable area / free area
+  double target_density = 0.0;
+
+  /// One formatted row: name, #cells, #nets, ... (used by bench_table1).
+  std::string row() const;
+  static std::string header();
+};
+
+DesignStats compute_stats(const Database& db);
+
+}  // namespace xplace::db

@@ -1,0 +1,65 @@
+#include "dp/detailed_placer.h"
+
+#include <cstdio>
+
+#include "dp/global_swap.h"
+#include "dp/ism.h"
+#include "dp/local_reorder.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xplace::dp {
+
+std::string DetailedPlaceResult::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "hpwl %.6g -> %.6g (%+.3f%%), %d rounds, %zu moves, %.3fs",
+                hpwl_before, hpwl_after,
+                hpwl_before > 0 ? (hpwl_after / hpwl_before - 1.0) * 100 : 0.0,
+                rounds, moves_accepted, seconds);
+  return buf;
+}
+
+DetailedPlaceResult detailed_place(db::Database& db,
+                                   const DetailedPlaceConfig& cfg) {
+  Stopwatch watch;
+  DetailedPlaceResult result;
+  result.hpwl_before = db.hpwl();
+
+  double row_h = 12.0;
+  if (!db.rows().empty()) row_h = db.rows().front().height;
+  const double radius = cfg.swap_radius_rows * row_h;
+
+  double prev = result.hpwl_before;
+  for (int round = 0; round < cfg.max_rounds; ++round) {
+    if (cfg.enable_global_swap) {
+      const PassStats s = global_swap_pass(db, radius);
+      result.moves_accepted += s.moves_accepted;
+      XP_DEBUG("dp round %d swap: %.6g -> %.6g (%zu moves)", round,
+               s.hpwl_before, s.hpwl_after, s.moves_accepted);
+    }
+    if (cfg.enable_ism) {
+      const PassStats s = ism_pass(db, cfg.ism_max_set);
+      result.moves_accepted += s.moves_accepted;
+      XP_DEBUG("dp round %d ism: %.6g -> %.6g (%zu moves)", round,
+               s.hpwl_before, s.hpwl_after, s.moves_accepted);
+    }
+    if (cfg.enable_local_reorder) {
+      const PassStats s = local_reorder_pass(db, cfg.reorder_window);
+      result.moves_accepted += s.moves_accepted;
+      XP_DEBUG("dp round %d reorder: %.6g -> %.6g (%zu moves)", round,
+               s.hpwl_before, s.hpwl_after, s.moves_accepted);
+    }
+    result.rounds = round + 1;
+    const double cur = db.hpwl();
+    if (prev - cur < cfg.min_improvement * prev) break;
+    prev = cur;
+  }
+
+  result.hpwl_after = db.hpwl();
+  result.seconds = watch.seconds();
+  XP_INFO("detailed place: %s", result.summary().c_str());
+  return result;
+}
+
+}  // namespace xplace::dp

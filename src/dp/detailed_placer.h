@@ -1,0 +1,37 @@
+// Detailed placement driver: alternates global-swap, independent-set
+// matching and local-reordering passes until improvement stalls (the
+// ABCDPlace recipe on a single thread).
+#pragma once
+
+#include <string>
+
+#include "db/database.h"
+
+namespace xplace::dp {
+
+struct DetailedPlaceConfig {
+  int max_rounds = 3;            ///< full GS+ISM+LR rounds
+  double min_improvement = 5e-4; ///< stop when a round improves less than this
+  double swap_radius_rows = 6.0; ///< global-swap radius in row heights
+  int reorder_window = 3;
+  int ism_max_set = 16;
+  bool enable_global_swap = true;
+  bool enable_ism = true;
+  bool enable_local_reorder = true;
+};
+
+struct DetailedPlaceResult {
+  double hpwl_before = 0.0;
+  double hpwl_after = 0.0;
+  int rounds = 0;
+  std::size_t moves_accepted = 0;
+  double seconds = 0.0;
+
+  std::string summary() const;
+};
+
+/// Runs on a *legal* placement and preserves legality.
+DetailedPlaceResult detailed_place(db::Database& db,
+                                   const DetailedPlaceConfig& cfg = {});
+
+}  // namespace xplace::dp

@@ -1,0 +1,109 @@
+#include "dp/global_swap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "dp/hpwl_eval.h"
+#include "util/timer.h"
+
+namespace xplace::dp {
+namespace {
+
+/// Uniform-grid spatial hash over cell centers.
+class SpatialHash {
+ public:
+  SpatialHash(const db::Database& db, double cell_size)
+      : db_(db), size_(cell_size) {
+    for (std::size_t c = 0; c < db.num_movable(); ++c) {
+      grid_[key(db.x(c), db.y(c))].push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+
+  template <typename Fn>
+  void for_each_near(double x, double y, double radius, Fn&& fn) const {
+    const long kx0 = static_cast<long>(std::floor((x - radius) / size_));
+    const long kx1 = static_cast<long>(std::floor((x + radius) / size_));
+    const long ky0 = static_cast<long>(std::floor((y - radius) / size_));
+    const long ky1 = static_cast<long>(std::floor((y + radius) / size_));
+    for (long kx = kx0; kx <= kx1; ++kx) {
+      for (long ky = ky0; ky <= ky1; ++ky) {
+        const auto it = grid_.find((kx << 24) ^ ky);
+        if (it == grid_.end()) continue;
+        for (std::uint32_t c : it->second) fn(c);
+      }
+    }
+  }
+
+  void move(std::uint32_t cell, double old_x, double old_y, double new_x,
+            double new_y) {
+    const long k_old = key(old_x, old_y), k_new = key(new_x, new_y);
+    if (k_old == k_new) return;
+    auto& v = grid_[k_old];
+    v.erase(std::find(v.begin(), v.end(), cell));
+    grid_[k_new].push_back(cell);
+  }
+
+ private:
+  long key(double x, double y) const {
+    return (static_cast<long>(std::floor(x / size_)) << 24) ^
+           static_cast<long>(std::floor(y / size_));
+  }
+  const db::Database& db_;
+  double size_;
+  std::unordered_map<long, std::vector<std::uint32_t>> grid_;
+};
+
+}  // namespace
+
+PassStats global_swap_pass(db::Database& db, double radius) {
+  Stopwatch watch;
+  PassStats stats;
+  stats.hpwl_before = db.hpwl();
+
+  HpwlEval eval(db);
+  SpatialHash hash(db, std::max(1.0, radius));
+
+  for (std::size_t a = 0; a < db.num_movable(); ++a) {
+    const double ax = db.x(a), ay = db.y(a);
+    double best_delta = -1e-9;
+    std::uint32_t best_b = static_cast<std::uint32_t>(-1);
+
+    std::uint32_t pair[2];
+    pair[0] = static_cast<std::uint32_t>(a);
+    hash.for_each_near(ax, ay, radius, [&](std::uint32_t b) {
+      if (b <= a) return;  // each unordered pair once
+      if (db.width(b) != db.width(a)) return;
+      if (db.cell_fence(b) != db.cell_fence(a)) return;  // fence-preserving
+      const double bx = db.x(b), by = db.y(b);
+      if (std::fabs(bx - ax) + std::fabs(by - ay) > radius) return;
+      pair[1] = b;
+      const double before = eval.cells_net_hpwl(pair, 2);
+      db.set_position(a, bx, by);
+      db.set_position(b, ax, ay);
+      const double delta = eval.cells_net_hpwl(pair, 2) - before;
+      db.set_position(a, ax, ay);
+      db.set_position(b, bx, by);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_b = b;
+      }
+    });
+
+    if (best_b != static_cast<std::uint32_t>(-1)) {
+      const double bx = db.x(best_b), by = db.y(best_b);
+      db.set_position(a, bx, by);
+      db.set_position(best_b, ax, ay);
+      hash.move(static_cast<std::uint32_t>(a), ax, ay, bx, by);
+      hash.move(best_b, bx, by, ax, ay);
+      ++stats.moves_accepted;
+    }
+  }
+
+  stats.hpwl_after = db.hpwl();
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+}  // namespace xplace::dp

@@ -1,0 +1,16 @@
+// Global swap: for each cell, consider exchanging positions with an
+// equal-width cell inside a search radius; accept the best HPWL-improving
+// swap. Equal widths keep legality trivial (both slots remain exactly
+// filled). A spatial hash bucketing by position keeps candidate lookup cheap.
+#pragma once
+
+#include "db/database.h"
+#include "dp/local_reorder.h"  // PassStats
+
+namespace xplace::dp {
+
+/// One sweep over all movable cells. `radius` is the candidate search radius
+/// in the design's length unit (e.g. a few row heights).
+PassStats global_swap_pass(db::Database& db, double radius);
+
+}  // namespace xplace::dp

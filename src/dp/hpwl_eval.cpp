@@ -1,0 +1,35 @@
+#include "dp/hpwl_eval.h"
+
+namespace xplace::dp {
+
+HpwlEval::HpwlEval(const db::Database& db) : db_(db) {
+  stamp_.assign(db.num_nets(), 0u);
+}
+
+const std::vector<std::uint32_t>& HpwlEval::collect_nets(
+    const std::uint32_t* cells, std::size_t count) {
+  ++stamp_value_;
+  nets_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t c = cells[i];
+    for (std::size_t k = db_.cell_pin_start(c); k < db_.cell_pin_start(c + 1); ++k) {
+      const std::uint32_t net = db_.pin_net(db_.cell_pin_list()[k]);
+      if (stamp_[net] != stamp_value_) {
+        stamp_[net] = stamp_value_;
+        nets_.push_back(net);
+      }
+    }
+  }
+  return nets_;
+}
+
+double HpwlEval::cells_net_hpwl(const std::uint32_t* cells, std::size_t count) {
+  const auto& nets = collect_nets(cells, count);
+  double total = 0.0;
+  for (std::uint32_t e : nets) {
+    total += db_.net_weight(e) * db_.net_hpwl(e);
+  }
+  return total;
+}
+
+}  // namespace xplace::dp

@@ -1,0 +1,40 @@
+// Incremental HPWL evaluation for detailed placement moves.
+//
+// All DP passes evaluate a candidate move as "recompute the HPWL of every net
+// touching the moved cells, before and after". Nets are deduplicated with a
+// stamp array so multi-cell moves (swaps, window permutations, set
+// assignments) are charged once per net.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+
+namespace xplace::dp {
+
+class HpwlEval {
+ public:
+  explicit HpwlEval(const db::Database& db);
+
+  /// Sum of weighted HPWL over all nets incident to any of `cells`
+  /// (deduplicated), at the database's *current* positions.
+  double cells_net_hpwl(const std::uint32_t* cells, std::size_t count);
+
+  /// Convenience for a single cell.
+  double cell_net_hpwl(std::uint32_t cell) {
+    return cells_net_hpwl(&cell, 1);
+  }
+
+  /// Nets incident to `cells`, deduplicated (valid until the next call).
+  const std::vector<std::uint32_t>& collect_nets(const std::uint32_t* cells,
+                                                 std::size_t count);
+
+ private:
+  const db::Database& db_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t stamp_value_ = 0;
+  std::vector<std::uint32_t> nets_;
+};
+
+}  // namespace xplace::dp

@@ -1,0 +1,67 @@
+#include "dp/hungarian.h"
+
+#include <cassert>
+#include <limits>
+
+namespace xplace::dp {
+
+// Classic O(n³) shortest-augmenting-path implementation with row/column
+// potentials (the "e-maxx" formulation, 1-indexed internally).
+std::vector<int> hungarian(const std::vector<double>& cost, int n) {
+  assert(static_cast<int>(cost.size()) == n * n);
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<int> assignment(n, -1);
+  for (int j = 1; j <= n; ++j) {
+    if (p[j] > 0) assignment[p[j] - 1] = j - 1;
+  }
+  return assignment;
+}
+
+double assignment_cost(const std::vector<double>& cost, int n,
+                       const std::vector<int>& assignment) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += cost[i * n + assignment[i]];
+  return total;
+}
+
+}  // namespace xplace::dp

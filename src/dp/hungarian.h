@@ -1,0 +1,18 @@
+// Hungarian algorithm (Kuhn–Munkres, potential/JV formulation) for the small
+// square assignment problems produced by independent-set matching.
+// O(n³); n is the independent-set size (≤ a few dozen).
+#pragma once
+
+#include <vector>
+
+namespace xplace::dp {
+
+/// cost is row-major n×n; returns assignment[row] = column minimizing the
+/// total cost. Deterministic.
+std::vector<int> hungarian(const std::vector<double>& cost, int n);
+
+/// Total cost of an assignment under a cost matrix (test/diagnostic helper).
+double assignment_cost(const std::vector<double>& cost, int n,
+                       const std::vector<int>& assignment);
+
+}  // namespace xplace::dp

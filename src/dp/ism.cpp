@@ -1,0 +1,105 @@
+#include "dp/ism.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "dp/hpwl_eval.h"
+#include "dp/hungarian.h"
+#include "util/timer.h"
+
+namespace xplace::dp {
+
+PassStats ism_pass(db::Database& db, int max_set) {
+  Stopwatch watch;
+  PassStats stats;
+  stats.hpwl_before = db.hpwl();
+
+  HpwlEval eval(db);
+
+  // Bucket movable cells by (width, height, fence) — slots are only
+  // interchangeable within a fence region.
+  std::map<std::tuple<double, double, int>, std::vector<std::uint32_t>> buckets;
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    buckets[{db.width(c), db.height(c), db.cell_fence(c)}].push_back(
+        static_cast<std::uint32_t>(c));
+  }
+
+  std::vector<std::uint32_t> net_stamp(db.num_nets(), 0u);
+  std::uint32_t stamp = 0;
+
+  for (auto& [dims, cells] : buckets) {
+    if (cells.size() < 2) continue;
+    // Order by position (x-major) so consecutive picks are spatially close —
+    // distant swaps are rarely independent-set winners.
+    std::sort(cells.begin(), cells.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return db.x(a) < db.x(b) || (db.x(a) == db.x(b) && db.y(a) < db.y(b));
+    });
+
+    std::vector<char> used(cells.size(), 0);
+    for (std::size_t seed = 0; seed < cells.size(); ++seed) {
+      if (used[seed]) continue;
+      // Greedy independent set starting at `seed`.
+      ++stamp;
+      std::vector<std::uint32_t> set;
+      auto try_add = [&](std::size_t idx) {
+        const std::uint32_t c = cells[idx];
+        // Check net-independence against the current set.
+        for (std::size_t k = db.cell_pin_start(c); k < db.cell_pin_start(c + 1); ++k) {
+          if (net_stamp[db.pin_net(db.cell_pin_list()[k])] == stamp) return false;
+        }
+        for (std::size_t k = db.cell_pin_start(c); k < db.cell_pin_start(c + 1); ++k) {
+          net_stamp[db.pin_net(db.cell_pin_list()[k])] = stamp;
+        }
+        set.push_back(c);
+        used[idx] = 1;
+        return true;
+      };
+      try_add(seed);
+      for (std::size_t j = seed + 1;
+           j < cells.size() && static_cast<int>(set.size()) < max_set; ++j) {
+        if (!used[j]) try_add(j);
+      }
+      const int n = static_cast<int>(set.size());
+      if (n < 2) continue;
+
+      // Slots = current positions of the set. cost[i][j] = HPWL of cell i's
+      // nets with cell i at slot j (exact because the set is independent).
+      std::vector<double> slot_x(n), slot_y(n);
+      for (int i = 0; i < n; ++i) {
+        slot_x[i] = db.x(set[i]);
+        slot_y[i] = db.y(set[i]);
+      }
+      std::vector<double> cost(static_cast<std::size_t>(n) * n);
+      for (int i = 0; i < n; ++i) {
+        const std::uint32_t c = set[i];
+        const double sx = db.x(c), sy = db.y(c);
+        for (int j = 0; j < n; ++j) {
+          db.set_position(c, slot_x[j], slot_y[j]);
+          cost[static_cast<std::size_t>(i) * n + j] = eval.cell_net_hpwl(c);
+        }
+        db.set_position(c, sx, sy);
+      }
+      const std::vector<int> assign = hungarian(cost, n);
+      // Apply only if strictly better than identity.
+      double identity = 0.0, best = 0.0;
+      for (int i = 0; i < n; ++i) {
+        identity += cost[static_cast<std::size_t>(i) * n + i];
+        best += cost[static_cast<std::size_t>(i) * n + assign[i]];
+      }
+      if (best < identity - 1e-9) {
+        for (int i = 0; i < n; ++i) {
+          db.set_position(set[i], slot_x[assign[i]], slot_y[assign[i]]);
+        }
+        ++stats.moves_accepted;
+      }
+    }
+  }
+
+  stats.hpwl_after = db.hpwl();
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+}  // namespace xplace::dp

@@ -1,0 +1,18 @@
+// Independent-set matching (the core move of ABCDPlace): take a set of
+// equal-width cells that share no nets, treat their current slots as
+// interchangeable positions, and solve the optimal reassignment as a linear
+// assignment problem. Because the set is independent, per-(cell, slot) costs
+// are exact and the Hungarian solution is globally optimal for the set.
+#pragma once
+
+#include "db/database.h"
+#include "dp/local_reorder.h"  // PassStats
+
+namespace xplace::dp {
+
+/// One ISM sweep. Cells are bucketed by width; maximal independent sets of up
+/// to `max_set` cells are formed greedily by spatial proximity and reassigned
+/// optimally. Returns pass statistics.
+PassStats ism_pass(db::Database& db, int max_set = 16);
+
+}  // namespace xplace::dp

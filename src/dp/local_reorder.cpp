@@ -1,0 +1,105 @@
+#include "dp/local_reorder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "dp/hpwl_eval.h"
+#include "lg/row_map.h"
+#include "util/timer.h"
+
+namespace xplace::dp {
+
+PassStats local_reorder_pass(db::Database& db, int window) {
+  Stopwatch watch;
+  PassStats stats;
+  stats.hpwl_before = db.hpwl();
+
+  lg::RowMap rows(db);
+  HpwlEval eval(db);
+
+  // Group movable cells by row, sorted by x.
+  std::vector<std::vector<std::uint32_t>> per_row(rows.num_rows());
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    per_row[rows.nearest_row(db.y(c))].push_back(static_cast<std::uint32_t>(c));
+  }
+
+  std::vector<std::uint32_t> win(window);
+  std::vector<int> perm(window), best_perm(window);
+  std::vector<double> save_x(window);
+
+  for (std::size_t row = 0; row < per_row.size(); ++row) {
+    auto& cells = per_row[row];
+    std::sort(cells.begin(), cells.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return db.x(a) < db.x(b);
+    });
+    if (static_cast<int>(cells.size()) < window) continue;
+    const auto& segs = rows.segments(row);
+    auto segment_of = [&](double x) -> int {
+      for (std::size_t s = 0; s < segs.size(); ++s) {
+        if (x >= segs[s].lx - 1e-9 && x <= segs[s].hx + 1e-9)
+          return static_cast<int>(s);
+      }
+      return -1;
+    };
+    for (std::size_t start = 0; start + window <= cells.size(); ++start) {
+      for (int k = 0; k < window; ++k) {
+        win[k] = cells[start + k];
+        save_x[k] = db.x(win[k]);
+      }
+      // Window cells must lie in one segment: repacking may not cross a
+      // blockage.
+      const double left = db.x(win[0]) - db.width(win[0]) * 0.5;
+      const double right =
+          db.x(win[window - 1]) + db.width(win[window - 1]) * 0.5;
+      if (segment_of(left) < 0 || segment_of(left) != segment_of(right)) continue;
+      double total_w = 0.0;
+      for (int k = 0; k < window; ++k) total_w += db.width(win[k]);
+      if (total_w > right - left + 1e-9) continue;  // shouldn't happen (legal)
+
+      const double before = eval.cells_net_hpwl(win.data(), win.size());
+      std::iota(perm.begin(), perm.end(), 0);
+      double best_delta = -1e-9;
+      bool found = false;
+      // Try all permutations except identity.
+      std::vector<int> p(perm);
+      while (std::next_permutation(p.begin(), p.end())) {
+        double x = left;
+        for (int k = 0; k < window; ++k) {
+          const std::uint32_t cell = win[p[k]];
+          db.set_position(cell, x + db.width(cell) * 0.5, db.y(cell));
+          x += db.width(cell);
+        }
+        const double after = eval.cells_net_hpwl(win.data(), win.size());
+        const double delta = after - before;
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_perm = p;
+          found = true;
+        }
+      }
+      if (found) {
+        double x = left;
+        for (int k = 0; k < window; ++k) {
+          const std::uint32_t cell = win[best_perm[k]];
+          db.set_position(cell, x + db.width(cell) * 0.5, db.y(cell));
+          x += db.width(cell);
+        }
+        // Keep the per-row x order consistent with positions.
+        std::sort(cells.begin() + start, cells.begin() + start + window,
+                  [&](std::uint32_t a, std::uint32_t b) { return db.x(a) < db.x(b); });
+        ++stats.moves_accepted;
+      } else {
+        for (int k = 0; k < window; ++k) {
+          db.set_position(win[k], save_x[k], db.y(win[k]));
+        }
+      }
+    }
+  }
+
+  stats.hpwl_after = db.hpwl();
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+}  // namespace xplace::dp

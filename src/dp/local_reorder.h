@@ -1,0 +1,22 @@
+// Local reordering: slide a window of k consecutive cells along each row and
+// try every permutation, repacking the permuted cells from the window start
+// (total width is preserved, so legality is maintained; slack moves to the
+// window's right edge). The classic cheap DP pass in NTUPlace/ABCDPlace.
+#pragma once
+
+#include "db/database.h"
+
+namespace xplace::dp {
+
+struct PassStats {
+  double hpwl_before = 0.0;
+  double hpwl_after = 0.0;
+  std::size_t moves_accepted = 0;
+  double seconds = 0.0;
+};
+
+/// One sweep over all rows with the given window size (3 or 4 are typical).
+/// Returns accepted-move statistics; the database is updated in place.
+PassStats local_reorder_pass(db::Database& db, int window);
+
+}  // namespace xplace::dp

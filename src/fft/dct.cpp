@@ -1,0 +1,159 @@
+#include "fft/dct.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numbers>
+
+#include "fft/fft.h"
+
+namespace xplace::fft {
+namespace {
+
+/// Phase factors e^{-iπk/(2N)} for the Makhoul DCT-II post-twiddle, cached per
+/// size (the inverse uses their conjugates).
+const std::vector<Complex>& dct_phases(std::size_t n) {
+  static std::map<std::size_t, std::vector<Complex>> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  std::vector<Complex> ph(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = -std::numbers::pi * static_cast<double>(k) /
+                       (2.0 * static_cast<double>(n));
+    ph[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+  return cache.emplace(n, std::move(ph)).first->second;
+}
+
+/// Scratch buffers reused across calls to avoid per-transform allocation.
+/// thread_local so the thread pool can run row transforms concurrently.
+/// idct uses tl_cbuf + tl_rbuf; idxst uses tl_sbuf so that its call into
+/// idct never aliases its own scratch.
+thread_local std::vector<Complex> tl_cbuf;
+thread_local std::vector<double> tl_rbuf;
+thread_local std::vector<double> tl_sbuf;
+
+}  // namespace
+
+// Makhoul's N-point algorithm: reorder x into even indices ascending followed
+// by odd indices descending, take an N-point complex FFT, then rotate.
+void dct(double* x, std::size_t n) {
+  assert(is_pow2(n));
+  if (n == 1) return;
+  auto& v = tl_cbuf;
+  v.resize(n);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    v[i] = Complex(x[2 * i], 0.0);
+    v[n - 1 - i] = Complex(x[2 * i + 1], 0.0);
+  }
+  fft(v.data(), n);
+  const auto& ph = dct_phases(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    x[k] = (v[k] * ph[k]).real();
+  }
+}
+
+// Inverse of the above: rebuild the complex spectrum from the real DCT
+// coefficients (V_0 = X_0, V_k = e^{iπk/(2N)} (X_k - i X_{N-k})), inverse FFT,
+// and de-interleave.
+void idct(double* x, std::size_t n) {
+  assert(is_pow2(n));
+  if (n == 1) return;
+  auto& v = tl_cbuf;
+  v.resize(n);
+  const auto& ph = dct_phases(n);
+  v[0] = Complex(x[0], 0.0);
+  for (std::size_t k = 1; k < n; ++k) {
+    // conj(ph[k]) = e^{+iπk/(2N)}.
+    v[k] = std::conj(ph[k]) * Complex(x[k], -x[n - k]);
+  }
+  ifft(v.data(), n);
+  auto& out = tl_rbuf;
+  out.resize(n);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    out[2 * i] = v[i].real();
+    out[2 * i + 1] = v[n - 1 - i].real();
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] = out[i];
+}
+
+// Sine synthesis via the DCT-III identity
+//   Σ_k α_k X_k sin(πk(2n+1)/(2N)) = (-1)^n · idct(d)_n,
+// where d_0 = 0 and d_j = X_{N-j}.
+void idxst(double* x, std::size_t n) {
+  assert(is_pow2(n));
+  if (n == 1) {
+    x[0] = 0.0;  // k=0 sine term vanishes
+    return;
+  }
+  auto& d = tl_sbuf;
+  d.resize(n);
+  d[0] = 0.0;
+  for (std::size_t j = 1; j < n; ++j) d[j] = x[n - j];
+  idct(d.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = (i & 1) ? -d[i] : d[i];
+  }
+}
+
+namespace {
+
+/// Applies a 1-D in-place transform along both dims of a row-major array.
+template <typename Fn0, typename Fn1>
+void separable2(double* data, std::size_t rows, std::size_t cols, Fn0 along_rows,
+                Fn1 along_cols) {
+  // Dimension 1 (contiguous): transform each row.
+  for (std::size_t r = 0; r < rows; ++r) along_cols(data + r * cols, cols);
+  // Dimension 0 (strided): gather each column, transform, scatter back.
+  std::vector<double> col(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) col[r] = data[r * cols + c];
+    along_rows(col.data(), rows);
+    for (std::size_t r = 0; r < rows; ++r) data[r * cols + c] = col[r];
+  }
+}
+
+}  // namespace
+
+namespace {
+// Disambiguated wrappers (dct/idct also have vector overloads).
+const auto kDct = [](double* p, std::size_t n) { dct(p, n); };
+const auto kIdct = [](double* p, std::size_t n) { idct(p, n); };
+const auto kIdxst = [](double* p, std::size_t n) { idxst(p, n); };
+}  // namespace
+
+void dct2(double* data, std::size_t rows, std::size_t cols) {
+  separable2(data, rows, cols, kDct, kDct);
+}
+
+void idct2(double* data, std::size_t rows, std::size_t cols) {
+  separable2(data, rows, cols, kIdct, kIdct);
+}
+
+void idxst_idct(double* data, std::size_t rows, std::size_t cols) {
+  separable2(data, rows, cols, kIdxst, kIdct);
+}
+
+void idct_idxst(double* data, std::size_t rows, std::size_t cols) {
+  separable2(data, rows, cols, kIdct, kIdxst);
+}
+
+std::vector<double> dct(const std::vector<double>& x) {
+  std::vector<double> y = x;
+  dct(y.data(), y.size());
+  return y;
+}
+
+std::vector<double> idct(const std::vector<double>& x) {
+  std::vector<double> y = x;
+  idct(y.data(), y.size());
+  return y;
+}
+
+std::vector<double> idxst(const std::vector<double>& x) {
+  std::vector<double> y = x;
+  idxst(y.data(), y.size());
+  return y;
+}
+
+}  // namespace xplace::fft

@@ -1,0 +1,115 @@
+#include "fft/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numbers>
+
+namespace xplace::fft {
+namespace {
+
+/// Twiddle factors e^{-2πi k/n} for k in [0, n/2), cached per size.
+/// The cache lives for the process lifetime; sizes used are a handful of
+/// powers of two so the footprint is trivial.
+const std::vector<Complex>& twiddles(std::size_t n) {
+  static std::map<std::size_t, std::vector<Complex>> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  std::vector<Complex> tw(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    tw[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+  return cache.emplace(n, std::move(tw)).first->second;
+}
+
+void bit_reverse_permute(Complex* data, std::size_t n) {
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+}  // namespace
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(Complex* data, std::size_t n) {
+  assert(is_pow2(n));
+  if (n == 1) return;
+  bit_reverse_permute(data, n);
+  const auto& tw = twiddles(n);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t step = n / len;  // twiddle stride for this stage
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex w = tw[k * step];
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+      }
+    }
+  }
+}
+
+void ifft(Complex* data, std::size_t n) {
+  assert(is_pow2(n));
+  // Conjugate trick: ifft(x) = conj(fft(conj(x))) / n.
+  for (std::size_t i = 0; i < n; ++i) data[i] = std::conj(data[i]);
+  fft(data, n);
+  const double inv = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = std::conj(data[i]) * inv;
+}
+
+std::vector<Complex> fft(const std::vector<Complex>& x) {
+  std::vector<Complex> y = x;
+  fft(y.data(), y.size());
+  return y;
+}
+
+std::vector<Complex> ifft(const std::vector<Complex>& x) {
+  std::vector<Complex> y = x;
+  ifft(y.data(), y.size());
+  return y;
+}
+
+void fft2(Complex* data, std::size_t rows, std::size_t cols) {
+  assert(is_pow2(rows) && is_pow2(cols));
+  for (std::size_t r = 0; r < rows; ++r) fft(data + r * cols, cols);
+  std::vector<Complex> col(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) col[r] = data[r * cols + c];
+    fft(col.data(), rows);
+    for (std::size_t r = 0; r < rows; ++r) data[r * cols + c] = col[r];
+  }
+}
+
+void ifft2(Complex* data, std::size_t rows, std::size_t cols) {
+  assert(is_pow2(rows) && is_pow2(cols));
+  for (std::size_t r = 0; r < rows; ++r) ifft(data + r * cols, cols);
+  std::vector<Complex> col(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) col[r] = data[r * cols + c];
+    ifft(col.data(), rows);
+    for (std::size_t r = 0; r < rows; ++r) data[r * cols + c] = col[r];
+  }
+}
+
+std::vector<Complex> rfft(const std::vector<double>& x) {
+  std::vector<Complex> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = Complex(x[i], 0.0);
+  fft(y.data(), y.size());
+  return y;
+}
+
+}  // namespace xplace::fft

@@ -1,0 +1,71 @@
+#include "fft/reference.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace xplace::fft::reference {
+
+std::vector<std::complex<double>> dft(
+    const std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * i) /
+                         static_cast<double>(n);
+      acc += x[i] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> dct2_naive_1d(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<double> out(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += x[i] * std::cos(std::numbers::pi * static_cast<double>(k) *
+                             (2.0 * static_cast<double>(i) + 1.0) /
+                             (2.0 * static_cast<double>(n)));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> idct_naive_1d(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = x[0];
+    for (std::size_t k = 1; k < n; ++k) {
+      acc += 2.0 * x[k] *
+             std::cos(std::numbers::pi * static_cast<double>(k) *
+                      (2.0 * static_cast<double>(i) + 1.0) /
+                      (2.0 * static_cast<double>(n)));
+    }
+    out[i] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<double> idxst_naive_1d(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 1; k < n; ++k) {
+      acc += 2.0 * x[k] *
+             std::sin(std::numbers::pi * static_cast<double>(k) *
+                      (2.0 * static_cast<double>(i) + 1.0) /
+                      (2.0 * static_cast<double>(n)));
+    }
+    out[i] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace xplace::fft::reference

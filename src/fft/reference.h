@@ -1,0 +1,21 @@
+// Naive O(N²) reference transforms used only by tests to validate the fast
+// FFT/DCT implementations.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace xplace::fft::reference {
+
+std::vector<std::complex<double>> dft(const std::vector<std::complex<double>>& x);
+
+/// X_k = Σ_n x_n cos(πk(2n+1)/(2N))  (unnormalized DCT-II).
+std::vector<double> dct2_naive_1d(const std::vector<double>& x);
+
+/// Exact inverse of dct2_naive_1d: x_n = (1/N)(X_0 + 2 Σ_{k≥1} X_k cos(...)).
+std::vector<double> idct_naive_1d(const std::vector<double>& x);
+
+/// y_n = Σ_k α_k X_k sin(πk(2n+1)/(2N)) with α_0 = 1/N, α_{k>0} = 2/N.
+std::vector<double> idxst_naive_1d(const std::vector<double>& x);
+
+}  // namespace xplace::fft::reference

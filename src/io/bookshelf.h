@@ -1,0 +1,40 @@
+// GSRC Bookshelf format reader/writer (the ISPD 2005 contest interchange
+// format: .aux, .nodes, .nets, .wts, .pl, .scl).
+//
+// The reader accepts the conventions used by the ISPD 2005 suite:
+//   * .nodes   "name width height [terminal]"
+//   * .nets    "NetDegree : k [name]" followed by "cell I/O/B : ox oy" pin
+//              lines with offsets measured from the *cell center*
+//   * .pl      "name x y : orient [/FIXED]" with (x, y) the *lower-left* corner
+//   * .scl     CoreRow blocks
+// Comments (#...) and blank lines are ignored everywhere.
+//
+// The writer emits files the reader round-trips exactly (modulo float
+// formatting), so placements can be exchanged with external bookshelf tools.
+#pragma once
+
+#include <string>
+
+#include "db/database.h"
+
+namespace xplace::io {
+
+/// Parse a design given the path to its .aux file. Throws std::runtime_error
+/// with a file/line diagnostic on malformed input. The returned database is
+/// finalized (fillers not inserted).
+db::Database read_bookshelf_aux(const std::string& aux_path);
+
+/// Write a complete bookshelf design (aux/nodes/nets/wts/pl/scl) under
+/// `directory` with file stem `design`.
+void write_bookshelf(const db::Database& db, const std::string& directory,
+                     const std::string& design);
+
+/// Write only a .pl file with the database's current positions (the usual way
+/// to hand a GP/LG/DP result to downstream tools).
+void write_pl(const db::Database& db, const std::string& path);
+
+/// Overwrite positions in `db` from a .pl file (cells matched by name;
+/// unknown names are an error).
+void read_pl_into(db::Database& db, const std::string& path);
+
+}  // namespace xplace::io

@@ -1,0 +1,151 @@
+#include "io/plot.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace xplace::io {
+
+void write_placement_svg(const db::Database& db, const std::string& path,
+                         const SvgOptions& opts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write '" + path + "'");
+  const auto& r = db.region();
+  const double scale = opts.canvas / std::max(r.width(), r.height());
+  const double w = r.width() * scale, h = r.height() * scale;
+  // SVG y grows downward; flip so the die's +y is up.
+  auto X = [&](double x) { return (x - r.lx) * scale; };
+  auto Y = [&](double y) { return h - (y - r.ly) * scale; };
+
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w << "' height='"
+      << h << "' viewBox='0 0 " << w << " " << h << "'>\n";
+  out << "<rect x='0' y='0' width='" << w << "' height='" << h
+      << "' fill='#f8f8f8' stroke='#333'/>\n";
+
+  // Rows (light horizontal bands).
+  for (const db::Row& row : db.rows()) {
+    out << "<rect x='" << X(row.lx) << "' y='" << Y(row.hy()) << "' width='"
+        << (row.hx() - row.lx) * scale << "' height='" << row.height * scale
+        << "' fill='none' stroke='#dddddd' stroke-width='0.3'/>\n";
+  }
+
+  // Fence regions (dashed outlines).
+  for (const db::FenceRegion& f : db.fences()) {
+    out << "<rect x='" << X(f.rect.lx) << "' y='" << Y(f.rect.hy) << "' width='"
+        << f.rect.width() * scale << "' height='" << f.rect.height() * scale
+        << "' fill='#33aacc' fill-opacity='0.08' stroke='#1177aa' "
+           "stroke-width='1.2' stroke-dasharray='6,3'/>\n";
+  }
+
+  // Fixed cells (macros + pads).
+  for (std::size_t c = db.num_movable(); c < db.num_physical(); ++c) {
+    const RectD b = db.cell_rect(c);
+    out << "<rect x='" << X(b.lx) << "' y='" << Y(b.hy) << "' width='"
+        << b.width() * scale << "' height='" << b.height() * scale
+        << "' fill='#8888aa' fill-opacity='0.8' stroke='#444'/>\n";
+  }
+
+  // Movable cells.
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    const RectD b = db.cell_rect(c);
+    out << "<rect x='" << X(b.lx) << "' y='" << Y(b.hy) << "' width='"
+        << std::max(0.5, b.width() * scale) << "' height='"
+        << std::max(0.5, b.height() * scale)
+        << "' fill='#cc3333' fill-opacity='0.6'/>\n";
+  }
+
+  if (opts.draw_fillers) {
+    for (std::size_t c = db.num_physical(); c < db.num_cells_total(); ++c) {
+      const RectD b = db.cell_rect(c);
+      out << "<rect x='" << X(b.lx) << "' y='" << Y(b.hy) << "' width='"
+          << b.width() * scale << "' height='" << b.height() * scale
+          << "' fill='#33aa33' fill-opacity='0.25'/>\n";
+    }
+  }
+
+  if (opts.draw_nets) {
+    std::size_t drawn = 0;
+    for (std::size_t e = 0; e < db.num_nets() && drawn < opts.max_nets; ++e) {
+      if (db.net_degree(e) < 2) continue;
+      double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+      for (std::size_t p = db.net_pin_start(e); p < db.net_pin_start(e + 1); ++p) {
+        const std::size_t c = db.pin_cell(p);
+        const double px = db.x(c) + db.pin_offset_x(p);
+        const double py = db.y(c) + db.pin_offset_y(p);
+        min_x = std::min(min_x, px);
+        max_x = std::max(max_x, px);
+        min_y = std::min(min_y, py);
+        max_y = std::max(max_y, py);
+      }
+      out << "<rect x='" << X(min_x) << "' y='" << Y(max_y) << "' width='"
+          << (max_x - min_x) * scale << "' height='" << (max_y - min_y) * scale
+          << "' fill='none' stroke='#3366cc' stroke-opacity='0.3' "
+             "stroke-width='0.4'/>\n";
+      ++drawn;
+    }
+  }
+  out << "</svg>\n";
+}
+
+namespace {
+
+void write_ppm(const std::string& path, int m,
+               const std::vector<std::array<unsigned char, 3>>& pixels) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write '" + path + "'");
+  out << "P6\n" << m << " " << m << "\n255\n";
+  // Image rows top-to-bottom = map y descending; map is x-major so pixel
+  // (row=iy from top, col=ix) reads map[ix*m + (m-1-row)].
+  for (int row = 0; row < m; ++row) {
+    for (int ix = 0; ix < m; ++ix) {
+      const auto& px = pixels[static_cast<std::size_t>(ix) * m + (m - 1 - row)];
+      out.write(reinterpret_cast<const char*>(px.data()), 3);
+    }
+  }
+}
+
+}  // namespace
+
+void write_density_ppm(const std::vector<double>& map, int m,
+                       const std::string& path) {
+  double lo = 1e300, hi = -1e300;
+  for (double v : map) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo > 1e-30 ? hi - lo : 1.0;
+  std::vector<std::array<unsigned char, 3>> pixels(map.size());
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    const double t = (map[i] - lo) / span;
+    // Black (empty) → yellow → white (hot).
+    const auto ch = [&](double x) {
+      return static_cast<unsigned char>(std::clamp(x, 0.0, 1.0) * 255.0);
+    };
+    pixels[i] = {ch(t * 1.5), ch(t * 1.2), ch(t * t)};
+  }
+  write_ppm(path, m, pixels);
+}
+
+void write_signed_map_ppm(const std::vector<double>& map, int m,
+                          const std::string& path) {
+  double amax = 1e-30;
+  for (double v : map) amax = std::max(amax, std::fabs(v));
+  std::vector<std::array<unsigned char, 3>> pixels(map.size());
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    const double t = std::clamp(map[i] / amax, -1.0, 1.0);
+    // Blue (negative) — white (zero) — red (positive).
+    const auto ch = [](double x) {
+      return static_cast<unsigned char>(std::clamp(x, 0.0, 1.0) * 255.0);
+    };
+    if (t >= 0) {
+      pixels[i] = {255, ch(1.0 - t), ch(1.0 - t)};
+    } else {
+      pixels[i] = {ch(1.0 + t), ch(1.0 + t), 255};
+    }
+  }
+  write_ppm(path, m, pixels);
+}
+
+}  // namespace xplace::io

@@ -1,0 +1,35 @@
+// Placement visualization: SVG layout plots and PPM density heatmaps.
+//
+// These are debugging/reporting utilities: `write_placement_svg` draws the
+// die, rows, fixed macros and movable cells (colored by size class);
+// `write_density_ppm` renders an M×M density or field map as a grayscale /
+// diverging-color image. Both formats are plain text/binary with no external
+// dependencies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace xplace::io {
+
+struct SvgOptions {
+  double canvas = 1000.0;     ///< longest canvas side in px
+  bool draw_fillers = false;
+  bool draw_nets = false;     ///< net bounding boxes (slow for big designs)
+  std::size_t max_nets = 500;
+};
+
+void write_placement_svg(const db::Database& db, const std::string& path,
+                         const SvgOptions& opts = {});
+
+/// Grayscale PPM of a row-major m×m map (x-major like ops::DensityGrid);
+/// values are min-max normalized. For signed maps (fields) use
+/// `write_signed_map_ppm`, which renders a blue-white-red diverging scale.
+void write_density_ppm(const std::vector<double>& map, int m,
+                       const std::string& path);
+void write_signed_map_ppm(const std::vector<double>& map, int m,
+                          const std::string& path);
+
+}  // namespace xplace::io

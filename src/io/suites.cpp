@@ -1,0 +1,100 @@
+#include "io/suites.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xplace::io {
+
+namespace {
+// Structural knobs per design family:
+//  * adaptec/bigblue (ISPD 2005): moderate utilization, visible macro blocks.
+//  * fft/matrix_mult/des_perf/edit_dist/pci_bridge (ISPD 2015): small-to-mid
+//    blocks with denser utilization.
+//  * superblue (ISPD 2015): large dies, lower utilization, many macros.
+constexpr double kUtil2005 = 0.55;
+constexpr double kMacro2005 = 0.18;
+constexpr double kDens2005 = 0.90;
+constexpr double kUtil2015 = 0.62;
+constexpr double kMacro2015 = 0.10;
+constexpr double kDens2015 = 0.85;
+constexpr double kUtilSuperblue = 0.50;
+constexpr double kMacroSuperblue = 0.20;
+}  // namespace
+
+const std::vector<SuiteEntry>& ispd2005_suite() {
+  static const std::vector<SuiteEntry> suite = {
+      {"adaptec1", 211000, 221000, kUtil2005, kMacro2005, kDens2005},
+      {"adaptec2", 255000, 266000, kUtil2005, kMacro2005, kDens2005},
+      {"adaptec3", 452000, 467000, kUtil2005, kMacro2005, kDens2005},
+      {"adaptec4", 496000, 516000, kUtil2005, kMacro2005, kDens2005},
+      {"bigblue1", 278000, 284000, kUtil2005, kMacro2005, kDens2005},
+      {"bigblue2", 558000, 577000, kUtil2005, kMacro2005, kDens2005},
+      {"bigblue3", 1097000, 1123000, kUtil2005, kMacro2005, kDens2005},
+      {"bigblue4", 2177000, 2230000, kUtil2005, kMacro2005, kDens2005},
+  };
+  return suite;
+}
+
+const std::vector<SuiteEntry>& ispd2015_suite() {
+  static const std::vector<SuiteEntry> suite = {
+      {"des_perf_1", 113000, 113000, kUtil2015, kMacro2015, kDens2015},
+      {"fft_1", 35000, 33000, kUtil2015, kMacro2015, kDens2015},
+      {"fft_2", 35000, 33000, kUtil2015, kMacro2015, kDens2015},
+      {"fft_a", 34000, 32000, kUtil2015, kMacro2015, kDens2015},
+      {"fft_b", 34000, 32000, kUtil2015, kMacro2015, kDens2015},
+      {"matrix_mult_1", 160000, 159000, kUtil2015, kMacro2015, kDens2015},
+      {"matrix_mult_2", 160000, 159000, kUtil2015, kMacro2015, kDens2015},
+      {"matrix_mult_a", 154000, 154000, kUtil2015, kMacro2015, kDens2015},
+      {"superblue12", 1293000, 1293000, kUtilSuperblue, kMacroSuperblue, kDens2015},
+      {"superblue14", 634000, 620000, kUtilSuperblue, kMacroSuperblue, kDens2015},
+      {"superblue19", 522000, 512000, kUtilSuperblue, kMacroSuperblue, kDens2015},
+      {"des_perf_a", 108000, 115000, kUtil2015, kMacro2015, kDens2015},
+      {"des_perf_b", 113000, 113000, kUtil2015, kMacro2015, kDens2015},
+      {"edit_dist_a", 127000, 134000, kUtil2015, kMacro2015, kDens2015},
+      {"matrix_mult_b", 146000, 152000, kUtil2015, kMacro2015, kDens2015},
+      {"matrix_mult_c", 146000, 152000, kUtil2015, kMacro2015, kDens2015},
+      {"pci_bridge32_a", 30000, 34000, kUtil2015, kMacro2015, kDens2015},
+      {"pci_bridge32_b", 29000, 33000, kUtil2015, kMacro2015, kDens2015},
+      {"superblue11_a", 926000, 936000, kUtilSuperblue, kMacroSuperblue, kDens2015},
+      {"superblue16_a", 680000, 697000, kUtilSuperblue, kMacroSuperblue, kDens2015},
+  };
+  return suite;
+}
+
+const SuiteEntry& find_suite_entry(const std::string& design) {
+  for (const auto& e : ispd2005_suite()) {
+    if (e.design == design) return e;
+  }
+  for (const auto& e : ispd2015_suite()) {
+    if (e.design == design) return e;
+  }
+  throw std::invalid_argument("unknown suite design '" + design + "'");
+}
+
+db::Database make_design(const SuiteEntry& entry, double scale) {
+  if (scale < 1.0) throw std::invalid_argument("scale must be >= 1");
+  GeneratorSpec spec;
+  spec.name = entry.design;
+  spec.num_cells = std::max<std::size_t>(
+      500, static_cast<std::size_t>(std::llround(entry.paper_cells / scale)));
+  spec.num_nets = std::max<std::size_t>(
+      500, static_cast<std::size_t>(std::llround(entry.paper_nets / scale)));
+  spec.utilization = entry.utilization;
+  spec.macro_area_fraction = entry.macro_fraction;
+  spec.target_density = entry.target_density;
+  // Macro count scales sublinearly with design size.
+  spec.num_macros = static_cast<int>(
+      std::clamp(std::sqrt(static_cast<double>(spec.num_cells)) / 12.0, 4.0, 24.0));
+  spec.num_io_pads = 64;
+  // Seed derived from the design name so every design is distinct but stable.
+  std::uint64_t seed = 1469598103934665603ULL;
+  for (char c : entry.design) {
+    seed ^= static_cast<unsigned char>(c);
+    seed *= 1099511628211ULL;
+  }
+  spec.seed = seed;
+  return generate(spec);
+}
+
+}  // namespace xplace::io

@@ -1,0 +1,45 @@
+// The ISPD 2005 and ISPD 2015 contest suites as synthetic stand-ins.
+//
+// Table 1 of the paper lists per-design cell/net counts; this module exposes
+// those suites with a `scale` factor (cells and nets divided by `scale`) so
+// the full evaluation tables can be regenerated at CPU-friendly sizes while
+// preserving each design's relative size and structure class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "io/generator.h"
+
+namespace xplace::io {
+
+struct SuiteEntry {
+  std::string design;
+  std::size_t paper_cells;  ///< #cells from Table 1 (thousands expanded)
+  std::size_t paper_nets;   ///< #nets from Table 1
+  double utilization;       ///< structural class knob
+  double macro_fraction;    ///< fixed macro coverage
+  double target_density;
+};
+
+/// The 8 ISPD 2005 designs (adaptec1..bigblue4) as listed in Table 1.
+const std::vector<SuiteEntry>& ispd2005_suite();
+
+/// The 20 ISPD 2015 designs as listed in Table 1 (fence regions removed, as
+/// in the paper).
+const std::vector<SuiteEntry>& ispd2015_suite();
+
+/// Look up an entry by design name across both suites; throws if unknown.
+const SuiteEntry& find_suite_entry(const std::string& design);
+
+/// Instantiate one suite design at 1/scale of its paper size. Deterministic:
+/// the same (design, scale) always yields the same netlist.
+db::Database make_design(const SuiteEntry& entry, double scale);
+
+inline db::Database make_design(const std::string& design, double scale) {
+  return make_design(find_suite_entry(design), scale);
+}
+
+}  // namespace xplace::io

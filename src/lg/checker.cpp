@@ -1,0 +1,110 @@
+#include "lg/checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "lg/row_map.h"
+
+namespace xplace::lg {
+
+std::string LegalityReport::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "legal=%d overlaps=%zu out_of_row=%zu off_site=%zu "
+                "outside=%zu on_blockage=%zu fence=%zu",
+                legal() ? 1 : 0, overlaps, out_of_row, off_site,
+                outside_region, on_blockage, fence_violations);
+  return buf;
+}
+
+LegalityReport check_legality(const db::Database& db) {
+  LegalityReport rep;
+  RowMap rows(db);
+  const double tol = 1e-6;
+  auto note = [&](const std::string& msg) {
+    if (rep.samples.size() < 10) rep.samples.push_back(msg);
+  };
+
+  // Per-cell structural checks.
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    const RectD r = db.cell_rect(c);
+    if (r.lx < db.region().lx - tol || r.hx > db.region().hx + tol ||
+        r.ly < db.region().ly - tol || r.hy > db.region().hy + tol) {
+      ++rep.outside_region;
+      note("outside: " + db.cell_name(c));
+    }
+    const std::size_t row = rows.nearest_row(db.y(c));
+    if (std::fabs(r.ly - rows.row_y(row)) > tol ||
+        std::fabs(db.height(c) - rows.row_height()) > tol) {
+      ++rep.out_of_row;
+      note("row-misaligned: " + db.cell_name(c));
+      continue;
+    }
+    const double site = rows.row(row).site_width;
+    const double frac = (r.lx - rows.row(row).lx) / site;
+    if (std::fabs(frac - std::round(frac)) > 1e-4) {
+      ++rep.off_site;
+      note("off-site: " + db.cell_name(c));
+    }
+  }
+
+  // Pairwise overlap via per-row sweep.
+  std::vector<std::vector<std::uint32_t>> per_row(rows.num_rows());
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    per_row[rows.nearest_row(db.y(c))].push_back(static_cast<std::uint32_t>(c));
+  }
+  for (auto& cells : per_row) {
+    std::sort(cells.begin(), cells.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return db.x(a) - db.width(a) * 0.5 < db.x(b) - db.width(b) * 0.5;
+    });
+    for (std::size_t i = 1; i < cells.size(); ++i) {
+      const double prev_end = db.x(cells[i - 1]) + db.width(cells[i - 1]) * 0.5;
+      const double cur_start = db.x(cells[i]) - db.width(cells[i]) * 0.5;
+      if (cur_start < prev_end - tol) {
+        ++rep.overlaps;
+        note("overlap: " + db.cell_name(cells[i - 1]) + " / " +
+             db.cell_name(cells[i]));
+      }
+    }
+  }
+
+  // Fence-region constraints.
+  if (db.has_fences()) {
+    for (std::size_t c = 0; c < db.num_movable(); ++c) {
+      const RectD cr = db.cell_rect(c);
+      const int fence = db.cell_fence(c);
+      if (fence >= 0) {
+        const RectD& fr = db.fences()[fence].rect;
+        if (cr.overlap_area(fr) < cr.area() - tol) {
+          ++rep.fence_violations;
+          note("fence-escape: " + db.cell_name(c));
+        }
+      } else {
+        for (const db::FenceRegion& f : db.fences()) {
+          if (cr.overlap_area(f.rect) > tol) {
+            ++rep.fence_violations;
+            note("fence-intrusion: " + db.cell_name(c));
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Blockage overlap (against fixed cells with area).
+  for (std::size_t f = db.num_movable(); f < db.num_physical(); ++f) {
+    const RectD b = db.cell_rect(f);
+    if (b.area() <= 0.0) continue;
+    for (std::size_t c = 0; c < db.num_movable(); ++c) {
+      if (db.cell_rect(c).overlap_area(b) > tol) {
+        ++rep.on_blockage;
+        note("on-blockage: " + db.cell_name(c) + " on " + db.cell_name(f));
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace xplace::lg

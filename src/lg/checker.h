@@ -1,0 +1,30 @@
+// Legality checker: validates a placement against the row/site structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace xplace::lg {
+
+struct LegalityReport {
+  std::size_t overlaps = 0;          ///< pairwise overlapping movable cells
+  std::size_t out_of_row = 0;        ///< cells not aligned to a row
+  std::size_t off_site = 0;          ///< cells not aligned to the site grid
+  std::size_t outside_region = 0;    ///< cells poking out of the region
+  std::size_t on_blockage = 0;       ///< cells overlapping fixed cells
+  std::size_t fence_violations = 0;  ///< fenced cell outside its fence, or
+                                     ///< default cell overlapping a fence
+  std::vector<std::string> samples;  ///< up to 10 human-readable violations
+
+  bool legal() const {
+    return overlaps == 0 && out_of_row == 0 && off_site == 0 &&
+           outside_region == 0 && on_blockage == 0 && fence_violations == 0;
+  }
+  std::string summary() const;
+};
+
+LegalityReport check_legality(const db::Database& db);
+
+}  // namespace xplace::lg

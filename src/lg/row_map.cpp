@@ -1,0 +1,124 @@
+#include "lg/row_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xplace::lg {
+
+RowMap::RowMap(const db::Database& db) {
+  if (db.rows().empty()) {
+    throw std::invalid_argument("RowMap requires rows (.scl data)");
+  }
+  rows_ = db.rows();
+  std::sort(rows_.begin(), rows_.end(),
+            [](const db::Row& a, const db::Row& b) { return a.ly < b.ly; });
+  segs_.resize(rows_.size());
+
+  // Collect fixed-cell blockages.
+  std::vector<RectD> blockages;
+  for (std::size_t c = db.num_movable(); c < db.num_physical(); ++c) {
+    const RectD r = db.cell_rect(c);
+    if (r.area() > 0.0) blockages.push_back(r);
+  }
+
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const db::Row& row = rows_[r];
+    const double ry0 = row.ly, ry1 = row.hy();
+    // Blockage intervals within this row.
+    std::vector<std::pair<double, double>> blocked;
+    for (const RectD& b : blockages) {
+      if (b.ly < ry1 - 1e-9 && b.hy > ry0 + 1e-9) {
+        const double lo = std::max(b.lx, row.lx);
+        const double hi = std::min(b.hx, row.hx());
+        if (hi > lo) blocked.emplace_back(lo, hi);
+      }
+    }
+    std::sort(blocked.begin(), blocked.end());
+    double cursor = row.lx;
+    auto emit = [&](double lo, double hi) {
+      // Snap inward to the site grid.
+      const double slo =
+          row.lx + std::ceil((lo - row.lx) / row.site_width - 1e-9) * row.site_width;
+      const double shi =
+          row.lx + std::floor((hi - row.lx) / row.site_width + 1e-9) * row.site_width;
+      if (shi - slo >= row.site_width - 1e-9) {
+        segs_[r].push_back(Segment{slo, shi, static_cast<int>(r)});
+      }
+    };
+    for (const auto& [lo, hi] : blocked) {
+      if (lo > cursor) emit(cursor, lo);
+      cursor = std::max(cursor, hi);
+    }
+    if (cursor < row.hx()) emit(cursor, row.hx());
+  }
+
+  if (db.has_fences()) split_by_fences(db);
+}
+
+void RowMap::split_by_fences(const db::Database& db) {
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const db::Row& row = rows_[r];
+    const double ry0 = row.ly, ry1 = row.hy();
+    std::vector<Segment> out;
+    for (const Segment& seg : segs_[r]) {
+      // Breakpoints at fence x-boundaries that overlap this segment.
+      std::vector<double> cuts{seg.lx, seg.hx};
+      for (const db::FenceRegion& f : db.fences()) {
+        if (f.rect.hy <= ry0 + 1e-9 || f.rect.ly >= ry1 - 1e-9) continue;
+        for (double x : {f.rect.lx, f.rect.hx}) {
+          if (x > seg.lx + 1e-9 && x < seg.hx - 1e-9) cuts.push_back(x);
+        }
+      }
+      std::sort(cuts.begin(), cuts.end());
+      for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        double lo = cuts[i], hi = cuts[i + 1];
+        if (hi - lo < row.site_width * 0.5) continue;
+        const double mid = 0.5 * (lo + hi);
+        int label = -1;
+        bool usable = true;
+        for (std::size_t k = 0; k < db.fences().size(); ++k) {
+          const RectD& fr = db.fences()[k].rect;
+          if (mid <= fr.lx || mid >= fr.hx) continue;
+          if (fr.hy <= ry0 + 1e-9 || fr.ly >= ry1 - 1e-9) continue;
+          if (fr.ly <= ry0 + 1e-9 && fr.hy >= ry1 - 1e-9) {
+            label = static_cast<int>(k);  // row fully inside the fence's y-span
+          } else {
+            usable = false;  // partial vertical overlap: nobody can sit here
+          }
+          break;
+        }
+        if (!usable) continue;
+        // Snap inward to the site grid.
+        lo = row.lx + std::ceil((lo - row.lx) / row.site_width - 1e-9) * row.site_width;
+        hi = row.lx + std::floor((hi - row.lx) / row.site_width + 1e-9) * row.site_width;
+        if (hi - lo < row.site_width - 1e-9) continue;
+        out.push_back(Segment{lo, hi, static_cast<int>(r), label});
+      }
+    }
+    segs_[r] = std::move(out);
+  }
+}
+
+std::vector<Segment> RowMap::all_segments() const {
+  std::vector<Segment> out;
+  for (const auto& s : segs_) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+std::size_t RowMap::nearest_row(double y_center) const {
+  // Rows are uniform-height and sorted; binary search then clamp.
+  const double h = row_height();
+  if (h <= 0.0 || rows_.size() == 1) return 0;
+  const double rel = (y_center - rows_.front().ly) / h - 0.5;
+  const long idx = std::lround(rel);
+  return static_cast<std::size_t>(
+      std::clamp<long>(idx, 0, static_cast<long>(rows_.size()) - 1));
+}
+
+double RowMap::snap_x(std::size_t r, double x) const {
+  const db::Row& row = rows_[r];
+  return row.lx + std::floor((x - row.lx) / row.site_width + 1e-9) * row.site_width;
+}
+
+}  // namespace xplace::lg

@@ -1,0 +1,55 @@
+// Row/segment geometry for legalization and detailed placement.
+//
+// Each placement row is cut by fixed-cell (macro) blockages into free
+// *segments*; standard cells legalize into segments at site-aligned x
+// positions. This mirrors how NTUPlace3 / Abacus model the row structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "db/database.h"
+
+namespace xplace::lg {
+
+struct Segment {
+  double lx = 0.0;  ///< segment left edge (site-aligned)
+  double hx = 0.0;  ///< segment right edge
+  int row = 0;      ///< owning row index
+  /// Fence label: cells may only legalize into segments whose label equals
+  /// their fence id (-1 = the default region outside all fences).
+  int label = -1;
+
+  double width() const { return hx - lx; }
+};
+
+class RowMap {
+ public:
+  /// Builds segments from the database rows minus fixed-cell blockages.
+  /// Rows must exist; throws otherwise.
+  explicit RowMap(const db::Database& db);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const db::Row& row(std::size_t r) const { return rows_[r]; }
+  double row_y(std::size_t r) const { return rows_[r].ly; }
+  double row_height() const { return rows_.empty() ? 0.0 : rows_[0].height; }
+
+  /// Segments of one row, sorted by lx.
+  const std::vector<Segment>& segments(std::size_t r) const { return segs_[r]; }
+  /// All segments flattened (row-major).
+  std::vector<Segment> all_segments() const;
+
+  /// Row index whose vertical center is nearest to y (clamped).
+  std::size_t nearest_row(double y_center) const;
+
+  /// Snap an x coordinate to the site grid of row r (toward -inf).
+  double snap_x(std::size_t r, double x) const;
+
+ private:
+  void split_by_fences(const db::Database& db);
+
+  std::vector<db::Row> rows_;
+  std::vector<std::vector<Segment>> segs_;
+};
+
+}  // namespace xplace::lg

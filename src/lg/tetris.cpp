@@ -1,0 +1,123 @@
+#include "lg/tetris.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "lg/row_map.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xplace::lg {
+
+std::string LegalizeStats::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "hpwl %.6g -> %.6g (%+.2f%%), disp avg %.2f max %.2f, %.3fs, "
+                "failed %zu",
+                hpwl_before, hpwl_after,
+                hpwl_before > 0 ? (hpwl_after / hpwl_before - 1.0) * 100.0 : 0.0,
+                avg_displacement, max_displacement, seconds, failed_cells);
+  return buf;
+}
+
+LegalizeStats tetris_legalize(db::Database& db) {
+  Stopwatch watch;
+  LegalizeStats stats;
+  stats.hpwl_before = db.hpwl();
+
+  RowMap rows(db);
+  // Per-segment fill pointer (next free x).
+  std::vector<std::vector<double>> fill(rows.num_rows());
+  for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+    fill[r].resize(rows.segments(r).size());
+    for (std::size_t s = 0; s < rows.segments(r).size(); ++s) {
+      fill[r][s] = rows.segments(r)[s].lx;
+    }
+  }
+
+  // Process cells left-to-right by GP position (classic Tetris order).
+  std::vector<std::uint32_t> order(db.num_movable());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double ax = db.x(a) - db.width(a) * 0.5;
+    const double bx = db.x(b) - db.width(b) * 0.5;
+    return ax < bx || (ax == bx && a < b);
+  });
+
+  double total_disp = 0.0;
+  const double row_h = rows.row_height();
+  for (std::uint32_t cell : order) {
+    const double w = db.width(cell);
+    const double tx = db.x(cell) - w * 0.5;  // target left edge
+    const double ty = db.y(cell);
+    const std::size_t center_row = rows.nearest_row(ty);
+
+    double best_cost = std::numeric_limits<double>::max();
+    std::size_t best_row = 0, best_seg = 0;
+    double best_x = 0.0;
+
+    // Expand the row search window outward; stop once the vertical distance
+    // alone exceeds the best cost found.
+    const long nrows = static_cast<long>(rows.num_rows());
+    for (long d = 0; d < nrows; ++d) {
+      bool any_candidate_possible = false;
+      for (int sign = 0; sign < (d == 0 ? 1 : 2); ++sign) {
+        const long r = static_cast<long>(center_row) + (sign == 0 ? d : -d);
+        if (r < 0 || r >= nrows) continue;
+        const double dy = std::fabs(rows.row_y(r) + row_h * 0.5 - ty);
+        if (dy >= best_cost) continue;
+        any_candidate_possible = true;
+        const auto& segs = rows.segments(r);
+        for (std::size_t s = 0; s < segs.size(); ++s) {
+          const Segment& seg = segs[s];
+          if (seg.label != db.cell_fence(cell)) continue;  // fence mismatch
+          if (fill[r][s] + w > seg.hx + 1e-9) continue;  // segment full
+          // Inside fences, pack without gaps: fence segments are small and
+          // the gap-leaving greedy fragments them into infeasibility.
+          double x = seg.label >= 0 ? fill[r][s]
+                                    : std::max(fill[r][s], rows.snap_x(r, tx));
+          if (x + w > seg.hx) x = std::max(fill[r][s], rows.snap_x(r, seg.hx - w));
+          if (x + w > seg.hx + 1e-9) continue;
+          const double cost = std::fabs(x - tx) + dy;
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_row = static_cast<std::size_t>(r);
+            best_seg = s;
+            best_x = x;
+          }
+        }
+      }
+      if (!any_candidate_possible && d > 0 &&
+          d * row_h > best_cost) {
+        break;
+      }
+    }
+
+    if (best_cost == std::numeric_limits<double>::max()) {
+      ++stats.failed_cells;
+      XP_WARN("tetris: no slot for cell %s (w=%.1f)", db.cell_name(cell).c_str(), w);
+      continue;
+    }
+    fill[best_row][best_seg] = best_x + w;
+    const double new_cx = best_x + w * 0.5;
+    const double new_cy = rows.row_y(best_row) + row_h * 0.5;
+    total_disp += std::fabs(new_cx - db.x(cell)) + std::fabs(new_cy - db.y(cell));
+    stats.max_displacement =
+        std::max(stats.max_displacement,
+                 std::fabs(new_cx - db.x(cell)) + std::fabs(new_cy - db.y(cell)));
+    db.set_position(cell, new_cx, new_cy);
+  }
+
+  stats.avg_displacement =
+      db.num_movable() > 0 ? total_disp / static_cast<double>(db.num_movable()) : 0;
+  stats.hpwl_after = db.hpwl();
+  stats.seconds = watch.seconds();
+  XP_INFO("tetris LG: %s", stats.summary().c_str());
+  return stats;
+}
+
+}  // namespace xplace::lg

@@ -1,0 +1,29 @@
+// Tetris-style greedy legalizer.
+//
+// Cells are processed in increasing global-placement x order; each one is
+// packed into the feasible (row, segment) slot that minimizes its
+// displacement, advancing a per-segment fill pointer. Fast and robust; used
+// as the fallback/baseline legalizer and as the seed for Abacus.
+#pragma once
+
+#include <string>
+
+#include "db/database.h"
+
+namespace xplace::lg {
+
+struct LegalizeStats {
+  double hpwl_before = 0.0;
+  double hpwl_after = 0.0;
+  double avg_displacement = 0.0;
+  double max_displacement = 0.0;
+  double seconds = 0.0;
+  std::size_t failed_cells = 0;  ///< cells that found no slot (should be 0)
+
+  std::string summary() const;
+};
+
+/// Legalizes all movable cells of `db` in place. Requires rows.
+LegalizeStats tetris_legalize(db::Database& db);
+
+}  // namespace xplace::lg

@@ -1,0 +1,79 @@
+#include "nn/data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ops/electrostatics.h"
+#include "util/rng.h"
+
+namespace xplace::nn {
+
+FieldSample make_field_sample(int grid, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = static_cast<std::size_t>(grid) * grid;
+  FieldSample s;
+  s.density.assign(n, 0.0);
+
+  // Noise floor (whitespace utilization).
+  const double floor = rng.uniform(0.1, 0.5);
+  for (auto& v : s.density) v = floor * rng.uniform(0.5, 1.5);
+
+  // Gaussian blobs (clustered standard cells).
+  const int blobs = rng.uniform_int(2, 6);
+  for (int b = 0; b < blobs; ++b) {
+    const double cx = rng.uniform(0.15, 0.85) * grid;
+    const double cy = rng.uniform(0.15, 0.85) * grid;
+    const double sx = rng.uniform(0.04, 0.2) * grid;
+    const double sy = rng.uniform(0.04, 0.2) * grid;
+    const double amp = rng.uniform(0.5, 1.6);
+    for (int ix = 0; ix < grid; ++ix) {
+      for (int iy = 0; iy < grid; ++iy) {
+        const double dx = (ix + 0.5 - cx) / sx, dy = (iy + 0.5 - cy) / sy;
+        s.density[static_cast<std::size_t>(ix) * grid + iy] +=
+            amp * std::exp(-0.5 * (dx * dx + dy * dy));
+      }
+    }
+  }
+
+  // Uniform rectangles (macro-like plateaus).
+  const int rects = rng.uniform_int(0, 3);
+  for (int r = 0; r < rects; ++r) {
+    const int x0 = rng.uniform_int(0, grid - 2);
+    const int y0 = rng.uniform_int(0, grid - 2);
+    const int x1 = std::min(grid - 1, x0 + rng.uniform_int(2, grid / 3 + 2));
+    const int y1 = std::min(grid - 1, y0 + rng.uniform_int(2, grid / 3 + 2));
+    const double amp = rng.uniform(0.6, 1.2);
+    for (int ix = x0; ix <= x1; ++ix) {
+      for (int iy = y0; iy <= y1; ++iy) {
+        s.density[static_cast<std::size_t>(ix) * grid + iy] = amp;
+      }
+    }
+  }
+  for (auto& v : s.density) v = std::clamp(v, 0.0, 2.0);
+
+  // Numerical label: x-direction field on unit bins.
+  ops::PoissonSolver solver(grid, 1.0, 1.0);
+  solver.solve(s.density.data(), /*want_potential=*/false);
+  s.field_x = solver.ex();
+
+  double rms = 0.0;
+  for (double v : s.field_x) rms += v * v;
+  rms = std::sqrt(rms / static_cast<double>(n));
+  s.label_rms = rms;
+  if (rms > 1e-30) {
+    for (auto& v : s.field_x) v /= rms;
+  }
+  return s;
+}
+
+std::vector<FieldSample> make_field_dataset(int grid, int count,
+                                            std::uint64_t seed) {
+  std::vector<FieldSample> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(make_field_sample(grid, seed * 1000003ULL + i));
+  }
+  return out;
+}
+
+}  // namespace xplace::nn

@@ -1,0 +1,33 @@
+// Synthetic training data for the field-prediction network.
+//
+// Per Section 3.3: "we do not need to collect the ground-truth training data
+// from real placement benchmarks. Rather, we can generate randomly
+// distributed density maps and compute the numerical solution of the
+// corresponding electric fields which will be used as labels."
+//
+// Each sample is a random density map (a mixture of Gaussian blobs, uniform
+// rectangles — macro-like — and a noise floor, clipped to [0, ~2]) together
+// with the x-direction field from the spectral Poisson solver. Labels are
+// normalized to unit RMS (the paper normalizes label and prediction); the
+// deployment path rescales predictions against the numerical field.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xplace::nn {
+
+struct FieldSample {
+  std::vector<double> density;  ///< h×w, x-major
+  std::vector<double> field_x;  ///< normalized (unit RMS) x field
+  double label_rms = 0.0;       ///< RMS removed by normalization
+};
+
+/// Deterministic sample generator (same seed+index → same sample).
+FieldSample make_field_sample(int grid, std::uint64_t seed);
+
+/// A batch of independent samples.
+std::vector<FieldSample> make_field_dataset(int grid, int count,
+                                            std::uint64_t seed);
+
+}  // namespace xplace::nn

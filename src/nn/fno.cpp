@@ -1,0 +1,209 @@
+#include "nn/fno.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace xplace::nn {
+
+namespace {
+Rng make_rng(std::uint64_t seed, int salt) { return Rng(seed * 1315423911ULL + salt); }
+}  // namespace
+
+FieldNet::FieldNet(const FieldNetConfig& cfg) : cfg_(cfg) {
+  Rng r0 = make_rng(cfg.seed, 0);
+  lift_ = std::make_unique<Conv1x1>(3, cfg.width, r0);
+  act_.assign(cfg.layers, Gelu{});
+  for (int l = 0; l < cfg.layers; ++l) {
+    Rng rs = make_rng(cfg.seed, 100 + l);
+    spec_.push_back(std::make_unique<SpectralConv2d>(cfg.width, cfg.width,
+                                                     cfg.modes, rs));
+    Rng rc = make_rng(cfg.seed, 200 + l);
+    spatial_.push_back(std::make_unique<Conv1x1>(cfg.width, cfg.width, rc));
+  }
+  Rng r1 = make_rng(cfg.seed, 300);
+  proj1_ = std::make_unique<Conv1x1>(cfg.width, cfg.proj_hidden, r1);
+  Rng r2 = make_rng(cfg.seed, 301);
+  proj2_ = std::make_unique<Conv1x1>(cfg.proj_hidden, 1, r2);
+  block_in_.resize(cfg.layers);
+}
+
+std::vector<double> FieldNet::make_input(const std::vector<double>& density,
+                                         int h, int w) {
+  const std::size_t n = static_cast<std::size_t>(h) * w;
+  std::vector<double> input(3 * n);
+  std::copy(density.begin(), density.begin() + n, input.begin());
+  for (int ix = 0; ix < h; ++ix) {
+    for (int iy = 0; iy < w; ++iy) {
+      const std::size_t p = static_cast<std::size_t>(ix) * w + iy;
+      input[n + p] = static_cast<double>(ix) / h;       // M_x
+      input[2 * n + p] = static_cast<double>(iy) / w;   // M_y
+    }
+  }
+  return input;
+}
+
+const std::vector<double>& FieldNet::forward(const std::vector<double>& input3,
+                                             int h, int w) {
+  h_ = h;
+  w_ = w;
+  const std::size_t n = static_cast<std::size_t>(h) * w;
+  std::vector<double> cur;
+  lift_->forward(input3, n, cur);
+  for (int l = 0; l < cfg_.layers; ++l) {
+    block_in_[l] = cur;
+    spec_[l]->forward(cur, h, w, s_spec_);
+    spatial_[l]->forward(cur, n, s_conv_);
+    s_sum_.resize(s_spec_.size());
+    for (std::size_t i = 0; i < s_sum_.size(); ++i) {
+      s_sum_[i] = s_spec_[i] + s_conv_[i];
+    }
+    act_[l].forward(s_sum_, cur);
+  }
+  proj1_->forward(cur, n, s_proj_);
+  std::vector<double> pa;
+  proj_act_.forward(s_proj_, pa);
+  proj2_->forward(pa, n, out_);
+  return out_;
+}
+
+void FieldNet::backward(const std::vector<double>& d_out) {
+  std::vector<double> d_cur, d_tmp, d_spec, d_conv;
+  proj2_->backward(d_out, d_tmp);
+  proj_act_.backward(d_tmp, d_cur);
+  proj1_->backward(d_cur, d_tmp);
+  d_cur = std::move(d_tmp);
+  for (int l = cfg_.layers - 1; l >= 0; --l) {
+    act_[l].backward(d_cur, d_tmp);  // d(sum)
+    spec_[l]->backward(d_tmp, d_spec);
+    spatial_[l]->backward(d_tmp, d_conv);
+    d_cur.resize(d_spec.size());
+    for (std::size_t i = 0; i < d_cur.size(); ++i) {
+      d_cur[i] = d_spec[i] + d_conv[i];
+    }
+  }
+  lift_->backward(d_cur, d_tmp);  // input grads discarded
+}
+
+std::vector<double> FieldNet::predict(const std::vector<double>& density,
+                                      int h, int w) {
+  const std::vector<double> input = make_input(density, h, w);
+  return forward(input, h, w);
+}
+
+std::vector<Parameter*> FieldNet::parameters() {
+  std::vector<Parameter*> out{&lift_->weight(), &lift_->bias()};
+  for (int l = 0; l < cfg_.layers; ++l) {
+    out.push_back(&spec_[l]->weight());
+    out.push_back(&spatial_[l]->weight());
+    out.push_back(&spatial_[l]->bias());
+  }
+  out.push_back(&proj1_->weight());
+  out.push_back(&proj1_->bias());
+  out.push_back(&proj2_->weight());
+  out.push_back(&proj2_->bias());
+  return out;
+}
+
+std::size_t FieldNet::num_params() const {
+  std::size_t n = lift_->num_params() + proj1_->num_params() + proj2_->num_params();
+  for (int l = 0; l < cfg_.layers; ++l) {
+    n += spec_[l]->num_params() + spatial_[l]->num_params();
+  }
+  return n;
+}
+
+void FieldNet::zero_grad() {
+  for (Parameter* p : parameters()) {
+    std::fill(p->grad.begin(), p->grad.end(), 0.0);
+  }
+}
+
+void FieldNet::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write model '" + path + "'");
+  const std::uint32_t magic = 0x584E4E31;  // "XNN1"
+  out.write(reinterpret_cast<const char*>(&magic), 4);
+  const std::int32_t meta[4] = {cfg_.width, cfg_.modes, cfg_.layers,
+                                cfg_.proj_hidden};
+  out.write(reinterpret_cast<const char*>(meta), sizeof(meta));
+  for (const Parameter* p : const_cast<FieldNet*>(this)->parameters()) {
+    const std::uint64_t sz = p->value.size();
+    out.write(reinterpret_cast<const char*>(&sz), 8);
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(sz * sizeof(double)));
+  }
+}
+
+void FieldNet::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read model '" + path + "'");
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), 4);
+  if (magic != 0x584E4E31) throw std::runtime_error("bad model magic");
+  std::int32_t meta[4];
+  in.read(reinterpret_cast<char*>(meta), sizeof(meta));
+  if (meta[0] != cfg_.width || meta[1] != cfg_.modes || meta[2] != cfg_.layers ||
+      meta[3] != cfg_.proj_hidden) {
+    throw std::runtime_error("model config mismatch in '" + path + "'");
+  }
+  for (Parameter* p : parameters()) {
+    std::uint64_t sz = 0;
+    in.read(reinterpret_cast<char*>(&sz), 8);
+    if (sz != p->value.size()) throw std::runtime_error("model size mismatch");
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(sz * sizeof(double)));
+  }
+  if (!in) throw std::runtime_error("truncated model file");
+}
+
+// ---------------- Adam ----------------
+
+Adam::Adam(std::vector<Parameter*> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i]->size(), 0.0);
+    v_[i].assign(params_[i]->size(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      m_[i][j] = beta1_ * m_[i][j] + (1 - beta1_) * p.grad[j];
+      v_[i][j] = beta2_ * v_[i][j] + (1 - beta2_) * p.grad[j] * p.grad[j];
+      p.value[j] -=
+          lr_ * (m_[i][j] / bc1) / (std::sqrt(v_[i][j] / bc2) + eps_);
+    }
+  }
+}
+
+// ---------------- loss ----------------
+
+double relative_l2(const std::vector<double>& pred,
+                   const std::vector<double>& label,
+                   std::vector<double>& grad) {
+  double d2 = 0.0, y2 = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - label[i];
+    d2 += d * d;
+    y2 += label[i] * label[i];
+  }
+  const double dn = std::sqrt(d2), yn = std::sqrt(std::max(y2, 1e-30));
+  grad.resize(pred.size());
+  const double scale = dn > 1e-30 ? 1.0 / (dn * yn) : 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    grad[i] = (pred[i] - label[i]) * scale;
+  }
+  return dn / yn;
+}
+
+}  // namespace xplace::nn

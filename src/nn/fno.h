@@ -1,0 +1,99 @@
+// FieldNet: the two-path Fourier neural operator of Section 3.3 / Figure 3.
+//
+//   input  I = {D; M_x; M_y}          (density map + mesh-grid channels)
+//   I_m    = FC(I)                     (lift to `width` channels)
+//   block  O = GELU(Conv2D(I_m) + Freq(I_m))   × `layers`
+//   output = FC⁻¹(O)                   (projection head → 1 channel)
+//
+// The network is resolution-independent: the spectral layers keep a fixed
+// number of low-frequency modes and the spatial path is pixel-wise, so a
+// model trained on 64×64 maps deploys on any power-of-two grid. The y-field
+// is obtained from the x-field network by transposing the input and output
+// (the PDE is symmetric under x↔y), as described in the paper.
+//
+// With the default config (width 20, modes 8, 4 layers, 128-wide projection)
+// the parameter count is ~414k — the same class as the paper's 471k.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace xplace::nn {
+
+struct FieldNetConfig {
+  int width = 20;       ///< lifted channel count C
+  int modes = 8;        ///< retained low-frequency modes per dimension
+  int layers = 4;       ///< FNO blocks
+  int proj_hidden = 128;
+  std::uint64_t seed = 7;
+};
+
+class FieldNet {
+ public:
+  explicit FieldNet(const FieldNetConfig& cfg = {});
+
+  /// Predict the x-direction electric field of an h×w density map (row-major
+  /// x-major layout like ops::DensityGrid). Powers of two, ≥ 2·modes.
+  std::vector<double> predict(const std::vector<double>& density, int h, int w);
+
+  /// Forward on a prebuilt 3-channel input (training path). Returns the
+  /// 1-channel output; caches activations for backward().
+  const std::vector<double>& forward(const std::vector<double>& input3, int h,
+                                     int w);
+  /// Backprop from d(output); accumulates parameter gradients.
+  void backward(const std::vector<double>& d_out);
+
+  /// Builds {D; M_x; M_y} with M_x(x,y) = x/X, M_y = y/Y.
+  static std::vector<double> make_input(const std::vector<double>& density,
+                                        int h, int w);
+
+  std::vector<Parameter*> parameters();
+  std::size_t num_params() const;
+  void zero_grad();
+
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+  const FieldNetConfig& config() const { return cfg_; }
+
+ private:
+  FieldNetConfig cfg_;
+  std::unique_ptr<Conv1x1> lift_;
+  std::vector<std::unique_ptr<SpectralConv2d>> spec_;
+  std::vector<std::unique_ptr<Conv1x1>> spatial_;
+  std::vector<Gelu> act_;
+  std::unique_ptr<Conv1x1> proj1_;
+  Gelu proj_act_;
+  std::unique_ptr<Conv1x1> proj2_;
+
+  int h_ = 0, w_ = 0;
+  // Cached block inputs for backward.
+  std::vector<std::vector<double>> block_in_;
+  std::vector<double> out_;
+  // scratch
+  std::vector<double> s_spec_, s_conv_, s_sum_, s_proj_;
+};
+
+/// Adam over a set of parameters.
+class Adam {
+ public:
+  explicit Adam(std::vector<Parameter*> params, double lr = 1e-3);
+  void step();
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<std::vector<double>> m_, v_;
+  double lr_, beta1_ = 0.9, beta2_ = 0.999, eps_ = 1e-8;
+  long t_ = 0;
+};
+
+/// Relative L2 loss (Equation (13)): L = ‖p − y‖₂ / ‖y‖₂.
+/// Writes dL/dp into `grad` and returns L.
+double relative_l2(const std::vector<double>& pred,
+                   const std::vector<double>& label, std::vector<double>& grad);
+
+}  // namespace xplace::nn

@@ -1,0 +1,117 @@
+#include "nn/guidance.h"
+
+#include <cmath>
+
+namespace xplace::nn {
+
+double sigma_of_omega(double omega) {
+  return 1.0 - 1.0 / (1.0 + 5.0 * std::exp(-(omega / 0.05 - 0.5)));
+}
+
+FnoGuidance::FnoGuidance(FieldNet* net, int predict_every, double sigma_cutoff,
+                         int predict_grid, double r_cutoff)
+    : net_(net),
+      predict_every_(predict_every),
+      sigma_cutoff_(sigma_cutoff),
+      predict_grid_(predict_grid),
+      r_cutoff_(r_cutoff) {}
+
+namespace {
+
+double rms(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+std::vector<double> transpose(const std::vector<double>& a, int m) {
+  std::vector<double> t(a.size());
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      t[static_cast<std::size_t>(j) * m + i] = a[static_cast<std::size_t>(i) * m + j];
+    }
+  }
+  return t;
+}
+
+/// Average-pool an m×m map down by integer factor k.
+std::vector<double> avg_pool(const double* a, int m, int k) {
+  const int s = m / k;
+  std::vector<double> out(static_cast<std::size_t>(s) * s, 0.0);
+  const double inv = 1.0 / (k * k);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      out[static_cast<std::size_t>(i / k) * s + j / k] +=
+          a[static_cast<std::size_t>(i) * m + j] * inv;
+    }
+  }
+  return out;
+}
+
+/// Bilinear upsample an s×s map to m×m (cell-centered sampling).
+std::vector<double> upsample(const std::vector<double>& a, int s, int m) {
+  std::vector<double> out(static_cast<std::size_t>(m) * m);
+  const double scale = static_cast<double>(s) / m;
+  for (int i = 0; i < m; ++i) {
+    const double fi = (i + 0.5) * scale - 0.5;
+    const int i0 = std::clamp(static_cast<int>(std::floor(fi)), 0, s - 1);
+    const int i1 = std::min(i0 + 1, s - 1);
+    const double ti = std::clamp(fi - i0, 0.0, 1.0);
+    for (int j = 0; j < m; ++j) {
+      const double fj = (j + 0.5) * scale - 0.5;
+      const int j0 = std::clamp(static_cast<int>(std::floor(fj)), 0, s - 1);
+      const int j1 = std::min(j0 + 1, s - 1);
+      const double tj = std::clamp(fj - j0, 0.0, 1.0);
+      const double v00 = a[static_cast<std::size_t>(i0) * s + j0];
+      const double v01 = a[static_cast<std::size_t>(i0) * s + j1];
+      const double v10 = a[static_cast<std::size_t>(i1) * s + j0];
+      const double v11 = a[static_cast<std::size_t>(i1) * s + j1];
+      out[static_cast<std::size_t>(i) * m + j] =
+          (1 - ti) * ((1 - tj) * v00 + tj * v01) + ti * ((1 - tj) * v10 + tj * v11);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void FnoGuidance::blend(const double* rho, int m, double /*bin_w*/,
+                        double /*bin_h*/, double omega, double r,
+                        std::vector<double>& ex, std::vector<double>& ey) {
+  const double sigma = sigma_of_omega(omega);
+  if (sigma < sigma_cutoff_) return;
+  if (r_cutoff_ > 0.0 && r >= r_cutoff_) return;
+
+  const std::size_t n = static_cast<std::size_t>(m) * m;
+  const bool refresh =
+      cached_m_ != m || (calls_ % std::max(1, predict_every_)) == 0;
+  ++calls_;
+  if (refresh) {
+    if (predict_grid_ > 0 && predict_grid_ < m && m % predict_grid_ == 0) {
+      const int s = predict_grid_;
+      const std::vector<double> small = avg_pool(rho, m, m / s);
+      cached_ex_ = upsample(net_->predict(small, s, s), s, m);
+      cached_ey_ = upsample(
+          transpose(net_->predict(transpose(small, s), s, s), s), s, m);
+    } else {
+      std::vector<double> density(rho, rho + n);
+      cached_ex_ = net_->predict(density, m, m);
+      // y-field via the transpose trick (the PDE is x↔y symmetric).
+      cached_ey_ = transpose(net_->predict(transpose(density, m), m, m), m);
+    }
+    cached_m_ = m;
+    ++evaluations_;
+  }
+
+  // Rescale unit-RMS predictions to the numerical field's scale.
+  const double sx = rms(ex), sy = rms(ey);
+  const double nx = rms(cached_ex_), ny = rms(cached_ey_);
+  const double kx = nx > 1e-30 ? sx / nx : 0.0;
+  const double ky = ny > 1e-30 ? sy / ny : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ex[i] = (1.0 - sigma) * ex[i] + sigma * kx * cached_ex_[i];
+    ey[i] = (1.0 - sigma) * ey[i] + sigma * ky * cached_ey_[i];
+  }
+}
+
+}  // namespace xplace::nn

@@ -1,0 +1,64 @@
+// Xplace-NN: plugging the trained FieldNet into the gradient engine
+// (Section 3.3, Equation (14)).
+//
+//   ∇'D = (1 − σ(ω))·∇D + σ(ω)·∇_nn D
+//
+// σ(ω) is high (≈0.9) in the early, wirelength-dominated stage and decays to
+// ≈0 by ω ≈ 0.3, handing fine-grained spreading back to the numerical field.
+// (The paper's printed formula has a sign typo — the denominator
+// 1 − 5e^{ω/0.05−0.5} can vanish; we use the logistic with the shape the
+// text describes: σ(ω) = 1 − 1/(1 + 5e^{−(ω/0.05 − 0.5)}).)
+//
+// The y-field is predicted with the transpose trick: Ey(D) = Ex(Dᵀ)ᵀ. The
+// network is trained on unit-RMS labels, so each predicted component is
+// rescaled to the RMS of the corresponding numerical field before blending.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/gradient_engine.h"
+#include "nn/fno.h"
+
+namespace xplace::nn {
+
+/// σ(ω) as used by FnoGuidance (exposed for tests/benches).
+double sigma_of_omega(double omega);
+
+class FnoGuidance : public core::FieldGuidance {
+ public:
+  /// `net` must outlive this object. `predict_every` reuses the previous
+  /// prediction for k−1 of every k calls (the maps drift slowly early on).
+  /// `sigma_cutoff`: below this blend weight the network is not evaluated.
+  /// `predict_grid`: when > 0 and smaller than the placement grid, the
+  /// density map is average-pooled to predict_grid², predicted there, and the
+  /// field bilinearly upsampled — exploiting the model's resolution
+  /// independence to cut inference cost (the global, low-frequency guidance
+  /// the early stage needs survives the pooling).
+  /// `r_cutoff`: the network only engages while r = λ|∇D|/|∇WL| < r_cutoff,
+  /// i.e. in the wirelength-dominated early stage the paper inserts the
+  /// prediction into (≤ 0 disables the gate).
+  explicit FnoGuidance(FieldNet* net, int predict_every = 1,
+                       double sigma_cutoff = 0.02, int predict_grid = 0,
+                       double r_cutoff = 0.0);
+
+  void blend(const double* rho, int m, double bin_w, double bin_h,
+             double omega, double r, std::vector<double>& ex,
+             std::vector<double>& ey) override;
+
+  /// Number of network evaluations performed (diagnostics).
+  long evaluations() const { return evaluations_; }
+
+ private:
+  FieldNet* net_;
+  int predict_every_;
+  double sigma_cutoff_;
+  int predict_grid_;
+  double r_cutoff_;
+  long calls_ = 0;
+  long evaluations_ = 0;
+  std::vector<double> cached_ex_, cached_ey_;
+  int cached_m_ = 0;
+};
+
+}  // namespace xplace::nn

@@ -1,0 +1,194 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "fft/fft.h"
+
+namespace xplace::nn {
+
+// ---------------- Conv1x1 ----------------
+
+Conv1x1::Conv1x1(int c_in, int c_out, Rng& rng) : c_in_(c_in), c_out_(c_out) {
+  w_.resize(static_cast<std::size_t>(c_in) * c_out);
+  b_.resize(c_out);
+  // Kaiming-style init.
+  const double scale = std::sqrt(2.0 / c_in);
+  for (auto& v : w_.value) v = rng.normal(0.0, scale);
+}
+
+void Conv1x1::forward(const std::vector<double>& x, std::size_t n_pix,
+                      std::vector<double>& y) {
+  assert(x.size() == static_cast<std::size_t>(c_in_) * n_pix);
+  n_pix_ = n_pix;
+  x_cache_ = x;
+  y.assign(static_cast<std::size_t>(c_out_) * n_pix, 0.0);
+  for (int o = 0; o < c_out_; ++o) {
+    double* yo = y.data() + static_cast<std::size_t>(o) * n_pix;
+    for (std::size_t p = 0; p < n_pix; ++p) yo[p] = b_.value[o];
+    for (int i = 0; i < c_in_; ++i) {
+      const double w = w_.value[static_cast<std::size_t>(o) * c_in_ + i];
+      const double* xi = x.data() + static_cast<std::size_t>(i) * n_pix;
+      for (std::size_t p = 0; p < n_pix; ++p) yo[p] += w * xi[p];
+    }
+  }
+}
+
+void Conv1x1::backward(const std::vector<double>& dy, std::vector<double>& dx) {
+  assert(dy.size() == static_cast<std::size_t>(c_out_) * n_pix_);
+  dx.assign(static_cast<std::size_t>(c_in_) * n_pix_, 0.0);
+  for (int o = 0; o < c_out_; ++o) {
+    const double* dyo = dy.data() + static_cast<std::size_t>(o) * n_pix_;
+    for (std::size_t p = 0; p < n_pix_; ++p) b_.grad[o] += dyo[p];
+    for (int i = 0; i < c_in_; ++i) {
+      const double* xi = x_cache_.data() + static_cast<std::size_t>(i) * n_pix_;
+      double* dxi = dx.data() + static_cast<std::size_t>(i) * n_pix_;
+      const double w = w_.value[static_cast<std::size_t>(o) * c_in_ + i];
+      double wg = 0.0;
+      for (std::size_t p = 0; p < n_pix_; ++p) {
+        wg += dyo[p] * xi[p];
+        dxi[p] += w * dyo[p];
+      }
+      w_.grad[static_cast<std::size_t>(o) * c_in_ + i] += wg;
+    }
+  }
+}
+
+// ---------------- GELU ----------------
+
+void Gelu::forward(const std::vector<double>& x, std::vector<double>& y) {
+  x_cache_ = x;
+  y.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = 0.5 * x[i] * (1.0 + std::erf(x[i] * 0.7071067811865476));
+  }
+}
+
+void Gelu::backward(const std::vector<double>& dy, std::vector<double>& dx) {
+  dx.resize(dy.size());
+  constexpr double inv_sqrt2pi = 0.3989422804014327;
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    const double x = x_cache_[i];
+    const double cdf = 0.5 * (1.0 + std::erf(x * 0.7071067811865476));
+    const double pdf = inv_sqrt2pi * std::exp(-0.5 * x * x);
+    dx[i] = dy[i] * (cdf + x * pdf);
+  }
+}
+
+// ---------------- SpectralConv2d ----------------
+
+SpectralConv2d::SpectralConv2d(int c_in, int c_out, int modes, Rng& rng)
+    : c_in_(c_in), c_out_(c_out), modes_(modes) {
+  // 2 corners × c_out × c_in × m × m complex weights (interleaved re/im).
+  w_.resize(2ull * c_out * c_in * modes * modes * 2);
+  const double scale = 1.0 / (static_cast<double>(c_in) * modes);
+  for (auto& v : w_.value) v = rng.normal(0.0, scale);
+}
+
+std::size_t SpectralConv2d::widx(int corner, int o, int i, int mu,
+                                 int mv) const {
+  return ((((static_cast<std::size_t>(corner) * c_out_ + o) * c_in_ + i) *
+               modes_ +
+           mu) *
+              modes_ +
+          mv) *
+         2;
+}
+
+void SpectralConv2d::forward(const std::vector<double>& x, int h, int w,
+                             std::vector<double>& y) {
+  assert(h >= 2 * modes_ && w >= 2 * modes_);
+  h_ = h;
+  w_pix_ = w;
+  const std::size_t n = static_cast<std::size_t>(h) * w;
+  using C = std::complex<double>;
+
+  // Spectra of every input channel (cached for backward).
+  xhat_cache_.assign(static_cast<std::size_t>(c_in_) * n, C(0, 0));
+  for (int i = 0; i < c_in_; ++i) {
+    C* xi = xhat_cache_.data() + static_cast<std::size_t>(i) * n;
+    const double* src = x.data() + static_cast<std::size_t>(i) * n;
+    for (std::size_t p = 0; p < n; ++p) xi[p] = C(src[p], 0.0);
+    fft::fft2(xi, h, w);
+  }
+
+  y.assign(static_cast<std::size_t>(c_out_) * n, 0.0);
+  std::vector<C> yhat(n);
+  for (int o = 0; o < c_out_; ++o) {
+    std::fill(yhat.begin(), yhat.end(), C(0, 0));
+    for (int corner = 0; corner < 2; ++corner) {
+      for (int mu = 0; mu < modes_; ++mu) {
+        const int u = corner == 0 ? mu : h - modes_ + mu;
+        for (int mv = 0; mv < modes_; ++mv) {
+          C acc(0, 0);
+          for (int i = 0; i < c_in_; ++i) {
+            const double* wp = w_.value.data() + widx(corner, o, i, mu, mv);
+            const C wc(wp[0], wp[1]);
+            acc += wc * xhat_cache_[static_cast<std::size_t>(i) * n +
+                                    static_cast<std::size_t>(u) * w + mv];
+          }
+          yhat[static_cast<std::size_t>(u) * w + mv] = acc;
+        }
+      }
+    }
+    fft::ifft2(yhat.data(), h, w);
+    double* yo = y.data() + static_cast<std::size_t>(o) * n;
+    for (std::size_t p = 0; p < n; ++p) yo[p] = yhat[p].real();
+  }
+}
+
+void SpectralConv2d::backward(const std::vector<double>& dy,
+                              std::vector<double>& dx) {
+  const int h = h_, w = w_pix_;
+  const std::size_t n = static_cast<std::size_t>(h) * w;
+  using C = std::complex<double>;
+
+  // dŶ_o = fft2(dy_o)/N  (adjoint of y = Re(ifft2(Ŷ))).
+  // dX̂_i[k] = Σ_o conj(W)·dŶ_o[k];  dW = conj(X̂)·dŶ.
+  // dx_i = N·Re(ifft2(dX̂_i))      (adjoint of X̂ = fft2(x)).
+  std::vector<C> dyhat(n);
+  std::vector<C> dxhat(static_cast<std::size_t>(c_in_) * n, C(0, 0));
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (int o = 0; o < c_out_; ++o) {
+    const double* dyo = dy.data() + static_cast<std::size_t>(o) * n;
+    for (std::size_t p = 0; p < n; ++p) dyhat[p] = C(dyo[p], 0.0);
+    fft::fft2(dyhat.data(), h, w);
+    for (std::size_t p = 0; p < n; ++p) dyhat[p] *= inv_n;
+
+    for (int corner = 0; corner < 2; ++corner) {
+      for (int mu = 0; mu < modes_; ++mu) {
+        const int u = corner == 0 ? mu : h - modes_ + mu;
+        for (int mv = 0; mv < modes_; ++mv) {
+          const C g = dyhat[static_cast<std::size_t>(u) * w + mv];
+          for (int i = 0; i < c_in_; ++i) {
+            const std::size_t k =
+                static_cast<std::size_t>(i) * n + static_cast<std::size_t>(u) * w + mv;
+            double* wp = w_.value.data() + widx(corner, o, i, mu, mv);
+            double* wg = w_.grad.data() + widx(corner, o, i, mu, mv);
+            const C wc(wp[0], wp[1]);
+            const C dw = std::conj(xhat_cache_[k]) * g;
+            wg[0] += dw.real();
+            wg[1] += dw.imag();
+            dxhat[k] += std::conj(wc) * g;
+          }
+        }
+      }
+    }
+  }
+
+  dx.assign(static_cast<std::size_t>(c_in_) * n, 0.0);
+  std::vector<C> tmp(n);
+  for (int i = 0; i < c_in_; ++i) {
+    std::copy(dxhat.begin() + static_cast<std::size_t>(i) * n,
+              dxhat.begin() + static_cast<std::size_t>(i + 1) * n, tmp.begin());
+    fft::ifft2(tmp.data(), h, w);
+    double* dxi = dx.data() + static_cast<std::size_t>(i) * n;
+    for (std::size_t p = 0; p < n; ++p) {
+      dxi[p] = tmp[p].real() * static_cast<double>(n);
+    }
+  }
+}
+
+}  // namespace xplace::nn

@@ -1,0 +1,95 @@
+// Neural network layers for the Fourier-neural-operator extension
+// (Section 3.3, Figure 3): pixel-wise linear ("1×1 conv" / FC lift), GELU,
+// and the spectral convolution of Equation (11).
+//
+// All layers implement explicit forward/backward with cached activations —
+// a deliberate mini-autograd, because the deployed network has a fixed
+// topology. Tensors are channel-major double arrays: x[(c*H + h)*W + w].
+// Every backward is finite-difference-verified in tests/test_nn.cpp.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace xplace::nn {
+
+/// A learnable parameter: value and gradient of identical shape.
+struct Parameter {
+  std::vector<double> value;
+  std::vector<double> grad;
+
+  void resize(std::size_t n) {
+    value.assign(n, 0.0);
+    grad.assign(n, 0.0);
+  }
+  std::size_t size() const { return value.size(); }
+};
+
+/// Pixel-wise linear map (equivalently a 1×1 convolution or a per-pixel FC):
+/// y[o][p] = b[o] + Σ_i w[o][i]·x[i][p].
+class Conv1x1 {
+ public:
+  Conv1x1(int c_in, int c_out, Rng& rng);
+
+  /// x: c_in×n_pix, y: c_out×n_pix (resized).
+  void forward(const std::vector<double>& x, std::size_t n_pix,
+               std::vector<double>& y);
+  /// dy: c_out×n_pix; accumulates parameter grads, writes dx (resized).
+  void backward(const std::vector<double>& dy, std::vector<double>& dx);
+
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+  int c_in() const { return c_in_; }
+  int c_out() const { return c_out_; }
+  std::size_t num_params() const { return w_.size() + b_.size(); }
+
+ private:
+  int c_in_, c_out_;
+  Parameter w_, b_;
+  std::vector<double> x_cache_;
+  std::size_t n_pix_ = 0;
+};
+
+/// Exact GELU: 0.5·x·(1 + erf(x/√2)).
+class Gelu {
+ public:
+  void forward(const std::vector<double>& x, std::vector<double>& y);
+  void backward(const std::vector<double>& dy, std::vector<double>& dx);
+
+ private:
+  std::vector<double> x_cache_;
+};
+
+/// Spectral convolution (the Fourier path of Eq. (11)):
+///   y_o = Re( ifft2( Σ_i W[o][i] ⊙ L(fft2(x_i)) ) )
+/// where the low-pass filter L keeps the m×m lowest-frequency modes in the
+/// two corners u ∈ [0,m) ∪ [H−m,H), v ∈ [0,m) (the Hermitian-independent
+/// half), with complex weights per (o, i, mode).
+class SpectralConv2d {
+ public:
+  SpectralConv2d(int c_in, int c_out, int modes, Rng& rng);
+
+  /// x: c_in×H×W → y: c_out×H×W. H, W powers of two, H ≥ 2·modes.
+  void forward(const std::vector<double>& x, int h, int w,
+               std::vector<double>& y);
+  void backward(const std::vector<double>& dy, std::vector<double>& dx);
+
+  /// Complex weights flattened [2 corners][c_out][c_in][m][m], stored as
+  /// interleaved (re, im) doubles.
+  Parameter& weight() { return w_; }
+  int modes() const { return modes_; }
+  std::size_t num_params() const { return w_.size(); }
+
+ private:
+  std::size_t widx(int corner, int o, int i, int mu, int mv) const;
+
+  int c_in_, c_out_, modes_;
+  Parameter w_;
+  int h_ = 0, w_pix_ = 0;
+  std::vector<std::complex<double>> xhat_cache_;  // c_in×H×W spectra
+};
+
+}  // namespace xplace::nn

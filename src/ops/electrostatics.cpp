@@ -1,0 +1,74 @@
+#include "ops/electrostatics.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/dct.h"
+#include "tensor/dispatch.h"
+
+namespace xplace::ops {
+
+using tensor::Dispatcher;
+
+PoissonSolver::PoissonSolver(int m, double bin_w, double bin_h) : m_(m) {
+  wu_.resize(m);
+  wv_.resize(m);
+  for (int u = 0; u < m; ++u) {
+    wu_[u] = std::numbers::pi * u / (m * bin_w);
+    wv_[u] = std::numbers::pi * u / (m * bin_h);
+  }
+  const std::size_t n = static_cast<std::size_t>(m) * m;
+  coeff_.resize(n);
+  ex_.resize(n);
+  ey_.resize(n);
+  psi_.resize(n);
+}
+
+void PoissonSolver::solve(const double* rho, bool want_potential) {
+  const std::size_t m = static_cast<std::size_t>(m_);
+  const std::size_t n = m * m;
+  auto& disp = Dispatcher::global();
+
+  // Forward cosine transform of the (mean-removed) density. Removing the mean
+  // enforces the ∬ρ = 0 solvability condition; it is exactly the a_00 term.
+  disp.run("es.dct2", [&] {
+    for (std::size_t i = 0; i < n; ++i) coeff_[i] = rho[i];
+    fft::dct2(coeff_.data(), m, m);
+    coeff_[0] = 0.0;  // zero-mean (kills the constant mode)
+  });
+
+  // Spectral scaling: ψ̂ = a/(w²); Ex̂ = ψ̂·wu ; Eŷ = ψ̂·wv.
+  disp.run("es.spectral_scale", [&] {
+    for (std::size_t u = 0; u < m; ++u) {
+      for (std::size_t v = 0; v < m; ++v) {
+        const std::size_t i = u * m + v;
+        if (u == 0 && v == 0) {
+          ex_[i] = ey_[i] = psi_[i] = 0.0;
+          continue;
+        }
+        const double denom = wu_[u] * wu_[u] + wv_[v] * wv_[v];
+        const double ps = coeff_[i] / denom;
+        psi_[i] = ps;
+        ex_[i] = ps * wu_[u];
+        ey_[i] = ps * wv_[v];
+      }
+    }
+  });
+
+  // Field syntheses (sine along the differentiated axis).
+  disp.run("es.idxst_idct", [&] { fft::idxst_idct(ex_.data(), m, m); });
+  disp.run("es.idct_idxst", [&] { fft::idct_idxst(ey_.data(), m, m); });
+
+  if (want_potential) {
+    disp.run("es.idct2_psi", [&] { fft::idct2(psi_.data(), m, m); });
+  }
+}
+
+double PoissonSolver::energy(const double* rho) const {
+  double acc = 0.0;
+  const std::size_t n = static_cast<std::size_t>(m_) * m_;
+  for (std::size_t i = 0; i < n; ++i) acc += rho[i] * psi_[i];
+  return 0.5 * acc;
+}
+
+}  // namespace xplace::ops

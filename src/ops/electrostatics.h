@@ -1,0 +1,50 @@
+// Spectral solver for the ePlace electrostatic system (Equation (5)):
+//
+//   ∇·∇ψ = −ρ,   n̂·∇ψ = 0 on ∂R,   ∬ρ = ∬ψ = 0.
+//
+// With Neumann boundary conditions the density expands in the cosine basis
+// cos(w_u x)cos(w_v y), w_u = πu/(M·h_x); the Poisson equation diagonalizes,
+// and the field components come back through mixed sine/cosine syntheses:
+//
+//   a     = dct2(ρ̄)                     (ρ̄ = ρ with mean removed)
+//   ψ̂_uv  = a_uv / (w_u² + w_v²)
+//   ψ     = idct2(ψ̂)
+//   E_x   = idxst_idct(ψ̂ ⊙ w_u)         (E = −∇ψ)
+//   E_y   = idct_idxst(ψ̂ ⊙ w_v)
+//
+// Xplace's operator-reduction path (Section 3.1.3) skips ψ entirely — only
+// three transforms per iteration. The baseline path additionally synthesizes
+// ψ to evaluate the potential energy the autograd formulation differentiates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xplace::ops {
+
+class PoissonSolver {
+ public:
+  PoissonSolver(int m, double bin_w, double bin_h);
+
+  /// Solve for the field (and optionally the potential) of an m×m density
+  /// map. Results are valid until the next solve() call.
+  void solve(const double* rho, bool want_potential);
+
+  const std::vector<double>& ex() const { return ex_; }
+  const std::vector<double>& ey() const { return ey_; }
+  const std::vector<double>& psi() const { return psi_; }
+
+  /// Potential energy 0.5·Σ_b ρ_b ψ_b (requires want_potential=true on the
+  /// preceding solve).
+  double energy(const double* rho) const;
+
+  int m() const { return m_; }
+
+ private:
+  int m_;
+  std::vector<double> wu_, wv_;      // angular frequencies per index
+  std::vector<double> coeff_;        // scratch: DCT coefficients
+  std::vector<double> ex_, ey_, psi_;
+};
+
+}  // namespace xplace::ops

@@ -1,0 +1,35 @@
+#include "ops/netlist_view.h"
+
+namespace xplace::ops {
+
+NetlistView build_netlist_view(const db::Database& db) {
+  NetlistView v;
+  v.num_cells = db.num_physical();
+  v.num_movable = db.num_movable();
+  v.num_nets = db.num_nets();
+  v.num_pins = db.num_pins();
+  v.net_start.resize(v.num_nets + 1);
+  for (std::size_t e = 0; e <= v.num_nets; ++e) {
+    v.net_start[e] = static_cast<std::uint32_t>(
+        e < v.num_nets ? db.net_pin_start(e) : db.num_pins());
+  }
+  v.pin_cell.resize(v.num_pins);
+  v.pin_net.resize(v.num_pins);
+  v.pin_ox.resize(v.num_pins);
+  v.pin_oy.resize(v.num_pins);
+  for (std::size_t p = 0; p < v.num_pins; ++p) {
+    v.pin_cell[p] = static_cast<std::uint32_t>(db.pin_cell(p));
+    v.pin_net[p] = db.pin_net(p);
+    v.pin_ox[p] = static_cast<float>(db.pin_offset_x(p));
+    v.pin_oy[p] = static_cast<float>(db.pin_offset_y(p));
+  }
+  v.net_weight.resize(v.num_nets);
+  v.net_mask.resize(v.num_nets);
+  for (std::size_t e = 0; e < v.num_nets; ++e) {
+    v.net_weight[e] = static_cast<float>(db.net_weight(e));
+    v.net_mask[e] = db.net_degree(e) >= 2 ? 1 : 0;
+  }
+  return v;
+}
+
+}  // namespace xplace::ops

@@ -1,0 +1,31 @@
+// Flat single-precision view of a database's connectivity, mirroring the
+// device-side arrays a GPU placer uploads once before iterating.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+
+namespace xplace::ops {
+
+struct NetlistView {
+  std::size_t num_cells = 0;  ///< physical cells (movable + fixed, no fillers)
+  std::size_t num_movable = 0;
+  std::size_t num_nets = 0;
+  std::size_t num_pins = 0;
+
+  std::vector<std::uint32_t> net_start;  ///< CSR offsets, size num_nets+1
+  std::vector<std::uint32_t> pin_cell;   ///< size num_pins
+  std::vector<std::uint32_t> pin_net;    ///< size num_pins
+  std::vector<float> pin_ox, pin_oy;     ///< offsets from cell center
+  std::vector<float> net_weight;         ///< per-net weight
+  /// 1 for nets included in wirelength (degree >= 2), 0 for degenerate nets.
+  std::vector<std::uint8_t> net_mask;
+
+  std::size_t degree(std::size_t e) const { return net_start[e + 1] - net_start[e]; }
+};
+
+NetlistView build_netlist_view(const db::Database& db);
+
+}  // namespace xplace::ops

@@ -1,0 +1,124 @@
+#include "ops/parallel.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ops/wa_detail.h"
+#include "tensor/dispatch.h"
+
+namespace xplace::ops {
+
+using tensor::Dispatcher;
+
+WirelengthSums fused_wl_grad_hpwl_mt(const NetlistView& v, const float* x,
+                                     const float* y, float gamma,
+                                     float* grad_x, float* grad_y,
+                                     ThreadPool& pool) {
+  WirelengthSums sums;
+  Dispatcher::global().run("fused_wl_grad_hpwl_mt", [&] {
+    const float inv_gamma = 1.0f / gamma;
+    const std::size_t workers = pool.size();
+    if (workers <= 1 || v.num_nets < 256) {
+      for (std::size_t e = 0; e < v.num_nets; ++e) {
+        if (!v.net_mask[e]) continue;
+        detail::fused_net(v, e, x, y, inv_gamma, grad_x, grad_y, sums.wa,
+                          sums.hpwl);
+      }
+      return;
+    }
+    const std::size_t n_cells = [&] {
+      std::size_t mx = 0;
+      for (std::uint32_t c : v.pin_cell) mx = std::max<std::size_t>(mx, c + 1);
+      return mx;
+    }();
+    // Static partition: worker w owns nets [w·N/W, (w+1)·N/W) and a private
+    // gradient buffer; buffers reduce in worker order (deterministic).
+    std::vector<std::vector<float>> gx(workers), gy(workers);
+    std::vector<double> wa(workers, 0.0), hp(workers, 0.0);
+    for (auto& g : gx) g.assign(n_cells, 0.0f);
+    for (auto& g : gy) g.assign(n_cells, 0.0f);
+    pool.parallel_for(workers, [&](std::size_t b, std::size_t e_, std::size_t) {
+      for (std::size_t w = b; w < e_; ++w) {
+        const std::size_t lo = w * v.num_nets / workers;
+        const std::size_t hi = (w + 1) * v.num_nets / workers;
+        for (std::size_t e = lo; e < hi; ++e) {
+          if (!v.net_mask[e]) continue;
+          detail::fused_net(v, e, x, y, inv_gamma, gx[w].data(), gy[w].data(),
+                            wa[w], hp[w]);
+        }
+      }
+    });
+    for (std::size_t w = 0; w < workers; ++w) {
+      sums.wa += wa[w];
+      sums.hpwl += hp[w];
+      for (std::size_t c = 0; c < n_cells; ++c) {
+        grad_x[c] += gx[w][c];
+        grad_y[c] += gy[w][c];
+      }
+    }
+  });
+  return sums;
+}
+
+void accumulate_range_mt(const DensityGrid& grid, const char* opname,
+                         const float* x, const float* y, std::size_t begin,
+                         std::size_t end, double* map, bool clear,
+                         ThreadPool& pool) {
+  Dispatcher::global().run(opname, [&] {
+    if (clear) std::fill(map, map + grid.num_bins(), 0.0);
+    const std::size_t workers = pool.size();
+    const std::size_t count = end - begin;
+    if (workers <= 1 || count < 512) {
+      for (std::size_t c = begin; c < end; ++c) {
+        const double scale = grid.cell_density_scale(c) * grid.inv_bin_area();
+        grid.for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
+          map[bin] += overlap * scale;
+        });
+      }
+      return;
+    }
+    std::vector<std::vector<double>> partial(workers);
+    for (auto& p : partial) p.assign(grid.num_bins(), 0.0);
+    pool.parallel_for(workers, [&](std::size_t b, std::size_t e_, std::size_t) {
+      for (std::size_t w = b; w < e_; ++w) {
+        const std::size_t lo = begin + w * count / workers;
+        const std::size_t hi = begin + (w + 1) * count / workers;
+        double* m = partial[w].data();
+        for (std::size_t c = lo; c < hi; ++c) {
+          const double scale = grid.cell_density_scale(c) * grid.inv_bin_area();
+          grid.for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
+            m[bin] += overlap * scale;
+          });
+        }
+      }
+    });
+    for (std::size_t w = 0; w < workers; ++w) {
+      for (std::size_t b = 0; b < grid.num_bins(); ++b) map[b] += partial[w][b];
+    }
+  });
+}
+
+void gather_field_mt(const DensityGrid& grid, const char* opname,
+                     const float* x, const float* y, std::size_t begin,
+                     std::size_t end, const double* ex, const double* ey,
+                     float coeff, float* grad_x, float* grad_y,
+                     ThreadPool& pool) {
+  Dispatcher::global().run(opname, [&] {
+    // Each cell owns its gradient slot: direct parallel write is safe.
+    pool.parallel_for(end - begin, [&](std::size_t b, std::size_t e_, std::size_t) {
+      for (std::size_t i = b; i < e_; ++i) {
+        const std::size_t c = begin + i;
+        double fx = 0.0, fy = 0.0;
+        grid.for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
+          fx += overlap * ex[bin];
+          fy += overlap * ey[bin];
+        });
+        const double q = grid.cell_density_scale(c) * grid.inv_bin_area();
+        grad_x[c] += coeff * static_cast<float>(q * fx);
+        grad_y[c] += coeff * static_cast<float>(q * fy);
+      }
+    });
+  });
+}
+
+}  // namespace xplace::ops

@@ -1,0 +1,44 @@
+// Multi-threaded variants of the heavy placement kernels.
+//
+// The GPU placer distributes per-net / per-cell work across CUDA threads; on
+// a multi-core host the same kernels are statically partitioned across a
+// ThreadPool:
+//   * nets are split into one contiguous range per worker; each worker
+//     scatters gradients into its own buffer; buffers are reduced in worker
+//     order — results are bitwise-deterministic for a fixed pool size and
+//     agree with the serial kernels to float accumulation order,
+//   * the density scatter uses per-worker bin maps (reduced the same way),
+//   * the field gather is embarrassingly parallel (each cell's gradient slot
+//     is written by exactly one worker).
+//
+// Each *_mt call still counts as one dispatcher launch: it models one fat
+// kernel, not many.
+#pragma once
+
+#include "ops/density.h"
+#include "ops/netlist_view.h"
+#include "ops/wirelength.h"
+#include "util/thread_pool.h"
+
+namespace xplace::ops {
+
+/// Parallel fused WA-wirelength + gradient + HPWL (operator combination).
+WirelengthSums fused_wl_grad_hpwl_mt(const NetlistView& view, const float* x,
+                                     const float* y, float gamma,
+                                     float* grad_x, float* grad_y,
+                                     ThreadPool& pool);
+
+/// Parallel density scatter of cells [begin, end) into `map`.
+void accumulate_range_mt(const DensityGrid& grid, const char* opname,
+                         const float* x, const float* y, std::size_t begin,
+                         std::size_t end, double* map, bool clear,
+                         ThreadPool& pool);
+
+/// Parallel field gather (adjoint of the scatter).
+void gather_field_mt(const DensityGrid& grid, const char* opname,
+                     const float* x, const float* y, std::size_t begin,
+                     std::size_t end, const double* ex, const double* ey,
+                     float coeff, float* grad_x, float* grad_y,
+                     ThreadPool& pool);
+
+}  // namespace xplace::ops

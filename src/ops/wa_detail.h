@@ -1,0 +1,91 @@
+// Internal per-net helpers shared by the serial and parallel WA wirelength
+// kernels. Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ops/netlist_view.h"
+
+namespace xplace::ops::detail {
+
+struct NetExtent {
+  float min_x, max_x, min_y, max_y;
+};
+
+inline NetExtent net_extent(const NetlistView& v, std::size_t e, const float* x,
+                            const float* y) {
+  NetExtent ext{std::numeric_limits<float>::max(),
+                std::numeric_limits<float>::lowest(),
+                std::numeric_limits<float>::max(),
+                std::numeric_limits<float>::lowest()};
+  for (std::size_t p = v.net_start[e]; p < v.net_start[e + 1]; ++p) {
+    const float px = x[v.pin_cell[p]] + v.pin_ox[p];
+    const float py = y[v.pin_cell[p]] + v.pin_oy[p];
+    ext.min_x = std::min(ext.min_x, px);
+    ext.max_x = std::max(ext.max_x, px);
+    ext.min_y = std::min(ext.min_y, py);
+    ext.max_y = std::max(ext.max_y, py);
+  }
+  return ext;
+}
+
+/// Stable WA exp-sum accumulators for one net/direction.
+struct WaTerms {
+  double sum_e_max = 0.0, sum_xe_max = 0.0;  // s_i, x_i·s_i, s = exp((x-max)/γ)
+  double sum_e_min = 0.0, sum_xe_min = 0.0;  // u_i, x_i·u_i, u = exp((min-x)/γ)
+
+  double wl() const { return sum_xe_max / sum_e_max - sum_xe_min / sum_e_min; }
+};
+
+inline WaTerms wa_terms(const NetlistView& v, std::size_t e, const float* pos,
+                        const float* off, float lo, float hi, float inv_gamma) {
+  WaTerms t;
+  for (std::size_t p = v.net_start[e]; p < v.net_start[e + 1]; ++p) {
+    const float px = pos[v.pin_cell[p]] + off[p];
+    const double s = std::exp((px - hi) * inv_gamma);
+    const double u = std::exp((lo - px) * inv_gamma);
+    t.sum_e_max += s;
+    t.sum_xe_max += px * s;
+    t.sum_e_min += u;
+    t.sum_xe_min += px * u;
+  }
+  return t;
+}
+
+/// Scatter the stable-form WA gradient of one net/direction into grad.
+inline void wa_scatter(const NetlistView& v, std::size_t e, const float* pos,
+                       const float* off, float lo, float hi, float inv_gamma,
+                       const WaTerms& t, float weight, float* grad) {
+  const double wl_max = t.sum_xe_max / t.sum_e_max;
+  const double wl_min = t.sum_xe_min / t.sum_e_min;
+  const double inv_smax = 1.0 / t.sum_e_max;
+  const double inv_smin = 1.0 / t.sum_e_min;
+  for (std::size_t p = v.net_start[e]; p < v.net_start[e + 1]; ++p) {
+    const std::uint32_t c = v.pin_cell[p];
+    const float px = pos[c] + off[p];
+    const double s = std::exp((px - hi) * inv_gamma);
+    const double u = std::exp((lo - px) * inv_gamma);
+    const double d_max = s * (1.0 + (px - wl_max) * inv_gamma) * inv_smax;
+    const double d_min = u * (1.0 - (px - wl_min) * inv_gamma) * inv_smin;
+    grad[c] += weight * static_cast<float>(d_max - d_min);
+  }
+}
+
+/// Full fused treatment of one net: HPWL + WA + gradient scatter.
+inline void fused_net(const NetlistView& v, std::size_t e, const float* x,
+                      const float* y, float inv_gamma, float* grad_x,
+                      float* grad_y, double& wa_acc, double& hpwl_acc) {
+  const float w = v.net_weight[e];
+  const NetExtent ext = net_extent(v, e, x, y);
+  hpwl_acc += static_cast<double>(w) *
+              ((ext.max_x - ext.min_x) + (ext.max_y - ext.min_y));
+  const WaTerms tx = wa_terms(v, e, x, v.pin_ox.data(), ext.min_x, ext.max_x, inv_gamma);
+  const WaTerms ty = wa_terms(v, e, y, v.pin_oy.data(), ext.min_y, ext.max_y, inv_gamma);
+  wa_acc += static_cast<double>(w) * (tx.wl() + ty.wl());
+  wa_scatter(v, e, x, v.pin_ox.data(), ext.min_x, ext.max_x, inv_gamma, tx, w, grad_x);
+  wa_scatter(v, e, y, v.pin_oy.data(), ext.min_y, ext.max_y, inv_gamma, ty, w, grad_y);
+}
+
+}  // namespace xplace::ops::detail

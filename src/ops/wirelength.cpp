@@ -1,0 +1,77 @@
+#include "ops/wirelength.h"
+
+#include "ops/wa_detail.h"
+#include "tensor/dispatch.h"
+
+namespace xplace::ops {
+namespace {
+using tensor::Dispatcher;
+using namespace detail;
+}  // namespace
+
+WirelengthSums fused_wl_grad_hpwl(const NetlistView& v, const float* x,
+                                  const float* y, float gamma, float* grad_x,
+                                  float* grad_y) {
+  WirelengthSums sums;
+  Dispatcher::global().run("fused_wl_grad_hpwl", [&] {
+    const float inv_gamma = 1.0f / gamma;
+    for (std::size_t e = 0; e < v.num_nets; ++e) {
+      if (!v.net_mask[e]) continue;
+      fused_net(v, e, x, y, inv_gamma, grad_x, grad_y, sums.wa, sums.hpwl);
+    }
+  });
+  return sums;
+}
+
+double wa_wirelength(const NetlistView& v, const float* x, const float* y,
+                     float gamma) {
+  double wl = 0.0;
+  Dispatcher::global().run("wa_wirelength", [&] {
+    const float inv_gamma = 1.0f / gamma;
+    for (std::size_t e = 0; e < v.num_nets; ++e) {
+      if (!v.net_mask[e]) continue;
+      const NetExtent ext = net_extent(v, e, x, y);
+      const WaTerms tx =
+          wa_terms(v, e, x, v.pin_ox.data(), ext.min_x, ext.max_x, inv_gamma);
+      const WaTerms ty =
+          wa_terms(v, e, y, v.pin_oy.data(), ext.min_y, ext.max_y, inv_gamma);
+      wl += static_cast<double>(v.net_weight[e]) * (tx.wl() + ty.wl());
+    }
+  });
+  return wl;
+}
+
+void wa_gradient(const NetlistView& v, const float* x, const float* y,
+                 float gamma, float* grad_x, float* grad_y) {
+  Dispatcher::global().run("wa_gradient", [&] {
+    const float inv_gamma = 1.0f / gamma;
+    for (std::size_t e = 0; e < v.num_nets; ++e) {
+      if (!v.net_mask[e]) continue;
+      const float w = v.net_weight[e];
+      const NetExtent ext = net_extent(v, e, x, y);
+      const WaTerms tx =
+          wa_terms(v, e, x, v.pin_ox.data(), ext.min_x, ext.max_x, inv_gamma);
+      const WaTerms ty =
+          wa_terms(v, e, y, v.pin_oy.data(), ext.min_y, ext.max_y, inv_gamma);
+      wa_scatter(v, e, x, v.pin_ox.data(), ext.min_x, ext.max_x, inv_gamma, tx,
+                 w, grad_x);
+      wa_scatter(v, e, y, v.pin_oy.data(), ext.min_y, ext.max_y, inv_gamma, ty,
+                 w, grad_y);
+    }
+  });
+}
+
+double hpwl(const NetlistView& v, const float* x, const float* y) {
+  double total = 0.0;
+  Dispatcher::global().run("hpwl", [&] {
+    for (std::size_t e = 0; e < v.num_nets; ++e) {
+      if (!v.net_mask[e]) continue;
+      const NetExtent ext = net_extent(v, e, x, y);
+      total += static_cast<double>(v.net_weight[e]) *
+               ((ext.max_x - ext.min_x) + (ext.max_y - ext.min_y));
+    }
+  });
+  return total;
+}
+
+}  // namespace xplace::ops

@@ -1,0 +1,213 @@
+#include "ops/wirelength_tape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/dispatch.h"
+
+namespace xplace::ops {
+namespace {
+using tensor::Dispatcher;
+}
+
+void TapeWirelength::DirScratch::resize(std::size_t pins, std::size_t nets) {
+  pin_pos.resize(pins);
+  net_min.resize(nets);
+  net_max.resize(nets);
+  a.resize(pins);
+  b.resize(pins);
+  ea.resize(pins);
+  eb.resize(pins);
+  xea.resize(pins);
+  xeb.resize(pins);
+  sea.resize(nets);
+  seb.resize(nets);
+  sxea.resize(nets);
+  sxeb.resize(nets);
+  wl_net.resize(nets);
+  d_sxea.resize(nets);
+  d_sea.resize(nets);
+  d_sxeb.resize(nets);
+  d_seb.resize(nets);
+  d_pin.resize(pins);
+  d_ea.resize(pins);
+  d_eb.resize(pins);
+  d_a.resize(pins);
+  d_b.resize(pins);
+  d_xea.resize(pins);
+  d_xeb.resize(pins);
+}
+
+TapeWirelength::TapeWirelength(const NetlistView& view) : view_(view) {
+  sx_.resize(view.num_pins, view.num_nets);
+  sy_.resize(view.num_pins, view.num_nets);
+}
+
+double TapeWirelength::forward_dir(tensor::Tape& tape, const float* pos,
+                                   const float* off, float inv_gamma,
+                                   float* grad, DirScratch& s) {
+  auto& disp = Dispatcher::global();
+  const NetlistView& v = view_;
+  const std::size_t pins = v.num_pins, nets = v.num_nets;
+
+  // -------- forward elementary kernels --------
+  disp.run("wl.gather_pin_pos", [&] {
+    for (std::size_t p = 0; p < pins; ++p) s.pin_pos[p] = pos[v.pin_cell[p]] + off[p];
+  });
+  disp.run("wl.segment_max", [&] {
+    std::fill(s.net_max.begin(), s.net_max.end(),
+              std::numeric_limits<float>::lowest());
+    for (std::size_t p = 0; p < pins; ++p) {
+      s.net_max[v.pin_net[p]] = std::max(s.net_max[v.pin_net[p]], s.pin_pos[p]);
+    }
+  });
+  disp.run("wl.segment_min", [&] {
+    std::fill(s.net_min.begin(), s.net_min.end(),
+              std::numeric_limits<float>::max());
+    for (std::size_t p = 0; p < pins; ++p) {
+      s.net_min[v.pin_net[p]] = std::min(s.net_min[v.pin_net[p]], s.pin_pos[p]);
+    }
+  });
+  disp.run("wl.sub_div_max", [&] {
+    for (std::size_t p = 0; p < pins; ++p)
+      s.a[p] = (s.pin_pos[p] - s.net_max[v.pin_net[p]]) * inv_gamma;
+  });
+  disp.run("wl.sub_div_min", [&] {
+    for (std::size_t p = 0; p < pins; ++p)
+      s.b[p] = (s.net_min[v.pin_net[p]] - s.pin_pos[p]) * inv_gamma;
+  });
+  disp.run("wl.exp_max", [&] {
+    for (std::size_t p = 0; p < pins; ++p) s.ea[p] = std::exp(s.a[p]);
+  });
+  disp.run("wl.exp_min", [&] {
+    for (std::size_t p = 0; p < pins; ++p) s.eb[p] = std::exp(s.b[p]);
+  });
+  disp.run("wl.mul_max", [&] {
+    for (std::size_t p = 0; p < pins; ++p) s.xea[p] = s.pin_pos[p] * s.ea[p];
+  });
+  disp.run("wl.mul_min", [&] {
+    for (std::size_t p = 0; p < pins; ++p) s.xeb[p] = s.pin_pos[p] * s.eb[p];
+  });
+  auto segment_sum = [&](const char* name, const std::vector<float>& src,
+                         std::vector<double>& dst) {
+    disp.run(name, [&] {
+      std::fill(dst.begin(), dst.end(), 0.0);
+      for (std::size_t p = 0; p < pins; ++p) dst[v.pin_net[p]] += src[p];
+    });
+  };
+  segment_sum("wl.segsum_ea", s.ea, s.sea);
+  segment_sum("wl.segsum_eb", s.eb, s.seb);
+  segment_sum("wl.segsum_xea", s.xea, s.sxea);
+  segment_sum("wl.segsum_xeb", s.xeb, s.sxeb);
+  disp.run("wl.div_sub", [&] {
+    for (std::size_t e = 0; e < nets; ++e) {
+      s.wl_net[e] = v.net_mask[e]
+                        ? static_cast<float>(s.sxea[e] / s.sea[e] -
+                                             s.sxeb[e] / s.seb[e])
+                        : 0.0f;
+    }
+  });
+  double wl = 0.0;
+  disp.run("wl.weighted_reduce", [&] {
+    for (std::size_t e = 0; e < nets; ++e)
+      wl += static_cast<double>(v.net_weight[e]) * s.wl_net[e];
+  });
+
+  // -------- backward nodes (replayed in reverse by the tape) --------
+  // Recorded in forward order; Tape::backward() runs them last-to-first, so
+  // the scatter (recorded first) executes last.
+  tape.record("wl.gather_pin_pos", [this, grad, &s] {
+    const NetlistView& view = view_;
+    for (std::size_t p = 0; p < view.num_pins; ++p)
+      grad[view.pin_cell[p]] += s.d_pin[p];
+  });
+  tape.record("wl.sub_div", [this, inv_gamma, &s] {
+    // d_pin += d_a/γ − d_b/γ (max path positive, min path negative).
+    for (std::size_t p = 0; p < view_.num_pins; ++p)
+      s.d_pin[p] += (s.d_a[p] - s.d_b[p]) * inv_gamma;
+  });
+  tape.record("wl.exp", [this, &s] {
+    for (std::size_t p = 0; p < view_.num_pins; ++p) {
+      s.d_a[p] = s.d_ea[p] * s.ea[p];
+      s.d_b[p] = s.d_eb[p] * s.eb[p];
+    }
+  });
+  tape.record("wl.mul", [this, &s] {
+    // xea = pin_pos * ea  ⇒  d_pin += d_xea*ea ; d_ea += d_xea*pin_pos.
+    for (std::size_t p = 0; p < view_.num_pins; ++p) {
+      s.d_pin[p] = s.d_xea[p] * s.ea[p] + s.d_xeb[p] * s.eb[p];
+      s.d_ea[p] += s.d_xea[p] * s.pin_pos[p];
+      s.d_eb[p] += s.d_xeb[p] * s.pin_pos[p];
+    }
+  });
+  tape.record("wl.segsum", [this, &s] {
+    // Segment-sum backward: broadcast per-net adjoints to pins.
+    const NetlistView& view = view_;
+    for (std::size_t p = 0; p < view.num_pins; ++p) {
+      const std::uint32_t e = view.pin_net[p];
+      s.d_xea[p] = static_cast<float>(s.d_sxea[e]);
+      s.d_ea[p] = static_cast<float>(s.d_sea[e]);
+      s.d_xeb[p] = static_cast<float>(s.d_sxeb[e]);
+      s.d_eb[p] = static_cast<float>(s.d_seb[e]);
+    }
+  });
+  tape.record("wl.div_sub", [this, &s] {
+    // wl_e = sxea/sea − sxeb/seb with upstream adjoint w_e.
+    const NetlistView& view = view_;
+    for (std::size_t e = 0; e < view.num_nets; ++e) {
+      if (!view.net_mask[e]) {
+        s.d_sxea[e] = s.d_sea[e] = s.d_sxeb[e] = s.d_seb[e] = 0.0;
+        continue;
+      }
+      const double w = view.net_weight[e];
+      s.d_sxea[e] = w / s.sea[e];
+      s.d_sea[e] = -w * (s.sxea[e] / s.sea[e]) / s.sea[e];
+      s.d_sxeb[e] = -w / s.seb[e];
+      s.d_seb[e] = w * (s.sxeb[e] / s.seb[e]) / s.seb[e];
+    }
+  });
+  return wl;
+}
+
+double TapeWirelength::forward(tensor::Tape& tape, const float* x,
+                               const float* y, float gamma, float* grad_x,
+                               float* grad_y) {
+  const float inv_gamma = 1.0f / gamma;
+  const double wx = forward_dir(tape, x, view_.pin_ox.data(), inv_gamma, grad_x, sx_);
+  const double wy = forward_dir(tape, y, view_.pin_oy.data(), inv_gamma, grad_y, sy_);
+  return wx + wy;
+}
+
+double TapeWirelength::hpwl_op(const float* x, const float* y) {
+  auto& disp = Dispatcher::global();
+  const NetlistView& v = view_;
+  double total = 0.0;
+  // Kernel 1: per-net extents (x and y as one fused reduction, as DREAMPlace's
+  // hpwl op does); kernel 2: weighted reduce.
+  disp.run("hpwl.segment_minmax", [&] {
+    std::fill(sx_.net_min.begin(), sx_.net_min.end(), std::numeric_limits<float>::max());
+    std::fill(sx_.net_max.begin(), sx_.net_max.end(), std::numeric_limits<float>::lowest());
+    std::fill(sy_.net_min.begin(), sy_.net_min.end(), std::numeric_limits<float>::max());
+    std::fill(sy_.net_max.begin(), sy_.net_max.end(), std::numeric_limits<float>::lowest());
+    for (std::size_t p = 0; p < v.num_pins; ++p) {
+      const std::uint32_t e = v.pin_net[p];
+      const float px = x[v.pin_cell[p]] + v.pin_ox[p];
+      const float py = y[v.pin_cell[p]] + v.pin_oy[p];
+      sx_.net_min[e] = std::min(sx_.net_min[e], px);
+      sx_.net_max[e] = std::max(sx_.net_max[e], px);
+      sy_.net_min[e] = std::min(sy_.net_min[e], py);
+      sy_.net_max[e] = std::max(sy_.net_max[e], py);
+    }
+  });
+  disp.run("hpwl.weighted_reduce", [&] {
+    for (std::size_t e = 0; e < v.num_nets; ++e) {
+      if (!v.net_mask[e]) continue;
+      total += static_cast<double>(v.net_weight[e]) *
+               ((sx_.net_max[e] - sx_.net_min[e]) + (sy_.net_max[e] - sy_.net_min[e]));
+    }
+  });
+  return total;
+}
+
+}  // namespace xplace::ops

@@ -1,0 +1,59 @@
+// Elementary-operator (PyTorch-style) WA wirelength with tape autograd.
+//
+// This models how a placer built from stock framework operators executes: the
+// forward pass is ~14 small kernels per direction (gather, segment min/max,
+// broadcast-subtract, exp, multiply, four segment sums, divide, reduce) and
+// the autograd engine replays ~12 backward kernels per direction. Xplace's
+// *operator reduction* (Section 3.1.3) removes all of this by computing the
+// numerical gradient directly; the ablation tier with OR disabled runs this
+// implementation so the launch-count contrast is measured, not asserted.
+//
+// The decomposition is mathematically identical to ops::wa_gradient: per-net
+// max/min are detached (treated as constants) exactly as in the stable-WA
+// formulation.
+#pragma once
+
+#include <vector>
+
+#include "ops/netlist_view.h"
+#include "tensor/tape.h"
+
+namespace xplace::ops {
+
+class TapeWirelength {
+ public:
+  explicit TapeWirelength(const NetlistView& view);
+
+  /// Forward: returns Σ_e w_e (WL_e(x)+WL_e(y)) and records backward nodes on
+  /// `tape`. When tape.backward() later runs, gradients are *accumulated*
+  /// into grad_x / grad_y (which must stay alive until then).
+  double forward(tensor::Tape& tape, const float* x, const float* y,
+                 float gamma, float* grad_x, float* grad_y);
+
+  /// Separate HPWL operator (two launches: segment min/max + weighted reduce),
+  /// as a stock implementation would issue it.
+  double hpwl_op(const float* x, const float* y);
+
+ private:
+  struct DirScratch {
+    std::vector<float> pin_pos;        // gathered pin coordinates
+    std::vector<float> net_min, net_max;
+    std::vector<float> a, b;           // (pos-max)/γ, (min-pos)/γ
+    std::vector<float> ea, eb;         // exp(a), exp(b)
+    std::vector<float> xea, xeb;       // pos*ea, pos*eb
+    std::vector<double> sea, seb, sxea, sxeb;  // per-net segment sums
+    std::vector<float> wl_net;
+    // backward scratch
+    std::vector<double> d_sxea, d_sea, d_sxeb, d_seb;
+    std::vector<float> d_pin, d_ea, d_eb, d_a, d_b, d_xea, d_xeb;
+    void resize(std::size_t pins, std::size_t nets);
+  };
+
+  double forward_dir(tensor::Tape& tape, const float* pos, const float* off,
+                     float inv_gamma, float* grad, DirScratch& s);
+
+  const NetlistView& view_;
+  DirScratch sx_, sy_;
+};
+
+}  // namespace xplace::ops

@@ -1,0 +1,163 @@
+#include "route/congestion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace xplace::route {
+
+std::string CongestionResult::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "grid %d  total_ovfl %.4g  max_ovfl %.4g  top5_ovfl %.4g  "
+                "top5_util %.3f",
+                grid, total_overflow, max_overflow, top5_overflow,
+                top5_utilization);
+  return buf;
+}
+
+std::vector<double> rudy_map(const db::Database& db, int grid) {
+  std::vector<double> demand(static_cast<std::size_t>(grid) * grid, 0.0);
+  const auto& r = db.region();
+  const double gw = r.width() / grid, gh = r.height() / grid;
+  for (std::size_t e = 0; e < db.num_nets(); ++e) {
+    const std::size_t begin = db.net_pin_start(e), end = db.net_pin_start(e + 1);
+    if (end - begin < 2) continue;
+    double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+    for (std::size_t p = begin; p < end; ++p) {
+      const std::size_t c = db.pin_cell(p);
+      const double px = db.x(c) + db.pin_offset_x(p);
+      const double py = db.y(c) + db.pin_offset_y(p);
+      min_x = std::min(min_x, px);
+      max_x = std::max(max_x, px);
+      min_y = std::min(min_y, py);
+      max_y = std::max(max_y, py);
+    }
+    const double w = std::max(max_x - min_x, gw), h = std::max(max_y - min_y, gh);
+    // RUDY: wirelength (w+h) spread uniformly over the bbox area.
+    const double dens = (w + h) / (w * h);
+    int bx0 = std::clamp(static_cast<int>((min_x - r.lx) / gw), 0, grid - 1);
+    int bx1 = std::clamp(static_cast<int>((max_x - r.lx) / gw), 0, grid - 1);
+    int by0 = std::clamp(static_cast<int>((min_y - r.ly) / gh), 0, grid - 1);
+    int by1 = std::clamp(static_cast<int>((max_y - r.ly) / gh), 0, grid - 1);
+    for (int bx = bx0; bx <= bx1; ++bx) {
+      for (int by = by0; by <= by1; ++by) {
+        // Overlap-weighted smear.
+        const double ow = std::min(max_x, r.lx + (bx + 1) * gw) -
+                          std::max(min_x, r.lx + bx * gw);
+        const double oh = std::min(max_y, r.ly + (by + 1) * gh) -
+                          std::max(min_y, r.ly + by * gh);
+        demand[static_cast<std::size_t>(bx) * grid + by] +=
+            dens * std::max(ow, 0.0) * std::max(oh, 0.0) / (gw * gh);
+      }
+    }
+  }
+  return demand;
+}
+
+namespace {
+
+/// Adds probabilistic 2-pattern (L-shape) demand of a 2-pin connection
+/// (x0,y0)→(x1,y1): each L route carries weight 0.5. Horizontal demand lands
+/// on the gcells the horizontal span crosses (at the y of the row used);
+/// vertical demand likewise.
+void add_lshape(std::vector<double>& dh, std::vector<double>& dv, int grid,
+                double gw, double gh, double lx, double ly, double x0,
+                double y0, double x1, double y1) {
+  auto gx = [&](double x) {
+    return std::clamp(static_cast<int>((x - lx) / gw), 0, grid - 1);
+  };
+  auto gy = [&](double y) {
+    return std::clamp(static_cast<int>((y - ly) / gh), 0, grid - 1);
+  };
+  const int bx0 = gx(std::min(x0, x1)), bx1 = gx(std::max(x0, x1));
+  const int by0 = gy(std::min(y0, y1)), by1 = gy(std::max(y0, y1));
+  const int src_y = gy(y0), dst_y = gy(y1);
+  const int src_x = gx(x0), dst_x = gx(x1);
+  // Route A: horizontal at src_y then vertical at dst_x.
+  // Route B: vertical at src_x then horizontal at dst_y.
+  for (int bx = bx0; bx <= bx1; ++bx) {
+    dh[static_cast<std::size_t>(bx) * grid + src_y] += 0.5;
+    dh[static_cast<std::size_t>(bx) * grid + dst_y] += 0.5;
+  }
+  for (int by = by0; by <= by1; ++by) {
+    dv[static_cast<std::size_t>(dst_x) * grid + by] += 0.5;
+    dv[static_cast<std::size_t>(src_x) * grid + by] += 0.5;
+  }
+}
+
+}  // namespace
+
+CongestionResult estimate_congestion(const db::Database& db,
+                                     const CongestionConfig& cfg) {
+  CongestionResult res;
+  res.grid = cfg.grid;
+  const std::size_t nbins = static_cast<std::size_t>(cfg.grid) * cfg.grid;
+  res.demand_h.assign(nbins, 0.0);
+  res.demand_v.assign(nbins, 0.0);
+  const auto& r = db.region();
+  const double gw = r.width() / cfg.grid, gh = r.height() / cfg.grid;
+
+  if (cfg.use_lshape) {
+    // Chain decomposition: pins sorted by x, consecutive pairs routed.
+    std::vector<std::pair<double, double>> pins;
+    for (std::size_t e = 0; e < db.num_nets(); ++e) {
+      const std::size_t begin = db.net_pin_start(e), end = db.net_pin_start(e + 1);
+      if (end - begin < 2) continue;
+      pins.clear();
+      for (std::size_t p = begin; p < end; ++p) {
+        const std::size_t c = db.pin_cell(p);
+        pins.emplace_back(db.x(c) + db.pin_offset_x(p),
+                          db.y(c) + db.pin_offset_y(p));
+      }
+      std::sort(pins.begin(), pins.end());
+      for (std::size_t i = 1; i < pins.size(); ++i) {
+        add_lshape(res.demand_h, res.demand_v, cfg.grid, gw, gh, r.lx, r.ly,
+                   pins[i - 1].first, pins[i - 1].second, pins[i].first,
+                   pins[i].second);
+      }
+    }
+  } else {
+    // RUDY-only: split the smeared demand half/half into H and V.
+    const std::vector<double> rudy = rudy_map(db, cfg.grid);
+    for (std::size_t b = 0; b < nbins; ++b) {
+      // Convert wire density (length/area) to track usage per gcell.
+      const double tracks = rudy[b] * gw;  // wirelength crossing the gcell
+      res.demand_h[b] = 0.5 * tracks;
+      res.demand_v[b] = 0.5 * tracks;
+    }
+  }
+
+  // Uniform capacity: tracks_per_gcell per direction.
+  res.capacity_h = cfg.tracks_per_gcell;
+  res.capacity_v = cfg.tracks_per_gcell;
+
+  // Per-gcell overflow (H + V) and the top-5% statistic.
+  std::vector<double> overflow(nbins), utilization(nbins);
+  for (std::size_t b = 0; b < nbins; ++b) {
+    const double oh = std::max(res.demand_h[b] - res.capacity_h, 0.0);
+    const double ov = std::max(res.demand_v[b] - res.capacity_v, 0.0);
+    overflow[b] = oh + ov;
+    utilization[b] = 0.5 * (res.demand_h[b] / res.capacity_h +
+                            res.demand_v[b] / res.capacity_v);
+    res.total_overflow += overflow[b];
+    res.max_overflow = std::max(res.max_overflow, overflow[b]);
+  }
+  std::vector<std::size_t> idx(nbins);
+  for (std::size_t b = 0; b < nbins; ++b) idx[b] = b;
+  const std::size_t top = std::max<std::size_t>(1, nbins / 20);
+  std::partial_sort(idx.begin(), idx.begin() + top, idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return utilization[a] > utilization[b];
+                    });
+  double ovfl_sum = 0.0, util_sum = 0.0;
+  for (std::size_t k = 0; k < top; ++k) {
+    ovfl_sum += overflow[idx[k]];
+    util_sum += utilization[idx[k]];
+  }
+  res.top5_overflow = ovfl_sum / static_cast<double>(top);
+  res.top5_utilization = util_sum / static_cast<double>(top);
+  return res;
+}
+
+}  // namespace xplace::route

@@ -1,0 +1,52 @@
+// Global-routing congestion estimation — the stand-in for NCTUgr's top5
+// overflow metric in Table 4.
+//
+// Two demand models over a gcell grid:
+//   * RUDY (Rectangular Uniform wire DensitY): each net smears
+//     (w + h)/(w·h) wire demand over its bounding box — fast, smooth.
+//   * Probabilistic two-pattern routing: each net is decomposed into 2-pin
+//     edges along a chain sorted by x; each edge contributes half a unit of
+//     demand along each of its two L-shaped routes (upper-L and lower-L),
+//     split into horizontal demand (on gcell x-edges) and vertical demand —
+//     the classic probabilistic congestion map global routers start from.
+//
+// Overflow per gcell = max(demand − capacity, 0) summed over the H and V
+// layers; OVFL-5 is the mean overflow of the 5 % most congested gcells
+// (the paper's "top5 overflow", Equation in Section 4.1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace xplace::route {
+
+struct CongestionConfig {
+  int grid = 64;              ///< gcell grid dimension (grid × grid)
+  double tracks_per_gcell = 10.0;  ///< per-direction routing capacity scale
+  bool use_lshape = true;     ///< probabilistic 2-pattern routing (else RUDY only)
+};
+
+struct CongestionResult {
+  int grid = 0;
+  std::vector<double> demand_h;   ///< horizontal wire demand per gcell
+  std::vector<double> demand_v;   ///< vertical wire demand per gcell
+  double capacity_h = 0.0;        ///< uniform per-gcell capacity (per dir)
+  double capacity_v = 0.0;
+  double total_overflow = 0.0;
+  double max_overflow = 0.0;
+  double top5_overflow = 0.0;     ///< mean overflow of top 5% congested gcells
+  double top5_utilization = 0.0;  ///< mean demand/capacity of top 5% gcells
+
+  std::string summary() const;
+};
+
+CongestionResult estimate_congestion(const db::Database& db,
+                                     const CongestionConfig& cfg = {});
+
+/// Pure RUDY map (tests + NN features): demand[ix*grid+iy].
+std::vector<double> rudy_map(const db::Database& db, int grid);
+
+}  // namespace xplace::route

@@ -1,0 +1,56 @@
+#include "route/inflation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace xplace::route {
+
+std::vector<double> compute_inflation_factors(const db::Database& db,
+                                              const CongestionResult& congestion,
+                                              const InflationConfig& cfg) {
+  const int grid = congestion.grid;
+  const auto& r = db.region();
+  const double gw = r.width() / grid, gh = r.height() / grid;
+  std::vector<double> factors(db.num_movable(), 1.0);
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    const int gx = std::clamp(static_cast<int>((db.x(c) - r.lx) / gw), 0, grid - 1);
+    const int gy = std::clamp(static_cast<int>((db.y(c) - r.ly) / gh), 0, grid - 1);
+    const std::size_t b = static_cast<std::size_t>(gx) * grid + gy;
+    const double util = 0.5 * (congestion.demand_h[b] / congestion.capacity_h +
+                               congestion.demand_v[b] / congestion.capacity_v);
+    if (util > cfg.start_utilization) {
+      factors[c] = std::min(cfg.max_factor,
+                            1.0 + cfg.gain * (util - cfg.start_utilization));
+    }
+  }
+  return factors;
+}
+
+double apply_inflation(db::Database& db, const std::vector<double>& factors) {
+  // Cap total growth: inflated movable area must stay below 95% of the free
+  // area, otherwise scale all factors' growth down proportionally.
+  const double free_area = db.region().area() - db.fixed_area_in_region();
+  double inflated_area = 0.0;
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    inflated_area += db.area(c) * factors[c];
+  }
+  const double budget = 0.95 * db.target_density() * free_area;
+  double shrink = 1.0;
+  if (inflated_area > budget && inflated_area > db.total_movable_area()) {
+    shrink = std::max(0.0, (budget - db.total_movable_area()) /
+                               (inflated_area - db.total_movable_area()));
+    shrink = std::clamp(shrink, 0.0, 1.0);
+  }
+  const double before = db.total_movable_area();
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    const double f = 1.0 + (factors[c] - 1.0) * shrink;
+    if (f != 1.0) db.scale_cell_width(c, f);
+  }
+  const double growth = db.total_movable_area() / before;
+  XP_INFO("inflation: movable area x%.3f (budget shrink %.2f)", growth, shrink);
+  return growth;
+}
+
+}  // namespace xplace::route

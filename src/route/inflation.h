@@ -1,0 +1,35 @@
+// Congestion-driven cell inflation — the classic routability-driven placement
+// feedback loop (the paper lists routability handling as future work; this is
+// the standard Ripple/EH?Placer-style mechanism built on our congestion
+// estimator).
+//
+// Cells sitting in over-utilized gcells get their width inflated so the next
+// global-placement pass reserves whitespace where routing demand is high.
+#pragma once
+
+#include <vector>
+
+#include "db/database.h"
+#include "route/congestion.h"
+
+namespace xplace::route {
+
+struct InflationConfig {
+  double start_utilization = 0.7;  ///< inflation kicks in above this gcell util
+  double max_factor = 2.0;         ///< per-cell width multiplier cap
+  double gain = 1.5;               ///< factor = 1 + gain·(util − start)
+};
+
+/// Per-movable-cell width factors (≥ 1) from a congestion estimate. The
+/// factor of a cell is driven by the utilization of the gcell containing its
+/// center.
+std::vector<double> compute_inflation_factors(const db::Database& db,
+                                              const CongestionResult& congestion,
+                                              const InflationConfig& cfg = {});
+
+/// Applies factors to the database's movable cell widths (clamped so the
+/// total inflated movable area stays below the region's free capacity).
+/// Returns the achieved total-area growth ratio.
+double apply_inflation(db::Database& db, const std::vector<double>& factors);
+
+}  // namespace xplace::route

@@ -1,0 +1,43 @@
+#include "tensor/dispatch.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace xplace::tensor {
+
+Dispatcher& Dispatcher::global() {
+  static Dispatcher d;
+  return d;
+}
+
+void Dispatcher::begin_launch(const char* name) {
+  ++total_launches_;
+  ++launch_counts_[name];
+  if (launch_latency_ > 0.0) {
+    // Busy-wait: models the CPU being occupied enqueueing the kernel.
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(launch_latency_);
+    while (std::chrono::steady_clock::now() < until) {
+      // spin
+    }
+  }
+}
+
+void Dispatcher::reset_counters() {
+  total_launches_ = 0;
+  launch_counts_.clear();
+}
+
+std::string Dispatcher::report() const {
+  std::vector<std::pair<std::string, std::uint64_t>> rows(
+      launch_counts_.begin(), launch_counts_.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::string out = "total launches: " + std::to_string(total_launches_) + "\n";
+  for (const auto& [name, count] : rows) {
+    out += "  " + name + ": " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace xplace::tensor

@@ -1,0 +1,74 @@
+// Operator dispatch layer — the CUDA-launch model of this CPU reproduction.
+//
+// In the paper, every PyTorch operator launch pays a fixed CPU-side kernel
+// launch cost that can dominate when the per-operator workload is small
+// (Section 3.1.3). Xplace's "operator reduction" wins precisely by issuing
+// fewer launches. On this CPU substrate every kernel invocation goes through
+// `Dispatcher::run`, which:
+//
+//   * counts launches (per-name and total) so benches report op-graph size,
+//   * optionally busy-waits a configurable `launch_latency` before the kernel
+//     body, simulating the CUDA enqueue overhead (~8 µs class) that the paper
+//     measured. The default latency is 0 (pure CPU timing); Table 3 benches
+//     run both modes.
+//
+// The dispatcher is intentionally a process-global: it models the single CUDA
+// stream the placer uses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace xplace::tensor {
+
+class Dispatcher {
+ public:
+  static Dispatcher& global();
+
+  /// Simulated per-launch overhead in seconds (0 disables the model).
+  void set_launch_latency(double seconds) { launch_latency_ = seconds; }
+  double launch_latency() const { return launch_latency_; }
+
+  /// Execute a kernel body under launch accounting.
+  template <typename Fn>
+  void run(const char* name, Fn&& kernel) {
+    begin_launch(name);
+    kernel();
+  }
+
+  std::uint64_t total_launches() const { return total_launches_; }
+  const std::map<std::string, std::uint64_t>& launch_counts() const {
+    return launch_counts_;
+  }
+
+  void reset_counters();
+
+  /// Human-readable per-op launch histogram.
+  std::string report() const;
+
+ private:
+  void begin_launch(const char* name);
+
+  double launch_latency_ = 0.0;
+  std::uint64_t total_launches_ = 0;
+  std::map<std::string, std::uint64_t> launch_counts_;
+};
+
+/// RAII guard that sets the global launch latency and restores it on exit.
+class LaunchLatencyGuard {
+ public:
+  explicit LaunchLatencyGuard(double seconds)
+      : saved_(Dispatcher::global().launch_latency()) {
+    Dispatcher::global().set_launch_latency(seconds);
+  }
+  ~LaunchLatencyGuard() { Dispatcher::global().set_launch_latency(saved_); }
+  LaunchLatencyGuard(const LaunchLatencyGuard&) = delete;
+  LaunchLatencyGuard& operator=(const LaunchLatencyGuard&) = delete;
+
+ private:
+  double saved_;
+};
+
+}  // namespace xplace::tensor

@@ -1,0 +1,188 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "tensor/dispatch.h"
+
+namespace xplace::tensor {
+
+namespace {
+Dispatcher& disp() { return Dispatcher::global(); }
+}  // namespace
+
+#define XP_BINARY_OP(fn_name, expr)                                 \
+  Tensor fn_name(const Tensor& a, const Tensor& b) {                \
+    assert(a.numel() == b.numel());                                 \
+    Tensor out({a.numel()});                                        \
+    disp().run(#fn_name, [&] {                                      \
+      const float* pa = a.data();                                   \
+      const float* pb = b.data();                                   \
+      float* po = out.data();                                       \
+      for (std::size_t i = 0; i < a.numel(); ++i) po[i] = (expr);   \
+    });                                                             \
+    return out;                                                     \
+  }
+
+XP_BINARY_OP(add, pa[i] + pb[i])
+XP_BINARY_OP(sub, pa[i] - pb[i])
+XP_BINARY_OP(mul, pa[i] * pb[i])
+XP_BINARY_OP(maximum, std::max(pa[i], pb[i]))
+#undef XP_BINARY_OP
+
+#define XP_UNARY_OP(fn_name, expr)                                \
+  Tensor fn_name(const Tensor& a) {                               \
+    Tensor out({a.numel()});                                      \
+    disp().run(#fn_name, [&] {                                    \
+      const float* pa = a.data();                                 \
+      float* po = out.data();                                     \
+      for (std::size_t i = 0; i < a.numel(); ++i) po[i] = (expr); \
+    });                                                           \
+    return out;                                                   \
+  }
+
+XP_UNARY_OP(exp, std::exp(pa[i]))
+XP_UNARY_OP(reciprocal, 1.0f / pa[i])
+XP_UNARY_OP(neg, -pa[i])
+XP_UNARY_OP(abs, std::fabs(pa[i]))
+#undef XP_UNARY_OP
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  Tensor out({a.numel()});
+  disp().run("mul_scalar", [&] {
+    const float* pa = a.data();
+    float* po = out.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * s;
+  });
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out({a.numel()});
+  disp().run("add_scalar", [&] {
+    const float* pa = a.data();
+    float* po = out.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + s;
+  });
+  return out;
+}
+
+Tensor clamp_min(const Tensor& a, float lo) {
+  Tensor out({a.numel()});
+  disp().run("clamp_min", [&] {
+    const float* pa = a.data();
+    float* po = out.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) po[i] = std::max(pa[i], lo);
+  });
+  return out;
+}
+
+void zero_(Tensor& a) {
+  disp().run("zero_", [&] {
+    float* p = a.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) p[i] = 0.0f;
+  });
+}
+
+void fill_(Tensor& a, float value) {
+  disp().run("fill_", [&] {
+    float* p = a.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) p[i] = value;
+  });
+}
+
+void copy_(Tensor& dst, const Tensor& src) {
+  assert(dst.numel() == src.numel());
+  disp().run("copy_", [&] {
+    float* pd = dst.data();
+    const float* ps = src.data();
+    for (std::size_t i = 0; i < dst.numel(); ++i) pd[i] = ps[i];
+  });
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  assert(a.numel() == b.numel());
+  disp().run("add_", [&] {
+    float* pa = a.data();
+    const float* pb = b.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+  });
+}
+
+void add_scaled_(Tensor& a, const Tensor& b, float s) {
+  assert(a.numel() == b.numel());
+  disp().run("add_scaled_", [&] {
+    float* pa = a.data();
+    const float* pb = b.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += s * pb[i];
+  });
+}
+
+void mul_scalar_(Tensor& a, float s) {
+  disp().run("mul_scalar_", [&] {
+    float* pa = a.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) pa[i] *= s;
+  });
+}
+
+void axpby_(Tensor& a, float alpha, const Tensor& b, float beta) {
+  assert(a.numel() == b.numel());
+  disp().run("axpby_", [&] {
+    float* pa = a.data();
+    const float* pb = b.data();
+    for (std::size_t i = 0; i < a.numel(); ++i)
+      pa[i] = alpha * pa[i] + beta * pb[i];
+  });
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;
+  disp().run("sum", [&] {
+    const float* p = a.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) acc += p[i];
+  });
+  return static_cast<float>(acc);
+}
+
+float abs_sum(const Tensor& a) {
+  double acc = 0.0;
+  disp().run("abs_sum", [&] {
+    const float* p = a.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) acc += std::fabs(p[i]);
+  });
+  return static_cast<float>(acc);
+}
+
+float max_value(const Tensor& a) {
+  float m = -std::numeric_limits<float>::infinity();
+  disp().run("max_value", [&] {
+    const float* p = a.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) m = std::max(m, p[i]);
+  });
+  return m;
+}
+
+float min_value(const Tensor& a) {
+  float m = std::numeric_limits<float>::infinity();
+  disp().run("min_value", [&] {
+    const float* p = a.data();
+    for (std::size_t i = 0; i < a.numel(); ++i) m = std::min(m, p[i]);
+  });
+  return m;
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  assert(a.numel() == b.numel());
+  double acc = 0.0;
+  disp().run("dot", [&] {
+    const float* pa = a.data();
+    const float* pb = b.data();
+    for (std::size_t i = 0; i < a.numel(); ++i)
+      acc += static_cast<double>(pa[i]) * pb[i];
+  });
+  return static_cast<float>(acc);
+}
+
+}  // namespace xplace::tensor

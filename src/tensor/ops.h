@@ -1,0 +1,46 @@
+// Elementwise / reduction kernels over Tensor, all routed through the
+// Dispatcher so that every call counts as one "kernel launch".
+//
+// Two flavors exist deliberately:
+//   * out-of-place ops (allocate a result) — what a PyTorch expression graph
+//     produces; used by the DREAMPlace-mode baseline,
+//   * in-place ops (suffix `_`) — Xplace's operator-reduction style
+//     (Section 3.1.3: "PyTorch in-place operators ... are used as much as
+//     possible").
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace xplace::tensor {
+
+// ---- out-of-place -------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor mul_scalar(const Tensor& a, float s);
+Tensor add_scalar(const Tensor& a, float s);
+Tensor exp(const Tensor& a);
+Tensor reciprocal(const Tensor& a);
+Tensor neg(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor maximum(const Tensor& a, const Tensor& b);
+Tensor clamp_min(const Tensor& a, float lo);
+
+// ---- in-place -----------------------------------------------------------
+void zero_(Tensor& a);
+void fill_(Tensor& a, float value);
+void copy_(Tensor& dst, const Tensor& src);
+void add_(Tensor& a, const Tensor& b);             // a += b
+void add_scaled_(Tensor& a, const Tensor& b, float s);  // a += s*b
+void mul_scalar_(Tensor& a, float s);
+void axpby_(Tensor& a, float alpha, const Tensor& b, float beta);  // a = alpha*a + beta*b
+
+// ---- reductions (each is one launch returning a host scalar, i.e. a
+// synchronization point in the CUDA analogy) ------------------------------
+float sum(const Tensor& a);
+float abs_sum(const Tensor& a);
+float max_value(const Tensor& a);
+float min_value(const Tensor& a);
+float dot(const Tensor& a, const Tensor& b);
+
+}  // namespace xplace::tensor

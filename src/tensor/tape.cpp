@@ -1,0 +1,19 @@
+#include "tensor/tape.h"
+
+#include "tensor/dispatch.h"
+
+namespace xplace::tensor {
+
+void Tape::record(std::string name, std::function<void()> backward_fn) {
+  nodes_.push_back(Node{std::move(name), std::move(backward_fn)});
+}
+
+void Tape::backward() {
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    const std::string launch_name = it->name + ".backward";
+    Dispatcher::global().run(launch_name.c_str(), it->fn);
+  }
+  clear();
+}
+
+}  // namespace xplace::tensor

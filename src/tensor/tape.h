@@ -1,0 +1,42 @@
+// Tape-based reverse-mode autodiff — the repository's model of PyTorch's
+// autograd engine.
+//
+// The DREAMPlace-mode baseline records one tape node per forward operator and
+// replays them in reverse at backward() time; every backward body is itself
+// dispatched as one or more kernel launches, reproducing the paper's
+// observation that "invoking the heavy autograd engine will almost double the
+// number of operators" (Section 3.1.3). Xplace mode never touches the tape —
+// it assigns numerically-derived gradients directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace xplace::tensor {
+
+class Tape {
+ public:
+  /// Record a backward closure for a forward op named `name`. Closures run in
+  /// reverse record order on backward(). The `cost` is an op-count weight —
+  /// how many elementary kernel launches the backward of this node issues
+  /// beyond the dispatched closure itself (informational, used by tests).
+  void record(std::string name, std::function<void()> backward_fn);
+
+  /// Replay the tape in reverse; each node's closure is executed under the
+  /// Dispatcher with name "<name>.backward". Clears the tape afterwards.
+  void backward();
+
+  std::size_t size() const { return nodes_.size(); }
+  void clear() { nodes_.clear(); }
+
+ private:
+  struct Node {
+    std::string name;
+    std::function<void()> fn;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace xplace::tensor

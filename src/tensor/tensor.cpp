@@ -1,0 +1,50 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+
+namespace xplace::tensor {
+
+namespace {
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : data_(std::make_shared<std::vector<float>>(shape_numel(shape), 0.0f)),
+      shape_(std::move(shape)) {}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  for (auto& v : *t.data_) v = value;
+  return t;
+}
+
+Tensor Tensor::from(const std::vector<float>& values) {
+  Tensor t({values.size()});
+  *t.data_ = values;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  if (data_) {
+    t.data_ = std::make_shared<std::vector<float>>(*data_);
+    t.shape_ = shape_;
+  }
+  return t;
+}
+
+std::string Tensor::shape_str() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(shape_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace xplace::tensor

@@ -1,0 +1,54 @@
+// Minimal dense float32 tensor.
+//
+// This is the repository's stand-in for a PyTorch CUDA tensor. Placement
+// state (positions, gradients, per-net scratch, density grids) lives in these
+// buffers. Copy semantics are shallow (shared buffer) like torch.Tensor;
+// `clone()` deep-copies. Shapes are kept only for bookkeeping — all kernels
+// operate on the flat buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xplace::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Uninitialized (zero-filled) tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  static Tensor zeros(std::vector<std::size_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor full(std::vector<std::size_t> shape, float value);
+  static Tensor from(const std::vector<float>& values);
+
+  bool defined() const { return data_ != nullptr; }
+  std::size_t numel() const { return data_ ? data_->size() : 0; }
+  const std::vector<std::size_t>& shape() const { return shape_; }
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  float& operator[](std::size_t i) { return (*data_)[i]; }
+  float operator[](std::size_t i) const { return (*data_)[i]; }
+
+  /// Deep copy.
+  Tensor clone() const;
+
+  /// True iff both views share the same buffer.
+  bool same_storage(const Tensor& other) const { return data_ == other.data_; }
+
+  std::string shape_str() const;
+
+ private:
+  std::shared_ptr<std::vector<float>> data_;
+  std::vector<std::size_t> shape_;
+};
+
+}  // namespace xplace::tensor

@@ -1,0 +1,35 @@
+// Tiny command-line flag parser for the example and bench binaries.
+//
+// Flags use the form `--name value` or `--name=value`; `--flag` alone sets a
+// boolean. Unknown flags are reported and cause `ok()` to be false.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xplace {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def = "") const;
+  long get_int(const std::string& name, long def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool ok() const { return errors_.empty(); }
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace xplace

@@ -1,0 +1,79 @@
+// Planar geometry primitives used throughout the placement database.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace xplace {
+
+template <typename T>
+struct Point {
+  T x = T{};
+  T y = T{};
+
+  friend bool operator==(const Point&, const Point&) = default;
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+using PointF = Point<float>;
+using PointD = Point<double>;
+using PointI = Point<int>;
+
+/// Axis-aligned rectangle, half-open semantics are not assumed: callers decide
+/// whether hi is inclusive. Width/height are hi - lo.
+template <typename T>
+struct Rect {
+  T lx = T{};
+  T ly = T{};
+  T hx = T{};
+  T hy = T{};
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  T width() const { return hx - lx; }
+  T height() const { return hy - ly; }
+  T area() const { return width() * height(); }
+  T cx() const { return (lx + hx) / T{2}; }
+  T cy() const { return (ly + hy) / T{2}; }
+
+  bool contains(T x, T y) const {
+    return x >= lx && x <= hx && y >= ly && y <= hy;
+  }
+
+  bool overlaps(const Rect& o) const {
+    return lx < o.hx && o.lx < hx && ly < o.hy && o.ly < hy;
+  }
+
+  /// Area of intersection with `o`, zero when disjoint.
+  T overlap_area(const Rect& o) const {
+    const T w = std::min(hx, o.hx) - std::max(lx, o.lx);
+    const T h = std::min(hy, o.hy) - std::max(ly, o.ly);
+    if (w <= T{0} || h <= T{0}) return T{0};
+    return w * h;
+  }
+
+  Rect intersection(const Rect& o) const {
+    return {std::max(lx, o.lx), std::max(ly, o.ly), std::min(hx, o.hx),
+            std::min(hy, o.hy)};
+  }
+
+  /// Smallest rectangle covering both.
+  Rect united(const Rect& o) const {
+    return {std::min(lx, o.lx), std::min(ly, o.ly), std::max(hx, o.hx),
+            std::max(hy, o.hy)};
+  }
+};
+
+using RectF = Rect<float>;
+using RectD = Rect<double>;
+using RectI = Rect<int>;
+
+/// Clamp helper mirroring std::clamp but tolerant of lo > hi (returns lo).
+template <typename T>
+T clamp_safe(T v, T lo, T hi) {
+  if (hi < lo) return lo;
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace xplace

@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace xplace::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex g_mutex;
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DBG ";
+    case Level::kInfo:  return "INFO";
+    case Level::kWarn:  return "WARN";
+    case Level::kError: return "ERR ";
+    default:            return "????";
+  }
+}
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+// Force initialization of the start time at static-init time.
+const auto g_start_init = process_start();
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+double elapsed_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       process_start())
+      .count();
+}
+
+void logf(Level lvl, const char* file, int line, const char* fmt, ...) {
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  // Trim the file path to its basename for readability.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%8.3f][%s] %s:%d: ", elapsed_seconds(),
+               level_tag(lvl), base, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace xplace::log

@@ -1,0 +1,41 @@
+// Lightweight leveled logging for the Xplace framework.
+//
+// Usage:
+//   XP_INFO("placed %d cells, hpwl=%.4g", n, hpwl);
+//   xplace::log::set_level(xplace::log::Level::kWarn);   // silence info logs
+//
+// All output goes to stderr so that example/bench binaries can emit
+// machine-readable results on stdout.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace xplace::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level that is actually printed.
+void set_level(Level level);
+Level level();
+
+/// printf-style logging primitive; prefer the XP_* macros below.
+void logf(Level level, const char* file, int line, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+
+/// Elapsed wall-clock seconds since process start (used for log timestamps).
+double elapsed_seconds();
+
+}  // namespace xplace::log
+
+#define XP_DEBUG(...) \
+  ::xplace::log::logf(::xplace::log::Level::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define XP_INFO(...) \
+  ::xplace::log::logf(::xplace::log::Level::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define XP_WARN(...) \
+  ::xplace::log::logf(::xplace::log::Level::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define XP_ERROR(...) \
+  ::xplace::log::logf(::xplace::log::Level::kError, __FILE__, __LINE__, __VA_ARGS__)

@@ -1,0 +1,97 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace xplace {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The caller thread is worker 0; spawn the rest.
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunks(const Task& task, std::size_t worker_index) {
+  const std::size_t n_chunks = (task.n + task.chunk - 1) / task.chunk;
+  for (;;) {
+    const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= n_chunks) break;
+    const std::size_t begin = c * task.chunk;
+    const std::size_t end = std::min(task.n, begin + task.chunk);
+    (*task.fn)(begin, end, worker_index);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    run_chunks(task, worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    fn(0, n, 0);
+    return;
+  }
+  const std::size_t workers = size();
+  // ~4 chunks per worker for load balancing, but never chunks smaller than 64
+  // elements (per-chunk dispatch would dominate).
+  std::size_t chunk = std::max<std::size_t>(64, n / (workers * 4) + 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_.fn = &fn;
+    task_.n = n;
+    task_.chunk = chunk;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_chunks(task_, 0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("XPLACE_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace xplace

@@ -1,0 +1,64 @@
+// Minimal fixed-size thread pool with a blocking parallel_for.
+//
+// The GPU placer of the paper parallelizes per-net and per-cell kernels
+// across CUDA threads; on this CPU substrate the same kernels are chunked
+// across pool workers. Reductions use per-thread buffers so results are
+// deterministic regardless of the worker count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xplace {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means "hardware concurrency" (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }  // +1: caller thread
+
+  /// Runs fn(begin, end, worker_index) over chunked subranges of [0, n) and
+  /// blocks until all chunks complete. worker_index is in [0, size()).
+  /// The calling thread participates, so a pool of size 1 degenerates to a
+  /// plain loop with zero synchronization overhead.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& fn);
+
+  /// Process-wide default pool (sized from XPLACE_THREADS env var if set,
+  /// otherwise hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* fn =
+        nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 0;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void run_chunks(const Task& task, std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_;
+  std::size_t generation_ = 0;  // incremented per parallel_for call
+  std::size_t pending_ = 0;     // workers still running the current task
+  std::atomic<std::size_t> next_chunk_{0};
+  bool stop_ = false;
+};
+
+}  // namespace xplace

@@ -1,0 +1,25 @@
+#include "util/timer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xplace {
+
+std::string TimerRegistry::report() const {
+  std::vector<std::pair<std::string, Entry>> rows(entries_.begin(),
+                                                  entries_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_seconds > b.second.total_seconds;
+  });
+  std::string out;
+  char buf[256];
+  for (const auto& [key, e] : rows) {
+    std::snprintf(buf, sizeof(buf), "%-32s %10.3f ms  %8llu calls\n",
+                  key.c_str(), e.total_seconds * 1e3,
+                  static_cast<unsigned long long>(e.calls));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace xplace

@@ -1,0 +1,88 @@
+// Wall-clock timing utilities.
+//
+// `Stopwatch` measures a single interval; `TimerRegistry` accumulates named
+// intervals across a run (used by the global placer to attribute time to
+// individual operators, mirroring a CUDA profiler's per-kernel accounting).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xplace {
+
+/// Simple wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates total time and call counts under string keys.
+/// Not thread-safe; each thread should use its own registry (the placer is
+/// single-threaded at the orchestration level).
+class TimerRegistry {
+ public:
+  struct Entry {
+    double total_seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+
+  void add(const std::string& key, double seconds) {
+    Entry& e = entries_[key];
+    e.total_seconds += seconds;
+    e.calls += 1;
+  }
+
+  const Entry* find(const std::string& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  double total(const std::string& key) const {
+    const Entry* e = find(key);
+    return e != nullptr ? e->total_seconds : 0.0;
+  }
+
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+
+  void clear() { entries_.clear(); }
+
+  /// Multi-line human-readable report sorted by descending total time.
+  std::string report() const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII helper: adds the scope's elapsed time to a registry entry on exit.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerRegistry& registry, std::string key)
+      : registry_(registry), key_(std::move(key)) {}
+  ~ScopedTimer() { registry_.add(key_, watch_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerRegistry& registry_;
+  std::string key_;
+  Stopwatch watch_;
+};
+
+}  // namespace xplace

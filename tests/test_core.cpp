@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/placer.h"
+#include "core/scheduler.h"
+#include "io/generator.h"
+#include "tensor/dispatch.h"
+
+namespace xplace::core {
+namespace {
+
+db::Database gp_design(std::size_t cells = 1200, std::uint64_t seed = 5) {
+  io::GeneratorSpec spec;
+  spec.name = "core_unit";
+  spec.num_cells = cells;
+  spec.num_nets = cells + cells / 20;
+  spec.num_macros = 3;
+  spec.num_io_pads = 16;
+  spec.seed = seed;
+  return io::generate(spec);
+}
+
+PlacerConfig fast_cfg(PlacerConfig cfg = PlacerConfig::xplace()) {
+  cfg.grid_dim = 64;
+  cfg.max_iters = 700;
+  return cfg;
+}
+
+// ---------------- scheduler ----------------
+
+TEST(Scheduler, GammaDecreasesWithOverflow) {
+  PlacerConfig cfg;
+  Scheduler s(cfg, 4.0);
+  EXPECT_GT(s.gamma(1.0), s.gamma(0.5));
+  EXPECT_GT(s.gamma(0.5), s.gamma(0.1));
+  EXPECT_GT(s.gamma(0.1), s.gamma(0.0));
+  // ePlace anchor: at overflow = 0.1 the exponent is -1.
+  EXPECT_NEAR(s.gamma(0.1), cfg.gamma_base_factor * 4.0 * 0.1, 1e-9);
+}
+
+TEST(Scheduler, LambdaInitFromGradNorms) {
+  PlacerConfig cfg;
+  Scheduler s(cfg, 1.0);
+  EXPECT_FALSE(s.lambda_initialized());
+  s.init_lambda(100.0, 50.0, 1e6);
+  EXPECT_TRUE(s.lambda_initialized());
+  EXPECT_NEAR(s.lambda(), cfg.lambda_init_factor * 2.0, 1e-12);
+}
+
+TEST(Scheduler, LambdaGrowsWhenHpwlFlat) {
+  PlacerConfig cfg;
+  cfg.stage_aware_schedule = false;
+  Scheduler s(cfg, 1.0);
+  s.init_lambda(1.0, 1.0, 1e6);
+  const double l0 = s.lambda();
+  s.maybe_update(1, 1e6, 0.0);  // ΔHPWL = 0 → μ = mu_base
+  EXPECT_NEAR(s.lambda(), l0 * cfg.mu_base, 1e-12);
+}
+
+TEST(Scheduler, LambdaGrowthSlowsOnHpwlSpike) {
+  PlacerConfig cfg;
+  cfg.stage_aware_schedule = false;
+  Scheduler s(cfg, 1.0);
+  s.init_lambda(1.0, 1.0, 1e6);
+  s.maybe_update(1, 1e6, 0.0);
+  const double l_flat = s.lambda();
+  Scheduler s2(cfg, 1.0);
+  s2.init_lambda(1.0, 1.0, 1e6);
+  s2.maybe_update(1, 1e6 * 1.05, 0.0);  // huge spike
+  EXPECT_LT(s2.lambda(), l_flat);
+}
+
+TEST(Scheduler, StageAwareDefersUpdatesMidStage) {
+  PlacerConfig cfg;  // stage_aware on, period 3
+  Scheduler s(cfg, 1.0);
+  s.init_lambda(1.0, 1.0, 1e6);
+  // ω in the intermediate band: only every 3rd call updates.
+  int updates = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (s.maybe_update(i, 1e6, 0.7)) ++updates;
+  }
+  EXPECT_EQ(updates, 3);
+  // Early stage (ω small): every call updates.
+  updates = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (s.maybe_update(i, 1e6, 0.01)) ++updates;
+  }
+  EXPECT_GE(updates, 4);  // first call may be mid-period
+}
+
+// ---------------- preconditioner ----------------
+
+TEST(Preconditioner, OmegaMonotonicInLambda) {
+  db::Database db = gp_design(300);
+  db.insert_fillers(1);
+  Preconditioner p(db);
+  EXPECT_LT(p.omega(1e-6), 0.01);
+  EXPECT_GT(p.omega(1e3), 0.95);
+  EXPECT_LT(p.omega(0.01), p.omega(0.1));
+  EXPECT_GE(p.omega(0.0), 0.0);
+  EXPECT_LE(p.omega(1e12), 1.0);
+}
+
+TEST(Preconditioner, ApplyDividesByDiagonal) {
+  db::Database db = gp_design(300);
+  db.insert_fillers(1);
+  Preconditioner p(db);
+  const std::size_t n = db.num_cells_total();
+  std::vector<float> gx(n, 2.0f), gy(n, -4.0f);
+  p.apply(0.5f, gx.data(), gy.data(), true);
+  for (std::size_t c = 0; c < n; ++c) {
+    const float d = std::max(
+        1.0f, static_cast<float>(db.cell_num_nets(c)) +
+                  0.5f * static_cast<float>(db.area(c)));
+    EXPECT_NEAR(gx[c], 2.0f / d, 1e-5f);
+    EXPECT_NEAR(gy[c], -4.0f / d, 1e-5f);
+  }
+}
+
+// ---------------- end-to-end GP ----------------
+
+TEST(GlobalPlacer, XplaceModeConverges) {
+  db::Database db = gp_design();
+  GlobalPlacer placer(db, fast_cfg());
+  const GlobalPlaceResult res = placer.run();
+  EXPECT_LT(res.overflow, 0.10);
+  EXPECT_GT(res.iterations, 50);
+  // Overflow decreased dramatically from the clumped start.
+  const auto& recs = placer.recorder().records();
+  EXPECT_GT(recs.front().overflow, 0.8);
+  // ω traverses the stages.
+  EXPECT_LT(recs.front().omega, 0.05);
+  EXPECT_GT(recs.back().omega, 0.9);
+}
+
+TEST(GlobalPlacer, DreamplaceModeConvergesToSimilarHpwl) {
+  db::Database db1 = gp_design();
+  GlobalPlacer p1(db1, fast_cfg());
+  const GlobalPlaceResult r1 = p1.run();
+
+  db::Database db2 = gp_design();
+  GlobalPlacer p2(db2, fast_cfg(PlacerConfig::dreamplace()));
+  const GlobalPlaceResult r2 = p2.run();
+
+  EXPECT_LT(r2.overflow, 0.10);
+  // Same algorithm, different execution: solutions within a few percent.
+  EXPECT_NEAR(r1.hpwl, r2.hpwl, 0.10 * r2.hpwl);
+}
+
+TEST(GlobalPlacer, XplaceUsesFewerKernelLaunchesPerIter) {
+  db::Database db1 = gp_design(600);
+  PlacerConfig c1 = fast_cfg();
+  c1.max_iters = 50;
+  c1.stop_overflow = 0.0;  // force exactly 50 iterations
+  GlobalPlacer p1(db1, c1);
+  const GlobalPlaceResult r1 = p1.run();
+
+  db::Database db2 = gp_design(600);
+  PlacerConfig c2 = fast_cfg(PlacerConfig::dreamplace());
+  c2.max_iters = 50;
+  c2.stop_overflow = 0.0;
+  GlobalPlacer p2(db2, c2);
+  const GlobalPlaceResult r2 = p2.run();
+
+  const double l1 = static_cast<double>(r1.kernel_launches) / r1.iterations;
+  const double l2 = static_cast<double>(r2.kernel_launches) / r2.iterations;
+  // The paper's operator reduction: the baseline graph runs ~3-5x more ops.
+  EXPECT_LT(l1 * 2.5, l2) << "xplace " << l1 << " vs baseline " << l2;
+}
+
+TEST(GlobalPlacer, OperatorSkippingTriggersEarly) {
+  db::Database db = gp_design();
+  GlobalPlacer placer(db, fast_cfg());
+  placer.run();
+  std::size_t skipped = 0;
+  for (const auto& rec : placer.recorder().records()) {
+    if (rec.density_skipped) {
+      ++skipped;
+      EXPECT_LT(rec.iter, 100);  // only in the early stage
+    }
+  }
+  EXPECT_GT(skipped, 10u);
+}
+
+TEST(GlobalPlacer, SkippingOffRunsDensityEveryIteration) {
+  db::Database db = gp_design();
+  PlacerConfig cfg = fast_cfg();
+  cfg.op_skipping = false;
+  GlobalPlacer placer(db, cfg);
+  placer.run();
+  for (const auto& rec : placer.recorder().records()) {
+    EXPECT_FALSE(rec.density_skipped);
+  }
+}
+
+TEST(GlobalPlacer, DeterministicAcrossRuns) {
+  db::Database db1 = gp_design();
+  PlacerConfig cfg = fast_cfg();
+  cfg.max_iters = 60;
+  cfg.stop_overflow = 0.0;
+  GlobalPlacer p1(db1, cfg);
+  const GlobalPlaceResult r1 = p1.run();
+
+  db::Database db2 = gp_design();
+  GlobalPlacer p2(db2, cfg);
+  const GlobalPlaceResult r2 = p2.run();
+
+  EXPECT_DOUBLE_EQ(r1.hpwl, r2.hpwl);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+}
+
+TEST(GlobalPlacer, MovableCellsStayInRegion) {
+  db::Database db = gp_design();
+  PlacerConfig cfg = fast_cfg();
+  cfg.max_iters = 200;
+  GlobalPlacer placer(db, cfg);
+  placer.run();
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    EXPECT_TRUE(db.region().contains(db.x(c), db.y(c))) << db.cell_name(c);
+  }
+}
+
+TEST(GlobalPlacer, AblationTiersAllConverge) {
+  // Each cumulative tier of Table 3 must still produce a valid placement.
+  const bool tiers[4][4] = {
+      {false, false, false, false},
+      {true, false, false, false},
+      {true, true, false, false},
+      {true, true, true, false},
+  };
+  for (const auto& t : tiers) {
+    db::Database db = gp_design(600, 9);
+    PlacerConfig cfg = fast_cfg(PlacerConfig::ablation(t[0], t[1], t[2], t[3]));
+    cfg.max_iters = 500;
+    GlobalPlacer placer(db, cfg);
+    const GlobalPlaceResult res = placer.run();
+    EXPECT_LT(res.overflow, 0.15)
+        << "tier OR=" << t[0] << " OC=" << t[1] << " OE=" << t[2];
+  }
+}
+
+TEST(GlobalPlacer, AdamOptimizerAlsoSpreads) {
+  db::Database db = gp_design(600, 11);
+  PlacerConfig cfg = fast_cfg();
+  cfg.optimizer = OptimizerKind::kAdam;
+  cfg.max_iters = 400;
+  GlobalPlacer placer(db, cfg);
+  const GlobalPlaceResult res = placer.run();
+  // Adam converges slower; only require substantial spreading.
+  EXPECT_LT(res.overflow, 0.5);
+}
+
+}  // namespace
+}  // namespace xplace::core

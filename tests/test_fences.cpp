@@ -1,0 +1,216 @@
+// Fence-region support (the paper's stated future work): multi-electrostatic
+// global placement, fence-aware legalization and detailed placement.
+#include <gtest/gtest.h>
+
+#include "core/placer.h"
+#include "dp/detailed_placer.h"
+#include "io/generator.h"
+#include "lg/abacus.h"
+#include "lg/checker.h"
+#include "lg/row_map.h"
+#include "lg/tetris.h"
+
+namespace xplace {
+namespace {
+
+io::GeneratorSpec fenced_spec(std::size_t cells = 1200, int fences = 2,
+                              std::uint64_t seed = 77) {
+  io::GeneratorSpec spec;
+  spec.name = "fence_unit";
+  spec.num_cells = cells;
+  spec.num_nets = cells + 50;
+  spec.num_macros = 3;
+  spec.num_io_pads = 12;
+  spec.num_fences = fences;
+  spec.fence_area_fraction = 0.18;
+  spec.fenced_cell_fraction = 0.25;
+  spec.seed = seed;
+  return spec;
+}
+
+// ---------------- database / generator ----------------
+
+TEST(FenceDb, BuilderGuards) {
+  db::Database db;
+  db.set_region({0, 0, 100, 100});
+  const int a = db.add_cell("a", 2, 10, db::CellKind::kMovable);
+  const int m = db.add_cell("m", 20, 20, db::CellKind::kFixed);
+  EXPECT_THROW(db.add_fence_region("bad", {5, 5, 5, 10}), std::invalid_argument);
+  const int f = db.add_fence_region("f0", {10, 10, 50, 50});
+  EXPECT_EQ(f, 0);
+  EXPECT_THROW(db.assign_to_fence(a, 3), std::invalid_argument);
+  EXPECT_THROW(db.assign_to_fence(m, f), std::invalid_argument);
+  db.assign_to_fence(a, f);
+  const int net = db.add_net("n");
+  db.add_pin(net, a, 0, 0);
+  db.add_pin(net, m, 0, 0);
+  db.finalize();
+  EXPECT_TRUE(db.has_fences());
+  EXPECT_EQ(db.cell_fence(db.cell_id("a")), 0);
+  EXPECT_EQ(db.cell_fence(db.cell_id("m")), -1);
+}
+
+TEST(FenceGenerator, CreatesDisjointFencesWithMembers) {
+  db::Database db = io::generate(fenced_spec());
+  ASSERT_EQ(db.fences().size(), 2u);
+  // Disjoint from each other and from macros.
+  const auto& f0 = db.fences()[0].rect;
+  const auto& f1 = db.fences()[1].rect;
+  EXPECT_LE(f0.overlap_area(f1), 1e-9);
+  for (std::size_t c = db.num_movable(); c < db.num_physical(); ++c) {
+    if (db.area(c) > 4.0) {
+      EXPECT_LE(db.cell_rect(c).overlap_area(f0), 1e-9) << db.cell_name(c);
+      EXPECT_LE(db.cell_rect(c).overlap_area(f1), 1e-9) << db.cell_name(c);
+    }
+  }
+  // Members exist and start inside their fence.
+  std::size_t members = 0;
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    const int f = db.cell_fence(c);
+    if (f >= 0) {
+      ++members;
+      EXPECT_TRUE(db.fences()[f].rect.contains(db.x(c), db.y(c)));
+    }
+  }
+  EXPECT_GT(members, db.num_movable() / 10);
+}
+
+TEST(FenceDb, FillersTaggedAndPlacedPerRegion) {
+  db::Database db = io::generate(fenced_spec());
+  db.insert_fillers(3);
+  std::size_t fenced_fillers = 0;
+  for (std::size_t c = db.num_physical(); c < db.num_cells_total(); ++c) {
+    const int f = db.cell_fence(c);
+    if (f >= 0) {
+      ++fenced_fillers;
+      EXPECT_TRUE(db.fences()[f].rect.contains(db.x(c), db.y(c)));
+    }
+  }
+  EXPECT_GT(fenced_fillers, 0u);
+}
+
+// ---------------- row map ----------------
+
+TEST(FenceRowMap, SegmentsLabeledAndContained) {
+  db::Database db = io::generate(fenced_spec());
+  lg::RowMap rows(db);
+  std::size_t labeled = 0;
+  for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+    for (const lg::Segment& s : rows.segments(r)) {
+      if (s.label >= 0) {
+        ++labeled;
+        const RectD& fr = db.fences()[s.label].rect;
+        EXPECT_GE(s.lx, fr.lx - 1e-6);
+        EXPECT_LE(s.hx, fr.hx + 1e-6);
+        EXPECT_GE(rows.row_y(r), fr.ly - 1e-6);
+        EXPECT_LE(rows.row_y(r) + rows.row_height(), fr.hy + 1e-6);
+      } else {
+        // Default segments must not intrude into any fence.
+        const double mid_y = rows.row_y(r) + rows.row_height() * 0.5;
+        for (const db::FenceRegion& f : db.fences()) {
+          const bool in_y = mid_y > f.rect.ly && mid_y < f.rect.hy;
+          const bool in_x = s.lx < f.rect.hx - 1e-6 && s.hx > f.rect.lx + 1e-6;
+          EXPECT_FALSE(in_y && in_x)
+              << "default segment intrudes fence at row " << r;
+        }
+      }
+    }
+  }
+  EXPECT_GT(labeled, 0u);
+}
+
+// ---------------- end-to-end ----------------
+
+class FenceFlow : public ::testing::Test {
+ protected:
+  static db::Database placed() {
+    db::Database db = io::generate(fenced_spec());
+    core::PlacerConfig cfg;
+    cfg.grid_dim = 64;
+    cfg.max_iters = 700;
+    core::GlobalPlacer placer(db, cfg);
+    placer.run();
+    return db;
+  }
+};
+
+TEST_F(FenceFlow, GpKeepsFencedCellsInside) {
+  db::Database db = placed();
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    const int f = db.cell_fence(c);
+    if (f >= 0) {
+      EXPECT_TRUE(db.fences()[f].rect.contains(db.x(c), db.y(c)))
+          << db.cell_name(c);
+    }
+  }
+}
+
+TEST_F(FenceFlow, GpSpreadsDespiteFences) {
+  db::Database db = io::generate(fenced_spec());
+  core::PlacerConfig cfg;
+  cfg.grid_dim = 64;
+  cfg.max_iters = 700;
+  core::GlobalPlacer placer(db, cfg);
+  const core::GlobalPlaceResult res = placer.run();
+  EXPECT_LT(res.overflow, 0.25);
+}
+
+TEST_F(FenceFlow, TetrisRespectsFences) {
+  db::Database db = placed();
+  const lg::LegalizeStats stats = lg::tetris_legalize(db);
+  EXPECT_EQ(stats.failed_cells, 0u);
+  const lg::LegalityReport rep = lg::check_legality(db);
+  EXPECT_TRUE(rep.legal()) << rep.summary()
+                           << (rep.samples.empty() ? "" : "\n" + rep.samples[0]);
+}
+
+TEST_F(FenceFlow, AbacusRespectsFences) {
+  db::Database db = placed();
+  const lg::LegalizeStats stats = lg::abacus_legalize(db);
+  EXPECT_EQ(stats.failed_cells, 0u);
+  const lg::LegalityReport rep = lg::check_legality(db);
+  EXPECT_TRUE(rep.legal()) << rep.summary()
+                           << (rep.samples.empty() ? "" : "\n" + rep.samples[0]);
+}
+
+TEST_F(FenceFlow, DetailedPlacementPreservesFences) {
+  db::Database db = placed();
+  lg::abacus_legalize(db);
+  const dp::DetailedPlaceResult res = dp::detailed_place(db);
+  EXPECT_LE(res.hpwl_after, res.hpwl_before + 1e-6);
+  const lg::LegalityReport rep = lg::check_legality(db);
+  EXPECT_TRUE(rep.legal()) << rep.summary()
+                           << (rep.samples.empty() ? "" : "\n" + rep.samples[0]);
+}
+
+TEST(FenceChecker, DetectsEscapeAndIntrusion) {
+  db::Database db = io::generate(fenced_spec(600, 1, 78));
+  core::PlacerConfig cfg;
+  cfg.grid_dim = 64;
+  cfg.max_iters = 400;
+  core::GlobalPlacer placer(db, cfg);
+  placer.run();
+  lg::abacus_legalize(db);
+  ASSERT_TRUE(lg::check_legality(db).legal());
+
+  // Move one fenced cell far outside its fence.
+  int fenced = -1, unfenced = -1;
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    if (db.cell_fence(c) >= 0 && fenced < 0) fenced = static_cast<int>(c);
+    if (db.cell_fence(c) < 0 && unfenced < 0) unfenced = static_cast<int>(c);
+  }
+  ASSERT_GE(fenced, 0);
+  ASSERT_GE(unfenced, 0);
+  const double sx = db.x(fenced), sy = db.y(fenced);
+  db.set_position(fenced, db.x(unfenced), db.y(unfenced));
+  EXPECT_GT(lg::check_legality(db).fence_violations, 0u);
+  db.set_position(fenced, sx, sy);
+
+  // Push a default cell into the fence.
+  const RectD& fr = db.fences()[0].rect;
+  db.set_position(unfenced, fr.cx(), fr.cy());
+  EXPECT_GT(lg::check_legality(db).fence_violations, 0u);
+}
+
+}  // namespace
+}  // namespace xplace

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "db/stats.h"
+#include "io/bookshelf.h"
+#include "io/generator.h"
+#include "io/suites.h"
+
+namespace xplace::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("xplace_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() { fs::remove_all(dir_); }
+  std::string path() const { return dir_.string(); }
+
+ private:
+  fs::path dir_;
+  static inline int counter_ = 0;
+};
+
+GeneratorSpec small_spec() {
+  GeneratorSpec spec;
+  spec.name = "unit";
+  spec.num_cells = 800;
+  spec.num_nets = 850;
+  spec.num_macros = 4;
+  spec.num_io_pads = 16;
+  spec.seed = 123;
+  return spec;
+}
+
+// ---------------- generator ----------------
+
+TEST(Generator, ProducesRequestedCounts) {
+  db::Database db = generate(small_spec());
+  EXPECT_EQ(db.num_movable(), 800u);
+  EXPECT_EQ(db.num_nets(), 850u);
+  EXPECT_EQ(db.num_fixed(), 4u + 16u);  // macros + pads
+  EXPECT_GT(db.num_pins(), 2u * db.num_nets());  // avg degree > 2
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  db::Database a = generate(small_spec());
+  db::Database b = generate(small_spec());
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  ASSERT_EQ(a.num_cells_total(), b.num_cells_total());
+  EXPECT_DOUBLE_EQ(a.hpwl(), b.hpwl());
+  for (std::size_t p = 0; p < a.num_pins(); p += 97) {
+    EXPECT_EQ(a.pin_cell(p), b.pin_cell(p));
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorSpec s1 = small_spec();
+  GeneratorSpec s2 = small_spec();
+  s2.seed = 124;
+  db::Database a = generate(s1);
+  db::Database b = generate(s2);
+  EXPECT_NE(a.hpwl(), b.hpwl());
+}
+
+TEST(Generator, UtilizationNearTarget) {
+  GeneratorSpec spec = small_spec();
+  spec.utilization = 0.65;
+  db::Database db = generate(spec);
+  const db::DesignStats s = db::compute_stats(db);
+  EXPECT_NEAR(s.utilization, 0.65, 0.08);
+}
+
+TEST(Generator, MacrosDoNotOverlapEachOther) {
+  GeneratorSpec spec = small_spec();
+  spec.num_macros = 9;
+  spec.macro_area_fraction = 0.25;
+  db::Database db = generate(spec);
+  std::vector<RectD> macros;
+  for (std::size_t c = db.num_movable(); c < db.num_physical(); ++c) {
+    if (db.width(c) > 2.0) macros.push_back(db.cell_rect(c));
+  }
+  EXPECT_EQ(macros.size(), 9u);
+  for (std::size_t i = 0; i < macros.size(); ++i) {
+    for (std::size_t j = i + 1; j < macros.size(); ++j) {
+      EXPECT_LE(macros[i].overlap_area(macros[j]), 1e-9)
+          << "macros " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(Generator, AllNetsHaveAtLeastTwoPins) {
+  db::Database db = generate(small_spec());
+  for (std::size_t e = 0; e < db.num_nets(); ++e) {
+    EXPECT_GE(db.net_degree(e), 2u);
+  }
+}
+
+TEST(Generator, MovableCellsInsideRegion) {
+  db::Database db = generate(small_spec());
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    EXPECT_TRUE(db.region().contains(db.x(c), db.y(c)));
+  }
+}
+
+TEST(Generator, RowsTileTheRegion) {
+  db::Database db = generate(small_spec());
+  ASSERT_FALSE(db.rows().empty());
+  double covered = 0.0;
+  for (const auto& row : db.rows()) covered += (row.hx() - row.lx) * row.height;
+  EXPECT_NEAR(covered, db.region().area(), 1e-6 * db.region().area());
+}
+
+// ---------------- suites ----------------
+
+TEST(Suites, TableOneCountsMatchPaper) {
+  const auto& s05 = ispd2005_suite();
+  ASSERT_EQ(s05.size(), 8u);
+  EXPECT_EQ(s05[0].design, "adaptec1");
+  EXPECT_EQ(s05[0].paper_cells, 211000u);
+  EXPECT_EQ(s05[7].design, "bigblue4");
+  EXPECT_EQ(s05[7].paper_cells, 2177000u);
+  const auto& s15 = ispd2015_suite();
+  ASSERT_EQ(s15.size(), 20u);
+}
+
+TEST(Suites, LookupByName) {
+  EXPECT_EQ(find_suite_entry("superblue12").paper_cells, 1293000u);
+  EXPECT_THROW(find_suite_entry("nonexistent"), std::invalid_argument);
+}
+
+TEST(Suites, ScaledInstantiation) {
+  db::Database db = make_design("adaptec1", 100.0);
+  EXPECT_NEAR(static_cast<double>(db.num_movable()), 2110.0, 5.0);
+  EXPECT_EQ(db.design_name(), "adaptec1");
+  EXPECT_THROW(make_design("adaptec1", 0.5), std::invalid_argument);
+}
+
+// ---------------- bookshelf round trip ----------------
+
+TEST(Bookshelf, RoundTripPreservesDesign) {
+  TempDir tmp;
+  db::Database orig = generate(small_spec());
+  write_bookshelf(orig, tmp.path(), "unit");
+  db::Database back = read_bookshelf_aux(tmp.path() + "/unit.aux");
+
+  EXPECT_EQ(back.num_movable(), orig.num_movable());
+  EXPECT_EQ(back.num_fixed(), orig.num_fixed());
+  EXPECT_EQ(back.num_nets(), orig.num_nets());
+  EXPECT_EQ(back.num_pins(), orig.num_pins());
+  EXPECT_EQ(back.rows().size(), orig.rows().size());
+  EXPECT_NEAR(back.hpwl(), orig.hpwl(), 1e-6 * orig.hpwl() + 1e-6);
+  // Region recovered from rows.
+  EXPECT_NEAR(back.region().hx, orig.region().hx, 1e-9);
+  // Cell geometry by name.
+  for (std::size_t c = 0; c < orig.num_physical(); c += 53) {
+    const int id = back.cell_id(orig.cell_name(c));
+    ASSERT_GE(id, 0);
+    EXPECT_DOUBLE_EQ(back.width(id), orig.width(c));
+    EXPECT_NEAR(back.x(id), orig.x(c), 1e-6);
+  }
+}
+
+TEST(Bookshelf, PlWriteReadRoundTrip) {
+  TempDir tmp;
+  db::Database db = generate(small_spec());
+  // Move everything, save, scramble, reload.
+  std::vector<double> saved_x(db.num_physical());
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    db.set_position(c, db.x(c) + 1.5, db.y(c) + 2.5);
+  }
+  for (std::size_t c = 0; c < db.num_physical(); ++c) saved_x[c] = db.x(c);
+  const std::string pl = tmp.path() + "/out.pl";
+  write_pl(db, pl);
+  for (std::size_t c = 0; c < db.num_movable(); ++c) db.set_position(c, 0, 0);
+  read_pl_into(db, pl);
+  for (std::size_t c = 0; c < db.num_physical(); ++c) {
+    EXPECT_NEAR(db.x(c), saved_x[c], 1e-6) << db.cell_name(c);
+  }
+}
+
+TEST(Bookshelf, MissingFileThrows) {
+  EXPECT_THROW(read_bookshelf_aux("/nonexistent/dir/x.aux"), std::runtime_error);
+}
+
+TEST(Bookshelf, MalformedNodesDiagnostic) {
+  TempDir tmp;
+  std::ofstream(tmp.path() + "/bad.aux")
+      << "RowBasedPlacement : bad.nodes bad.nets bad.wts bad.pl bad.scl\n";
+  std::ofstream(tmp.path() + "/bad.nodes") << "UCLA nodes 1.0\n  o1\n";  // too few fields
+  std::ofstream(tmp.path() + "/bad.nets") << "UCLA nets 1.0\n";
+  std::ofstream(tmp.path() + "/bad.pl") << "UCLA pl 1.0\n";
+  std::ofstream(tmp.path() + "/bad.scl") << "";
+  try {
+    read_bookshelf_aux(tmp.path() + "/bad.aux");
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad.nodes"), std::string::npos);
+  }
+}
+
+TEST(Bookshelf, CountMismatchDetected) {
+  TempDir tmp;
+  std::ofstream(tmp.path() + "/bad.aux")
+      << "RowBasedPlacement : bad.nodes bad.nets bad.wts bad.pl bad.scl\n";
+  std::ofstream(tmp.path() + "/bad.nodes")
+      << "UCLA nodes 1.0\nNumNodes : 3\nNumTerminals : 0\n o1 2 2\n";
+  std::ofstream(tmp.path() + "/bad.nets") << "UCLA nets 1.0\nNumNets : 0\n";
+  std::ofstream(tmp.path() + "/bad.pl") << "UCLA pl 1.0\no1 0 0 : N\n";
+  std::ofstream(tmp.path() + "/bad.scl") << "";
+  EXPECT_THROW(read_bookshelf_aux(tmp.path() + "/bad.aux"), std::runtime_error);
+}
+
+TEST(Bookshelf, UnknownCellInNetThrows) {
+  TempDir tmp;
+  std::ofstream(tmp.path() + "/bad.aux")
+      << "RowBasedPlacement : bad.nodes bad.nets bad.wts bad.pl bad.scl\n";
+  std::ofstream(tmp.path() + "/bad.nodes")
+      << "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n o1 2 2\n";
+  std::ofstream(tmp.path() + "/bad.nets")
+      << "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\n"
+      << " o1 I : 0 0\n oMISSING I : 0 0\n";
+  std::ofstream(tmp.path() + "/bad.pl") << "UCLA pl 1.0\no1 0 0 : N\n";
+  std::ofstream(tmp.path() + "/bad.scl") << "";
+  EXPECT_THROW(read_bookshelf_aux(tmp.path() + "/bad.aux"), std::runtime_error);
+}
+
+TEST(Bookshelf, FixedFlagInPlMakesCellFixed) {
+  TempDir tmp;
+  std::ofstream(tmp.path() + "/d.aux")
+      << "RowBasedPlacement : d.nodes d.nets d.wts d.pl d.scl\n";
+  std::ofstream(tmp.path() + "/d.nodes")
+      << "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n a 2 2\n b 2 2\n";
+  std::ofstream(tmp.path() + "/d.nets")
+      << "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\n"
+      << " a I : 0 0\n b I : 0 0\n";
+  std::ofstream(tmp.path() + "/d.pl")
+      << "UCLA pl 1.0\na 0 0 : N\nb 10 10 : N /FIXED\n";
+  std::ofstream(tmp.path() + "/d.scl")
+      << "CoreRow Horizontal\n Coordinate : 0\n Height : 12\n Sitewidth : 1\n"
+      << " SubrowOrigin : 0 NumSites : 50\nEnd\n";
+  db::Database db = read_bookshelf_aux(tmp.path() + "/d.aux");
+  EXPECT_EQ(db.num_movable(), 1u);
+  EXPECT_EQ(db.num_fixed(), 1u);
+  EXPECT_EQ(db.kind(db.cell_id("b")), db::CellKind::kFixed);
+}
+
+}  // namespace
+}  // namespace xplace::io

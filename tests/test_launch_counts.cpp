@@ -1,0 +1,150 @@
+// Operator-graph size assertions — the hardware-independent heart of the
+// paper's Section 3.1: each execution tier must issue exactly the kernel
+// launches its design promises. These tests pin the op-graph contracts so a
+// refactor cannot silently erode the Xplace-vs-baseline contrast that
+// Tables 2/3 measure.
+#include <gtest/gtest.h>
+
+#include "core/gradient_engine.h"
+#include "io/generator.h"
+#include "ops/netlist_view.h"
+#include "ops/wirelength.h"
+#include "ops/wirelength_tape.h"
+#include "tensor/dispatch.h"
+#include "tensor/tape.h"
+
+namespace xplace {
+namespace {
+
+using tensor::Dispatcher;
+
+db::Database lc_design() {
+  io::GeneratorSpec spec;
+  spec.name = "launch_unit";
+  spec.num_cells = 300;
+  spec.num_nets = 320;
+  spec.seed = 55;
+  return io::generate(spec);
+}
+
+std::vector<float> coords(const db::Database& db, bool want_x) {
+  std::vector<float> v(db.num_cells_total());
+  for (std::size_t c = 0; c < v.size(); ++c) {
+    v[c] = static_cast<float>(want_x ? db.x(c) : db.y(c));
+  }
+  return v;
+}
+
+TEST(LaunchCounts, FusedWirelengthIsOneKernel) {
+  db::Database db = lc_design();
+  const ops::NetlistView view = ops::build_netlist_view(db);
+  const auto x = coords(db, true), y = coords(db, false);
+  std::vector<float> gx(view.num_cells, 0.0f), gy(view.num_cells, 0.0f);
+  auto& d = Dispatcher::global();
+  d.reset_counters();
+  ops::fused_wl_grad_hpwl(view, x.data(), y.data(), 8.0f, gx.data(), gy.data());
+  EXPECT_EQ(d.total_launches(), 1u);
+  EXPECT_EQ(d.launch_counts().at("fused_wl_grad_hpwl"), 1u);
+}
+
+TEST(LaunchCounts, SeparateKernelsAreThree) {
+  db::Database db = lc_design();
+  const ops::NetlistView view = ops::build_netlist_view(db);
+  const auto x = coords(db, true), y = coords(db, false);
+  std::vector<float> gx(view.num_cells, 0.0f), gy(view.num_cells, 0.0f);
+  auto& d = Dispatcher::global();
+  d.reset_counters();
+  (void)ops::wa_wirelength(view, x.data(), y.data(), 8.0f);
+  ops::wa_gradient(view, x.data(), y.data(), 8.0f, gx.data(), gy.data());
+  (void)ops::hpwl(view, x.data(), y.data());
+  EXPECT_EQ(d.total_launches(), 3u);
+}
+
+TEST(LaunchCounts, TapeWirelengthElementaryOpGraph) {
+  // Forward: 15 elementary kernels per direction = 30; the autograd tape
+  // records 6 coalesced backward nodes per direction = 12 more launches on
+  // backward(); the separate HPWL op issues 2.
+  db::Database db = lc_design();
+  const ops::NetlistView view = ops::build_netlist_view(db);
+  const auto x = coords(db, true), y = coords(db, false);
+  std::vector<float> gx(view.num_cells, 0.0f), gy(view.num_cells, 0.0f);
+  ops::TapeWirelength wl(view);
+  tensor::Tape tape;
+  auto& d = Dispatcher::global();
+
+  d.reset_counters();
+  wl.forward(tape, x.data(), y.data(), 8.0f, gx.data(), gy.data());
+  EXPECT_EQ(d.total_launches(), 30u);
+  EXPECT_EQ(tape.size(), 12u);
+
+  d.reset_counters();
+  tape.backward();
+  EXPECT_EQ(d.total_launches(), 12u);
+
+  d.reset_counters();
+  (void)wl.hpwl_op(x.data(), y.data());
+  EXPECT_EQ(d.total_launches(), 2u);
+}
+
+/// Launches per GradientEngine::compute() call for a given config.
+std::uint64_t engine_launches(const core::PlacerConfig& base, int iter) {
+  db::Database db = lc_design();
+  db.insert_fillers(1);
+  core::PlacerConfig cfg = base;
+  cfg.grid_dim = 32;
+  core::GradientEngine engine(db, cfg);
+  const std::size_t n = db.num_cells_total();
+  std::vector<float> x = coords(db, true), y = coords(db, false);
+  std::vector<float> gx(n, 0.0f), gy(n, 0.0f);
+  auto& d = Dispatcher::global();
+  // Warm-up evaluation (fills the skip caches), then measure.
+  engine.compute(x.data(), y.data(), 8.0f, 1e-4f, 0, 0.0, gx.data(), gy.data());
+  d.reset_counters();
+  engine.compute(x.data(), y.data(), 8.0f, 1e-4f, iter, 0.0, gx.data(), gy.data());
+  const std::uint64_t launches = d.total_launches();
+  d.reset_counters();
+  return launches;
+}
+
+TEST(LaunchCounts, XplaceEngineGraphIsSmall) {
+  // Full Xplace tier: fused WL(1) + zero(2) + density D/D_fl/add/ovfl(4) +
+  // spectral solve(4) + gathers(2) + norms(2) + combine(1) = 16.
+  const std::uint64_t n = engine_launches(core::PlacerConfig::xplace(), 200);
+  EXPECT_LE(n, 18u);
+  EXPECT_GE(n, 14u);
+}
+
+TEST(LaunchCounts, BaselineEngineGraphIsSeveralTimesLarger) {
+  const std::uint64_t xplace = engine_launches(core::PlacerConfig::xplace(), 200);
+  const std::uint64_t baseline =
+      engine_launches(core::PlacerConfig::dreamplace(), 200);
+  // The paper's operator-reduction premise: the stock graph is ~4x larger.
+  EXPECT_GE(baseline, 3 * xplace);
+  EXPECT_GE(baseline, 60u);
+}
+
+TEST(LaunchCounts, SkippedIterationDropsDensityPipeline) {
+  // During an early-stage skip, the density scatter/solve/gather vanish.
+  db::Database db = lc_design();
+  db.insert_fillers(1);
+  core::PlacerConfig cfg = core::PlacerConfig::xplace();
+  cfg.grid_dim = 32;
+  core::GradientEngine engine(db, cfg);
+  const std::size_t n = db.num_cells_total();
+  std::vector<float> x = coords(db, true), y = coords(db, false);
+  std::vector<float> gx(n, 0.0f), gy(n, 0.0f);
+  auto& d = Dispatcher::global();
+  // Iteration 0 runs the full pipeline (tiny λ ⇒ r < 0.01 afterwards).
+  engine.compute(x.data(), y.data(), 8.0f, 1e-12f, 0, 0.0, gx.data(), gy.data());
+  d.reset_counters();
+  auto res = engine.compute(x.data(), y.data(), 8.0f, 1e-12f, 1, 0.0,
+                            gx.data(), gy.data());
+  EXPECT_TRUE(res.density_skipped);
+  EXPECT_EQ(d.launch_counts().count("es.dct2"), 0u);
+  EXPECT_EQ(d.launch_counts().count("density.map_physical"), 0u);
+  EXPECT_LE(d.total_launches(), 8u);
+  d.reset_counters();
+}
+
+}  // namespace
+}  // namespace xplace

@@ -1,0 +1,420 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "db/database.h"
+#include "io/generator.h"
+#include "ops/density.h"
+#include "ops/electrostatics.h"
+#include "ops/netlist_view.h"
+#include "ops/wirelength.h"
+#include "ops/wirelength_tape.h"
+#include "tensor/tape.h"
+#include "util/rng.h"
+
+namespace xplace::ops {
+namespace {
+
+db::Database small_design(std::uint64_t seed = 11) {
+  io::GeneratorSpec spec;
+  spec.name = "ops_unit";
+  spec.num_cells = 300;
+  spec.num_nets = 320;
+  spec.num_macros = 2;
+  spec.num_io_pads = 8;
+  spec.seed = seed;
+  return io::generate(spec);
+}
+
+std::vector<float> positions_x(const db::Database& db) {
+  std::vector<float> x(db.num_cells_total());
+  for (std::size_t c = 0; c < db.num_cells_total(); ++c)
+    x[c] = static_cast<float>(db.x(c));
+  return x;
+}
+
+std::vector<float> positions_y(const db::Database& db) {
+  std::vector<float> y(db.num_cells_total());
+  for (std::size_t c = 0; c < db.num_cells_total(); ++c)
+    y[c] = static_cast<float>(db.y(c));
+  return y;
+}
+
+// ---------------- wirelength ----------------
+
+TEST(Wirelength, HpwlMatchesDatabase) {
+  db::Database db = small_design();
+  const NetlistView view = build_netlist_view(db);
+  const auto x = positions_x(db), y = positions_y(db);
+  const double h = hpwl(view, x.data(), y.data());
+  EXPECT_NEAR(h, db.hpwl(), 1e-5 * db.hpwl());
+}
+
+TEST(Wirelength, WaUpperBoundsAndApproachesHpwl) {
+  // WA is a smooth approximation from below/above depending on formulation;
+  // with the stable two-sided form, WA underestimates HPWL and converges to
+  // it as γ → 0.
+  db::Database db = small_design();
+  const NetlistView view = build_netlist_view(db);
+  const auto x = positions_x(db), y = positions_y(db);
+  const double h = hpwl(view, x.data(), y.data());
+  const double wa_coarse = wa_wirelength(view, x.data(), y.data(), 50.0f);
+  const double wa_fine = wa_wirelength(view, x.data(), y.data(), 1.0f);
+  EXPECT_LE(wa_coarse, h);
+  EXPECT_LE(wa_fine, h * (1 + 1e-6));
+  EXPECT_GT(wa_fine, wa_coarse);  // tighter approximation for smaller γ
+  EXPECT_NEAR(wa_fine, h, 0.05 * h);
+}
+
+TEST(Wirelength, FusedMatchesSeparateKernels) {
+  db::Database db = small_design();
+  const NetlistView view = build_netlist_view(db);
+  const auto x = positions_x(db), y = positions_y(db);
+  const float gamma = 8.0f;
+  std::vector<float> gx_f(view.num_cells, 0.0f), gy_f(view.num_cells, 0.0f);
+  const WirelengthSums sums =
+      fused_wl_grad_hpwl(view, x.data(), y.data(), gamma, gx_f.data(), gy_f.data());
+  EXPECT_NEAR(sums.wa, wa_wirelength(view, x.data(), y.data(), gamma),
+              1e-6 * std::fabs(sums.wa));
+  EXPECT_NEAR(sums.hpwl, hpwl(view, x.data(), y.data()), 1e-6 * sums.hpwl);
+  std::vector<float> gx_s(view.num_cells, 0.0f), gy_s(view.num_cells, 0.0f);
+  wa_gradient(view, x.data(), y.data(), gamma, gx_s.data(), gy_s.data());
+  for (std::size_t c = 0; c < view.num_cells; ++c) {
+    EXPECT_NEAR(gx_f[c], gx_s[c], 1e-5f + 1e-4f * std::fabs(gx_s[c]));
+    EXPECT_NEAR(gy_f[c], gy_s[c], 1e-5f + 1e-4f * std::fabs(gy_s[c]));
+  }
+}
+
+/// Finite-difference check of the WA gradient on a tiny hand design, over a
+/// sweep of γ values (property-style).
+class WaGradientCheck : public ::testing::TestWithParam<float> {};
+
+TEST_P(WaGradientCheck, MatchesFiniteDifference) {
+  const float gamma = GetParam();
+  db::Database db;
+  db.set_region({0, 0, 100, 100});
+  std::vector<int> cells;
+  Rng rng(77);
+  for (int i = 0; i < 12; ++i) {
+    cells.push_back(db.add_cell("c" + std::to_string(i), 2, 2, db::CellKind::kMovable));
+  }
+  for (int e = 0; e < 8; ++e) {
+    const int net = db.add_net("n" + std::to_string(e));
+    const int deg = 2 + e % 4;
+    for (int k = 0; k < deg; ++k) {
+      db.add_pin(net, cells[(e * 3 + k * 5) % 12], rng.uniform(-1, 1), rng.uniform(-1, 1));
+    }
+  }
+  db.finalize();
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    db.set_position(c, rng.uniform(10, 90), rng.uniform(10, 90));
+  }
+  const NetlistView view = build_netlist_view(db);
+  auto x = positions_x(db), y = positions_y(db);
+
+  std::vector<float> gx(view.num_cells, 0.0f), gy(view.num_cells, 0.0f);
+  wa_gradient(view, x.data(), y.data(), gamma, gx.data(), gy.data());
+
+  const float eps = 1e-2f;
+  for (std::size_t c = 0; c < view.num_cells; ++c) {
+    const float saved = x[c];
+    x[c] = saved + eps;
+    const double wp = wa_wirelength(view, x.data(), y.data(), gamma);
+    x[c] = saved - eps;
+    const double wm = wa_wirelength(view, x.data(), y.data(), gamma);
+    x[c] = saved;
+    const double fd = (wp - wm) / (2.0 * eps);
+    EXPECT_NEAR(gx[c], fd, 5e-3 + 0.02 * std::fabs(fd)) << "cell " << c << " gamma " << gamma;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GammaSweep, WaGradientCheck,
+                         ::testing::Values(0.5f, 2.0f, 8.0f, 32.0f));
+
+TEST(WirelengthTape, MatchesDirectKernels) {
+  db::Database db = small_design(21);
+  const NetlistView view = build_netlist_view(db);
+  const auto x = positions_x(db), y = positions_y(db);
+  const float gamma = 6.0f;
+
+  TapeWirelength tape_wl(view);
+  tensor::Tape tape;
+  std::vector<float> gx_t(view.num_cells, 0.0f), gy_t(view.num_cells, 0.0f);
+  const double wl_t =
+      tape_wl.forward(tape, x.data(), y.data(), gamma, gx_t.data(), gy_t.data());
+  EXPECT_GT(tape.size(), 0u);
+  tape.backward();
+
+  const double wl_d = wa_wirelength(view, x.data(), y.data(), gamma);
+  EXPECT_NEAR(wl_t, wl_d, 1e-4 * std::fabs(wl_d));
+
+  std::vector<float> gx_d(view.num_cells, 0.0f), gy_d(view.num_cells, 0.0f);
+  wa_gradient(view, x.data(), y.data(), gamma, gx_d.data(), gy_d.data());
+  double max_abs = 0.0;
+  for (float g : gx_d) max_abs = std::max(max_abs, static_cast<double>(std::fabs(g)));
+  for (std::size_t c = 0; c < view.num_cells; ++c) {
+    EXPECT_NEAR(gx_t[c], gx_d[c], 1e-3 * max_abs + 1e-4) << c;
+    EXPECT_NEAR(gy_t[c], gy_d[c], 1e-3 * max_abs + 1e-4) << c;
+  }
+  EXPECT_NEAR(tape_wl.hpwl_op(x.data(), y.data()), hpwl(view, x.data(), y.data()),
+              1e-6 * db.hpwl());
+}
+
+TEST(Wirelength, DegenerateNetsIgnored) {
+  db::Database db;
+  db.set_region({0, 0, 10, 10});
+  const int a = db.add_cell("a", 1, 1, db::CellKind::kMovable);
+  const int b = db.add_cell("b", 1, 1, db::CellKind::kMovable);
+  const int n1 = db.add_net("single");
+  db.add_pin(n1, a, 0, 0);
+  const int n2 = db.add_net("pair");
+  db.add_pin(n2, a, 0, 0);
+  db.add_pin(n2, b, 0, 0);
+  db.finalize();
+  db.set_position(a, 2, 2);
+  db.set_position(b, 7, 5);
+  const NetlistView view = build_netlist_view(db);
+  EXPECT_EQ(view.net_mask[0], 0);
+  EXPECT_EQ(view.net_mask[1], 1);
+  const auto x = positions_x(db), y = positions_y(db);
+  EXPECT_NEAR(hpwl(view, x.data(), y.data()), 8.0, 1e-9);
+}
+
+// ---------------- density ----------------
+
+TEST(Density, MapConservesArea) {
+  db::Database db = small_design(31);
+  db.insert_fillers(3);
+  DensityGrid grid(db, 32);
+  const auto x = positions_x(db), y = positions_y(db);
+  std::vector<double> map(grid.num_bins(), 0.0);
+  grid.accumulate_range("test.acc", x.data(), y.data(), 0, db.num_movable(),
+                        map.data(), true);
+  // Smoothing preserves area by construction; the only loss is the clipped
+  // part of √2·bin-expanded footprints of cells hugging the region boundary,
+  // a sub-percent effect at this grid size.
+  EXPECT_NEAR(grid.total_area(map.data()), db.total_movable_area(),
+              5e-3 * db.total_movable_area());
+}
+
+TEST(Density, ExtractionEquivalence) {
+  // D̃ = D + D_fl (extracted) must equal the jointly-accumulated map.
+  db::Database db = small_design(32);
+  db.insert_fillers(3);
+  DensityGrid grid(db, 32);
+  const auto x = positions_x(db), y = positions_y(db);
+  std::vector<double> d(grid.num_bins()), dfl(grid.num_bins()), joint(grid.num_bins());
+  grid.accumulate_range("d", x.data(), y.data(), 0, db.num_physical(), d.data(), true);
+  grid.accumulate_range("dfl", x.data(), y.data(), db.num_physical(),
+                        db.num_cells_total(), dfl.data(), true);
+  grid.accumulate_range("joint", x.data(), y.data(), 0, db.num_cells_total(),
+                        joint.data(), true);
+  for (std::size_t b = 0; b < grid.num_bins(); ++b) {
+    EXPECT_NEAR(d[b] + dfl[b], joint[b], 1e-9);
+  }
+}
+
+TEST(Density, SingleCellExactOverlap) {
+  // One big (unsmoothed) cell covering exactly 4 bins.
+  db::Database db;
+  db.set_region({0, 0, 64, 64});
+  db.set_target_density(1.0);
+  const int a = db.add_cell("a", 32, 32, db::CellKind::kMovable);
+  const int n = db.add_net("n");
+  db.add_pin(n, a, 0, 0);
+  db.add_pin(n, a, 1, 1);
+  db.finalize();
+  db.set_position(a, 32, 32);  // centered: spans [16,48]²
+  DensityGrid grid(db, 2);     // bins of 32x32
+  const auto x = positions_x(db), y = positions_y(db);
+  std::vector<double> map(grid.num_bins());
+  grid.accumulate_range("t", x.data(), y.data(), 0, 1, map.data(), true);
+  // Footprints are cached in single precision; allow float-level error.
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_NEAR(map[b], 0.25, 1e-6);
+}
+
+TEST(Density, OverflowZeroWhenUniform) {
+  db::Database db;
+  db.set_region({0, 0, 64, 64});
+  db.set_target_density(0.8);
+  const int a = db.add_cell("a", 32, 32, db::CellKind::kMovable);
+  const int n = db.add_net("n");
+  db.add_pin(n, a, 0, 0);
+  db.add_pin(n, a, 1, 1);
+  db.finalize();
+  db.set_position(a, 32, 32);
+  DensityGrid grid(db, 2);
+  const auto x = positions_x(db), y = positions_y(db);
+  std::vector<double> map(grid.num_bins());
+  grid.accumulate_range("t", x.data(), y.data(), 0, 1, map.data(), true);
+  EXPECT_NEAR(grid.overflow(map.data()), 0.0, 1e-12);  // 0.25 < 0.8 everywhere
+}
+
+TEST(Density, OverflowPositiveWhenClumped) {
+  db::Database db = small_design(33);
+  DensityGrid grid(db, 32);
+  // Pile all movable cells in one corner.
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    db.set_position(c, db.region().lx + 5 + (c % 7), db.region().ly + 5 + (c % 5));
+  }
+  const auto x = positions_x(db), y = positions_y(db);
+  std::vector<double> map(grid.num_bins());
+  grid.accumulate_range("t", x.data(), y.data(), 0, db.num_physical(), map.data(), true);
+  EXPECT_GT(grid.overflow(map.data()), 0.5);
+}
+
+TEST(Density, FixedCellsCappedAtTargetDensity) {
+  db::Database db;
+  db.set_region({0, 0, 64, 64});
+  db.set_target_density(0.7);
+  const int a = db.add_cell("m", 64, 64, db::CellKind::kFixed);
+  const int mv = db.add_cell("c", 2, 2, db::CellKind::kMovable);
+  const int n = db.add_net("n");
+  db.add_pin(n, a, 0, 0);
+  db.add_pin(n, mv, 0, 0);
+  db.finalize();
+  db.set_position(a, 32, 32);
+  db.set_position(mv, 32, 32);
+  DensityGrid grid(db, 4);
+  std::vector<float> x{32, 32}, y{32, 32};
+  std::vector<double> map(grid.num_bins());
+  // Fixed only.
+  grid.accumulate_range("t", x.data(), y.data(), db.num_movable(),
+                        db.num_physical(), map.data(), true);
+  for (std::size_t b = 0; b < grid.num_bins(); ++b) {
+    EXPECT_NEAR(map[b], 0.7, 1e-6);  // capped at target (float footprints)
+  }
+  EXPECT_NEAR(grid.overflow(map.data()), 0.0, 1e-12);
+}
+
+// ---------------- electrostatics ----------------
+
+TEST(Poisson, ResidualSatisfiesEquation) {
+  // Build a smooth ρ, solve, and verify the discrete Laplacian of ψ ≈ -ρ̄.
+  const int m = 32;
+  const double bin = 1.0;
+  std::vector<double> rho(m * m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      rho[i * m + j] = std::cos(std::numbers::pi * (2.0 * i + 1) / (2.0 * m)) *
+                       std::cos(2.0 * std::numbers::pi * (2.0 * j + 1) / (2.0 * m));
+    }
+  }
+  PoissonSolver solver(m, bin, bin);
+  solver.solve(rho.data(), /*want_potential=*/true);
+  const auto& psi = solver.psi();
+  // Interior 5-point Laplacian.
+  double max_resid = 0.0, max_rho = 0.0;
+  for (int i = 2; i < m - 2; ++i) {
+    for (int j = 2; j < m - 2; ++j) {
+      const double lap = (psi[(i + 1) * m + j] + psi[(i - 1) * m + j] +
+                          psi[i * m + j + 1] + psi[i * m + j - 1] -
+                          4.0 * psi[i * m + j]) /
+                         (bin * bin);
+      max_resid = std::max(max_resid, std::fabs(lap + rho[i * m + j]));
+      max_rho = std::max(max_rho, std::fabs(rho[i * m + j]));
+    }
+  }
+  // Spectral solve of a band-limited ρ: the 5-point stencil itself carries
+  // O(h²k²) discretization error, so allow a few percent.
+  EXPECT_LT(max_resid, 0.08 * max_rho);
+}
+
+TEST(Poisson, FieldIsMinusGradPsi) {
+  const int m = 32;
+  Rng rng(5);
+  std::vector<double> rho(m * m);
+  for (auto& v : rho) v = rng.uniform(0.0, 1.0);
+  PoissonSolver solver(m, 1.0, 1.0);
+  solver.solve(rho.data(), true);
+  const auto& psi = solver.psi();
+  const auto& ex = solver.ex();
+  double max_err = 0.0, max_e = 0.0;
+  for (int i = 1; i < m - 1; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const double grad = (psi[(i + 1) * m + j] - psi[(i - 1) * m + j]) / 2.0;
+      max_err = std::max(max_err, std::fabs(ex[i * m + j] + grad));
+      max_e = std::max(max_e, std::fabs(ex[i * m + j]));
+    }
+  }
+  // Central differences on white-noise ρ are only first-order accurate at the
+  // grid scale; verify direction and magnitude agreement within 35%.
+  EXPECT_LT(max_err, 0.35 * max_e);
+}
+
+TEST(Poisson, UniformDensityHasZeroField) {
+  const int m = 16;
+  std::vector<double> rho(m * m, 0.42);
+  PoissonSolver solver(m, 2.0, 2.0);
+  solver.solve(rho.data(), true);
+  for (double v : solver.ex()) EXPECT_NEAR(v, 0.0, 1e-9);
+  for (double v : solver.ey()) EXPECT_NEAR(v, 0.0, 1e-9);
+  for (double v : solver.psi()) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Poisson, FieldPointsAwayFromClump) {
+  // A concentrated blob in the center: field left of center points -x (away),
+  // right of center points +x.
+  const int m = 32;
+  std::vector<double> rho(m * m, 0.0);
+  for (int i = 14; i < 18; ++i)
+    for (int j = 14; j < 18; ++j) rho[i * m + j] = 4.0;
+  PoissonSolver solver(m, 1.0, 1.0);
+  solver.solve(rho.data(), false);
+  const auto& ex = solver.ex();
+  // ePlace sign convention: E = -∇ψ points from high density to low density,
+  // so cells at x > center get positive Ex (pushed right).
+  EXPECT_GT(ex[24 * m + 16], 0.0);
+  EXPECT_LT(ex[8 * m + 16], 0.0);
+  const auto& ey = solver.ey();
+  EXPECT_GT(ey[16 * m + 24], 0.0);
+  EXPECT_LT(ey[16 * m + 8], 0.0);
+}
+
+TEST(Poisson, EnergyDecreasesWhenSpread) {
+  const int m = 16;
+  std::vector<double> clumped(m * m, 0.0), spread(m * m, 0.5);
+  for (int i = 6; i < 10; ++i)
+    for (int j = 6; j < 10; ++j) clumped[i * m + j] = 8.0;
+  PoissonSolver solver(m, 1.0, 1.0);
+  solver.solve(clumped.data(), true);
+  const double e_clumped = solver.energy(clumped.data());
+  solver.solve(spread.data(), true);
+  const double e_spread = solver.energy(spread.data());
+  EXPECT_LT(e_spread, e_clumped);
+  EXPECT_NEAR(e_spread, 0.0, 1e-9);
+}
+
+TEST(DensityForce, GatherMovesCellsApart) {
+  // Two overlapping cells: the field gather must push them in opposite x
+  // directions.
+  db::Database db;
+  db.set_region({0, 0, 64, 64});
+  db.set_target_density(1.0);
+  const int a = db.add_cell("a", 8, 8, db::CellKind::kMovable);
+  const int b = db.add_cell("b", 8, 8, db::CellKind::kMovable);
+  const int n = db.add_net("n");
+  db.add_pin(n, a, 0, 0);
+  db.add_pin(n, b, 0, 0);
+  db.finalize();
+  db.set_position(a, 30, 32);
+  db.set_position(b, 34, 32);
+  DensityGrid grid(db, 16);
+  const auto x = positions_x(db), y = positions_y(db);
+  std::vector<double> map(grid.num_bins());
+  grid.accumulate_range("t", x.data(), y.data(), 0, 2, map.data(), true);
+  PoissonSolver solver(16, grid.bin_w(), grid.bin_h());
+  solver.solve(map.data(), false);
+  std::vector<float> gx(2, 0.0f), gy(2, 0.0f);
+  // Gradient of the density penalty: -q·E (descent direction +q·E spreads).
+  grid.gather_field("t.gather", x.data(), y.data(), 0, 2, solver.ex().data(),
+                    solver.ey().data(), -1.0f, gx.data(), gy.data());
+  // Descent step -grad must move a left (-x) and b right (+x).
+  EXPECT_LT(-gx[0], 0.0) << "a should move left";
+  EXPECT_GT(-gx[1], 0.0) << "b should move right";
+}
+
+}  // namespace
+}  // namespace xplace::ops

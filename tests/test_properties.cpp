@@ -1,0 +1,260 @@
+// Property-style sweeps across parameters (TEST_P), validating invariants
+// the individual unit tests only spot-check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.h"
+#include "io/generator.h"
+#include "ops/density.h"
+#include "ops/electrostatics.h"
+#include "ops/netlist_view.h"
+#include "ops/wirelength.h"
+#include "util/rng.h"
+
+namespace xplace {
+namespace {
+
+db::Database prop_design(std::uint64_t seed) {
+  io::GeneratorSpec spec;
+  spec.name = "prop";
+  spec.num_cells = 400;
+  spec.num_nets = 420;
+  spec.seed = seed;
+  return io::generate(spec);
+}
+
+std::vector<float> xs(const db::Database& db) {
+  std::vector<float> v(db.num_cells_total());
+  for (std::size_t c = 0; c < v.size(); ++c) v[c] = static_cast<float>(db.x(c));
+  return v;
+}
+std::vector<float> ys(const db::Database& db) {
+  std::vector<float> v(db.num_cells_total());
+  for (std::size_t c = 0; c < v.size(); ++c) v[c] = static_cast<float>(db.y(c));
+  return v;
+}
+
+// ---- WA wirelength: monotone tightening in γ, always below HPWL ----
+
+class WaGammaMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WaGammaMonotone, TightensTowardHpwlAsGammaShrinks) {
+  db::Database db = prop_design(GetParam());
+  const ops::NetlistView view = ops::build_netlist_view(db);
+  const auto x = xs(db), y = ys(db);
+  const double h = ops::hpwl(view, x.data(), y.data());
+  double prev = -1e300;
+  for (float gamma : {64.0f, 32.0f, 16.0f, 8.0f, 4.0f, 2.0f, 1.0f}) {
+    const double wa = ops::wa_wirelength(view, x.data(), y.data(), gamma);
+    EXPECT_LE(wa, h * (1 + 1e-6)) << "gamma " << gamma;
+    EXPECT_GE(wa, prev - 1e-6 * h) << "gamma " << gamma;
+    prev = wa;
+  }
+  EXPECT_NEAR(prev, h, 0.08 * h);  // γ=1 (≈ a site) is a tight approximation
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaGammaMonotone, ::testing::Values(1, 2, 3, 4));
+
+// ---- WA wirelength: translation invariance and gradient zero-sum ----
+
+TEST(WaInvariance, TranslationInvariantAndGradientSumsToZero) {
+  db::Database db = prop_design(9);
+  const ops::NetlistView view = ops::build_netlist_view(db);
+  auto x = xs(db), y = ys(db);
+  const double wa0 = ops::wa_wirelength(view, x.data(), y.data(), 8.0f);
+  for (auto& v : x) v += 37.5f;
+  for (auto& v : y) v -= 11.25f;
+  const double wa1 = ops::wa_wirelength(view, x.data(), y.data(), 8.0f);
+  EXPECT_NEAR(wa0, wa1, 1e-4 * std::fabs(wa0));
+
+  // Σ_i dWL/dx_i = 0 per net (moving everything together changes nothing).
+  std::vector<float> gx(view.num_cells, 0.0f), gy(view.num_cells, 0.0f);
+  ops::wa_gradient(view, x.data(), y.data(), 8.0f, gx.data(), gy.data());
+  double sum_gx = 0.0, sum_gy = 0.0, abs_gx = 0.0;
+  for (std::size_t c = 0; c < view.num_cells; ++c) {
+    sum_gx += gx[c];
+    sum_gy += gy[c];
+    abs_gx += std::fabs(gx[c]);
+  }
+  EXPECT_NEAR(sum_gx, 0.0, 1e-3 * abs_gx + 1e-6);
+  EXPECT_NEAR(sum_gy, 0.0, 1e-3 * abs_gx + 1e-6);
+}
+
+// ---- density conservation across grid sizes ----
+
+class DensityGridSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensityGridSweep, InteriorCellsConserveArea) {
+  const int m = GetParam();
+  db::Database db = prop_design(11);
+  db.insert_fillers(1);
+  // Pull all movable cells well inside so smoothing never clips at edges.
+  const auto& r = db.region();
+  Rng rng(4);
+  for (std::size_t c = 0; c < db.num_movable(); ++c) {
+    db.set_position(c, rng.uniform(r.lx + r.width() * 0.25, r.hx - r.width() * 0.25),
+                    rng.uniform(r.ly + r.height() * 0.25, r.hy - r.height() * 0.25));
+  }
+  ops::DensityGrid grid(db, m);
+  const auto x = xs(db), y = ys(db);
+  std::vector<double> map(grid.num_bins());
+  grid.accumulate_range("p", x.data(), y.data(), 0, db.num_movable(), map.data(), true);
+  EXPECT_NEAR(grid.total_area(map.data()), db.total_movable_area(),
+              1e-3 * db.total_movable_area())
+      << "grid " << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, DensityGridSweep,
+                         ::testing::Values(16, 32, 64, 128));
+
+// ---- Poisson: linearity in ρ ----
+
+TEST(PoissonProperty, FieldIsLinearInDensity) {
+  const int m = 16;
+  Rng rng(5);
+  std::vector<double> a(m * m), b(m * m), combo(m * m);
+  for (int i = 0; i < m * m; ++i) {
+    a[i] = rng.uniform(0, 1);
+    b[i] = rng.uniform(0, 1);
+    combo[i] = 2.0 * a[i] - 0.5 * b[i];
+  }
+  ops::PoissonSolver s(m, 1.0, 1.0);
+  s.solve(a.data(), false);
+  const auto ex_a = s.ex();
+  s.solve(b.data(), false);
+  const auto ex_b = s.ex();
+  s.solve(combo.data(), false);
+  for (int i = 0; i < m * m; ++i) {
+    EXPECT_NEAR(s.ex()[i], 2.0 * ex_a[i] - 0.5 * ex_b[i], 1e-9);
+  }
+}
+
+TEST(PoissonProperty, InternalForcesBalance) {
+  // Newton's third law: the total electrostatic force of the (zero-mean)
+  // charge distribution on itself vanishes: Σ_b ρ̄_b·E_b ≈ 0 up to the grid
+  // discretization error.
+  const int m = 32;
+  Rng rng(6);
+  std::vector<double> rho(m * m);
+  for (auto& v : rho) v = rng.uniform(0, 2);
+  double mean = 0.0;
+  for (double v : rho) mean += v;
+  mean /= static_cast<double>(m * m);
+  ops::PoissonSolver s(m, 1.0, 1.0);
+  s.solve(rho.data(), false);
+  double fx = 0.0, fy = 0.0, abs_fx = 0.0, abs_fy = 0.0;
+  for (int i = 0; i < m * m; ++i) {
+    fx += (rho[i] - mean) * s.ex()[i];
+    fy += (rho[i] - mean) * s.ey()[i];
+    abs_fx += std::fabs((rho[i] - mean) * s.ex()[i]);
+    abs_fy += std::fabs((rho[i] - mean) * s.ey()[i]);
+  }
+  EXPECT_LT(std::fabs(fx), 0.01 * abs_fx);
+  EXPECT_LT(std::fabs(fy), 0.01 * abs_fy);
+}
+
+// ---- optimizers on a convex quadratic ----
+
+namespace {
+
+/// Gradient of f(p) = Σ_i ((x_i − tx_i)² + (y_i − ty_i)²) on a 4-cell design.
+db::Database quad_design() {
+  db::Database db;
+  db.set_region({0, 0, 100, 100});
+  for (int i = 0; i < 4; ++i) {
+    db.add_cell("q" + std::to_string(i), 2, 2, db::CellKind::kMovable);
+  }
+  const int n = db.add_net("n");
+  for (int i = 0; i < 4; ++i) db.add_pin(n, i, 0, 0);
+  db.finalize();
+  for (int i = 0; i < 4; ++i) db.set_position(i, 10 + i, 10);
+  return db;
+}
+
+}  // namespace
+
+TEST(OptimizerProperty, NesterovMinimizesQuadratic) {
+  db::Database db = quad_design();
+  core::PlacerConfig cfg;
+  cfg.initial_step_bins = 0.5;
+  cfg.max_step_bins = 4.0;
+  core::NesterovOptimizer opt(db, cfg, 16);
+  const float tx[4] = {20, 40, 60, 80};
+  const float ty[4] = {30, 30, 70, 70};
+  std::vector<float> gx(4), gy(4);
+  for (int iter = 0; iter < 300; ++iter) {
+    for (int i = 0; i < 4; ++i) {
+      gx[i] = 2.0f * (opt.query_x()[i] - tx[i]);
+      gy[i] = 2.0f * (opt.query_y()[i] - ty[i]);
+    }
+    opt.step(gx.data(), gy.data());
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(opt.solution_x()[i], tx[i], 0.5) << i;
+    EXPECT_NEAR(opt.solution_y()[i], ty[i], 0.5) << i;
+  }
+}
+
+TEST(OptimizerProperty, AdamMinimizesQuadratic) {
+  db::Database db = quad_design();
+  core::PlacerConfig cfg;
+  core::AdamOptimizer opt(db, cfg, 16, /*lr_bins=*/0.2);
+  const float tx[4] = {25, 45, 65, 85};
+  const float ty[4] = {35, 35, 75, 75};
+  std::vector<float> gx(4), gy(4);
+  for (int iter = 0; iter < 800; ++iter) {
+    for (int i = 0; i < 4; ++i) {
+      gx[i] = 2.0f * (opt.query_x()[i] - tx[i]);
+      gy[i] = 2.0f * (opt.query_y()[i] - ty[i]);
+    }
+    opt.step(gx.data(), gy.data());
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(opt.solution_x()[i], tx[i], 1.0) << i;
+    EXPECT_NEAR(opt.solution_y()[i], ty[i], 1.0) << i;
+  }
+}
+
+TEST(OptimizerProperty, ClampBoundsRespectFixedCellsAndRegion) {
+  db::Database db = prop_design(13);
+  db.insert_fillers(1);
+  std::vector<float> min_x, max_x, min_y, max_y;
+  core::build_clamp_bounds(db, min_x, max_x, min_y, max_y);
+  for (std::size_t c = 0; c < db.num_cells_total(); ++c) {
+    if (db.kind(c) == db::CellKind::kFixed) {
+      EXPECT_EQ(min_x[c], max_x[c]);
+      continue;
+    }
+    EXPECT_GE(min_x[c], db.region().lx - 1e-6f);
+    EXPECT_LE(max_x[c], db.region().hx + 1e-6f);
+    EXPECT_LE(min_x[c], max_x[c]);
+  }
+}
+
+// ---- overflow decreases monotonically along a spread interpolation ----
+
+TEST(OverflowProperty, InterpolatingTowardUniformReducesOverflow) {
+  db::Database db = prop_design(15);
+  ops::DensityGrid grid(db, 32);
+  // Start clumped at center, end at the generated (scattered) layout.
+  const auto x_end = xs(db), y_end = ys(db);
+  const double cx = db.region().cx(), cy = db.region().cy();
+  double prev = 1e300;
+  for (double t : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    std::vector<float> x(x_end), y(y_end);
+    for (std::size_t c = 0; c < db.num_movable(); ++c) {
+      x[c] = static_cast<float>(cx + t * (x_end[c] - cx));
+      y[c] = static_cast<float>(cy + t * (y_end[c] - cy));
+    }
+    std::vector<double> map(grid.num_bins());
+    grid.accumulate_range("p", x.data(), y.data(), 0, db.num_physical(),
+                          map.data(), true);
+    const double ovfl = grid.overflow(map.data());
+    EXPECT_LE(ovfl, prev + 1e-9) << "t=" << t;
+    prev = ovfl;
+  }
+}
+
+}  // namespace
+}  // namespace xplace

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/placer.h"
+#include "io/generator.h"
+#include "lg/abacus.h"
+#include "route/congestion.h"
+
+namespace xplace::route {
+namespace {
+
+/// Two-cell design with one 2-pin net for exact demand accounting.
+db::Database two_pin_design(double x0, double y0, double x1, double y1) {
+  db::Database db;
+  db.set_region({0, 0, 64, 64});
+  const int a = db.add_cell("a", 1, 1, db::CellKind::kMovable);
+  const int b = db.add_cell("b", 1, 1, db::CellKind::kMovable);
+  const int n = db.add_net("n");
+  db.add_pin(n, a, 0, 0);
+  db.add_pin(n, b, 0, 0);
+  db.finalize();
+  db.set_position(a, x0, y0);
+  db.set_position(b, x1, y1);
+  return db;
+}
+
+TEST(Rudy, SingleNetDemandIntegratesToWirelength) {
+  db::Database db = two_pin_design(8, 8, 40, 24);
+  const int grid = 16;  // gcells of 4x4
+  const auto demand = rudy_map(db, grid);
+  // Σ demand · gcell_area = (w + h) of the bbox (RUDY integrates to HPWL).
+  const double gw = 64.0 / grid;
+  double total = std::accumulate(demand.begin(), demand.end(), 0.0) * gw * gw;
+  EXPECT_NEAR(total, (40 - 8) + (24 - 8), 1.0);
+}
+
+TEST(Rudy, DemandConfinedToBbox) {
+  db::Database db = two_pin_design(8, 8, 24, 24);
+  const int grid = 16;
+  const auto demand = rudy_map(db, grid);
+  const double gw = 64.0 / grid;
+  for (int ix = 0; ix < grid; ++ix) {
+    for (int iy = 0; iy < grid; ++iy) {
+      const double lo_x = ix * gw, lo_y = iy * gw;
+      const bool inside = lo_x < 24.0 && lo_x + gw > 8.0 && lo_y < 24.0 &&
+                          lo_y + gw > 8.0;
+      if (!inside) {
+        EXPECT_NEAR(demand[static_cast<std::size_t>(ix) * grid + iy], 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Lshape, TwoPinNetDemandCountsGcells) {
+  db::Database db = two_pin_design(10, 10, 50, 42);
+  CongestionConfig cfg;
+  cfg.grid = 8;  // 8x8 gcells of 8x8 units
+  cfg.use_lshape = true;
+  const CongestionResult res = estimate_congestion(db, cfg);
+  // Each L route contributes 0.5 per crossed gcell: total H demand
+  // = 2 rows × 0.5 × span_x_gcells, similarly V.
+  const double span_x = std::floor(50 / 8.0) - std::floor(10 / 8.0) + 1;  // 6
+  const double span_y = std::floor(42 / 8.0) - std::floor(10 / 8.0) + 1;  // 5
+  const double total_h = std::accumulate(res.demand_h.begin(), res.demand_h.end(), 0.0);
+  const double total_v = std::accumulate(res.demand_v.begin(), res.demand_v.end(), 0.0);
+  EXPECT_NEAR(total_h, span_x, 1e-9);
+  EXPECT_NEAR(total_v, span_y, 1e-9);
+}
+
+TEST(Congestion, ZeroOverflowWithAmpleCapacity) {
+  db::Database db = two_pin_design(10, 10, 50, 42);
+  CongestionConfig cfg;
+  cfg.grid = 8;
+  cfg.tracks_per_gcell = 100.0;
+  const CongestionResult res = estimate_congestion(db, cfg);
+  EXPECT_DOUBLE_EQ(res.total_overflow, 0.0);
+  EXPECT_DOUBLE_EQ(res.top5_overflow, 0.0);
+}
+
+TEST(Congestion, OverflowGrowsAsCapacityShrinks) {
+  io::GeneratorSpec spec;
+  spec.name = "route_unit";
+  spec.num_cells = 600;
+  spec.num_nets = 650;
+  spec.seed = 31;
+  db::Database db = io::generate(spec);
+  CongestionConfig tight, loose;
+  tight.grid = loose.grid = 32;
+  tight.tracks_per_gcell = 2.0;
+  loose.tracks_per_gcell = 20.0;
+  const CongestionResult r_tight = estimate_congestion(db, tight);
+  const CongestionResult r_loose = estimate_congestion(db, loose);
+  EXPECT_GT(r_tight.total_overflow, r_loose.total_overflow);
+  EXPECT_GE(r_tight.top5_overflow, r_loose.top5_overflow);
+}
+
+TEST(Congestion, SpreadPlacementLessCongestedThanClumped) {
+  io::GeneratorSpec spec;
+  spec.name = "route_unit2";
+  spec.num_cells = 800;
+  spec.num_nets = 850;
+  spec.seed = 37;
+  db::Database spread_db = io::generate(spec);
+
+  // Clumped copy: everything in one corner quarter.
+  db::Database clumped_db = io::generate(spec);
+  const auto& r = clumped_db.region();
+  for (std::size_t c = 0; c < clumped_db.num_movable(); ++c) {
+    clumped_db.set_position(c, r.lx + (clumped_db.x(c) - r.lx) * 0.25,
+                            r.ly + (clumped_db.y(c) - r.ly) * 0.25);
+  }
+  CongestionConfig cfg;
+  cfg.grid = 32;
+  cfg.tracks_per_gcell = 6.0;
+  const CongestionResult res_spread = estimate_congestion(spread_db, cfg);
+  const CongestionResult res_clump = estimate_congestion(clumped_db, cfg);
+  EXPECT_GT(res_clump.top5_utilization, res_spread.top5_utilization);
+}
+
+TEST(Congestion, SummaryIsPrintable) {
+  db::Database db = two_pin_design(1, 1, 60, 60);
+  const CongestionResult res = estimate_congestion(db);
+  EXPECT_FALSE(res.summary().empty());
+  EXPECT_EQ(res.grid, CongestionConfig{}.grid);
+}
+
+}  // namespace
+}  // namespace xplace::route

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/dispatch.h"
+#include "tensor/ops.h"
+#include "tensor/tape.h"
+#include "tensor/tensor.h"
+
+namespace xplace::tensor {
+namespace {
+
+TEST(Tensor, ZerosInitialized) {
+  Tensor t = Tensor::zeros({4, 3});
+  EXPECT_EQ(t.numel(), 12u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+  EXPECT_EQ(t.shape_str(), "[4, 3]");
+}
+
+TEST(Tensor, SharedStorageSemantics) {
+  Tensor a = Tensor::full({4}, 2.0f);
+  Tensor b = a;  // shallow
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 9.0f);
+  EXPECT_TRUE(a.same_storage(b));
+  Tensor c = a.clone();
+  c[1] = -1.0f;
+  EXPECT_EQ(a[1], 2.0f);
+  EXPECT_FALSE(a.same_storage(c));
+}
+
+TEST(Tensor, FromVector) {
+  Tensor t = Tensor::from({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.numel(), 3u);
+  EXPECT_EQ(t[2], 3.0f);
+}
+
+TEST(TensorOps, ElementwiseBasics) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({4, 5, 6});
+  Tensor s = add(a, b);
+  EXPECT_EQ(s[0], 5.0f);
+  EXPECT_EQ(s[2], 9.0f);
+  Tensor d = sub(b, a);
+  EXPECT_EQ(d[1], 3.0f);
+  Tensor m = mul(a, b);
+  EXPECT_EQ(m[2], 18.0f);
+  Tensor ms = mul_scalar(a, 2.0f);
+  EXPECT_EQ(ms[1], 4.0f);
+  Tensor mx = maximum(a, Tensor::from({3, 1, 2}));
+  EXPECT_EQ(mx[0], 3.0f);
+  EXPECT_EQ(mx[1], 2.0f);
+  Tensor cm = clamp_min(Tensor::from({-1, 0.5f, 2}), 0.0f);
+  EXPECT_EQ(cm[0], 0.0f);
+  EXPECT_EQ(cm[2], 2.0f);
+}
+
+TEST(TensorOps, InPlaceBasics) {
+  Tensor a = Tensor::from({1, 2, 3});
+  add_scaled_(a, Tensor::from({1, 1, 1}), 0.5f);
+  EXPECT_EQ(a[0], 1.5f);
+  mul_scalar_(a, 2.0f);
+  EXPECT_EQ(a[2], 7.0f);
+  axpby_(a, 0.5f, Tensor::from({2, 2, 2}), 1.0f);
+  EXPECT_EQ(a[0], 3.5f);  // 0.5*3 + 2
+  zero_(a);
+  EXPECT_EQ(a[1], 0.0f);
+  fill_(a, 4.0f);
+  EXPECT_EQ(a[0], 4.0f);
+  Tensor b = Tensor::zeros({3});
+  copy_(b, a);
+  EXPECT_EQ(b[2], 4.0f);
+}
+
+TEST(TensorOps, Reductions) {
+  Tensor a = Tensor::from({-1, 2, -3, 4});
+  EXPECT_FLOAT_EQ(sum(a), 2.0f);
+  EXPECT_FLOAT_EQ(abs_sum(a), 10.0f);
+  EXPECT_FLOAT_EQ(max_value(a), 4.0f);
+  EXPECT_FLOAT_EQ(min_value(a), -3.0f);
+  EXPECT_FLOAT_EQ(dot(a, a), 30.0f);
+}
+
+TEST(Dispatcher, CountsLaunchesPerOp) {
+  auto& d = Dispatcher::global();
+  d.reset_counters();
+  Tensor a = Tensor::from({1, 2});
+  Tensor b = Tensor::from({3, 4});
+  (void)add(a, b);
+  (void)add(a, b);
+  (void)mul(a, b);
+  EXPECT_EQ(d.total_launches(), 3u);
+  EXPECT_EQ(d.launch_counts().at("add"), 2u);
+  EXPECT_EQ(d.launch_counts().at("mul"), 1u);
+  EXPECT_FALSE(d.report().empty());
+  d.reset_counters();
+  EXPECT_EQ(d.total_launches(), 0u);
+}
+
+TEST(Dispatcher, LaunchLatencySlowsDispatch) {
+  auto& d = Dispatcher::global();
+  d.reset_counters();
+  Tensor a = Tensor::from({1.0f});
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    LaunchLatencyGuard guard(2e-3);  // 2 ms per launch
+    for (int i = 0; i < 5; ++i) (void)neg(a);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_GE(elapsed, 9e-3);  // ≥ 5 × 2ms (minus jitter margin)
+  // Guard restored zero latency.
+  EXPECT_EQ(d.launch_latency(), 0.0);
+}
+
+TEST(Tape, BackwardRunsInReverseOrderAndClears) {
+  Tape tape;
+  std::vector<int> order;
+  tape.record("first", [&] { order.push_back(1); });
+  tape.record("second", [&] { order.push_back(2); });
+  tape.record("third", [&] { order.push_back(3); });
+  EXPECT_EQ(tape.size(), 3u);
+  tape.backward();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 3);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 1);
+  EXPECT_EQ(tape.size(), 0u);
+}
+
+TEST(Tape, BackwardNodesCountAsLaunches) {
+  auto& d = Dispatcher::global();
+  d.reset_counters();
+  Tape tape;
+  tape.record("node", [] {});
+  tape.record("node", [] {});
+  tape.backward();
+  EXPECT_EQ(d.launch_counts().at("node.backward"), 2u);
+  d.reset_counters();
+}
+
+}  // namespace
+}  // namespace xplace::tensor

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/arg_parser.h"
+#include "util/geometry.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace xplace {
+namespace {
+
+// ---------------- Rng ----------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+// ---------------- geometry ----------------
+
+TEST(Rect, OverlapAreaBasic) {
+  RectD a{0, 0, 10, 10};
+  RectD b{5, 5, 15, 15};
+  EXPECT_DOUBLE_EQ(a.overlap_area(b), 25.0);
+  EXPECT_DOUBLE_EQ(b.overlap_area(a), 25.0);
+}
+
+TEST(Rect, OverlapAreaDisjointIsZero) {
+  RectD a{0, 0, 1, 1};
+  RectD b{2, 2, 3, 3};
+  EXPECT_DOUBLE_EQ(a.overlap_area(b), 0.0);
+  EXPECT_FALSE(a.overlaps(b));
+}
+
+TEST(Rect, TouchingEdgesDoNotOverlap) {
+  RectD a{0, 0, 1, 1};
+  RectD b{1, 0, 2, 1};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_DOUBLE_EQ(a.overlap_area(b), 0.0);
+}
+
+TEST(Rect, ContainedRect) {
+  RectD outer{0, 0, 10, 10};
+  RectD inner{2, 2, 4, 5};
+  EXPECT_DOUBLE_EQ(outer.overlap_area(inner), inner.area());
+}
+
+TEST(Rect, UnitedCoversBoth) {
+  RectD a{0, 0, 1, 1}, b{5, -2, 6, 3};
+  RectD u = a.united(b);
+  EXPECT_DOUBLE_EQ(u.lx, 0.0);
+  EXPECT_DOUBLE_EQ(u.ly, -2.0);
+  EXPECT_DOUBLE_EQ(u.hx, 6.0);
+  EXPECT_DOUBLE_EQ(u.hy, 3.0);
+}
+
+TEST(Rect, CenterAndDims) {
+  RectD r{1, 2, 5, 10};
+  EXPECT_DOUBLE_EQ(r.cx(), 3.0);
+  EXPECT_DOUBLE_EQ(r.cy(), 6.0);
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 8.0);
+  EXPECT_DOUBLE_EQ(r.area(), 32.0);
+}
+
+// ---------------- thread pool ----------------
+
+TEST(ThreadPool, CoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SingleThreadDegeneratesToLoop) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::size_t count = 0;
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e, std::size_t w) {
+    EXPECT_EQ(w, 0u);
+    count += e - b;
+  });
+  EXPECT_EQ(count, 1000u);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(1000, [&](std::size_t b, std::size_t e, std::size_t) {
+      long local = 0;
+      for (std::size_t i = b; i < e; ++i) local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+  }
+}
+
+// ---------------- timers ----------------
+
+TEST(Timer, StopwatchMeasuresNonNegative) {
+  Stopwatch w;
+  volatile double x = 0;
+  for (int i = 0; i < 10000; ++i) x = x + std::sqrt(static_cast<double>(i));
+  EXPECT_GE(w.seconds(), 0.0);
+}
+
+TEST(Timer, RegistryAccumulates) {
+  TimerRegistry reg;
+  reg.add("a", 0.5);
+  reg.add("a", 0.25);
+  reg.add("b", 1.0);
+  EXPECT_DOUBLE_EQ(reg.total("a"), 0.75);
+  EXPECT_DOUBLE_EQ(reg.total("b"), 1.0);
+  EXPECT_EQ(reg.find("a")->calls, 2u);
+  EXPECT_EQ(reg.find("missing"), nullptr);
+  EXPECT_FALSE(reg.report().empty());
+}
+
+TEST(Timer, ScopedTimerAddsEntry) {
+  TimerRegistry reg;
+  {
+    ScopedTimer t(reg, "scope");
+  }
+  EXPECT_NE(reg.find("scope"), nullptr);
+  EXPECT_EQ(reg.find("scope")->calls, 1u);
+}
+
+// ---------------- arg parser ----------------
+
+TEST(ArgParser, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--alpha", "3", "--beta=x", "pos1", "--gamma", "--delta", "2.5"};
+  ArgParser args(8, const_cast<char**>(argv));
+  EXPECT_TRUE(args.ok());
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get("beta"), "x");
+  EXPECT_TRUE(args.get_bool("gamma", false));
+  EXPECT_DOUBLE_EQ(args.get_double("delta", 0.0), 2.5);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(ArgParser, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_EQ(args.get("s", "d"), "d");
+  EXPECT_FALSE(args.get_bool("b", false));
+  EXPECT_FALSE(args.has("n"));
+}
+
+}  // namespace
+}  // namespace xplace
