@@ -9,7 +9,6 @@
 //   ./bench_convergence_trace [--design adaptec1] [--scale 200] [--csv out.csv]
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 
 #include "bench/common.h"
 #include "util/arg_parser.h"
@@ -72,7 +71,7 @@ int main(int argc, char** argv) {
               last.overflow, res.converged ? 1 : 0);
 
   if (args.has("csv")) {
-    std::ofstream(args.get("csv")) << placer.recorder().to_csv();
+    placer.recorder().write(args.get("csv"));
     std::printf("full trace written to %s\n", args.get("csv").c_str());
   }
   return 0;

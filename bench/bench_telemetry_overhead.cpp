@@ -1,0 +1,143 @@
+// Telemetry overhead micro-bench: verifies the observability layer is free
+// when not observed.
+//
+// Every kernel launch now constructs a (usually inert) trace scope inside
+// `Dispatcher::run`. This bench measures, on the bench_micro_ops workload
+// class (the 8k-cell fused wirelength kernel + the full GradientEngine
+// iteration):
+//
+//   1. the marginal cost of one *disabled* trace scope (tight-loop measured),
+//   2. the per-iteration cost of the gradient engine with tracing disabled,
+//   3. the implied disabled-tracing overhead = launches/iter × scope cost,
+//      asserted < 2% of the iteration time (exit code 1 otherwise),
+//   4. for reference, the measured overhead with tracing *enabled*.
+//
+// Exit code 0 = the <2% contract holds; CI runs this binary directly.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/gradient_engine.h"
+#include "core/placer.h"
+#include "io/generator.h"
+#include "telemetry/trace.h"
+#include "tensor/dispatch.h"
+#include "util/arg_parser.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace xplace;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Median seconds of `reps` calls to fn() over `rounds` rounds.
+template <typename Fn>
+double time_median(int rounds, int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    Stopwatch w;
+    for (int i = 0; i < reps; ++i) fn();
+    times.push_back(w.seconds() / reps);
+  }
+  return median(times);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const double budget_pct = args.get_double("budget-pct", 2.0);
+
+  io::GeneratorSpec spec;
+  spec.name = "telemetry_overhead";
+  spec.num_cells = static_cast<std::size_t>(args.get_int("cells", 8000));
+  spec.num_nets = spec.num_cells + spec.num_cells / 20;
+  spec.seed = 7;
+  db::Database db = io::generate(spec);
+  db.insert_fillers(1);
+
+  core::PlacerConfig cfg = core::PlacerConfig::xplace();
+  cfg.grid_dim = 128;
+  core::GradientEngine engine(db, cfg);
+  const std::size_t n = db.num_cells_total();
+  std::vector<float> x(n), y(n), gx(n, 0.0f), gy(n, 0.0f);
+  for (std::size_t c = 0; c < n; ++c) {
+    x[c] = static_cast<float>(db.x(c));
+    y[c] = static_cast<float>(db.y(c));
+  }
+
+  auto& tracer = telemetry::Tracer::global();
+  auto& disp = tensor::Dispatcher::global();
+  tracer.disable();
+
+  // 1. Cost of one disabled trace scope (the only per-launch addition the
+  // telemetry layer makes to the seed dispatcher when tracing is off).
+  const int kScopeReps = 2'000'000;
+  volatile int sink = 0;
+  const double scope_ns =
+      time_median(7, 1, [&] {
+        for (int i = 0; i < kScopeReps; ++i) {
+          XP_TRACE_SCOPE("probe");
+          sink = sink + 1;
+        }
+      }) /
+      kScopeReps * 1e9;
+  // Same loop without the scope, to subtract the loop/sink skeleton.
+  const double bare_ns =
+      time_median(7, 1, [&] {
+        for (int i = 0; i < kScopeReps; ++i) {
+          sink = sink + 1;
+        }
+      }) /
+      kScopeReps * 1e9;
+  const double marginal_scope_ns = std::max(0.0, scope_ns - bare_ns);
+
+  // 2. Full gradient-engine iteration with tracing disabled (the hot loop of
+  // every GP run), and its launch count.
+  auto compute = [&] {
+    engine.compute(x.data(), y.data(), 8.0f, 1e-4f, 200, 0.0, gx.data(),
+                   gy.data());
+  };
+  compute();  // warm-up (fills caches)
+  disp.reset_counters();
+  compute();
+  const double launches_per_iter = static_cast<double>(disp.total_launches());
+
+  const double iter_disabled_s = time_median(9, 5, compute);
+
+  // 3. Implied disabled-tracing overhead per iteration.
+  const double overhead_s = launches_per_iter * marginal_scope_ns * 1e-9;
+  const double overhead_pct = 100.0 * overhead_s / iter_disabled_s;
+
+  // 4. Reference: measured overhead with tracing enabled (ring large enough
+  // to never wrap during a timing round).
+  tracer.enable(1 << 20);
+  const double iter_enabled_s = time_median(9, 5, compute);
+  tracer.disable();
+  const double enabled_pct =
+      100.0 * (iter_enabled_s - iter_disabled_s) / iter_disabled_s;
+
+  std::printf("telemetry overhead (bench_micro_ops workload, %zu cells)\n",
+              spec.num_cells);
+  std::printf("  disabled trace scope:    %8.2f ns/scope (marginal)\n",
+              marginal_scope_ns);
+  std::printf("  engine iteration:        %8.3f ms, %.0f launches\n",
+              iter_disabled_s * 1e3, launches_per_iter);
+  std::printf("  disabled-tracing cost:   %8.4f %% of iteration  (budget %.1f %%)\n",
+              overhead_pct, budget_pct);
+  std::printf("  enabled-tracing cost:    %8.2f %% of iteration (reference)\n",
+              std::max(0.0, enabled_pct));
+
+  if (overhead_pct >= budget_pct) {
+    std::printf("FAIL: disabled-tracing overhead %.3f%% exceeds %.1f%%\n",
+                overhead_pct, budget_pct);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

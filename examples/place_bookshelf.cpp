@@ -7,6 +7,13 @@
 // Without contest files, --demo generates a synthetic design, writes it as
 // bookshelf, and runs the flow on the written files — exercising the exact
 // same code path a real benchmark would.
+//
+// Telemetry flags (see README "Profiling a run"):
+//   --trace-out trace.json    record all spans (kernel launches, GP
+//                             iterations, LG/DP phases) and write a Chrome
+//                             trace-event file loadable in Perfetto
+//   --metrics-out metrics.txt Prometheus-style dump of the metrics registry
+//   --record-out gp.jsonl     per-iteration records (JSONL; .csv for CSV)
 #include <cstdio>
 #include <filesystem>
 
@@ -17,12 +24,19 @@
 #include "io/generator.h"
 #include "lg/abacus.h"
 #include "lg/checker.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "tensor/dispatch.h"
 #include "util/arg_parser.h"
 #include "util/logging.h"
 
 int main(int argc, char** argv) {
   using namespace xplace;
   ArgParser args(argc, argv);
+
+  const std::string trace_out = args.get("trace-out");
+  if (!trace_out.empty()) telemetry::Tracer::global().enable();
 
   std::string aux_path;
   if (args.get_bool("demo", false) || args.positional().empty()) {
@@ -67,5 +81,42 @@ int main(int argc, char** argv) {
   const std::string out = args.get("out", "/tmp/xplace_out.pl");
   io::write_pl(db, out);
   std::printf("placed .pl written to %s\n", out.c_str());
+
+  // Telemetry exports. The dispatcher and recorder publish into the global
+  // registry so one Prometheus dump carries launch counts, per-iteration
+  // stats, and run-level gauges.
+  if (!args.get("record-out").empty()) {
+    if (placer.recorder().write(args.get("record-out"))) {
+      std::printf("per-iteration records written to %s\n",
+                  args.get("record-out").c_str());
+    }
+  }
+  if (!args.get("metrics-out").empty()) {
+    tensor::Dispatcher::global().publish(telemetry::Registry::global());
+    std::string error;
+    if (telemetry::write_text_file(
+            args.get("metrics-out"),
+            telemetry::to_prometheus(telemetry::Registry::global()), &error)) {
+      std::printf("metrics written to %s\n", args.get("metrics-out").c_str());
+    } else {
+      XP_ERROR("cannot write %s: %s", args.get("metrics-out").c_str(),
+               error.c_str());
+    }
+  }
+  if (!trace_out.empty()) {
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    std::string error;
+    if (telemetry::write_text_file(
+            trace_out, telemetry::to_chrome_trace(tracer.snapshot(), "xplace " + db.design_name()),
+            &error)) {
+      std::printf(
+          "chrome trace written to %s (%zu spans, %llu dropped) — load in "
+          "ui.perfetto.dev\n",
+          trace_out.c_str(), tracer.snapshot().size(),
+          static_cast<unsigned long long>(tracer.dropped()));
+    } else {
+      XP_ERROR("cannot write %s: %s", trace_out.c_str(), error.c_str());
+    }
+  }
   return rep.legal() ? 0 : 1;
 }

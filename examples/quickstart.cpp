@@ -4,7 +4,6 @@
 //   ./quickstart [--cells 5000] [--mode xplace|dreamplace] [--grid 128]
 //                [--verbose] [--csv trace.csv]
 #include <cstdio>
-#include <fstream>
 
 #include "core/placer.h"
 #include "db/stats.h"
@@ -42,7 +41,7 @@ int main(int argc, char** argv) {
               res.converged ? 1 : 0);
 
   if (args.has("csv")) {
-    std::ofstream(args.get("csv")) << placer.recorder().to_csv();
+    placer.recorder().write(args.get("csv"));
     std::printf("trace written to %s\n", args.get("csv").c_str());
   }
   return 0;

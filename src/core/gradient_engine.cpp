@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ops/wirelength.h"
+#include "telemetry/trace.h"
 #include "tensor/dispatch.h"
 #include "util/logging.h"
 
@@ -96,6 +97,7 @@ void GradientEngine::build_fence_systems() {
 void GradientEngine::wirelength_pass(const float* x, const float* y,
                                      float gamma, GradientResult& res,
                                      float* /*grad_x*/, float* /*grad_y*/) {
+  XP_TRACE_SCOPE("gp.phase.wirelength");
   auto& disp = Dispatcher::global();
   // Zero the WL gradient accumulators. With operator reduction this is one
   // in-place fill; without it, a stock framework would allocate fresh zero
@@ -136,6 +138,7 @@ void GradientEngine::wirelength_pass(const float* x, const float* y,
 
 void GradientEngine::density_pass_fenced(const float* x, const float* y,
                                          GradientResult& res, double omega) {
+  XP_TRACE_SCOPE("gp.phase.density");
   auto& disp = Dispatcher::global();
   disp.run("dgrad.zero_", [&] {
     std::fill(dgrad_x_.begin(), dgrad_x_.end(), 0.0f);
@@ -181,6 +184,7 @@ void GradientEngine::density_pass(const float* x, const float* y,
     density_pass_fenced(x, y, res, omega);
     return;
   }
+  XP_TRACE_SCOPE("gp.phase.density");
   auto& disp = Dispatcher::global();
   const bool want_potential = !cfg_.op_reduction;
 
@@ -228,6 +232,7 @@ void GradientEngine::density_pass(const float* x, const float* y,
     std::fill(dgrad_y_.begin(), dgrad_y_.end(), 0.0f);
   });
   // Unweighted density gradient ∂U/∂x = −q·E; movable cells and fillers.
+  XP_TRACE_SCOPE("gp.phase.field");
   grid_.gather_field("dgrad.gather_movable", x, y, 0, n_movable_, ex->data(),
                      ey->data(), -1.0f, dgrad_x_.data(), dgrad_y_.data());
   grid_.gather_field("dgrad.gather_filler", x, y, n_physical_, n_total_,

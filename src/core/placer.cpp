@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "tensor/dispatch.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -78,10 +80,15 @@ void GlobalPlacer::init_positions() {
 GlobalPlaceResult GlobalPlacer::run() {
   auto& disp = tensor::Dispatcher::global();
   const std::uint64_t launches_before = disp.total_launches();
+  XP_TRACE_SCOPE("gp.run");
   Stopwatch gp_watch;
 
   const std::size_t n = db_.num_cells_total();
   std::vector<float> grad_x(n, 0.0f), grad_y(n, 0.0f);
+
+  // Per-iteration step-time distribution (ms); ~30 ns .. ~2 s range.
+  telemetry::Histogram& step_hist = telemetry::Registry::global().histogram(
+      "gp.step_ms", telemetry::Histogram::exponential_bounds(1e-3, 2.0, 22));
 
   GlobalPlaceResult result;
   double best_hpwl = 1e300;
@@ -89,6 +96,7 @@ GlobalPlaceResult GlobalPlacer::run() {
   double overflow = 1.0;
 
   for (int iter = 0; iter < cfg_.max_iters; ++iter) {
+    telemetry::TraceScope iter_span("gp.iter");
     Stopwatch iter_watch;
     const double lambda = scheduler_->lambda();
     const double omega = precond_->omega(lambda);
@@ -111,6 +119,17 @@ GlobalPlaceResult GlobalPlacer::run() {
       gamma = scheduler_->gamma(overflow);
     }
 
+    // Close the iteration span and take step_seconds at the same point —
+    // before the recorder append and logging below — so the traced span and
+    // the recorded step time cover the identical interval.
+    iter_span.arg("iter", iter)
+        .arg("hpwl", g.hpwl)
+        .arg("overflow", overflow)
+        .arg("omega", omega);
+    const double step_seconds = iter_watch.seconds();
+    iter_span.end();
+    step_hist.observe(step_seconds * 1e3);
+
     IterationRecord rec;
     rec.iter = iter;
     rec.hpwl = g.hpwl;
@@ -120,7 +139,7 @@ GlobalPlaceResult GlobalPlacer::run() {
     rec.lambda = scheduler_->lambda();
     rec.omega = omega;
     rec.r_ratio = g.r_ratio;
-    rec.step_seconds = iter_watch.seconds();
+    rec.step_seconds = step_seconds;
     rec.density_skipped = g.density_skipped;
     rec.params_updated = updated;
     recorder_.add(rec);
@@ -162,6 +181,17 @@ GlobalPlaceResult GlobalPlacer::run() {
   result.avg_iter_ms =
       result.iterations > 0 ? result.gp_seconds * 1e3 / result.iterations : 0.0;
   result.kernel_launches = disp.total_launches() - launches_before;
+
+  // Publish run-level metrics to the global registry (one place for the
+  // Prometheus dump; supersedes ad-hoc result plumbing in benches).
+  telemetry::Registry& reg = telemetry::Registry::global();
+  reg.gauge("gp.hpwl").set(result.hpwl);
+  reg.gauge("gp.overflow").set(result.overflow);
+  reg.gauge("gp.iterations").set(result.iterations);
+  reg.gauge("gp.seconds").set(result.gp_seconds);
+  reg.counter("gp.runs").inc();
+  reg.counter("gp.kernel_launches").inc(result.kernel_launches);
+
   XP_INFO("[%s] GP done: %d iters, hpwl %.6g, ovfl %.4f, %.2fs (%.2f ms/iter), %llu launches",
           db_.design_name().c_str(), result.iterations, result.hpwl,
           result.overflow, result.gp_seconds, result.avg_iter_ms,

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "telemetry/export.h"
+#include "util/logging.h"
+
 namespace xplace::core {
 
 std::string Recorder::to_csv() const {
@@ -17,6 +20,35 @@ std::string Recorder::to_csv() const {
     out += buf;
   }
   return out;
+}
+
+std::string Recorder::to_jsonl() const {
+  std::string out;
+  out.reserve(records_.size() * 192);
+  char buf[384];
+  for (const IterationRecord& r : records_) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"iter\":%d,\"hpwl\":%.8g,\"wa_wl\":%.8g,\"overflow\":%.6f,"
+        "\"gamma\":%.6g,\"lambda\":%.6g,\"omega\":%.6f,\"r_ratio\":%.6g,"
+        "\"step_ms\":%.4f,\"density_skipped\":%s,\"params_updated\":%s}\n",
+        r.iter, r.hpwl, r.wa_wl, r.overflow, r.gamma, r.lambda, r.omega,
+        r.r_ratio, r.step_seconds * 1e3, r.density_skipped ? "true" : "false",
+        r.params_updated ? "true" : "false");
+    out += buf;
+  }
+  return out;
+}
+
+bool Recorder::write(const std::string& path) const {
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::string error;
+  if (!telemetry::write_text_file(path, csv ? to_csv() : to_jsonl(), &error)) {
+    XP_ERROR("recorder: cannot write %s: %s", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace xplace::core

@@ -1,4 +1,9 @@
 // Per-iteration metric recording (the "recorder" block of Figure 1).
+//
+// The canonical export format is JSONL (one JSON object per iteration, the
+// same fields the tracer attaches to per-iteration spans); CSV is kept as a
+// thin adapter for spreadsheet tooling. `write(path)` picks the format from
+// the file extension and handles I/O errors.
 #pragma once
 
 #include <string>
@@ -15,7 +20,9 @@ struct IterationRecord {
   double lambda = 0.0;
   double omega = 0.0;     ///< stage indicator (Section 3.2)
   double r_ratio = 0.0;   ///< λ|∇D| / |∇WL| (Section 3.1.4)
-  double step_seconds = 0.0;
+  double step_seconds = 0.0;  ///< measured over the same interval as the
+                              ///< iteration trace span (excludes recorder/log
+                              ///< overhead), so traces and exports agree
   bool density_skipped = false;
   bool params_updated = true;
 };
@@ -27,8 +34,16 @@ class Recorder {
   bool empty() const { return records_.empty(); }
   const IterationRecord& back() const { return records_.back(); }
 
-  /// CSV with a header row; used by the convergence-trace bench.
+  /// JSON-lines: one object per iteration. The canonical machine-readable
+  /// sink (benches, CI, trace tooling).
+  std::string to_jsonl() const;
+
+  /// CSV with a header row; thin adapter over the same records.
   std::string to_csv() const;
+
+  /// Writes records to `path`: CSV when the path ends in ".csv", JSONL
+  /// otherwise. Returns false (and logs an error) on I/O failure.
+  bool write(const std::string& path) const;
 
  private:
   std::vector<IterationRecord> records_;

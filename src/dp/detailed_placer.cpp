@@ -5,6 +5,7 @@
 #include "dp/global_swap.h"
 #include "dp/ism.h"
 #include "dp/local_reorder.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -22,6 +23,7 @@ std::string DetailedPlaceResult::summary() const {
 
 DetailedPlaceResult detailed_place(db::Database& db,
                                    const DetailedPlaceConfig& cfg) {
+  XP_TRACE_SCOPE("dp.run");
   Stopwatch watch;
   DetailedPlaceResult result;
   result.hpwl_before = db.hpwl();

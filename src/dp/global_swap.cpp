@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dp/hpwl_eval.h"
+#include "telemetry/trace.h"
 #include "util/timer.h"
 
 namespace xplace::dp {
@@ -58,6 +59,7 @@ class SpatialHash {
 }  // namespace
 
 PassStats global_swap_pass(db::Database& db, double radius) {
+  XP_TRACE_SCOPE("dp.global_swap");
   Stopwatch watch;
   PassStats stats;
   stats.hpwl_before = db.hpwl();

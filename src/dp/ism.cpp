@@ -7,11 +7,13 @@
 
 #include "dp/hpwl_eval.h"
 #include "dp/hungarian.h"
+#include "telemetry/trace.h"
 #include "util/timer.h"
 
 namespace xplace::dp {
 
 PassStats ism_pass(db::Database& db, int max_set) {
+  XP_TRACE_SCOPE("dp.ism");
   Stopwatch watch;
   PassStats stats;
   stats.hpwl_before = db.hpwl();

@@ -6,11 +6,13 @@
 
 #include "dp/hpwl_eval.h"
 #include "lg/row_map.h"
+#include "telemetry/trace.h"
 #include "util/timer.h"
 
 namespace xplace::dp {
 
 PassStats local_reorder_pass(db::Database& db, int window) {
+  XP_TRACE_SCOPE("dp.local_reorder");
   Stopwatch watch;
   PassStats stats;
   stats.hpwl_before = db.hpwl();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lg/row_map.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -78,6 +79,7 @@ double place_row(SegmentState& st, std::uint32_t cell, double target_lx,
 }  // namespace
 
 LegalizeStats abacus_legalize(db::Database& db) {
+  XP_TRACE_SCOPE("lg.abacus");
   Stopwatch watch;
   LegalizeStats stats;
   stats.hpwl_before = db.hpwl();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lg/row_map.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -25,6 +26,7 @@ std::string LegalizeStats::summary() const {
 }
 
 LegalizeStats tetris_legalize(db::Database& db) {
+  XP_TRACE_SCOPE("lg.tetris");
   Stopwatch watch;
   LegalizeStats stats;
   stats.hpwl_before = db.hpwl();

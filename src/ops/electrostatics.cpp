@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "fft/dct.h"
+#include "telemetry/trace.h"
 #include "tensor/dispatch.h"
 
 namespace xplace::ops {
@@ -25,6 +26,7 @@ PoissonSolver::PoissonSolver(int m, double bin_w, double bin_h) : m_(m) {
 }
 
 void PoissonSolver::solve(const double* rho, bool want_potential) {
+  XP_TRACE_SCOPE("gp.phase.fft");
   const std::size_t m = static_cast<std::size_t>(m_);
   const std::size_t n = m * m;
   auto& disp = Dispatcher::global();

@@ -1,0 +1,144 @@
+#include "telemetry/export.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace xplace::telemetry {
+namespace {
+
+/// JSON-safe number formatting: finite shortest-roundtrip-ish, non-finite
+/// mapped to 0 (JSON has no Inf/NaN).
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out = "xplace_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_chrome_trace(const std::vector<SpanEvent>& spans,
+                            const std::string& process_name) {
+  std::string out;
+  out.reserve(spans.size() * 128 + 256);
+  out += "{\"traceEvents\":[";
+  // Metadata event naming the process in the Perfetto track list.
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"" + json_escape(process_name) + "\"}}";
+  for (const SpanEvent& ev : spans) {
+    out += ",{\"name\":\"";
+    out += json_escape(ev.name != nullptr ? ev.name : "?");
+    out += "\",\"cat\":\"xplace\",\"ph\":\"X\",\"ts\":";
+    append_number(out, ev.begin_us);
+    out += ",\"dur\":";
+    append_number(out, ev.duration_us());
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.tid);
+    if (ev.num_args > 0) {
+      out += ",\"args\":{";
+      for (int a = 0; a < ev.num_args; ++a) {
+        if (a > 0) out += ",";
+        out += "\"";
+        out += json_escape(ev.arg_names[a] != nullptr ? ev.arg_names[a] : "?");
+        out += "\":";
+        append_number(out, ev.arg_values[a]);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string to_prometheus(const Registry& registry) {
+  std::string out;
+  for (const auto& [name, c] : registry.counters()) {
+    const std::string n = sanitize_metric_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    const std::string n = sanitize_metric_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " ";
+    append_number(out, g->value());
+    out += "\n";
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const std::string n = sanitize_metric_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    const auto& bounds = h->upper_bounds();
+    const auto counts = h->bucket_counts();
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cum += counts[i];
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", bounds[i]);
+      out += n + "_bucket{le=\"" + buf + "\"} " + std::to_string(cum) + "\n";
+    }
+    cum += counts.empty() ? 0 : counts.back();
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + "\n";
+    out += n + "_sum ";
+    append_number(out, h->sum());
+    out += "\n";
+    out += n + "_count " + std::to_string(h->count()) + "\n";
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace xplace::telemetry

@@ -1,0 +1,37 @@
+// Telemetry exporters: Chrome trace-event JSON (Perfetto / chrome://tracing),
+// Prometheus-style text exposition, and a shared write-to-file helper.
+//
+// The exporters are pure functions over snapshots — they never touch the
+// global tracer/registry themselves, so tests and tools can export private
+// instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace xplace::telemetry {
+
+/// Chrome trace-event JSON ("X" complete events, µs timestamps). The result
+/// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing. Spans
+/// become one event each; per-span numeric args are emitted under "args".
+/// `process_name` labels pid 1 via a metadata event.
+std::string to_chrome_trace(const std::vector<SpanEvent>& spans,
+                            const std::string& process_name = "xplace");
+
+/// Prometheus text exposition (metric names are prefixed "xplace_" and dots
+/// become underscores; histogram buckets are cumulative `le` buckets).
+std::string to_prometheus(const Registry& registry);
+
+/// Writes `content` to `path` (truncating). Returns false and fills `*error`
+/// (when non-null) with a strerror-style message on failure.
+bool write_text_file(const std::string& path, const std::string& content,
+                     std::string* error = nullptr);
+
+/// Minimal JSON string escaping (shared by the exporters and the JSONL
+/// recorder sink).
+std::string json_escape(const std::string& s);
+
+}  // namespace xplace::telemetry

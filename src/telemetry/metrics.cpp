@@ -1,0 +1,109 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace xplace::telemetry {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (buckets_.size() != bounds_.size() + 1) {
+    // Duplicates were removed; re-size the bucket array to match. This only
+    // happens during construction, before any concurrent access.
+    buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> requires C++20 but not all libstdc++ versions
+  // implement it for floating point; CAS-loop is portable.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::exponential_bounds(double base, double growth,
+                                                  int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n > 0 ? n : 0));
+  double b = base;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(b);
+    b *= growth;
+  }
+  return out;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace xplace::telemetry

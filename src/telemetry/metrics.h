@@ -1,0 +1,113 @@
+// Metrics registry — the counters/gauges/histograms half of the telemetry
+// subsystem (the tracer lives in telemetry/trace.h, exporters in
+// telemetry/export.h).
+//
+// Design:
+//   * `Counter` / `Gauge` / `Histogram` are lock-free once created: all
+//     mutation is relaxed atomics, so operator bodies running on the thread
+//     pool can hit them concurrently without serializing.
+//   * `Registry` owns metrics by name. Lookup/creation takes a mutex, so hot
+//     paths should resolve the metric pointer once and cache it; the returned
+//     references are stable for the registry's lifetime.
+//   * `Registry::global()` is the process-wide instance that the dispatcher,
+//     placer, and LG/DP passes publish into; benches and tests may construct
+//     private registries.
+//
+// The registry supersedes the scattered accounting that used to live in
+// `TimerRegistry` (per-op wall time) and `Dispatcher` (launch counts): those
+// components keep their narrow APIs but publish through here, and exporters
+// (Prometheus text, JSON) read everything from one place.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xplace::telemetry {
+
+/// Monotonically increasing count (events, launches, moves, ...).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar (overflow, lambda, hpwl, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram. Boundaries are upper bounds of each bucket
+/// (Prometheus `le` semantics); an implicit +Inf bucket catches the rest.
+/// `observe` is wait-free: a linear scan over the (small, immutable)
+/// boundary list plus relaxed atomic increments.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts, one per bound plus the trailing +Inf bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Exponential boundaries: `base * growth^i` for i in [0, n).
+  static std::vector<double> exponential_bounds(double base, double growth,
+                                                int n);
+
+ private:
+  std::vector<double> bounds_;  ///< sorted ascending, immutable after ctor
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name → metric store. Names follow `subsystem.metric` dotted style; the
+/// Prometheus exporter rewrites dots to underscores.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. References remain valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// If the histogram already exists, `upper_bounds` is ignored.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /// Snapshot views (copy names; metric pointers are stable).
+  std::vector<std::pair<std::string, const Counter*>> counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+  /// Drops every metric. Outstanding references become dangling; only for
+  /// test isolation on private registries.
+  void clear();
+
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace xplace::telemetry

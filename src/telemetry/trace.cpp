@@ -1,0 +1,134 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace xplace::telemetry {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+// Force epoch initialization early so concurrent first uses are safe.
+const auto g_epoch_init = trace_epoch();
+
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+thread_local std::uint32_t t_thread_id = 0xffffffffu;
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+double Tracer::now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() - trace_epoch())
+      .count();
+}
+
+std::uint32_t Tracer::thread_id() {
+  if (t_thread_id == 0xffffffffu) {
+    t_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_id;
+}
+
+Tracer::Tracer() {
+  const char* env = std::getenv("XPLACE_TRACE");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    // XPLACE_TRACE may carry a capacity ("XPLACE_TRACE=131072"); any
+    // non-numeric non-zero value ("1", "on") selects the default.
+    char* end = nullptr;
+    const unsigned long long cap = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && cap > 1) {
+      enable(static_cast<std::size_t>(cap));
+    } else {
+      enable();
+    }
+  }
+}
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::enable(std::size_t capacity) {
+  enabled_.store(false, std::memory_order_relaxed);
+  if (capacity == 0) capacity = 1;
+  ring_.assign(capacity, SpanEvent{});
+  slot_seq_ = std::vector<std::atomic<std::uint64_t>>(capacity);
+  next_seq_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::record(SpanEvent ev) {
+  if (!enabled()) return;
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ev.seq = seq;
+  const std::size_t slot = static_cast<std::size_t>(seq % ring_.size());
+  ring_[slot] = ev;
+  // Publish: snapshot() only trusts a slot whose seq tag matches the event
+  // written into it (tag is seq+1 so 0 means "never written").
+  slot_seq_[slot].store(seq + 1, std::memory_order_release);
+}
+
+std::vector<SpanEvent> Tracer::snapshot() const {
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const std::uint64_t tag = slot_seq_[i].load(std::memory_order_acquire);
+    if (tag == 0) continue;
+    const SpanEvent& ev = ring_[i];
+    if (ev.seq + 1 != tag) continue;  // torn slot (writer in flight)
+    out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::uint64_t total = total_recorded();
+  const std::uint64_t cap = ring_.size();
+  return total > cap ? total - cap : 0;
+}
+
+void Tracer::clear() {
+  for (auto& s : slot_seq_) s.store(0, std::memory_order_relaxed);
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+TraceScope::TraceScope(const char* name)
+    : active_(Tracer::global().enabled()) {
+  if (!active_) return;
+  ev_.name = name;
+  ev_.tid = Tracer::thread_id();
+  ev_.depth = t_depth++;
+  ev_.begin_us = Tracer::now_us();
+}
+
+TraceScope& TraceScope::arg(const char* key, double value) {
+  if (!active_ || ev_.num_args >= SpanEvent::kMaxArgs) return *this;
+  ev_.arg_names[ev_.num_args] = key;
+  ev_.arg_values[ev_.num_args] = value;
+  ++ev_.num_args;
+  return *this;
+}
+
+double TraceScope::end() {
+  if (!active_) return 0.0;
+  active_ = false;
+  ev_.end_us = Tracer::now_us();
+  --t_depth;
+  Tracer::global().record(ev_);
+  return (ev_.end_us - ev_.begin_us) * 1e-6;
+}
+
+}  // namespace xplace::telemetry

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace xplace::tensor {
 
 Dispatcher& Dispatcher::global() {
@@ -11,8 +13,11 @@ Dispatcher& Dispatcher::global() {
 }
 
 void Dispatcher::begin_launch(const char* name) {
-  ++total_launches_;
-  ++launch_counts_[name];
+  total_launches_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++launch_counts_[name];
+  }
   if (launch_latency_ > 0.0) {
     // Busy-wait: models the CPU being occupied enqueueing the kernel.
     const auto until = std::chrono::steady_clock::now() +
@@ -23,21 +28,39 @@ void Dispatcher::begin_launch(const char* name) {
   }
 }
 
+std::map<std::string, std::uint64_t> Dispatcher::launch_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return launch_counts_;
+}
+
 void Dispatcher::reset_counters() {
-  total_launches_ = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_launches_.store(0, std::memory_order_relaxed);
   launch_counts_.clear();
 }
 
 std::string Dispatcher::report() const {
-  std::vector<std::pair<std::string, std::uint64_t>> rows(
-      launch_counts_.begin(), launch_counts_.end());
+  const std::map<std::string, std::uint64_t> snap = launch_counts();
+  std::vector<std::pair<std::string, std::uint64_t>> rows(snap.begin(),
+                                                          snap.end());
   std::sort(rows.begin(), rows.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
-  std::string out = "total launches: " + std::to_string(total_launches_) + "\n";
+  std::string out = "total launches: " + std::to_string(total_launches()) + "\n";
   for (const auto& [name, count] : rows) {
     out += "  " + name + ": " + std::to_string(count) + "\n";
   }
   return out;
+}
+
+void Dispatcher::publish(telemetry::Registry& registry) const {
+  telemetry::Counter& total = registry.counter("dispatch.launches");
+  total.reset();
+  total.inc(total_launches());
+  for (const auto& [name, count] : launch_counts()) {
+    telemetry::Counter& c = registry.counter("dispatch.launch." + name);
+    c.reset();
+    c.inc(count);
+  }
 }
 
 }  // namespace xplace::tensor

@@ -7,19 +7,32 @@
 // `Dispatcher::run`, which:
 //
 //   * counts launches (per-name and total) so benches report op-graph size,
+//   * emits a telemetry trace span per launch when the global tracer is
+//     enabled (telemetry/trace.h), so a placement run produces a per-kernel
+//     flame view in Perfetto,
 //   * optionally busy-waits a configurable `launch_latency` before the kernel
 //     body, simulating the CUDA enqueue overhead (~8 µs class) that the paper
 //     measured. The default latency is 0 (pure CPU timing); Table 3 benches
 //     run both modes.
 //
 // The dispatcher is intentionally a process-global: it models the single CUDA
-// stream the placer uses.
+// stream the placer uses. Counters are thread-safe (atomic total + mutexed
+// per-name map) so kernels launched from pool workers are accounted
+// correctly.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+
+#include "telemetry/trace.h"
+
+namespace xplace::telemetry {
+class Registry;
+}
 
 namespace xplace::tensor {
 
@@ -31,28 +44,38 @@ class Dispatcher {
   void set_launch_latency(double seconds) { launch_latency_ = seconds; }
   double launch_latency() const { return launch_latency_; }
 
-  /// Execute a kernel body under launch accounting.
+  /// Execute a kernel body under launch accounting. `name` must be a string
+  /// literal (it is retained by the tracer without copying).
   template <typename Fn>
   void run(const char* name, Fn&& kernel) {
     begin_launch(name);
+    telemetry::TraceScope span(name);
     kernel();
   }
 
-  std::uint64_t total_launches() const { return total_launches_; }
-  const std::map<std::string, std::uint64_t>& launch_counts() const {
-    return launch_counts_;
+  std::uint64_t total_launches() const {
+    return total_launches_.load(std::memory_order_relaxed);
   }
+  /// Snapshot of the per-op launch histogram.
+  std::map<std::string, std::uint64_t> launch_counts() const;
 
   void reset_counters();
 
   /// Human-readable per-op launch histogram.
   std::string report() const;
 
+  /// Exports the launch accounting into `registry`: a total counter
+  /// (`dispatch.launches`) plus one counter per op
+  /// (`dispatch.launch.<name>`). Counters are overwritten with the snapshot
+  /// value, so repeated publishes are idempotent.
+  void publish(telemetry::Registry& registry) const;
+
  private:
   void begin_launch(const char* name);
 
   double launch_latency_ = 0.0;
-  std::uint64_t total_launches_ = 0;
+  std::atomic<std::uint64_t> total_launches_{0};
+  mutable std::mutex mutex_;
   std::map<std::string, std::uint64_t> launch_counts_;
 };
 

@@ -3,12 +3,32 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace xplace::log {
 namespace {
 
-std::atomic<Level> g_level{Level::kInfo};
+/// Startup level from the XPLACE_LOG_LEVEL environment variable. Accepts
+/// names (debug/info/warn/error/off, case-sensitive lowercase) or the
+/// numeric enum values 0-4; anything else (or unset) keeps the kInfo
+/// default, so benches and CI control verbosity without code changes.
+Level level_from_env() {
+  const char* env = std::getenv("XPLACE_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return Level::kInfo;
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
+  if (std::strcmp(env, "off") == 0) return Level::kOff;
+  if (env[0] >= '0' && env[0] <= '4' && env[1] == '\0') {
+    return static_cast<Level>(env[0] - '0');
+  }
+  return Level::kInfo;
+}
+
+std::atomic<Level> g_level{level_from_env()};
 std::mutex g_mutex;
 
 const char* level_tag(Level level) {

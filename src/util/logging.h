@@ -6,6 +6,11 @@
 //
 // All output goes to stderr so that example/bench binaries can emit
 // machine-readable results on stdout.
+//
+// The startup level honors the XPLACE_LOG_LEVEL environment variable
+// (debug|info|warn|error|off or 0-4); set_level() overrides it at runtime.
+// Relatedly, XPLACE_TRACE=1 arms the telemetry tracer at startup (see
+// telemetry/trace.h).
 #pragma once
 
 #include <cstdarg>

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "telemetry/metrics.h"
+
 namespace xplace {
 
 std::string TimerRegistry::report() const {
-  std::vector<std::pair<std::string, Entry>> rows(entries_.begin(),
-                                                  entries_.end());
+  const std::map<std::string, Entry> snap = entries();
+  std::vector<std::pair<std::string, Entry>> rows(snap.begin(), snap.end());
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
     return a.second.total_seconds > b.second.total_seconds;
   });
@@ -20,6 +22,16 @@ std::string TimerRegistry::report() const {
     out += buf;
   }
   return out;
+}
+
+void TimerRegistry::publish(telemetry::Registry& registry,
+                            const std::string& prefix) const {
+  for (const auto& [key, e] : entries()) {
+    registry.gauge(prefix + key + ".seconds").set(e.total_seconds);
+    telemetry::Counter& calls = registry.counter(prefix + key + ".calls");
+    calls.reset();
+    calls.inc(e.calls);
+  }
 }
 
 }  // namespace xplace

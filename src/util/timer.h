@@ -3,13 +3,23 @@
 // `Stopwatch` measures a single interval; `TimerRegistry` accumulates named
 // intervals across a run (used by the global placer to attribute time to
 // individual operators, mirroring a CUDA profiler's per-kernel accounting).
+//
+// TimerRegistry is thread-safe: operator bodies dispatched onto the thread
+// pool may time themselves into one shared registry. For span-level (as
+// opposed to aggregate) timing, prefer the telemetry tracer
+// (telemetry/trace.h), which records begin/end timestamps for flame views.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
+
+namespace xplace::telemetry {
+class Registry;
+}
 
 namespace xplace {
 
@@ -32,9 +42,8 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
-/// Accumulates total time and call counts under string keys.
-/// Not thread-safe; each thread should use its own registry (the placer is
-/// single-threaded at the orchestration level).
+/// Accumulates total time and call counts under string keys. All members are
+/// safe to call concurrently (guarded by an internal mutex).
 class TimerRegistry {
  public:
   struct Entry {
@@ -43,29 +52,53 @@ class TimerRegistry {
   };
 
   void add(const std::string& key, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
     Entry& e = entries_[key];
     e.total_seconds += seconds;
     e.calls += 1;
   }
 
-  const Entry* find(const std::string& key) const {
+  /// Snapshot of one entry; `found == false` when the key is absent.
+  Entry get(const std::string& key, bool* found = nullptr) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
-    return it == entries_.end() ? nullptr : &it->second;
+    if (found != nullptr) *found = it != entries_.end();
+    return it == entries_.end() ? Entry{} : it->second;
   }
 
-  double total(const std::string& key) const {
-    const Entry* e = find(key);
-    return e != nullptr ? e->total_seconds : 0.0;
+  bool contains(const std::string& key) const {
+    bool found = false;
+    (void)get(key, &found);
+    return found;
   }
 
-  const std::map<std::string, Entry>& entries() const { return entries_; }
+  double total(const std::string& key) const { return get(key).total_seconds; }
 
-  void clear() { entries_.clear(); }
+  std::uint64_t calls(const std::string& key) const { return get(key).calls; }
+
+  /// Copy of the full entry map (a snapshot, not a live view).
+  std::map<std::string, Entry> entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
 
   /// Multi-line human-readable report sorted by descending total time.
   std::string report() const;
 
+  /// Exports every entry into `registry` as a seconds gauge
+  /// (`<prefix><key>.seconds`) and calls counter (`<prefix><key>.calls`).
+  /// Counters are overwritten with the current snapshot value, so repeated
+  /// publishes are idempotent.
+  void publish(telemetry::Registry& registry,
+               const std::string& prefix = "timer.") const;
+
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
 };
 

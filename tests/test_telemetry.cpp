@@ -1,0 +1,623 @@
+// Telemetry subsystem tests: metrics registry (counter/gauge/histogram
+// bucketing), span tracer (nesting, ring-buffer wraparound, disabled-mode
+// inertness), exporters (Chrome trace JSON parsed back by a minimal JSON
+// parser, Prometheus text), the Recorder JSONL sink, and a GlobalPlacer
+// smoke test asserting per-iteration spans match the reported iterations.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/placer.h"
+#include "io/generator.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "tensor/dispatch.h"
+#include "util/thread_pool.h"
+
+namespace xplace {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::Registry;
+using telemetry::SpanEvent;
+using telemetry::Tracer;
+using telemetry::TraceScope;
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON parser — just enough to validate exporter output by
+// parsing it back (objects, arrays, strings, numbers, bools, null).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+  const JsonValue& at(const std::string& key) const { return obj.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  /// Parses the full input; sets `ok` false on any syntax error or trailing
+  /// garbage.
+  JsonValue parse(bool* ok) {
+    JsonValue v = value();
+    skip_ws();
+    *ok = !failed_ && pos_ == s_.size();
+    return v;
+  }
+
+ private:
+  void fail() { failed_ = true; }
+  char peek() { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  char next() { return pos_ < s_.size() ? s_[pos_++] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool consume(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (s_.compare(pos_, len, lit) != 0) {
+      fail();
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    if (failed_) return {};
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.str = string();
+      return v;
+    }
+    if (c == 't') {
+      consume("true");
+      v.kind = JsonValue::Kind::kBool;
+      v.b = true;
+      return v;
+    }
+    if (c == 'f') {
+      consume("false");
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      consume("null");
+      return v;
+    }
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    next();  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return v;
+    }
+    while (!failed_) {
+      skip_ws();
+      if (peek() != '"') {
+        fail();
+        break;
+      }
+      const std::string key = string();
+      skip_ws();
+      if (next() != ':') {
+        fail();
+        break;
+      }
+      v.obj[key] = value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') {
+        fail();
+        break;
+      }
+    }
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    next();  // '['
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return v;
+    }
+    while (!failed_) {
+      v.arr.push_back(value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') {
+        fail();
+        break;
+      }
+    }
+    return v;
+  }
+
+  std::string string() {
+    std::string out;
+    next();  // '"'
+    while (!failed_) {
+      const char c = next();
+      if (c == '"') break;
+      if (c == '\0') {
+        fail();
+        break;
+      }
+      if (c == '\\') {
+        const char e = next();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(next()))) fail();
+            }
+            out += '?';  // codepoint content irrelevant for these tests
+            break;
+          }
+          default: fail();
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') next();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) next();
+    if (peek() == '.') {
+      next();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) next();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      next();
+      if (peek() == '+' || peek() == '-') next();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) next();
+    }
+    JsonValue v;
+    if (pos_ == start) {
+      fail();
+      return v;
+    }
+    v.kind = JsonValue::Kind::kNumber;
+    v.num = std::strtod(s_.c_str() + start, nullptr);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// RAII: leaves the global tracer disabled and cleared however a test exits.
+struct TracerGuard {
+  ~TracerGuard() {
+    Tracer::global().disable();
+    Tracer::global().clear();
+  }
+};
+
+// ---------------- metrics: counters & gauges ----------------
+
+TEST(Metrics, CounterAccumulates) {
+  Registry reg;
+  Counter& c = reg.counter("a");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&reg.counter("a"), &c);  // find-or-create returns same instance
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeStoresLastValue) {
+  Registry reg;
+  Gauge& g = reg.gauge("overflow");
+  g.set(0.5);
+  g.set(0.07);
+  EXPECT_DOUBLE_EQ(g.value(), 0.07);
+}
+
+TEST(Metrics, CountersAreThreadSafe) {
+  Registry reg;
+  Counter& c = reg.counter("hits");
+  ThreadPool pool(4);
+  pool.parallel_for(100000, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) c.inc();
+  });
+  EXPECT_EQ(c.value(), 100000u);
+}
+
+// ---------------- metrics: histogram bucketing ----------------
+
+TEST(Histogram, BucketsByUpperBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1      -> bucket 0
+  h.observe(1.0);    // <= 1      -> bucket 0 (le semantics)
+  h.observe(5.0);    // <= 10     -> bucket 1
+  h.observe(100.0);  // <= 100    -> bucket 2
+  h.observe(1e6);    // overflow  -> +Inf bucket
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6, 1e-9);
+}
+
+TEST(Histogram, SortsAndDedupesBounds) {
+  Histogram h({10.0, 1.0, 10.0});
+  ASSERT_EQ(h.upper_bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h.upper_bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.upper_bounds()[1], 10.0);
+  h.observe(2.0);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+}
+
+TEST(Histogram, ExponentialBounds) {
+  const auto b = Histogram::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+}
+
+TEST(Histogram, ConcurrentObserveLosesNothing) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {0.25, 0.5, 0.75});
+  ThreadPool pool(4);
+  pool.parallel_for(40000, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) {
+      h.observe(static_cast<double>(i % 4) / 4.0);  // 0, .25, .5, .75
+    }
+  });
+  EXPECT_EQ(h.count(), 40000u);
+  const auto counts = h.bucket_counts();
+  EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3], 40000u);
+  EXPECT_EQ(counts[0], 20000u);  // 0 and .25 both land in the first bucket
+  EXPECT_NEAR(h.sum(), 40000 * (0.0 + 0.25 + 0.5 + 0.75) / 4.0, 1e-6);
+}
+
+// ---------------- tracer ----------------
+
+TEST(Tracer, DisabledScopeIsInert) {
+  TracerGuard guard;
+  Tracer::global().disable();
+  const std::uint64_t before = Tracer::global().total_recorded();
+  {
+    TraceScope s("noop");
+    s.arg("x", 1.0);
+  }
+  EXPECT_EQ(Tracer::global().total_recorded(), before);
+}
+
+TEST(Tracer, RecordsNestedSpansWithDepth) {
+  TracerGuard guard;
+  Tracer& tracer = Tracer::global();
+  tracer.enable(256);
+  {
+    XP_TRACE_SCOPE("outer");
+    {
+      XP_TRACE_SCOPE("inner");
+    }
+  }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner ends (and records) first.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_EQ(spans[0].tid, spans[1].tid);
+  // Outer strictly contains inner.
+  EXPECT_LE(spans[1].begin_us, spans[0].begin_us);
+  EXPECT_GE(spans[1].end_us, spans[0].end_us);
+}
+
+TEST(Tracer, RingBufferWrapsKeepingNewest) {
+  TracerGuard guard;
+  Tracer& tracer = Tracer::global();
+  tracer.enable(8);
+  static const char* kNames[20] = {
+      "s0",  "s1",  "s2",  "s3",  "s4",  "s5",  "s6",  "s7",  "s8",  "s9",
+      "s10", "s11", "s12", "s13", "s14", "s15", "s16", "s17", "s18", "s19"};
+  for (int i = 0; i < 20; ++i) {
+    TraceScope s(kNames[i]);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // Oldest-first order of the surviving (newest) 8.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_STREQ(spans[i].name, kNames[12 + i]);
+    EXPECT_EQ(spans[i].seq, static_cast<std::uint64_t>(12 + i));
+  }
+}
+
+TEST(Tracer, ArgsAreCappedAtMax) {
+  TracerGuard guard;
+  Tracer::global().enable(16);
+  {
+    TraceScope s("argtest");
+    s.arg("a", 1).arg("b", 2).arg("c", 3).arg("d", 4).arg("e", 5);
+  }
+  const auto spans = Tracer::global().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].num_args, SpanEvent::kMaxArgs);
+  EXPECT_STREQ(spans[0].arg_names[3], "d");
+}
+
+TEST(Tracer, ConcurrentRecordingKeepsEverySpan) {
+  TracerGuard guard;
+  Tracer& tracer = Tracer::global();
+  tracer.enable(1 << 14);
+  ThreadPool pool(4);
+  pool.parallel_for(5000, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) {
+      XP_TRACE_SCOPE("worker_span");
+    }
+  });
+  EXPECT_EQ(tracer.total_recorded(), 5000u);
+  EXPECT_EQ(tracer.snapshot().size(), 5000u);
+}
+
+TEST(Tracer, DispatcherEmitsKernelSpans) {
+  TracerGuard guard;
+  auto& disp = tensor::Dispatcher::global();
+  Tracer::global().enable(256);
+  int runs = 0;
+  disp.run("unit_kernel", [&] { ++runs; });
+  disp.run("unit_kernel", [&] { ++runs; });
+  EXPECT_EQ(runs, 2);
+  const auto spans = Tracer::global().snapshot();
+  int kernel_spans = 0;
+  for (const auto& s : spans) {
+    if (std::string(s.name) == "unit_kernel") ++kernel_spans;
+  }
+  EXPECT_EQ(kernel_spans, 2);
+}
+
+// ---------------- exporters ----------------
+
+TEST(Export, ChromeTraceIsValidJson) {
+  TracerGuard guard;
+  Tracer::global().enable(64);
+  {
+    TraceScope s("kernel \"quoted\"\n");
+    s.arg("hpwl", 1.5e7).arg("overflow", 0.12);
+  }
+  {
+    XP_TRACE_SCOPE("plain");
+  }
+  const std::string json =
+      telemetry::to_chrome_trace(Tracer::global().snapshot(), "unit");
+  bool ok = false;
+  JsonParser parser(json);
+  const JsonValue root = parser.parse(&ok);
+  ASSERT_TRUE(ok) << json;
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  ASSERT_TRUE(root.has("traceEvents"));
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  // Metadata event + 2 spans.
+  ASSERT_EQ(events.arr.size(), 3u);
+  EXPECT_EQ(events.arr[0].at("ph").str, "M");
+  const JsonValue& span = events.arr[1];
+  EXPECT_EQ(span.at("ph").str, "X");
+  EXPECT_EQ(span.at("name").str, "kernel \"quoted\"\n");
+  EXPECT_EQ(span.at("cat").str, "xplace");
+  EXPECT_GE(span.at("dur").num, 0.0);
+  ASSERT_TRUE(span.has("args"));
+  EXPECT_DOUBLE_EQ(span.at("args").at("hpwl").num, 1.5e7);
+  EXPECT_DOUBLE_EQ(span.at("args").at("overflow").num, 0.12);
+  EXPECT_FALSE(events.arr[2].has("args"));
+}
+
+TEST(Export, PrometheusTextFormat) {
+  Registry reg;
+  reg.counter("dispatch.launches").inc(7);
+  reg.gauge("gp.overflow").set(0.25);
+  Histogram& h = reg.histogram("step.ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  const std::string text = telemetry::to_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE xplace_dispatch_launches counter\n"
+                      "xplace_dispatch_launches 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xplace_gp_overflow 0.25"), std::string::npos);
+  // Histogram buckets are cumulative.
+  EXPECT_NE(text.find("xplace_step_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("xplace_step_ms_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("xplace_step_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("xplace_step_ms_count 3"), std::string::npos);
+}
+
+TEST(Export, WriteTextFileReportsErrors) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "xplace_telemetry_test.txt")
+          .string();
+  EXPECT_TRUE(telemetry::write_text_file(path, "hello"));
+  std::string error;
+  EXPECT_FALSE(telemetry::write_text_file("/nonexistent_dir_xp/f.txt", "x",
+                                          &error));
+  EXPECT_FALSE(error.empty());
+  std::filesystem::remove(path);
+}
+
+// ---------------- recorder JSONL sink ----------------
+
+TEST(Recorder, JsonlLinesParseBack) {
+  core::Recorder rec;
+  core::IterationRecord r;
+  r.iter = 3;
+  r.hpwl = 1.25e6;
+  r.overflow = 0.4;
+  r.omega = 0.61;
+  r.density_skipped = true;
+  rec.add(r);
+  r.iter = 4;
+  r.density_skipped = false;
+  rec.add(r);
+
+  const std::string jsonl = rec.to_jsonl();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = jsonl.substr(start, end - start);
+    bool ok = false;
+    JsonParser parser(line);
+    const JsonValue v = parser.parse(&ok);
+    ASSERT_TRUE(ok) << line;
+    EXPECT_EQ(v.at("iter").num, 3.0 + lines);
+    EXPECT_DOUBLE_EQ(v.at("overflow").num, 0.4);
+    EXPECT_EQ(v.at("density_skipped").b, lines == 0);
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(Recorder, WritePicksFormatByExtension) {
+  core::Recorder rec;
+  core::IterationRecord r;
+  r.iter = 0;
+  r.hpwl = 10.0;
+  rec.add(r);
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string csv = (dir / "xp_rec_test.csv").string();
+  const std::string jsonl = (dir / "xp_rec_test.jsonl").string();
+  ASSERT_TRUE(rec.write(csv));
+  ASSERT_TRUE(rec.write(jsonl));
+  EXPECT_FALSE(rec.write("/nonexistent_dir_xp/rec.jsonl"));
+
+  std::FILE* f = std::fopen(csv.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {0};
+  ASSERT_GT(std::fread(buf, 1, 4, f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, 4), "iter");  // CSV header row
+
+  f = std::fopen(jsonl.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_GT(std::fread(buf, 1, 1, f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(buf[0], '{');  // JSONL object per line
+
+  std::filesystem::remove(csv);
+  std::filesystem::remove(jsonl);
+}
+
+// ---------------- end-to-end: placer emits per-iteration spans ----------------
+
+TEST(PlacerTelemetry, IterationSpansMatchResult) {
+  TracerGuard guard;
+  io::GeneratorSpec spec;
+  spec.name = "telemetry_smoke";
+  spec.num_cells = 300;
+  spec.num_nets = 320;
+  spec.seed = 9;
+  db::Database db = io::generate(spec);
+
+  Tracer::global().enable(1 << 15);
+  core::PlacerConfig cfg = core::PlacerConfig::xplace();
+  cfg.grid_dim = 32;
+  cfg.max_iters = 60;
+  cfg.verbose = false;
+  core::GlobalPlacer placer(db, cfg);
+  const core::GlobalPlaceResult res = placer.run();
+  Tracer::global().disable();
+
+  ASSERT_GT(res.iterations, 0);
+  int iter_spans = 0, run_spans = 0, wl_spans = 0, fft_spans = 0;
+  double last_hpwl = -1.0, last_overflow = -1.0, last_omega = -1.0;
+  for (const SpanEvent& s : Tracer::global().snapshot()) {
+    const std::string name = s.name;
+    if (name == "gp.iter") {
+      ++iter_spans;
+      for (int a = 0; a < s.num_args; ++a) {
+        if (std::string(s.arg_names[a]) == "hpwl") last_hpwl = s.arg_values[a];
+        if (std::string(s.arg_names[a]) == "overflow")
+          last_overflow = s.arg_values[a];
+        if (std::string(s.arg_names[a]) == "omega") last_omega = s.arg_values[a];
+      }
+    } else if (name == "gp.run") {
+      ++run_spans;
+    } else if (name == "gp.phase.wirelength") {
+      ++wl_spans;
+    } else if (name == "gp.phase.fft") {
+      ++fft_spans;
+    }
+  }
+  EXPECT_EQ(iter_spans, res.iterations);
+  EXPECT_EQ(run_spans, 1);
+  EXPECT_EQ(wl_spans, res.iterations);  // wirelength runs every iteration
+  EXPECT_GT(fft_spans, 0);
+  EXPECT_GT(last_hpwl, 0.0);
+  EXPECT_GE(last_overflow, 0.0);
+  EXPECT_GE(last_omega, 0.0);
+  // The recorder agrees with the span args of the last iteration.
+  EXPECT_DOUBLE_EQ(placer.recorder().back().hpwl, last_hpwl);
+
+  // Run-level gauges were published to the global registry.
+  bool found = false;
+  for (const auto& [name, g] : telemetry::Registry::global().gauges()) {
+    if (name == "gp.iterations") {
+      EXPECT_DOUBLE_EQ(g->value(), res.iterations);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace xplace

@@ -192,8 +192,8 @@ TEST(Timer, RegistryAccumulates) {
   reg.add("b", 1.0);
   EXPECT_DOUBLE_EQ(reg.total("a"), 0.75);
   EXPECT_DOUBLE_EQ(reg.total("b"), 1.0);
-  EXPECT_EQ(reg.find("a")->calls, 2u);
-  EXPECT_EQ(reg.find("missing"), nullptr);
+  EXPECT_EQ(reg.calls("a"), 2u);
+  EXPECT_FALSE(reg.contains("missing"));
   EXPECT_FALSE(reg.report().empty());
 }
 
@@ -202,8 +202,24 @@ TEST(Timer, ScopedTimerAddsEntry) {
   {
     ScopedTimer t(reg, "scope");
   }
-  EXPECT_NE(reg.find("scope"), nullptr);
-  EXPECT_EQ(reg.find("scope")->calls, 1u);
+  EXPECT_TRUE(reg.contains("scope"));
+  EXPECT_EQ(reg.calls("scope"), 1u);
+}
+
+TEST(Timer, RegistryIsThreadSafe) {
+  TimerRegistry reg;
+  ThreadPool pool(4);
+  pool.parallel_for(10000, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) {
+      reg.add("shared", 0.001);
+      reg.add("key" + std::to_string(i % 7), 0.002);
+    }
+  });
+  EXPECT_EQ(reg.calls("shared"), 10000u);
+  EXPECT_NEAR(reg.total("shared"), 10.0, 1e-6);
+  std::uint64_t spread = 0;
+  for (int k = 0; k < 7; ++k) spread += reg.calls("key" + std::to_string(k));
+  EXPECT_EQ(spread, 10000u);
 }
 
 // ---------------- arg parser ----------------
