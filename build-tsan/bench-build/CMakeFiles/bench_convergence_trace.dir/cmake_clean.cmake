@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_convergence_trace"
+  "../bench/bench_convergence_trace.pdb"
+  "CMakeFiles/bench_convergence_trace.dir/bench_convergence_trace.cpp.o"
+  "CMakeFiles/bench_convergence_trace.dir/bench_convergence_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convergence_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

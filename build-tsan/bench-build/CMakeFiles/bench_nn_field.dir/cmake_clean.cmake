@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nn_field"
+  "../bench/bench_nn_field.pdb"
+  "CMakeFiles/bench_nn_field.dir/bench_nn_field.cpp.o"
+  "CMakeFiles/bench_nn_field.dir/bench_nn_field.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nn_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_ispd2005"
+  "../bench/bench_table2_ispd2005.pdb"
+  "CMakeFiles/bench_table2_ispd2005.dir/bench_table2_ispd2005.cpp.o"
+  "CMakeFiles/bench_table2_ispd2005.dir/bench_table2_ispd2005.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ispd2005.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

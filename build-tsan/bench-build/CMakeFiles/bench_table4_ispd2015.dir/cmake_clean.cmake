@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_ispd2015"
+  "../bench/bench_table4_ispd2015.pdb"
+  "CMakeFiles/bench_table4_ispd2015.dir/bench_table4_ispd2015.cpp.o"
+  "CMakeFiles/bench_table4_ispd2015.dir/bench_table4_ispd2015.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ispd2015.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

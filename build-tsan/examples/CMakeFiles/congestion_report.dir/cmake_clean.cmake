@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_report.dir/congestion_report.cpp.o"
+  "CMakeFiles/congestion_report.dir/congestion_report.cpp.o.d"
+  "congestion_report"
+  "congestion_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

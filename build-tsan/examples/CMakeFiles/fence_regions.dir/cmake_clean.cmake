@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fence_regions.dir/fence_regions.cpp.o"
+  "CMakeFiles/fence_regions.dir/fence_regions.cpp.o.d"
+  "fence_regions"
+  "fence_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fence_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

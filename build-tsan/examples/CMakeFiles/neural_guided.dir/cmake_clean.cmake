@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_guided.dir/neural_guided.cpp.o"
+  "CMakeFiles/neural_guided.dir/neural_guided.cpp.o.d"
+  "neural_guided"
+  "neural_guided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routability_driven.dir/routability_driven.cpp.o"
+  "CMakeFiles/routability_driven.dir/routability_driven.cpp.o.d"
+  "routability_driven"
+  "routability_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routability_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for routability_driven.
+# This may be replaced when dependencies are built.

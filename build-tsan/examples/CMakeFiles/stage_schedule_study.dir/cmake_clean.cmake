@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_schedule_study.dir/stage_schedule_study.cpp.o"
+  "CMakeFiles/stage_schedule_study.dir/stage_schedule_study.cpp.o.d"
+  "stage_schedule_study"
+  "stage_schedule_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_schedule_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/visualize_flow.cpp" "examples/CMakeFiles/visualize_flow.dir/visualize_flow.cpp.o" "gcc" "examples/CMakeFiles/visualize_flow.dir/visualize_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/xplace_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/xplace_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lg/CMakeFiles/xplace_lg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dp/CMakeFiles/xplace_dp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ops/CMakeFiles/xplace_ops.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fft/CMakeFiles/xplace_fft.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/xplace_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/db/CMakeFiles/xplace_db.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/xplace_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/xplace_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_flow.dir/visualize_flow.cpp.o"
+  "CMakeFiles/visualize_flow.dir/visualize_flow.cpp.o.d"
+  "visualize_flow"
+  "visualize_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

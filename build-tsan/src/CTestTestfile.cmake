@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("telemetry")
+subdirs("util")
+subdirs("fft")
+subdirs("tensor")
+subdirs("db")
+subdirs("io")
+subdirs("ops")
+subdirs("core")
+subdirs("nn")
+subdirs("lg")
+subdirs("dp")
+subdirs("route")

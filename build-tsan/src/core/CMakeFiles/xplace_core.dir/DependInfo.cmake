@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gradient_engine.cpp" "src/core/CMakeFiles/xplace_core.dir/gradient_engine.cpp.o" "gcc" "src/core/CMakeFiles/xplace_core.dir/gradient_engine.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/xplace_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/xplace_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/placer.cpp" "src/core/CMakeFiles/xplace_core.dir/placer.cpp.o" "gcc" "src/core/CMakeFiles/xplace_core.dir/placer.cpp.o.d"
+  "/root/repo/src/core/recorder.cpp" "src/core/CMakeFiles/xplace_core.dir/recorder.cpp.o" "gcc" "src/core/CMakeFiles/xplace_core.dir/recorder.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/xplace_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/xplace_core.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ops/CMakeFiles/xplace_ops.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/db/CMakeFiles/xplace_db.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/xplace_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/xplace_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fft/CMakeFiles/xplace_fft.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/xplace_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

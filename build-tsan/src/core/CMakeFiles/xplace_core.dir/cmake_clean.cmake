@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_core.dir/gradient_engine.cpp.o"
+  "CMakeFiles/xplace_core.dir/gradient_engine.cpp.o.d"
+  "CMakeFiles/xplace_core.dir/optimizer.cpp.o"
+  "CMakeFiles/xplace_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/xplace_core.dir/placer.cpp.o"
+  "CMakeFiles/xplace_core.dir/placer.cpp.o.d"
+  "CMakeFiles/xplace_core.dir/recorder.cpp.o"
+  "CMakeFiles/xplace_core.dir/recorder.cpp.o.d"
+  "CMakeFiles/xplace_core.dir/scheduler.cpp.o"
+  "CMakeFiles/xplace_core.dir/scheduler.cpp.o.d"
+  "libxplace_core.a"
+  "libxplace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_db.dir/database.cpp.o"
+  "CMakeFiles/xplace_db.dir/database.cpp.o.d"
+  "CMakeFiles/xplace_db.dir/stats.cpp.o"
+  "CMakeFiles/xplace_db.dir/stats.cpp.o.d"
+  "libxplace_db.a"
+  "libxplace_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/detailed_placer.cpp" "src/dp/CMakeFiles/xplace_dp.dir/detailed_placer.cpp.o" "gcc" "src/dp/CMakeFiles/xplace_dp.dir/detailed_placer.cpp.o.d"
+  "/root/repo/src/dp/global_swap.cpp" "src/dp/CMakeFiles/xplace_dp.dir/global_swap.cpp.o" "gcc" "src/dp/CMakeFiles/xplace_dp.dir/global_swap.cpp.o.d"
+  "/root/repo/src/dp/hpwl_eval.cpp" "src/dp/CMakeFiles/xplace_dp.dir/hpwl_eval.cpp.o" "gcc" "src/dp/CMakeFiles/xplace_dp.dir/hpwl_eval.cpp.o.d"
+  "/root/repo/src/dp/hungarian.cpp" "src/dp/CMakeFiles/xplace_dp.dir/hungarian.cpp.o" "gcc" "src/dp/CMakeFiles/xplace_dp.dir/hungarian.cpp.o.d"
+  "/root/repo/src/dp/ism.cpp" "src/dp/CMakeFiles/xplace_dp.dir/ism.cpp.o" "gcc" "src/dp/CMakeFiles/xplace_dp.dir/ism.cpp.o.d"
+  "/root/repo/src/dp/local_reorder.cpp" "src/dp/CMakeFiles/xplace_dp.dir/local_reorder.cpp.o" "gcc" "src/dp/CMakeFiles/xplace_dp.dir/local_reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/db/CMakeFiles/xplace_db.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lg/CMakeFiles/xplace_lg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/xplace_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/xplace_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_dp.dir/detailed_placer.cpp.o"
+  "CMakeFiles/xplace_dp.dir/detailed_placer.cpp.o.d"
+  "CMakeFiles/xplace_dp.dir/global_swap.cpp.o"
+  "CMakeFiles/xplace_dp.dir/global_swap.cpp.o.d"
+  "CMakeFiles/xplace_dp.dir/hpwl_eval.cpp.o"
+  "CMakeFiles/xplace_dp.dir/hpwl_eval.cpp.o.d"
+  "CMakeFiles/xplace_dp.dir/hungarian.cpp.o"
+  "CMakeFiles/xplace_dp.dir/hungarian.cpp.o.d"
+  "CMakeFiles/xplace_dp.dir/ism.cpp.o"
+  "CMakeFiles/xplace_dp.dir/ism.cpp.o.d"
+  "CMakeFiles/xplace_dp.dir/local_reorder.cpp.o"
+  "CMakeFiles/xplace_dp.dir/local_reorder.cpp.o.d"
+  "libxplace_dp.a"
+  "libxplace_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

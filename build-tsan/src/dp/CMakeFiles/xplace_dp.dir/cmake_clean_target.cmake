@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxplace_dp.a"
+)

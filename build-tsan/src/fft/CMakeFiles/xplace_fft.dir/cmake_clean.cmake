@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_fft.dir/dct.cpp.o"
+  "CMakeFiles/xplace_fft.dir/dct.cpp.o.d"
+  "CMakeFiles/xplace_fft.dir/fft.cpp.o"
+  "CMakeFiles/xplace_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/xplace_fft.dir/reference.cpp.o"
+  "CMakeFiles/xplace_fft.dir/reference.cpp.o.d"
+  "libxplace_fft.a"
+  "libxplace_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bookshelf.cpp" "src/io/CMakeFiles/xplace_io.dir/bookshelf.cpp.o" "gcc" "src/io/CMakeFiles/xplace_io.dir/bookshelf.cpp.o.d"
+  "/root/repo/src/io/generator.cpp" "src/io/CMakeFiles/xplace_io.dir/generator.cpp.o" "gcc" "src/io/CMakeFiles/xplace_io.dir/generator.cpp.o.d"
+  "/root/repo/src/io/plot.cpp" "src/io/CMakeFiles/xplace_io.dir/plot.cpp.o" "gcc" "src/io/CMakeFiles/xplace_io.dir/plot.cpp.o.d"
+  "/root/repo/src/io/suites.cpp" "src/io/CMakeFiles/xplace_io.dir/suites.cpp.o" "gcc" "src/io/CMakeFiles/xplace_io.dir/suites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/db/CMakeFiles/xplace_db.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/xplace_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/xplace_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_io.dir/bookshelf.cpp.o"
+  "CMakeFiles/xplace_io.dir/bookshelf.cpp.o.d"
+  "CMakeFiles/xplace_io.dir/generator.cpp.o"
+  "CMakeFiles/xplace_io.dir/generator.cpp.o.d"
+  "CMakeFiles/xplace_io.dir/plot.cpp.o"
+  "CMakeFiles/xplace_io.dir/plot.cpp.o.d"
+  "CMakeFiles/xplace_io.dir/suites.cpp.o"
+  "CMakeFiles/xplace_io.dir/suites.cpp.o.d"
+  "libxplace_io.a"
+  "libxplace_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lg/abacus.cpp" "src/lg/CMakeFiles/xplace_lg.dir/abacus.cpp.o" "gcc" "src/lg/CMakeFiles/xplace_lg.dir/abacus.cpp.o.d"
+  "/root/repo/src/lg/checker.cpp" "src/lg/CMakeFiles/xplace_lg.dir/checker.cpp.o" "gcc" "src/lg/CMakeFiles/xplace_lg.dir/checker.cpp.o.d"
+  "/root/repo/src/lg/row_map.cpp" "src/lg/CMakeFiles/xplace_lg.dir/row_map.cpp.o" "gcc" "src/lg/CMakeFiles/xplace_lg.dir/row_map.cpp.o.d"
+  "/root/repo/src/lg/tetris.cpp" "src/lg/CMakeFiles/xplace_lg.dir/tetris.cpp.o" "gcc" "src/lg/CMakeFiles/xplace_lg.dir/tetris.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/db/CMakeFiles/xplace_db.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/xplace_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/xplace_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

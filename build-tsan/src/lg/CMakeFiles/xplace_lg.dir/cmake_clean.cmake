@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_lg.dir/abacus.cpp.o"
+  "CMakeFiles/xplace_lg.dir/abacus.cpp.o.d"
+  "CMakeFiles/xplace_lg.dir/checker.cpp.o"
+  "CMakeFiles/xplace_lg.dir/checker.cpp.o.d"
+  "CMakeFiles/xplace_lg.dir/row_map.cpp.o"
+  "CMakeFiles/xplace_lg.dir/row_map.cpp.o.d"
+  "CMakeFiles/xplace_lg.dir/tetris.cpp.o"
+  "CMakeFiles/xplace_lg.dir/tetris.cpp.o.d"
+  "libxplace_lg.a"
+  "libxplace_lg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_lg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

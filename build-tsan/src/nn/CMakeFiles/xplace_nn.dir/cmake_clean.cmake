@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_nn.dir/data.cpp.o"
+  "CMakeFiles/xplace_nn.dir/data.cpp.o.d"
+  "CMakeFiles/xplace_nn.dir/fno.cpp.o"
+  "CMakeFiles/xplace_nn.dir/fno.cpp.o.d"
+  "CMakeFiles/xplace_nn.dir/guidance.cpp.o"
+  "CMakeFiles/xplace_nn.dir/guidance.cpp.o.d"
+  "CMakeFiles/xplace_nn.dir/layers.cpp.o"
+  "CMakeFiles/xplace_nn.dir/layers.cpp.o.d"
+  "libxplace_nn.a"
+  "libxplace_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/density.cpp" "src/ops/CMakeFiles/xplace_ops.dir/density.cpp.o" "gcc" "src/ops/CMakeFiles/xplace_ops.dir/density.cpp.o.d"
+  "/root/repo/src/ops/electrostatics.cpp" "src/ops/CMakeFiles/xplace_ops.dir/electrostatics.cpp.o" "gcc" "src/ops/CMakeFiles/xplace_ops.dir/electrostatics.cpp.o.d"
+  "/root/repo/src/ops/netlist_view.cpp" "src/ops/CMakeFiles/xplace_ops.dir/netlist_view.cpp.o" "gcc" "src/ops/CMakeFiles/xplace_ops.dir/netlist_view.cpp.o.d"
+  "/root/repo/src/ops/parallel.cpp" "src/ops/CMakeFiles/xplace_ops.dir/parallel.cpp.o" "gcc" "src/ops/CMakeFiles/xplace_ops.dir/parallel.cpp.o.d"
+  "/root/repo/src/ops/wirelength.cpp" "src/ops/CMakeFiles/xplace_ops.dir/wirelength.cpp.o" "gcc" "src/ops/CMakeFiles/xplace_ops.dir/wirelength.cpp.o.d"
+  "/root/repo/src/ops/wirelength_tape.cpp" "src/ops/CMakeFiles/xplace_ops.dir/wirelength_tape.cpp.o" "gcc" "src/ops/CMakeFiles/xplace_ops.dir/wirelength_tape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/db/CMakeFiles/xplace_db.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/xplace_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fft/CMakeFiles/xplace_fft.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/xplace_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/xplace_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

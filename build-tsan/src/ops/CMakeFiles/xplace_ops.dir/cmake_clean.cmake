@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_ops.dir/density.cpp.o"
+  "CMakeFiles/xplace_ops.dir/density.cpp.o.d"
+  "CMakeFiles/xplace_ops.dir/electrostatics.cpp.o"
+  "CMakeFiles/xplace_ops.dir/electrostatics.cpp.o.d"
+  "CMakeFiles/xplace_ops.dir/netlist_view.cpp.o"
+  "CMakeFiles/xplace_ops.dir/netlist_view.cpp.o.d"
+  "CMakeFiles/xplace_ops.dir/parallel.cpp.o"
+  "CMakeFiles/xplace_ops.dir/parallel.cpp.o.d"
+  "CMakeFiles/xplace_ops.dir/wirelength.cpp.o"
+  "CMakeFiles/xplace_ops.dir/wirelength.cpp.o.d"
+  "CMakeFiles/xplace_ops.dir/wirelength_tape.cpp.o"
+  "CMakeFiles/xplace_ops.dir/wirelength_tape.cpp.o.d"
+  "libxplace_ops.a"
+  "libxplace_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_route.dir/congestion.cpp.o"
+  "CMakeFiles/xplace_route.dir/congestion.cpp.o.d"
+  "CMakeFiles/xplace_route.dir/inflation.cpp.o"
+  "CMakeFiles/xplace_route.dir/inflation.cpp.o.d"
+  "libxplace_route.a"
+  "libxplace_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

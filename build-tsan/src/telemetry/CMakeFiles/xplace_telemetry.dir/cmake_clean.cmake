@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_telemetry.dir/export.cpp.o"
+  "CMakeFiles/xplace_telemetry.dir/export.cpp.o.d"
+  "CMakeFiles/xplace_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/xplace_telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/xplace_telemetry.dir/trace.cpp.o"
+  "CMakeFiles/xplace_telemetry.dir/trace.cpp.o.d"
+  "libxplace_telemetry.a"
+  "libxplace_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_tensor.dir/dispatch.cpp.o"
+  "CMakeFiles/xplace_tensor.dir/dispatch.cpp.o.d"
+  "CMakeFiles/xplace_tensor.dir/ops.cpp.o"
+  "CMakeFiles/xplace_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/xplace_tensor.dir/tape.cpp.o"
+  "CMakeFiles/xplace_tensor.dir/tape.cpp.o.d"
+  "CMakeFiles/xplace_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/xplace_tensor.dir/tensor.cpp.o.d"
+  "libxplace_tensor.a"
+  "libxplace_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

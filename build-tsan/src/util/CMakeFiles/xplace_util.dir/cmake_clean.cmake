@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplace_util.dir/arg_parser.cpp.o"
+  "CMakeFiles/xplace_util.dir/arg_parser.cpp.o.d"
+  "CMakeFiles/xplace_util.dir/logging.cpp.o"
+  "CMakeFiles/xplace_util.dir/logging.cpp.o.d"
+  "CMakeFiles/xplace_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/xplace_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/xplace_util.dir/timer.cpp.o"
+  "CMakeFiles/xplace_util.dir/timer.cpp.o.d"
+  "libxplace_util.a"
+  "libxplace_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplace_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fences.dir/test_fences.cpp.o"
+  "CMakeFiles/test_fences.dir/test_fences.cpp.o.d"
+  "test_fences"
+  "test_fences.pdb"
+  "test_fences[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

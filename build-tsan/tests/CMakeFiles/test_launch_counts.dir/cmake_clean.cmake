@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_launch_counts.dir/test_launch_counts.cpp.o"
+  "CMakeFiles/test_launch_counts.dir/test_launch_counts.cpp.o.d"
+  "test_launch_counts"
+  "test_launch_counts.pdb"
+  "test_launch_counts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_launch_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

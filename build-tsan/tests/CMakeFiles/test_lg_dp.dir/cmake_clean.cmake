@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lg_dp.dir/test_lg_dp.cpp.o"
+  "CMakeFiles/test_lg_dp.dir/test_lg_dp.cpp.o.d"
+  "test_lg_dp"
+  "test_lg_dp.pdb"
+  "test_lg_dp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lg_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

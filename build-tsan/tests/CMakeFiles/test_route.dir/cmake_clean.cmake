@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route.dir/test_route.cpp.o"
+  "CMakeFiles/test_route.dir/test_route.cpp.o.d"
+  "test_route"
+  "test_route.pdb"
+  "test_route[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_util[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_fft[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_db[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_io[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ops[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_lg_dp[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_nn[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_route[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_fences[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_launch_counts[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_telemetry[1]_include.cmake")
