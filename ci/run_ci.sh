@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# CI lanes for Xplace. Run all lanes (default) or a single one:
+#
+#   ci/run_ci.sh [tier1|faultinject|asan-ubsan|tsan|all]
+#
+#   tier1       plain build, full ctest suite
+#   faultinject guardian/recovery tests (ctest -L faultinject) plus an
+#               end-to-end XPLACE_FAULT matrix over the place_bookshelf demo:
+#               every injected fault must be recovered (exit 0, legal result)
+#   asan-ubsan  -DXPLACE_SANITIZE=address,undefined build; the recovery paths
+#               (rollback, checkpoint restore, fault injection) are exactly
+#               where stale pointers/uninitialized reads would hide, so the
+#               guardian suite runs memory-clean under ASan+UBSan
+#   tsan        -DXPLACE_SANITIZE=thread build, shared-state tests
+#               (ctest -L concurrency)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+lane="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+build() { # build <dir> [extra cmake args...]
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+}
+
+run_tier1() {
+  build build-ci
+  ctest --test-dir build-ci --output-on-failure -j "$jobs"
+}
+
+run_faultinject() {
+  build build-ci
+  ctest --test-dir build-ci --output-on-failure -L faultinject
+
+  # End-to-end env-driven matrix: the full flow must survive every fault kind
+  # (and a multi-fault plan) and still produce a legal placement.
+  local faults=(
+    "nonfinite_grad@iter:120"
+    "spike@iter:120"
+    "alloc_fail@iter:40"
+    "spike@iter:110,nonfinite_grad@iter:140"
+  )
+  for fault in "${faults[@]}"; do
+    echo "=== faultinject lane: XPLACE_FAULT=$fault ==="
+    XPLACE_FAULT="$fault" ./build-ci/examples/place_bookshelf \
+        --demo --cells 2000 --max-iters 400
+  done
+}
+
+run_asan_ubsan() {
+  build build-asan -DXPLACE_SANITIZE=address,undefined
+  ctest --test-dir build-asan --output-on-failure -L faultinject
+}
+
+run_tsan() {
+  build build-tsan-ci -DXPLACE_SANITIZE=thread
+  ctest --test-dir build-tsan-ci --output-on-failure -L concurrency
+}
+
+case "$lane" in
+  tier1)       run_tier1 ;;
+  faultinject) run_faultinject ;;
+  asan-ubsan)  run_asan_ubsan ;;
+  tsan)        run_tsan ;;
+  all)         run_tier1; run_faultinject; run_asan_ubsan; run_tsan ;;
+  *) echo "unknown lane '$lane' (tier1|faultinject|asan-ubsan|tsan|all)" >&2
+     exit 2 ;;
+esac
+echo "ci lane(s) '$lane' passed"

@@ -14,6 +14,13 @@
 //                             trace-event file loadable in Perfetto
 //   --metrics-out metrics.txt Prometheus-style dump of the metrics registry
 //   --record-out gp.jsonl     per-iteration records (JSONL; .csv for CSV)
+//
+// Checkpoint/resume (see README "Resuming a run"):
+//   --checkpoint-out ck.xpck  write a full GP checkpoint every
+//                             --checkpoint-every iterations (default 100)
+//   --resume ck.xpck          continue an interrupted run from a checkpoint;
+//                             same seed + same flags reproduces the
+//                             uninterrupted run bit-for-bit
 #include <cstdio>
 #include <filesystem>
 
@@ -64,10 +71,19 @@ int main(int argc, char** argv) {
   core::PlacerConfig cfg = core::PlacerConfig::xplace();
   cfg.grid_dim = static_cast<int>(args.get_int("grid", 128));
   cfg.max_iters = static_cast<int>(args.get_int("max-iters", 1500));
+  cfg.checkpoint_out = args.get("checkpoint-out");
+  cfg.checkpoint_period = static_cast<int>(args.get_int("checkpoint-every", 100));
+  cfg.resume_path = args.get("resume");
   core::GlobalPlacer placer(db, cfg);
   const core::GlobalPlaceResult gp = placer.run();
   std::printf("GP:  hpwl %.6g  overflow %.4f  (%d iters, %.2fs)\n", gp.hpwl,
               gp.overflow, gp.iterations, gp.gp_seconds);
+  if (gp.rollbacks > 0 || gp.diverged) {
+    std::printf("GP guardian: %d sentinel trip(s), %d rollback(s)%s\n",
+                gp.sentinel_trips, gp.rollbacks,
+                gp.diverged ? ", stopped on divergence at best-known iterate"
+                            : "");
+  }
 
   const lg::LegalizeStats lgs = lg::abacus_legalize(db);
   std::printf("LG:  %s\n", lgs.summary().c_str());

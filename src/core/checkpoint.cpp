@@ -1,0 +1,51 @@
+#include "core/checkpoint.h"
+
+#include "core/gradient_engine.h"
+#include "core/optimizer.h"
+#include "core/scheduler.h"
+#include "db/database.h"
+
+namespace xplace::core {
+
+RunCheckpoint capture_checkpoint(const db::Database& db, int optimizer_kind,
+                                 int next_iter, double gamma, double overflow,
+                                 double best_hpwl, double hpwl,
+                                 const Optimizer& opt, const Scheduler& sched,
+                                 const GradientEngine& engine) {
+  RunCheckpoint ck;
+  ck.design = db.design_name();
+  ck.n_total = db.num_cells_total();
+  ck.n_movable = db.num_movable();
+  ck.optimizer_kind = optimizer_kind;
+  ck.next_iter = next_iter;
+  ck.gamma = gamma;
+  ck.overflow = overflow;
+  ck.best_hpwl = best_hpwl;
+  ck.hpwl = hpwl;
+  opt.save_state(ck.optimizer);
+  sched.save_state(ck.scheduler);
+  engine.save_state(ck.engine);
+  return ck;
+}
+
+void restore_checkpoint(const RunCheckpoint& ck, const db::Database& db,
+                        int optimizer_kind, Optimizer& opt, Scheduler& sched,
+                        GradientEngine& engine) {
+  if (ck.n_total != db.num_cells_total() || ck.n_movable != db.num_movable()) {
+    throw std::runtime_error(
+        "checkpoint for '" + ck.design + "' has " +
+        std::to_string(ck.n_total) + " cells but the database has " +
+        std::to_string(db.num_cells_total()));
+  }
+  if (ck.optimizer_kind != optimizer_kind) {
+    throw std::runtime_error(
+        "checkpoint was taken with a different optimizer (kind " +
+        std::to_string(ck.optimizer_kind) + " vs " +
+        std::to_string(optimizer_kind) + ")");
+  }
+  opt.restore_state(ck.optimizer);
+  sched.restore_state(ck.scheduler);
+  engine.restore_state(ck.engine);
+}
+
+}  // namespace xplace::core

@@ -1,0 +1,98 @@
+// Run checkpointing: a self-describing capture of everything the GP loop
+// needs to continue a trajectory bit-for-bit — optimizer iterates, scheduler
+// λ/γ state, gradient-engine caches (the operator-skipping reuse buffers),
+// and the loop-level scalars (next iteration, γ, overflow, best HPWL).
+//
+// `RunCheckpoint` serves two masters:
+//   * the run guardian keeps one in memory as the best-iterate snapshot and
+//     restores it on divergence (rollback-and-retune),
+//   * `io::write_checkpoint` / `io::read_checkpoint` persist it to disk in a
+//     versioned binary format so a killed run resumes with `--resume`.
+//
+// `StateBlob` is the generic payload: named float arrays + named double
+// scalars. Names make the binary format self-describing and let restore
+// fail loudly when a component's layout changed across versions.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xplace::db {
+class Database;
+}
+
+namespace xplace::core {
+
+class Optimizer;
+class Scheduler;
+class GradientEngine;
+
+/// Named arrays + scalars. Kept header-inline so the io serializer can read
+/// it without a link dependency on xplace_core.
+struct StateBlob {
+  std::vector<std::pair<std::string, std::vector<float>>> arrays;
+  std::vector<std::pair<std::string, double>> scalars;
+
+  void put_array(std::string name, std::vector<float> v) {
+    arrays.emplace_back(std::move(name), std::move(v));
+  }
+  void put_scalar(std::string name, double v) {
+    scalars.emplace_back(std::move(name), v);
+  }
+  const std::vector<float>& array(const std::string& name) const {
+    for (const auto& [k, v] : arrays)
+      if (k == name) return v;
+    throw std::runtime_error("checkpoint blob missing array '" + name + "'");
+  }
+  double scalar(const std::string& name) const {
+    for (const auto& [k, v] : scalars)
+      if (k == name) return v;
+    throw std::runtime_error("checkpoint blob missing scalar '" + name + "'");
+  }
+  bool has_scalar(const std::string& name) const {
+    for (const auto& [k, v] : scalars) {
+      (void)v;
+      if (k == name) return true;
+    }
+    return false;
+  }
+};
+
+/// Full GP-loop state at an iteration boundary.
+struct RunCheckpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::string design;
+  std::uint64_t n_total = 0;    ///< cells incl. fillers (layout fingerprint)
+  std::uint64_t n_movable = 0;
+  std::int32_t optimizer_kind = 0;  ///< core::OptimizerKind value
+
+  std::int32_t next_iter = 0;   ///< first iteration the resumed loop executes
+  double gamma = 0.0;
+  double overflow = 1.0;
+  double best_hpwl = 1e300;
+  double hpwl = 0.0;            ///< HPWL at the captured iterate (snapshot rank)
+
+  StateBlob optimizer;
+  StateBlob scheduler;
+  StateBlob engine;
+};
+
+/// Captures the current loop state. `hpwl` ranks guardian snapshots; the
+/// loop scalars come from the caller since they live in run().
+RunCheckpoint capture_checkpoint(const db::Database& db, int optimizer_kind,
+                                 int next_iter, double gamma, double overflow,
+                                 double best_hpwl, double hpwl,
+                                 const Optimizer& opt, const Scheduler& sched,
+                                 const GradientEngine& engine);
+
+/// Restores a checkpoint into live components. Throws std::runtime_error when
+/// the checkpoint does not match the design/optimizer it is applied to.
+void restore_checkpoint(const RunCheckpoint& ck, const db::Database& db,
+                        int optimizer_kind, Optimizer& opt, Scheduler& sched,
+                        GradientEngine& engine);
+
+}  // namespace xplace::core

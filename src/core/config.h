@@ -57,6 +57,22 @@ struct PlacerConfig {
   double initial_step_bins = 0.10;   ///< first-step mean displacement, in bins
   double max_step_bins = 1.0;        ///< clamp per-iteration max displacement
 
+  // ---- run guardian (numeric sentinels + divergence recovery) ----------------
+  bool guardian = true;              ///< sentinels, snapshots, rollback-and-retune
+  int guardian_snapshot_period = 20; ///< min iterations between best-snapshots
+  int guardian_max_rollbacks = 3;    ///< retry budget before graceful stop
+  double guardian_lambda_shrink = 0.5;  ///< λ multiplier applied on rollback
+  double guardian_step_shrink = 0.5;    ///< restart-steplength multiplier
+  /// Sentinel spike trip: Σ|g| this iteration vs its EMA must stay below this
+  /// factor (injected/real blow-ups are many orders of magnitude).
+  double guardian_spike_ratio = 1e3;
+  double guardian_spike_ema = 0.25;  ///< EMA smoothing of the grad magnitude
+
+  // ---- checkpoint / resume ----------------------------------------------------
+  std::string checkpoint_out;  ///< periodic on-disk checkpoint path ("" = off)
+  int checkpoint_period = 100; ///< iterations between checkpoint writes
+  std::string resume_path;     ///< checkpoint to resume from ("" = fresh run)
+
   // ---- misc ---------------------------------------------------------------------
   std::uint64_t filler_seed = 1;
   std::uint64_t init_noise_seed = 2;

@@ -240,6 +240,31 @@ void GradientEngine::density_pass(const float* x, const float* y,
                      dgrad_y_.data());
 }
 
+void GradientEngine::save_state(StateBlob& out) const {
+  out.put_array("dgrad_x", dgrad_x_);
+  out.put_array("dgrad_y", dgrad_y_);
+  out.put_scalar("last_density_iter", static_cast<double>(last_density_iter_));
+  out.put_scalar("wl_grad_norm_cache", wl_grad_norm_cache_);
+  out.put_scalar("density_grad_norm_cache", density_grad_norm_cache_);
+  out.put_scalar("overflow_cache", overflow_cache_);
+  out.put_scalar("lambda_cache", lambda_cache_);
+}
+
+void GradientEngine::restore_state(const StateBlob& in) {
+  dgrad_x_ = in.array("dgrad_x");
+  dgrad_y_ = in.array("dgrad_y");
+  if (dgrad_x_.size() != n_total_) {
+    throw std::runtime_error("engine state has " +
+                             std::to_string(dgrad_x_.size()) +
+                             " cells, expected " + std::to_string(n_total_));
+  }
+  last_density_iter_ = static_cast<int>(in.scalar("last_density_iter"));
+  wl_grad_norm_cache_ = in.scalar("wl_grad_norm_cache");
+  density_grad_norm_cache_ = in.scalar("density_grad_norm_cache");
+  overflow_cache_ = in.scalar("overflow_cache");
+  lambda_cache_ = in.scalar("lambda_cache");
+}
+
 GradientResult GradientEngine::compute(const float* x, const float* y,
                                        float gamma, float lambda, int iter,
                                        double omega, float* grad_x,

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/config.h"
 #include "db/database.h"
 #include "ops/density.h"
@@ -79,6 +80,12 @@ class GradientEngine {
   /// Movable-cell density map D of the most recent compute() (for debugging
   /// and the NN training-data collector).
   const std::vector<double>& density_map() const { return dmap_; }
+
+  /// Operator-skipping cache state (cached density gradient + norms). It is
+  /// part of the trajectory: a resumed run must reuse exactly the cached
+  /// gradient the uninterrupted run would have, or the iterates drift.
+  void save_state(StateBlob& out) const;
+  void restore_state(const StateBlob& in);
 
  private:
   void wirelength_pass(const float* x, const float* y, float gamma,

@@ -1,0 +1,239 @@
+#include "core/guardian.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <stdexcept>
+
+#include "core/gradient_engine.h"
+#include "core/optimizer.h"
+#include "core/scheduler.h"
+#include "db/database.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace xplace::core {
+
+namespace {
+
+const char* kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kNonfiniteGrad: return "nonfinite_grad";
+    case FaultEvent::Kind::kSpike: return "spike";
+    case FaultEvent::Kind::kAllocFail: return "alloc_fail";
+  }
+  return "?";
+}
+
+telemetry::Counter& guardian_counter(const char* name) {
+  return telemetry::Registry::global().counter(name);
+}
+
+}  // namespace
+
+// ---------------- FaultPlan ----------------
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+
+    const std::size_t at = item.find("@iter:");
+    if (at == std::string::npos) {
+      throw std::invalid_argument("fault '" + item +
+                                  "': expected kind@iter:N");
+    }
+    const std::string kind = item.substr(0, at);
+    const std::string num = item.substr(at + 6);
+    FaultEvent ev;
+    if (kind == "nonfinite_grad") {
+      ev.kind = FaultEvent::Kind::kNonfiniteGrad;
+    } else if (kind == "spike") {
+      ev.kind = FaultEvent::Kind::kSpike;
+    } else if (kind == "alloc_fail") {
+      ev.kind = FaultEvent::Kind::kAllocFail;
+    } else {
+      throw std::invalid_argument(
+          "fault kind '" + kind +
+          "': expected nonfinite_grad, spike or alloc_fail");
+    }
+    try {
+      std::size_t end = 0;
+      ev.iter = std::stoi(num, &end);
+      if (end != num.size() || ev.iter < 0) throw std::invalid_argument(num);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("fault '" + item +
+                                  "': iteration must be a non-negative integer");
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("XPLACE_FAULT");
+  return spec != nullptr ? parse(spec) : FaultPlan{};
+}
+
+// ---------------- Guardian ----------------
+
+Guardian::Guardian(const PlacerConfig& cfg, const db::Database& db)
+    : cfg_(cfg),
+      db_(db),
+      optimizer_kind_(static_cast<int>(cfg.optimizer)),
+      plan_(FaultPlan::from_env()) {
+  fired_.assign(plan_.events.size(), false);
+  if (!plan_.empty()) {
+    XP_WARN("[%s] fault injection armed: %zu scheduled fault(s) from XPLACE_FAULT",
+            db_.design_name().c_str(), plan_.events.size());
+  }
+}
+
+void Guardian::set_fault_plan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  fired_.assign(plan_.events.size(), false);
+}
+
+bool Guardian::maybe_inject(int iter, float* grad_x, float* grad_y,
+                            std::size_t n) {
+  bool any = false;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    if (fired_[i] || plan_.events[i].iter != iter) continue;
+    fired_[i] = true;
+    any = true;
+    ++faults_injected_;
+    guardian_counter("guardian.faults_injected").inc();
+    XP_WARN("[%s] injecting fault %s at iter %d",
+            db_.design_name().c_str(), kind_name(plan_.events[i].kind), iter);
+    switch (plan_.events[i].kind) {
+      case FaultEvent::Kind::kNonfiniteGrad:
+        // Poison a sparse subset plus the first entry — the pattern a single
+        // corrupted kernel launch would leave behind.
+        if (n > 0) grad_x[0] = std::numeric_limits<float>::infinity();
+        for (std::size_t c = 0; c < n; c += 97) {
+          grad_y[c] = std::numeric_limits<float>::quiet_NaN();
+        }
+        break;
+      case FaultEvent::Kind::kSpike:
+        for (std::size_t c = 0; c < n; ++c) {
+          grad_x[c] *= 1e6f;
+          grad_y[c] *= 1e6f;
+        }
+        break;
+      case FaultEvent::Kind::kAllocFail:
+        alloc_fail_armed_ = true;
+        break;
+    }
+  }
+  return any;
+}
+
+SentinelHealth Guardian::inspect(const float* grad_x, const float* grad_y,
+                                 std::size_t n, double hpwl) {
+  const tensor::FiniteStats st = tensor::finite_stats(grad_x, grad_y, n);
+  SentinelHealth health = SentinelHealth::kOk;
+  if (st.nonfinite > 0 || !std::isfinite(hpwl)) {
+    health = SentinelHealth::kNonFinite;
+  } else if (ema_init_ && st.abs_sum >
+                              cfg_.guardian_spike_ratio *
+                                  std::max(grad_mag_ema_, 1e-30)) {
+    health = SentinelHealth::kSpike;
+  }
+  if (health == SentinelHealth::kOk) {
+    if (ema_init_) {
+      grad_mag_ema_ += cfg_.guardian_spike_ema * (st.abs_sum - grad_mag_ema_);
+    } else {
+      grad_mag_ema_ = st.abs_sum;
+      ema_init_ = true;
+    }
+  } else {
+    ++sentinel_trips_;
+    guardian_counter("guardian.sentinel_trips").inc();
+  }
+  return health;
+}
+
+bool Guardian::should_snapshot(int iter, double overflow) const {
+  if (!snapshot_.has_value()) return true;
+  return overflow < snapshot_->overflow &&
+         iter - last_snapshot_iter_ >= cfg_.guardian_snapshot_period;
+}
+
+void Guardian::snapshot(const db::Database& db, int next_iter, double gamma,
+                        double overflow, double best_hpwl, double hpwl,
+                        const Optimizer& opt, const Scheduler& sched,
+                        const GradientEngine& engine) {
+  XP_TRACE_SCOPE("guardian.snapshot");
+  if (alloc_fail_armed_) {
+    // Injected allocation failure: behave exactly as the bad_alloc path.
+    alloc_fail_armed_ = false;
+    guardian_counter("guardian.snapshot_alloc_failures").inc();
+    XP_WARN("[%s] snapshot allocation failed (injected); keeping previous snapshot",
+            db_.design_name().c_str());
+    return;
+  }
+  try {
+    snapshot_ = capture_checkpoint(db, optimizer_kind_, next_iter, gamma,
+                                   overflow, best_hpwl, hpwl, opt, sched,
+                                   engine);
+  } catch (const std::bad_alloc&) {
+    guardian_counter("guardian.snapshot_alloc_failures").inc();
+    XP_WARN("[%s] snapshot allocation failed; keeping previous snapshot",
+            db_.design_name().c_str());
+    return;
+  }
+  last_snapshot_iter_ = next_iter - 1;
+  guardian_counter("guardian.snapshots").inc();
+}
+
+bool Guardian::rollback(const std::string& reason, Optimizer& opt,
+                        Scheduler& sched, GradientEngine& engine,
+                        double* gamma, double* overflow) {
+  XP_TRACE_SCOPE("guardian.rollback");
+  ++rollbacks_;
+  guardian_counter("guardian.rollbacks").inc();
+  if (snapshot_.has_value()) {
+    restore_checkpoint(*snapshot_, db_, optimizer_kind_, opt, sched, engine);
+    *gamma = snapshot_->gamma;
+    *overflow = snapshot_->overflow;
+  }
+  // Retune: densify and step less aggressively than the schedule that broke.
+  // restore_checkpoint rewound λ and the steplength to the snapshot's values,
+  // so compound the shrink by the retry count — each retry is gentler than
+  // the one that failed, instead of replaying the identical trajectory.
+  const double lambda_shrink =
+      std::pow(cfg_.guardian_lambda_shrink, rollbacks_);
+  const double step_shrink = std::pow(cfg_.guardian_step_shrink, rollbacks_);
+  sched.scale_lambda(lambda_shrink);
+  opt.retune(step_shrink);
+  ema_init_ = false;  // magnitude baseline is invalid across a retune
+  if (rollbacks_ > cfg_.guardian_max_rollbacks) {
+    guardian_counter("guardian.retries_exhausted").inc();
+    XP_WARN("[%s] %s: retry budget (%d) exhausted; stopping at best-known iterate",
+            db_.design_name().c_str(), reason.c_str(),
+            cfg_.guardian_max_rollbacks);
+    return false;
+  }
+  XP_WARN("[%s] %s: rolled back to best snapshot (hpwl %.6g), lambda x%.2g, step x%.2g (retry %d/%d)",
+          db_.design_name().c_str(), reason.c_str(),
+          snapshot_.has_value() ? snapshot_->hpwl : 0.0, lambda_shrink,
+          step_shrink, rollbacks_, cfg_.guardian_max_rollbacks);
+  return true;
+}
+
+bool Guardian::restore_best(Optimizer& opt, Scheduler& sched,
+                            GradientEngine& engine) {
+  if (!snapshot_.has_value()) return false;
+  restore_checkpoint(*snapshot_, db_, optimizer_kind_, opt, sched, engine);
+  return true;
+}
+
+}  // namespace xplace::core

@@ -1,0 +1,141 @@
+// Run guardian: numeric sentinels, best-iterate snapshots, and
+// rollback-and-retune divergence recovery for the GP loop.
+//
+// The paper's operator optimizations strip the safety nets a stock framework
+// provides (autograd sanity, framework-level NaN propagation checks), so the
+// guardian reintroduces them at negligible cost:
+//
+//   * Sentinels — one fused finite-check + magnitude reduce over the gradient
+//     pair each iteration (tensor::finite_stats, a single launch) classifies
+//     health as OK / SPIKE / NONFINITE. A spike is a gradient magnitude that
+//     jumps orders of magnitude above its running average.
+//   * Snapshots — the best-known iterate (optimizer state + scheduler λ/γ +
+//     engine caches) is captured as a RunCheckpoint, throttled to every
+//     `guardian_snapshot_period` iterations. "Best" is ranked by overflow:
+//     in a healthy run HPWL *grows* from the collapsed center init while
+//     overflow falls monotonically, so overflow is the progress metric, and
+//     a diverging run (rising overflow) stops refreshing automatically.
+//   * Rollback-and-retune — on a sentinel trip or HPWL divergence the loop
+//     restores the best snapshot, shrinks λ and the optimizer steplength, and
+//     continues. A bounded retry budget guards against livelock; when it is
+//     exhausted the run stops gracefully at the best-known iterate.
+//   * Fault injection — XPLACE_FAULT=kind@iter:N[,kind@iter:M...] (kinds:
+//     nonfinite_grad, spike, alloc_fail) deterministically exercises every
+//     recovery path; tests drive the same hook programmatically.
+//
+// All guardian events are counted in telemetry::Registry::global()
+// (guardian.*) and emitted as trace spans.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/config.h"
+
+namespace xplace::db {
+class Database;
+}
+
+namespace xplace::core {
+
+class Optimizer;
+class Scheduler;
+class GradientEngine;
+
+enum class SentinelHealth { kOk, kSpike, kNonFinite };
+
+/// One scheduled fault. `iter` is the GP iteration it fires at (once).
+struct FaultEvent {
+  enum class Kind { kNonfiniteGrad, kSpike, kAllocFail };
+  Kind kind = Kind::kNonfiniteGrad;
+  int iter = 0;
+};
+
+/// Deterministic fault schedule. Grammar (also via the XPLACE_FAULT env var):
+///   plan  := event (',' event)*
+///   event := kind '@iter:' N        with kind in
+///            { nonfinite_grad | spike | alloc_fail }
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Parses the grammar above; throws std::invalid_argument on bad specs.
+  static FaultPlan parse(const std::string& spec);
+  /// Plan from XPLACE_FAULT (empty plan when the variable is unset).
+  static FaultPlan from_env();
+};
+
+class Guardian {
+ public:
+  /// `db` must outlive the guardian (snapshot fingerprint checks). Reads
+  /// XPLACE_FAULT for the default fault plan.
+  Guardian(const PlacerConfig& cfg, const db::Database& db);
+
+  /// Replaces the fault plan (tests drive recovery paths through this).
+  void set_fault_plan(FaultPlan plan);
+
+  /// Applies any fault scheduled for `iter` to the gradient buffers (before
+  /// the sentinel scan, mimicking a kernel that produced garbage). Returns
+  /// true when a fault fired.
+  bool maybe_inject(int iter, float* grad_x, float* grad_y, std::size_t n);
+
+  /// Sentinel scan over the gradient pair + the iteration HPWL (one launch).
+  SentinelHealth inspect(const float* grad_x, const float* grad_y,
+                         std::size_t n, double hpwl);
+
+  /// True when the best-iterate snapshot should be refreshed: no snapshot
+  /// yet, or a better (lower) overflow at least `guardian_snapshot_period`
+  /// iterations after the previous capture.
+  bool should_snapshot(int iter, double overflow) const;
+
+  /// Captures the full loop state as the best-iterate snapshot. Allocation
+  /// failure (real or injected) is absorbed: the previous snapshot survives.
+  void snapshot(const db::Database& db, int next_iter, double gamma,
+                double overflow, double best_hpwl, double hpwl,
+                const Optimizer& opt, const Scheduler& sched,
+                const GradientEngine& engine);
+
+  bool has_snapshot() const { return snapshot_.has_value(); }
+  const RunCheckpoint& best() const { return *snapshot_; }
+
+  /// Rollback-and-retune: restores the best snapshot (when one exists) into
+  /// the live components, shrinks λ and the optimizer steplength, and resets
+  /// the sentinel baseline. `gamma`/`overflow` are rewound to the snapshot's
+  /// values. Returns false when the retry budget is exhausted — the caller
+  /// must stop gracefully (state is already at the best-known iterate).
+  bool rollback(const std::string& reason, Optimizer& opt, Scheduler& sched,
+                GradientEngine& engine, double* gamma, double* overflow);
+
+  /// Restores the best snapshot without retuning (final-commit path after a
+  /// divergent stop). Returns false when no snapshot exists.
+  bool restore_best(Optimizer& opt, Scheduler& sched, GradientEngine& engine);
+
+  int rollbacks() const { return rollbacks_; }
+  int sentinel_trips() const { return sentinel_trips_; }
+  int faults_injected() const { return faults_injected_; }
+
+ private:
+  PlacerConfig cfg_;
+  const db::Database& db_;
+  int optimizer_kind_;
+
+  FaultPlan plan_;
+  std::vector<bool> fired_;
+  bool alloc_fail_armed_ = false;
+
+  std::optional<RunCheckpoint> snapshot_;
+  int last_snapshot_iter_ = -1;
+
+  double grad_mag_ema_ = 0.0;
+  bool ema_init_ = false;
+
+  int rollbacks_ = 0;
+  int sentinel_trips_ = 0;
+  int faults_injected_ = 0;
+};
+
+}  // namespace xplace::core

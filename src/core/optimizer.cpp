@@ -188,6 +188,53 @@ void NesterovOptimizer::step(const float* grad_x, const float* grad_y) {
   });
 }
 
+void NesterovOptimizer::save_state(StateBlob& out) const {
+  out.put_array("u_x", u_x_);
+  out.put_array("u_y", u_y_);
+  out.put_array("v_x", v_x_);
+  out.put_array("v_y", v_y_);
+  out.put_array("v_prev_x", v_prev_x_);
+  out.put_array("v_prev_y", v_prev_y_);
+  out.put_array("g_prev_x", g_prev_x_);
+  out.put_array("g_prev_y", g_prev_y_);
+  out.put_scalar("a_k", a_k_);
+  out.put_scalar("first", first_ ? 1.0 : 0.0);
+  out.put_scalar("initial_step", initial_step_);
+  out.put_scalar("max_step", max_step_);
+}
+
+void NesterovOptimizer::restore_state(const StateBlob& in) {
+  u_x_ = in.array("u_x");
+  u_y_ = in.array("u_y");
+  v_x_ = in.array("v_x");
+  v_y_ = in.array("v_y");
+  v_prev_x_ = in.array("v_prev_x");
+  v_prev_y_ = in.array("v_prev_y");
+  g_prev_x_ = in.array("g_prev_x");
+  g_prev_y_ = in.array("g_prev_y");
+  a_k_ = in.scalar("a_k");
+  first_ = in.scalar("first") != 0.0;
+  initial_step_ = in.scalar("initial_step");
+  max_step_ = in.scalar("max_step");
+  if (u_x_.size() != n_total_) {
+    throw std::runtime_error("optimizer state has " +
+                             std::to_string(u_x_.size()) + " cells, expected " +
+                             std::to_string(n_total_));
+  }
+}
+
+void NesterovOptimizer::retune(double scale) {
+  // Shrink only the restart step: the Lipschitz estimate re-derives the
+  // working steplength within a few iterations, so permanently tightening
+  // max_step_ would slow the whole remaining run, not just the retry.
+  initial_step_ *= scale;
+  // Reset the momentum sequence and the Lipschitz history: the restored
+  // iterate restarts as a fresh (smaller) first step instead of inheriting
+  // the velocity that diverged.
+  a_k_ = 1.0;
+  first_ = true;
+}
+
 // ---------------- Adam ----------------
 
 AdamOptimizer::AdamOptimizer(const db::Database& db, const PlacerConfig& cfg,
@@ -230,6 +277,40 @@ void AdamOptimizer::step(const float* grad_x, const float* grad_y) {
                          min_y_[c], max_y_[c]);
     }
   });
+}
+
+void AdamOptimizer::save_state(StateBlob& out) const {
+  out.put_array("x", x_);
+  out.put_array("y", y_);
+  out.put_array("m_x", m_x_);
+  out.put_array("m_y", m_y_);
+  out.put_array("v2_x", v2_x_);
+  out.put_array("v2_y", v2_y_);
+  out.put_scalar("t", static_cast<double>(t_));
+  out.put_scalar("lr", lr_);
+}
+
+void AdamOptimizer::restore_state(const StateBlob& in) {
+  x_ = in.array("x");
+  y_ = in.array("y");
+  m_x_ = in.array("m_x");
+  m_y_ = in.array("m_y");
+  v2_x_ = in.array("v2_x");
+  v2_y_ = in.array("v2_y");
+  t_ = static_cast<long>(in.scalar("t"));
+  lr_ = in.scalar("lr");
+  if (x_.size() != n_total_) {
+    throw std::runtime_error("optimizer state has " +
+                             std::to_string(x_.size()) + " cells, expected " +
+                             std::to_string(n_total_));
+  }
+}
+
+void AdamOptimizer::retune(double scale) {
+  lr_ *= scale;
+  // Drop the first moment: the accumulated direction is what diverged.
+  std::fill(m_x_.begin(), m_x_.end(), 0.0f);
+  std::fill(m_y_.begin(), m_y_.end(), 0.0f);
 }
 
 }  // namespace xplace::core

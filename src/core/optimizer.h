@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/config.h"
 #include "db/database.h"
 
@@ -61,6 +62,17 @@ class Optimizer {
   /// Best-known solution positions (for Nesterov, the major iterate u_k).
   virtual const float* solution_x() const = 0;
   virtual const float* solution_y() const = 0;
+
+  /// Full trajectory state (iterates + steplength bookkeeping) for the run
+  /// guardian's snapshots and the on-disk checkpoint. restore_state() with a
+  /// blob from save_state() reproduces the trajectory bit-for-bit.
+  virtual void save_state(StateBlob& out) const = 0;
+  virtual void restore_state(const StateBlob& in) = 0;
+
+  /// Post-rollback retune: shrink the steplength bounds by `scale` and reset
+  /// momentum, so the retried trajectory is more conservative than the one
+  /// that diverged.
+  virtual void retune(double scale) = 0;
 };
 
 class NesterovOptimizer : public Optimizer {
@@ -73,6 +85,9 @@ class NesterovOptimizer : public Optimizer {
   const float* query_y() const override { return v_y_.data(); }
   const float* solution_x() const override { return u_x_.data(); }
   const float* solution_y() const override { return u_y_.data(); }
+  void save_state(StateBlob& out) const override;
+  void restore_state(const StateBlob& in) override;
+  void retune(double scale) override;
 
  private:
   void clamp(std::vector<float>& x, std::vector<float>& y) const;
@@ -102,6 +117,9 @@ class AdamOptimizer : public Optimizer {
   const float* query_y() const override { return y_.data(); }
   const float* solution_x() const override { return x_.data(); }
   const float* solution_y() const override { return y_.data(); }
+  void save_state(StateBlob& out) const override;
+  void restore_state(const StateBlob& in) override;
+  void retune(double scale) override;
 
  private:
   const db::Database& db_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checkpoint.h"
+#include "io/checkpoint_io.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "tensor/dispatch.h"
@@ -48,6 +50,7 @@ GlobalPlacer::GlobalPlacer(db::Database& db, const PlacerConfig& cfg)
   } else {
     optimizer_ = std::make_unique<AdamOptimizer>(db_, cfg_, cfg_.grid_dim);
   }
+  guardian_ = std::make_unique<Guardian>(cfg_, db_);
 }
 
 GlobalPlacer::~GlobalPlacer() = default;
@@ -94,8 +97,26 @@ GlobalPlaceResult GlobalPlacer::run() {
   double best_hpwl = 1e300;
   double gamma = scheduler_->gamma(1.0);
   double overflow = 1.0;
+  int start_iter = 0;
 
-  for (int iter = 0; iter < cfg_.max_iters; ++iter) {
+  if (!cfg_.resume_path.empty()) {
+    // Full resume: the checkpoint carries the optimizer iterates, scheduler
+    // λ state, and engine caches, so the continued trajectory is bit-for-bit
+    // the one the interrupted run would have produced.
+    const RunCheckpoint ck = io::read_checkpoint(cfg_.resume_path);
+    restore_checkpoint(ck, db_, static_cast<int>(cfg_.optimizer), *optimizer_,
+                       *scheduler_, *engine_);
+    start_iter = ck.next_iter;
+    gamma = ck.gamma;
+    overflow = ck.overflow;
+    best_hpwl = ck.best_hpwl;
+    telemetry::Registry::global().counter("gp.resumes").inc();
+    XP_INFO("[%s] resumed from %s at iter %d (hpwl %.6g, ovfl %.4f)",
+            db_.design_name().c_str(), cfg_.resume_path.c_str(), start_iter,
+            ck.hpwl, overflow);
+  }
+
+  for (int iter = start_iter; iter < cfg_.max_iters; ++iter) {
     telemetry::TraceScope iter_span("gp.iter");
     Stopwatch iter_watch;
     const double lambda = scheduler_->lambda();
@@ -104,6 +125,37 @@ GlobalPlaceResult GlobalPlacer::run() {
     GradientResult g = engine_->compute(
         optimizer_->query_x(), optimizer_->query_y(), static_cast<float>(gamma),
         static_cast<float>(lambda), iter, omega, grad_x.data(), grad_y.data());
+
+    // Guardian gate: inject any scheduled fault, then scan the gradients and
+    // HPWL *before* the iterate advances, so a poisoned step never lands.
+    if (cfg_.guardian) {
+      guardian_->maybe_inject(iter, grad_x.data(), grad_y.data(), n);
+      const SentinelHealth health =
+          guardian_->inspect(grad_x.data(), grad_y.data(), n, g.hpwl);
+      const bool hpwl_diverged =
+          iter > 100 && g.hpwl > best_hpwl * cfg_.divergence_hpwl_ratio;
+      if (health != SentinelHealth::kOk || hpwl_diverged) {
+        const char* reason = health == SentinelHealth::kNonFinite
+                                 ? "non-finite gradients/HPWL"
+                                 : (health == SentinelHealth::kSpike
+                                        ? "gradient-magnitude spike"
+                                        : "HPWL divergence");
+        result.iterations = iter + 1;
+        if (!guardian_->rollback(reason, *optimizer_, *scheduler_, *engine_,
+                                 &gamma, &overflow)) {
+          result.diverged = true;
+          break;
+        }
+        continue;  // retry from the restored best iterate
+      }
+    } else if (iter > 100 &&
+               g.hpwl > best_hpwl * cfg_.divergence_hpwl_ratio) {
+      XP_WARN("[%s] divergence detected at iter %d (hpwl %.4g vs best %.4g)",
+              db_.design_name().c_str(), iter, g.hpwl, best_hpwl);
+      result.iterations = iter + 1;
+      result.diverged = true;
+      break;
+    }
 
     if (!scheduler_->lambda_initialized()) {
       scheduler_->init_lambda(g.wl_grad_norm, g.density_grad_norm, g.hpwl);
@@ -152,15 +204,39 @@ GlobalPlaceResult GlobalPlacer::run() {
 
     best_hpwl = std::min(best_hpwl, g.hpwl);
     result.iterations = iter + 1;
+
+    if (cfg_.guardian && guardian_->should_snapshot(iter, overflow)) {
+      guardian_->snapshot(db_, iter + 1, gamma, overflow, best_hpwl, g.hpwl,
+                          *optimizer_, *scheduler_, *engine_);
+    }
+    if (!cfg_.checkpoint_out.empty() && cfg_.checkpoint_period > 0 &&
+        (iter + 1) % cfg_.checkpoint_period == 0) {
+      XP_TRACE_SCOPE("gp.checkpoint_write");
+      io::write_checkpoint(
+          capture_checkpoint(db_, static_cast<int>(cfg_.optimizer), iter + 1,
+                             gamma, overflow, best_hpwl, g.hpwl, *optimizer_,
+                             *scheduler_, *engine_),
+          cfg_.checkpoint_out);
+      telemetry::Registry::global().counter("gp.checkpoints_written").inc();
+    }
+
     if (iter >= cfg_.min_iters && overflow < cfg_.stop_overflow) {
       result.converged = true;
       break;
     }
-    if (g.hpwl > best_hpwl * cfg_.divergence_hpwl_ratio && iter > 100) {
-      XP_WARN("[%s] divergence detected at iter %d (hpwl %.4g vs best %.4g)",
-              db_.design_name().c_str(), iter, g.hpwl, best_hpwl);
-      break;
-    }
+  }
+
+  result.rollbacks = guardian_->rollbacks();
+  result.sentinel_trips = guardian_->sentinel_trips();
+
+  // On a divergent stop, commit the best-known snapshot instead of the
+  // diverged iterate (losing a few iterations of progress beats emitting a
+  // garbage placement).
+  if (result.diverged && guardian_->restore_best(*optimizer_, *scheduler_,
+                                                 *engine_)) {
+    XP_WARN("[%s] committing best snapshot (hpwl %.6g) after divergent stop",
+            db_.design_name().c_str(), guardian_->best().hpwl);
+    overflow = guardian_->best().overflow;
   }
 
   // Commit the major iterate back to the database (movable cells only;
@@ -191,6 +267,7 @@ GlobalPlaceResult GlobalPlacer::run() {
   reg.gauge("gp.seconds").set(result.gp_seconds);
   reg.counter("gp.runs").inc();
   reg.counter("gp.kernel_launches").inc(result.kernel_launches);
+  if (result.diverged) reg.counter("gp.diverged_runs").inc();
 
   XP_INFO("[%s] GP done: %d iters, hpwl %.6g, ovfl %.4f, %.2fs (%.2f ms/iter), %llu launches",
           db_.design_name().c_str(), result.iterations, result.hpwl,

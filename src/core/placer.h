@@ -16,6 +16,7 @@
 
 #include "core/config.h"
 #include "core/gradient_engine.h"
+#include "core/guardian.h"
 #include "core/optimizer.h"
 #include "core/recorder.h"
 #include "core/scheduler.h"
@@ -31,6 +32,10 @@ struct GlobalPlaceResult {
   double avg_iter_ms = 0.0;
   bool converged = false;     ///< stop_overflow reached (vs iteration cap)
   std::uint64_t kernel_launches = 0;  ///< dispatcher launches in the loop
+  // Run-guardian outcome.
+  bool diverged = false;      ///< stopped on divergence; best snapshot committed
+  int rollbacks = 0;          ///< rollback-and-retune recoveries performed
+  int sentinel_trips = 0;     ///< NONFINITE/SPIKE sentinel classifications
 };
 
 class GlobalPlacer {
@@ -46,6 +51,9 @@ class GlobalPlacer {
 
   const Recorder& recorder() const { return recorder_; }
   const GradientEngine& engine() const { return *engine_; }
+  /// Run guardian (sentinels, snapshots, rollback, fault injection). Tests
+  /// arm fault plans through this before run().
+  Guardian& guardian() { return *guardian_; }
 
  private:
   void init_positions();
@@ -56,6 +64,7 @@ class GlobalPlacer {
   std::unique_ptr<Preconditioner> precond_;
   std::unique_ptr<Optimizer> optimizer_;
   std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<Guardian> guardian_;
   Recorder recorder_;
 };
 

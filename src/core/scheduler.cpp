@@ -48,4 +48,20 @@ bool Scheduler::maybe_update(int iter, double hpwl, double omega) {
   return true;
 }
 
+void Scheduler::save_state(StateBlob& out) const {
+  out.put_scalar("lambda", lambda_);
+  out.put_scalar("lambda_init", lambda_init_ ? 1.0 : 0.0);
+  out.put_scalar("prev_hpwl", prev_hpwl_);
+  out.put_scalar("hpwl_ref", hpwl_ref_);
+  out.put_scalar("iters_since_update", static_cast<double>(iters_since_update_));
+}
+
+void Scheduler::restore_state(const StateBlob& in) {
+  lambda_ = in.scalar("lambda");
+  lambda_init_ = in.scalar("lambda_init") != 0.0;
+  prev_hpwl_ = in.scalar("prev_hpwl");
+  hpwl_ref_ = in.scalar("hpwl_ref");
+  iters_since_update_ = static_cast<int>(in.scalar("iters_since_update"));
+}
+
 }  // namespace xplace::core

@@ -11,6 +11,7 @@
 //   but only every `stage_update_period` iterations in between.
 #pragma once
 
+#include "core/checkpoint.h"
 #include "core/config.h"
 
 namespace xplace::core {
@@ -33,6 +34,14 @@ class Scheduler {
 
   double lambda() const { return lambda_; }
   bool lambda_initialized() const { return lambda_init_; }
+
+  /// Post-rollback retune: shrink λ so the retried densification pushes less
+  /// hard than the schedule that diverged.
+  void scale_lambda(double factor) { lambda_ *= factor; }
+
+  /// λ/γ schedule state for the run guardian and the on-disk checkpoint.
+  void save_state(StateBlob& out) const;
+  void restore_state(const StateBlob& in);
 
  private:
   PlacerConfig cfg_;

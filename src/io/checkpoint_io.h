@@ -1,0 +1,34 @@
+// On-disk GP checkpoint format (versioned, checksummed binary).
+//
+// Layout (little-endian, no padding):
+//   u32 magic 0x4B435058 ("XPCK") | u32 version
+//   str design | u64 n_total | u64 n_movable
+//   i32 optimizer_kind | i32 next_iter
+//   f64 gamma | f64 overflow | f64 best_hpwl | f64 hpwl
+//   blob optimizer | blob scheduler | blob engine
+//   u64 FNV-1a checksum of everything above
+// where str = u32 length + bytes, and blob = u32 array count, per array
+// (str name, u64 count, f32[count]), then u32 scalar count, per scalar
+// (str name, f64).
+//
+// Writes are atomic: the payload lands in `<path>.tmp` and is renamed over
+// `path`, so a run killed mid-write never leaves a torn checkpoint behind.
+// Readers verify magic, version, checksum and structural bounds, and throw
+// std::runtime_error with a `path: message` diagnostic on any mismatch.
+#pragma once
+
+#include <string>
+
+#include "core/checkpoint.h"
+
+namespace xplace::io {
+
+/// Serializes `ck` to `path` atomically. Throws std::runtime_error on I/O
+/// failure.
+void write_checkpoint(const core::RunCheckpoint& ck, const std::string& path);
+
+/// Loads and validates a checkpoint. Throws std::runtime_error on missing /
+/// truncated / corrupted / version-mismatched files.
+core::RunCheckpoint read_checkpoint(const std::string& path);
+
+}  // namespace xplace::io

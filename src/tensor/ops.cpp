@@ -173,6 +173,31 @@ float min_value(const Tensor& a) {
   return m;
 }
 
+FiniteStats finite_stats(const float* a, const float* b, std::size_t n) {
+  FiniteStats st;
+  disp().run("finite_stats", [&] {
+    std::size_t bad = 0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a != nullptr) {
+        const float v = a[i];
+        if (std::isfinite(v)) acc += std::fabs(v); else ++bad;
+      }
+      if (b != nullptr) {
+        const float v = b[i];
+        if (std::isfinite(v)) acc += std::fabs(v); else ++bad;
+      }
+    }
+    st.nonfinite = bad;
+    st.abs_sum = acc;
+  });
+  return st;
+}
+
+bool all_finite(const Tensor& a) {
+  return finite_stats(a.data(), nullptr, a.numel()).nonfinite == 0;
+}
+
 float dot(const Tensor& a, const Tensor& b) {
   assert(a.numel() == b.numel());
   double acc = 0.0;

@@ -43,4 +43,20 @@ float max_value(const Tensor& a);
 float min_value(const Tensor& a);
 float dot(const Tensor& a, const Tensor& b);
 
+// ---- numeric sentinels (run-guardian support) ---------------------------
+/// Result of one fused sentinel scan: how many entries are NaN/Inf, and the
+/// Σ|aᵢ| magnitude of the finite ones (used for spike detection).
+struct FiniteStats {
+  std::size_t nonfinite = 0;
+  double abs_sum = 0.0;
+};
+
+/// Fused finite-check + magnitude reduce over two parallel buffers (e.g. the
+/// x/y gradient pair) in ONE launch — cheap enough to run every GP iteration.
+/// Either pointer may be null (scans only the other).
+FiniteStats finite_stats(const float* a, const float* b, std::size_t n);
+
+/// Tensor-level finite check (one launch).
+bool all_finite(const Tensor& a);
+
 }  // namespace xplace::tensor

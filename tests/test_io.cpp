@@ -233,6 +233,103 @@ TEST(Bookshelf, UnknownCellInNetThrows) {
   EXPECT_THROW(read_bookshelf_aux(tmp.path() + "/bad.aux"), std::runtime_error);
 }
 
+// ---------------- parser negative paths (diagnostics) ----------------
+//
+// Every malformed input must fail with a `path:line: message` diagnostic (or
+// `path: message` for file-level count checks) — never a crash or a silently
+// half-parsed database.
+
+std::string write_design(const TempDir& tmp, const std::string& nodes,
+                         const std::string& nets,
+                         const std::string& pl = "UCLA pl 1.0\no1 0 0 : N\n") {
+  std::ofstream(tmp.path() + "/bad.aux")
+      << "RowBasedPlacement : bad.nodes bad.nets bad.wts bad.pl bad.scl\n";
+  std::ofstream(tmp.path() + "/bad.nodes") << nodes;
+  std::ofstream(tmp.path() + "/bad.nets") << nets;
+  std::ofstream(tmp.path() + "/bad.pl") << pl;
+  std::ofstream(tmp.path() + "/bad.scl") << "";
+  return tmp.path() + "/bad.aux";
+}
+
+const std::string kGoodNodes =
+    "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n o1 2 2\n";
+const std::string kGoodNets = "UCLA nets 1.0\nNumNets : 0\n";
+
+void expect_diag(const std::string& aux, const std::string& needle) {
+  try {
+    read_bookshelf_aux(aux);
+    FAIL() << "expected parse error containing '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+TEST(BookshelfDiag, TruncatedNetsReportsEofWithLine) {
+  TempDir tmp;
+  // NetDegree promises 2 pins but the file ends after 1.
+  const std::string aux = write_design(
+      tmp, kGoodNodes,
+      "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\n"
+      " o1 I : 0 0\n");
+  expect_diag(aux, "bad.nets:5: unexpected EOF inside net");
+}
+
+TEST(BookshelfDiag, NumNodesMismatchNamesBothCounts) {
+  TempDir tmp;
+  const std::string aux = write_design(
+      tmp, "UCLA nodes 1.0\nNumNodes : 3\nNumTerminals : 0\n o1 2 2\n",
+      kGoodNets);
+  expect_diag(aux, "bad.nodes: NumNodes=3 but 1 nodes found");
+}
+
+TEST(BookshelfDiag, NumNetsMismatchReported) {
+  TempDir tmp;
+  const std::string aux = write_design(
+      tmp, kGoodNodes,
+      "UCLA nets 1.0\nNumNets : 5\nNumPins : 2\nNetDegree : 2 n0\n"
+      " o1 I : 0 0\n o1 I : 1 1\n");
+  expect_diag(aux, "bad.nets: NumNets mismatch");
+}
+
+TEST(BookshelfDiag, NonNumericNodeFieldWithLine) {
+  TempDir tmp;
+  const std::string aux = write_design(
+      tmp, "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n o1 ww 2\n",
+      kGoodNets);
+  expect_diag(aux, "bad.nodes:4: expected a number, got 'ww'");
+}
+
+TEST(BookshelfDiag, MalformedPinLineWithLine) {
+  TempDir tmp;
+  // 4 tokens: neither the 2/3-token short form nor the 5-token offset form.
+  const std::string aux = write_design(
+      tmp, kGoodNodes,
+      "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\n"
+      " o1 I : 0\n o1 I : 0 0\n");
+  expect_diag(aux, "bad.nets:5: malformed pin line");
+}
+
+TEST(BookshelfDiag, UnexpectedTokenInNetsWithLine) {
+  TempDir tmp;
+  const std::string aux = write_design(
+      tmp, kGoodNodes, "UCLA nets 1.0\nNumNets : 0\nGarbageToken here\n");
+  expect_diag(aux, "bad.nets:3: unexpected token 'GarbageToken'");
+}
+
+TEST(BookshelfDiag, EmptyAuxReported) {
+  TempDir tmp;
+  std::ofstream(tmp.path() + "/bad.aux") << "";
+  expect_diag(tmp.path() + "/bad.aux", "empty aux file");
+}
+
+TEST(BookshelfDiag, NodeLineTooShortWithLine) {
+  TempDir tmp;
+  const std::string aux = write_design(
+      tmp, "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n o1\n", kGoodNets);
+  expect_diag(aux, "bad.nodes:4: node line needs 'name width height'");
+}
+
 TEST(Bookshelf, FixedFlagInPlMakesCellFixed) {
   TempDir tmp;
   std::ofstream(tmp.path() + "/d.aux")

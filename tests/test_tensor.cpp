@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "tensor/dispatch.h"
@@ -79,6 +80,41 @@ TEST(TensorOps, Reductions) {
   EXPECT_FLOAT_EQ(max_value(a), 4.0f);
   EXPECT_FLOAT_EQ(min_value(a), -3.0f);
   EXPECT_FLOAT_EQ(dot(a, a), 30.0f);
+}
+
+TEST(TensorOps, FiniteStatsCountsAndSums) {
+  std::vector<float> a = {1.0f, -2.0f, 3.0f};
+  std::vector<float> b = {-4.0f, 5.0f, -6.0f};
+  FiniteStats st = finite_stats(a.data(), b.data(), 3);
+  EXPECT_EQ(st.nonfinite, 0u);
+  EXPECT_DOUBLE_EQ(st.abs_sum, 21.0);
+
+  a[1] = std::numeric_limits<float>::quiet_NaN();
+  b[0] = std::numeric_limits<float>::infinity();
+  b[2] = -std::numeric_limits<float>::infinity();
+  st = finite_stats(a.data(), b.data(), 3);
+  EXPECT_EQ(st.nonfinite, 3u);
+  EXPECT_DOUBLE_EQ(st.abs_sum, 1.0 + 3.0 + 5.0);  // finite entries only
+}
+
+TEST(TensorOps, FiniteStatsNullBufferAndSingleLaunch) {
+  auto& d = Dispatcher::global();
+  std::vector<float> a = {1.0f, std::numeric_limits<float>::quiet_NaN()};
+  d.reset_counters();
+  const FiniteStats st = finite_stats(a.data(), nullptr, 2);
+  EXPECT_EQ(d.total_launches(), 1u);  // fused scan is one launch
+  EXPECT_EQ(st.nonfinite, 1u);
+  EXPECT_DOUBLE_EQ(st.abs_sum, 1.0);
+  EXPECT_EQ(finite_stats(nullptr, nullptr, 0).nonfinite, 0u);
+  d.reset_counters();
+}
+
+TEST(TensorOps, AllFinite) {
+  Tensor ok = Tensor::from({1.0f, -2.0f, 0.0f});
+  EXPECT_TRUE(all_finite(ok));
+  Tensor bad = Tensor::from({1.0f, 2.0f, 3.0f});
+  bad[1] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(all_finite(bad));
 }
 
 TEST(Dispatcher, CountsLaunchesPerOp) {
