@@ -12,7 +12,13 @@
 // Kernel-launch counts per iteration are also printed — those are
 // hardware-independent evidence of the operator-graph reduction.
 //
+// A threads axis rides along: the full-Xplace tier is re-run on the
+// threadpool backend (--threads, default 4) so the table shows what the CPU
+// reproduction gains from the execution backend on top of the paper's
+// operator techniques.
+//
 //   ./bench_table3_ablation [--scale 100] [--iters 120] [--launch-us 8]
+//                           [--threads 4]
 #include <cstdio>
 #include <vector>
 
@@ -56,12 +62,13 @@ int main(int argc, char** argv) {
   const double scale = args.get_double("scale", 300.0);
   const int iters = static_cast<int>(args.get_int("iters", 250));
   const double launch_us = args.get_double("launch-us", 8.0);
+  const int bench_threads = static_cast<int>(args.get_int("threads", 4));
 
   struct Tier {
-    const char* label;
+    std::string label;
     core::PlacerConfig cfg;
   };
-  const std::vector<Tier> tiers = {
+  std::vector<Tier> tiers = {
       {"none        ", core::PlacerConfig::ablation(false, false, false, false)},
       {"OR          ", core::PlacerConfig::ablation(true, false, false, false)},
       {"OR+OC       ", core::PlacerConfig::ablation(true, true, false, false)},
@@ -69,6 +76,15 @@ int main(int argc, char** argv) {
       {"Xplace (all)", core::PlacerConfig::ablation(true, true, true, true)},
       {"DREAMPlace  ", core::PlacerConfig::dreamplace()},
   };
+  // Threads axis (appended so the fixed Xplace/DREAMPlace row indices above
+  // stay valid): full Xplace on the threadpool backend.
+  if (bench_threads > 1) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "Xplace %dT    ", bench_threads);
+    Tier mt{label, core::PlacerConfig::ablation(true, true, true, true)};
+    mt.cfg.threads = bench_threads;
+    tiers.push_back(std::move(mt));
+  }
 
   std::vector<std::string> designs;
   for (const auto& e : io::ispd2005_suite()) designs.push_back(e.design);
@@ -88,12 +104,12 @@ int main(int argc, char** argv) {
       for (const auto& d : designs) {
         all[t].push_back(run_tier(d, scale, tiers[t].cfg, iters, latency));
       }
-      std::fprintf(stderr, "tier %s done (latency %.0fus)\n", tiers[t].label,
-                   latency * 1e6);
+      std::fprintf(stderr, "tier %s done (latency %.0fus)\n",
+                   tiers[t].label.c_str(), latency * 1e6);
     }
     const std::size_t xp = 4;  // Xplace row index
     for (std::size_t t = 0; t < tiers.size(); ++t) {
-      std::printf("%-14s", tiers[t].label);
+      std::printf("%-14s", tiers[t].label.c_str());
       double ratio_sum = 0.0;
       for (std::size_t d = 0; d < designs.size(); ++d) {
         const double ratio = 100.0 * all[t][d].ms_per_iter / all[xp][d].ms_per_iter;

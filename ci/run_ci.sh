@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # CI lanes for Xplace. Run all lanes (default) or a single one:
 #
-#   ci/run_ci.sh [tier1|faultinject|asan-ubsan|tsan|all]
+#   ci/run_ci.sh [tier1|tier1-mt|faultinject|asan-ubsan|tsan|all]
 #
 #   tier1       plain build, full ctest suite
+#   tier1-mt    same build, full ctest suite with XPLACE_THREADS=4 so every
+#               module that consults the execution backend runs on the
+#               threadpool — launch counts, numerics contracts, and recovery
+#               logic must hold on both backends
 #   faultinject guardian/recovery tests (ctest -L faultinject) plus an
 #               end-to-end XPLACE_FAULT matrix over the place_bookshelf demo:
 #               every injected fault must be recovered (exit 0, legal result)
@@ -12,7 +16,9 @@
 #               where stale pointers/uninitialized reads would hide, so the
 #               guardian suite runs memory-clean under ASan+UBSan
 #   tsan        -DXPLACE_SANITIZE=thread build, shared-state tests
-#               (ctest -L concurrency)
+#               (ctest -L concurrency) plus the end-to-end demo on the
+#               threadpool backend — the full GP/LG/DP flow must be
+#               race-clean under --threads 4
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +34,11 @@ build() { # build <dir> [extra cmake args...]
 run_tier1() {
   build build-ci
   ctest --test-dir build-ci --output-on-failure -j "$jobs"
+}
+
+run_tier1_mt() {
+  build build-ci
+  XPLACE_THREADS=4 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 }
 
 run_faultinject() {
@@ -57,15 +68,22 @@ run_asan_ubsan() {
 run_tsan() {
   build build-tsan-ci -DXPLACE_SANITIZE=thread
   ctest --test-dir build-tsan-ci --output-on-failure -L concurrency
+  # End-to-end flow under the threadpool backend: GP scatter/gather/WA
+  # partitions, pooled FFT passes, banded Abacus, and row-parallel reorder
+  # all race-checked in one run.
+  echo "=== tsan lane: place_bookshelf --threads 4 ==="
+  ./build-tsan-ci/examples/place_bookshelf --demo --cells 2000 \
+      --max-iters 300 --threads 4
 }
 
 case "$lane" in
   tier1)       run_tier1 ;;
+  tier1-mt)    run_tier1_mt ;;
   faultinject) run_faultinject ;;
   asan-ubsan)  run_asan_ubsan ;;
   tsan)        run_tsan ;;
-  all)         run_tier1; run_faultinject; run_asan_ubsan; run_tsan ;;
-  *) echo "unknown lane '$lane' (tier1|faultinject|asan-ubsan|tsan|all)" >&2
+  all)         run_tier1; run_tier1_mt; run_faultinject; run_asan_ubsan; run_tsan ;;
+  *) echo "unknown lane '$lane' (tier1|tier1-mt|faultinject|asan-ubsan|tsan|all)" >&2
      exit 2 ;;
 esac
 echo "ci lane(s) '$lane' passed"

@@ -21,6 +21,13 @@
 //   --resume ck.xpck          continue an interrupted run from a checkpoint;
 //                             same seed + same flags reproduces the
 //                             uninterrupted run bit-for-bit
+//
+// Execution backend (see README "Threads"):
+//   --threads N               worker threads for GP/LG/DP kernels; 1 = the
+//                             serial backend (default when XPLACE_THREADS is
+//                             unset), N>1 = thread pool, -1 = all hardware
+//                             threads. Omitting the flag defers to
+//                             XPLACE_THREADS.
 #include <cstdio>
 #include <filesystem>
 
@@ -36,7 +43,9 @@
 #include "telemetry/trace.h"
 #include "tensor/dispatch.h"
 #include "util/arg_parser.h"
+#include "util/execution.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace xplace;
@@ -74,10 +83,20 @@ int main(int argc, char** argv) {
   cfg.checkpoint_out = args.get("checkpoint-out");
   cfg.checkpoint_period = static_cast<int>(args.get_int("checkpoint-every", 100));
   cfg.resume_path = args.get("resume");
+  cfg.threads = static_cast<int>(args.get_int("threads", 0));
   core::GlobalPlacer placer(db, cfg);
+  const ExecutionContext& exec = placer.execution();
+  std::printf("execution backend: %s (%zu thread%s)\n", exec.backend_name(),
+              exec.threads(), exec.threads() == 1 ? "" : "s");
   const core::GlobalPlaceResult gp = placer.run();
   std::printf("GP:  hpwl %.6g  overflow %.4f  (%d iters, %.2fs)\n", gp.hpwl,
               gp.overflow, gp.iterations, gp.gp_seconds);
+  // Per-phase kernel time: the numbers to compare across --threads values.
+  const TimerRegistry& phases = placer.engine().phase_timers();
+  std::printf(
+      "GP phases: wirelength %.3fs  density %.3fs (fft %.3fs, field %.3fs)\n",
+      phases.total("gp.phase.wirelength"), phases.total("gp.phase.density"),
+      phases.total("gp.phase.fft"), phases.total("gp.phase.field"));
   if (gp.rollbacks > 0 || gp.diverged) {
     std::printf("GP guardian: %d sentinel trip(s), %d rollback(s)%s\n",
                 gp.sentinel_trips, gp.rollbacks,
@@ -85,10 +104,10 @@ int main(int argc, char** argv) {
                             : "");
   }
 
-  const lg::LegalizeStats lgs = lg::abacus_legalize(db);
+  const lg::LegalizeStats lgs = lg::abacus_legalize(db, &exec);
   std::printf("LG:  %s\n", lgs.summary().c_str());
 
-  const dp::DetailedPlaceResult dps = dp::detailed_place(db);
+  const dp::DetailedPlaceResult dps = dp::detailed_place(db, {}, &exec);
   std::printf("DP:  %s\n", dps.summary().c_str());
 
   const lg::LegalityReport rep = lg::check_legality(db);

@@ -73,6 +73,14 @@ struct PlacerConfig {
   int checkpoint_period = 100; ///< iterations between checkpoint writes
   std::string resume_path;     ///< checkpoint to resume from ("" = fresh run)
 
+  // ---- execution backend ------------------------------------------------------
+  /// Worker threads for the compute kernels (GP gradients, FFT passes, LG/DP):
+  ///   0  — read XPLACE_THREADS from the environment; serial when unset,
+  ///   1  — force the serial backend (the historical bitwise-exact path),
+  ///   N>1 — thread pool of N workers (bitwise-deterministic per fixed N),
+  ///   <0 — thread pool sized to hardware concurrency.
+  int threads = 0;
+
   // ---- misc ---------------------------------------------------------------------
   std::uint64_t filler_seed = 1;
   std::uint64_t init_noise_seed = 2;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ops/parallel.h"
 #include "ops/wirelength.h"
 #include "telemetry/trace.h"
 #include "tensor/dispatch.h"
@@ -12,15 +13,18 @@ namespace xplace::core {
 
 using tensor::Dispatcher;
 
-GradientEngine::GradientEngine(const db::Database& db, const PlacerConfig& cfg)
+GradientEngine::GradientEngine(const db::Database& db, const PlacerConfig& cfg,
+                               const ExecutionContext* exec)
     : db_(db),
       cfg_(cfg),
+      exec_(exec),
       view_(ops::build_netlist_view(db)),
       grid_(db, cfg.grid_dim),
       solver_(cfg.grid_dim, grid_.bin_w(), grid_.bin_h()),
       n_total_(db.num_cells_total()),
       n_physical_(db.num_physical()),
       n_movable_(db.num_movable()) {
+  solver_.set_pool(pool_or_null());
   if (!cfg_.op_reduction) {
     tape_wl_ = std::make_unique<ops::TapeWirelength>(view_);
   }
@@ -98,6 +102,7 @@ void GradientEngine::wirelength_pass(const float* x, const float* y,
                                      float gamma, GradientResult& res,
                                      float* /*grad_x*/, float* /*grad_y*/) {
   XP_TRACE_SCOPE("gp.phase.wirelength");
+  ScopedTimer phase_timer(phase_timers_, "gp.phase.wirelength");
   auto& disp = Dispatcher::global();
   // Zero the WL gradient accumulators. With operator reduction this is one
   // in-place fill; without it, a stock framework would allocate fresh zero
@@ -117,8 +122,15 @@ void GradientEngine::wirelength_pass(const float* x, const float* y,
   }
 
   if (cfg_.op_reduction && cfg_.op_combination) {
-    const ops::WirelengthSums sums = ops::fused_wl_grad_hpwl(
-        view_, x, y, gamma, wl_grad_x_.data(), wl_grad_y_.data());
+    // Backend switch: same fat kernel (and launch name) either way; the pool
+    // variant partitions nets across workers with slot-ordered reduction.
+    ThreadPool* pool = pool_or_null();
+    const ops::WirelengthSums sums =
+        pool != nullptr
+            ? ops::fused_wl_grad_hpwl_mt(view_, x, y, gamma, wl_grad_x_.data(),
+                                         wl_grad_y_.data(), *pool)
+            : ops::fused_wl_grad_hpwl(view_, x, y, gamma, wl_grad_x_.data(),
+                                      wl_grad_y_.data());
     res.wa_wl = sums.wa;
     res.hpwl = sums.hpwl;
   } else if (cfg_.op_reduction) {
@@ -139,7 +151,9 @@ void GradientEngine::wirelength_pass(const float* x, const float* y,
 void GradientEngine::density_pass_fenced(const float* x, const float* y,
                                          GradientResult& res, double omega) {
   XP_TRACE_SCOPE("gp.phase.density");
+  ScopedTimer phase_timer(phase_timers_, "gp.phase.density");
   auto& disp = Dispatcher::global();
+  ThreadPool* pool = pool_or_null();
   disp.run("dgrad.zero_", [&] {
     std::fill(dgrad_x_.begin(), dgrad_x_.end(), 0.0f);
     std::fill(dgrad_y_.begin(), dgrad_y_.end(), 0.0f);
@@ -150,28 +164,49 @@ void GradientEngine::density_pass_fenced(const float* x, const float* y,
     disp.run("density.fence_copy_blockage_", [&] {
       std::copy(sys.blockage.begin(), sys.blockage.end(), sys.map.begin());
     });
-    grid_.accumulate_cells("density.fence_movable", x, y, sys.movable,
-                           sys.map.data(), /*clear=*/false);
+    if (pool != nullptr) {
+      ops::accumulate_cells_mt(grid_, "density.fence_movable", x, y,
+                               sys.movable, sys.map.data(), /*clear=*/false,
+                               *pool);
+    } else {
+      grid_.accumulate_cells("density.fence_movable", x, y, sys.movable,
+                             sys.map.data(), /*clear=*/false);
+    }
     over_area += grid_.overflow_area(sys.map.data());
-    grid_.accumulate_cells("density.fence_filler", x, y, sys.fillers,
-                           sys.map.data(), /*clear=*/false);
+    if (pool != nullptr) {
+      ops::accumulate_cells_mt(grid_, "density.fence_filler", x, y,
+                               sys.fillers, sys.map.data(), /*clear=*/false,
+                               *pool);
+    } else {
+      grid_.accumulate_cells("density.fence_filler", x, y, sys.fillers,
+                             sys.map.data(), /*clear=*/false);
+    }
     solver_.solve(sys.map.data(), /*want_potential=*/!cfg_.op_reduction);
-    std::vector<double>* ex = const_cast<std::vector<double>*>(&solver_.ex());
-    std::vector<double>* ey = const_cast<std::vector<double>*>(&solver_.ey());
+    std::vector<double>& ex = solver_.mutable_ex();
+    std::vector<double>& ey = solver_.mutable_ey();
     if (guidance_ != nullptr) {
       const double r_prev =
           wl_grad_norm_cache_ > 0.0
               ? lambda_cache_ * density_grad_norm_cache_ / wl_grad_norm_cache_
               : 0.0;
       guidance_->blend(sys.map.data(), grid_.m(), grid_.bin_w(), grid_.bin_h(),
-                       omega, r_prev, *ex, *ey);
+                       omega, r_prev, ex, ey);
     }
-    grid_.gather_field_cells("dgrad.fence_gather_movable", x, y, sys.movable,
-                             ex->data(), ey->data(), -1.0f, dgrad_x_.data(),
-                             dgrad_y_.data());
-    grid_.gather_field_cells("dgrad.fence_gather_filler", x, y, sys.fillers,
-                             ex->data(), ey->data(), -1.0f, dgrad_x_.data(),
-                             dgrad_y_.data());
+    if (pool != nullptr) {
+      ops::gather_field_cells_mt(grid_, "dgrad.fence_gather_movable", x, y,
+                                 sys.movable, ex.data(), ey.data(), -1.0f,
+                                 dgrad_x_.data(), dgrad_y_.data(), *pool);
+      ops::gather_field_cells_mt(grid_, "dgrad.fence_gather_filler", x, y,
+                                 sys.fillers, ex.data(), ey.data(), -1.0f,
+                                 dgrad_x_.data(), dgrad_y_.data(), *pool);
+    } else {
+      grid_.gather_field_cells("dgrad.fence_gather_movable", x, y, sys.movable,
+                               ex.data(), ey.data(), -1.0f, dgrad_x_.data(),
+                               dgrad_y_.data());
+      grid_.gather_field_cells("dgrad.fence_gather_filler", x, y, sys.fillers,
+                               ex.data(), ey.data(), -1.0f, dgrad_x_.data(),
+                               dgrad_y_.data());
+    }
   }
   res.overflow = db_.total_movable_area() > 0.0
                      ? over_area / db_.total_movable_area()
@@ -185,16 +220,25 @@ void GradientEngine::density_pass(const float* x, const float* y,
     return;
   }
   XP_TRACE_SCOPE("gp.phase.density");
+  ScopedTimer phase_timer(phase_timers_, "gp.phase.density");
   auto& disp = Dispatcher::global();
+  ThreadPool* pool = pool_or_null();
   const bool want_potential = !cfg_.op_reduction;
 
   if (cfg_.op_extraction) {
     // D (movable + fixed) once; filler map separately; D̃ via one add; OVFL
     // reuses D.
-    grid_.accumulate_range("density.map_physical", x, y, 0, n_physical_,
-                           dmap_.data(), true);
-    grid_.accumulate_range("density.map_filler", x, y, n_physical_, n_total_,
-                           dmap_fl_.data(), true);
+    if (pool != nullptr) {
+      ops::accumulate_range_mt(grid_, "density.map_physical", x, y, 0,
+                               n_physical_, dmap_.data(), true, *pool);
+      ops::accumulate_range_mt(grid_, "density.map_filler", x, y, n_physical_,
+                               n_total_, dmap_fl_.data(), true, *pool);
+    } else {
+      grid_.accumulate_range("density.map_physical", x, y, 0, n_physical_,
+                             dmap_.data(), true);
+      grid_.accumulate_range("density.map_filler", x, y, n_physical_, n_total_,
+                             dmap_fl_.data(), true);
+    }
     disp.run("density.add_maps_", [&] {
       for (std::size_t b = 0; b < dmap_.size(); ++b)
         dmap_total_[b] = dmap_[b] + dmap_fl_[b];
@@ -203,28 +247,38 @@ void GradientEngine::density_pass(const float* x, const float* y,
     // Joint accumulation for the electrostatic map AND a second scatter of
     // the physical cells for the overflow metric (the redundancy extraction
     // removes).
-    grid_.accumulate_range("density.map_joint", x, y, 0, n_total_,
-                           dmap_total_.data(), true);
-    grid_.accumulate_range("density.map_overflow", x, y, 0, n_physical_,
-                           dmap_.data(), true);
+    if (pool != nullptr) {
+      ops::accumulate_range_mt(grid_, "density.map_joint", x, y, 0, n_total_,
+                               dmap_total_.data(), true, *pool);
+      ops::accumulate_range_mt(grid_, "density.map_overflow", x, y, 0,
+                               n_physical_, dmap_.data(), true, *pool);
+    } else {
+      grid_.accumulate_range("density.map_joint", x, y, 0, n_total_,
+                             dmap_total_.data(), true);
+      grid_.accumulate_range("density.map_overflow", x, y, 0, n_physical_,
+                             dmap_.data(), true);
+    }
   }
   res.overflow = grid_.overflow(dmap_.data());
 
-  solver_.solve(dmap_total_.data(), want_potential);
+  {
+    ScopedTimer fft_timer(phase_timers_, "gp.phase.fft");
+    solver_.solve(dmap_total_.data(), want_potential);
+  }
   if (want_potential) {
     // The loss the autograd formulation carries: U = ½Σρψ (one reduce).
     disp.run("es.energy_reduce", [&] { (void)solver_.energy(dmap_total_.data()); });
   }
 
-  std::vector<double>* ex = const_cast<std::vector<double>*>(&solver_.ex());
-  std::vector<double>* ey = const_cast<std::vector<double>*>(&solver_.ey());
+  std::vector<double>& ex = solver_.mutable_ex();
+  std::vector<double>& ey = solver_.mutable_ey();
   if (guidance_ != nullptr) {
     const double r_prev =
         wl_grad_norm_cache_ > 0.0
             ? lambda_cache_ * density_grad_norm_cache_ / wl_grad_norm_cache_
             : 0.0;
     guidance_->blend(dmap_total_.data(), grid_.m(), grid_.bin_w(),
-                     grid_.bin_h(), omega, r_prev, *ex, *ey);
+                     grid_.bin_h(), omega, r_prev, ex, ey);
   }
 
   disp.run("dgrad.zero_", [&] {
@@ -233,11 +287,21 @@ void GradientEngine::density_pass(const float* x, const float* y,
   });
   // Unweighted density gradient ∂U/∂x = −q·E; movable cells and fillers.
   XP_TRACE_SCOPE("gp.phase.field");
-  grid_.gather_field("dgrad.gather_movable", x, y, 0, n_movable_, ex->data(),
-                     ey->data(), -1.0f, dgrad_x_.data(), dgrad_y_.data());
-  grid_.gather_field("dgrad.gather_filler", x, y, n_physical_, n_total_,
-                     ex->data(), ey->data(), -1.0f, dgrad_x_.data(),
-                     dgrad_y_.data());
+  ScopedTimer field_timer(phase_timers_, "gp.phase.field");
+  if (pool != nullptr) {
+    ops::gather_field_mt(grid_, "dgrad.gather_movable", x, y, 0, n_movable_,
+                         ex.data(), ey.data(), -1.0f, dgrad_x_.data(),
+                         dgrad_y_.data(), *pool);
+    ops::gather_field_mt(grid_, "dgrad.gather_filler", x, y, n_physical_,
+                         n_total_, ex.data(), ey.data(), -1.0f,
+                         dgrad_x_.data(), dgrad_y_.data(), *pool);
+  } else {
+    grid_.gather_field("dgrad.gather_movable", x, y, 0, n_movable_, ex.data(),
+                       ey.data(), -1.0f, dgrad_x_.data(), dgrad_y_.data());
+    grid_.gather_field("dgrad.gather_filler", x, y, n_physical_, n_total_,
+                       ex.data(), ey.data(), -1.0f, dgrad_x_.data(),
+                       dgrad_y_.data());
+  }
 }
 
 void GradientEngine::save_state(StateBlob& out) const {

@@ -37,6 +37,8 @@
 #include "ops/netlist_view.h"
 #include "ops/wirelength_tape.h"
 #include "tensor/tape.h"
+#include "util/execution.h"
+#include "util/timer.h"
 
 namespace xplace::core {
 
@@ -64,7 +66,11 @@ struct GradientResult {
 
 class GradientEngine {
  public:
-  GradientEngine(const db::Database& db, const PlacerConfig& cfg);
+  /// `exec` selects the execution backend for the heavy kernels (null or
+  /// serial → the historical single-threaded path, bit for bit). Not owned;
+  /// must outlive the engine.
+  GradientEngine(const db::Database& db, const PlacerConfig& cfg,
+                 const ExecutionContext* exec = nullptr);
 
   /// Evaluate gradient at (x, y) into grad_x/grad_y (sized num_cells_total;
   /// overwritten). `omega` is the stage indicator used by the NN guidance.
@@ -87,6 +93,10 @@ class GradientEngine {
   void save_state(StateBlob& out) const;
   void restore_state(const StateBlob& in);
 
+  /// Accumulated wall-clock per phase (gp.phase.wirelength / density / fft /
+  /// field) — the timers the `--threads` speedup is measured against.
+  const TimerRegistry& phase_timers() const { return phase_timers_; }
+
  private:
   void wirelength_pass(const float* x, const float* y, float gamma,
                        GradientResult& res, float* grad_x, float* grad_y);
@@ -99,8 +109,15 @@ class GradientEngine {
                            GradientResult& res, double omega);
   void build_fence_systems();
 
+  /// The pool to fan kernels onto, or null for the serial backend.
+  ThreadPool* pool_or_null() const {
+    return exec_ != nullptr && exec_->parallel() ? exec_->pool() : nullptr;
+  }
+
   const db::Database& db_;
   PlacerConfig cfg_;
+  const ExecutionContext* exec_ = nullptr;
+  mutable TimerRegistry phase_timers_;
   ops::NetlistView view_;
   ops::DensityGrid grid_;
   ops::PoissonSolver solver_;

@@ -38,10 +38,10 @@ PlacerConfig PlacerConfig::ablation(bool reduction, bool combination,
 }
 
 GlobalPlacer::GlobalPlacer(db::Database& db, const PlacerConfig& cfg)
-    : db_(db), cfg_(cfg) {
+    : db_(db), cfg_(cfg), exec_(ExecutionContext::from_threads(cfg.threads)) {
   if (db_.num_fillers() == 0) db_.insert_fillers(cfg_.filler_seed);
   init_positions();
-  engine_ = std::make_unique<GradientEngine>(db_, cfg_);
+  engine_ = std::make_unique<GradientEngine>(db_, cfg_, &exec_);
   precond_ = std::make_unique<Preconditioner>(db_);
   scheduler_ = std::make_unique<Scheduler>(
       cfg_, engine_->grid().bin_w());
@@ -268,6 +268,10 @@ GlobalPlaceResult GlobalPlacer::run() {
   reg.counter("gp.runs").inc();
   reg.counter("gp.kernel_launches").inc(result.kernel_launches);
   if (result.diverged) reg.counter("gp.diverged_runs").inc();
+  // Backend + pool utilization, and the per-phase kernel timers the
+  // `--threads` speedup is measured against.
+  exec_.publish(reg);
+  engine_->phase_timers().publish(reg, "timer.");
 
   XP_INFO("[%s] GP done: %d iters, hpwl %.6g, ovfl %.4f, %.2fs (%.2f ms/iter), %llu launches",
           db_.design_name().c_str(), result.iterations, result.hpwl,

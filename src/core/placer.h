@@ -21,6 +21,7 @@
 #include "core/recorder.h"
 #include "core/scheduler.h"
 #include "db/database.h"
+#include "util/execution.h"
 
 namespace xplace::core {
 
@@ -51,6 +52,10 @@ class GlobalPlacer {
 
   const Recorder& recorder() const { return recorder_; }
   const GradientEngine& engine() const { return *engine_; }
+  /// The execution backend the placer built from cfg.threads (shared pool for
+  /// the whole flow — the driver hands it on to legalization / detailed
+  /// placement so GP/LG/DP run on one pool).
+  const ExecutionContext& execution() const { return exec_; }
   /// Run guardian (sentinels, snapshots, rollback, fault injection). Tests
   /// arm fault plans through this before run().
   Guardian& guardian() { return *guardian_; }
@@ -60,6 +65,7 @@ class GlobalPlacer {
 
   db::Database& db_;
   PlacerConfig cfg_;
+  ExecutionContext exec_;  ///< must outlive engine_ (engine holds a pointer)
   std::unique_ptr<GradientEngine> engine_;
   std::unique_ptr<Preconditioner> precond_;
   std::unique_ptr<Optimizer> optimizer_;

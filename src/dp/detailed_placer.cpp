@@ -22,7 +22,8 @@ std::string DetailedPlaceResult::summary() const {
 }
 
 DetailedPlaceResult detailed_place(db::Database& db,
-                                   const DetailedPlaceConfig& cfg) {
+                                   const DetailedPlaceConfig& cfg,
+                                   const ExecutionContext* exec) {
   XP_TRACE_SCOPE("dp.run");
   Stopwatch watch;
   DetailedPlaceResult result;
@@ -47,7 +48,7 @@ DetailedPlaceResult detailed_place(db::Database& db,
                s.hpwl_before, s.hpwl_after, s.moves_accepted);
     }
     if (cfg.enable_local_reorder) {
-      const PassStats s = local_reorder_pass(db, cfg.reorder_window);
+      const PassStats s = local_reorder_pass(db, cfg.reorder_window, exec);
       result.moves_accepted += s.moves_accepted;
       XP_DEBUG("dp round %d reorder: %.6g -> %.6g (%zu moves)", round,
                s.hpwl_before, s.hpwl_after, s.moves_accepted);

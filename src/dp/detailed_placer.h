@@ -7,6 +7,10 @@
 
 #include "db/database.h"
 
+namespace xplace {
+class ExecutionContext;
+}
+
 namespace xplace::dp {
 
 struct DetailedPlaceConfig {
@@ -30,8 +34,12 @@ struct DetailedPlaceResult {
   std::string summary() const;
 };
 
-/// Runs on a *legal* placement and preserves legality.
+/// Runs on a *legal* placement and preserves legality. A parallel `exec`
+/// fans the local-reorder pass across rows (see local_reorder.h for the
+/// determinism contract); global-swap and ISM stay serial — their move
+/// chains are inherently sequential.
 DetailedPlaceResult detailed_place(db::Database& db,
-                                   const DetailedPlaceConfig& cfg = {});
+                                   const DetailedPlaceConfig& cfg = {},
+                                   const ExecutionContext* exec = nullptr);
 
 }  // namespace xplace::dp

@@ -1,5 +1,7 @@
 #include "dp/hpwl_eval.h"
 
+#include <algorithm>
+
 namespace xplace::dp {
 
 HpwlEval::HpwlEval(const db::Database& db) : db_(db) {
@@ -28,6 +30,30 @@ double HpwlEval::cells_net_hpwl(const std::uint32_t* cells, std::size_t count) {
   double total = 0.0;
   for (std::uint32_t e : nets) {
     total += db_.net_weight(e) * db_.net_hpwl(e);
+  }
+  return total;
+}
+
+double HpwlEval::cells_net_hpwl_at(const std::uint32_t* cells,
+                                   std::size_t count, const double* x,
+                                   const double* y) {
+  const auto& nets = collect_nets(cells, count);
+  double total = 0.0;
+  for (std::uint32_t e : nets) {
+    const std::size_t begin = db_.net_pin_start(e);
+    const std::size_t end = db_.net_pin_start(e + 1);
+    if (end - begin < 2) continue;
+    double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+    for (std::size_t p = begin; p < end; ++p) {
+      const std::uint32_t c = db_.pin_cell(p);
+      const double px = x[c] + db_.pin_offset_x(p);
+      const double py = y[c] + db_.pin_offset_y(p);
+      min_x = std::min(min_x, px);
+      max_x = std::max(max_x, px);
+      min_y = std::min(min_y, py);
+      max_y = std::max(max_y, py);
+    }
+    total += db_.net_weight(e) * ((max_x - min_x) + (max_y - min_y));
   }
   return total;
 }

@@ -26,6 +26,13 @@ class HpwlEval {
     return cells_net_hpwl(&cell, 1);
   }
 
+  /// Same as cells_net_hpwl, but measured at the explicit position arrays
+  /// `x`/`y` (indexed by cell id) instead of the database's current
+  /// positions. Lets the row-parallel reorder pass price candidate
+  /// permutations against a private snapshot without touching the database.
+  double cells_net_hpwl_at(const std::uint32_t* cells, std::size_t count,
+                           const double* x, const double* y);
+
   /// Nets incident to `cells`, deduplicated (valid until the next call).
   const std::vector<std::uint32_t>& collect_nets(const std::uint32_t* cells,
                                                  std::size_t count);

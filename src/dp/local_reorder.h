@@ -6,6 +6,10 @@
 
 #include "db/database.h"
 
+namespace xplace {
+class ExecutionContext;
+}
+
 namespace xplace::dp {
 
 struct PassStats {
@@ -17,6 +21,15 @@ struct PassStats {
 
 /// One sweep over all rows with the given window size (3 or 4 are typical).
 /// Returns accepted-move statistics; the database is updated in place.
-PassStats local_reorder_pass(db::Database& db, int window);
+///
+/// With a parallel `exec`, rows fan out across the pool: every row is priced
+/// against a position snapshot taken at pass entry (window slides within a
+/// row still see that row's earlier accepts), and accepted positions are
+/// committed serially in row order afterwards. That makes the parallel pass
+/// deterministic for ANY worker count; it differs from the serial pass only
+/// through the snapshot semantics of nets spanning multiple rows. Null (the
+/// default) is the historical serial path, bit for bit.
+PassStats local_reorder_pass(db::Database& db, int window,
+                             const ExecutionContext* exec = nullptr);
 
 }  // namespace xplace::dp

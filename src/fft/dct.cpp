@@ -3,17 +3,23 @@
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <numbers>
 
 #include "fft/fft.h"
+#include "util/thread_pool.h"
 
 namespace xplace::fft {
 namespace {
 
 /// Phase factors e^{-iπk/(2N)} for the Makhoul DCT-II post-twiddle, cached per
-/// size (the inverse uses their conjugates).
+/// size (the inverse uses their conjugates). Mutex-guarded for the pooled 2-D
+/// passes; map node pointers stay stable after insert, so the returned
+/// reference outlives the lock.
 const std::vector<Complex>& dct_phases(std::size_t n) {
+  static std::mutex mutex;
   static std::map<std::size_t, std::vector<Complex>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(n);
   if (it != cache.end()) return it->second;
   std::vector<Complex> ph(n);
@@ -28,10 +34,12 @@ const std::vector<Complex>& dct_phases(std::size_t n) {
 /// Scratch buffers reused across calls to avoid per-transform allocation.
 /// thread_local so the thread pool can run row transforms concurrently.
 /// idct uses tl_cbuf + tl_rbuf; idxst uses tl_sbuf so that its call into
-/// idct never aliases its own scratch.
+/// idct never aliases its own scratch; the 2-D column pass gathers strided
+/// columns into tl_colbuf (allocation-free at steady state).
 thread_local std::vector<Complex> tl_cbuf;
 thread_local std::vector<double> tl_rbuf;
 thread_local std::vector<double> tl_sbuf;
+thread_local std::vector<double> tl_colbuf;
 
 }  // namespace
 
@@ -98,18 +106,49 @@ void idxst(double* x, std::size_t n) {
 
 namespace {
 
+/// Transforms one strided column in place via the thread_local gather buffer.
+template <typename Fn>
+void transform_column(double* data, std::size_t rows, std::size_t cols,
+                      std::size_t c, Fn&& along_rows) {
+  auto& col = tl_colbuf;
+  col.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) col[r] = data[r * cols + c];
+  along_rows(col.data(), rows);
+  for (std::size_t r = 0; r < rows; ++r) data[r * cols + c] = col[r];
+}
+
 /// Applies a 1-D in-place transform along both dims of a row-major array.
+/// Rows (and then columns) are independent, so with a pool they partition
+/// across workers; every 1-D transform writes a disjoint slice, making the
+/// pooled result bitwise-equal to the serial one for any worker count.
 template <typename Fn0, typename Fn1>
 void separable2(double* data, std::size_t rows, std::size_t cols, Fn0 along_rows,
-                Fn1 along_cols) {
+                Fn1 along_cols, ThreadPool* pool) {
+  if (pool != nullptr && pool->size() > 1 && rows >= 4 && cols >= 4) {
+    // Each index is a whole 1-D transform (coarse), so use a small grain
+    // rather than the element-loop chunk heuristic. 4 rows per chunk keeps
+    // dispatch overhead low while still spreading a 128-row grid across 8+
+    // workers.
+    pool->parallel_for(
+        rows,
+        [&](std::size_t b, std::size_t e, std::size_t) {
+          for (std::size_t r = b; r < e; ++r) along_cols(data + r * cols, cols);
+        },
+        /*grain=*/4);
+    pool->parallel_for(
+        cols,
+        [&](std::size_t b, std::size_t e, std::size_t) {
+          for (std::size_t c = b; c < e; ++c)
+            transform_column(data, rows, cols, c, along_rows);
+        },
+        /*grain=*/4);
+    return;
+  }
   // Dimension 1 (contiguous): transform each row.
   for (std::size_t r = 0; r < rows; ++r) along_cols(data + r * cols, cols);
   // Dimension 0 (strided): gather each column, transform, scatter back.
-  std::vector<double> col(rows);
   for (std::size_t c = 0; c < cols; ++c) {
-    for (std::size_t r = 0; r < rows; ++r) col[r] = data[r * cols + c];
-    along_rows(col.data(), rows);
-    for (std::size_t r = 0; r < rows; ++r) data[r * cols + c] = col[r];
+    transform_column(data, rows, cols, c, along_rows);
   }
 }
 
@@ -122,20 +161,22 @@ const auto kIdct = [](double* p, std::size_t n) { idct(p, n); };
 const auto kIdxst = [](double* p, std::size_t n) { idxst(p, n); };
 }  // namespace
 
-void dct2(double* data, std::size_t rows, std::size_t cols) {
-  separable2(data, rows, cols, kDct, kDct);
+void dct2(double* data, std::size_t rows, std::size_t cols, ThreadPool* pool) {
+  separable2(data, rows, cols, kDct, kDct, pool);
 }
 
-void idct2(double* data, std::size_t rows, std::size_t cols) {
-  separable2(data, rows, cols, kIdct, kIdct);
+void idct2(double* data, std::size_t rows, std::size_t cols, ThreadPool* pool) {
+  separable2(data, rows, cols, kIdct, kIdct, pool);
 }
 
-void idxst_idct(double* data, std::size_t rows, std::size_t cols) {
-  separable2(data, rows, cols, kIdxst, kIdct);
+void idxst_idct(double* data, std::size_t rows, std::size_t cols,
+                ThreadPool* pool) {
+  separable2(data, rows, cols, kIdxst, kIdct, pool);
 }
 
-void idct_idxst(double* data, std::size_t rows, std::size_t cols) {
-  separable2(data, rows, cols, kIdct, kIdxst);
+void idct_idxst(double* data, std::size_t rows, std::size_t cols,
+                ThreadPool* pool) {
+  separable2(data, rows, cols, kIdct, kIdxst, pool);
 }
 
 std::vector<double> dct(const std::vector<double>& x) {

@@ -18,6 +18,10 @@
 #include <cstddef>
 #include <vector>
 
+namespace xplace {
+class ThreadPool;
+}
+
 namespace xplace::fft {
 
 /// In-place 1-D transforms on length-n buffers (n a power of two).
@@ -27,10 +31,20 @@ void idxst(double* x, std::size_t n);
 
 /// Row-major 2-D transforms over rows×cols (both powers of two).
 /// Dimension 0 = rows (x), dimension 1 = cols (y).
-void dct2(double* data, std::size_t rows, std::size_t cols);
-void idct2(double* data, std::size_t rows, std::size_t cols);
-void idxst_idct(double* data, std::size_t rows, std::size_t cols);
-void idct_idxst(double* data, std::size_t rows, std::size_t cols);
+///
+/// When `pool` is non-null (and larger than one worker) the independent row
+/// transforms — and then the independent column transforms — are partitioned
+/// across it; each 1-D transform touches a disjoint slice, so the result is
+/// bitwise-identical to the serial pass for ANY worker count (the scratch
+/// buffers are thread_local, which is what anticipated exactly this use).
+void dct2(double* data, std::size_t rows, std::size_t cols,
+          ThreadPool* pool = nullptr);
+void idct2(double* data, std::size_t rows, std::size_t cols,
+           ThreadPool* pool = nullptr);
+void idxst_idct(double* data, std::size_t rows, std::size_t cols,
+                ThreadPool* pool = nullptr);
+void idct_idxst(double* data, std::size_t rows, std::size_t cols,
+                ThreadPool* pool = nullptr);
 
 /// Vector conveniences used by tests.
 std::vector<double> dct(const std::vector<double>& x);

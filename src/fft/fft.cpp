@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <numbers>
 
 namespace xplace::fft {
@@ -10,9 +11,13 @@ namespace {
 
 /// Twiddle factors e^{-2πi k/n} for k in [0, n/2), cached per size.
 /// The cache lives for the process lifetime; sizes used are a handful of
-/// powers of two so the footprint is trivial.
+/// powers of two so the footprint is trivial. Mutex-guarded: row/column
+/// transforms run concurrently on the thread pool, and node pointers stay
+/// stable after insert so the returned reference outlives the lock.
 const std::vector<Complex>& twiddles(std::size_t n) {
+  static std::mutex mutex;
   static std::map<std::size_t, std::vector<Complex>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(n);
   if (it != cache.end()) return it->second;
   std::vector<Complex> tw(n / 2);

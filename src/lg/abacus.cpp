@@ -8,7 +8,9 @@
 
 #include "lg/row_map.h"
 #include "telemetry/trace.h"
+#include "util/execution.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace xplace::lg {
@@ -78,11 +80,13 @@ double place_row(SegmentState& st, std::uint32_t cell, double target_lx,
 
 }  // namespace
 
-LegalizeStats abacus_legalize(db::Database& db) {
+LegalizeStats abacus_legalize(db::Database& db, const ExecutionContext* exec) {
   XP_TRACE_SCOPE("lg.abacus");
   Stopwatch watch;
   LegalizeStats stats;
   stats.hpwl_before = db.hpwl();
+  ThreadPool* pool =
+      exec != nullptr && exec->parallel() ? exec->pool() : nullptr;
 
   RowMap rows(db);
   std::vector<std::vector<SegmentState>> state(rows.num_rows());
@@ -101,7 +105,15 @@ LegalizeStats abacus_legalize(db::Database& db) {
   });
 
   const double row_h = rows.row_height();
-  std::vector<Cluster> scratch;
+  // Trial scratch: one cluster-list copy per worker so band candidates can be
+  // evaluated concurrently (index 0 doubles as the serial scratch).
+  std::vector<std::vector<Cluster>> scratch(pool != nullptr ? pool->size() : 1);
+  struct Candidate {
+    SegmentState* st;
+    double dy2;
+  };
+  std::vector<Candidate> band;
+  std::vector<double> band_cost;
   for (std::uint32_t cell : order) {
     const double w = db.width(cell);
     const double tx = db.x(cell) - w * 0.5;
@@ -111,10 +123,20 @@ LegalizeStats abacus_legalize(db::Database& db) {
     double best_cost = std::numeric_limits<double>::max();
     SegmentState* best_seg = nullptr;
 
+    // Candidate rows by distance band d = |r − center|. Within a band, every
+    // feasible segment's trial placement is independent of the others (trials
+    // mutate only per-worker scratch), so a band can fan out across the pool.
+    // The reduction then scans candidates in the exact serial visit order
+    // (d ascending, +d row before −d, segments in row order) with a strict
+    // `<`: any candidate the serial loop's dy² pruning would have skipped has
+    // cost ≥ dy² ≥ the running best at that point, so it can never win — the
+    // committed segment is bitwise-identical to the serial one for any worker
+    // count.
     const long nrows = static_cast<long>(rows.num_rows());
     for (long d = 0; d < nrows; ++d) {
       const double dy_min = (d > 0 ? (d - 0.5) * row_h : 0.0);
       if (dy_min * dy_min >= best_cost) break;  // rows only get farther
+      band.clear();
       for (int sign = 0; sign < (d == 0 ? 1 : 2); ++sign) {
         const long r = static_cast<long>(center_row) + (sign == 0 ? d : -d);
         if (r < 0 || r >= nrows) continue;
@@ -124,14 +146,28 @@ LegalizeStats abacus_legalize(db::Database& db) {
         for (SegmentState& st : state[r]) {
           if (st.seg.label != db.cell_fence(cell)) continue;  // fence mismatch
           if (st.used + w > st.seg.width() + 1e-9) continue;
-          const double x =
-              place_row(st, cell, tx, w, 1.0, /*commit=*/false, &scratch);
+          band.push_back(Candidate{&st, dy * dy});
+        }
+      }
+      if (band.empty()) continue;
+      band_cost.resize(band.size());
+      auto eval = [&](std::size_t b, std::size_t e, std::size_t worker) {
+        for (std::size_t i = b; i < e; ++i) {
+          const double x = place_row(*band[i].st, cell, tx, w, 1.0,
+                                     /*commit=*/false, &scratch[worker]);
           const double dx = x - tx;
-          const double cost = dx * dx + dy * dy;
-          if (cost < best_cost) {
-            best_cost = cost;
-            best_seg = &st;
-          }
+          band_cost[i] = dx * dx + band[i].dy2;
+        }
+      };
+      if (pool != nullptr && band.size() >= 2) {
+        pool->parallel_for(band.size(), eval, /*grain=*/1);
+      } else {
+        eval(0, band.size(), 0);
+      }
+      for (std::size_t i = 0; i < band.size(); ++i) {
+        if (band_cost[i] < best_cost) {
+          best_cost = band_cost[i];
+          best_seg = band[i].st;
         }
       }
     }

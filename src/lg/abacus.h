@@ -12,9 +12,21 @@
 #include "db/database.h"
 #include "lg/tetris.h"  // LegalizeStats
 
+namespace xplace {
+class ExecutionContext;
+}
+
 namespace xplace::lg {
 
 /// Legalizes all movable cells of `db` in place. Requires rows.
-LegalizeStats abacus_legalize(db::Database& db);
+///
+/// `exec` selects the execution backend for the candidate-row search: with a
+/// parallel context, each distance band's trial placements are evaluated
+/// concurrently (per-worker scratch) and reduced in the serial visit order
+/// with a strict `<`, so the committed placement is bitwise-identical to the
+/// serial one for ANY worker count. Null (the default) is the historical
+/// serial path.
+LegalizeStats abacus_legalize(db::Database& db,
+                              const ExecutionContext* exec = nullptr);
 
 }  // namespace xplace::lg

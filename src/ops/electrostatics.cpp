@@ -6,6 +6,7 @@
 #include "fft/dct.h"
 #include "telemetry/trace.h"
 #include "tensor/dispatch.h"
+#include "util/thread_pool.h"
 
 namespace xplace::ops {
 
@@ -35,34 +36,43 @@ void PoissonSolver::solve(const double* rho, bool want_potential) {
   // enforces the ∬ρ = 0 solvability condition; it is exactly the a_00 term.
   disp.run("es.dct2", [&] {
     for (std::size_t i = 0; i < n; ++i) coeff_[i] = rho[i];
-    fft::dct2(coeff_.data(), m, m);
+    fft::dct2(coeff_.data(), m, m, pool_);
     coeff_[0] = 0.0;  // zero-mean (kills the constant mode)
   });
 
   // Spectral scaling: ψ̂ = a/(w²); Ex̂ = ψ̂·wu ; Eŷ = ψ̂·wv.
+  // Rows write disjoint index ranges, so the pooled pass is bitwise-equal to
+  // the serial one for any worker count.
   disp.run("es.spectral_scale", [&] {
-    for (std::size_t u = 0; u < m; ++u) {
-      for (std::size_t v = 0; v < m; ++v) {
-        const std::size_t i = u * m + v;
-        if (u == 0 && v == 0) {
-          ex_[i] = ey_[i] = psi_[i] = 0.0;
-          continue;
+    auto scale_rows = [&](std::size_t u_begin, std::size_t u_end, std::size_t) {
+      for (std::size_t u = u_begin; u < u_end; ++u) {
+        for (std::size_t v = 0; v < m; ++v) {
+          const std::size_t i = u * m + v;
+          if (u == 0 && v == 0) {
+            ex_[i] = ey_[i] = psi_[i] = 0.0;
+            continue;
+          }
+          const double denom = wu_[u] * wu_[u] + wv_[v] * wv_[v];
+          const double ps = coeff_[i] / denom;
+          psi_[i] = ps;
+          ex_[i] = ps * wu_[u];
+          ey_[i] = ps * wv_[v];
         }
-        const double denom = wu_[u] * wu_[u] + wv_[v] * wv_[v];
-        const double ps = coeff_[i] / denom;
-        psi_[i] = ps;
-        ex_[i] = ps * wu_[u];
-        ey_[i] = ps * wv_[v];
       }
+    };
+    if (pool_ != nullptr && pool_->size() > 1) {
+      pool_->parallel_for(m, scale_rows, /*grain=*/8);
+    } else {
+      scale_rows(0, m, 0);
     }
   });
 
   // Field syntheses (sine along the differentiated axis).
-  disp.run("es.idxst_idct", [&] { fft::idxst_idct(ex_.data(), m, m); });
-  disp.run("es.idct_idxst", [&] { fft::idct_idxst(ey_.data(), m, m); });
+  disp.run("es.idxst_idct", [&] { fft::idxst_idct(ex_.data(), m, m, pool_); });
+  disp.run("es.idct_idxst", [&] { fft::idct_idxst(ey_.data(), m, m, pool_); });
 
   if (want_potential) {
-    disp.run("es.idct2_psi", [&] { fft::idct2(psi_.data(), m, m); });
+    disp.run("es.idct2_psi", [&] { fft::idct2(psi_.data(), m, m, pool_); });
   }
 }
 

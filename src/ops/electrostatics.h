@@ -20,6 +20,10 @@
 #include <cstddef>
 #include <vector>
 
+namespace xplace {
+class ThreadPool;
+}
+
 namespace xplace::ops {
 
 class PoissonSolver {
@@ -30,9 +34,22 @@ class PoissonSolver {
   /// map. Results are valid until the next solve() call.
   void solve(const double* rho, bool want_potential);
 
+  /// Optional worker pool for the 2-D transforms and the spectral scaling.
+  /// Null (the default) keeps the historical serial path; the pooled result
+  /// is bitwise-identical for any worker count (disjoint writes, no
+  /// reductions).
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
   const std::vector<double>& ex() const { return ex_; }
   const std::vector<double>& ey() const { return ey_; }
   const std::vector<double>& psi() const { return psi_; }
+
+  /// Mutable views of the synthesized field grids. The gradient engine's
+  /// density passes scale the field in place by λ·q_i factors before
+  /// scattering it back to cells; exposing that intent here beats the
+  /// const_cast it previously used.
+  std::vector<double>& mutable_ex() { return ex_; }
+  std::vector<double>& mutable_ey() { return ey_; }
 
   /// Potential energy 0.5·Σ_b ρ_b ψ_b (requires want_potential=true on the
   /// preceding solve).
@@ -42,6 +59,7 @@ class PoissonSolver {
 
  private:
   int m_;
+  ThreadPool* pool_ = nullptr;       // not owned; null = serial
   std::vector<double> wu_, wv_;      // angular frequencies per index
   std::vector<double> coeff_;        // scratch: DCT coefficients
   std::vector<double> ex_, ey_, psi_;

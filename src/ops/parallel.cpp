@@ -10,12 +10,38 @@ namespace xplace::ops {
 
 using tensor::Dispatcher;
 
+namespace {
+
+/// Per-partition scratch reused across launches, owned by the calling thread
+/// (thread_local so concurrent callers never share it). Buffers are zeroed
+/// inside each partition's own task — in parallel — so the steady-state
+/// per-iteration cost is a fill, not a round of heap allocations.
+struct PartitionScratch {
+  std::vector<std::vector<float>> gx, gy;  // per-partition cell gradients
+  std::vector<std::vector<double>> bins;   // per-partition density maps
+  std::vector<double> wa, hp;              // per-partition scalar sums
+};
+
+PartitionScratch& scratch() {
+  static thread_local PartitionScratch s;
+  return s;
+}
+
+template <typename T>
+void ensure_buffers(std::vector<std::vector<T>>& bufs, std::size_t workers) {
+  if (bufs.size() < workers) bufs.resize(workers);
+}
+
+}  // namespace
+
 WirelengthSums fused_wl_grad_hpwl_mt(const NetlistView& v, const float* x,
                                      const float* y, float gamma,
                                      float* grad_x, float* grad_y,
                                      ThreadPool& pool) {
   WirelengthSums sums;
-  Dispatcher::global().run("fused_wl_grad_hpwl_mt", [&] {
+  // Same op name as the serial kernel: the backend changes how the kernel
+  // runs, not which kernel runs, so launch-count contracts hold either way.
+  Dispatcher::global().run("fused_wl_grad_hpwl", [&] {
     const float inv_gamma = 1.0f / gamma;
     const std::size_t workers = pool.size();
     if (workers <= 1 || v.num_nets < 256) {
@@ -26,49 +52,106 @@ WirelengthSums fused_wl_grad_hpwl_mt(const NetlistView& v, const float* x,
       }
       return;
     }
-    const std::size_t n_cells = [&] {
-      std::size_t mx = 0;
-      for (std::uint32_t c : v.pin_cell) mx = std::max<std::size_t>(mx, c + 1);
-      return mx;
-    }();
-    // Static partition: worker w owns nets [w·N/W, (w+1)·N/W) and a private
-    // gradient buffer; buffers reduce in worker order (deterministic).
-    std::vector<std::vector<float>> gx(workers), gy(workers);
-    std::vector<double> wa(workers, 0.0), hp(workers, 0.0);
-    for (auto& g : gx) g.assign(n_cells, 0.0f);
-    for (auto& g : gy) g.assign(n_cells, 0.0f);
-    pool.parallel_for(workers, [&](std::size_t b, std::size_t e_, std::size_t) {
-      for (std::size_t w = b; w < e_; ++w) {
-        const std::size_t lo = w * v.num_nets / workers;
-        const std::size_t hi = (w + 1) * v.num_nets / workers;
-        for (std::size_t e = lo; e < hi; ++e) {
-          if (!v.net_mask[e]) continue;
-          detail::fused_net(v, e, x, y, inv_gamma, gx[w].data(), gy[w].data(),
-                            wa[w], hp[w]);
+    const std::size_t n_cells = v.num_cells;
+    auto& s = scratch();
+    ensure_buffers(s.gx, workers);
+    ensure_buffers(s.gy, workers);
+    s.wa.assign(workers, 0.0);
+    s.hp.assign(workers, 0.0);
+    // Static partition: worker slot w owns nets [w·N/W, (w+1)·N/W) and a
+    // private gradient buffer (grain 1 → exactly one task per slot).
+    pool.parallel_for(
+        workers,
+        [&](std::size_t b, std::size_t e_, std::size_t) {
+          for (std::size_t w = b; w < e_; ++w) {
+            s.gx[w].assign(n_cells, 0.0f);
+            s.gy[w].assign(n_cells, 0.0f);
+            const std::size_t lo = w * v.num_nets / workers;
+            const std::size_t hi = (w + 1) * v.num_nets / workers;
+            for (std::size_t e = lo; e < hi; ++e) {
+              if (!v.net_mask[e]) continue;
+              detail::fused_net(v, e, x, y, inv_gamma, s.gx[w].data(),
+                                s.gy[w].data(), s.wa[w], s.hp[w]);
+            }
+          }
+        },
+        /*grain=*/1);
+    // Deterministic parallel reduction: every cell sums its partitions in
+    // fixed slot order, regardless of which thread handles the cell.
+    pool.parallel_for(n_cells, [&](std::size_t b, std::size_t e_, std::size_t) {
+      for (std::size_t c = b; c < e_; ++c) {
+        float ax = 0.0f, ay = 0.0f;
+        for (std::size_t w = 0; w < workers; ++w) {
+          ax += s.gx[w][c];
+          ay += s.gy[w][c];
         }
+        grad_x[c] += ax;
+        grad_y[c] += ay;
       }
     });
     for (std::size_t w = 0; w < workers; ++w) {
-      sums.wa += wa[w];
-      sums.hpwl += hp[w];
-      for (std::size_t c = 0; c < n_cells; ++c) {
-        grad_x[c] += gx[w][c];
-        grad_y[c] += gy[w][c];
-      }
+      sums.wa += s.wa[w];
+      sums.hpwl += s.hp[w];
     }
   });
   return sums;
 }
+
+namespace {
+
+/// Shared core of the two parallel scatters: partitioned accumulation into
+/// per-slot bin maps followed by a deterministic parallel bin reduction.
+/// `cell_at(i)` maps a partition index in [0, count) to a cell id.
+template <typename CellAt>
+void scatter_partitioned(const DensityGrid& grid, const float* x,
+                         const float* y, std::size_t count, double* map,
+                         bool clear, ThreadPool& pool, CellAt&& cell_at) {
+  const std::size_t workers = pool.size();
+  auto& s = scratch();
+  ensure_buffers(s.bins, workers);
+  pool.parallel_for(
+      workers,
+      [&](std::size_t b, std::size_t e_, std::size_t) {
+        for (std::size_t w = b; w < e_; ++w) {
+          s.bins[w].assign(grid.num_bins(), 0.0);
+          double* m = s.bins[w].data();
+          const std::size_t lo = w * count / workers;
+          const std::size_t hi = (w + 1) * count / workers;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t c = cell_at(i);
+            const double scale =
+                grid.cell_density_scale(c) * grid.inv_bin_area();
+            grid.for_each_overlap(c, x, y, [&](std::size_t bin, double ov) {
+              m[bin] += ov * scale;
+            });
+          }
+        }
+      },
+      /*grain=*/1);
+  // Each bin folds its partitions in fixed slot order — deterministic and
+  // matching the historical serial reduction order (base + p0 + p1 + …).
+  pool.parallel_for(grid.num_bins(),
+                    [&](std::size_t b, std::size_t e_, std::size_t) {
+                      for (std::size_t bin = b; bin < e_; ++bin) {
+                        double acc = clear ? 0.0 : map[bin];
+                        for (std::size_t w = 0; w < workers; ++w) {
+                          acc += s.bins[w][bin];
+                        }
+                        map[bin] = acc;
+                      }
+                    });
+}
+
+}  // namespace
 
 void accumulate_range_mt(const DensityGrid& grid, const char* opname,
                          const float* x, const float* y, std::size_t begin,
                          std::size_t end, double* map, bool clear,
                          ThreadPool& pool) {
   Dispatcher::global().run(opname, [&] {
-    if (clear) std::fill(map, map + grid.num_bins(), 0.0);
-    const std::size_t workers = pool.size();
     const std::size_t count = end - begin;
-    if (workers <= 1 || count < 512) {
+    if (pool.size() <= 1 || count < 512) {
+      if (clear) std::fill(map, map + grid.num_bins(), 0.0);
       for (std::size_t c = begin; c < end; ++c) {
         const double scale = grid.cell_density_scale(c) * grid.inv_bin_area();
         grid.for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
@@ -77,24 +160,28 @@ void accumulate_range_mt(const DensityGrid& grid, const char* opname,
       }
       return;
     }
-    std::vector<std::vector<double>> partial(workers);
-    for (auto& p : partial) p.assign(grid.num_bins(), 0.0);
-    pool.parallel_for(workers, [&](std::size_t b, std::size_t e_, std::size_t) {
-      for (std::size_t w = b; w < e_; ++w) {
-        const std::size_t lo = begin + w * count / workers;
-        const std::size_t hi = begin + (w + 1) * count / workers;
-        double* m = partial[w].data();
-        for (std::size_t c = lo; c < hi; ++c) {
-          const double scale = grid.cell_density_scale(c) * grid.inv_bin_area();
-          grid.for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
-            m[bin] += overlap * scale;
-          });
-        }
+    scatter_partitioned(grid, x, y, count, map, clear, pool,
+                        [begin](std::size_t i) { return begin + i; });
+  });
+}
+
+void accumulate_cells_mt(const DensityGrid& grid, const char* opname,
+                         const float* x, const float* y,
+                         const std::vector<std::uint32_t>& cells, double* map,
+                         bool clear, ThreadPool& pool) {
+  Dispatcher::global().run(opname, [&] {
+    if (pool.size() <= 1 || cells.size() < 512) {
+      if (clear) std::fill(map, map + grid.num_bins(), 0.0);
+      for (const std::uint32_t c : cells) {
+        const double scale = grid.cell_density_scale(c) * grid.inv_bin_area();
+        grid.for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
+          map[bin] += overlap * scale;
+        });
       }
-    });
-    for (std::size_t w = 0; w < workers; ++w) {
-      for (std::size_t b = 0; b < grid.num_bins(); ++b) map[b] += partial[w][b];
+      return;
     }
+    scatter_partitioned(grid, x, y, cells.size(), map, clear, pool,
+                        [&cells](std::size_t i) { return cells[i]; });
   });
 }
 
@@ -118,6 +205,33 @@ void gather_field_mt(const DensityGrid& grid, const char* opname,
         grad_y[c] += coeff * static_cast<float>(q * fy);
       }
     });
+  });
+}
+
+void gather_field_cells_mt(const DensityGrid& grid, const char* opname,
+                           const float* x, const float* y,
+                           const std::vector<std::uint32_t>& cells,
+                           const double* ex, const double* ey, float coeff,
+                           float* grad_x, float* grad_y, ThreadPool& pool) {
+  Dispatcher::global().run(opname, [&] {
+    // Fence-system cell lists are disjoint per call and each cell owns its
+    // gradient slot, so direct parallel writes are safe here too.
+    pool.parallel_for(cells.size(),
+                      [&](std::size_t b, std::size_t e_, std::size_t) {
+                        for (std::size_t i = b; i < e_; ++i) {
+                          const std::size_t c = cells[i];
+                          double fx = 0.0, fy = 0.0;
+                          grid.for_each_overlap(
+                              c, x, y, [&](std::size_t bin, double overlap) {
+                                fx += overlap * ex[bin];
+                                fy += overlap * ey[bin];
+                              });
+                          const double q = grid.cell_density_scale(c) *
+                                           grid.inv_bin_area();
+                          grad_x[c] += coeff * static_cast<float>(q * fx);
+                          grad_y[c] += coeff * static_cast<float>(q * fy);
+                        }
+                      });
   });
 }
 

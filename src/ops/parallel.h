@@ -12,7 +12,12 @@
 //     is written by exactly one worker).
 //
 // Each *_mt call still counts as one dispatcher launch: it models one fat
-// kernel, not many.
+// kernel, not many. The fused wirelength kernel launches under the SAME op
+// name as its serial twin ("fused_wl_grad_hpwl") — the backend choice changes
+// how the kernel runs, not which kernel runs, so launch-count contracts hold
+// for either backend. Per-partition scratch persists across launches
+// (thread_local to the caller) and is zeroed inside each partition's own
+// task, keeping the steady-state path allocation-free.
 #pragma once
 
 #include "ops/density.h"
@@ -34,11 +39,25 @@ void accumulate_range_mt(const DensityGrid& grid, const char* opname,
                          std::size_t end, double* map, bool clear,
                          ThreadPool& pool);
 
+/// Parallel density scatter of an explicit cell list (the members of one
+/// fence-region system in the multi-electrostatics path).
+void accumulate_cells_mt(const DensityGrid& grid, const char* opname,
+                         const float* x, const float* y,
+                         const std::vector<std::uint32_t>& cells, double* map,
+                         bool clear, ThreadPool& pool);
+
 /// Parallel field gather (adjoint of the scatter).
 void gather_field_mt(const DensityGrid& grid, const char* opname,
                      const float* x, const float* y, std::size_t begin,
                      std::size_t end, const double* ex, const double* ey,
                      float coeff, float* grad_x, float* grad_y,
                      ThreadPool& pool);
+
+/// Parallel field gather for an explicit cell list (fence-region systems).
+void gather_field_cells_mt(const DensityGrid& grid, const char* opname,
+                           const float* x, const float* y,
+                           const std::vector<std::uint32_t>& cells,
+                           const double* ex, const double* ey, float coeff,
+                           float* grad_x, float* grad_y, ThreadPool& pool);
 
 }  // namespace xplace::ops

@@ -1,6 +1,7 @@
 #include "tensor/dispatch.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "telemetry/metrics.h"
@@ -14,10 +15,31 @@ Dispatcher& Dispatcher::global() {
 
 void Dispatcher::begin_launch(const char* name) {
   total_launches_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++launch_counts_[name];
+  // Fibonacci-hash the literal's address into the slot table; linear probe.
+  // Names are string literals, so pointer equality identifies the op and the
+  // whole path is wait-free after the slot's one-time CAS claim.
+  const std::uint64_t h =
+      (reinterpret_cast<std::uintptr_t>(name) * 0x9e3779b97f4a7c15ull) >> 32;
+  bool counted = false;
+  for (std::size_t probe = 0; probe < kSlots; ++probe) {
+    Slot& slot = slots_[(h + probe) & (kSlots - 1)];
+    const char* key = slot.name.load(std::memory_order_acquire);
+    if (key == nullptr) {
+      const char* expected = nullptr;
+      if (slot.name.compare_exchange_strong(expected, name,
+                                            std::memory_order_acq_rel)) {
+        key = name;
+      } else {
+        key = expected;  // another thread claimed it first
+      }
+    }
+    if (key == name) {
+      slot.count.fetch_add(1, std::memory_order_relaxed);
+      counted = true;
+      break;
+    }
   }
+  if (!counted) overflow_launches_.fetch_add(1, std::memory_order_relaxed);
   if (launch_latency_ > 0.0) {
     // Busy-wait: models the CPU being occupied enqueueing the kernel.
     const auto until = std::chrono::steady_clock::now() +
@@ -29,14 +51,23 @@ void Dispatcher::begin_launch(const char* name) {
 }
 
 std::map<std::string, std::uint64_t> Dispatcher::launch_counts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return launch_counts_;
+  std::map<std::string, std::uint64_t> out;
+  for (const Slot& slot : slots_) {
+    const char* key = slot.name.load(std::memory_order_acquire);
+    if (key == nullptr) continue;
+    const std::uint64_t n = slot.count.load(std::memory_order_relaxed);
+    if (n > 0) out[key] += n;  // merges equal-text literals from distinct TUs
+  }
+  const std::uint64_t dropped =
+      overflow_launches_.load(std::memory_order_relaxed);
+  if (dropped > 0) out["(slot-table overflow)"] += dropped;
+  return out;
 }
 
 void Dispatcher::reset_counters() {
-  std::lock_guard<std::mutex> lock(mutex_);
   total_launches_.store(0, std::memory_order_relaxed);
-  launch_counts_.clear();
+  overflow_launches_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) slot.count.store(0, std::memory_order_relaxed);
 }
 
 std::string Dispatcher::report() const {

@@ -16,16 +16,17 @@
 //     run both modes.
 //
 // The dispatcher is intentionally a process-global: it models the single CUDA
-// stream the placer uses. Counters are thread-safe (atomic total + mutexed
-// per-name map) so kernels launched from pool workers are accounted
-// correctly.
+// stream the placer uses. Counters are thread-safe AND lock-free on the hot
+// path: per-op launch counts live in a fixed-slot open-addressed table keyed
+// by the op name's string-literal *pointer* (claimed once by CAS), so kernels
+// launched from pool workers never serialize on a mutex per launch.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "telemetry/trace.h"
@@ -56,9 +57,13 @@ class Dispatcher {
   std::uint64_t total_launches() const {
     return total_launches_.load(std::memory_order_relaxed);
   }
-  /// Snapshot of the per-op launch histogram.
+  /// Snapshot of the per-op launch histogram. Aggregates by string *content*
+  /// (distinct literals with equal text merge); zero-count slots are elided,
+  /// so the map is empty right after reset_counters().
   std::map<std::string, std::uint64_t> launch_counts() const;
 
+  /// Zeroes all counters. Claimed name slots are retained (names are
+  /// process-lifetime literals). Call only while no kernels are launching.
   void reset_counters();
 
   /// Human-readable per-op launch histogram.
@@ -73,10 +78,21 @@ class Dispatcher {
  private:
   void begin_launch(const char* name);
 
+  /// One per-op counter slot. `name` is claimed by CAS on first launch and
+  /// never released; `count` is a relaxed atomic increment thereafter.
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> count{0};
+  };
+  /// Power of two, comfortably above the distinct op-name population (~60 in
+  /// the full flow). Collisions probe linearly; a full table (a bug magnet,
+  /// not a real regime) falls back to the overflow counter.
+  static constexpr std::size_t kSlots = 512;
+
   double launch_latency_ = 0.0;
   std::atomic<std::uint64_t> total_launches_{0};
-  mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t> launch_counts_;
+  std::atomic<std::uint64_t> overflow_launches_{0};
+  std::array<Slot, kSlots> slots_;
 };
 
 /// RAII guard that sets the global launch latency and restores it on exit.

@@ -4,7 +4,20 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "util/timer.h"
+
 namespace xplace {
+namespace {
+
+/// Relaxed fetch-add for atomic<double> (no hardware primitive in libstdc++;
+/// a CAS loop is fine for the per-task accounting rate).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -28,13 +41,25 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_chunks(const Task& task, std::size_t worker_index) {
   const std::size_t n_chunks = (task.n + task.chunk - 1) / task.chunk;
+  double busy = 0.0;
   for (;;) {
     const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
     if (c >= n_chunks) break;
     const std::size_t begin = c * task.chunk;
     const std::size_t end = std::min(task.n, begin + task.chunk);
-    (*task.fn)(begin, end, worker_index);
+    Stopwatch watch;
+    try {
+      (*task.fn)(begin, end, worker_index);
+    } catch (...) {
+      // First exception wins; abandon the remaining chunks so every worker
+      // drains quickly and parallel_for can rethrow.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!pending_exception_) pending_exception_ = std::current_exception();
+      next_chunk_.store(n_chunks, std::memory_order_relaxed);
+    }
+    busy += watch.seconds();
   }
+  if (busy > 0.0) atomic_add(busy_seconds_, busy);
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -58,29 +83,50 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 
 void ThreadPool::parallel_for(
     std::size_t n,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (n == 0) return;
   if (workers_.empty()) {
     fn(0, n, 0);
     return;
   }
+  Stopwatch wall;
   const std::size_t workers = size();
-  // ~4 chunks per worker for load balancing, but never chunks smaller than 64
-  // elements (per-chunk dispatch would dominate).
-  std::size_t chunk = std::max<std::size_t>(64, n / (workers * 4) + 1);
+  // Default: ~4 chunks per worker for load balancing, but never chunks smaller
+  // than 64 elements (per-chunk dispatch would dominate). Callers with coarse
+  // per-index work override via `grain`.
+  const std::size_t chunk =
+      grain > 0 ? grain : std::max<std::size_t>(64, n / (workers * 4) + 1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     task_.fn = &fn;
     task_.n = n;
     task_.chunk = chunk;
     next_chunk_.store(0, std::memory_order_relaxed);
+    pending_exception_ = nullptr;
     pending_ = workers_.size();
     ++generation_;
   }
   cv_start_.notify_all();
   run_chunks(task_, 0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [&] { return pending_ == 0; });
+  std::exception_ptr eptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    eptr = pending_exception_;
+    pending_exception_ = nullptr;
+  }
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(wall_seconds_, wall.seconds());
+  if (eptr) std::rethrow_exception(eptr);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.dispatches = dispatches_.load(std::memory_order_relaxed);
+  s.busy_seconds = busy_seconds_.load(std::memory_order_relaxed);
+  s.wall_seconds = wall_seconds_.load(std::memory_order_relaxed);
+  return s;
 }
 
 ThreadPool& ThreadPool::global() {

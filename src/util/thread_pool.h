@@ -9,6 +9,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,9 +33,31 @@ class ThreadPool {
   /// blocks until all chunks complete. worker_index is in [0, size()).
   /// The calling thread participates, so a pool of size 1 degenerates to a
   /// plain loop with zero synchronization overhead.
+  ///
+  /// If fn throws, the first exception (any worker) is captured, remaining
+  /// chunks are abandoned, and the exception is rethrown here after all
+  /// workers have quiesced; the pool stays usable.
+  ///
+  /// `grain` is the chunk size: 0 picks an element-loop heuristic (~4 chunks
+  /// per worker, minimum 64 elements). Pass an explicit grain (usually 1)
+  /// when each index is a coarse work item — a row transform, a per-worker
+  /// partition, a trial placement — or the heuristic minimum will lump the
+  /// whole range into one or two chunks.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t,
-                                             std::size_t)>& fn);
+                                             std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// Pool-utilization accounting, accumulated across every parallel_for:
+  /// dispatch count and the summed worker-busy vs caller-wall seconds
+  /// (utilization = busy / (wall · size())). Exposed so the
+  /// ExecutionContext can publish `exec.pool.*` telemetry.
+  struct Stats {
+    std::uint64_t dispatches = 0;  ///< parallel_for calls that fanned out
+    double busy_seconds = 0.0;     ///< Σ per-worker in-kernel time
+    double wall_seconds = 0.0;     ///< Σ caller-side parallel_for time
+  };
+  Stats stats() const;
 
   /// Process-wide default pool (sized from XPLACE_THREADS env var if set,
   /// otherwise hardware concurrency).
@@ -58,7 +82,13 @@ class ThreadPool {
   std::size_t generation_ = 0;  // incremented per parallel_for call
   std::size_t pending_ = 0;     // workers still running the current task
   std::atomic<std::size_t> next_chunk_{0};
+  std::exception_ptr pending_exception_;  // first exception of the current task
   bool stop_ = false;
+
+  // Utilization accounting (relaxed; read via stats()).
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::atomic<double> busy_seconds_{0.0};
+  std::atomic<double> wall_seconds_{0.0};
 };
 
 }  // namespace xplace
