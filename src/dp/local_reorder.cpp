@@ -189,6 +189,30 @@ PassStats local_reorder_pass(db::Database& db, int window,
   }
 
   stats.hpwl_after = db.hpwl();
+  // Each row was priced against the pass-entry snapshot, so two rows sharing
+  // a net can each win locally yet jointly regress once both commit. The
+  // serial pass is monotone non-increasing; guarantee the same here: if the
+  // joint commit regressed, undo it and redo the pass serially. The parallel
+  // outcome is snapshot-deterministic, so this fallback fires (or not)
+  // identically for every worker count.
+  if (stats.hpwl_after > stats.hpwl_before) {
+    for (const RowResult& res : results) {
+      for (const auto& mv : res.moved) {
+        db.set_position(mv.first, sx[mv.first], sy[mv.first]);
+      }
+    }
+    stats.moves_accepted = 0;
+    per_row = group_rows(db, rows);  // positions are back at the snapshot
+    HpwlEval eval(db);
+    for (std::size_t row = 0; row < per_row.size(); ++row) {
+      stats.moves_accepted += reorder_row(db, rows, row, per_row[row], window,
+                                          eval, sx.data(), sy.data());
+      for (std::uint32_t cell : per_row[row]) {
+        db.set_position(cell, sx[cell], sy[cell]);
+      }
+    }
+    stats.hpwl_after = db.hpwl();
+  }
   stats.seconds = watch.seconds();
   return stats;
 }

@@ -27,7 +27,10 @@ struct PassStats {
 /// row still see that row's earlier accepts), and accepted positions are
 /// committed serially in row order afterwards. That makes the parallel pass
 /// deterministic for ANY worker count; it differs from the serial pass only
-/// through the snapshot semantics of nets spanning multiple rows. Null (the
+/// through the snapshot semantics of nets spanning multiple rows. Snapshot
+/// pricing is not monotone (two rows sharing a net can jointly regress), so
+/// the pass re-checks HPWL after committing and falls back to a serial redo
+/// if it increased — hpwl_after <= hpwl_before always holds. Null (the
 /// default) is the historical serial path, bit for bit.
 PassStats local_reorder_pass(db::Database& db, int window,
                              const ExecutionContext* exec = nullptr);

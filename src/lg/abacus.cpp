@@ -80,7 +80,8 @@ double place_row(SegmentState& st, std::uint32_t cell, double target_lx,
 
 }  // namespace
 
-LegalizeStats abacus_legalize(db::Database& db, const ExecutionContext* exec) {
+LegalizeStats abacus_legalize(db::Database& db, const ExecutionContext* exec,
+                              std::size_t min_band_clusters) {
   XP_TRACE_SCOPE("lg.abacus");
   Stopwatch watch;
   LegalizeStats stats;
@@ -159,7 +160,16 @@ LegalizeStats abacus_legalize(db::Database& db, const ExecutionContext* exec) {
           band_cost[i] = dx * dx + band[i].dy2;
         }
       };
-      if (pool != nullptr && band.size() >= 2) {
+      // A trial place_row costs ~one cluster-list copy, so estimate the band's
+      // work in clusters and only pay the pool dispatch (cv broadcast + join,
+      // microseconds) when the trials amortize it; early bands on near-empty
+      // segments stay serial. band_cost is the same either way.
+      std::size_t band_clusters = 0;
+      for (const Candidate& cand : band) {
+        band_clusters += cand.st->clusters.size() + 1;
+      }
+      if (pool != nullptr && band.size() >= 2 &&
+          band_clusters >= min_band_clusters) {
         pool->parallel_for(band.size(), eval, /*grain=*/1);
       } else {
         eval(0, band.size(), 0);

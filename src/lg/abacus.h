@@ -26,7 +26,14 @@ namespace xplace::lg {
 /// with a strict `<`, so the committed placement is bitwise-identical to the
 /// serial one for ANY worker count. Null (the default) is the historical
 /// serial path.
+///
+/// `min_band_clusters` gates the fan-out: a band is only dispatched to the
+/// pool when its estimated trial work (total clusters across candidate
+/// segments) reaches the threshold, since a pool dispatch costs microseconds
+/// but a trial on a near-empty segment costs nanoseconds. The default keeps
+/// small bands serial; tests pass 0 to force the pooled path.
 LegalizeStats abacus_legalize(db::Database& db,
-                              const ExecutionContext* exec = nullptr);
+                              const ExecutionContext* exec = nullptr,
+                              std::size_t min_band_clusters = 512);
 
 }  // namespace xplace::lg

@@ -1,7 +1,9 @@
 #include "tensor/dispatch.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "telemetry/metrics.h"
@@ -13,33 +15,51 @@ Dispatcher& Dispatcher::global() {
   return d;
 }
 
-void Dispatcher::begin_launch(const char* name) {
+const char* Dispatcher::intern(const char* name) {
+  std::lock_guard<std::mutex> lock(intern_mutex_);
+  return interned_.emplace(name).first->c_str();
+}
+
+const char* Dispatcher::begin_launch(const char* name) {
   total_launches_.fetch_add(1, std::memory_order_relaxed);
-  // Fibonacci-hash the literal's address into the slot table; linear probe.
-  // Names are string literals, so pointer equality identifies the op and the
-  // whole path is wait-free after the slot's one-time CAS claim.
-  const std::uint64_t h =
-      (reinterpret_cast<std::uintptr_t>(name) * 0x9e3779b97f4a7c15ull) >> 32;
-  bool counted = false;
+  active_launches_.fetch_add(1, std::memory_order_relaxed);
+  // FNV-1a over the name's *content*, then linear probe. Content hashing (not
+  // pointer hashing) means equal-text names land on one slot no matter where
+  // they are stored — string literals from any TU, or per-call temporaries
+  // like Tape::backward's "<op>.backward". The path stays lock-free per
+  // launch: the intern lock below is taken once per distinct name.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 1099511628211ull;
+  }
+  const char* stable = nullptr;
   for (std::size_t probe = 0; probe < kSlots; ++probe) {
     Slot& slot = slots_[(h + probe) & (kSlots - 1)];
     const char* key = slot.name.load(std::memory_order_acquire);
     if (key == nullptr) {
+      // First sighting on this probe chain: publish an interned copy so the
+      // slot key outlives any caller-owned buffer.
+      const char* candidate = intern(name);
       const char* expected = nullptr;
-      if (slot.name.compare_exchange_strong(expected, name,
+      if (slot.name.compare_exchange_strong(expected, candidate,
                                             std::memory_order_acq_rel)) {
-        key = name;
+        key = candidate;
       } else {
-        key = expected;  // another thread claimed it first
+        key = expected;  // another thread claimed this slot first
       }
     }
-    if (key == name) {
+    if (key == name || std::strcmp(key, name) == 0) {
       slot.count.fetch_add(1, std::memory_order_relaxed);
-      counted = true;
+      stable = key;
       break;
     }
   }
-  if (!counted) overflow_launches_.fetch_add(1, std::memory_order_relaxed);
+  if (stable == nullptr) {
+    // Table full — count the launch, and still hand back a process-lifetime
+    // pointer for the trace span.
+    overflow_launches_.fetch_add(1, std::memory_order_relaxed);
+    stable = intern(name);
+  }
   if (launch_latency_ > 0.0) {
     // Busy-wait: models the CPU being occupied enqueueing the kernel.
     const auto until = std::chrono::steady_clock::now() +
@@ -48,6 +68,7 @@ void Dispatcher::begin_launch(const char* name) {
       // spin
     }
   }
+  return stable;
 }
 
 std::map<std::string, std::uint64_t> Dispatcher::launch_counts() const {
@@ -56,7 +77,7 @@ std::map<std::string, std::uint64_t> Dispatcher::launch_counts() const {
     const char* key = slot.name.load(std::memory_order_acquire);
     if (key == nullptr) continue;
     const std::uint64_t n = slot.count.load(std::memory_order_relaxed);
-    if (n > 0) out[key] += n;  // merges equal-text literals from distinct TUs
+    if (n > 0) out[key] += n;
   }
   const std::uint64_t dropped =
       overflow_launches_.load(std::memory_order_relaxed);
@@ -65,6 +86,10 @@ std::map<std::string, std::uint64_t> Dispatcher::launch_counts() const {
 }
 
 void Dispatcher::reset_counters() {
+  // Contract: the single flow thread calls this between phases. A launch
+  // racing the reset would leave total vs per-slot counts skewed.
+  assert(active_launches_.load(std::memory_order_acquire) == 0 &&
+         "Dispatcher::reset_counters while kernels are launching");
   total_launches_.store(0, std::memory_order_relaxed);
   overflow_launches_.store(0, std::memory_order_relaxed);
   for (Slot& slot : slots_) slot.count.store(0, std::memory_order_relaxed);

@@ -18,8 +18,11 @@
 // The dispatcher is intentionally a process-global: it models the single CUDA
 // stream the placer uses. Counters are thread-safe AND lock-free on the hot
 // path: per-op launch counts live in a fixed-slot open-addressed table keyed
-// by the op name's string-literal *pointer* (claimed once by CAS), so kernels
-// launched from pool workers never serialize on a mutex per launch.
+// by a content hash of the op name. A name is interned (copied into dispatcher-
+// owned storage, under a lock taken once per *distinct* name) when its slot is
+// first claimed by CAS, so callers may pass transient buffers — e.g.
+// Tape::backward's per-node "<op>.backward" temporaries — and kernels launched
+// from pool workers never serialize on a mutex per launch.
 #pragma once
 
 #include <array>
@@ -27,6 +30,8 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 
 #include "telemetry/trace.h"
@@ -45,25 +50,29 @@ class Dispatcher {
   void set_launch_latency(double seconds) { launch_latency_ = seconds; }
   double launch_latency() const { return launch_latency_; }
 
-  /// Execute a kernel body under launch accounting. `name` must be a string
-  /// literal (it is retained by the tracer without copying).
+  /// Execute a kernel body under launch accounting. `name` may be any
+  /// NUL-terminated string — it is interned on first sighting, and the
+  /// interned copy (stable for the process lifetime) is what the tracer
+  /// retains, so transient buffers are safe.
   template <typename Fn>
   void run(const char* name, Fn&& kernel) {
-    begin_launch(name);
-    telemetry::TraceScope span(name);
+    const char* stable = begin_launch(name);
+    const EndLaunchGuard guard{this};
+    telemetry::TraceScope span(stable);
     kernel();
   }
 
   std::uint64_t total_launches() const {
     return total_launches_.load(std::memory_order_relaxed);
   }
-  /// Snapshot of the per-op launch histogram. Aggregates by string *content*
-  /// (distinct literals with equal text merge); zero-count slots are elided,
-  /// so the map is empty right after reset_counters().
+  /// Snapshot of the per-op launch histogram, keyed by name content;
+  /// zero-count slots are elided, so the map is empty right after
+  /// reset_counters().
   std::map<std::string, std::uint64_t> launch_counts() const;
 
-  /// Zeroes all counters. Claimed name slots are retained (names are
-  /// process-lifetime literals). Call only while no kernels are launching.
+  /// Zeroes all counters. Claimed name slots (interned names) are retained.
+  /// Contract: call only while no kernels are launching — the single flow
+  /// thread between phases. Debug builds assert no launch is in flight.
   void reset_counters();
 
   /// Human-readable per-op launch histogram.
@@ -76,10 +85,24 @@ class Dispatcher {
   void publish(telemetry::Registry& registry) const;
 
  private:
-  void begin_launch(const char* name);
+  /// Counts the launch and returns the interned (process-lifetime) copy of
+  /// `name` for the trace span. Pair with end_launch().
+  const char* begin_launch(const char* name);
+  void end_launch() { active_launches_.fetch_sub(1, std::memory_order_release); }
 
-  /// One per-op counter slot. `name` is claimed by CAS on first launch and
-  /// never released; `count` is a relaxed atomic increment thereafter.
+  /// Copies `name` into dispatcher-owned stable storage (deduplicated).
+  /// Locks, but is only reached on the first sighting of a distinct name (or
+  /// on slot-table overflow, which is a bug regime).
+  const char* intern(const char* name);
+
+  struct EndLaunchGuard {
+    Dispatcher* d;
+    ~EndLaunchGuard() { d->end_launch(); }
+  };
+
+  /// One per-op counter slot. `name` (an interned pointer) is claimed by CAS
+  /// on first launch and never released; `count` is a relaxed atomic
+  /// increment thereafter.
   struct Slot {
     std::atomic<const char*> name{nullptr};
     std::atomic<std::uint64_t> count{0};
@@ -92,7 +115,10 @@ class Dispatcher {
   double launch_latency_ = 0.0;
   std::atomic<std::uint64_t> total_launches_{0};
   std::atomic<std::uint64_t> overflow_launches_{0};
+  std::atomic<std::int64_t> active_launches_{0};  ///< launches in flight
   std::array<Slot, kSlots> slots_;
+  std::mutex intern_mutex_;
+  std::set<std::string> interned_;  // node-based: c_str() pointers are stable
 };
 
 /// RAII guard that sets the global launch latency and restores it on exit.

@@ -21,7 +21,9 @@ ExecutionContext ExecutionContext::from_env() {
     const long v = std::strtol(env, nullptr, 10);
     if (v > 1) {
       // Borrow the process-wide pool (sized from the same env var) instead of
-      // spawning a fresh one per placer: one shared pool for the flow.
+      // spawning a fresh one per placer: one shared pool for the flow. If two
+      // flow threads ever dispatch concurrently, parallel_for serializes the
+      // loser inline rather than racing the task slot (see thread_pool.h).
       ExecutionContext ctx;
       ctx.backend_ = ExecBackend::kThreadPool;
       ctx.pool_ = std::shared_ptr<ThreadPool>(&ThreadPool::global(),

@@ -17,6 +17,10 @@ void atomic_add(std::atomic<double>& a, double v) {
   }
 }
 
+/// Set while this thread executes chunks of any pool's task: a kernel calling
+/// parallel_for from inside a worker must not touch the single task slot.
+thread_local bool t_in_pool_chunk = false;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -41,6 +45,8 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_chunks(const Task& task, std::size_t worker_index) {
   const std::size_t n_chunks = (task.n + task.chunk - 1) / task.chunk;
+  const bool was_in_chunk = t_in_pool_chunk;
+  t_in_pool_chunk = true;
   double busy = 0.0;
   for (;;) {
     const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
@@ -59,6 +65,7 @@ void ThreadPool::run_chunks(const Task& task, std::size_t worker_index) {
     }
     busy += watch.seconds();
   }
+  t_in_pool_chunk = was_in_chunk;
   if (busy > 0.0) atomic_add(busy_seconds_, busy);
 }
 
@@ -86,10 +93,24 @@ void ThreadPool::parallel_for(
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
     std::size_t grain) {
   if (n == 0) return;
-  if (workers_.empty()) {
+  if (workers_.empty() || t_in_pool_chunk) {
+    // No workers, or a nested call from inside a chunk: run inline.
     fn(0, n, 0);
     return;
   }
+  bool expected = false;
+  if (!dispatching_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+    // Another thread is already driving this pool (e.g. two placers sharing
+    // the global pool): racing the single task slot would corrupt it, so run
+    // this caller's range inline instead.
+    fn(0, n, 0);
+    return;
+  }
+  struct DispatchClear {
+    std::atomic<bool>* flag;
+    ~DispatchClear() { flag->store(false, std::memory_order_release); }
+  } dispatch_clear{&dispatching_};
   Stopwatch wall;
   const std::size_t workers = size();
   // Default: ~4 chunks per worker for load balancing, but never chunks smaller

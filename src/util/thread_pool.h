@@ -38,6 +38,14 @@ class ThreadPool {
   /// chunks are abandoned, and the exception is rethrown here after all
   /// workers have quiesced; the pool stays usable.
   ///
+  /// The pool has one task slot, so only one thread may drive it at a time.
+  /// Rather than deadlock or corrupt the slot, unsupported dispatches degrade
+  /// to inline serial execution of the whole range (fn(0, n, 0) on the
+  /// caller): a nested parallel_for from inside a worker chunk, or a
+  /// concurrent parallel_for from a second flow thread while another is
+  /// already dispatching. The intended regime remains one flow thread owning
+  /// the pool.
+  ///
   /// `grain` is the chunk size: 0 picks an element-loop heuristic (~4 chunks
   /// per worker, minimum 64 elements). Pass an explicit grain (usually 1)
   /// when each index is a coarse work item — a row transform, a per-worker
@@ -83,6 +91,7 @@ class ThreadPool {
   std::size_t pending_ = 0;     // workers still running the current task
   std::atomic<std::size_t> next_chunk_{0};
   std::exception_ptr pending_exception_;  // first exception of the current task
+  std::atomic<bool> dispatching_{false};  // a thread is driving parallel_for
   bool stop_ = false;
 
   // Utilization accounting (relaxed; read via stats()).

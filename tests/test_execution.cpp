@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/placer.h"
@@ -100,6 +101,45 @@ TEST(ThreadPoolEdge, ExceptionPropagatesAndPoolStaysUsable) {
     sum.fetch_add(static_cast<int>(e - b));
   });
   EXPECT_EQ(sum.load(), 256);
+}
+
+TEST(ThreadPoolEdge, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<int> inner_sum(8, 0);
+  pool.parallel_for(
+      inner_sum.size(),
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t i = b; i < e; ++i) {
+          // A kernel calling back into its own pool must degrade to an inline
+          // serial loop (there is one task slot), not deadlock on the worker
+          // it occupies.
+          pool.parallel_for(
+              100, [&](std::size_t ib, std::size_t ie, std::size_t) {
+                inner_sum[i] += static_cast<int>(ie - ib);
+              });
+        }
+      },
+      /*grain=*/1);
+  for (int s : inner_sum) EXPECT_EQ(s, 100);
+}
+
+TEST(ThreadPoolEdge, ConcurrentExternalDispatchFallsBackInline) {
+  // Two flow threads hammering one pool: whichever loses the dispatch race
+  // must run its range inline rather than corrupt the shared task slot.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4000);
+  for (auto& h : hits) h.store(0);
+  auto drive = [&](std::size_t offset) {
+    for (int rep = 0; rep < 50; ++rep) {
+      pool.parallel_for(2000, [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t i = b; i < e; ++i) hits[offset + i].fetch_add(1);
+      });
+    }
+  };
+  std::thread other([&] { drive(2000); });
+  drive(0);
+  other.join();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 50);
 }
 
 TEST(ThreadPoolEdge, StatsAccumulateAcrossDispatches) {
@@ -248,7 +288,9 @@ TEST(ExecutionLG, AbacusParallelBitwiseMatchesSerial) {
   lg::abacus_legalize(db_s);  // historical serial path
 
   const ExecutionContext exec = ExecutionContext::from_threads(4);
-  lg::abacus_legalize(db_p, &exec);
+  // min_band_clusters=0 forces every band through the pool — the work gate
+  // would otherwise keep this small design's bands serial.
+  lg::abacus_legalize(db_p, &exec, /*min_band_clusters=*/0);
 
   for (std::size_t c = 0; c < db_s.num_movable(); ++c) {
     ASSERT_EQ(db_p.x(c), db_s.x(c)) << "cell " << c;
@@ -267,6 +309,9 @@ TEST(ExecutionDP, LocalReorderDeterministicAcrossWorkerCounts) {
     lg::abacus_legalize(db);
     const ExecutionContext exec = ExecutionContext::from_threads(workers);
     const dp::PassStats stats = dp::local_reorder_pass(db, 3, &exec);
+    // Guaranteed, not luck: rows price moves against the pass-entry snapshot
+    // (joint commits could regress), but the pass recomputes HPWL after
+    // committing and redoes the pass serially if it went up.
     EXPECT_LE(stats.hpwl_after, stats.hpwl_before + 1e-9);
     auto& out = workers == 2 ? pos2 : pos4;
     for (std::size_t c = 0; c < db.num_movable(); ++c) {

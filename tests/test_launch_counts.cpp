@@ -35,6 +35,23 @@ std::vector<float> coords(const db::Database& db, bool want_x) {
   return v;
 }
 
+TEST(LaunchCounts, TransientNameBuffersCountByContent) {
+  // The slot table keys by name *content* and interns the string on first
+  // claim, so per-call temporaries (the Tape::backward pattern) aggregate
+  // correctly and the histogram never dangles into freed buffers.
+  auto& d = Dispatcher::global();
+  d.reset_counters();
+  for (int i = 0; i < 100; ++i) {
+    const std::string name =
+        std::string("transient.") + (i % 2 == 0 ? "even" : "odd");
+    d.run(name.c_str(), [] {});
+  }
+  const auto counts = d.launch_counts();
+  EXPECT_EQ(counts.at("transient.even"), 50u);
+  EXPECT_EQ(counts.at("transient.odd"), 50u);
+  EXPECT_EQ(counts.count("(slot-table overflow)"), 0u);
+}
+
 TEST(LaunchCounts, FusedWirelengthIsOneKernel) {
   db::Database db = lc_design();
   const ops::NetlistView view = ops::build_netlist_view(db);
