@@ -6,8 +6,17 @@
 //   * extracted vs joint density accumulation (operator extraction),
 //   * the spectral Poisson solve with and without the potential synthesis,
 //   * FFT/DCT transform costs across grid sizes.
+//
+// `--json <path>` switches to the SIMD A/B mode: the four hot kernel classes
+// (fused WA, density scatter, elementwise axpy, DCT pass) are timed under the
+// forced-scalar and (if the CPU has it) AVX2 backends, and a machine-readable
+// record {kernel, backend, threads, simd, ns_per_iter} per run is written to
+// <path> (see BENCH_simd.json / EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "fft/dct.h"
@@ -19,7 +28,10 @@
 #include "ops/wirelength.h"
 #include "ops/wirelength_tape.h"
 #include "tensor/tape.h"
+#include "util/arg_parser.h"
 #include "util/rng.h"
+#include "util/simd.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -177,6 +189,118 @@ void BM_Fft1d(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft1d)->Arg(256)->Arg(1024)->Arg(4096);
 
+// ---------------- --json: SIMD backend A/B mode ----------------
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Median ns per call of fn() over `rounds` rounds of `reps` calls.
+template <typename Fn>
+double time_ns(int rounds, int reps, Fn&& fn) {
+  fn();  // warm-up
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    Stopwatch w;
+    for (int i = 0; i < reps; ++i) fn();
+    times.push_back(w.seconds() / reps * 1e9);
+  }
+  return median(times);
+}
+
+struct JsonRow {
+  std::string kernel;
+  std::string simd;
+  double ns_per_iter;
+};
+
+int run_json_mode(const std::string& path) {
+  Fixture& f = fixture();
+  ops::DensityGrid grid(f.db, 128);
+  std::vector<double> dens(grid.num_bins());
+  const std::size_t kAxpyN = 1 << 16;
+  std::vector<float> ax(kAxpyN, 1.0f), ab(kAxpyN, 2.0f);
+  const std::size_t kDct = 256;
+  Rng rng(2);
+  std::vector<double> map(kDct * kDct);
+  for (auto& v : map) v = rng.uniform(-1, 1);
+
+  std::vector<const char*> backends = {"scalar"};
+  if (simd::cpu_has_avx2()) backends.push_back("avx2");
+
+  std::vector<JsonRow> rows;
+  for (const char* backend : backends) {
+    simd::select(backend);
+    rows.push_back({"wa_fused", backend, time_ns(9, 3, [&] {
+                      std::fill(f.gx.begin(), f.gx.end(), 0.0f);
+                      std::fill(f.gy.begin(), f.gy.end(), 0.0f);
+                      benchmark::DoNotOptimize(ops::fused_wl_grad_hpwl(
+                          f.view, f.x.data(), f.y.data(), 8.0f, f.gx.data(),
+                          f.gy.data()));
+                    })});
+    rows.push_back({"density_scatter", backend, time_ns(9, 3, [&] {
+                      grid.accumulate_range("m.json", f.x.data(), f.y.data(),
+                                            0, f.db.num_cells_total(),
+                                            dens.data(), true);
+                      benchmark::DoNotOptimize(dens.data());
+                    })});
+    rows.push_back({"axpy", backend, time_ns(11, 200, [&] {
+                      simd::active().axpy_(ax.data(), ab.data(), 0.125f,
+                                           kAxpyN);
+                      benchmark::DoNotOptimize(ax.data());
+                    })});
+    rows.push_back({"dct_pass", backend, time_ns(9, 3, [&] {
+                      fft::dct2(map.data(), kDct, kDct);
+                      benchmark::DoNotOptimize(map.data());
+                    })});
+  }
+  simd::select("auto");
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_micro_ops\",\n"
+                    "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"backend\": \"serial\", "
+                 "\"threads\": 1, \"simd\": \"%s\", \"ns_per_iter\": %.1f}%s\n",
+                 rows[i].kernel.c_str(), rows[i].simd.c_str(),
+                 rows[i].ns_per_iter, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+
+  // Human-readable speedup table on stdout.
+  std::printf("%-16s %14s %14s %9s\n", "kernel", "scalar ns/iter",
+              "avx2 ns/iter", "speedup");
+  const std::size_t half = rows.size() / backends.size();
+  for (std::size_t i = 0; i < half; ++i) {
+    if (backends.size() == 2) {
+      std::printf("%-16s %14.0f %14.0f %8.2fx\n", rows[i].kernel.c_str(),
+                  rows[i].ns_per_iter, rows[half + i].ns_per_iter,
+                  rows[i].ns_per_iter / rows[half + i].ns_per_iter);
+    } else {
+      std::printf("%-16s %14.0f %14s %9s\n", rows[i].kernel.c_str(),
+                  rows[i].ns_per_iter, "-", "-");
+    }
+  }
+  std::printf("json written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  xplace::ArgParser args(argc, argv);
+  const std::string json = args.get("json");
+  if (!json.empty()) return run_json_mode(json);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

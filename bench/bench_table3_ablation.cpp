@@ -18,14 +18,20 @@
 // operator techniques.
 //
 //   ./bench_table3_ablation [--scale 100] [--iters 120] [--launch-us 8]
-//                           [--threads 4]
+//                           [--threads 4] [--json table3.json]
+//
+// `--json <path>` additionally writes every (tier, design) cell as a
+// machine-readable record {kernel, backend, threads, simd, ns_per_iter,
+// launches_per_iter, launch_us} for regression tracking.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
 #include "tensor/dispatch.h"
 #include "util/arg_parser.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -89,6 +95,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> designs;
   for (const auto& e : io::ispd2005_suite()) designs.push_back(e.design);
 
+  std::vector<std::string> json_rows;
+  auto trim = [](std::string s) {
+    while (!s.empty() && s.back() == ' ') s.pop_back();
+    return s;
+  };
+
   for (int latency_mode = 0; latency_mode < 2; ++latency_mode) {
     const double latency = latency_mode == 0 ? 0.0 : launch_us * 1e-6;
     std::printf("=== Table 3: per-GP-iteration time, scale 1/%.0f, %d iters, "
@@ -102,7 +114,20 @@ int main(int argc, char** argv) {
     std::vector<std::vector<TierResult>> all(tiers.size());
     for (std::size_t t = 0; t < tiers.size(); ++t) {
       for (const auto& d : designs) {
-        all[t].push_back(run_tier(d, scale, tiers[t].cfg, iters, latency));
+        const TierResult r = run_tier(d, scale, tiers[t].cfg, iters, latency);
+        char row[256];
+        std::snprintf(
+            row, sizeof(row),
+            "    {\"kernel\": \"%s/%s\", \"backend\": \"%s\", "
+            "\"threads\": %d, \"simd\": \"%s\", \"ns_per_iter\": %.0f, "
+            "\"launches_per_iter\": %.1f, \"launch_us\": %.1f}",
+            trim(tiers[t].label).c_str(), d.c_str(),
+            tiers[t].cfg.threads > 1 ? "threadpool" : "serial",
+            tiers[t].cfg.threads > 1 ? tiers[t].cfg.threads : 1,
+            simd::isa_name(simd::isa()), r.ms_per_iter * 1e6,
+            r.launches_per_iter, latency * 1e6);
+        json_rows.emplace_back(row);
+        all[t].push_back(r);
       }
       std::fprintf(stderr, "tier %s done (latency %.0fus)\n",
                    tiers[t].label.c_str(), latency * 1e6);
@@ -134,5 +159,23 @@ int main(int argc, char** argv) {
   }
   std::printf("(paper avg ratios: none 159%%, OR 113%%, OR+OC 108%%, OR+OC+OE 104%%, "
               "Xplace 100%%, DREAMPlace 296%%)\n");
+
+  if (const std::string json = args.get("json"); !json.empty()) {
+    std::FILE* out = std::fopen(json.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"bench_table3_ablation\",\n"
+                      "  \"scale\": %.0f,\n  \"iters\": %d,\n"
+                      "  \"results\": [\n", scale, iters);
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      std::fprintf(out, "%s%s\n", json_rows[i].c_str(),
+                   i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("json written to %s\n", json.c_str());
+  }
   return 0;
 }

@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
 # CI lanes for Xplace. Run all lanes (default) or a single one:
 #
-#   ci/run_ci.sh [tier1|tier1-mt|faultinject|asan-ubsan|tsan|all]
+#   ci/run_ci.sh [tier1|tier1-mt|tier1-scalar|faultinject|asan-ubsan|tsan|all]
 #
 #   tier1       plain build, full ctest suite
 #   tier1-mt    same build, full ctest suite with XPLACE_THREADS=4 so every
 #               module that consults the execution backend runs on the
 #               threadpool — launch counts, numerics contracts, and recovery
 #               logic must hold on both backends
+#   tier1-scalar same build, full ctest suite with XPLACE_SIMD=scalar so the
+#               whole flow runs on the scalar kernel table — the bitwise
+#               determinism baseline must pass independent of host CPU
+#               features
 #   faultinject guardian/recovery tests (ctest -L faultinject) plus an
 #               end-to-end XPLACE_FAULT matrix over the place_bookshelf demo:
 #               every injected fault must be recovered (exit 0, legal result)
 #   asan-ubsan  -DXPLACE_SANITIZE=address,undefined build; the recovery paths
 #               (rollback, checkpoint restore, fault injection) are exactly
-#               where stale pointers/uninitialized reads would hide, so the
-#               guardian suite runs memory-clean under ASan+UBSan
+#               where stale pointers/uninitialized reads would hide, and the
+#               SIMD kernels' masked heads/tails are exactly where
+#               out-of-bounds lanes would hide, so the guardian and SIMD
+#               parity suites run memory-clean under ASan+UBSan
 #   tsan        -DXPLACE_SANITIZE=thread build, shared-state tests
 #               (ctest -L concurrency) plus the end-to-end demo on the
 #               threadpool backend — the full GP/LG/DP flow must be
@@ -41,6 +47,11 @@ run_tier1_mt() {
   XPLACE_THREADS=4 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 }
 
+run_tier1_scalar() {
+  build build-ci
+  XPLACE_SIMD=scalar ctest --test-dir build-ci --output-on-failure -j "$jobs"
+}
+
 run_faultinject() {
   build build-ci
   ctest --test-dir build-ci --output-on-failure -L faultinject
@@ -62,7 +73,7 @@ run_faultinject() {
 
 run_asan_ubsan() {
   build build-asan -DXPLACE_SANITIZE=address,undefined
-  ctest --test-dir build-asan --output-on-failure -L faultinject
+  ctest --test-dir build-asan --output-on-failure -L "faultinject|simd"
 }
 
 run_tsan() {
@@ -77,13 +88,15 @@ run_tsan() {
 }
 
 case "$lane" in
-  tier1)       run_tier1 ;;
-  tier1-mt)    run_tier1_mt ;;
-  faultinject) run_faultinject ;;
-  asan-ubsan)  run_asan_ubsan ;;
-  tsan)        run_tsan ;;
-  all)         run_tier1; run_tier1_mt; run_faultinject; run_asan_ubsan; run_tsan ;;
-  *) echo "unknown lane '$lane' (tier1|tier1-mt|faultinject|asan-ubsan|tsan|all)" >&2
+  tier1)        run_tier1 ;;
+  tier1-mt)     run_tier1_mt ;;
+  tier1-scalar) run_tier1_scalar ;;
+  faultinject)  run_faultinject ;;
+  asan-ubsan)   run_asan_ubsan ;;
+  tsan)         run_tsan ;;
+  all)          run_tier1; run_tier1_mt; run_tier1_scalar; run_faultinject
+                run_asan_ubsan; run_tsan ;;
+  *) echo "unknown lane '$lane' (tier1|tier1-mt|tier1-scalar|faultinject|asan-ubsan|tsan|all)" >&2
      exit 2 ;;
 esac
 echo "ci lane(s) '$lane' passed"

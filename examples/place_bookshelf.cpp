@@ -28,6 +28,10 @@
 //                             unset), N>1 = thread pool, -1 = all hardware
 //                             threads. Omitting the flag defers to
 //                             XPLACE_THREADS.
+//   --simd BACKEND            SIMD kernel backend: auto (default), avx2, or
+//                             scalar/off. Omitting the flag defers to
+//                             XPLACE_SIMD; the selection is printed and
+//                             published as the exec.simd.isa gauge.
 #include <cstdio>
 #include <filesystem>
 
@@ -45,6 +49,7 @@
 #include "util/arg_parser.h"
 #include "util/execution.h"
 #include "util/logging.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
@@ -53,6 +58,17 @@ int main(int argc, char** argv) {
 
   const std::string trace_out = args.get("trace-out");
   if (!trace_out.empty()) telemetry::Tracer::global().enable();
+
+  // SIMD backend: explicit flag wins over XPLACE_SIMD (resolved lazily on
+  // first kernel launch otherwise).
+  if (const std::string simd_flag = args.get("simd"); !simd_flag.empty()) {
+    if (!simd::select(simd_flag.c_str())) {
+      XP_ERROR("--simd %s: unknown backend or unsupported on this CPU "
+               "(off|scalar|avx2|auto)",
+               simd_flag.c_str());
+      return 1;
+    }
+  }
 
   std::string aux_path;
   if (args.get_bool("demo", false) || args.positional().empty()) {
@@ -86,8 +102,9 @@ int main(int argc, char** argv) {
   cfg.threads = static_cast<int>(args.get_int("threads", 0));
   core::GlobalPlacer placer(db, cfg);
   const ExecutionContext& exec = placer.execution();
-  std::printf("execution backend: %s (%zu thread%s)\n", exec.backend_name(),
-              exec.threads(), exec.threads() == 1 ? "" : "s");
+  std::printf("execution backend: %s (%zu thread%s), simd %s\n",
+              exec.backend_name(), exec.threads(),
+              exec.threads() == 1 ? "" : "s", simd::isa_name(simd::isa()));
   const core::GlobalPlaceResult gp = placer.run();
   std::printf("GP:  hpwl %.6g  overflow %.4f  (%d iters, %.2fs)\n", gp.hpwl,
               gp.overflow, gp.iterations, gp.gp_seconds);

@@ -8,6 +8,7 @@
 #include "telemetry/trace.h"
 #include "tensor/dispatch.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace xplace::core {
 
@@ -382,12 +383,24 @@ GradientResult GradientEngine::compute(const float* x, const float* y,
   // Gradient norms over movable cells (two reduces, i.e. sync points).
   double wl_norm = 0.0, d_norm = 0.0;
   disp.run("reduce.wl_grad_norm", [&] {
-    for (std::size_t c = 0; c < n_movable_; ++c)
-      wl_norm += std::fabs(wl_grad_x_[c]) + std::fabs(wl_grad_y_[c]);
+    const simd::Kernels& k = simd::active();
+    if (k.isa == simd::Isa::kScalar) {
+      for (std::size_t c = 0; c < n_movable_; ++c)
+        wl_norm += std::fabs(wl_grad_x_[c]) + std::fabs(wl_grad_y_[c]);
+      return;
+    }
+    wl_norm = k.abs_sum(wl_grad_x_.data(), n_movable_) +
+              k.abs_sum(wl_grad_y_.data(), n_movable_);
   });
   disp.run("reduce.density_grad_norm", [&] {
-    for (std::size_t c = 0; c < n_movable_; ++c)
-      d_norm += std::fabs(dgrad_x_[c]) + std::fabs(dgrad_y_[c]);
+    const simd::Kernels& k = simd::active();
+    if (k.isa == simd::Isa::kScalar) {
+      for (std::size_t c = 0; c < n_movable_; ++c)
+        d_norm += std::fabs(dgrad_x_[c]) + std::fabs(dgrad_y_[c]);
+      return;
+    }
+    d_norm = k.abs_sum(dgrad_x_.data(), n_movable_) +
+             k.abs_sum(dgrad_y_.data(), n_movable_);
   });
   res.wl_grad_norm = wl_norm;
   res.density_grad_norm = d_norm;
@@ -399,26 +412,33 @@ GradientResult GradientEngine::compute(const float* x, const float* y,
   // Combine: grad = ∇WL + λ·∇D (fillers have zero ∇WL).
   if (cfg_.op_reduction) {
     disp.run("grad.combine_", [&] {
-      for (std::size_t c = 0; c < n_total_; ++c) {
-        grad_x[c] = wl_grad_x_[c] + lambda * dgrad_x_[c];
-        grad_y[c] = wl_grad_y_[c] + lambda * dgrad_y_[c];
+      const simd::Kernels& k = simd::active();
+      if (k.isa == simd::Isa::kScalar) {
+        for (std::size_t c = 0; c < n_total_; ++c) {
+          grad_x[c] = wl_grad_x_[c] + lambda * dgrad_x_[c];
+          grad_y[c] = wl_grad_y_[c] + lambda * dgrad_y_[c];
+        }
+        return;
       }
+      // copy + axpy performs the same mul-then-add rounding per element.
+      k.copy(grad_x, wl_grad_x_.data(), n_total_);
+      k.axpy_(grad_x, dgrad_x_.data(), lambda, n_total_);
+      k.copy(grad_y, wl_grad_y_.data(), n_total_);
+      k.axpy_(grad_y, dgrad_y_.data(), lambda, n_total_);
     });
   } else {
     // Out-of-place expression-graph style: scale then add, per axis.
     disp.run("grad.mul_lambda", [&] {
-      for (std::size_t c = 0; c < n_total_; ++c)
-        grad_x[c] = lambda * dgrad_x_[c];
+      simd::active().mul_scalar(dgrad_x_.data(), lambda, grad_x, n_total_);
     });
     disp.run("grad.add", [&] {
-      for (std::size_t c = 0; c < n_total_; ++c) grad_x[c] += wl_grad_x_[c];
+      simd::active().add_(grad_x, wl_grad_x_.data(), n_total_);
     });
     disp.run("grad.mul_lambda", [&] {
-      for (std::size_t c = 0; c < n_total_; ++c)
-        grad_y[c] = lambda * dgrad_y_[c];
+      simd::active().mul_scalar(dgrad_y_.data(), lambda, grad_y, n_total_);
     });
     disp.run("grad.add", [&] {
-      for (std::size_t c = 0; c < n_total_; ++c) grad_y[c] += wl_grad_y_[c];
+      simd::active().add_(grad_y, wl_grad_y_.data(), n_total_);
     });
   }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tensor/dispatch.h"
+#include "util/simd.h"
 
 namespace xplace::core {
 
@@ -29,15 +30,13 @@ Preconditioner::Preconditioner(const db::Database& db)
 void Preconditioner::apply(float lambda, float* grad_x, float* grad_y,
                            bool in_place) const {
   auto& disp = Dispatcher::global();
-  auto body = [&](float* gx, float* gy) {
-    for (std::size_t c = 0; c < n_total_; ++c) {
-      const float p = std::max(1.0f, num_nets_[c] + lambda * area_[c]);
-      gx[c] /= p;
-      gy[c] /= p;
-    }
-  };
   if (in_place) {
-    disp.run("precond.apply_", [&] { body(grad_x, grad_y); });
+    // The scalar kernel is the historical loop verbatim; the AVX2 kernel is
+    // bitwise-equal (mul+add+max+div, no FMA), so this routes unconditionally.
+    disp.run("precond.apply_", [&] {
+      simd::active().precond_apply(grad_x, grad_y, num_nets_.data(),
+                                   area_.data(), lambda, n_total_);
+    });
   } else {
     // Expression-graph style: compute the divisor tensor, then two divides.
     disp.run("precond.build", [&] {
@@ -128,14 +127,22 @@ void NesterovOptimizer::step(const float* grad_x, const float* grad_y) {
   if (!first_) {
     double dv2 = 0.0, dg2 = 0.0;
     disp.run("nesterov.lipschitz_reduce", [&] {
-      for (std::size_t c = 0; c < n_total_; ++c) {
-        const double dvx = v_x_[c] - v_prev_x_[c];
-        const double dvy = v_y_[c] - v_prev_y_[c];
-        const double dgx = grad_x[c] - g_prev_x_[c];
-        const double dgy = grad_y[c] - g_prev_y_[c];
-        dv2 += dvx * dvx + dvy * dvy;
-        dg2 += dgx * dgx + dgy * dgy;
+      const simd::Kernels& k = simd::active();
+      if (k.isa == simd::Isa::kScalar) {
+        for (std::size_t c = 0; c < n_total_; ++c) {
+          const double dvx = v_x_[c] - v_prev_x_[c];
+          const double dvy = v_y_[c] - v_prev_y_[c];
+          const double dgx = grad_x[c] - g_prev_x_[c];
+          const double dgy = grad_y[c] - g_prev_y_[c];
+          dv2 += dvx * dvx + dvy * dvy;
+          dg2 += dgx * dgx + dgy * dgy;
+        }
+        return;
       }
+      dv2 = k.diff_sq_sum(v_x_.data(), v_prev_x_.data(), n_total_) +
+            k.diff_sq_sum(v_y_.data(), v_prev_y_.data(), n_total_);
+      dg2 = k.diff_sq_sum(grad_x, g_prev_x_.data(), n_total_) +
+            k.diff_sq_sum(grad_y, g_prev_y_.data(), n_total_);
     });
     if (dg2 > 1e-30 && dv2 > 1e-30) {
       eta = std::sqrt(dv2 / dg2);
@@ -158,9 +165,15 @@ void NesterovOptimizer::step(const float* grad_x, const float* grad_y) {
   // Clamp η so no cell moves more than max_step_ this iteration.
   float gmax = 0.0f;
   disp.run("nesterov.gmax_reduce", [&] {
-    for (std::size_t c = 0; c < n_total_; ++c) {
-      gmax = std::max(gmax, std::max(std::fabs(grad_x[c]), std::fabs(grad_y[c])));
+    const simd::Kernels& k = simd::active();
+    if (k.isa == simd::Isa::kScalar) {
+      for (std::size_t c = 0; c < n_total_; ++c) {
+        gmax = std::max(gmax,
+                        std::max(std::fabs(grad_x[c]), std::fabs(grad_y[c])));
+      }
+      return;
     }
+    gmax = std::max(k.abs_max(grad_x, n_total_), k.abs_max(grad_y, n_total_));
   });
   if (gmax > 0.0f && eta * gmax > max_step_) eta = max_step_ / gmax;
 
@@ -171,20 +184,37 @@ void NesterovOptimizer::step(const float* grad_x, const float* grad_y) {
   const float coef = static_cast<float>((a_k_ - 1.0) / a_next);
   a_k_ = a_next;
   disp.run("nesterov.update_", [&] {
-    for (std::size_t c = 0; c < n_total_; ++c) {
-      v_prev_x_[c] = v_x_[c];
-      v_prev_y_[c] = v_y_[c];
-      g_prev_x_[c] = grad_x[c];
-      g_prev_y_[c] = grad_y[c];
-      const float ux_new = std::clamp(
-          static_cast<float>(v_x_[c] - eta * grad_x[c]), min_x_[c], max_x_[c]);
-      const float uy_new = std::clamp(
-          static_cast<float>(v_y_[c] - eta * grad_y[c]), min_y_[c], max_y_[c]);
-      v_x_[c] = std::clamp(ux_new + coef * (ux_new - u_x_[c]), min_x_[c], max_x_[c]);
-      v_y_[c] = std::clamp(uy_new + coef * (uy_new - u_y_[c]), min_y_[c], max_y_[c]);
-      u_x_[c] = ux_new;
-      u_y_[c] = uy_new;
+    const simd::Kernels& k = simd::active();
+    if (k.isa == simd::Isa::kScalar) {
+      for (std::size_t c = 0; c < n_total_; ++c) {
+        v_prev_x_[c] = v_x_[c];
+        v_prev_y_[c] = v_y_[c];
+        g_prev_x_[c] = grad_x[c];
+        g_prev_y_[c] = grad_y[c];
+        const float ux_new =
+            std::clamp(static_cast<float>(v_x_[c] - eta * grad_x[c]),
+                       min_x_[c], max_x_[c]);
+        const float uy_new =
+            std::clamp(static_cast<float>(v_y_[c] - eta * grad_y[c]),
+                       min_y_[c], max_y_[c]);
+        v_x_[c] = std::clamp(ux_new + coef * (ux_new - u_x_[c]), min_x_[c],
+                             max_x_[c]);
+        v_y_[c] = std::clamp(uy_new + coef * (uy_new - u_y_[c]), min_y_[c],
+                             max_y_[c]);
+        u_x_[c] = ux_new;
+        u_y_[c] = uy_new;
+      }
+      return;
     }
+    // Per-axis fused update: elements are independent, so splitting x/y
+    // changes nothing, and the kernel's double-precision η·g math matches
+    // the scalar expression rounding-for-rounding.
+    k.nesterov_update(v_x_.data(), v_prev_x_.data(), g_prev_x_.data(),
+                      u_x_.data(), grad_x, min_x_.data(), max_x_.data(),
+                      n_total_, eta, coef);
+    k.nesterov_update(v_y_.data(), v_prev_y_.data(), g_prev_y_.data(),
+                      u_y_.data(), grad_y, min_y_.data(), max_y_.data(),
+                      n_total_, eta, coef);
   });
 }
 

@@ -7,6 +7,7 @@
 #include <numbers>
 
 #include "fft/fft.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace xplace::fft {
@@ -33,13 +34,20 @@ const std::vector<Complex>& dct_phases(std::size_t n) {
 
 /// Scratch buffers reused across calls to avoid per-transform allocation.
 /// thread_local so the thread pool can run row transforms concurrently.
-/// idct uses tl_cbuf + tl_rbuf; idxst uses tl_sbuf so that its call into
-/// idct never aliases its own scratch; the 2-D column pass gathers strided
-/// columns into tl_colbuf (allocation-free at steady state).
+/// dct/idct use tl_cbuf; idxst uses tl_sbuf so that its call into idct never
+/// aliases its own scratch; the 2-D column pass gathers strided columns into
+/// tl_colbuf (allocation-free at steady state).
 thread_local std::vector<Complex> tl_cbuf;
-thread_local std::vector<double> tl_rbuf;
 thread_local std::vector<double> tl_sbuf;
 thread_local std::vector<double> tl_colbuf;
+
+/// Complex buffers viewed as interleaved (re,im) doubles for the SIMD table.
+double* flat(std::vector<Complex>& v) {
+  return reinterpret_cast<double*>(v.data());
+}
+const double* flat(const std::vector<Complex>& v) {
+  return reinterpret_cast<const double*>(v.data());
+}
 
 }  // namespace
 
@@ -48,17 +56,13 @@ thread_local std::vector<double> tl_colbuf;
 void dct(double* x, std::size_t n) {
   assert(is_pow2(n));
   if (n == 1) return;
+  const simd::Kernels& k = simd::active();
   auto& v = tl_cbuf;
   v.resize(n);
-  for (std::size_t i = 0; i < n / 2; ++i) {
-    v[i] = Complex(x[2 * i], 0.0);
-    v[n - 1 - i] = Complex(x[2 * i + 1], 0.0);
-  }
+  k.dct_pack(x, flat(v), n);
   fft(v.data(), n);
   const auto& ph = dct_phases(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    x[k] = (v[k] * ph[k]).real();
-  }
+  k.dct_rotate(flat(v), flat(ph), x, n);
 }
 
 // Inverse of the above: rebuild the complex spectrum from the real DCT
@@ -67,22 +71,16 @@ void dct(double* x, std::size_t n) {
 void idct(double* x, std::size_t n) {
   assert(is_pow2(n));
   if (n == 1) return;
+  const simd::Kernels& k = simd::active();
   auto& v = tl_cbuf;
   v.resize(n);
   const auto& ph = dct_phases(n);
   v[0] = Complex(x[0], 0.0);
-  for (std::size_t k = 1; k < n; ++k) {
-    // conj(ph[k]) = e^{+iπk/(2N)}.
-    v[k] = std::conj(ph[k]) * Complex(x[k], -x[n - k]);
-  }
+  // conj(ph[k]) = e^{+iπk/(2N)}; the pre-twiddle reads x before the unpack
+  // overwrites it, and v never aliases x, so the unpack writes x directly.
+  k.idct_pretwiddle(x, flat(ph), flat(v), n);
   ifft(v.data(), n);
-  auto& out = tl_rbuf;
-  out.resize(n);
-  for (std::size_t i = 0; i < n / 2; ++i) {
-    out[2 * i] = v[i].real();
-    out[2 * i + 1] = v[n - 1 - i].real();
-  }
-  for (std::size_t i = 0; i < n; ++i) x[i] = out[i];
+  k.idct_unpack(flat(v), x, n);
 }
 
 // Sine synthesis via the DCT-III identity

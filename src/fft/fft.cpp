@@ -2,40 +2,59 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <numbers>
 
+#include "util/simd.h"
+
 namespace xplace::fft {
 namespace {
 
-/// Twiddle factors e^{-2πi k/n} for k in [0, n/2), cached per size.
-/// The cache lives for the process lifetime; sizes used are a handful of
-/// powers of two so the footprint is trivial. Mutex-guarded: row/column
-/// transforms run concurrently on the thread pool, and node pointers stay
-/// stable after insert so the returned reference outlives the lock.
-const std::vector<Complex>& twiddles(std::size_t n) {
+/// Precomputed per-size transform plan, cached for the process lifetime
+/// (sizes used are a handful of powers of two so the footprint is trivial).
+/// Mutex-guarded: row/column transforms run concurrently on the thread pool,
+/// and map node pointers stay stable after insert so the returned reference
+/// outlives the lock.
+struct FftPlan {
+  /// Stage-major contiguous twiddles: for each stage `len` (2, 4, …, n), the
+  /// values e^{-2πi k/n} for k·(n/len), k in [0, len/2), concatenated. The
+  /// per-stage slice equals the classic strided walk of the size-n table —
+  /// same doubles, unit stride — so every fft_pass launch runs with step=1.
+  std::vector<Complex> tw;
+  std::vector<std::size_t> stage_off;  // complex offset of each stage's slice
+  /// Bit-reversal swap pairs (i < j only), so the permutation is a flat pair
+  /// walk instead of the per-index bit-twiddling loop.
+  std::vector<std::uint32_t> rev_i, rev_j;
+};
+
+const FftPlan& fft_plan(std::size_t n) {
   static std::mutex mutex;
-  static std::map<std::size_t, std::vector<Complex>> cache;
+  static std::map<std::size_t, FftPlan> cache;
   std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(n);
   if (it != cache.end()) return it->second;
-  std::vector<Complex> tw(n / 2);
-  for (std::size_t k = 0; k < n / 2; ++k) {
-    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
-                       static_cast<double>(n);
-    tw[k] = Complex(std::cos(ang), std::sin(ang));
+  FftPlan p;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    p.stage_off.push_back(p.tw.size());
+    const std::size_t step = n / len;
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>(k * step) / static_cast<double>(n);
+      p.tw.emplace_back(std::cos(ang), std::sin(ang));
+    }
   }
-  return cache.emplace(n, std::move(tw)).first->second;
-}
-
-void bit_reverse_permute(Complex* data, std::size_t n) {
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
+    if (i < j) {
+      p.rev_i.push_back(static_cast<std::uint32_t>(i));
+      p.rev_j.push_back(static_cast<std::uint32_t>(j));
+    }
   }
+  return cache.emplace(n, std::move(p)).first->second;
 }
 
 }  // namespace
@@ -51,29 +70,31 @@ std::size_t next_pow2(std::size_t n) {
 void fft(Complex* data, std::size_t n) {
   assert(is_pow2(n));
   if (n == 1) return;
-  bit_reverse_permute(data, n);
-  const auto& tw = twiddles(n);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t step = n / len;  // twiddle stride for this stage
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex w = tw[k * step];
-        const Complex u = data[i + k];
-        const Complex v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-      }
-    }
+  const FftPlan& p = fft_plan(n);
+  for (std::size_t s = 0; s < p.rev_i.size(); ++s) {
+    std::swap(data[p.rev_i[s]], data[p.rev_j[s]]);
+  }
+  // std::complex<double> is layout-compatible with double[2] (guaranteed by
+  // the standard), so each radix-2 stage runs through the SIMD backend's
+  // butterfly kernel on the raw interleaved buffer. Stage twiddles are
+  // contiguous in the plan, so every launch is unit-stride (step=1).
+  const simd::Kernels& k = simd::active();
+  double* d = reinterpret_cast<double*>(data);
+  const double* twd = reinterpret_cast<const double*>(p.tw.data());
+  std::size_t s = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1, ++s) {
+    k.fft_pass(d, twd + 2 * p.stage_off[s], n, len, /*step=*/1);
   }
 }
 
 void ifft(Complex* data, std::size_t n) {
   assert(is_pow2(n));
   // Conjugate trick: ifft(x) = conj(fft(conj(x))) / n.
-  for (std::size_t i = 0; i < n; ++i) data[i] = std::conj(data[i]);
+  const simd::Kernels& k = simd::active();
+  k.conj_scale(reinterpret_cast<double*>(data), n, 1.0);
   fft(data, n);
-  const double inv = 1.0 / static_cast<double>(n);
-  for (std::size_t i = 0; i < n; ++i) data[i] = std::conj(data[i]) * inv;
+  k.conj_scale(reinterpret_cast<double*>(data), n,
+               1.0 / static_cast<double>(n));
 }
 
 std::vector<Complex> fft(const std::vector<Complex>& x) {

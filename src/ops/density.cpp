@@ -59,11 +59,18 @@ void DensityGrid::accumulate_range(const char* opname, const float* x,
                                    bool clear) const {
   Dispatcher::global().run(opname, [&] {
     if (clear) std::fill(map, map + num_bins(), 0.0);
+    const simd::Kernels& k = simd::active();
+    if (k.isa == simd::Isa::kScalar) {
+      for (std::size_t c = begin; c < end; ++c) {
+        const double scale = dens_scale_[c] * inv_bin_area_;
+        for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
+          map[bin] += overlap * scale;
+        });
+      }
+      return;
+    }
     for (std::size_t c = begin; c < end; ++c) {
-      const double scale = dens_scale_[c] * inv_bin_area_;
-      for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
-        map[bin] += overlap * scale;
-      });
+      scatter_one(k, c, x, y, dens_scale_[c] * inv_bin_area_, map);
     }
   });
 }
@@ -90,11 +97,18 @@ void DensityGrid::accumulate_cells(const char* opname, const float* x,
                                    double* map, bool clear) const {
   Dispatcher::global().run(opname, [&] {
     if (clear) std::fill(map, map + num_bins(), 0.0);
+    const simd::Kernels& k = simd::active();
+    if (k.isa == simd::Isa::kScalar) {
+      for (const std::uint32_t c : cells) {
+        const double scale = dens_scale_[c] * inv_bin_area_;
+        for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
+          map[bin] += overlap * scale;
+        });
+      }
+      return;
+    }
     for (const std::uint32_t c : cells) {
-      const double scale = dens_scale_[c] * inv_bin_area_;
-      for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
-        map[bin] += overlap * scale;
-      });
+      scatter_one(k, c, x, y, dens_scale_[c] * inv_bin_area_, map);
     }
   });
 }
@@ -106,12 +120,17 @@ void DensityGrid::gather_field_cells(const char* opname, const float* x,
                                      float coeff, float* grad_x,
                                      float* grad_y) const {
   Dispatcher::global().run(opname, [&] {
+    const simd::Kernels& k = simd::active();
     for (const std::uint32_t c : cells) {
       double fx = 0.0, fy = 0.0;
-      for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
-        fx += overlap * ex[bin];
-        fy += overlap * ey[bin];
-      });
+      if (k.isa == simd::Isa::kScalar) {
+        for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
+          fx += overlap * ex[bin];
+          fy += overlap * ey[bin];
+        });
+      } else {
+        gather_one(k, c, x, y, ex, ey, &fx, &fy);
+      }
       const double q = dens_scale_[c] * inv_bin_area_;
       grad_x[c] += coeff * static_cast<float>(q * fx);
       grad_y[c] += coeff * static_cast<float>(q * fy);
@@ -125,12 +144,17 @@ void DensityGrid::gather_field(const char* opname, const float* x,
                                const double* ey, float coeff, float* grad_x,
                                float* grad_y) const {
   Dispatcher::global().run(opname, [&] {
+    const simd::Kernels& k = simd::active();
     for (std::size_t c = begin; c < end; ++c) {
       double fx = 0.0, fy = 0.0;
-      for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
-        fx += overlap * ex[bin];
-        fy += overlap * ey[bin];
-      });
+      if (k.isa == simd::Isa::kScalar) {
+        for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
+          fx += overlap * ex[bin];
+          fy += overlap * ey[bin];
+        });
+      } else {
+        gather_one(k, c, x, y, ex, ey, &fx, &fy);
+      }
       const double q = dens_scale_[c] * inv_bin_area_;
       grad_x[c] += coeff * static_cast<float>(q * fx);
       grad_y[c] += coeff * static_cast<float>(q * fy);

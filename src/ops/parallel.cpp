@@ -5,6 +5,7 @@
 
 #include "ops/wa_detail.h"
 #include "tensor/dispatch.h"
+#include "util/simd.h"
 
 namespace xplace::ops {
 
@@ -44,11 +45,18 @@ WirelengthSums fused_wl_grad_hpwl_mt(const NetlistView& v, const float* x,
   Dispatcher::global().run("fused_wl_grad_hpwl", [&] {
     const float inv_gamma = 1.0f / gamma;
     const std::size_t workers = pool.size();
+    const simd::Kernels& k = simd::active();
     if (workers <= 1 || v.num_nets < 256) {
-      for (std::size_t e = 0; e < v.num_nets; ++e) {
-        if (!v.net_mask[e]) continue;
-        detail::fused_net(v, e, x, y, inv_gamma, grad_x, grad_y, sums.wa,
-                          sums.hpwl);
+      if (k.isa == simd::Isa::kScalar) {
+        for (std::size_t e = 0; e < v.num_nets; ++e) {
+          if (!v.net_mask[e]) continue;
+          detail::fused_net(v, e, x, y, inv_gamma, grad_x, grad_y, sums.wa,
+                            sums.hpwl);
+        }
+      } else {
+        thread_local detail::WaBatchScratch sc;
+        detail::fused_range_simd(k, v, 0, v.num_nets, x, y, inv_gamma, grad_x,
+                                 grad_y, sums.wa, sums.hpwl, sc);
       }
       return;
     }
@@ -68,10 +76,19 @@ WirelengthSums fused_wl_grad_hpwl_mt(const NetlistView& v, const float* x,
             s.gy[w].assign(n_cells, 0.0f);
             const std::size_t lo = w * v.num_nets / workers;
             const std::size_t hi = (w + 1) * v.num_nets / workers;
-            for (std::size_t e = lo; e < hi; ++e) {
-              if (!v.net_mask[e]) continue;
-              detail::fused_net(v, e, x, y, inv_gamma, s.gx[w].data(),
-                                s.gy[w].data(), s.wa[w], s.hp[w]);
+            if (k.isa == simd::Isa::kScalar) {
+              for (std::size_t e = lo; e < hi; ++e) {
+                if (!v.net_mask[e]) continue;
+                detail::fused_net(v, e, x, y, inv_gamma, s.gx[w].data(),
+                                  s.gy[w].data(), s.wa[w], s.hp[w]);
+              }
+            } else {
+              // Vector lanes inside each worker's chunk; per-slot double
+              // accumulators keep the slot-ordered reduction deterministic.
+              thread_local detail::WaBatchScratch sc;
+              detail::fused_range_simd(k, v, lo, hi, x, y, inv_gamma,
+                                       s.gx[w].data(), s.gy[w].data(),
+                                       s.wa[w], s.hp[w], sc);
             }
           }
         },
@@ -107,6 +124,7 @@ void scatter_partitioned(const DensityGrid& grid, const float* x,
                          const float* y, std::size_t count, double* map,
                          bool clear, ThreadPool& pool, CellAt&& cell_at) {
   const std::size_t workers = pool.size();
+  const simd::Kernels& k = simd::active();
   auto& s = scratch();
   ensure_buffers(s.bins, workers);
   pool.parallel_for(
@@ -121,9 +139,13 @@ void scatter_partitioned(const DensityGrid& grid, const float* x,
             const std::size_t c = cell_at(i);
             const double scale =
                 grid.cell_density_scale(c) * grid.inv_bin_area();
-            grid.for_each_overlap(c, x, y, [&](std::size_t bin, double ov) {
-              m[bin] += ov * scale;
-            });
+            if (k.isa == simd::Isa::kScalar) {
+              grid.for_each_overlap(c, x, y, [&](std::size_t bin, double ov) {
+                m[bin] += ov * scale;
+              });
+            } else {
+              grid.scatter_one(k, c, x, y, scale, m);
+            }
           }
         }
       },
@@ -192,14 +214,19 @@ void gather_field_mt(const DensityGrid& grid, const char* opname,
                      ThreadPool& pool) {
   Dispatcher::global().run(opname, [&] {
     // Each cell owns its gradient slot: direct parallel write is safe.
+    const simd::Kernels& k = simd::active();
     pool.parallel_for(end - begin, [&](std::size_t b, std::size_t e_, std::size_t) {
       for (std::size_t i = b; i < e_; ++i) {
         const std::size_t c = begin + i;
         double fx = 0.0, fy = 0.0;
-        grid.for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
-          fx += overlap * ex[bin];
-          fy += overlap * ey[bin];
-        });
+        if (k.isa == simd::Isa::kScalar) {
+          grid.for_each_overlap(c, x, y, [&](std::size_t bin, double overlap) {
+            fx += overlap * ex[bin];
+            fy += overlap * ey[bin];
+          });
+        } else {
+          grid.gather_one(k, c, x, y, ex, ey, &fx, &fy);
+        }
         const double q = grid.cell_density_scale(c) * grid.inv_bin_area();
         grad_x[c] += coeff * static_cast<float>(q * fx);
         grad_y[c] += coeff * static_cast<float>(q * fy);
@@ -216,16 +243,21 @@ void gather_field_cells_mt(const DensityGrid& grid, const char* opname,
   Dispatcher::global().run(opname, [&] {
     // Fence-system cell lists are disjoint per call and each cell owns its
     // gradient slot, so direct parallel writes are safe here too.
+    const simd::Kernels& k = simd::active();
     pool.parallel_for(cells.size(),
                       [&](std::size_t b, std::size_t e_, std::size_t) {
                         for (std::size_t i = b; i < e_; ++i) {
                           const std::size_t c = cells[i];
                           double fx = 0.0, fy = 0.0;
-                          grid.for_each_overlap(
-                              c, x, y, [&](std::size_t bin, double overlap) {
-                                fx += overlap * ex[bin];
-                                fy += overlap * ey[bin];
-                              });
+                          if (k.isa == simd::Isa::kScalar) {
+                            grid.for_each_overlap(
+                                c, x, y, [&](std::size_t bin, double overlap) {
+                                  fx += overlap * ex[bin];
+                                  fy += overlap * ey[bin];
+                                });
+                          } else {
+                            grid.gather_one(k, c, x, y, ex, ey, &fx, &fy);
+                          }
                           const double q = grid.cell_density_scale(c) *
                                            grid.inv_bin_area();
                           grad_x[c] += coeff * static_cast<float>(q * fx);

@@ -2,6 +2,7 @@
 
 #include "ops/wa_detail.h"
 #include "tensor/dispatch.h"
+#include "util/simd.h"
 
 namespace xplace::ops {
 namespace {
@@ -15,10 +16,17 @@ WirelengthSums fused_wl_grad_hpwl(const NetlistView& v, const float* x,
   WirelengthSums sums;
   Dispatcher::global().run("fused_wl_grad_hpwl", [&] {
     const float inv_gamma = 1.0f / gamma;
-    for (std::size_t e = 0; e < v.num_nets; ++e) {
-      if (!v.net_mask[e]) continue;
-      fused_net(v, e, x, y, inv_gamma, grad_x, grad_y, sums.wa, sums.hpwl);
+    const simd::Kernels& k = simd::active();
+    if (k.isa == simd::Isa::kScalar) {
+      for (std::size_t e = 0; e < v.num_nets; ++e) {
+        if (!v.net_mask[e]) continue;
+        fused_net(v, e, x, y, inv_gamma, grad_x, grad_y, sums.wa, sums.hpwl);
+      }
+      return;
     }
+    thread_local WaBatchScratch sc;
+    fused_range_simd(k, v, 0, v.num_nets, x, y, inv_gamma, grad_x, grad_y,
+                     sums.wa, sums.hpwl, sc);
   });
   return sums;
 }
@@ -28,15 +36,23 @@ double wa_wirelength(const NetlistView& v, const float* x, const float* y,
   double wl = 0.0;
   Dispatcher::global().run("wa_wirelength", [&] {
     const float inv_gamma = 1.0f / gamma;
-    for (std::size_t e = 0; e < v.num_nets; ++e) {
-      if (!v.net_mask[e]) continue;
-      const NetExtent ext = net_extent(v, e, x, y);
-      const WaTerms tx =
-          wa_terms(v, e, x, v.pin_ox.data(), ext.min_x, ext.max_x, inv_gamma);
-      const WaTerms ty =
-          wa_terms(v, e, y, v.pin_oy.data(), ext.min_y, ext.max_y, inv_gamma);
-      wl += static_cast<double>(v.net_weight[e]) * (tx.wl() + ty.wl());
+    const simd::Kernels& k = simd::active();
+    if (k.isa == simd::Isa::kScalar) {
+      for (std::size_t e = 0; e < v.num_nets; ++e) {
+        if (!v.net_mask[e]) continue;
+        const NetExtent ext = net_extent(v, e, x, y);
+        const WaTerms tx = wa_terms(v, e, x, v.pin_ox.data(), ext.min_x,
+                                    ext.max_x, inv_gamma);
+        const WaTerms ty = wa_terms(v, e, y, v.pin_oy.data(), ext.min_y,
+                                    ext.max_y, inv_gamma);
+        wl += static_cast<double>(v.net_weight[e]) * (tx.wl() + ty.wl());
+      }
+      return;
     }
+    thread_local WaBatchScratch sc;
+    double hpwl_unused = 0.0;
+    wa_range_simd<false, true, false>(k, v, 0, v.num_nets, x, y, inv_gamma,
+                                      nullptr, nullptr, wl, hpwl_unused, sc);
   });
   return wl;
 }
@@ -45,31 +61,48 @@ void wa_gradient(const NetlistView& v, const float* x, const float* y,
                  float gamma, float* grad_x, float* grad_y) {
   Dispatcher::global().run("wa_gradient", [&] {
     const float inv_gamma = 1.0f / gamma;
-    for (std::size_t e = 0; e < v.num_nets; ++e) {
-      if (!v.net_mask[e]) continue;
-      const float w = v.net_weight[e];
-      const NetExtent ext = net_extent(v, e, x, y);
-      const WaTerms tx =
-          wa_terms(v, e, x, v.pin_ox.data(), ext.min_x, ext.max_x, inv_gamma);
-      const WaTerms ty =
-          wa_terms(v, e, y, v.pin_oy.data(), ext.min_y, ext.max_y, inv_gamma);
-      wa_scatter(v, e, x, v.pin_ox.data(), ext.min_x, ext.max_x, inv_gamma, tx,
-                 w, grad_x);
-      wa_scatter(v, e, y, v.pin_oy.data(), ext.min_y, ext.max_y, inv_gamma, ty,
-                 w, grad_y);
+    const simd::Kernels& k = simd::active();
+    if (k.isa == simd::Isa::kScalar) {
+      for (std::size_t e = 0; e < v.num_nets; ++e) {
+        if (!v.net_mask[e]) continue;
+        const float w = v.net_weight[e];
+        const NetExtent ext = net_extent(v, e, x, y);
+        const WaTerms tx = wa_terms(v, e, x, v.pin_ox.data(), ext.min_x,
+                                    ext.max_x, inv_gamma);
+        const WaTerms ty = wa_terms(v, e, y, v.pin_oy.data(), ext.min_y,
+                                    ext.max_y, inv_gamma);
+        wa_scatter(v, e, x, v.pin_ox.data(), ext.min_x, ext.max_x, inv_gamma,
+                   tx, w, grad_x);
+        wa_scatter(v, e, y, v.pin_oy.data(), ext.min_y, ext.max_y, inv_gamma,
+                   ty, w, grad_y);
+      }
+      return;
     }
+    thread_local WaBatchScratch sc;
+    double wa_unused = 0.0, hpwl_unused = 0.0;
+    wa_range_simd<true, false, false>(k, v, 0, v.num_nets, x, y, inv_gamma,
+                                      grad_x, grad_y, wa_unused, hpwl_unused,
+                                      sc);
   });
 }
 
 double hpwl(const NetlistView& v, const float* x, const float* y) {
   double total = 0.0;
   Dispatcher::global().run("hpwl", [&] {
-    for (std::size_t e = 0; e < v.num_nets; ++e) {
-      if (!v.net_mask[e]) continue;
-      const NetExtent ext = net_extent(v, e, x, y);
-      total += static_cast<double>(v.net_weight[e]) *
-               ((ext.max_x - ext.min_x) + (ext.max_y - ext.min_y));
+    const simd::Kernels& k = simd::active();
+    if (k.isa == simd::Isa::kScalar) {
+      for (std::size_t e = 0; e < v.num_nets; ++e) {
+        if (!v.net_mask[e]) continue;
+        const NetExtent ext = net_extent(v, e, x, y);
+        total += static_cast<double>(v.net_weight[e]) *
+                 ((ext.max_x - ext.min_x) + (ext.max_y - ext.min_y));
+      }
+      return;
     }
+    thread_local WaBatchScratch sc;
+    double wa_unused = 0.0;
+    wa_range_simd<false, false, true>(k, v, 0, v.num_nets, x, y, 0.0f,
+                                      nullptr, nullptr, wa_unused, total, sc);
   });
   return total;
 }

@@ -6,6 +6,15 @@
 #include <limits>
 
 #include "tensor/dispatch.h"
+#include "util/simd.h"
+
+// Every op keeps its dispatcher name and launch count; only the loop body
+// moved into the SIMD kernel table (util/simd.h). The scalar backend's
+// kernels are the historical loops verbatim (now with hoisted bounds and
+// __restrict pointers), so XPLACE_SIMD=scalar reproduces pre-SIMD results
+// bitwise; the AVX2 elementwise kernels are bitwise-equal too (no FMA
+// contraction), while reductions keep double accumulators with a fixed
+// lane-fold order.
 
 namespace xplace::tensor {
 
@@ -13,48 +22,41 @@ namespace {
 Dispatcher& disp() { return Dispatcher::global(); }
 }  // namespace
 
-#define XP_BINARY_OP(fn_name, expr)                                 \
-  Tensor fn_name(const Tensor& a, const Tensor& b) {                \
-    assert(a.numel() == b.numel());                                 \
-    Tensor out({a.numel()});                                        \
-    disp().run(#fn_name, [&] {                                      \
-      const float* pa = a.data();                                   \
-      const float* pb = b.data();                                   \
-      float* po = out.data();                                       \
-      for (std::size_t i = 0; i < a.numel(); ++i) po[i] = (expr);   \
-    });                                                             \
-    return out;                                                     \
+#define XP_BINARY_OP(fn_name, kernel)                                \
+  Tensor fn_name(const Tensor& a, const Tensor& b) {                 \
+    assert(a.numel() == b.numel());                                  \
+    Tensor out({a.numel()});                                         \
+    disp().run(#fn_name, [&] {                                       \
+      simd::active().kernel(a.data(), b.data(), out.data(), a.numel()); \
+    });                                                              \
+    return out;                                                      \
   }
 
-XP_BINARY_OP(add, pa[i] + pb[i])
-XP_BINARY_OP(sub, pa[i] - pb[i])
-XP_BINARY_OP(mul, pa[i] * pb[i])
-XP_BINARY_OP(maximum, std::max(pa[i], pb[i]))
+XP_BINARY_OP(add, add)
+XP_BINARY_OP(sub, sub)
+XP_BINARY_OP(mul, mul)
+XP_BINARY_OP(maximum, maximum)
 #undef XP_BINARY_OP
 
-#define XP_UNARY_OP(fn_name, expr)                                \
-  Tensor fn_name(const Tensor& a) {                               \
-    Tensor out({a.numel()});                                      \
-    disp().run(#fn_name, [&] {                                    \
-      const float* pa = a.data();                                 \
-      float* po = out.data();                                     \
-      for (std::size_t i = 0; i < a.numel(); ++i) po[i] = (expr); \
-    });                                                           \
-    return out;                                                   \
+#define XP_UNARY_OP(fn_name, kernel)                           \
+  Tensor fn_name(const Tensor& a) {                            \
+    Tensor out({a.numel()});                                   \
+    disp().run(#fn_name, [&] {                                 \
+      simd::active().kernel(a.data(), out.data(), a.numel());  \
+    });                                                        \
+    return out;                                                \
   }
 
-XP_UNARY_OP(exp, std::exp(pa[i]))
-XP_UNARY_OP(reciprocal, 1.0f / pa[i])
-XP_UNARY_OP(neg, -pa[i])
-XP_UNARY_OP(abs, std::fabs(pa[i]))
+XP_UNARY_OP(exp, vexp)
+XP_UNARY_OP(reciprocal, reciprocal)
+XP_UNARY_OP(neg, neg)
+XP_UNARY_OP(abs, vabs)
 #undef XP_UNARY_OP
 
 Tensor mul_scalar(const Tensor& a, float s) {
   Tensor out({a.numel()});
   disp().run("mul_scalar", [&] {
-    const float* pa = a.data();
-    float* po = out.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * s;
+    simd::active().mul_scalar(a.data(), s, out.data(), a.numel());
   });
   return out;
 }
@@ -62,9 +64,7 @@ Tensor mul_scalar(const Tensor& a, float s) {
 Tensor add_scalar(const Tensor& a, float s) {
   Tensor out({a.numel()});
   disp().run("add_scalar", [&] {
-    const float* pa = a.data();
-    float* po = out.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + s;
+    simd::active().add_scalar(a.data(), s, out.data(), a.numel());
   });
   return out;
 }
@@ -72,124 +72,121 @@ Tensor add_scalar(const Tensor& a, float s) {
 Tensor clamp_min(const Tensor& a, float lo) {
   Tensor out({a.numel()});
   disp().run("clamp_min", [&] {
-    const float* pa = a.data();
-    float* po = out.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) po[i] = std::max(pa[i], lo);
+    simd::active().clamp_min(a.data(), lo, out.data(), a.numel());
   });
   return out;
 }
 
 void zero_(Tensor& a) {
-  disp().run("zero_", [&] {
-    float* p = a.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) p[i] = 0.0f;
-  });
+  disp().run("zero_",
+             [&] { simd::active().fill(a.data(), 0.0f, a.numel()); });
 }
 
 void fill_(Tensor& a, float value) {
-  disp().run("fill_", [&] {
-    float* p = a.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) p[i] = value;
-  });
+  disp().run("fill_",
+             [&] { simd::active().fill(a.data(), value, a.numel()); });
 }
 
 void copy_(Tensor& dst, const Tensor& src) {
   assert(dst.numel() == src.numel());
   disp().run("copy_", [&] {
-    float* pd = dst.data();
-    const float* ps = src.data();
-    for (std::size_t i = 0; i < dst.numel(); ++i) pd[i] = ps[i];
+    simd::active().copy(dst.data(), src.data(), dst.numel());
   });
 }
 
 void add_(Tensor& a, const Tensor& b) {
   assert(a.numel() == b.numel());
-  disp().run("add_", [&] {
-    float* pa = a.data();
-    const float* pb = b.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
-  });
+  disp().run("add_",
+             [&] { simd::active().add_(a.data(), b.data(), a.numel()); });
 }
 
 void add_scaled_(Tensor& a, const Tensor& b, float s) {
   assert(a.numel() == b.numel());
   disp().run("add_scaled_", [&] {
-    float* pa = a.data();
-    const float* pb = b.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += s * pb[i];
+    simd::active().axpy_(a.data(), b.data(), s, a.numel());
   });
 }
 
 void mul_scalar_(Tensor& a, float s) {
-  disp().run("mul_scalar_", [&] {
-    float* pa = a.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) pa[i] *= s;
-  });
+  disp().run("mul_scalar_",
+             [&] { simd::active().scal_(a.data(), s, a.numel()); });
 }
 
 void axpby_(Tensor& a, float alpha, const Tensor& b, float beta) {
   assert(a.numel() == b.numel());
   disp().run("axpby_", [&] {
-    float* pa = a.data();
-    const float* pb = b.data();
-    for (std::size_t i = 0; i < a.numel(); ++i)
-      pa[i] = alpha * pa[i] + beta * pb[i];
+    simd::active().axpby_(a.data(), alpha, b.data(), beta, a.numel());
   });
 }
 
 float sum(const Tensor& a) {
   double acc = 0.0;
-  disp().run("sum", [&] {
-    const float* p = a.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) acc += p[i];
-  });
+  disp().run("sum", [&] { acc = simd::active().sum(a.data(), a.numel()); });
   return static_cast<float>(acc);
 }
 
 float abs_sum(const Tensor& a) {
   double acc = 0.0;
-  disp().run("abs_sum", [&] {
-    const float* p = a.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) acc += std::fabs(p[i]);
-  });
+  disp().run("abs_sum",
+             [&] { acc = simd::active().abs_sum(a.data(), a.numel()); });
   return static_cast<float>(acc);
 }
 
 float max_value(const Tensor& a) {
   float m = -std::numeric_limits<float>::infinity();
-  disp().run("max_value", [&] {
-    const float* p = a.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) m = std::max(m, p[i]);
-  });
+  disp().run("max_value",
+             [&] { m = simd::active().max_value(a.data(), a.numel()); });
   return m;
 }
 
 float min_value(const Tensor& a) {
   float m = std::numeric_limits<float>::infinity();
-  disp().run("min_value", [&] {
-    const float* p = a.data();
-    for (std::size_t i = 0; i < a.numel(); ++i) m = std::min(m, p[i]);
-  });
+  disp().run("min_value",
+             [&] { m = simd::active().min_value(a.data(), a.numel()); });
   return m;
 }
 
 FiniteStats finite_stats(const float* a, const float* b, std::size_t n) {
   FiniteStats st;
   disp().run("finite_stats", [&] {
-    std::size_t bad = 0;
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (a != nullptr) {
-        const float v = a[i];
-        if (std::isfinite(v)) acc += std::fabs(v); else ++bad;
+    const simd::Kernels& k = simd::active();
+    if (a != nullptr && b != nullptr && k.isa == simd::Isa::kScalar) {
+      // Historical two-buffer interleave (a[i], b[i], a[i+1], …) preserved
+      // verbatim so the scalar backend accumulates in the exact same order.
+      std::size_t bad = 0;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        {
+          const float v = a[i];
+          if (std::isfinite(v)) acc += std::fabs(v); else ++bad;
+        }
+        {
+          const float v = b[i];
+          if (std::isfinite(v)) acc += std::fabs(v); else ++bad;
+        }
       }
-      if (b != nullptr) {
-        const float v = b[i];
-        if (std::isfinite(v)) acc += std::fabs(v); else ++bad;
-      }
+      st.nonfinite = bad;
+      st.abs_sum = acc;
+      return;
     }
-    st.nonfinite = bad;
-    st.abs_sum = acc;
+    std::size_t bad_total = 0;
+    double acc_total = 0.0;
+    if (a != nullptr) {
+      std::size_t bad = 0;
+      double acc = 0.0;
+      k.finite_stats(a, n, &bad, &acc);
+      bad_total += bad;
+      acc_total += acc;
+    }
+    if (b != nullptr) {
+      std::size_t bad = 0;
+      double acc = 0.0;
+      k.finite_stats(b, n, &bad, &acc);
+      bad_total += bad;
+      acc_total += acc;
+    }
+    st.nonfinite = bad_total;
+    st.abs_sum = acc_total;
   });
   return st;
 }
@@ -202,10 +199,7 @@ float dot(const Tensor& a, const Tensor& b) {
   assert(a.numel() == b.numel());
   double acc = 0.0;
   disp().run("dot", [&] {
-    const float* pa = a.data();
-    const float* pb = b.data();
-    for (std::size_t i = 0; i < a.numel(); ++i)
-      acc += static_cast<double>(pa[i]) * pb[i];
+    acc = simd::active().dot(a.data(), b.data(), a.numel());
   });
   return static_cast<float>(acc);
 }

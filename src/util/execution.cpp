@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "telemetry/metrics.h"
+#include "util/simd.h"
 
 namespace xplace {
 
@@ -45,6 +46,7 @@ void ExecutionContext::publish(telemetry::Registry& registry) const {
   registry.gauge("exec.threads").set(static_cast<double>(threads()));
   registry.gauge("exec.backend")
       .set(backend_ == ExecBackend::kThreadPool ? 1.0 : 0.0);
+  simd::publish(registry);  // exec.simd.isa: 0 = scalar, 2 = AVX2
   if (pool_ == nullptr) return;
   const ThreadPool::Stats s = pool_->stats();
   telemetry::Counter& d = registry.counter("exec.pool.dispatches");

@@ -1,0 +1,419 @@
+#include "util/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+
+namespace xplace::simd {
+
+// ---------------------------------------------------------------------------
+// Scalar backend. These loops are the pre-SIMD kernels verbatim (same
+// expression, same evaluation order) so the scalar backend is bitwise-
+// identical to the historical flow. `__restrict` + a hoisted bound lets the
+// compiler vectorize the fallback where it can.
+// ---------------------------------------------------------------------------
+namespace scalar {
+
+#define XP_SIMD_BINARY(fn, expr)                                             \
+  void fn(const float* __restrict a, const float* __restrict b,              \
+          float* __restrict o, std::size_t n) {                              \
+    for (std::size_t i = 0; i < n; ++i) o[i] = (expr);                       \
+  }
+
+XP_SIMD_BINARY(add, a[i] + b[i])
+XP_SIMD_BINARY(sub, a[i] - b[i])
+XP_SIMD_BINARY(mul, a[i] * b[i])
+XP_SIMD_BINARY(maximum, std::max(a[i], b[i]))
+#undef XP_SIMD_BINARY
+
+#define XP_SIMD_UNARY(fn, expr)                                   \
+  void fn(const float* __restrict a, float* __restrict o,         \
+          std::size_t n) {                                        \
+    for (std::size_t i = 0; i < n; ++i) o[i] = (expr);            \
+  }
+
+XP_SIMD_UNARY(vexp, std::exp(a[i]))
+XP_SIMD_UNARY(reciprocal, 1.0f / a[i])
+XP_SIMD_UNARY(neg, -a[i])
+XP_SIMD_UNARY(vabs, std::fabs(a[i]))
+#undef XP_SIMD_UNARY
+
+void mul_scalar(const float* __restrict a, float s, float* __restrict o,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) o[i] = a[i] * s;
+}
+void add_scalar(const float* __restrict a, float s, float* __restrict o,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) o[i] = a[i] + s;
+}
+void clamp_min(const float* __restrict a, float lo, float* __restrict o,
+               std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) o[i] = std::max(a[i], lo);
+}
+void fill(float* __restrict a, float v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] = v;
+}
+void copy(float* __restrict dst, const float* __restrict src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+void add_(float* __restrict a, const float* __restrict b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+}
+void axpy_(float* __restrict a, const float* __restrict b, float s,
+           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] += s * b[i];
+}
+void scal_(float* __restrict a, float s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] *= s;
+}
+void axpby_(float* __restrict a, float alpha, const float* __restrict b,
+            float beta, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] = alpha * a[i] + beta * b[i];
+}
+
+double sum(const float* __restrict a, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+double abs_sum(const float* __restrict a, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += std::fabs(a[i]);
+  return acc;
+}
+float max_value(const float* __restrict a, std::size_t n) {
+  float m = -std::numeric_limits<float>::infinity();
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, a[i]);
+  return m;
+}
+float min_value(const float* __restrict a, std::size_t n) {
+  float m = std::numeric_limits<float>::infinity();
+  for (std::size_t i = 0; i < n; ++i) m = std::min(m, a[i]);
+  return m;
+}
+double dot(const float* __restrict a, const float* __restrict b,
+           std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+double diff_sq_sum(const float* __restrict a, const float* __restrict b,
+                   std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+float abs_max(const float* __restrict a, std::size_t n) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+void finite_stats(const float* __restrict a, std::size_t n,
+                  std::size_t* nonfinite, double* abs_sum_out) {
+  std::size_t bad = 0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = a[i];
+    if (std::isfinite(v)) acc += std::fabs(v); else ++bad;
+  }
+  *nonfinite = bad;
+  *abs_sum_out = acc;
+}
+
+void gather_pin_pos(const float* __restrict pos,
+                    const std::uint32_t* __restrict cell,
+                    const float* __restrict off, float* __restrict px,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) px[i] = pos[cell[i]] + off[i];
+}
+void minmax(const float* __restrict px, std::size_t n, float* lo, float* hi) {
+  float mn = std::numeric_limits<float>::max();
+  float mx = std::numeric_limits<float>::lowest();
+  for (std::size_t i = 0; i < n; ++i) {
+    mn = std::min(mn, px[i]);
+    mx = std::max(mx, px[i]);
+  }
+  *lo = mn;
+  *hi = mx;
+}
+WaSums wa_sums(const float* __restrict px, std::size_t n, float lo, float hi,
+               float inv_gamma, float* __restrict s_out,
+               float* __restrict u_out) {
+  WaSums t;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float p = px[i];
+    const double s = std::exp((p - hi) * inv_gamma);
+    const double u = std::exp((lo - p) * inv_gamma);
+    t.sum_e_max += s;
+    t.sum_xe_max += p * s;
+    t.sum_e_min += u;
+    t.sum_xe_min += p * u;
+    s_out[i] = static_cast<float>(s);
+    u_out[i] = static_cast<float>(u);
+  }
+  return t;
+}
+void wa_grad(const float* __restrict px, const float* __restrict s,
+             const float* __restrict u, std::size_t n, float inv_gamma,
+             double wl_max, double wl_min, double inv_smax, double inv_smin,
+             float weight, float* __restrict d) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float p = px[i];
+    const double d_max = s[i] * (1.0 + (p - wl_max) * inv_gamma) * inv_smax;
+    const double d_min = u[i] * (1.0 - (p - wl_min) * inv_gamma) * inv_smin;
+    d[i] = weight * static_cast<float>(d_max - d_min);
+  }
+}
+
+void span_scatter(double* __restrict map, std::size_t n, double ly, double hy,
+                  double ly0, double h, double wscale) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double bin_ly = ly0 + static_cast<double>(j) * h;
+    const double oh = std::min(hy, bin_ly + h) - std::max(ly, bin_ly);
+    if (oh > 0.0) map[j] += oh * wscale;
+  }
+}
+void span_gather(const double* __restrict ex, const double* __restrict ey,
+                 std::size_t n, double ly, double hy, double ly0, double h,
+                 double ow, double* fx, double* fy) {
+  double ax = 0.0, ay = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double bin_ly = ly0 + static_cast<double>(j) * h;
+    const double oh = std::min(hy, bin_ly + h) - std::max(ly, bin_ly);
+    if (oh > 0.0) {
+      ax += oh * ow * ex[j];
+      ay += oh * ow * ey[j];
+    }
+  }
+  *fx += ax;
+  *fy += ay;
+}
+
+// One radix-2 stage, expressed in std::complex exactly as the historical
+// fft() loop body so the scalar backend stays bitwise-identical.
+void fft_pass(double* d, const double* tw, std::size_t n, std::size_t len,
+              std::size_t step) {
+  auto* data = reinterpret_cast<std::complex<double>*>(d);
+  const auto* twc = reinterpret_cast<const std::complex<double>*>(tw);
+  for (std::size_t i = 0; i < n; i += len) {
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      const std::complex<double> w = twc[k * step];
+      const std::complex<double> u = data[i + k];
+      const std::complex<double> v = data[i + k + len / 2] * w;
+      data[i + k] = u + v;
+      data[i + k + len / 2] = u - v;
+    }
+  }
+}
+void conj_scale(double* d, std::size_t n, double scale) {
+  auto* data = reinterpret_cast<std::complex<double>*>(d);
+  for (std::size_t i = 0; i < n; ++i) data[i] = std::conj(data[i]) * scale;
+}
+
+// DCT glue, expressed in std::complex exactly as the historical dct()/idct()
+// loop bodies so the scalar backend stays bitwise-identical.
+void dct_pack(const double* x, double* vd, std::size_t n) {
+  auto* v = reinterpret_cast<std::complex<double>*>(vd);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    v[i] = std::complex<double>(x[2 * i], 0.0);
+    v[n - 1 - i] = std::complex<double>(x[2 * i + 1], 0.0);
+  }
+}
+void dct_rotate(const double* vd, const double* phd, double* x,
+                std::size_t n) {
+  const auto* v = reinterpret_cast<const std::complex<double>*>(vd);
+  const auto* ph = reinterpret_cast<const std::complex<double>*>(phd);
+  for (std::size_t k = 0; k < n; ++k) x[k] = (v[k] * ph[k]).real();
+}
+void idct_pretwiddle(const double* x, const double* phd, double* vd,
+                     std::size_t n) {
+  auto* v = reinterpret_cast<std::complex<double>*>(vd);
+  const auto* ph = reinterpret_cast<const std::complex<double>*>(phd);
+  for (std::size_t k = 1; k < n; ++k) {
+    v[k] = std::conj(ph[k]) * std::complex<double>(x[k], -x[n - k]);
+  }
+}
+void idct_unpack(const double* vd, double* x, std::size_t n) {
+  const auto* v = reinterpret_cast<const std::complex<double>*>(vd);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    x[2 * i] = v[i].real();
+    x[2 * i + 1] = v[n - 1 - i].real();
+  }
+}
+
+void nesterov_update(float* __restrict v, float* __restrict v_prev,
+                     float* __restrict g_prev, float* __restrict u,
+                     const float* __restrict g, const float* __restrict lo,
+                     const float* __restrict hi, std::size_t n, double eta,
+                     float coef) {
+  for (std::size_t c = 0; c < n; ++c) {
+    v_prev[c] = v[c];
+    g_prev[c] = g[c];
+    const float u_new =
+        std::clamp(static_cast<float>(v[c] - eta * g[c]), lo[c], hi[c]);
+    v[c] = std::clamp(u_new + coef * (u_new - u[c]), lo[c], hi[c]);
+    u[c] = u_new;
+  }
+}
+void precond_apply(float* __restrict gx, float* __restrict gy,
+                   const float* __restrict nets, const float* __restrict area,
+                   float lambda, std::size_t n) {
+  for (std::size_t c = 0; c < n; ++c) {
+    const float p = std::max(1.0f, nets[c] + lambda * area[c]);
+    gx[c] /= p;
+    gy[c] /= p;
+  }
+}
+
+}  // namespace scalar
+
+const Kernels& scalar_kernels() {
+  static const Kernels k = {
+      .isa = Isa::kScalar,
+      .name = "scalar",
+      .add = scalar::add,
+      .sub = scalar::sub,
+      .mul = scalar::mul,
+      .maximum = scalar::maximum,
+      .vexp = scalar::vexp,
+      .reciprocal = scalar::reciprocal,
+      .neg = scalar::neg,
+      .vabs = scalar::vabs,
+      .mul_scalar = scalar::mul_scalar,
+      .add_scalar = scalar::add_scalar,
+      .clamp_min = scalar::clamp_min,
+      .fill = scalar::fill,
+      .copy = scalar::copy,
+      .add_ = scalar::add_,
+      .axpy_ = scalar::axpy_,
+      .scal_ = scalar::scal_,
+      .axpby_ = scalar::axpby_,
+      .sum = scalar::sum,
+      .abs_sum = scalar::abs_sum,
+      .max_value = scalar::max_value,
+      .min_value = scalar::min_value,
+      .dot = scalar::dot,
+      .diff_sq_sum = scalar::diff_sq_sum,
+      .abs_max = scalar::abs_max,
+      .finite_stats = scalar::finite_stats,
+      .gather_pin_pos = scalar::gather_pin_pos,
+      .minmax = scalar::minmax,
+      .wa_sums = scalar::wa_sums,
+      .wa_grad = scalar::wa_grad,
+      .span_scatter = scalar::span_scatter,
+      .span_gather = scalar::span_gather,
+      .fft_pass = scalar::fft_pass,
+      .conj_scale = scalar::conj_scale,
+      .dct_pack = scalar::dct_pack,
+      .dct_rotate = scalar::dct_rotate,
+      .idct_pretwiddle = scalar::idct_pretwiddle,
+      .idct_unpack = scalar::idct_unpack,
+      .nesterov_update = scalar::nesterov_update,
+      .precond_apply = scalar::precond_apply,
+  };
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch.
+// ---------------------------------------------------------------------------
+
+// Defined in simd_avx2.cpp; nullptr when the build target has no AVX2 path.
+const Kernels* avx2_kernels_or_null();
+
+bool cpu_has_avx2() { return avx2_kernels_or_null() != nullptr; }
+
+const Kernels& avx2_kernels() {
+  const Kernels* k = avx2_kernels_or_null();
+  assert(k != nullptr && "avx2_kernels() requires cpu_has_avx2()");
+  return *k;
+}
+
+const char* isa_name(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+Isa resolve_policy(const char* value) {
+  if (value == nullptr || value[0] == '\0' ||
+      std::strcmp(value, "auto") == 0) {
+    return cpu_has_avx2() ? Isa::kAvx2 : Isa::kScalar;
+  }
+  if (std::strcmp(value, "off") == 0 || std::strcmp(value, "scalar") == 0) {
+    return Isa::kScalar;
+  }
+  if (std::strcmp(value, "avx2") == 0) {
+    if (cpu_has_avx2()) return Isa::kAvx2;
+    XP_WARN("XPLACE_SIMD=avx2 requested but this CPU lacks AVX2+FMA; "
+            "falling back to scalar");
+    return Isa::kScalar;
+  }
+  XP_WARN("unknown SIMD backend '%s' (off|scalar|avx2|auto); using auto",
+          value);
+  return cpu_has_avx2() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+namespace {
+
+const Kernels* table_for(Isa isa) {
+  return isa == Isa::kAvx2 ? &avx2_kernels() : &scalar_kernels();
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels* resolve_from_env() {
+  const Kernels* k = table_for(resolve_policy(std::getenv("XPLACE_SIMD")));
+  const Kernels* expected = nullptr;
+  // First resolver wins; a concurrent explicit select() is not overwritten.
+  g_active.compare_exchange_strong(expected, k, std::memory_order_acq_rel);
+  return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+const Kernels& active() {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) k = resolve_from_env();
+  return *k;
+}
+
+Isa isa() { return active().isa; }
+
+void select(Isa isa) {
+  g_active.store(table_for(isa), std::memory_order_release);
+}
+
+bool select(const char* name) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "off") == 0 || std::strcmp(name, "scalar") == 0) {
+    select(Isa::kScalar);
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    if (!cpu_has_avx2()) return false;
+    select(Isa::kAvx2);
+    return true;
+  }
+  if (name[0] == '\0' || std::strcmp(name, "auto") == 0) {
+    select(cpu_has_avx2() ? Isa::kAvx2 : Isa::kScalar);
+    return true;
+  }
+  return false;
+}
+
+void publish(telemetry::Registry& registry) {
+  registry.gauge("exec.simd.isa").set(static_cast<double>(isa()));
+}
+
+}  // namespace xplace::simd

@@ -1,0 +1,190 @@
+// Fixed-width SIMD kernel layer with runtime CPU-feature dispatch.
+//
+// The paper's operators owe their speed to data-parallel GPU kernels; on this
+// CPU substrate the analogous axis (after PR 3's thread pool) is vector
+// lanes. Every hot inner loop — elementwise tensor ops, the fused WA
+// wirelength exp-sums, density scatter/gather bin spans, FFT butterflies, and
+// the Nesterov update — routes through the function-pointer table below
+// (ggml-style), with two backends:
+//
+//   * scalar — plain loops, bitwise-identical to the historical kernels, and
+//   * avx2   — AVX2+FMA (8×f32 / 4×f64 lanes), selected at runtime iff the
+//              CPU supports it.
+//
+// Selection (first call wins, then cached):
+//   1. an explicit select() call (the `--simd` CLI flag, tests),
+//   2. the XPLACE_SIMD env var: off|scalar → scalar, avx2 → AVX2 (falls back
+//      to scalar with a warning if unsupported), auto/unset → best available.
+//
+// Determinism contract (DESIGN.md §10):
+//   * scalar backend: bitwise-identical results to the pre-SIMD kernels,
+//   * avx2 backend: bitwise run-to-run deterministic for a fixed ISA (lane
+//     reductions fold in a fixed order); elementwise float kernels are even
+//     bitwise-equal to scalar (no FMA contraction in them — verified by
+//     tests/test_simd.cpp), while exp-based and reduction kernels agree
+//     within documented tolerances (vectorized exp: ≤2 ULP of expf on the WA
+//     input range (-87.3, 0]).
+//
+// The table composes under the ThreadPool: `*_mt` kernels partition work
+// across workers and each chunk runs vector lanes internally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xplace::telemetry {
+class Registry;
+}
+
+namespace xplace::simd {
+
+/// Instruction-set backends. Numeric values are stable (published as the
+/// `exec.simd.isa` gauge): 0 = scalar, 2 = AVX2+FMA.
+enum class Isa : int { kScalar = 0, kAvx2 = 2 };
+
+/// Stable WA exp-sum quad for one net/direction (matches ops::detail::WaTerms
+/// member-for-member; kept separate so util does not depend on ops).
+struct WaSums {
+  double sum_e_max = 0.0, sum_xe_max = 0.0;  // Σs, Σx·s, s = exp((x-max)/γ)
+  double sum_e_min = 0.0, sum_xe_min = 0.0;  // Σu, Σx·u, u = exp((min-x)/γ)
+};
+
+/// One backend: a flat function-pointer table. All pointers are always
+/// non-null. `n` is an element count; float buffers need no alignment
+/// (kernels use unaligned loads and masked/scalar tails).
+struct Kernels {
+  Isa isa;
+  const char* name;
+
+  // ---- elementwise f32, out-of-place ----
+  void (*add)(const float* a, const float* b, float* o, std::size_t n);
+  void (*sub)(const float* a, const float* b, float* o, std::size_t n);
+  void (*mul)(const float* a, const float* b, float* o, std::size_t n);
+  void (*maximum)(const float* a, const float* b, float* o, std::size_t n);
+  void (*vexp)(const float* a, float* o, std::size_t n);
+  void (*reciprocal)(const float* a, float* o, std::size_t n);
+  void (*neg)(const float* a, float* o, std::size_t n);
+  void (*vabs)(const float* a, float* o, std::size_t n);
+  void (*mul_scalar)(const float* a, float s, float* o, std::size_t n);
+  void (*add_scalar)(const float* a, float s, float* o, std::size_t n);
+  void (*clamp_min)(const float* a, float lo, float* o, std::size_t n);
+
+  // ---- elementwise f32, in-place ----
+  void (*fill)(float* a, float v, std::size_t n);
+  void (*copy)(float* dst, const float* src, std::size_t n);
+  void (*add_)(float* a, const float* b, std::size_t n);
+  void (*axpy_)(float* a, const float* b, float s, std::size_t n);  // a += s·b
+  void (*scal_)(float* a, float s, std::size_t n);                  // a *= s
+  void (*axpby_)(float* a, float alpha, const float* b, float beta,
+                 std::size_t n);  // a = α·a + β·b
+
+  // ---- reductions (double accumulators, fixed lane-fold order) ----
+  double (*sum)(const float* a, std::size_t n);
+  double (*abs_sum)(const float* a, std::size_t n);
+  float (*max_value)(const float* a, std::size_t n);
+  float (*min_value)(const float* a, std::size_t n);
+  double (*dot)(const float* a, const float* b, std::size_t n);
+  /// Σ(a-b)² in double — the Lipschitz ‖Δv‖/‖Δg‖ building block.
+  double (*diff_sq_sum)(const float* a, const float* b, std::size_t n);
+  /// max(|a_i|) — the Nesterov max-step clamp building block.
+  float (*abs_max)(const float* a, std::size_t n);
+  /// Fused finite scan of one buffer: counts NaN/Inf entries and sums |v| of
+  /// the finite ones.
+  void (*finite_stats)(const float* a, std::size_t n, std::size_t* nonfinite,
+                       double* abs_sum_out);
+
+  // ---- WA wirelength primitives (per net/direction) ----
+  /// px[i] = pos[cell[i]] + off[i] (the per-pin position gather).
+  void (*gather_pin_pos)(const float* pos, const std::uint32_t* cell,
+                         const float* off, float* px, std::size_t n);
+  void (*minmax)(const float* px, std::size_t n, float* lo, float* hi);
+  /// The four stable-form WA sums over a gathered pin-position buffer; also
+  /// stores the per-pin exp terms s_i, u_i for reuse by wa_grad.
+  WaSums (*wa_sums)(const float* px, std::size_t n, float lo, float hi,
+                    float inv_gamma, float* s_out, float* u_out);
+  /// d[i] = weight·(s_i(1+(px_i-wl_max)/γ)/Σs − u_i(1−(px_i-wl_min)/γ)/Σu):
+  /// the per-pin WA gradient values; the caller scatters d into grad[cell]
+  /// (duplicate cells per net make the scatter inherently serial).
+  void (*wa_grad)(const float* px, const float* s, const float* u,
+                  std::size_t n, float inv_gamma, double wl_max, double wl_min,
+                  double inv_smax, double inv_smin, float weight, float* d);
+
+  // ---- density bin spans (f64; one contiguous row-run of bins) ----
+  /// map[j] += max(0, min(hy, ly0+(j+1)h) − max(ly, ly0+j·h)) · wscale.
+  void (*span_scatter)(double* map, std::size_t n, double ly, double hy,
+                       double ly0, double h, double wscale);
+  /// fx += Σ_j oh_j·ow·ex[j], fy += Σ_j oh_j·ow·ey[j] with the same oh_j.
+  void (*span_gather)(const double* ex, const double* ey, std::size_t n,
+                      double ly, double hy, double ly0, double h, double ow,
+                      double* fx, double* fy);
+
+  // ---- FFT butterflies (interleaved complex f64) ----
+  /// One radix-2 stage of length `len` over `n` complex values: for every
+  /// block i and k < len/2,
+  ///   v = d[i+k+len/2]·tw[k·step];  d[i+k] += v;  d[i+k+len/2] = u − v.
+  /// `d` and `tw` are interleaved (re,im) buffers.
+  void (*fft_pass)(double* d, const double* tw, std::size_t n, std::size_t len,
+                   std::size_t step);
+  /// d[i] = conj(d[i])·scale over n complex values (the ifft wrapper).
+  void (*conj_scale)(double* d, std::size_t n, double scale);
+
+  // ---- DCT glue (Makhoul reorder/twiddle; v, ph interleaved complex) ----
+  /// v[i] = (x[2i], 0), v[n−1−i] = (x[2i+1], 0) for i < n/2 (pre-pack).
+  void (*dct_pack)(const double* x, double* v, std::size_t n);
+  /// x[k] = Re(v[k]·ph[k]) for k < n (post-rotate).
+  void (*dct_rotate)(const double* v, const double* ph, double* x,
+                     std::size_t n);
+  /// v[k] = conj(ph[k])·(x[k], −x[n−k]) for 1 ≤ k < n (idct pre-twiddle;
+  /// the caller seeds v[0]).
+  void (*idct_pretwiddle)(const double* x, const double* ph, double* v,
+                          std::size_t n);
+  /// x[2i] = Re(v[i]), x[2i+1] = Re(v[n−1−i]) for i < n/2 (idct unpack).
+  void (*idct_unpack)(const double* v, double* x, std::size_t n);
+
+  // ---- fused optimizer updates ----
+  /// One axis of the Nesterov step (history shift + clamped extrapolation):
+  ///   v_prev=v; g_prev=g; u⁺=clamp(v−η·g); v=clamp(u⁺+coef·(u⁺−u)); u=u⁺.
+  void (*nesterov_update)(float* v, float* v_prev, float* g_prev, float* u,
+                          const float* g, const float* lo, const float* hi,
+                          std::size_t n, double eta, float coef);
+  /// gx[i] /= p, gy[i] /= p with p = max(1, nets[i] + λ·area[i]).
+  void (*precond_apply)(float* gx, float* gy, const float* nets,
+                        const float* area, float lambda, std::size_t n);
+};
+
+/// The active backend table. First call resolves the env policy; afterwards a
+/// relaxed atomic load. Hoist `const Kernels& k = simd::active();` outside
+/// element loops (the dispatch-overhead contract is per kernel launch, not
+/// per element — see bench_simd_overhead).
+const Kernels& active();
+
+/// Shorthand for active().isa.
+Isa isa();
+
+/// "scalar" or "avx2".
+const char* isa_name(Isa isa);
+
+/// True iff this CPU (and build) can run the AVX2+FMA backend.
+bool cpu_has_avx2();
+
+/// Force a backend. Accepts "off"/"scalar", "avx2", "auto"/"" (best
+/// available). Returns false (and leaves the selection unchanged) for an
+/// unknown name or an ISA the CPU lacks.
+bool select(const char* name);
+void select(Isa isa);
+
+/// Resolve a policy string the way the XPLACE_SIMD env var is resolved
+/// (nullptr/"auto" → best available; unsupported avx2 → scalar). Exposed for
+/// tests.
+Isa resolve_policy(const char* value);
+
+/// The individual backend tables (avx2_kernels() aborts if !cpu_has_avx2();
+/// parity tests compare the two directly without flipping the selection).
+const Kernels& scalar_kernels();
+const Kernels& avx2_kernels();
+
+/// Publishes the selected backend as the `exec.simd.isa` gauge (0 = scalar,
+/// 2 = AVX2).
+void publish(telemetry::Registry& registry);
+
+}  // namespace xplace::simd

@@ -1,0 +1,967 @@
+// AVX2+FMA backend of the SIMD kernel layer (src/util/simd.h).
+//
+// Compiled into every build via per-function target attributes, selected at
+// runtime only when the CPU reports AVX2+FMA — no global -mavx2 flag, so the
+// rest of the binary stays baseline-x86-64 and the scalar backend stays
+// bitwise-identical to the pre-SIMD kernels.
+//
+// Lane policy (DESIGN.md §10):
+//   * elementwise f32 kernels use mul/add (never FMA) so they are bitwise-
+//     equal to scalar; this TU is built with -ffp-contract=off so the
+//     compiler cannot fuse them behind our back,
+//   * reductions accumulate per-lane and fold lanes in one fixed order —
+//     deterministic run-to-run, different rounding than scalar (documented),
+//   * exp is a Cephes-style degree-5 polynomial on floats (≤2 ULP of expf on
+//     the WA input range (-87.3, 0]; arguments are clamped to ±87.3/88.7),
+//   * tails are handled with AVX2 masked loads/stores (no out-of-bounds
+//     touches — the ASan lane runs the parity sweep over head/tail sizes).
+#include "util/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <limits>
+
+#define XP_TGT __attribute__((target("avx2,fma")))
+
+namespace xplace::simd {
+namespace avx2 {
+namespace {
+
+alignas(32) constexpr std::int32_t kMask32[16] = {-1, -1, -1, -1, -1, -1, -1,
+                                                  -1, 0,  0,  0,  0,  0,  0,
+                                                  0,  0};
+alignas(32) constexpr std::int64_t kMask64[8] = {-1, -1, -1, -1, 0, 0, 0, 0};
+
+/// Load mask with the low `rem` (1..7) f32 lanes enabled.
+XP_TGT inline __m256i mask8(std::size_t rem) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMask32 + (8 - rem)));
+}
+/// Load mask with the low `rem` (1..3) f64 lanes enabled.
+XP_TGT inline __m256i mask4(std::size_t rem) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMask64 + (4 - rem)));
+}
+
+/// Fixed-order horizontal sum: lane0+lane1+lane2+lane3 (deterministic).
+XP_TGT inline double hsum4(__m256d v) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, v);
+  return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+}
+
+/// Widen the low/high float quads of `v` to doubles.
+XP_TGT inline __m256d lo_pd(__m256 v) {
+  return _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+}
+XP_TGT inline __m256d hi_pd(__m256 v) {
+  return _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+}
+
+/// Cephes-style vector expf (degree-5 minimax on the reduced range, exact
+/// power-of-two scaling). Inputs are clamped to [-87.336, 88.722]; on the WA
+/// range (-87.3, 0] the result is within 2 ULP of std::expf.
+XP_TGT inline __m256 exp256(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.72283935546875f);
+  const __m256 lo = _mm256_set1_ps(-87.33654785156250f);
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 c1 = _mm256_set1_ps(0.693359375f);
+  const __m256 c2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+
+  x = _mm256_max_ps(_mm256_min_ps(x, hi), lo);
+  __m256 fx =
+      _mm256_floor_ps(_mm256_fmadd_ps(x, log2e, _mm256_set1_ps(0.5f)));
+  // Cody–Waite reduction: r = x − fx·ln2 (split constant).
+  x = _mm256_fnmadd_ps(fx, c1, x);
+  x = _mm256_fnmadd_ps(fx, c2, x);
+
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, _mm256_mul_ps(x, x), x);
+  y = _mm256_add_ps(y, one);
+
+  // 2^fx via exponent-field insertion (fx ∈ [-127, 128] after the clamp).
+  const __m256i imm = _mm256_slli_epi32(
+      _mm256_add_epi32(_mm256_cvtps_epi32(fx), _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(imm));
+}
+
+}  // namespace
+
+// ---- elementwise f32, out-of-place ----------------------------------------
+
+#define XP_AVX2_BINARY(fn, vop, sexpr)                                     \
+  XP_TGT void fn(const float* a, const float* b, float* o, std::size_t n) { \
+    std::size_t i = 0;                                                     \
+    for (; i + 8 <= n; i += 8) {                                           \
+      _mm256_storeu_ps(                                                    \
+          o + i, vop(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));     \
+    }                                                                      \
+    if (i < n) {                                                           \
+      const __m256i m = mask8(n - i);                                      \
+      const __m256 va = _mm256_maskload_ps(a + i, m);                      \
+      const __m256 vb = _mm256_maskload_ps(b + i, m);                      \
+      _mm256_maskstore_ps(o + i, m, vop(va, vb));                          \
+    }                                                                      \
+  }
+
+XP_AVX2_BINARY(add, _mm256_add_ps, )
+XP_AVX2_BINARY(sub, _mm256_sub_ps, )
+XP_AVX2_BINARY(mul, _mm256_mul_ps, )
+#undef XP_AVX2_BINARY
+
+// std::max(a,b) is (a<b)?b:a — i.e. returns `a` on ties/NaN — which is
+// max_ps with the operand order swapped.
+XP_TGT void maximum(const float* a, const float* b, float* o, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        o + i, _mm256_max_ps(_mm256_loadu_ps(b + i), _mm256_loadu_ps(a + i)));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    _mm256_maskstore_ps(o + i, m,
+                        _mm256_max_ps(_mm256_maskload_ps(b + i, m),
+                                      _mm256_maskload_ps(a + i, m)));
+  }
+}
+
+XP_TGT void vexp(const float* a, float* o, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, exp256(_mm256_loadu_ps(a + i)));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    _mm256_maskstore_ps(o + i, m, exp256(_mm256_maskload_ps(a + i, m)));
+  }
+}
+
+XP_TGT void reciprocal(const float* a, float* o, std::size_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_div_ps(one, _mm256_loadu_ps(a + i)));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    // Masked lanes load as 0; keep the division off them (0-div traps no
+    // flags we care about, but the quiet-NaN noise is pointless).
+    const __m256 va = _mm256_blendv_ps(one, _mm256_maskload_ps(a + i, m),
+                                       _mm256_castsi256_ps(m));
+    _mm256_maskstore_ps(o + i, m, _mm256_div_ps(one, va));
+  }
+}
+
+XP_TGT void neg(const float* a, float* o, std::size_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_xor_ps(_mm256_loadu_ps(a + i), sign));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    _mm256_maskstore_ps(o + i, m,
+                        _mm256_xor_ps(_mm256_maskload_ps(a + i, m), sign));
+  }
+}
+
+XP_TGT void vabs(const float* a, float* o, std::size_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_andnot_ps(sign, _mm256_loadu_ps(a + i)));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    _mm256_maskstore_ps(o + i, m,
+                        _mm256_andnot_ps(sign, _mm256_maskload_ps(a + i, m)));
+  }
+}
+
+XP_TGT void mul_scalar(const float* a, float s, float* o, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    _mm256_maskstore_ps(o + i, m,
+                        _mm256_mul_ps(_mm256_maskload_ps(a + i, m), vs));
+  }
+}
+
+XP_TGT void add_scalar(const float* a, float s, float* o, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_add_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    _mm256_maskstore_ps(o + i, m,
+                        _mm256_add_ps(_mm256_maskload_ps(a + i, m), vs));
+  }
+}
+
+XP_TGT void clamp_min(const float* a, float lo, float* o, std::size_t n) {
+  const __m256 vlo = _mm256_set1_ps(lo);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_max_ps(vlo, _mm256_loadu_ps(a + i)));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    _mm256_maskstore_ps(o + i, m,
+                        _mm256_max_ps(vlo, _mm256_maskload_ps(a + i, m)));
+  }
+}
+
+// ---- elementwise f32, in-place --------------------------------------------
+
+XP_TGT void fill(float* a, float v, std::size_t n) {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) _mm256_storeu_ps(a + i, vv);
+  if (i < n) _mm256_maskstore_ps(a + i, mask8(n - i), vv);
+}
+
+XP_TGT void copy(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(dst + i, _mm256_loadu_ps(src + i));
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    _mm256_maskstore_ps(dst + i, m, _mm256_maskload_ps(src + i, m));
+  }
+}
+
+XP_TGT void add_(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        a + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    _mm256_maskstore_ps(a + i, m,
+                        _mm256_add_ps(_mm256_maskload_ps(a + i, m),
+                                      _mm256_maskload_ps(b + i, m)));
+  }
+}
+
+// No FMA: scalar computes s·b then += with two roundings; match it exactly.
+XP_TGT void axpy_(float* a, const float* b, float s, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t = _mm256_mul_ps(vs, _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(a + i, _mm256_add_ps(_mm256_loadu_ps(a + i), t));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    const __m256 t = _mm256_mul_ps(vs, _mm256_maskload_ps(b + i, m));
+    _mm256_maskstore_ps(a + i, m,
+                        _mm256_add_ps(_mm256_maskload_ps(a + i, m), t));
+  }
+}
+
+XP_TGT void scal_(float* a, float s, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(a + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    _mm256_maskstore_ps(a + i, m,
+                        _mm256_mul_ps(_mm256_maskload_ps(a + i, m), vs));
+  }
+}
+
+XP_TGT void axpby_(float* a, float alpha, const float* b, float beta,
+                   std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  const __m256 vb = _mm256_set1_ps(beta);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t1 = _mm256_mul_ps(va, _mm256_loadu_ps(a + i));
+    const __m256 t2 = _mm256_mul_ps(vb, _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(a + i, _mm256_add_ps(t1, t2));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    const __m256 t1 = _mm256_mul_ps(va, _mm256_maskload_ps(a + i, m));
+    const __m256 t2 = _mm256_mul_ps(vb, _mm256_maskload_ps(b + i, m));
+    _mm256_maskstore_ps(a + i, m, _mm256_add_ps(t1, t2));
+  }
+}
+
+// ---- reductions ------------------------------------------------------------
+
+XP_TGT double sum(const float* a, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(a + i);
+    acc0 = _mm256_add_pd(acc0, lo_pd(v));
+    acc1 = _mm256_add_pd(acc1, hi_pd(v));
+  }
+  double s = hsum4(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += a[i];
+  return s;
+}
+
+XP_TGT double abs_sum(const float* a, std::size_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_andnot_ps(sign, _mm256_loadu_ps(a + i));
+    acc0 = _mm256_add_pd(acc0, lo_pd(v));
+    acc1 = _mm256_add_pd(acc1, hi_pd(v));
+  }
+  double s = hsum4(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += static_cast<double>(a[i] < 0.0f ? -a[i] : a[i]);
+  return s;
+}
+
+XP_TGT float max_value(const float* a, std::size_t n) {
+  float m = -std::numeric_limits<float>::infinity();
+  __m256 acc = _mm256_set1_ps(m);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    acc = _mm256_max_ps(acc, _mm256_loadu_ps(a + i));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  for (int l = 0; l < 8; ++l) m = lanes[l] > m ? lanes[l] : m;
+  for (; i < n; ++i) m = a[i] > m ? a[i] : m;
+  return m;
+}
+
+XP_TGT float min_value(const float* a, std::size_t n) {
+  float m = std::numeric_limits<float>::infinity();
+  __m256 acc = _mm256_set1_ps(m);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    acc = _mm256_min_ps(acc, _mm256_loadu_ps(a + i));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  for (int l = 0; l < 8; ++l) m = lanes[l] < m ? lanes[l] : m;
+  for (; i < n; ++i) m = a[i] < m ? a[i] : m;
+  return m;
+}
+
+XP_TGT double dot(const float* a, const float* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    acc0 = _mm256_fmadd_pd(lo_pd(va), lo_pd(vb), acc0);
+    acc1 = _mm256_fmadd_pd(hi_pd(va), hi_pd(vb), acc1);
+  }
+  double s = hsum4(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+XP_TGT double diff_sq_sum(const float* a, const float* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    const __m256d d0 = _mm256_sub_pd(lo_pd(va), lo_pd(vb));
+    const __m256d d1 = _mm256_sub_pd(hi_pd(va), hi_pd(vb));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  double s = hsum4(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+XP_TGT float abs_max(const float* a, std::size_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    acc = _mm256_max_ps(acc, _mm256_andnot_ps(sign, _mm256_loadu_ps(a + i)));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  float m = 0.0f;
+  for (int l = 0; l < 8; ++l) m = lanes[l] > m ? lanes[l] : m;
+  for (; i < n; ++i) {
+    const float v = a[i] < 0.0f ? -a[i] : a[i];
+    m = v > m ? v : m;
+  }
+  return m;
+}
+
+XP_TGT void finite_stats(const float* a, std::size_t n, std::size_t* nonfinite,
+                         double* abs_sum_out) {
+  const __m256i exp_mask = _mm256_set1_epi32(0x7f800000);
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t bad = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(a + i);
+    // Exponent all-ones ⇔ Inf or NaN.
+    const __m256i bits = _mm256_castps_si256(v);
+    const __m256i isbad = _mm256_cmpeq_epi32(
+        _mm256_and_si256(bits, exp_mask), exp_mask);
+    bad += static_cast<std::size_t>(
+        __builtin_popcount(_mm256_movemask_ps(_mm256_castsi256_ps(isbad))));
+    const __m256 absv = _mm256_andnot_ps(sign, v);
+    const __m256 finite =
+        _mm256_andnot_ps(_mm256_castsi256_ps(isbad), absv);  // bad lanes → 0
+    acc0 = _mm256_add_pd(acc0, lo_pd(finite));
+    acc1 = _mm256_add_pd(acc1, hi_pd(finite));
+  }
+  double s = hsum4(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const float v = a[i];
+    if (__builtin_isfinite(v)) {
+      s += static_cast<double>(v < 0.0f ? -v : v);
+    } else {
+      ++bad;
+    }
+  }
+  *nonfinite = bad;
+  *abs_sum_out = s;
+}
+
+// ---- WA wirelength primitives ----------------------------------------------
+
+XP_TGT void gather_pin_pos(const float* pos, const std::uint32_t* cell,
+                           const float* off, float* px, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cell + i));
+    const __m256 p = _mm256_i32gather_ps(pos, idx, 4);
+    _mm256_storeu_ps(px + i, _mm256_add_ps(p, _mm256_loadu_ps(off + i)));
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    const __m256i idx = _mm256_maskload_epi32(
+        reinterpret_cast<const int*>(cell + i), m);
+    // Faults on masked-off lanes are architecturally suppressed.
+    const __m256 p = _mm256_mask_i32gather_ps(
+        _mm256_setzero_ps(), pos, idx, _mm256_castsi256_ps(m), 4);
+    _mm256_maskstore_ps(
+        px + i, m, _mm256_add_ps(p, _mm256_maskload_ps(off + i, m)));
+  }
+}
+
+XP_TGT void minmax(const float* px, std::size_t n, float* lo, float* hi) {
+  __m256 vmin = _mm256_set1_ps(std::numeric_limits<float>::max());
+  __m256 vmax = _mm256_set1_ps(std::numeric_limits<float>::lowest());
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(px + i);
+    vmin = _mm256_min_ps(vmin, v);
+    vmax = _mm256_max_ps(vmax, v);
+  }
+  if (i < n) {
+    const __m256i m = mask8(n - i);
+    const __m256 mp = _mm256_castsi256_ps(m);
+    const __m256 v = _mm256_maskload_ps(px + i, m);
+    vmin = _mm256_min_ps(
+        vmin, _mm256_blendv_ps(
+                  _mm256_set1_ps(std::numeric_limits<float>::max()), v, mp));
+    vmax = _mm256_max_ps(
+        vmax,
+        _mm256_blendv_ps(_mm256_set1_ps(std::numeric_limits<float>::lowest()),
+                         v, mp));
+  }
+  alignas(32) float lmin[8], lmax[8];
+  _mm256_store_ps(lmin, vmin);
+  _mm256_store_ps(lmax, vmax);
+  float mn = lmin[0], mx = lmax[0];
+  for (int l = 1; l < 8; ++l) {
+    mn = lmin[l] < mn ? lmin[l] : mn;
+    mx = lmax[l] > mx ? lmax[l] : mx;
+  }
+  *lo = mn;
+  *hi = mx;
+}
+
+XP_TGT WaSums wa_sums(const float* px, std::size_t n, float lo, float hi,
+                      float inv_gamma, float* s_out, float* u_out) {
+  const __m256 vhi = _mm256_set1_ps(hi);
+  const __m256 vlo = _mm256_set1_ps(lo);
+  const __m256 vig = _mm256_set1_ps(inv_gamma);
+  __m256d e_max = _mm256_setzero_pd(), xe_max = _mm256_setzero_pd();
+  __m256d e_min = _mm256_setzero_pd(), xe_min = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i < n; i += 8) {
+    const std::size_t rem = n - i;
+    __m256 p, s, u;
+    if (rem >= 8) {
+      p = _mm256_loadu_ps(px + i);
+      s = exp256(_mm256_mul_ps(_mm256_sub_ps(p, vhi), vig));
+      u = exp256(_mm256_mul_ps(_mm256_sub_ps(vlo, p), vig));
+      _mm256_storeu_ps(s_out + i, s);
+      _mm256_storeu_ps(u_out + i, u);
+    } else {
+      const __m256i m = mask8(rem);
+      const __m256 mp = _mm256_castsi256_ps(m);
+      p = _mm256_maskload_ps(px + i, m);
+      s = exp256(_mm256_mul_ps(_mm256_sub_ps(p, vhi), vig));
+      u = exp256(_mm256_mul_ps(_mm256_sub_ps(vlo, p), vig));
+      // Dead lanes contribute 0 to every accumulator.
+      s = _mm256_and_ps(s, mp);
+      u = _mm256_and_ps(u, mp);
+      _mm256_maskstore_ps(s_out + i, m, s);
+      _mm256_maskstore_ps(u_out + i, m, u);
+    }
+    const __m256d p0 = lo_pd(p), p1 = hi_pd(p);
+    const __m256d s0 = lo_pd(s), s1 = hi_pd(s);
+    const __m256d u0 = lo_pd(u), u1 = hi_pd(u);
+    e_max = _mm256_add_pd(e_max, _mm256_add_pd(s0, s1));
+    xe_max = _mm256_fmadd_pd(p0, s0, _mm256_fmadd_pd(p1, s1, xe_max));
+    e_min = _mm256_add_pd(e_min, _mm256_add_pd(u0, u1));
+    xe_min = _mm256_fmadd_pd(p0, u0, _mm256_fmadd_pd(p1, u1, xe_min));
+  }
+  WaSums t;
+  t.sum_e_max = hsum4(e_max);
+  t.sum_xe_max = hsum4(xe_max);
+  t.sum_e_min = hsum4(e_min);
+  t.sum_xe_min = hsum4(xe_min);
+  return t;
+}
+
+XP_TGT void wa_grad(const float* px, const float* s, const float* u,
+                    std::size_t n, float inv_gamma, double wl_max,
+                    double wl_min, double inv_smax, double inv_smin,
+                    float weight, float* d) {
+  const __m256d vig = _mm256_set1_pd(static_cast<double>(inv_gamma));
+  const __m256d vwl_max = _mm256_set1_pd(wl_max);
+  const __m256d vwl_min = _mm256_set1_pd(wl_min);
+  const __m256d vismax = _mm256_set1_pd(inv_smax);
+  const __m256d vismin = _mm256_set1_pd(inv_smin);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256 vw = _mm256_set1_ps(weight);
+  for (std::size_t i = 0; i < n; i += 8) {
+    const std::size_t rem = n - i;
+    const bool full = rem >= 8;
+    const __m256i m = full ? _mm256_setzero_si256() : mask8(rem);
+    const __m256 p = full ? _mm256_loadu_ps(px + i)
+                          : _mm256_maskload_ps(px + i, m);
+    const __m256 vs = full ? _mm256_loadu_ps(s + i)
+                           : _mm256_maskload_ps(s + i, m);
+    const __m256 vu = full ? _mm256_loadu_ps(u + i)
+                           : _mm256_maskload_ps(u + i, m);
+    __m256 out;
+    {
+      const __m256d p0 = lo_pd(p), p1 = hi_pd(p);
+      const __m256d dmax0 = _mm256_mul_pd(
+          _mm256_mul_pd(lo_pd(vs),
+                        _mm256_fmadd_pd(_mm256_sub_pd(p0, vwl_max), vig, one)),
+          vismax);
+      const __m256d dmax1 = _mm256_mul_pd(
+          _mm256_mul_pd(hi_pd(vs),
+                        _mm256_fmadd_pd(_mm256_sub_pd(p1, vwl_max), vig, one)),
+          vismax);
+      const __m256d dmin0 = _mm256_mul_pd(
+          _mm256_mul_pd(lo_pd(vu),
+                        _mm256_fnmadd_pd(_mm256_sub_pd(p0, vwl_min), vig, one)),
+          vismin);
+      const __m256d dmin1 = _mm256_mul_pd(
+          _mm256_mul_pd(hi_pd(vu),
+                        _mm256_fnmadd_pd(_mm256_sub_pd(p1, vwl_min), vig, one)),
+          vismin);
+      const __m128 f0 = _mm256_cvtpd_ps(_mm256_sub_pd(dmax0, dmin0));
+      const __m128 f1 = _mm256_cvtpd_ps(_mm256_sub_pd(dmax1, dmin1));
+      out = _mm256_mul_ps(vw, _mm256_set_m128(f1, f0));
+    }
+    if (full) {
+      _mm256_storeu_ps(d + i, out);
+    } else {
+      _mm256_maskstore_ps(d + i, m, out);
+    }
+  }
+}
+
+// ---- density bin spans -----------------------------------------------------
+
+XP_TGT void span_scatter(double* map, std::size_t n, double ly, double hy,
+                         double ly0, double h, double wscale) {
+  const __m256d vh = _mm256_set1_pd(h);
+  const __m256d vly = _mm256_set1_pd(ly);
+  const __m256d vhy = _mm256_set1_pd(hy);
+  const __m256d vws = _mm256_set1_pd(wscale);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d step = _mm256_set_pd(3.0, 2.0, 1.0, 0.0);
+  std::size_t j = 0;
+  for (; j < n; j += 4) {
+    const std::size_t rem = n - j;
+    const __m256d idx =
+        _mm256_add_pd(_mm256_set1_pd(static_cast<double>(j)), step);
+    const __m256d bin_ly = _mm256_fmadd_pd(idx, vh, _mm256_set1_pd(ly0));
+    const __m256d oh = _mm256_max_pd(
+        zero, _mm256_sub_pd(_mm256_min_pd(vhy, _mm256_add_pd(bin_ly, vh)),
+                            _mm256_max_pd(vly, bin_ly)));
+    if (rem >= 4) {
+      _mm256_storeu_pd(map + j,
+                       _mm256_fmadd_pd(oh, vws, _mm256_loadu_pd(map + j)));
+    } else {
+      const __m256i m = mask4(rem);
+      _mm256_maskstore_pd(
+          map + j, m, _mm256_fmadd_pd(oh, vws, _mm256_maskload_pd(map + j, m)));
+    }
+  }
+}
+
+XP_TGT void span_gather(const double* ex, const double* ey, std::size_t n,
+                        double ly, double hy, double ly0, double h, double ow,
+                        double* fx, double* fy) {
+  const __m256d vh = _mm256_set1_pd(h);
+  const __m256d vly = _mm256_set1_pd(ly);
+  const __m256d vhy = _mm256_set1_pd(hy);
+  const __m256d vow = _mm256_set1_pd(ow);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d step = _mm256_set_pd(3.0, 2.0, 1.0, 0.0);
+  __m256d ax = _mm256_setzero_pd(), ay = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j < n; j += 4) {
+    const std::size_t rem = n - j;
+    const __m256d idx =
+        _mm256_add_pd(_mm256_set1_pd(static_cast<double>(j)), step);
+    const __m256d bin_ly = _mm256_fmadd_pd(idx, vh, _mm256_set1_pd(ly0));
+    __m256d oh = _mm256_max_pd(
+        zero, _mm256_sub_pd(_mm256_min_pd(vhy, _mm256_add_pd(bin_ly, vh)),
+                            _mm256_max_pd(vly, bin_ly)));
+    __m256d vex, vey;
+    if (rem >= 4) {
+      vex = _mm256_loadu_pd(ex + j);
+      vey = _mm256_loadu_pd(ey + j);
+    } else {
+      const __m256i m = mask4(rem);
+      // Zero the dead lanes of oh so the masked-out field values (loaded as
+      // 0 anyway) contribute nothing.
+      oh = _mm256_and_pd(oh, _mm256_castsi256_pd(m));
+      vex = _mm256_maskload_pd(ex + j, m);
+      vey = _mm256_maskload_pd(ey + j, m);
+    }
+    const __m256d w = _mm256_mul_pd(oh, vow);
+    ax = _mm256_fmadd_pd(w, vex, ax);
+    ay = _mm256_fmadd_pd(w, vey, ay);
+  }
+  *fx += hsum4(ax);
+  *fy += hsum4(ay);
+}
+
+// ---- FFT butterflies -------------------------------------------------------
+
+namespace {
+
+/// Complex multiply of two packed pairs: [a0·b0, a1·b1] with interleaved
+/// (re,im) lanes.
+XP_TGT inline __m256d cmul2(__m256d a, __m256d b) {
+  const __m256d b_re = _mm256_movedup_pd(b);         // [br0,br0,br1,br1]
+  const __m256d b_im = _mm256_permute_pd(b, 0xF);    // [bi0,bi0,bi1,bi1]
+  const __m256d a_sw = _mm256_permute_pd(a, 0x5);    // [ai0,ar0,ai1,ar1]
+  return _mm256_addsub_pd(_mm256_mul_pd(a, b_re), _mm256_mul_pd(a_sw, b_im));
+}
+
+}  // namespace
+
+XP_TGT void fft_pass(double* d, const double* tw, std::size_t n,
+                     std::size_t len, std::size_t step) {
+  if (len == 2) {
+    if (n < 4) {  // a single butterfly: scalar
+      const double ur = d[0], ui = d[1], vr = d[2], vi = d[3];
+      d[0] = ur + vr;
+      d[1] = ui + vi;
+      d[2] = ur - vr;
+      d[3] = ui - vi;
+      return;
+    }
+    // Pairs are adjacent: process two blocks (4 complexes) per iteration.
+    for (std::size_t i = 0; i < n; i += 4) {
+      const __m256d a = _mm256_loadu_pd(d + 2 * i);       // [u0, v0]
+      const __m256d b = _mm256_loadu_pd(d + 2 * i + 4);   // [u1, v1]
+      const __m256d u = _mm256_permute2f128_pd(a, b, 0x20);
+      const __m256d v = _mm256_permute2f128_pd(a, b, 0x31);
+      const __m256d s = _mm256_add_pd(u, v);
+      const __m256d t = _mm256_sub_pd(u, v);
+      _mm256_storeu_pd(d + 2 * i, _mm256_permute2f128_pd(s, t, 0x20));
+      _mm256_storeu_pd(d + 2 * i + 4, _mm256_permute2f128_pd(s, t, 0x31));
+    }
+    return;
+  }
+  const std::size_t half = len / 2;  // ≥ 2 complexes: vector pairs
+  for (std::size_t i = 0; i < n; i += len) {
+    double* u_ptr = d + 2 * i;
+    double* v_ptr = d + 2 * (i + half);
+    for (std::size_t k = 0; k < half; k += 2) {
+      __m256d w;
+      if (step == 1) {
+        w = _mm256_loadu_pd(tw + 2 * k);
+      } else {
+        w = _mm256_set_m128d(_mm_loadu_pd(tw + 2 * (k + 1) * step),
+                             _mm_loadu_pd(tw + 2 * k * step));
+      }
+      const __m256d u = _mm256_loadu_pd(u_ptr + 2 * k);
+      const __m256d v = cmul2(_mm256_loadu_pd(v_ptr + 2 * k), w);
+      _mm256_storeu_pd(u_ptr + 2 * k, _mm256_add_pd(u, v));
+      _mm256_storeu_pd(v_ptr + 2 * k, _mm256_sub_pd(u, v));
+    }
+  }
+}
+
+// ---- DCT glue ----
+
+XP_TGT void dct_pack(const double* x, double* v, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n / 2; i += 2) {
+    // x4 = (x[2i], x[2i+1], x[2i+2], x[2i+3]) = (a0, b0, a1, b1).
+    const __m256d x4 = _mm256_loadu_pd(x + 2 * i);
+    // Front of v: (a0, 0, a1, 0) at complex slots i, i+1.
+    _mm256_storeu_pd(v + 2 * i, _mm256_unpacklo_pd(x4, zero));
+    // Back of v: slots n-2-i, n-1-i hold (b1, 0, b0, 0).
+    const __m256d odd = _mm256_unpackhi_pd(x4, zero);  // (b0, 0, b1, 0)
+    _mm256_storeu_pd(v + 2 * (n - 2 - i),
+                     _mm256_permute2f128_pd(odd, odd, 0x01));
+  }
+  for (; i < n / 2; ++i) {
+    v[2 * i] = x[2 * i];
+    v[2 * i + 1] = 0.0;
+    v[2 * (n - 1 - i)] = x[2 * i + 1];
+    v[2 * (n - 1 - i) + 1] = 0.0;
+  }
+}
+
+XP_TGT void dct_rotate(const double* v, const double* ph, double* x,
+                       std::size_t n) {
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    // Re(v·ph) per complex = vr·pr − vi·pi: multiply interleaved, then
+    // horizontally subtract pairs from two vectors (4 complexes per store).
+    const __m256d p0 = _mm256_mul_pd(_mm256_loadu_pd(v + 2 * k),
+                                     _mm256_loadu_pd(ph + 2 * k));
+    const __m256d p1 = _mm256_mul_pd(_mm256_loadu_pd(v + 2 * k + 4),
+                                     _mm256_loadu_pd(ph + 2 * k + 4));
+    // hsub lanes: (p0₀−p0₁, p1₀−p1₁, p0₂−p0₃, p1₂−p1₃) = (x_k, x_{k+2},
+    // x_{k+1}, x_{k+3}); permute back to order.
+    const __m256d h = _mm256_hsub_pd(p0, p1);
+    _mm256_storeu_pd(x + k, _mm256_permute4x64_pd(h, 0xD8));
+  }
+  for (; k < n; ++k) {
+    x[k] = v[2 * k] * ph[2 * k] - v[2 * k + 1] * ph[2 * k + 1];
+  }
+}
+
+XP_TGT void idct_pretwiddle(const double* x, const double* ph, double* v,
+                            std::size_t n) {
+  // v[k] = conj(ph[k])·(x[k], −x[n−k]) = (pr·a − pi·b, −pr·b − pi·a)
+  // with a = x[k], b = x[n−k]. Two complexes per vector round.
+  std::size_t k = 1;
+  for (; k + 2 <= n; k += 2) {
+    // a2 = (a_k, a_k, a_{k+1}, a_{k+1}); b2 likewise from the reversed end.
+    const __m128d alo = _mm_loadu_pd(x + k);          // (a_k, a_{k+1})
+    const __m128d bhi = _mm_loadu_pd(x + n - k - 1);  // (b_{k+1}, b_k)
+    const __m256d a2 = _mm256_permute4x64_pd(
+        _mm256_castpd128_pd256(alo), 0x50);  // (a_k, a_k, a_{k+1}, a_{k+1})
+    const __m256d b2 = _mm256_permute4x64_pd(
+        _mm256_castpd128_pd256(bhi), 0x05);  // (b_k, b_k, b_{k+1}, b_{k+1})
+    const __m256d p = _mm256_loadu_pd(ph + 2 * k);  // (pr, pi, pr', pi')
+    const __m256d pa = _mm256_mul_pd(p, a2);        // (pr·a, pi·a, …)
+    const __m256d pb = _mm256_mul_pd(p, b2);        // (pr·b, pi·b, …)
+    const __m256d pbs = _mm256_permute_pd(pb, 0x5);  // (pi·b, pr·b, …)
+    const __m256d pas = _mm256_permute_pd(pa, 0x5);  // (pi·a, pr·a, …)
+    const __m256d re = _mm256_sub_pd(pa, pbs);  // even lanes: pr·a − pi·b
+    const __m256d im = _mm256_sub_pd(
+        _mm256_setzero_pd(), _mm256_add_pd(pb, pas));  // even: −pr·b − pi·a
+    const __m256d ims = _mm256_permute_pd(im, 0x5);    // odd lanes hold im
+    _mm256_storeu_pd(v + 2 * k, _mm256_blend_pd(re, ims, 0xA));
+  }
+  for (; k < n; ++k) {
+    const double pr = ph[2 * k], pi = ph[2 * k + 1];
+    const double a = x[k], b = x[n - k];
+    v[2 * k] = pr * a - pi * b;
+    v[2 * k + 1] = -pr * b - pi * a;
+  }
+}
+
+XP_TGT void idct_unpack(const double* v, double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n / 2; i += 2) {
+    const __m256d front = _mm256_loadu_pd(v + 2 * i);
+    // back covers complex slots n-2-i, n-1-i; swap its halves so slot
+    // n-1-i comes first, then interleave the real lanes.
+    const __m256d back = _mm256_loadu_pd(v + 2 * (n - 2 - i));
+    const __m256d bsw = _mm256_permute2f128_pd(back, back, 0x01);
+    _mm256_storeu_pd(x + 2 * i, _mm256_unpacklo_pd(front, bsw));
+  }
+  for (; i < n / 2; ++i) {
+    x[2 * i] = v[2 * i];
+    x[2 * i + 1] = v[2 * (n - 1 - i)];
+  }
+}
+
+XP_TGT void conj_scale(double* d, std::size_t n, double scale) {
+  const __m256d vs = _mm256_set_pd(-scale, scale, -scale, scale);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm256_storeu_pd(d + 2 * i, _mm256_mul_pd(_mm256_loadu_pd(d + 2 * i), vs));
+  }
+  if (i < n) {
+    d[2 * i] = d[2 * i] * scale;
+    d[2 * i + 1] = d[2 * i + 1] * -scale;
+  }
+}
+
+// ---- fused optimizer updates -----------------------------------------------
+
+XP_TGT void nesterov_update(float* v, float* v_prev, float* g_prev, float* u,
+                            const float* g, const float* lo, const float* hi,
+                            std::size_t n, double eta, float coef) {
+  const __m256d veta = _mm256_set1_pd(eta);
+  const __m256 vcoef = _mm256_set1_ps(coef);
+  for (std::size_t c = 0; c < n; c += 8) {
+    const std::size_t rem = n - c;
+    const bool full = rem >= 8;
+    const __m256i m = full ? _mm256_setzero_si256() : mask8(rem);
+    const __m256 vv = full ? _mm256_loadu_ps(v + c)
+                           : _mm256_maskload_ps(v + c, m);
+    const __m256 vg = full ? _mm256_loadu_ps(g + c)
+                           : _mm256_maskload_ps(g + c, m);
+    const __m256 vlo = full ? _mm256_loadu_ps(lo + c)
+                            : _mm256_maskload_ps(lo + c, m);
+    const __m256 vhi = full ? _mm256_loadu_ps(hi + c)
+                            : _mm256_maskload_ps(hi + c, m);
+    const __m256 vu = full ? _mm256_loadu_ps(u + c)
+                           : _mm256_maskload_ps(u + c, m);
+    // v − η·g in double (matches the scalar expression exactly; cvtpd_ps
+    // rounds to nearest like the scalar float cast).
+    const __m256d s0 =
+        _mm256_sub_pd(lo_pd(vv), _mm256_mul_pd(veta, lo_pd(vg)));
+    const __m256d s1 =
+        _mm256_sub_pd(hi_pd(vv), _mm256_mul_pd(veta, hi_pd(vg)));
+    const __m256 u_raw =
+        _mm256_set_m128(_mm256_cvtpd_ps(s1), _mm256_cvtpd_ps(s0));
+    const __m256 u_new =
+        _mm256_min_ps(_mm256_max_ps(u_raw, vlo), vhi);
+    const __m256 ext = _mm256_add_ps(
+        u_new, _mm256_mul_ps(vcoef, _mm256_sub_ps(u_new, vu)));
+    const __m256 v_new = _mm256_min_ps(_mm256_max_ps(ext, vlo), vhi);
+    if (full) {
+      _mm256_storeu_ps(v_prev + c, vv);
+      _mm256_storeu_ps(g_prev + c, vg);
+      _mm256_storeu_ps(v + c, v_new);
+      _mm256_storeu_ps(u + c, u_new);
+    } else {
+      _mm256_maskstore_ps(v_prev + c, m, vv);
+      _mm256_maskstore_ps(g_prev + c, m, vg);
+      _mm256_maskstore_ps(v + c, m, v_new);
+      _mm256_maskstore_ps(u + c, m, u_new);
+    }
+  }
+}
+
+XP_TGT void precond_apply(float* gx, float* gy, const float* nets,
+                          const float* area, float lambda, std::size_t n) {
+  const __m256 vl = _mm256_set1_ps(lambda);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  for (std::size_t c = 0; c < n; c += 8) {
+    const std::size_t rem = n - c;
+    const bool full = rem >= 8;
+    const __m256i m = full ? _mm256_setzero_si256() : mask8(rem);
+    const __m256 vn = full ? _mm256_loadu_ps(nets + c)
+                           : _mm256_maskload_ps(nets + c, m);
+    const __m256 va = full ? _mm256_loadu_ps(area + c)
+                           : _mm256_maskload_ps(area + c, m);
+    // max(1, nets + λ·area); mul+add (not FMA) to match scalar bitwise.
+    __m256 p = _mm256_add_ps(vn, _mm256_mul_ps(vl, va));
+    p = _mm256_max_ps(p, one);
+    if (full) {
+      _mm256_storeu_ps(gx + c, _mm256_div_ps(_mm256_loadu_ps(gx + c), p));
+      _mm256_storeu_ps(gy + c, _mm256_div_ps(_mm256_loadu_ps(gy + c), p));
+    } else {
+      _mm256_maskstore_ps(gx + c, m,
+                          _mm256_div_ps(_mm256_maskload_ps(gx + c, m), p));
+      _mm256_maskstore_ps(gy + c, m,
+                          _mm256_div_ps(_mm256_maskload_ps(gy + c, m), p));
+    }
+  }
+}
+
+}  // namespace avx2
+
+const Kernels* avx2_kernels_or_null() {
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  if (!supported) return nullptr;
+  static const Kernels k = {
+      .isa = Isa::kAvx2,
+      .name = "avx2",
+      .add = avx2::add,
+      .sub = avx2::sub,
+      .mul = avx2::mul,
+      .maximum = avx2::maximum,
+      .vexp = avx2::vexp,
+      .reciprocal = avx2::reciprocal,
+      .neg = avx2::neg,
+      .vabs = avx2::vabs,
+      .mul_scalar = avx2::mul_scalar,
+      .add_scalar = avx2::add_scalar,
+      .clamp_min = avx2::clamp_min,
+      .fill = avx2::fill,
+      .copy = avx2::copy,
+      .add_ = avx2::add_,
+      .axpy_ = avx2::axpy_,
+      .scal_ = avx2::scal_,
+      .axpby_ = avx2::axpby_,
+      .sum = avx2::sum,
+      .abs_sum = avx2::abs_sum,
+      .max_value = avx2::max_value,
+      .min_value = avx2::min_value,
+      .dot = avx2::dot,
+      .diff_sq_sum = avx2::diff_sq_sum,
+      .abs_max = avx2::abs_max,
+      .finite_stats = avx2::finite_stats,
+      .gather_pin_pos = avx2::gather_pin_pos,
+      .minmax = avx2::minmax,
+      .wa_sums = avx2::wa_sums,
+      .wa_grad = avx2::wa_grad,
+      .span_scatter = avx2::span_scatter,
+      .span_gather = avx2::span_gather,
+      .fft_pass = avx2::fft_pass,
+      .conj_scale = avx2::conj_scale,
+      .dct_pack = avx2::dct_pack,
+      .dct_rotate = avx2::dct_rotate,
+      .idct_pretwiddle = avx2::idct_pretwiddle,
+      .idct_unpack = avx2::idct_unpack,
+      .nesterov_update = avx2::nesterov_update,
+      .precond_apply = avx2::precond_apply,
+  };
+  return &k;
+}
+
+}  // namespace xplace::simd
+
+#else  // non-x86 targets: no AVX2 backend
+
+namespace xplace::simd {
+const Kernels* avx2_kernels_or_null() { return nullptr; }
+}  // namespace xplace::simd
+
+#endif

@@ -1,0 +1,585 @@
+// SIMD kernel-layer parity tests (util/simd.h).
+//
+// Contracts verified here (DESIGN.md §10):
+//   * backend selection: env policy resolution, explicit select(), fallback,
+//   * bitwise scalar-vs-AVX2 equality for the elementwise/min-max/axpy
+//     kernels, swept over n = 1 .. 2·lanes+3 and unaligned base pointers
+//     (exercises masked heads, full vectors, and remainder tails),
+//   * vectorized exp within 2 ULP of std::expf on the WA range (-87.3, 0],
+//   * reductions and WA/density/FFT/optimizer kernels within documented
+//     tolerances of the scalar backend (double accumulators),
+//   * fused optimizer kernels bitwise-equal to scalar,
+//   * GP end-to-end: AVX2 matches scalar within 1e-4 relative after 20
+//     iterations and is bitwise run-to-run deterministic at fixed ISA.
+//
+// Every AVX2 case skips (not fails) on hardware without AVX2+FMA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/placer.h"
+#include "fft/dct.h"
+#include "fft/fft.h"
+#include "io/generator.h"
+#include "telemetry/metrics.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace xplace {
+namespace {
+
+constexpr std::size_t kMaxN = 19;  // 2·8 lanes + 3
+constexpr std::size_t kPad = 8;    // head room for unaligned base offsets
+
+bool have_avx2() { return simd::cpu_has_avx2(); }
+
+#define XP_REQUIRE_AVX2() \
+  if (!have_avx2()) GTEST_SKIP() << "CPU lacks AVX2+FMA"
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed,
+                                 float lo = -8.0f, float hi = 8.0f) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = lo + (hi - lo) * static_cast<float>(rng.uniform());
+  return v;
+}
+
+/// ULP distance between two finite same-sign floats.
+std::int64_t ulp_diff(float a, float b) {
+  std::int32_t ia, ib;
+  std::memcpy(&ia, &a, 4);
+  std::memcpy(&ib, &b, 4);
+  // Map to a monotonic integer line (two's-complement trick).
+  const std::int64_t ma = ia < 0 ? std::int64_t{INT32_MIN} - ia : ia;
+  const std::int64_t mb = ib < 0 ? std::int64_t{INT32_MIN} - ib : ib;
+  return ma > mb ? ma - mb : mb - ma;
+}
+
+// ---------------- selection & dispatch ----------------
+
+TEST(SimdSelect, PolicyResolution) {
+  EXPECT_EQ(simd::resolve_policy("off"), simd::Isa::kScalar);
+  EXPECT_EQ(simd::resolve_policy("scalar"), simd::Isa::kScalar);
+  const simd::Isa best =
+      have_avx2() ? simd::Isa::kAvx2 : simd::Isa::kScalar;
+  EXPECT_EQ(simd::resolve_policy(nullptr), best);
+  EXPECT_EQ(simd::resolve_policy(""), best);
+  EXPECT_EQ(simd::resolve_policy("auto"), best);
+  EXPECT_EQ(simd::resolve_policy("avx2"), best);     // falls back if absent
+  EXPECT_EQ(simd::resolve_policy("bogus"), best);    // warn + auto
+}
+
+TEST(SimdSelect, ExplicitSelectWinsAndReports) {
+  EXPECT_TRUE(simd::select("scalar"));
+  EXPECT_EQ(simd::isa(), simd::Isa::kScalar);
+  EXPECT_STREQ(simd::active().name, "scalar");
+  EXPECT_FALSE(simd::select("bogus"));
+  EXPECT_EQ(simd::isa(), simd::Isa::kScalar);  // unchanged on failure
+  if (have_avx2()) {
+    EXPECT_TRUE(simd::select("avx2"));
+    EXPECT_EQ(simd::isa(), simd::Isa::kAvx2);
+    EXPECT_STREQ(simd::active().name, "avx2");
+  } else {
+    EXPECT_FALSE(simd::select("avx2"));
+  }
+  EXPECT_TRUE(simd::select("auto"));
+}
+
+TEST(SimdSelect, PublishesIsaGauge) {
+  simd::select(simd::Isa::kScalar);
+  telemetry::Registry reg;
+  simd::publish(reg);
+  EXPECT_EQ(reg.gauge("exec.simd.isa").value(), 0.0);
+  if (have_avx2()) {
+    simd::select(simd::Isa::kAvx2);
+    simd::publish(reg);
+    EXPECT_EQ(reg.gauge("exec.simd.isa").value(), 2.0);
+  }
+  simd::select("auto");
+}
+
+// ---------------- elementwise bitwise parity ----------------
+
+/// Runs `fn(kernels, in_ptrs..., out_ptr, n)` for both backends over every
+/// (size, base-offset) combination and requires bitwise-equal outputs.
+template <typename Fn>
+void sweep_bitwise(std::uint64_t seed, Fn&& fn) {
+  XP_REQUIRE_AVX2();
+  const simd::Kernels& ks = simd::scalar_kernels();
+  const simd::Kernels& ka = simd::avx2_kernels();
+  for (std::size_t n = 1; n <= kMaxN; ++n) {
+    for (std::size_t off = 0; off < 4; ++off) {
+      std::vector<float> a = random_floats(n + kPad, seed ^ (n * 131 + off));
+      std::vector<float> b =
+          random_floats(n + kPad, seed ^ (n * 257 + off + 1));
+      std::vector<float> out_s(n + kPad, 0.0f), out_a(n + kPad, 0.0f);
+      fn(ks, a.data() + off, b.data() + off, out_s.data() + off, n);
+      fn(ka, a.data() + off, b.data() + off, out_a.data() + off, n);
+      ASSERT_EQ(0, std::memcmp(out_s.data(), out_a.data(),
+                               (n + kPad) * sizeof(float)))
+          << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST(SimdBitwise, Add) {
+  sweep_bitwise(1, [](const simd::Kernels& k, const float* a, const float* b,
+                      float* o, std::size_t n) { k.add(a, b, o, n); });
+}
+TEST(SimdBitwise, Sub) {
+  sweep_bitwise(2, [](const simd::Kernels& k, const float* a, const float* b,
+                      float* o, std::size_t n) { k.sub(a, b, o, n); });
+}
+TEST(SimdBitwise, Mul) {
+  sweep_bitwise(3, [](const simd::Kernels& k, const float* a, const float* b,
+                      float* o, std::size_t n) { k.mul(a, b, o, n); });
+}
+TEST(SimdBitwise, Maximum) {
+  sweep_bitwise(4, [](const simd::Kernels& k, const float* a, const float* b,
+                      float* o, std::size_t n) { k.maximum(a, b, o, n); });
+}
+TEST(SimdBitwise, Reciprocal) {
+  sweep_bitwise(5, [](const simd::Kernels& k, const float* a, const float*,
+                      float* o, std::size_t n) { k.reciprocal(a, o, n); });
+}
+TEST(SimdBitwise, NegAbs) {
+  sweep_bitwise(6, [](const simd::Kernels& k, const float* a, const float*,
+                      float* o, std::size_t n) { k.neg(a, o, n); });
+  sweep_bitwise(7, [](const simd::Kernels& k, const float* a, const float*,
+                      float* o, std::size_t n) { k.vabs(a, o, n); });
+}
+TEST(SimdBitwise, ScalarOperandOps) {
+  sweep_bitwise(8, [](const simd::Kernels& k, const float* a, const float*,
+                      float* o, std::size_t n) { k.mul_scalar(a, 1.7f, o, n); });
+  sweep_bitwise(9, [](const simd::Kernels& k, const float* a, const float*,
+                      float* o, std::size_t n) { k.add_scalar(a, -0.3f, o, n); });
+  sweep_bitwise(10, [](const simd::Kernels& k, const float* a, const float*,
+                       float* o, std::size_t n) { k.clamp_min(a, 0.25f, o, n); });
+}
+TEST(SimdBitwise, FillCopy) {
+  sweep_bitwise(11, [](const simd::Kernels& k, const float*, const float*,
+                       float* o, std::size_t n) { k.fill(o, 2.5f, n); });
+  sweep_bitwise(12, [](const simd::Kernels& k, const float* a, const float*,
+                       float* o, std::size_t n) { k.copy(o, a, n); });
+}
+TEST(SimdBitwise, InPlaceAxpyFamily) {
+  sweep_bitwise(13, [](const simd::Kernels& k, const float* a, const float* b,
+                       float* o, std::size_t n) {
+    k.copy(o, a, n);
+    k.add_(o, b, n);
+  });
+  sweep_bitwise(14, [](const simd::Kernels& k, const float* a, const float* b,
+                       float* o, std::size_t n) {
+    k.copy(o, a, n);
+    k.axpy_(o, b, 0.37f, n);
+  });
+  sweep_bitwise(15, [](const simd::Kernels& k, const float* a, const float*,
+                       float* o, std::size_t n) {
+    k.copy(o, a, n);
+    k.scal_(o, -1.1f, n);
+  });
+  sweep_bitwise(16, [](const simd::Kernels& k, const float* a, const float* b,
+                       float* o, std::size_t n) {
+    k.copy(o, a, n);
+    k.axpby_(o, 0.9f, b, 0.2f, n);
+  });
+}
+TEST(SimdBitwise, FusedOptimizerKernels) {
+  XP_REQUIRE_AVX2();
+  const simd::Kernels& ks = simd::scalar_kernels();
+  const simd::Kernels& ka = simd::avx2_kernels();
+  for (std::size_t n = 1; n <= kMaxN; ++n) {
+    // precond_apply
+    std::vector<float> nets = random_floats(n, 100 + n, 0.0f, 12.0f);
+    std::vector<float> area = random_floats(n, 200 + n, 0.1f, 30.0f);
+    std::vector<float> gx = random_floats(n, 300 + n);
+    std::vector<float> gy = random_floats(n, 400 + n);
+    std::vector<float> gx2 = gx, gy2 = gy;
+    ks.precond_apply(gx.data(), gy.data(), nets.data(), area.data(), 0.8f, n);
+    ka.precond_apply(gx2.data(), gy2.data(), nets.data(), area.data(), 0.8f,
+                     n);
+    ASSERT_EQ(0, std::memcmp(gx.data(), gx2.data(), n * 4)) << n;
+    ASSERT_EQ(0, std::memcmp(gy.data(), gy2.data(), n * 4)) << n;
+
+    // nesterov_update
+    std::vector<float> v = random_floats(n, 500 + n, 0.0f, 100.0f);
+    std::vector<float> g = random_floats(n, 600 + n);
+    std::vector<float> u = random_floats(n, 700 + n, 0.0f, 100.0f);
+    std::vector<float> lo(n, 5.0f), hi(n, 95.0f);
+    std::vector<float> vp(n, 0.0f), gp(n, 0.0f);
+    std::vector<float> v2 = v, u2 = u, vp2 = vp, gp2 = gp;
+    ks.nesterov_update(v.data(), vp.data(), gp.data(), u.data(), g.data(),
+                       lo.data(), hi.data(), n, 0.123, 0.5f);
+    ka.nesterov_update(v2.data(), vp2.data(), gp2.data(), u2.data(), g.data(),
+                       lo.data(), hi.data(), n, 0.123, 0.5f);
+    ASSERT_EQ(0, std::memcmp(v.data(), v2.data(), n * 4)) << n;
+    ASSERT_EQ(0, std::memcmp(u.data(), u2.data(), n * 4)) << n;
+    ASSERT_EQ(0, std::memcmp(vp.data(), vp2.data(), n * 4)) << n;
+    ASSERT_EQ(0, std::memcmp(gp.data(), gp2.data(), n * 4)) << n;
+  }
+}
+
+// ---------------- vectorized exp ----------------
+
+TEST(SimdExp, Within2UlpOnWaRange) {
+  XP_REQUIRE_AVX2();
+  const simd::Kernels& ka = simd::avx2_kernels();
+  // The WA kernel's arguments are (x−max)/γ ∈ (-∞, 0]; beyond ≈−87.3 the
+  // scalar expf underflows toward 0 and the vector kernel clamps. Sweep the
+  // supported range densely.
+  constexpr std::size_t kN = 200000;
+  std::vector<float> in(kN), out(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    in[i] = -87.3f * static_cast<float>(kN - 1 - i) / (kN - 1);
+  }
+  ka.vexp(in.data(), out.data(), kN);
+  std::int64_t worst = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const float ref = std::exp(in[i]);
+    worst = std::max(worst, ulp_diff(out[i], ref));
+    ASSERT_LE(ulp_diff(out[i], ref), 2) << "x=" << in[i] << " got=" << out[i]
+                                        << " want=" << ref;
+  }
+  // Sanity: exact at 0.
+  float one_in = 0.0f, one_out = 0.0f;
+  ka.vexp(&one_in, &one_out, 1);
+  EXPECT_EQ(one_out, 1.0f);
+  SUCCEED() << "worst ulp=" << worst;
+}
+
+// ---------------- reductions ----------------
+
+TEST(SimdReduce, MatchesScalarWithinTolerance) {
+  XP_REQUIRE_AVX2();
+  const simd::Kernels& ks = simd::scalar_kernels();
+  const simd::Kernels& ka = simd::avx2_kernels();
+  for (std::size_t n : {1u, 7u, 8u, 9u, 16u, 19u, 1000u, 4097u}) {
+    std::vector<float> a = random_floats(n, 900 + n);
+    std::vector<float> b = random_floats(n, 901 + n);
+    EXPECT_NEAR(ka.sum(a.data(), n), ks.sum(a.data(), n), 1e-9 * n) << n;
+    EXPECT_NEAR(ka.abs_sum(a.data(), n), ks.abs_sum(a.data(), n), 1e-9 * n)
+        << n;
+    EXPECT_NEAR(ka.dot(a.data(), b.data(), n), ks.dot(a.data(), b.data(), n),
+                1e-8 * n)
+        << n;
+    EXPECT_NEAR(ka.diff_sq_sum(a.data(), b.data(), n),
+                ks.diff_sq_sum(a.data(), b.data(), n), 1e-8 * n)
+        << n;
+    // Order-independent reductions must be exactly equal.
+    EXPECT_EQ(ka.max_value(a.data(), n), ks.max_value(a.data(), n)) << n;
+    EXPECT_EQ(ka.min_value(a.data(), n), ks.min_value(a.data(), n)) << n;
+    EXPECT_EQ(ka.abs_max(a.data(), n), ks.abs_max(a.data(), n)) << n;
+  }
+}
+
+TEST(SimdReduce, FiniteStatsCountsNonfinite) {
+  XP_REQUIRE_AVX2();
+  const simd::Kernels& ks = simd::scalar_kernels();
+  const simd::Kernels& ka = simd::avx2_kernels();
+  for (std::size_t n : {1u, 8u, 13u, 64u, 1001u}) {
+    std::vector<float> a = random_floats(n, 950 + n);
+    if (n > 2) {
+      a[n / 2] = std::numeric_limits<float>::quiet_NaN();
+      a[n - 1] = std::numeric_limits<float>::infinity();
+      if (n > 4) a[1] = -std::numeric_limits<float>::infinity();
+    }
+    std::size_t bad_s = 0, bad_a = 0;
+    double sum_s = 0.0, sum_a = 0.0;
+    ks.finite_stats(a.data(), n, &bad_s, &sum_s);
+    ka.finite_stats(a.data(), n, &bad_a, &sum_a);
+    EXPECT_EQ(bad_a, bad_s) << n;
+    EXPECT_NEAR(sum_a, sum_s, 1e-9 * n) << n;
+  }
+}
+
+// ---------------- WA primitives ----------------
+
+TEST(SimdWa, GatherAndMinmaxBitwise) {
+  XP_REQUIRE_AVX2();
+  const simd::Kernels& ks = simd::scalar_kernels();
+  const simd::Kernels& ka = simd::avx2_kernels();
+  const std::size_t cells = 40;
+  std::vector<float> pos = random_floats(cells, 42, 0.0f, 500.0f);
+  for (std::size_t n = 1; n <= kMaxN; ++n) {
+    Rng rng(n * 7 + 1);
+    std::vector<std::uint32_t> cell(n);
+    for (auto& c : cell)
+      c = static_cast<std::uint32_t>(rng.uniform() * cells) % cells;
+    std::vector<float> off = random_floats(n, 43 + n, -4.0f, 4.0f);
+    std::vector<float> px_s(n), px_a(n);
+    ks.gather_pin_pos(pos.data(), cell.data(), off.data(), px_s.data(), n);
+    ka.gather_pin_pos(pos.data(), cell.data(), off.data(), px_a.data(), n);
+    ASSERT_EQ(0, std::memcmp(px_s.data(), px_a.data(), n * 4)) << n;
+    float lo_s, hi_s, lo_a, hi_a;
+    ks.minmax(px_s.data(), n, &lo_s, &hi_s);
+    ka.minmax(px_a.data(), n, &lo_a, &hi_a);
+    EXPECT_EQ(lo_a, lo_s) << n;
+    EXPECT_EQ(hi_a, hi_s) << n;
+  }
+}
+
+TEST(SimdWa, SumsAndGradWithinTolerance) {
+  XP_REQUIRE_AVX2();
+  const simd::Kernels& ks = simd::scalar_kernels();
+  const simd::Kernels& ka = simd::avx2_kernels();
+  const float inv_gamma = 1.0f / 3.5f;
+  for (std::size_t n = 1; n <= kMaxN; ++n) {
+    std::vector<float> px = random_floats(n, 70 + n, 0.0f, 120.0f);
+    float lo, hi;
+    ks.minmax(px.data(), n, &lo, &hi);
+    std::vector<float> s_s(n), u_s(n), s_a(n), u_a(n);
+    const simd::WaSums ts =
+        ks.wa_sums(px.data(), n, lo, hi, inv_gamma, s_s.data(), u_s.data());
+    const simd::WaSums ta =
+        ka.wa_sums(px.data(), n, lo, hi, inv_gamma, s_a.data(), u_a.data());
+    // Per-pin exp terms: ≤2 ULP; aggregated sums: tight relative tolerance.
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_LE(ulp_diff(s_a[i], s_s[i]), 2) << "s n=" << n << " i=" << i;
+      ASSERT_LE(ulp_diff(u_a[i], u_s[i]), 2) << "u n=" << n << " i=" << i;
+    }
+    EXPECT_NEAR(ta.sum_e_max, ts.sum_e_max, 1e-6 * ts.sum_e_max) << n;
+    EXPECT_NEAR(ta.sum_e_min, ts.sum_e_min, 1e-6 * ts.sum_e_min) << n;
+
+    const double wl_max = ts.sum_xe_max / ts.sum_e_max;
+    const double wl_min = ts.sum_xe_min / ts.sum_e_min;
+    std::vector<float> d_s(n), d_a(n);
+    ks.wa_grad(px.data(), s_s.data(), u_s.data(), n, inv_gamma, wl_max,
+               wl_min, 1.0 / ts.sum_e_max, 1.0 / ts.sum_e_min, 1.0f,
+               d_s.data());
+    ka.wa_grad(px.data(), s_s.data(), u_s.data(), n, inv_gamma, wl_max,
+               wl_min, 1.0 / ts.sum_e_max, 1.0 / ts.sum_e_min, 1.0f,
+               d_a.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(d_a[i], d_s[i], 1e-6) << "d n=" << n << " i=" << i;
+    }
+  }
+}
+
+// ---------------- density bin spans ----------------
+
+TEST(SimdDensity, SpanScatterGatherMatchScalar) {
+  XP_REQUIRE_AVX2();
+  const simd::Kernels& ks = simd::scalar_kernels();
+  const simd::Kernels& ka = simd::avx2_kernels();
+  const double h = 2.0, ly0 = 10.0;
+  for (std::size_t n = 1; n <= 11; ++n) {
+    // Cell span partially covers the run, including clamped end bins.
+    const double ly = ly0 + 0.7 * h, hy = ly0 + (n - 0.3) * h;
+    std::vector<double> map_s(n, 0.5), map_a(n, 0.5);
+    ks.span_scatter(map_s.data(), n, ly, hy, ly0, h, 0.25);
+    ka.span_scatter(map_a.data(), n, ly, hy, ly0, h, 0.25);
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(map_a[j], map_s[j], 1e-12) << "n=" << n << " j=" << j;
+    }
+
+    std::vector<double> ex(n), ey(n);
+    Rng rng(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      ex[j] = rng.uniform() - 0.5;
+      ey[j] = rng.uniform() - 0.5;
+    }
+    double fx_s = 0.0, fy_s = 0.0, fx_a = 0.0, fy_a = 0.0;
+    ks.span_gather(ex.data(), ey.data(), n, ly, hy, ly0, h, 1.5, &fx_s, &fy_s);
+    ka.span_gather(ex.data(), ey.data(), n, ly, hy, ly0, h, 1.5, &fx_a, &fy_a);
+    EXPECT_NEAR(fx_a, fx_s, 1e-12) << n;
+    EXPECT_NEAR(fy_a, fy_s, 1e-12) << n;
+  }
+}
+
+// ---------------- FFT butterflies ----------------
+
+TEST(SimdFft, PassAndFullTransformMatchScalar) {
+  XP_REQUIRE_AVX2();
+  const simd::Kernels& ks = simd::scalar_kernels();
+  const simd::Kernels& ka = simd::avx2_kernels();
+  for (std::size_t n : {2u, 4u, 8u, 64u, 256u}) {
+    // Build one stage's twiddles exactly like fft.cpp does for size n.
+    std::vector<std::complex<double>> tw(n / 2);
+    for (std::size_t kk = 0; kk < n / 2; ++kk) {
+      const double ang = -2.0 * 3.14159265358979323846 *
+                         static_cast<double>(kk) / static_cast<double>(n);
+      tw[kk] = {std::cos(ang), std::sin(ang)};
+    }
+    Rng rng(n);
+    std::vector<double> d_s(2 * n), d_a(2 * n);
+    for (std::size_t i = 0; i < 2 * n; ++i) d_s[i] = rng.uniform() - 0.5;
+    d_a = d_s;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      ks.fft_pass(d_s.data(), reinterpret_cast<const double*>(tw.data()), n,
+                  len, n / len);
+      ka.fft_pass(d_a.data(), reinterpret_cast<const double*>(tw.data()), n,
+                  len, n / len);
+      for (std::size_t i = 0; i < 2 * n; ++i) {
+        ASSERT_NEAR(d_a[i], d_s[i], 1e-12 * n) << "n=" << n << " len=" << len;
+      }
+    }
+    // conj_scale parity on identical inputs (the post-pass buffers can
+    // differ in last bits, so compare on a shared copy).
+    std::vector<double> c_s = d_s, c_a = d_s;
+    ks.conj_scale(c_s.data(), n, 1.0 / n);
+    ka.conj_scale(c_a.data(), n, 1.0 / n);
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      ASSERT_EQ(c_a[i], c_s[i]) << i;
+    }
+  }
+}
+
+TEST(SimdFft, FullRoundTripUnderEitherBackend) {
+  // fft/ifft route through the active table: a round trip must reconstruct
+  // the input under both backends.
+  for (const char* backend : {"scalar", "avx2"}) {
+    if (std::strcmp(backend, "avx2") == 0 && !have_avx2()) continue;
+    ASSERT_TRUE(simd::select(backend));
+    Rng rng(99);
+    std::vector<fft::Complex> x(128);
+    for (auto& c : x) c = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+    std::vector<fft::Complex> y = x;
+    fft::fft(y.data(), y.size());
+    fft::ifft(y.data(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(y[i].real(), x[i].real(), 1e-12) << backend << " " << i;
+      EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-12) << backend << " " << i;
+    }
+  }
+  simd::select("auto");
+}
+
+// ---------------- DCT glue ----------------
+
+TEST(SimdFft, DctGlueKernelsMatchScalar) {
+  XP_REQUIRE_AVX2();
+  const simd::Kernels& ks = simd::scalar_kernels();
+  const simd::Kernels& ka = simd::avx2_kernels();
+  for (std::size_t n : {2u, 4u, 8u, 64u, 128u}) {
+    Rng rng(7 * n);
+    // Phases as dct.cpp builds them: e^{-iπk/(2N)}.
+    std::vector<std::complex<double>> ph(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double ang = -3.14159265358979323846 * static_cast<double>(k) /
+                         (2.0 * static_cast<double>(n));
+      ph[k] = {std::cos(ang), std::sin(ang)};
+    }
+    const double* phd = reinterpret_cast<const double*>(ph.data());
+    std::vector<double> x(n);
+    for (auto& e : x) e = rng.uniform() - 0.5;
+
+    // Pack/unpack are pure data movement: bitwise equality.
+    std::vector<double> v_s(2 * n, -1.0), v_a(2 * n, -1.0);
+    ks.dct_pack(x.data(), v_s.data(), n);
+    ka.dct_pack(x.data(), v_a.data(), n);
+    ASSERT_EQ(std::memcmp(v_s.data(), v_a.data(), 2 * n * sizeof(double)), 0)
+        << "dct_pack n=" << n;
+
+    std::vector<double> u_s(n, 0.0), u_a(n, 0.0);
+    ks.idct_unpack(v_s.data(), u_s.data(), n);
+    ka.idct_unpack(v_s.data(), u_a.data(), n);
+    ASSERT_EQ(std::memcmp(u_s.data(), u_a.data(), n * sizeof(double)), 0)
+        << "idct_unpack n=" << n;
+
+    // Rotate/pre-twiddle multiply by phases: tolerance parity.
+    std::vector<double> vc(2 * n);
+    for (auto& e : vc) e = rng.uniform() - 0.5;
+    std::vector<double> r_s(n), r_a(n);
+    ks.dct_rotate(vc.data(), phd, r_s.data(), n);
+    ka.dct_rotate(vc.data(), phd, r_a.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(r_a[i], r_s[i], 1e-14) << "dct_rotate n=" << n;
+    }
+
+    std::vector<double> w_s(2 * n, 0.0), w_a(2 * n, 0.0);
+    ks.idct_pretwiddle(x.data(), phd, w_s.data(), n);
+    ka.idct_pretwiddle(x.data(), phd, w_a.data(), n);
+    for (std::size_t i = 2; i < 2 * n; ++i) {  // caller seeds slot 0
+      ASSERT_NEAR(w_a[i], w_s[i], 1e-14) << "idct_pretwiddle n=" << n;
+    }
+  }
+}
+
+TEST(SimdFft, DctRoundTripUnderEitherBackend) {
+  // dct→idct and idxst sign identity must hold under both backends, and the
+  // AVX2 transforms must match scalar within FFT rounding tolerance.
+  std::vector<double> ref_dct;
+  for (const char* backend : {"scalar", "avx2"}) {
+    if (std::strcmp(backend, "avx2") == 0 && !have_avx2()) continue;
+    ASSERT_TRUE(simd::select(backend));
+    Rng rng(3);
+    std::vector<double> x(128);
+    for (auto& e : x) e = rng.uniform() - 0.5;
+    std::vector<double> y = fft::dct(x);
+    if (ref_dct.empty()) {
+      ref_dct = y;
+    } else {
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_NEAR(y[i], ref_dct[i], 1e-10) << i;
+      }
+    }
+    const std::vector<double> z = fft::idct(y);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(z[i], x[i], 1e-10) << backend << " " << i;
+    }
+    const std::vector<double> s = fft::idxst(y);
+    ASSERT_EQ(s.size(), x.size());
+  }
+  simd::select("auto");
+}
+
+// ---------------- GP end-to-end ----------------
+
+db::Database simd_db(std::uint64_t seed = 23) {
+  io::GeneratorSpec spec;
+  spec.name = "simd_unit";
+  spec.num_cells = 600;
+  spec.num_nets = 660;
+  spec.seed = seed;
+  return io::generate(spec);
+}
+
+core::PlacerConfig simd_cfg(int iters) {
+  core::PlacerConfig cfg = core::PlacerConfig::xplace();
+  cfg.grid_dim = 64;
+  cfg.max_iters = iters;
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(SimdGP, Avx2MatchesScalarWithin1e4After20Iters) {
+  XP_REQUIRE_AVX2();
+  simd::select(simd::Isa::kScalar);
+  db::Database db_s = simd_db();
+  core::GlobalPlacer ps(db_s, simd_cfg(20));
+  const core::GlobalPlaceResult rs = ps.run();
+
+  simd::select(simd::Isa::kAvx2);
+  db::Database db_a = simd_db();
+  core::GlobalPlacer pa(db_a, simd_cfg(20));
+  const core::GlobalPlaceResult ra = pa.run();
+  simd::select("auto");
+
+  ASSERT_TRUE(std::isfinite(ra.hpwl));
+  EXPECT_NEAR(ra.hpwl, rs.hpwl, 1e-4 * rs.hpwl);
+  EXPECT_NEAR(ra.overflow, rs.overflow, 1e-4);
+}
+
+TEST(SimdGP, Avx2BitwiseRunToRunDeterministic) {
+  XP_REQUIRE_AVX2();
+  simd::select(simd::Isa::kAvx2);
+  db::Database db_a = simd_db();
+  core::GlobalPlacer pa(db_a, simd_cfg(40));
+  pa.run();
+  db::Database db_b = simd_db();
+  core::GlobalPlacer pb(db_b, simd_cfg(40));
+  pb.run();
+  simd::select("auto");
+  for (std::size_t c = 0; c < db_a.num_movable(); ++c) {
+    ASSERT_EQ(db_a.x(c), db_b.x(c)) << c;
+    ASSERT_EQ(db_a.y(c), db_b.y(c)) << c;
+  }
+}
+
+}  // namespace
+}  // namespace xplace
