@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI lanes for Xplace. Run all lanes (default) or a single one:
 #
-#   ci/run_ci.sh [tier1|tier1-mt|tier1-scalar|faultinject|asan-ubsan|tsan|all]
+#   ci/run_ci.sh [tier1|tier1-mt|tier1-scalar|tier1-serve|faultinject|asan-ubsan|tsan|all]
 #
 #   tier1       plain build, full ctest suite
 #   tier1-mt    same build, full ctest suite with XPLACE_THREADS=4 so every
@@ -12,6 +12,10 @@
 #               whole flow runs on the scalar kernel table — the bitwise
 #               determinism baseline must pass independent of host CPU
 #               features
+#   tier1-serve serving-subsystem smoke: start the xplace_serve daemon on a
+#               Unix socket, drive it with xplace_client — two demo jobs, one
+#               cancelled mid-run — assert both reach the expected terminal
+#               state, and shut the daemon down gracefully (exit 0)
 #   faultinject guardian/recovery tests (ctest -L faultinject) plus an
 #               end-to-end XPLACE_FAULT matrix over the place_bookshelf demo:
 #               every injected fault must be recovered (exit 0, legal result)
@@ -50,6 +54,69 @@ run_tier1_mt() {
 run_tier1_scalar() {
   build build-ci
   XPLACE_SIMD=scalar ctest --test-dir build-ci --output-on-failure -j "$jobs"
+}
+
+serve_fail() { # serve_fail <message>  (kills the daemon, then fails the lane)
+  echo "$1" >&2
+  kill "$serve_daemon_pid" 2>/dev/null || true
+  return 1
+}
+
+run_tier1_serve() {
+  build build-ci
+  local sock="/tmp/xplace_ci_$$.sock"
+  local client=./build-ci/examples/xplace_client
+
+  echo "=== tier1-serve lane: daemon smoke on $sock ==="
+  ./build-ci/examples/xplace_serve --socket "$sock" --jobs 2 &
+  serve_daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || serve_fail "daemon never bound $sock" || return 1
+
+  # Job 1 runs to completion; job 2 is long and gets cancelled mid-run.
+  local id1 id2
+  id1=$("$client" --socket "$sock" submit --demo-cells 1000 --max-iters 150 \
+        --label ci_done | sed -n 's/.*"id":\([0-9]*\).*/\1/p') || true
+  id2=$("$client" --socket "$sock" submit --demo-cells 8000 --max-iters 5000 \
+        --label ci_cancel | sed -n 's/.*"id":\([0-9]*\).*/\1/p') || true
+  { [ -n "$id1" ] && [ -n "$id2" ]; } \
+      || serve_fail "submit failed" || return 1
+
+  # Poll until job 2 streams its first progress events, then cancel it
+  # immediately — many seconds before a run this size could finish.
+  local ev="" streaming=0
+  for _ in $(seq 1 100); do
+    ev=$("$client" --socket "$sock" events --id "$id2" --timeout-s 0.2) || true
+    if echo "$ev" | grep -q '"event"'; then streaming=1; break; fi
+    sleep 0.1
+  done
+  [ "$streaming" = 1 ] \
+      || serve_fail "no progress events streamed for job $id2" || return 1
+  "$client" --socket "$sock" cancel --id "$id2" >/dev/null \
+      || serve_fail "cancel failed" || return 1
+
+  local r1 r2
+  r1=$("$client" --socket "$sock" result --id "$id1" --wait --timeout-s 300) \
+      || serve_fail "result for job $id1 failed" || return 1
+  r2=$("$client" --socket "$sock" result --id "$id2" --wait --timeout-s 300) \
+      || serve_fail "result for job $id2 failed" || return 1
+  echo "job $id1: $r1"
+  echo "job $id2: $r2"
+  echo "$r1" | grep -q '"state":"done"' \
+      || serve_fail "job 1 did not finish" || return 1
+  echo "$r2" | grep -q '"state":"cancelled"' \
+      || serve_fail "job 2 was not cancelled" || return 1
+  echo "$r2" | grep -q '"stop_reason":"cancelled"' \
+      || serve_fail "job 2 stop_reason wrong" || return 1
+
+  # Graceful shutdown must complete and leave the daemon exiting 0.
+  "$client" --socket "$sock" shutdown >/dev/null \
+      || serve_fail "shutdown request failed" || return 1
+  wait "$serve_daemon_pid" || serve_fail "daemon exited non-zero" || return 1
+  echo "=== tier1-serve lane passed ==="
 }
 
 run_faultinject() {
@@ -91,12 +158,13 @@ case "$lane" in
   tier1)        run_tier1 ;;
   tier1-mt)     run_tier1_mt ;;
   tier1-scalar) run_tier1_scalar ;;
+  tier1-serve)  run_tier1_serve ;;
   faultinject)  run_faultinject ;;
   asan-ubsan)   run_asan_ubsan ;;
   tsan)         run_tsan ;;
-  all)          run_tier1; run_tier1_mt; run_tier1_scalar; run_faultinject
-                run_asan_ubsan; run_tsan ;;
-  *) echo "unknown lane '$lane' (tier1|tier1-mt|tier1-scalar|faultinject|asan-ubsan|tsan|all)" >&2
+  all)          run_tier1; run_tier1_mt; run_tier1_scalar; run_tier1_serve
+                run_faultinject; run_asan_ubsan; run_tsan ;;
+  *) echo "unknown lane '$lane' (tier1|tier1-mt|tier1-scalar|tier1-serve|faultinject|asan-ubsan|tsan|all)" >&2
      exit 2 ;;
 esac
 echo "ci lane(s) '$lane' passed"

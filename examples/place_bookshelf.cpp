@@ -32,6 +32,13 @@
 //                             scalar/off. Omitting the flag defers to
 //                             XPLACE_SIMD; the selection is printed and
 //                             published as the exec.simd.isa gauge.
+//
+// Wall-clock budget:
+//   --timeout-s T             cooperative deadline over the whole flow: GP
+//                             stops at the next iteration boundary, commits
+//                             the guardian's best snapshot, and LG/DP are
+//                             skipped — the written .pl always holds the
+//                             best placement reached within the budget.
 #include <cstdio>
 #include <filesystem>
 
@@ -47,9 +54,10 @@
 #include "telemetry/trace.h"
 #include "tensor/dispatch.h"
 #include "util/arg_parser.h"
+#include "util/backend_resolve.h"
 #include "util/execution.h"
 #include "util/logging.h"
-#include "util/simd.h"
+#include "util/stop_token.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
@@ -59,16 +67,11 @@ int main(int argc, char** argv) {
   const std::string trace_out = args.get("trace-out");
   if (!trace_out.empty()) telemetry::Tracer::global().enable();
 
-  // SIMD backend: explicit flag wins over XPLACE_SIMD (resolved lazily on
-  // first kernel launch otherwise).
-  if (const std::string simd_flag = args.get("simd"); !simd_flag.empty()) {
-    if (!simd::select(simd_flag.c_str())) {
-      XP_ERROR("--simd %s: unknown backend or unsupported on this CPU "
-               "(off|scalar|avx2|auto)",
-               simd_flag.c_str());
-      return 1;
-    }
-  }
+  // Backend knobs (explicit flag wins over XPLACE_SIMD / XPLACE_THREADS);
+  // shared resolution with the other CLIs and the serve daemon.
+  const BackendResolution backend = resolve_backend_flags(
+      args.get("simd"), static_cast<int>(args.get_int("threads", 0)));
+  if (!backend.ok) return 1;
 
   std::string aux_path;
   if (args.get_bool("demo", false) || args.positional().empty()) {
@@ -99,15 +102,22 @@ int main(int argc, char** argv) {
   cfg.checkpoint_out = args.get("checkpoint-out");
   cfg.checkpoint_period = static_cast<int>(args.get_int("checkpoint-every", 100));
   cfg.resume_path = args.get("resume");
-  cfg.threads = static_cast<int>(args.get_int("threads", 0));
+  cfg.threads = backend.threads;
   core::GlobalPlacer placer(db, cfg);
   const ExecutionContext& exec = placer.execution();
-  std::printf("execution backend: %s (%zu thread%s), simd %s\n",
-              exec.backend_name(), exec.threads(),
-              exec.threads() == 1 ? "" : "s", simd::isa_name(simd::isa()));
+  std::printf("%s\n", backend_summary(exec).c_str());
+
+  StopToken stop;
+  const double timeout_s = args.get_double("timeout-s", 0.0);
+  if (timeout_s > 0) {
+    stop.set_timeout(timeout_s);
+    placer.set_stop_token(&stop);
+  }
+
   const core::GlobalPlaceResult gp = placer.run();
-  std::printf("GP:  hpwl %.6g  overflow %.4f  (%d iters, %.2fs)\n", gp.hpwl,
-              gp.overflow, gp.iterations, gp.gp_seconds);
+  std::printf("GP:  hpwl %.6g  overflow %.4f  (%d iters, %.2fs, stop: %s)\n",
+              gp.hpwl, gp.overflow, gp.iterations, gp.gp_seconds,
+              core::to_string(gp.stop_reason));
   // Per-phase kernel time: the numbers to compare across --threads values.
   const TimerRegistry& phases = placer.engine().phase_timers();
   std::printf(
@@ -121,14 +131,27 @@ int main(int argc, char** argv) {
                             : "");
   }
 
-  const lg::LegalizeStats lgs = lg::abacus_legalize(db, &exec);
-  std::printf("LG:  %s\n", lgs.summary().c_str());
+  const bool stopped = gp.stop_reason == core::StopReason::kCancelled ||
+                       gp.stop_reason == core::StopReason::kDeadline;
+  bool legal = true;
+  if (stopped) {
+    // Budget exhausted: skip LG/DP; the database holds the committed
+    // best-snapshot GP positions, which we still write out below.
+    std::printf("flow stopped (%s) — skipping LG/DP\n",
+                core::to_string(gp.stop_reason));
+  } else {
+    const lg::LegalizeStats lgs = lg::abacus_legalize(db, &exec);
+    std::printf("LG:  %s\n", lgs.summary().c_str());
 
-  const dp::DetailedPlaceResult dps = dp::detailed_place(db, {}, &exec);
-  std::printf("DP:  %s\n", dps.summary().c_str());
+    dp::DetailedPlaceConfig dcfg;
+    dcfg.stop = timeout_s > 0 ? &stop : nullptr;
+    const dp::DetailedPlaceResult dps = dp::detailed_place(db, dcfg, &exec);
+    std::printf("DP:  %s\n", dps.summary().c_str());
 
-  const lg::LegalityReport rep = lg::check_legality(db);
-  std::printf("legality: %s\n", rep.summary().c_str());
+    const lg::LegalityReport rep = lg::check_legality(db);
+    std::printf("legality: %s\n", rep.summary().c_str());
+    legal = rep.legal();
+  }
 
   const std::string out = args.get("out", "/tmp/xplace_out.pl");
   io::write_pl(db, out);
@@ -170,5 +193,5 @@ int main(int argc, char** argv) {
       XP_ERROR("cannot write %s: %s", trace_out.c_str(), error.c_str());
     }
   }
-  return rep.legal() ? 0 : 1;
+  return legal ? 0 : 1;
 }

@@ -1,0 +1,124 @@
+// xplace_client: command-line client for the xplace_serve daemon.
+//
+// Speaks the JSON-lines protocol over the daemon's Unix socket and prints
+// the raw response lines, so output is pipeable into jq. Exit code 0 iff
+// the final response line says ok.
+//
+//   xplace_client submit --demo-cells 2000 --max-iters 200 --label run1
+//   xplace_client submit --aux adaptec1.aux --priority 5 --deadline-s 600
+//   xplace_client status --id 1
+//   xplace_client result --id 1 --wait --timeout-s 600
+//   xplace_client events --id 1 --follow
+//   xplace_client cancel --id 1
+//   xplace_client stats
+//   xplace_client shutdown [--no-drain]
+//
+// Common flags: --socket PATH (default /tmp/xplace.sock).
+// Submit flags: --aux PATH | --demo-cells N [--demo-seed S], --max-iters N,
+//   --grid N, --threads N (per-job workers; 0 = server default), --gp-only,
+//   --priority P, --deadline-s T, --label NAME.
+// Events flags: --id N, --from SEQ, --timeout-s T (--follow = a whole-run
+//   budget of 3600s).
+#include <cstdio>
+#include <string>
+
+#include "server/json.h"
+#include "server/protocol.h"
+#include "server/uds.h"
+#include "util/arg_parser.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace xplace;
+using namespace xplace::server;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xplace_client [--socket PATH] "
+               "submit|status|cancel|result|events|stats|shutdown [flags]\n"
+               "(see the header comment of examples/xplace_client.cpp)\n");
+  return 2;
+}
+
+bool command_from_name(const std::string& name, Command* out) {
+  if (name == "submit") *out = Command::kSubmit;
+  else if (name == "status") *out = Command::kStatus;
+  else if (name == "cancel") *out = Command::kCancel;
+  else if (name == "result") *out = Command::kResult;
+  else if (name == "events") *out = Command::kEvents;
+  else if (name == "stats") *out = Command::kStats;
+  else if (name == "shutdown") *out = Command::kShutdown;
+  else return false;
+  return true;
+}
+
+/// True when `line` is a final `{"ok":...}` response (vs a streamed
+/// `{"event":...}` line); sets *ok from it.
+bool is_final_response(const std::string& line, bool* ok) {
+  json::Value v;
+  std::string error;
+  if (!json::parse(line, &v, &error) || !v.is_object() || !v.has("ok")) {
+    return false;
+  }
+  *ok = v.get_bool("ok", false);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (args.positional().empty()) return usage();
+
+  Request req;
+  if (!command_from_name(args.positional()[0], &req.cmd)) return usage();
+  req.id = static_cast<std::uint64_t>(args.get_int("id", 0));
+  req.from_seq = static_cast<std::uint64_t>(args.get_int("from", 0));
+  req.wait = args.get_bool("wait", false);
+  req.timeout_s = args.get_double(
+      "timeout-s", args.get_bool("follow", false) ? 3600.0 : 60.0);
+  req.drain = !args.get_bool("no-drain", false);
+  if (req.cmd == Command::kSubmit) {
+    JobSpec& s = req.spec;
+    s.aux = args.get("aux");
+    s.demo_cells = args.get_int("demo-cells", 0);
+    s.demo_seed = static_cast<std::uint64_t>(args.get_int("demo-seed", 11));
+    s.max_iters = static_cast<int>(args.get_int("max-iters", 1500));
+    s.grid = static_cast<int>(args.get_int("grid", 128));
+    s.threads = static_cast<int>(args.get_int("threads", 0));
+    s.full_flow = !args.get_bool("gp-only", false);
+    s.priority = static_cast<int>(args.get_int("priority", 0));
+    s.deadline_s = args.get_double("deadline-s", 0.0);
+    s.label = args.get("label");
+    if (s.aux.empty() && s.demo_cells <= 0) {
+      std::fprintf(stderr, "submit needs --aux PATH or --demo-cells N\n");
+      return 2;
+    }
+  }
+
+  const std::string socket_path = args.get("socket", "/tmp/xplace.sock");
+  UdsStream stream = UdsStream::connect(socket_path);
+  if (!stream.valid()) {
+    XP_ERROR("cannot connect to %s (is xplace_serve running?)",
+             socket_path.c_str());
+    return 1;
+  }
+  if (!stream.write_line(build_request(req))) {
+    XP_ERROR("write failed");
+    return 1;
+  }
+
+  // One response line per command; `events` streams event lines first and
+  // closes with the final ok line.
+  std::string line;
+  bool oversized = false;
+  bool ok = false;
+  while (stream.read_line(&line, &oversized)) {
+    if (oversized) continue;
+    std::printf("%s\n", line.c_str());
+    if (is_final_response(line, &ok)) return ok ? 0 : 1;
+  }
+  XP_ERROR("connection closed before a response arrived");
+  return 1;
+}

@@ -1,0 +1,65 @@
+// xplace_serve: the resident placement daemon (DESIGN.md §11).
+//
+// Listens on a Unix-domain socket and serves the JSON-lines protocol over a
+// PlacementServer: bounded priority queue, N concurrent placement jobs, a
+// server-wide worker-thread budget, streamed per-iteration progress, and
+// cooperative cancellation. Pair with xplace_client, or speak the protocol
+// directly:
+//
+//   ./xplace_serve --socket /tmp/xplace.sock --jobs 2 &
+//   printf '{"cmd":"submit","demo_cells":2000,"max_iters":150}\n' \
+//     | nc -U /tmp/xplace.sock
+//
+// Flags:
+//   --socket PATH       listen socket (default /tmp/xplace.sock)
+//   --jobs N            concurrent job slots (default 2)
+//   --queue N           queued-job admission bound (default 64)
+//   --job-threads N     worker threads per job when the submit does not say
+//                       (default 1 — the bitwise-reproducible serial backend)
+//   --thread-budget N   server-wide worker-thread cap (default jobs*job-threads)
+//   --results N         terminal job records retained (default 256)
+//   --spill DIR         periodic XPCK checkpoint spill per job into DIR
+//   --spill-every N     iterations between spills (default 200)
+//   --simd BACKEND      SIMD kernel table (auto|avx2|scalar|off)
+//
+// The daemon exits after a client `shutdown` request completes (drain or
+// cancel — see the protocol).
+#include <cstdio>
+
+#include "server/server.h"
+#include "server/uds.h"
+#include "util/arg_parser.h"
+#include "util/backend_resolve.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace xplace;
+  ArgParser args(argc, argv);
+  if (!args.ok()) {
+    for (const std::string& e : args.errors()) XP_ERROR("%s", e.c_str());
+    return 2;
+  }
+
+  // SIMD resolution is process-wide and first-call-wins: do it once here so
+  // every job this daemon runs uses the same kernel table.
+  if (!resolve_backend_flags(args.get("simd"), 0).ok) return 1;
+
+  server::ServerConfig cfg;
+  cfg.max_concurrency =
+      static_cast<std::size_t>(args.get_int("jobs", 2));
+  cfg.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 64));
+  cfg.default_job_threads =
+      static_cast<int>(args.get_int("job-threads", 1));
+  cfg.thread_budget =
+      static_cast<std::size_t>(args.get_int("thread-budget", 0));
+  cfg.result_capacity =
+      static_cast<std::size_t>(args.get_int("results", 256));
+  cfg.spill_dir = args.get("spill");
+  cfg.spill_period = static_cast<int>(args.get_int("spill-every", 200));
+
+  server::PlacementServer srv(cfg);
+  const std::string socket_path = args.get("socket", "/tmp/xplace.sock");
+  if (!server::serve(srv, socket_path)) return 1;
+  return 0;
+}

@@ -14,6 +14,17 @@
 
 namespace xplace::core {
 
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kConverged: return "converged";
+    case StopReason::kIterCap: return "iter_cap";
+    case StopReason::kDiverged: return "diverged";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
 PlacerConfig PlacerConfig::xplace() { return PlacerConfig{}; }
 
 PlacerConfig PlacerConfig::dreamplace() {
@@ -117,6 +128,17 @@ GlobalPlaceResult GlobalPlacer::run() {
   }
 
   for (int iter = start_iter; iter < cfg_.max_iters; ++iter) {
+    // Cooperative stop: polled before the iteration's kernels so a cancel
+    // or deadline never pays for another gradient evaluation. The committed
+    // iterate is handled below on the shared best-snapshot path.
+    if (const StopCause cause = poll_stop(stop_); cause != StopCause::kNone) {
+      result.stop_reason = cause == StopCause::kCancelled
+                               ? StopReason::kCancelled
+                               : StopReason::kDeadline;
+      XP_INFO("[%s] GP stop requested at iter %d (%s)",
+              db_.design_name().c_str(), iter, to_string(cause));
+      break;
+    }
     telemetry::TraceScope iter_span("gp.iter");
     Stopwatch iter_watch;
     const double lambda = scheduler_->lambda();
@@ -143,7 +165,7 @@ GlobalPlaceResult GlobalPlacer::run() {
         result.iterations = iter + 1;
         if (!guardian_->rollback(reason, *optimizer_, *scheduler_, *engine_,
                                  &gamma, &overflow)) {
-          result.diverged = true;
+          result.stop_reason = StopReason::kDiverged;
           break;
         }
         continue;  // retry from the restored best iterate
@@ -153,7 +175,7 @@ GlobalPlaceResult GlobalPlacer::run() {
       XP_WARN("[%s] divergence detected at iter %d (hpwl %.4g vs best %.4g)",
               db_.design_name().c_str(), iter, g.hpwl, best_hpwl);
       result.iterations = iter + 1;
-      result.diverged = true;
+      result.stop_reason = StopReason::kDiverged;
       break;
     }
 
@@ -221,21 +243,32 @@ GlobalPlaceResult GlobalPlacer::run() {
     }
 
     if (iter >= cfg_.min_iters && overflow < cfg_.stop_overflow) {
-      result.converged = true;
+      result.stop_reason = StopReason::kConverged;
       break;
     }
   }
 
+  // The bools are derived views of stop_reason (kept in lockstep so older
+  // callers checking `converged`/`diverged` keep working).
+  result.converged = result.stop_reason == StopReason::kConverged;
+  result.diverged = result.stop_reason == StopReason::kDiverged;
+
   result.rollbacks = guardian_->rollbacks();
   result.sentinel_trips = guardian_->sentinel_trips();
 
-  // On a divergent stop, commit the best-known snapshot instead of the
-  // diverged iterate (losing a few iterations of progress beats emitting a
-  // garbage placement).
-  if (result.diverged && guardian_->restore_best(*optimizer_, *scheduler_,
-                                                 *engine_)) {
-    XP_WARN("[%s] committing best snapshot (hpwl %.6g) after divergent stop",
-            db_.design_name().c_str(), guardian_->best().hpwl);
+  // On a divergent, cancelled, or deadline stop, commit the best-known
+  // snapshot instead of the current iterate: for divergence the current
+  // iterate is garbage; for cancel/deadline the snapshot is the best-overflow
+  // (most usable) placement seen, so an interrupted job still returns a
+  // meaningful result.
+  const bool stopped_early = result.stop_reason == StopReason::kDiverged ||
+                             result.stop_reason == StopReason::kCancelled ||
+                             result.stop_reason == StopReason::kDeadline;
+  if (stopped_early &&
+      guardian_->restore_best(*optimizer_, *scheduler_, *engine_)) {
+    XP_WARN("[%s] committing best snapshot (hpwl %.6g) after %s stop",
+            db_.design_name().c_str(), guardian_->best().hpwl,
+            to_string(result.stop_reason));
     overflow = guardian_->best().overflow;
   }
 
@@ -265,17 +298,23 @@ GlobalPlaceResult GlobalPlacer::run() {
   reg.gauge("gp.overflow").set(result.overflow);
   reg.gauge("gp.iterations").set(result.iterations);
   reg.gauge("gp.seconds").set(result.gp_seconds);
+  reg.gauge("gp.stop_reason").set(static_cast<double>(result.stop_reason));
   reg.counter("gp.runs").inc();
   reg.counter("gp.kernel_launches").inc(result.kernel_launches);
   if (result.diverged) reg.counter("gp.diverged_runs").inc();
+  if (result.stop_reason == StopReason::kCancelled ||
+      result.stop_reason == StopReason::kDeadline) {
+    reg.counter("gp.stopped_runs").inc();
+  }
   // Backend + pool utilization, and the per-phase kernel timers the
   // `--threads` speedup is measured against.
   exec_.publish(reg);
   engine_->phase_timers().publish(reg, "timer.");
 
-  XP_INFO("[%s] GP done: %d iters, hpwl %.6g, ovfl %.4f, %.2fs (%.2f ms/iter), %llu launches",
-          db_.design_name().c_str(), result.iterations, result.hpwl,
-          result.overflow, result.gp_seconds, result.avg_iter_ms,
+  XP_INFO("[%s] GP done (%s): %d iters, hpwl %.6g, ovfl %.4f, %.2fs (%.2f ms/iter), %llu launches",
+          db_.design_name().c_str(), to_string(result.stop_reason),
+          result.iterations, result.hpwl, result.overflow, result.gp_seconds,
+          result.avg_iter_ms,
           static_cast<unsigned long long>(result.kernel_launches));
   return result;
 }

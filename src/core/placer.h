@@ -22,8 +22,23 @@
 #include "core/scheduler.h"
 #include "db/database.h"
 #include "util/execution.h"
+#include "util/stop_token.h"
 
 namespace xplace::core {
+
+/// Why the GP loop ended. Exactly one reason per run; the `converged` /
+/// `diverged` bools of GlobalPlaceResult are derived views of this.
+/// Numeric values are stable (published as the `gp.stop_reason` gauge and in
+/// serialized job records).
+enum class StopReason : int {
+  kConverged = 0,  ///< stop_overflow reached
+  kIterCap = 1,    ///< max_iters exhausted before convergence
+  kDiverged = 2,   ///< sentinel/divergence stop; best snapshot committed
+  kCancelled = 3,  ///< StopToken cancel; best snapshot committed
+  kDeadline = 4,   ///< StopToken deadline; best snapshot committed
+};
+
+const char* to_string(StopReason reason);
 
 struct GlobalPlaceResult {
   double hpwl = 0.0;          ///< final exact HPWL
@@ -31,10 +46,11 @@ struct GlobalPlaceResult {
   int iterations = 0;
   double gp_seconds = 0.0;    ///< wall-clock of the GP loop
   double avg_iter_ms = 0.0;
-  bool converged = false;     ///< stop_overflow reached (vs iteration cap)
+  StopReason stop_reason = StopReason::kIterCap;
+  bool converged = false;     ///< == (stop_reason == kConverged)
   std::uint64_t kernel_launches = 0;  ///< dispatcher launches in the loop
   // Run-guardian outcome.
-  bool diverged = false;      ///< stopped on divergence; best snapshot committed
+  bool diverged = false;      ///< == (stop_reason == kDiverged)
   int rollbacks = 0;          ///< rollback-and-retune recoveries performed
   int sentinel_trips = 0;     ///< NONFINITE/SPIKE sentinel classifications
 };
@@ -48,9 +64,20 @@ class GlobalPlacer {
   /// Optional neural guidance (Section 3.3); must outlive run().
   void set_field_guidance(FieldGuidance* guidance);
 
+  /// Optional cooperative stop (cancel / deadline); must outlive run().
+  /// Polled once per GP iteration: on a fired token the loop exits with
+  /// stop_reason kCancelled/kDeadline, commits the guardian's best-known
+  /// snapshot when one exists (same path as a divergent stop), and writes
+  /// finite positions back into the database — a cancelled run still yields
+  /// a usable placement. Null (default) disables polling.
+  void set_stop_token(const StopToken* token) { stop_ = token; }
+
   GlobalPlaceResult run();
 
   const Recorder& recorder() const { return recorder_; }
+  /// Mutable recorder access: drivers install a streaming observer here
+  /// (see Recorder::set_observer) before run().
+  Recorder& recorder() { return recorder_; }
   const GradientEngine& engine() const { return *engine_; }
   /// The execution backend the placer built from cfg.threads (shared pool for
   /// the whole flow — the driver hands it on to legalization / detailed
@@ -65,6 +92,7 @@ class GlobalPlacer {
 
   db::Database& db_;
   PlacerConfig cfg_;
+  const StopToken* stop_ = nullptr;
   ExecutionContext exec_;  ///< must outlive engine_ (engine holds a pointer)
   std::unique_ptr<GradientEngine> engine_;
   std::unique_ptr<Preconditioner> precond_;

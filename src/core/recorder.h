@@ -6,6 +6,7 @@
 // the file extension and handles I/O errors.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,7 +30,18 @@ struct IterationRecord {
 
 class Recorder {
  public:
-  void add(const IterationRecord& rec) { records_.push_back(rec); }
+  /// Streaming hook: invoked synchronously from add() — i.e. on the GP loop
+  /// thread, once per iteration — with the record just appended. The server
+  /// uses this to stream per-iteration progress events to clients while a
+  /// job runs; the observer must be cheap and must not re-enter the placer.
+  using Observer = std::function<void(const IterationRecord&)>;
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  void add(const IterationRecord& rec) {
+    records_.push_back(rec);
+    if (observer_) observer_(rec);
+  }
   const std::vector<IterationRecord>& records() const { return records_; }
   bool empty() const { return records_.empty(); }
   const IterationRecord& back() const { return records_.back(); }
@@ -47,6 +59,7 @@ class Recorder {
 
  private:
   std::vector<IterationRecord> records_;
+  Observer observer_;
 };
 
 }  // namespace xplace::core

@@ -7,6 +7,7 @@
 #include "dp/local_reorder.h"
 #include "telemetry/trace.h"
 #include "util/logging.h"
+#include "util/stop_token.h"
 #include "util/timer.h"
 
 namespace xplace::dp {
@@ -33,21 +34,36 @@ DetailedPlaceResult detailed_place(db::Database& db,
   if (!db.rows().empty()) row_h = db.rows().front().height;
   const double radius = cfg.swap_radius_rows * row_h;
 
+  // Stop poll at every pass boundary: each pass leaves the placement legal,
+  // so bailing out between passes returns a legal, partially-refined result.
+  bool stopped = false;
+  const auto should_stop = [&]() {
+    if (!stopped) {
+      const StopCause cause = poll_stop(cfg.stop);
+      if (cause != StopCause::kNone) {
+        XP_INFO("dp stop requested (%s) — returning at pass boundary",
+                to_string(cause));
+        stopped = true;
+      }
+    }
+    return stopped;
+  };
+
   double prev = result.hpwl_before;
-  for (int round = 0; round < cfg.max_rounds; ++round) {
+  for (int round = 0; round < cfg.max_rounds && !should_stop(); ++round) {
     if (cfg.enable_global_swap) {
       const PassStats s = global_swap_pass(db, radius);
       result.moves_accepted += s.moves_accepted;
       XP_DEBUG("dp round %d swap: %.6g -> %.6g (%zu moves)", round,
                s.hpwl_before, s.hpwl_after, s.moves_accepted);
     }
-    if (cfg.enable_ism) {
+    if (cfg.enable_ism && !should_stop()) {
       const PassStats s = ism_pass(db, cfg.ism_max_set);
       result.moves_accepted += s.moves_accepted;
       XP_DEBUG("dp round %d ism: %.6g -> %.6g (%zu moves)", round,
                s.hpwl_before, s.hpwl_after, s.moves_accepted);
     }
-    if (cfg.enable_local_reorder) {
+    if (cfg.enable_local_reorder && !should_stop()) {
       const PassStats s = local_reorder_pass(db, cfg.reorder_window, exec);
       result.moves_accepted += s.moves_accepted;
       XP_DEBUG("dp round %d reorder: %.6g -> %.6g (%zu moves)", round,

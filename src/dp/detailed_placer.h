@@ -9,6 +9,7 @@
 
 namespace xplace {
 class ExecutionContext;
+class StopToken;
 }
 
 namespace xplace::dp {
@@ -22,6 +23,10 @@ struct DetailedPlaceConfig {
   bool enable_global_swap = true;
   bool enable_ism = true;
   bool enable_local_reorder = true;
+  /// Cooperative stop, polled at pass boundaries (between GS/ISM/LR passes
+  /// and between rounds). Each pass preserves legality, so an interrupted DP
+  /// returns early with a legal, partially-optimized placement. Null = off.
+  const StopToken* stop = nullptr;
 };
 
 struct DetailedPlaceResult {

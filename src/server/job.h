@@ -1,0 +1,109 @@
+// Placement job model shared by the queue, the scheduler, and the protocol.
+//
+// A job is one full placement flow (GP → LG → DP, or GP only) over either a
+// bookshelf .aux on disk or a synthesized demo design — exactly the two
+// entry points place_bookshelf offers, so a job submitted to the daemon and
+// a one-shot CLI run at the same config produce bit-identical results at a
+// fixed thread count (the determinism acceptance of DESIGN.md §11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/placer.h"
+
+namespace xplace::server {
+
+/// Everything a client specifies at submit time.
+struct JobSpec {
+  // ---- design source (exactly one) ----------------------------------------
+  std::string aux;             ///< bookshelf .aux path ("" = demo)
+  long demo_cells = 0;         ///< >0: synthesize like place_bookshelf --demo
+  std::uint64_t demo_seed = 11;  ///< place_bookshelf's demo seed
+
+  // ---- placement config (place_bookshelf defaults) -------------------------
+  int max_iters = 1500;
+  int grid = 128;
+  /// Worker threads for this job's kernels; 0 = the server's per-job default.
+  /// Each running job gets its own ExecutionContext so concurrent jobs never
+  /// share a pool (sharing would serialize one job inline and break per-job
+  /// run-to-run determinism).
+  int threads = 0;
+  bool full_flow = true;       ///< GP → LG → DP; false = GP only
+
+  // ---- scheduling ----------------------------------------------------------
+  int priority = 0;            ///< higher pops first
+  /// Seconds from submission until the job's deadline; counts queue wait as
+  /// well as runtime (a job popped after its deadline never runs). 0 = none.
+  double deadline_s = 0.0;
+
+  /// Metrics label: terminal jobs publish `serve.job.<label>.*` gauges into
+  /// the global telemetry registry. Empty = "job<id>". Characters outside
+  /// [A-Za-z0-9_.-] are replaced with '_'.
+  std::string label;
+};
+
+enum class JobState : int {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,       ///< flow completed (converged or iteration cap)
+  kCancelled = 3,  ///< cancel/deadline; result fields hold the committed
+                   ///< best-snapshot placement when the job got to run
+  kFailed = 4,     ///< exception (bad aux path, parse error, ...)
+};
+
+inline const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+inline bool is_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kCancelled ||
+         s == JobState::kFailed;
+}
+
+/// One GP-iteration progress sample, streamed to `events` subscribers.
+/// Sourced from the Recorder observer — the same numbers --record-out dumps.
+struct JobEvent {
+  std::uint64_t seq = 0;  ///< 0-based, monotonic per job
+  int iter = 0;
+  double hpwl = 0.0;
+  double overflow = 0.0;
+  double omega = 0.0;
+};
+
+/// Full job record: spec + lifecycle + results. Snapshot-copied out of the
+/// server under its lock, so readers never see a torn record.
+struct JobRecord {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  core::StopReason stop_reason = core::StopReason::kIterCap;
+
+  // GP results (valid once the job ran; cancelled jobs carry the committed
+  // best-snapshot numbers).
+  double hpwl = 0.0;
+  double overflow = 0.0;
+  int iterations = 0;
+  double gp_seconds = 0.0;
+
+  // Full-flow results (valid when full_flow and the job was not stopped).
+  double dp_hpwl = 0.0;
+  bool legalized = false;
+
+  std::string error;       ///< kFailed diagnostic
+  std::string spill_path;  ///< XPCK checkpoint path when the server spilled
+
+  // Lifecycle timestamps (log::elapsed_seconds() domain; 0 = not reached).
+  double submitted_s = 0.0;
+  double started_s = 0.0;
+  double finished_s = 0.0;
+};
+
+}  // namespace xplace::server

@@ -1,0 +1,75 @@
+#include "server/job_queue.h"
+
+#include <algorithm>
+
+namespace xplace::server {
+
+bool JobQueue::before(const QueuedJob& a, const QueuedJob& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.seq < b.seq;
+}
+
+bool JobQueue::push(QueuedJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || entries_.size() >= capacity_) return false;
+    job.seq = next_seq_++;
+    entries_.push_back(job);
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool JobQueue::pop(QueuedJob* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return !entries_.empty() || closed_; });
+  if (entries_.empty()) return false;  // closed and drained
+  auto best = entries_.begin();
+  for (auto it = best + 1; it != entries_.end(); ++it) {
+    if (before(*it, *best)) best = it;
+  }
+  *out = *best;
+  entries_.erase(best);
+  return true;
+}
+
+bool JobQueue::remove(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [id](const QueuedJob& j) { return j.id == id; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<QueuedJob> JobQueue::drain() {
+  std::vector<QueuedJob> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.swap(entries_);
+  }
+  cv_.notify_all();
+  return out;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace xplace::server

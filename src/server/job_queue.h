@@ -1,0 +1,74 @@
+// Bounded priority job queue with reject-on-full admission control.
+//
+// Ordering (strict weak, deterministic): higher priority first, then earlier
+// deadline (no deadline sorts last), then submission order (FIFO). The queue
+// is the admission-control point of the server: when it is full, submit is
+// rejected immediately — backpressure surfaces to the client as an error
+// response rather than unbounded buffering inside the daemon.
+//
+// Thread-safety: all methods are safe to call concurrently. pop() blocks
+// until an entry is available or the queue is closed; close() wakes every
+// blocked popper. remove() supports cancel-while-queued.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace xplace::server {
+
+/// Queue entry: ordering keys + the job id (the server keeps the JobRecord;
+/// the queue only schedules ids).
+struct QueuedJob {
+  std::uint64_t id = 0;
+  int priority = 0;
+  /// Absolute steady-clock deadline in seconds (monotonic domain of the
+  /// caller's choosing); kNoDeadline = none.
+  double deadline = kNoDeadline;
+  std::uint64_t seq = 0;  ///< submission order; assigned by push()
+
+  static constexpr double kNoDeadline = 1e300;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admits `job` (seq is assigned here). Returns false when the queue is
+  /// full or closed — the reject-on-full backpressure path.
+  bool push(QueuedJob job);
+
+  /// Blocks until an entry is available, then pops the front per the
+  /// ordering above. Returns false when the queue is closed and empty.
+  bool pop(QueuedJob* out);
+
+  /// Removes a queued entry by id (cancel-while-queued). False = not queued
+  /// (already popped, or never admitted).
+  bool remove(std::uint64_t id);
+
+  /// Rejects future pushes and wakes blocked poppers; queued entries drain
+  /// normally (pop keeps returning them until empty).
+  void close();
+
+  /// Drops every queued entry, returning the removed ids' entries (the
+  /// no-drain shutdown path marks them cancelled).
+  std::vector<QueuedJob> drain();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  // True when a should pop before b.
+  static bool before(const QueuedJob& a, const QueuedJob& b);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<QueuedJob> entries_;  // unordered; pop scans (queues are small)
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace xplace::server

@@ -1,0 +1,403 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xplace::server::json {
+
+// ---------------------------------------------------------------------------
+// Value accessors
+// ---------------------------------------------------------------------------
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Value::get_string(std::string_view key, std::string def) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_string() ? v->str() : std::move(def);
+}
+
+double Value::get_number(std::string_view key, double def) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->number() : def;
+}
+
+bool Value::get_bool(std::string_view key, bool def) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_bool() ? v->bool_value() : def;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double n) {
+  if (!std::isfinite(n)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  // Integers within the double-exact range print without a fraction so ids
+  // and counters round-trip textually.
+  if (n == std::floor(n) && std::fabs(n) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", n);
+  out += buf;
+}
+
+void dump_value(const Value& v, std::string& out) {
+  switch (v.type()) {
+    case Value::Type::kNull: out += "null"; break;
+    case Value::Type::kBool: out += v.bool_value() ? "true" : "false"; break;
+    case Value::Type::kNumber: append_number(out, v.number()); break;
+    case Value::Type::kString:
+      out += '"';
+      out += escape(v.str());
+      out += '"';
+      break;
+    case Value::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& e : v.array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.object()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(k);
+        out += "\":";
+        dump_value(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser (strict recursive descent with depth cap)
+// ---------------------------------------------------------------------------
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "offset %zu: ", pos);
+    error = buf + msg;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  bool literal(std::string_view word, Value v, Value* out) {
+    if (text.substr(pos, word.size()) != word) return fail("invalid literal");
+    pos += word.size();
+    *out = std::move(v);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    // text[pos] == '"' on entry
+    ++pos;
+    std::string s;
+    while (true) {
+      if (pos >= text.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        *out = std::move(s);
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c != '\\') {
+        s += static_cast<char>(c);
+        ++pos;
+        continue;
+      }
+      // Escape sequence.
+      if (pos + 1 >= text.size()) return fail("unterminated escape");
+      const char e = text[pos + 1];
+      pos += 2;
+      switch (e) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'n': s += '\n'; break;
+        case 'r': s += '\r'; break;
+        case 't': s += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos + 1 >= text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u') {
+              return fail("unpaired surrogate");
+            }
+            pos += 2;
+            unsigned lo = 0;
+            if (!parse_hex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) return fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(s, cp);
+          break;
+        }
+        default:
+          return fail("invalid escape");
+      }
+    }
+  }
+
+  bool parse_hex4(unsigned* out) {
+    if (pos + 4 > text.size()) return fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("invalid \\u escape");
+      }
+    }
+    pos += 4;
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_number(Value* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) return fail("invalid number");
+    const std::string num(text.substr(start, pos - start));
+    // RFC 8259: no leading zeros ("01"), no bare "-".
+    const std::size_t d = num[0] == '-' ? 1 : 0;
+    if (num.size() == d ||
+        (num[d] == '0' && num.size() > d + 1 &&
+         std::isdigit(static_cast<unsigned char>(num[d + 1])) != 0)) {
+      pos = start;
+      return fail("invalid number");
+    }
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos = start;
+      return fail("invalid number");
+    }
+    *out = Value(v);
+    return true;
+  }
+
+  bool parse_value(Value* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    switch (c) {
+      case 'n': return literal("null", Value(), out);
+      case 't': return literal("true", Value(true), out);
+      case 'f': return literal("false", Value(false), out);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Value(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++pos;
+        Array arr;
+        skip_ws();
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          *out = Value(std::move(arr));
+          return true;
+        }
+        while (true) {
+          Value elem;
+          if (!parse_value(&elem, depth + 1)) return false;
+          arr.push_back(std::move(elem));
+          skip_ws();
+          if (pos >= text.size()) return fail("unterminated array");
+          if (text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (text[pos] == ']') {
+            ++pos;
+            *out = Value(std::move(arr));
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++pos;
+        Object obj;
+        skip_ws();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          *out = Value(std::move(obj));
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          if (pos >= text.size() || text[pos] != '"') {
+            return fail("expected object key");
+          }
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (pos >= text.size() || text[pos] != ':') {
+            return fail("expected ':'");
+          }
+          ++pos;
+          Value val;
+          if (!parse_value(&val, depth + 1)) return false;
+          obj.emplace_back(std::move(key), std::move(val));
+          skip_ws();
+          if (pos >= text.size()) return fail("unterminated object");
+          if (text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (text[pos] == '}') {
+            ++pos;
+            *out = Value(std::move(obj));
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+          return parse_number(out);
+        }
+        return fail("unexpected character");
+    }
+  }
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+bool parse(std::string_view text, Value* out, std::string* error) {
+  Parser p;
+  p.text = text;
+  Value v;
+  if (!p.parse_value(&v, 0)) {
+    if (error != nullptr) *error = p.error;
+    return false;
+  }
+  if (!p.at_end()) {
+    p.fail("trailing characters after document");
+    if (error != nullptr) *error = p.error;
+    return false;
+  }
+  *out = std::move(v);
+  return true;
+}
+
+}  // namespace xplace::server::json

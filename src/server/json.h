@@ -1,0 +1,95 @@
+// Minimal JSON value + parser/serializer for the serving protocol.
+//
+// The wire format is JSON-lines (protocol.h), so this module only needs the
+// JSON core: null/bool/number/string/array/object, compact one-line dumps,
+// and a strict parser with positioned error messages. It is deliberately
+// dependency-free; the rest of the repo keeps writing JSON by hand where it
+// only *emits* (recorder, telemetry exporters) — this exists because the
+// server must *parse* untrusted bytes off a socket.
+//
+// Safety properties (exercised by tests/test_server.cpp):
+//   * strict: trailing garbage, unterminated strings/containers, bad
+//     escapes, and non-JSON bytes all fail with "offset N: message",
+//   * bounded recursion: nesting beyond kMaxDepth is an error, not a stack
+//     overflow, even though callers already cap line length,
+//   * numbers parse via strtod (doubles); integers up to 2^53 round-trip,
+//     which covers every id/counter the protocol carries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xplace::server::json {
+
+inline constexpr int kMaxDepth = 64;
+
+class Value;
+/// Insertion-ordered; duplicate keys are kept (last find() wins is NOT
+/// implemented — find() returns the first, matching common parsers).
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;                       // null
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double n) : type_(Type::kNumber), num_(n) {}
+  Value(int n) : type_(Type::kNumber), num_(n) {}
+  Value(std::int64_t n) : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Value(std::uint64_t n) : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return num_; }
+  const std::string& str() const { return str_; }
+  const Array& array() const { return arr_; }
+  const Object& object() const { return obj_; }
+
+  /// First member with `key`, or nullptr (non-objects return nullptr too).
+  const Value* find(std::string_view key) const;
+
+  // Typed member lookups with defaults (missing key or wrong type → def).
+  std::string get_string(std::string_view key, std::string def = "") const;
+  double get_number(std::string_view key, double def = 0.0) const;
+  bool get_bool(std::string_view key, bool def = false) const;
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Compact single-line serialization (no spaces, keys in insertion order;
+  /// non-finite numbers serialize as null per JSON).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses exactly one JSON document covering all of `text` (surrounding
+/// whitespace allowed). On failure returns false and sets *error to
+/// "offset N: message" when `error` is non-null.
+bool parse(std::string_view text, Value* out, std::string* error);
+
+/// JSON string escaping of `s` (without surrounding quotes); used by the
+/// dump path and by hand-built emitters.
+std::string escape(std::string_view s);
+
+}  // namespace xplace::server::json

@@ -1,0 +1,269 @@
+#include "server/protocol.h"
+
+#include <cmath>
+
+namespace xplace::server {
+
+// ---------------------------------------------------------------------------
+// Line framing
+// ---------------------------------------------------------------------------
+
+void LineReader::feed(const char* data, std::size_t n) {
+  buf_.append(data, n);
+}
+
+LineReader::Pop LineReader::next(std::string* line) {
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (discarding_) {
+      if (nl == std::string::npos) {
+        buf_.clear();  // still inside the oversized line
+        return Pop::kNeedMore;
+      }
+      buf_.erase(0, nl + 1);  // drop the oversized remainder, resync
+      discarding_ = false;
+      oversize_reported_ = false;
+      continue;
+    }
+    if (nl == std::string::npos) {
+      if (buf_.size() > max_line_) {
+        // The line in progress can no longer fit: report once, then skip
+        // bytes until its newline shows up.
+        discarding_ = true;
+        buf_.clear();
+        if (!oversize_reported_) {
+          oversize_reported_ = true;
+          line->clear();
+          return Pop::kOversized;
+        }
+        return Pop::kNeedMore;
+      }
+      return Pop::kNeedMore;
+    }
+    if (nl > max_line_) {
+      buf_.erase(0, nl + 1);
+      line->clear();
+      return Pop::kOversized;
+    }
+    line->assign(buf_, 0, nl);
+    buf_.erase(0, nl + 1);
+    if (!line->empty() && line->back() == '\r') line->pop_back();
+    return Pop::kLine;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+const char* to_string(Command cmd) {
+  switch (cmd) {
+    case Command::kSubmit: return "submit";
+    case Command::kStatus: return "status";
+    case Command::kCancel: return "cancel";
+    case Command::kResult: return "result";
+    case Command::kEvents: return "events";
+    case Command::kStats: return "stats";
+    case Command::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+bool command_from_string(const std::string& s, Command* out) {
+  if (s == "submit") *out = Command::kSubmit;
+  else if (s == "status") *out = Command::kStatus;
+  else if (s == "cancel") *out = Command::kCancel;
+  else if (s == "result") *out = Command::kResult;
+  else if (s == "events") *out = Command::kEvents;
+  else if (s == "stats") *out = Command::kStats;
+  else if (s == "shutdown") *out = Command::kShutdown;
+  else return false;
+  return true;
+}
+
+bool needs_id(Command cmd) {
+  return cmd == Command::kStatus || cmd == Command::kCancel ||
+         cmd == Command::kResult || cmd == Command::kEvents;
+}
+
+/// Non-negative integral number field; false (with message) on bad type or
+/// a fractional/negative value.
+bool get_uint(const json::Value& obj, std::string_view key,
+              std::uint64_t* out, std::string* error) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return true;  // keep default
+  if (!v->is_number() || v->number() < 0 ||
+      v->number() != std::floor(v->number())) {
+    *error = std::string(key) + " must be a non-negative integer";
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(v->number());
+  return true;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, Request* out, std::string* error) {
+  json::Value root;
+  std::string json_error;
+  if (!json::parse(line, &root, &json_error)) {
+    *error = "malformed JSON (" + json_error + ")";
+    return false;
+  }
+  if (!root.is_object()) {
+    *error = "request must be a JSON object";
+    return false;
+  }
+  const std::string cmd_name = root.get_string("cmd");
+  if (cmd_name.empty()) {
+    *error = "missing \"cmd\" field";
+    return false;
+  }
+  Request req;
+  if (!command_from_string(cmd_name, &req.cmd)) {
+    *error = "unknown command \"" + cmd_name + "\"";
+    return false;
+  }
+
+  if (!get_uint(root, "id", &req.id, error)) return false;
+  if (needs_id(req.cmd) && !root.has("id")) {
+    *error = std::string(to_string(req.cmd)) + " requires \"id\"";
+    return false;
+  }
+  if (!get_uint(root, "from", &req.from_seq, error)) return false;
+  req.wait = root.get_bool("wait", false);
+  req.timeout_s = root.get_number("timeout_s", req.timeout_s);
+  req.drain = root.get_bool("drain", true);
+
+  if (req.cmd == Command::kSubmit) {
+    JobSpec& s = req.spec;
+    s.aux = root.get_string("aux");
+    s.demo_cells = static_cast<long>(root.get_number("demo_cells", 0));
+    std::uint64_t seed = s.demo_seed;
+    if (!get_uint(root, "demo_seed", &seed, error)) return false;
+    s.demo_seed = seed;
+    s.max_iters = static_cast<int>(root.get_number("max_iters", s.max_iters));
+    s.grid = static_cast<int>(root.get_number("grid", s.grid));
+    s.threads = static_cast<int>(root.get_number("threads", s.threads));
+    s.full_flow = root.get_bool("full_flow", true);
+    s.priority = static_cast<int>(root.get_number("priority", 0));
+    s.deadline_s = root.get_number("deadline_s", 0.0);
+    s.label = root.get_string("label");
+    if (s.aux.empty() && s.demo_cells <= 0) {
+      *error = "submit requires \"aux\" or \"demo_cells\" > 0";
+      return false;
+    }
+    if (!s.aux.empty() && s.demo_cells > 0) {
+      *error = "submit takes \"aux\" or \"demo_cells\", not both";
+      return false;
+    }
+    if (s.max_iters <= 0 || s.grid <= 0) {
+      *error = "max_iters and grid must be positive";
+      return false;
+    }
+    if (s.deadline_s < 0) {
+      *error = "deadline_s must be non-negative";
+      return false;
+    }
+  }
+
+  *out = req;
+  return true;
+}
+
+std::string build_request(const Request& req) {
+  json::Object o;
+  o.emplace_back("cmd", to_string(req.cmd));
+  if (needs_id(req.cmd)) o.emplace_back("id", req.id);
+  switch (req.cmd) {
+    case Command::kSubmit: {
+      const JobSpec& s = req.spec;
+      if (!s.aux.empty()) o.emplace_back("aux", s.aux);
+      if (s.demo_cells > 0) {
+        o.emplace_back("demo_cells", static_cast<double>(s.demo_cells));
+        o.emplace_back("demo_seed", s.demo_seed);
+      }
+      o.emplace_back("max_iters", s.max_iters);
+      o.emplace_back("grid", s.grid);
+      o.emplace_back("threads", s.threads);
+      o.emplace_back("full_flow", json::Value(s.full_flow));
+      o.emplace_back("priority", s.priority);
+      if (s.deadline_s > 0) o.emplace_back("deadline_s", s.deadline_s);
+      if (!s.label.empty()) o.emplace_back("label", s.label);
+      break;
+    }
+    case Command::kResult:
+      o.emplace_back("wait", json::Value(req.wait));
+      o.emplace_back("timeout_s", req.timeout_s);
+      break;
+    case Command::kEvents:
+      o.emplace_back("from", req.from_seq);
+      o.emplace_back("timeout_s", req.timeout_s);
+      break;
+    case Command::kShutdown:
+      o.emplace_back("drain", json::Value(req.drain));
+      break;
+    default:
+      break;
+  }
+  return json::Value(std::move(o)).dump();
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+std::string make_error(const std::string& message) {
+  json::Object o;
+  o.emplace_back("ok", json::Value(false));
+  o.emplace_back("error", message);
+  return json::Value(std::move(o)).dump();
+}
+
+std::string make_ok(json::Object fields) {
+  json::Object o;
+  o.emplace_back("ok", json::Value(true));
+  for (auto& f : fields) o.push_back(std::move(f));
+  return json::Value(std::move(o)).dump();
+}
+
+json::Object job_to_json(const JobRecord& rec) {
+  json::Object o;
+  o.emplace_back("id", rec.id);
+  o.emplace_back("state", to_string(rec.state));
+  o.emplace_back("label", rec.spec.label);
+  o.emplace_back("priority", rec.spec.priority);
+  if (is_terminal(rec.state) || rec.state == JobState::kRunning) {
+    o.emplace_back("stop_reason", core::to_string(rec.stop_reason));
+  }
+  if (rec.iterations > 0 || is_terminal(rec.state)) {
+    o.emplace_back("hpwl", rec.hpwl);
+    o.emplace_back("overflow", rec.overflow);
+    o.emplace_back("iterations", rec.iterations);
+    o.emplace_back("gp_seconds", rec.gp_seconds);
+  }
+  if (rec.legalized) {
+    o.emplace_back("dp_hpwl", rec.dp_hpwl);
+    o.emplace_back("legalized", json::Value(true));
+  }
+  if (!rec.error.empty()) o.emplace_back("error", rec.error);
+  if (!rec.spill_path.empty()) o.emplace_back("spill", rec.spill_path);
+  o.emplace_back("submitted_s", rec.submitted_s);
+  if (rec.started_s > 0) o.emplace_back("started_s", rec.started_s);
+  if (rec.finished_s > 0) o.emplace_back("finished_s", rec.finished_s);
+  return o;
+}
+
+json::Object event_to_json(const JobEvent& ev) {
+  json::Object o;
+  o.emplace_back("seq", ev.seq);
+  o.emplace_back("iter", ev.iter);
+  o.emplace_back("hpwl", ev.hpwl);
+  o.emplace_back("overflow", ev.overflow);
+  o.emplace_back("omega", ev.omega);
+  return o;
+}
+
+}  // namespace xplace::server

@@ -1,0 +1,113 @@
+// JSON-lines protocol for the placement service (DESIGN.md §11).
+//
+// Transport: a Unix-domain stream socket. Each request and each response is
+// one JSON object on one '\n'-terminated line. Requests carry a "cmd" field:
+//
+//   {"cmd":"submit", "demo_cells":4000, "max_iters":800, "priority":2,
+//    "deadline_s":30, "label":"sweep_a"}        → {"ok":true,"id":7,...}
+//   {"cmd":"status","id":7}                     → {"ok":true,"job":{...}}
+//   {"cmd":"cancel","id":7}                     → {"ok":true,...}
+//   {"cmd":"result","id":7,"wait":true,"timeout_s":60}
+//                                               → {"ok":true,"job":{...}}
+//   {"cmd":"events","id":7,"from":0}            → a stream: one
+//        {"ok":true,"event":{...}} line per GP iteration, terminated by
+//        {"ok":true,"done":true,"state":"..."} when the job is terminal
+//   {"cmd":"stats"}                             → {"ok":true,"stats":{...}}
+//   {"cmd":"shutdown","drain":true}             → {"ok":true} then the
+//        daemon stops accepting, drains, and exits 0
+//
+// Every error is {"ok":false,"error":"..."} on one line; a malformed or
+// oversized request line never kills the connection — the server answers
+// with an error and keeps reading (the framing layer resynchronizes on the
+// next newline).
+//
+// This header owns (a) the incremental line framing with an oversize guard
+// and (b) the typed Request parse/build pair, so the daemon, the client CLI,
+// and the tests all speak through one implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "server/job.h"
+#include "server/json.h"
+
+namespace xplace::server {
+
+/// Hard cap on one protocol line (request or response). Large enough for
+/// any legitimate request by orders of magnitude; small enough that a
+/// misbehaving client cannot balloon server memory.
+inline constexpr std::size_t kMaxLineBytes = 1 << 16;
+
+/// Incremental JSON-lines framing: feed() arbitrary byte chunks (partial
+/// reads are fine), next() pops complete lines. A line longer than the cap
+/// is reported once as kOversized and discarded up to its terminating
+/// newline; framing then resynchronizes on the next line.
+class LineReader {
+ public:
+  explicit LineReader(std::size_t max_line = kMaxLineBytes)
+      : max_line_(max_line) {}
+
+  void feed(const char* data, std::size_t n);
+
+  enum class Pop { kLine, kNeedMore, kOversized };
+
+  /// kLine: *line holds the next complete line (newline stripped; a lone
+  /// trailing '\r' is stripped too, tolerating CRLF clients).
+  /// kOversized: the current line exceeded the cap; *line is cleared.
+  /// kNeedMore: no complete line buffered yet.
+  Pop next(std::string* line);
+
+ private:
+  std::string buf_;
+  std::size_t max_line_;
+  bool discarding_ = false;  ///< inside an oversized line, skipping to '\n'
+  bool oversize_reported_ = false;
+};
+
+enum class Command {
+  kSubmit,
+  kStatus,
+  kCancel,
+  kResult,
+  kEvents,
+  kStats,
+  kShutdown,
+};
+
+const char* to_string(Command cmd);
+
+/// One parsed request. `spec` is meaningful for kSubmit; `id` for
+/// status/cancel/result/events; `from_seq`/`wait`/`timeout_s`/`drain` for
+/// the commands that document them above.
+struct Request {
+  Command cmd = Command::kStats;
+  std::uint64_t id = 0;
+  std::uint64_t from_seq = 0;   ///< events: first sequence number wanted
+  bool wait = false;            ///< result: block until terminal
+  double timeout_s = 60.0;      ///< result --wait bound
+  bool drain = true;            ///< shutdown: finish queued+running first
+  JobSpec spec;                 ///< submit payload
+};
+
+/// Parses one request line. On failure returns false and sets *error to a
+/// client-presentable message (also used verbatim in the error response).
+bool parse_request(const std::string& line, Request* out, std::string* error);
+
+/// Serializes a request to its wire line (no trailing newline). Inverse of
+/// parse_request — the client CLI builds lines through this, and the tests
+/// round-trip build→parse.
+std::string build_request(const Request& req);
+
+// ---- response builders (one line, no trailing newline) ---------------------
+
+std::string make_error(const std::string& message);
+/// {"ok":true, ...fields}.
+std::string make_ok(json::Object fields);
+
+/// The "job" object embedded in status/result responses.
+json::Object job_to_json(const JobRecord& rec);
+/// The "event" object embedded in events-stream responses.
+json::Object event_to_json(const JobEvent& ev);
+
+}  // namespace xplace::server

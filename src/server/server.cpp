@@ -1,0 +1,449 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+
+#include "dp/detailed_placer.h"
+#include "io/bookshelf.h"
+#include "io/generator.h"
+#include "lg/abacus.h"
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+
+namespace xplace::server {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string sanitize_label(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// The demo-design path of place_bookshelf, verbatim: synthesize, dump to
+/// bookshelf, read it back — so a demo job exercises the parser and produces
+/// the exact database a demo CLI run does (bit-for-bit parity).
+db::Database make_demo_db(const JobSpec& spec, std::uint64_t job_id) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("xplace_serve_job" + std::to_string(job_id));
+  fs::create_directories(dir);
+  io::GeneratorSpec gen;
+  gen.name = "demo";
+  gen.num_cells = static_cast<std::size_t>(spec.demo_cells);
+  gen.num_nets = gen.num_cells + gen.num_cells / 20;
+  gen.seed = spec.demo_seed;
+  const db::Database generated = io::generate(gen);
+  io::write_bookshelf(generated, dir.string(), "demo");
+  db::Database db = io::read_bookshelf_aux((dir / "demo.aux").string());
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // scratch files; ignore cleanup failures
+  return db;
+}
+
+core::StopReason stop_reason_from(StopCause cause) {
+  return cause == StopCause::kDeadline ? core::StopReason::kDeadline
+                                       : core::StopReason::kCancelled;
+}
+
+}  // namespace
+
+PlacementServer::PlacementServer(ServerConfig cfg)
+    : cfg_(std::move(cfg)), queue_(cfg_.queue_capacity) {
+  cfg_.max_concurrency = std::max<std::size_t>(1, cfg_.max_concurrency);
+  cfg_.default_job_threads = std::max(1, cfg_.default_job_threads);
+  if (cfg_.thread_budget == 0) {
+    cfg_.thread_budget =
+        cfg_.max_concurrency * static_cast<std::size_t>(cfg_.default_job_threads);
+  }
+  if (!cfg_.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.spill_dir, ec);
+  }
+  workers_.reserve(cfg_.max_concurrency);
+  for (std::size_t i = 0; i < cfg_.max_concurrency; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  XP_INFO("placement server up: %zu job slot(s), queue %zu, thread budget %zu",
+          cfg_.max_concurrency, cfg_.queue_capacity, cfg_.thread_budget);
+}
+
+PlacementServer::~PlacementServer() { shutdown(/*drain=*/false); }
+
+PlacementServer::SubmitOutcome PlacementServer::submit(const JobSpec& spec) {
+  telemetry::Registry& reg = telemetry::Registry::global();
+  std::lock_guard<std::mutex> lock(mutex_);
+  SubmitOutcome out;
+  if (!accepting_) {
+    out.error = "server is shutting down";
+    ++rejected_;
+    reg.counter("serve.rejected").inc();
+    return out;
+  }
+
+  const std::uint64_t id = next_id_;
+  QueuedJob qj;
+  qj.id = id;
+  qj.priority = spec.priority;
+  qj.deadline = spec.deadline_s > 0 ? steady_seconds() + spec.deadline_s
+                                    : QueuedJob::kNoDeadline;
+  if (!queue_.push(qj)) {
+    out.error = "queue full (" + std::to_string(queue_.capacity()) +
+                " jobs) — retry later";
+    ++rejected_;
+    reg.counter("serve.rejected").inc();
+    return out;
+  }
+  ++next_id_;
+
+  auto job = std::make_shared<Job>();
+  job->rec.id = id;
+  job->rec.spec = spec;
+  if (job->rec.spec.label.empty()) {
+    job->rec.spec.label = "job" + std::to_string(id);
+  }
+  job->rec.spec.label = sanitize_label(job->rec.spec.label);
+  job->rec.state = JobState::kQueued;
+  job->rec.submitted_s = log::elapsed_seconds();
+  if (spec.deadline_s > 0) job->token.set_timeout(spec.deadline_s);
+  jobs_.emplace(id, std::move(job));
+
+  ++submitted_;
+  reg.counter("serve.submitted").inc();
+  reg.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+  out.ok = true;
+  out.id = id;
+  return out;
+}
+
+bool PlacementServer::cancel(std::uint64_t id, std::string* error) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      if (error != nullptr) *error = "unknown or evicted job id";
+      return false;
+    }
+    job = it->second;
+    if (is_terminal(job->rec.state)) {
+      if (error != nullptr) {
+        *error = std::string("job already terminal (") +
+                 to_string(job->rec.state) + ")";
+      }
+      return false;
+    }
+    job->token.request_cancel();
+    if (job->rec.state == JobState::kQueued) {
+      // Still waiting: pull it out of the queue and settle it here. If the
+      // remove races a worker's pop, the armed token stops the run at its
+      // first poll instead.
+      if (queue_.remove(id)) {
+        job->rec.stop_reason = core::StopReason::kCancelled;
+        finish_job_locked(*job, JobState::kCancelled);
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<JobRecord> PlacementServer::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second->rec;
+}
+
+std::optional<JobRecord> PlacementServer::wait(std::uint64_t id,
+                                               double timeout_s) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const std::shared_ptr<Job> job = it->second;  // keeps the record alive
+  job->cv.wait_for(lock,
+                   std::chrono::duration<double>(std::max(0.0, timeout_s)),
+                   [&] { return is_terminal(job->rec.state); });
+  return job->rec;
+}
+
+std::optional<PlacementServer::EventBatch> PlacementServer::events(
+    std::uint64_t id, std::uint64_t from_seq, double timeout_s) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const std::shared_ptr<Job> job = it->second;
+
+  const auto has_new = [&] {
+    return is_terminal(job->rec.state) ||
+           (!job->events.empty() && job->events.back().seq >= from_seq);
+  };
+  job->cv.wait_for(lock,
+                   std::chrono::duration<double>(std::max(0.0, timeout_s)),
+                   has_new);
+
+  EventBatch batch;
+  batch.terminal = is_terminal(job->rec.state);
+  batch.dropped = job->dropped;
+  batch.next_seq = from_seq;
+  for (const JobEvent& ev : job->events) {
+    if (ev.seq >= from_seq) {
+      batch.events.push_back(ev);
+      batch.next_seq = ev.seq + 1;
+    }
+  }
+  return batch;
+}
+
+PlacementServer::Stats PlacementServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.submitted = submitted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.cancelled = cancelled_;
+  s.failed = failed_;
+  s.queued = queue_.size();
+  s.running = running_;
+  s.queue_capacity = cfg_.queue_capacity;
+  s.max_concurrency = cfg_.max_concurrency;
+  s.thread_budget = cfg_.thread_budget;
+  s.threads_leased = threads_leased_;
+  s.accepting = accepting_;
+  return s;
+}
+
+bool PlacementServer::accepting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepting_;
+}
+
+void PlacementServer::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    accepting_ = false;
+  }
+  XP_INFO("placement server shutdown (%s)", drain ? "drain" : "cancel");
+  if (!drain) {
+    // Settle queued jobs as cancelled, then arm every live token so running
+    // (or popped-in-limbo) jobs stop at their next poll.
+    const std::vector<QueuedJob> dropped = queue_.drain();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const QueuedJob& qj : dropped) {
+      const auto it = jobs_.find(qj.id);
+      if (it == jobs_.end() || is_terminal(it->second->rec.state)) continue;
+      it->second->rec.stop_reason = core::StopReason::kCancelled;
+      finish_job_locked(*it->second, JobState::kCancelled);
+    }
+    for (auto& [id, job] : jobs_) {
+      if (!is_terminal(job->rec.state)) job->token.request_cancel();
+    }
+  }
+  queue_.close();  // poppers drain what is left, then exit
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+std::size_t PlacementServer::lease_threads(int requested) {
+  const std::size_t want = std::min<std::size_t>(
+      cfg_.thread_budget,
+      static_cast<std::size_t>(std::max(1, requested)));
+  std::unique_lock<std::mutex> lock(mutex_);
+  budget_cv_.wait(lock, [&] {
+    return threads_leased_ + want <= cfg_.thread_budget;
+  });
+  threads_leased_ += want;
+  return want;
+}
+
+void PlacementServer::release_threads(std::size_t leased) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads_leased_ -= leased;
+  }
+  budget_cv_.notify_all();
+}
+
+void PlacementServer::worker_loop() {
+  QueuedJob qj;
+  while (queue_.pop(&qj)) {
+    std::shared_ptr<Job> job;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = jobs_.find(qj.id);
+      if (it == jobs_.end() || is_terminal(it->second->rec.state)) {
+        continue;  // cancelled while queued (remove/pop race) or evicted
+      }
+      job = it->second;
+      // Deadline admission: a job popped after its deadline never runs —
+      // the deadline covers queue wait by design.
+      if (const StopCause cause = job->token.check();
+          cause != StopCause::kNone) {
+        job->rec.stop_reason = stop_reason_from(cause);
+        finish_job_locked(*job, JobState::kCancelled);
+        continue;
+      }
+      job->rec.state = JobState::kRunning;
+      job->rec.started_s = log::elapsed_seconds();
+      ++running_;
+      job->cv.notify_all();
+    }
+    telemetry::Registry::global().gauge("serve.queue_depth")
+        .set(static_cast<double>(queue_.size()));
+
+    const int requested = job->rec.spec.threads > 0
+                              ? job->rec.spec.threads
+                              : cfg_.default_job_threads;
+    const std::size_t leased = lease_threads(requested);
+    run_job(*job, leased);
+    release_threads(leased);
+  }
+}
+
+void PlacementServer::run_job(Job& job, std::size_t leased_threads) {
+  const std::uint64_t id = job.rec.id;
+  const JobSpec spec = job.rec.spec;  // stable copy for the run
+  XP_INFO("job %llu (%s) starting: %s, %d iters, %zu thread(s)",
+          static_cast<unsigned long long>(id), spec.label.c_str(),
+          spec.aux.empty() ? "demo" : spec.aux.c_str(), spec.max_iters,
+          leased_threads);
+  try {
+    db::Database db =
+        spec.aux.empty() ? make_demo_db(spec, id) : io::read_bookshelf_aux(spec.aux);
+
+    core::PlacerConfig cfg = core::PlacerConfig::xplace();
+    cfg.grid_dim = spec.grid;
+    cfg.max_iters = spec.max_iters;
+    cfg.threads = static_cast<int>(leased_threads);
+    std::string spill_path;
+    if (!cfg_.spill_dir.empty()) {
+      spill_path = cfg_.spill_dir + "/job" + std::to_string(id) + ".xpck";
+      cfg.checkpoint_out = spill_path;
+      cfg.checkpoint_period = cfg_.spill_period;
+    }
+
+    core::GlobalPlacer placer(db, cfg);
+    placer.set_stop_token(&job.token);
+    placer.recorder().set_observer([this, &job](
+                                       const core::IterationRecord& r) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      JobEvent ev;
+      ev.seq = job.next_seq++;
+      ev.iter = r.iter;
+      ev.hpwl = r.hpwl;
+      ev.overflow = r.overflow;
+      ev.omega = r.omega;
+      job.events.push_back(ev);
+      if (job.events.size() > cfg_.event_capacity) {
+        job.events.pop_front();
+        ++job.dropped;
+      }
+      job.cv.notify_all();
+    });
+
+    const core::GlobalPlaceResult gp = placer.run();
+
+    bool stopped = gp.stop_reason == core::StopReason::kCancelled ||
+                   gp.stop_reason == core::StopReason::kDeadline;
+    core::StopReason reason = gp.stop_reason;
+    double dp_hpwl = 0.0;
+    bool legalized = false;
+
+    // LG/DP phase boundary polls: a stop that lands after GP converged still
+    // cuts the flow short (deadline keeps its meaning end-to-end).
+    if (spec.full_flow && !stopped) {
+      if (const StopCause c = job.token.check(); c != StopCause::kNone) {
+        stopped = true;
+        reason = stop_reason_from(c);
+      } else {
+        lg::abacus_legalize(db, &placer.execution());
+        dp::DetailedPlaceConfig dcfg;
+        dcfg.stop = &job.token;
+        dp::detailed_place(db, dcfg, &placer.execution());
+        dp_hpwl = db.hpwl();
+        legalized = true;
+        if (const StopCause c2 = job.token.check(); c2 != StopCause::kNone) {
+          stopped = true;  // fired mid-DP; placement is legal regardless
+          reason = stop_reason_from(c2);
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.rec.stop_reason = reason;
+    job.rec.hpwl = gp.hpwl;
+    job.rec.overflow = gp.overflow;
+    job.rec.iterations = gp.iterations;
+    job.rec.gp_seconds = gp.gp_seconds;
+    job.rec.dp_hpwl = dp_hpwl;
+    job.rec.legalized = legalized;
+    job.rec.spill_path = spill_path;
+    finish_job_locked(job, stopped ? JobState::kCancelled : JobState::kDone);
+  } catch (const std::exception& e) {
+    XP_ERROR("job %llu failed: %s", static_cast<unsigned long long>(id),
+             e.what());
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.rec.error = e.what();
+    finish_job_locked(job, JobState::kFailed);
+  }
+}
+
+void PlacementServer::finish_job_locked(Job& job, JobState state) {
+  if (job.rec.state == JobState::kRunning) --running_;
+  job.rec.state = state;
+  job.rec.finished_s = log::elapsed_seconds();
+  switch (state) {
+    case JobState::kDone: ++completed_; break;
+    case JobState::kCancelled: ++cancelled_; break;
+    case JobState::kFailed: ++failed_; break;
+    default: break;
+  }
+  terminal_order_.push_back(job.rec.id);
+  evict_terminal_locked();
+  publish_job_metrics(job.rec);
+  job.cv.notify_all();
+}
+
+void PlacementServer::evict_terminal_locked() {
+  while (terminal_order_.size() > cfg_.result_capacity) {
+    const std::uint64_t victim = terminal_order_.front();
+    terminal_order_.pop_front();
+    jobs_.erase(victim);  // waiters still holding the shared_ptr are safe
+  }
+}
+
+void PlacementServer::publish_job_metrics(const JobRecord& rec) {
+  telemetry::Registry& reg = telemetry::Registry::global();
+  switch (rec.state) {
+    case JobState::kDone: reg.counter("serve.completed").inc(); break;
+    case JobState::kCancelled: reg.counter("serve.cancelled").inc(); break;
+    case JobState::kFailed: reg.counter("serve.failed").inc(); break;
+    default: break;
+  }
+  const std::string prefix = "serve.job." + rec.spec.label;
+  reg.gauge(prefix + ".hpwl").set(rec.hpwl);
+  reg.gauge(prefix + ".iterations").set(rec.iterations);
+  reg.gauge(prefix + ".gp_seconds").set(rec.gp_seconds);
+  reg.gauge(prefix + ".stop_reason")
+      .set(static_cast<double>(rec.stop_reason));
+}
+
+}  // namespace xplace::server

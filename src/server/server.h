@@ -1,0 +1,173 @@
+// Resident placement service: bounded priority queue + N-way job scheduler
+// over the placement flow, with cooperative cancellation, streamed progress,
+// a bounded result store, and graceful drain (DESIGN.md §11).
+//
+// The server amortizes process setup (SIMD table resolution, telemetry
+// registries) across many placements and multiplexes runs the way an
+// inference-serving stack wraps a model runtime:
+//
+//   submit ─▶ JobQueue ─▶ worker slots (max_concurrency threads)
+//                              │  each: build db → GlobalPlacer(+StopToken)
+//                              │         → [LG → DP] → JobRecord
+//                              └─ thread-budget arbiter: a job starts only
+//                                 when its worker-thread request fits the
+//                                 server-wide budget, so the machine is
+//                                 never oversubscribed
+//
+// Determinism: every job runs with an explicit per-job thread count (its
+// spec's, or the server default) and its own ExecutionContext — concurrent
+// jobs never share a ThreadPool (PR 3's pool serializes a second dispatcher
+// inline, which would make results depend on timing). A job therefore
+// produces bit-identical results to a one-shot place_bookshelf run at the
+// same config/thread count, regardless of service load.
+//
+// Transport-free: this class is plain C++ (tests drive it in-process); the
+// UDS daemon in uds.h binds it to the JSON-lines protocol.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/job.h"
+#include "server/job_queue.h"
+#include "util/stop_token.h"
+
+namespace xplace::server {
+
+struct ServerConfig {
+  std::size_t queue_capacity = 64;   ///< admission bound (reject-on-full)
+  std::size_t max_concurrency = 2;   ///< worker slots (jobs in flight)
+  /// Worker threads a job runs with when its spec says 0. 1 = serial (the
+  /// bitwise-reproducible default).
+  int default_job_threads = 1;
+  /// Server-wide worker-thread budget the running jobs' thread counts must
+  /// fit in; a job waits in its slot until the budget frees up. 0 = derive
+  /// as max_concurrency * max(1, default_job_threads).
+  std::size_t thread_budget = 0;
+  /// Terminal JobRecords retained for status/result queries; older terminal
+  /// jobs are evicted FIFO beyond this.
+  std::size_t result_capacity = 256;
+  /// Per-job ring of streamed iteration events; oldest events drop first
+  /// (subscribers see a `dropped` count).
+  std::size_t event_capacity = 4096;
+  /// When non-empty: periodic GP checkpoint spill per job via the XPCK
+  /// writer (io/checkpoint_io.h) into `<spill_dir>/job<id>.xpck`.
+  std::string spill_dir;
+  int spill_period = 200;  ///< iterations between spill writes
+};
+
+class PlacementServer {
+ public:
+  explicit PlacementServer(ServerConfig cfg);
+  /// Implies shutdown(/*drain=*/false) when still running.
+  ~PlacementServer();
+
+  PlacementServer(const PlacementServer&) = delete;
+  PlacementServer& operator=(const PlacementServer&) = delete;
+
+  struct SubmitOutcome {
+    bool ok = false;
+    std::uint64_t id = 0;
+    std::string error;
+  };
+  /// Admission control: rejects (ok=false) when the queue is full or the
+  /// server is shutting down.
+  SubmitOutcome submit(const JobSpec& spec);
+
+  /// Cancels a job. Queued → terminal kCancelled immediately; running → its
+  /// StopToken is armed and the job lands terminal shortly (with the best-
+  /// snapshot placement committed). False (with *error) for unknown ids or
+  /// jobs already terminal.
+  bool cancel(std::uint64_t id, std::string* error);
+
+  /// Snapshot of a job record; nullopt = unknown id (never submitted, or
+  /// evicted from the bounded result store).
+  std::optional<JobRecord> status(std::uint64_t id) const;
+
+  /// Blocks until the job is terminal (or timeout_s elapses) and returns its
+  /// record; nullopt = unknown id. On timeout returns the current record.
+  std::optional<JobRecord> wait(std::uint64_t id, double timeout_s) const;
+
+  struct EventBatch {
+    std::vector<JobEvent> events;
+    std::uint64_t next_seq = 0;   ///< pass as `from` of the next call
+    std::uint64_t dropped = 0;    ///< events lost to the bounded ring so far
+    bool terminal = false;        ///< job reached a terminal state
+  };
+  /// Events with seq >= from_seq. Blocks up to timeout_s until at least one
+  /// new event exists or the job is terminal; nullopt = unknown id.
+  std::optional<EventBatch> events(std::uint64_t id, std::uint64_t from_seq,
+                                   double timeout_s) const;
+
+  struct Stats {
+    std::uint64_t submitted = 0, rejected = 0, completed = 0, cancelled = 0,
+                  failed = 0;
+    std::size_t queued = 0, running = 0;
+    std::size_t queue_capacity = 0, max_concurrency = 0;
+    std::size_t thread_budget = 0, threads_leased = 0;
+    bool accepting = true;
+  };
+  Stats stats() const;
+
+  /// Stops accepting submissions, then: drain=true lets queued + running
+  /// jobs finish; drain=false cancels queued jobs and arms running jobs'
+  /// stop tokens. Blocks until workers exit. Idempotent.
+  void shutdown(bool drain);
+
+  bool accepting() const;
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  // One live job: record + stop token + event ring. Jobs are heap-allocated
+  // (shared_ptr: waiters in wait()/events() hold a reference so eviction
+  // from the result store cannot pull a condition_variable out from under
+  // them) and never move, so worker threads can touch the token outside the
+  // server lock's critical sections.
+  struct Job {
+    JobRecord rec;
+    StopToken token;
+    std::deque<JobEvent> events;
+    std::uint64_t next_seq = 0;
+    std::uint64_t dropped = 0;
+    std::condition_variable cv;  ///< waits on mutex_: events + state changes
+  };
+
+  void worker_loop();
+  void run_job(Job& job, std::size_t leased_threads);
+  void finish_job_locked(Job& job, JobState state);
+  void evict_terminal_locked();
+  void publish_job_metrics(const JobRecord& rec);
+
+  // Thread-budget arbitration (counting semaphore over cfg_.thread_budget).
+  std::size_t lease_threads(int requested);
+  void release_threads(std::size_t leased);
+
+  ServerConfig cfg_;
+  JobQueue queue_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable budget_cv_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::deque<std::uint64_t> terminal_order_;  // eviction FIFO
+  std::uint64_t next_id_ = 1;
+  std::size_t threads_leased_ = 0;
+  std::size_t running_ = 0;
+  bool accepting_ = true;
+  bool shut_down_ = false;
+
+  // Counters (under mutex_; mirrored into telemetry on change).
+  std::uint64_t submitted_ = 0, rejected_ = 0, completed_ = 0, cancelled_ = 0,
+                failed_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xplace::server

@@ -1,0 +1,60 @@
+// Unix-domain-socket transport for the placement service.
+//
+// Framing is JSON lines (one request or response object per '\n'-terminated
+// line, 64 KiB cap — see protocol.h). UdsStream wraps a connected
+// SOCK_STREAM fd with full-write semantics and LineReader-based reads;
+// serve() is the daemon side: an accept loop that binds the protocol to a
+// PlacementServer, one handler thread per connection.
+//
+// The `events` command is the one streaming response: the daemon emits
+// `{"event":{...}}` lines as GP iterations land and finishes with a
+// `{"ok":true,"terminal":...}` summary line once the job is terminal or the
+// request's timeout budget runs out. Every other command is one line in,
+// one line out.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace xplace::server {
+
+/// Blocking line-framed stream over a connected AF_UNIX socket.
+class UdsStream {
+ public:
+  UdsStream() = default;
+  explicit UdsStream(int fd) : fd_(fd) {}
+  ~UdsStream() { close(); }
+
+  UdsStream(const UdsStream&) = delete;
+  UdsStream& operator=(const UdsStream&) = delete;
+  UdsStream(UdsStream&& other) noexcept { *this = std::move(other); }
+  UdsStream& operator=(UdsStream&& other) noexcept;
+
+  /// Client side: connect to the daemon's socket. !valid() on failure.
+  static UdsStream connect(const std::string& socket_path);
+
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Writes `line` + '\n' fully (short writes retried, SIGPIPE suppressed).
+  bool write_line(const std::string& line);
+
+  /// Next framed line. False = EOF or socket error. An oversized line (cap
+  /// kMaxLineBytes) sets *oversized and returns true with *line empty —
+  /// the caller answers with an error instead of dropping the connection.
+  bool read_line(std::string* line, bool* oversized);
+
+ private:
+  int fd_ = -1;
+  LineReader reader_;
+};
+
+/// Daemon accept loop: serves the JSON-lines protocol on `socket_path`
+/// (unlinked and re-bound on entry) until a `shutdown` request completes.
+/// Returns false when the socket cannot be bound.
+bool serve(PlacementServer& server, const std::string& socket_path);
+
+}  // namespace xplace::server

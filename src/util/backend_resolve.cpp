@@ -1,0 +1,33 @@
+#include "util/backend_resolve.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/simd.h"
+
+namespace xplace {
+
+BackendResolution resolve_backend_flags(const std::string& simd_flag,
+                                        int threads) {
+  BackendResolution r;
+  r.threads = threads;
+  if (!simd_flag.empty() && !simd::select(simd_flag.c_str())) {
+    XP_ERROR(
+        "--simd %s: unknown backend or unsupported on this CPU "
+        "(off|scalar|avx2|auto)",
+        simd_flag.c_str());
+    r.ok = false;
+  }
+  return r;
+}
+
+std::string backend_summary(const ExecutionContext& exec) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "execution backend: %s (%zu thread%s), simd %s",
+                exec.backend_name(), exec.threads(),
+                exec.threads() == 1 ? "" : "s", simd::isa_name(simd::isa()));
+  return buf;
+}
+
+}  // namespace xplace

@@ -1,0 +1,45 @@
+// Shared CLI/env resolution of the execution + SIMD backends.
+//
+// Every runtime surface (place_bookshelf, the other example CLIs, and the
+// xplace_serve daemon) accepts the same pair of knobs:
+//
+//   --threads N / XPLACE_THREADS   worker threads (see execution.h)
+//   --simd B   / XPLACE_SIMD       SIMD kernel table (see simd.h)
+//
+// Historically each binary carried its own copy of the flag-beats-env
+// resolution and the "execution backend: ..." summary line; this helper is
+// the single implementation. Resolution happens exactly once per process
+// (the SIMD table selection is first-call-wins anyway), and the summary
+// string is derived from the *actually constructed* ExecutionContext so it
+// never disagrees with what the flow runs on.
+#pragma once
+
+#include <string>
+
+#include "util/execution.h"
+
+namespace xplace {
+
+struct BackendResolution {
+  /// False when the SIMD flag named an unknown/unsupported backend; the
+  /// caller should exit non-zero (an explicit flag is a hard error, while a
+  /// bad XPLACE_SIMD value only warns and falls back — unchanged semantics).
+  bool ok = true;
+  /// Thread request to place into PlacerConfig::threads / ServerConfig:
+  /// the flag value when given, otherwise 0 (= defer to XPLACE_THREADS).
+  int threads = 0;
+};
+
+/// Resolves the backend flag pair once: selects the SIMD kernel table when
+/// `simd_flag` is non-empty (empty defers to XPLACE_SIMD / auto on first
+/// kernel launch) and passes the thread request through. Logs an error and
+/// returns ok=false on an unknown SIMD backend.
+BackendResolution resolve_backend_flags(const std::string& simd_flag,
+                                        int threads);
+
+/// One-line human summary of the backends a flow actually constructed, e.g.
+///   "execution backend: threadpool (4 threads), simd avx2"
+/// Forces SIMD resolution (env or auto) so the printed ISA is final.
+std::string backend_summary(const ExecutionContext& exec);
+
+}  // namespace xplace

@@ -1,0 +1,104 @@
+// Cooperative cancellation for long-running placement flows.
+//
+// A StopToken is a cancel flag plus an optional monotonic deadline that a
+// driver (CLI `--timeout-s`, the placement server's `cancel` command) arms
+// and the flow polls at natural boundaries: once per GP iteration and at
+// LG/DP phase boundaries. Polling is two relaxed atomic loads plus a clock
+// read — negligible against an iteration's kernel work.
+//
+// Contract (DESIGN.md §11):
+//   * The flow never stops mid-kernel; it finishes the current unit of work
+//     and exits at the next poll point, so the database is always left in a
+//     committed, finite state.
+//   * Cancellation wins over deadline when both have fired (the explicit
+//     request is the stronger signal).
+//   * A fired token stays fired: check() is monotonic, so every later phase
+//     of the flow observes the same cause and unwinds.
+//
+// Thread-safety: request_cancel()/set_deadline() may race check() freely;
+// the poller sees the request at its next poll.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace xplace {
+
+/// Why a poll told the flow to stop. kNone = keep running.
+enum class StopCause : int { kNone = 0, kCancelled = 1, kDeadline = 2 };
+
+inline const char* to_string(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone: return "none";
+    case StopCause::kCancelled: return "cancelled";
+    case StopCause::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+class StopToken {
+ public:
+  StopToken() = default;
+
+  // Tokens are shared by address between the arming side and the polling
+  // flow; copying one would silently split that channel.
+  StopToken(const StopToken&) = delete;
+  StopToken& operator=(const StopToken&) = delete;
+
+  /// Arms the cancel flag. Idempotent; safe from any thread.
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Arms (or moves) the deadline. Safe from any thread.
+  void set_deadline(std::chrono::steady_clock::time_point tp) noexcept {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  /// Deadline `seconds` from now. Non-positive seconds = an already-expired
+  /// deadline (the flow stops at its first poll).
+  void set_timeout(double seconds) noexcept {
+    set_deadline(std::chrono::steady_clock::now() +
+                 std::chrono::nanoseconds(
+                     static_cast<std::int64_t>(seconds * 1e9)));
+  }
+
+  bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// The poll: kCancelled once request_cancel() was called (wins over an
+  /// expired deadline), kDeadline once the deadline passed, kNone otherwise.
+  StopCause check() const noexcept {
+    if (cancel_requested()) return StopCause::kCancelled;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != 0) {
+      const std::int64_t now =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      if (now >= d) return StopCause::kDeadline;
+    }
+    return StopCause::kNone;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady-clock ns; 0 = unset
+};
+
+/// Null-safe poll helper for flows that take an optional token.
+inline StopCause poll_stop(const StopToken* token) noexcept {
+  return token != nullptr ? token->check() : StopCause::kNone;
+}
+
+}  // namespace xplace

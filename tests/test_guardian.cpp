@@ -143,6 +143,7 @@ TEST(GuardianRecovery, NonfiniteGradFault) {
   EXPECT_GE(res.rollbacks, 1);
   EXPECT_FALSE(res.diverged);
   EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.stop_reason, StopReason::kConverged);
   EXPECT_TRUE(std::isfinite(res.hpwl));
   // Acceptance: recovered run finishes within 5% of the fault-free HPWL.
   EXPECT_NEAR(res.hpwl, fault_free_hpwl(), 0.05 * fault_free_hpwl());
@@ -185,6 +186,7 @@ TEST(GuardianRecovery, RetryBudgetExhaustionStopsGracefully) {
   const GlobalPlaceResult res = placer.run();
 
   EXPECT_TRUE(res.diverged);
+  EXPECT_EQ(res.stop_reason, StopReason::kDiverged);
   EXPECT_EQ(res.rollbacks, 3);  // budget 2 → third rollback call reports false
   EXPECT_FALSE(res.converged);
   // Graceful stop: committed positions are the best-known iterate, finite.
@@ -209,6 +211,7 @@ TEST(GuardianRecovery, DivergentStopCommitsBestSnapshot) {
 
   EXPECT_TRUE(res.diverged);
   EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.stop_reason, StopReason::kDiverged);
   EXPECT_GE(res.rollbacks, 1);
   ASSERT_TRUE(placer.guardian().has_snapshot());
   // The committed database is the snapshot's iterate: its exact HPWL must be
