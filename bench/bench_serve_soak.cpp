@@ -1,0 +1,124 @@
+// bench_serve_soak: scripted soak of the in-process PlacementServer that
+// measures the serving plane's SLO latencies (queue wait, run time, e2e)
+// and emits them in the shared bench-JSON schema, so check_regression can
+// gate the committed BENCH_serve.json baseline.
+//
+//   bench_serve_soak [--jobs 8] [--slots 2] [--cells 1500] [--iters 120]
+//                    [--json BENCH_serve.json]
+//
+// Each "kernel" row is one percentile of one latency histogram
+// (serve.queue_wait_s/p50, serve.run_s/p99, ...), reported in ns so the
+// schema's ns_per_iter field keeps its meaning. Latency percentiles on a
+// shared CI box are far noisier than kernel micro-benches, so every row
+// carries a wide explicit tolerance band (see DESIGN.md §12).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "server/server.h"
+#include "util/arg_parser.h"
+
+namespace {
+
+using namespace xplace;
+using namespace xplace::server;
+
+struct Row {
+  std::string kernel;
+  double ns = 0.0;
+  double tolerance = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (!args.ok()) {
+    for (const std::string& e : args.errors()) {
+      std::fprintf(stderr, "%s\n", e.c_str());
+    }
+    return 2;
+  }
+  const long jobs = args.get_int("jobs", 8);
+  const long cells = args.get_int("cells", 1500);
+  const long iters = args.get_int("iters", 120);
+
+  ServerConfig cfg;
+  cfg.max_concurrency = static_cast<std::size_t>(args.get_int("slots", 2));
+  cfg.queue_capacity = static_cast<std::size_t>(jobs) + 4;
+  PlacementServer server(cfg);
+
+  // Saturating burst: all jobs land at once so the later ones accumulate
+  // real queue wait behind the worker slots.
+  std::vector<std::uint64_t> ids;
+  for (long i = 0; i < jobs; ++i) {
+    JobSpec spec;
+    spec.demo_cells = cells;
+    spec.demo_seed = 11 + static_cast<std::uint64_t>(i);
+    spec.max_iters = static_cast<int>(iters);
+    spec.full_flow = true;
+    spec.label = "soak" + std::to_string(i);
+    const auto out = server.submit(spec);
+    if (!out.ok) {
+      std::fprintf(stderr, "submit %ld rejected: %s\n", i, out.error.c_str());
+      return 1;
+    }
+    ids.push_back(out.id);
+  }
+  for (const std::uint64_t id : ids) {
+    const auto rec = server.wait(id, 600.0);
+    if (!rec || rec->state != JobState::kDone) {
+      std::fprintf(stderr, "job %llu did not complete\n",
+                   static_cast<unsigned long long>(id));
+      return 1;
+    }
+  }
+  const PlacementServer::Stats stats = server.stats();
+  server.shutdown(/*drain=*/true);
+
+  // Latency percentiles are an order of magnitude noisier than kernel
+  // micro-benches on shared runners; the committed bands reflect that.
+  // Queue wait additionally depends on scheduling jitter → widest band.
+  std::vector<Row> rows;
+  const auto emit = [&rows](const char* name,
+                            const PlacementServer::LatencySummary& lat,
+                            double tolerance) {
+    rows.push_back({std::string(name) + "/p50", lat.p50 * 1e9, tolerance});
+    rows.push_back({std::string(name) + "/p95", lat.p95 * 1e9, tolerance});
+    rows.push_back({std::string(name) + "/p99", lat.p99 * 1e9, tolerance});
+  };
+  emit("serve.queue_wait_s", stats.queue_wait, 3.0);
+  emit("serve.run_s", stats.run, 1.0);
+  emit("serve.e2e_s", stats.e2e, 1.0);
+
+  std::printf("%ld jobs over %zu slot(s): queue p50/p95/p99 = "
+              "%.3f/%.3f/%.3f s, run = %.3f/%.3f/%.3f s, e2e = "
+              "%.3f/%.3f/%.3f s\n",
+              jobs, cfg.max_concurrency, stats.queue_wait.p50,
+              stats.queue_wait.p95, stats.queue_wait.p99, stats.run.p50,
+              stats.run.p95, stats.run.p99, stats.e2e.p50, stats.e2e.p95,
+              stats.e2e.p99);
+
+  if (const std::string json = args.get("json"); !json.empty()) {
+    std::FILE* out = std::fopen(json.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"bench_serve_soak\",\n"
+                      "  \"jobs\": %ld,\n  \"slots\": %zu,\n"
+                      "  \"results\": [\n", jobs, cfg.max_concurrency);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"kernel\": \"%s\", \"backend\": \"serve\", "
+                   "\"threads\": 1, \"simd\": \"n/a\", \"ns_per_iter\": %.0f, "
+                   "\"tolerance\": %.1f}%s\n",
+                   rows[i].kernel.c_str(), rows[i].ns, rows[i].tolerance,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("json written to %s\n", json.c_str());
+  }
+  return 0;
+}

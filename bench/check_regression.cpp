@@ -1,0 +1,122 @@
+// check_regression: perf-regression gate over committed bench baselines.
+//
+// Compares a freshly generated bench JSON (bench_micro_ops --json,
+// bench_table3_ablation --json, bench_serve_soak) against a committed
+// baseline (BENCH_simd.json, BENCH_serve.json) row by row. A row fails when
+// its ns_per_iter exceeds baseline * (1 + tolerance); the band is the
+// baseline row's own "tolerance" field when present, else --tolerance.
+//
+//   check_regression --baseline BENCH_simd.json --current /tmp/now.json
+//   check_regression --baseline ... --current ... --advisory   # report only
+//   check_regression --selftest                                # gate sanity
+//
+// Flags:
+//   --baseline PATH    committed baseline JSON (required unless --selftest)
+//   --current PATH     freshly generated JSON to compare (required too)
+//   --tolerance F      default band for rows without their own (default 0.25)
+//   --advisory         print the report but always exit 0 (CI shared runners
+//                      are noisy; the advisory lane surfaces drift without
+//                      blocking merges — see DESIGN.md §12)
+//   --selftest         verify the gate itself: a synthetic 2x slowdown must
+//                      be flagged and an identical run must pass; exits
+//                      nonzero when the gate logic fails either way
+//
+// Exit: 0 = no regression (or --advisory), 1 = regression(s), 2 = usage or
+// unreadable input.
+#include <cstdio>
+#include <string>
+
+#include "server/regression.h"
+#include "util/arg_parser.h"
+
+namespace {
+
+using namespace xplace;
+using namespace xplace::server;
+
+/// The gate must flag a synthetic 2x slowdown and pass an identical rerun;
+/// per-row tolerance must override the default band.
+int selftest() {
+  BenchFile base;
+  base.bench = "selftest";
+  base.rows.push_back({"wa_fused", "serial", "avx2", 1, 1000.0, 0.0});
+  base.rows.push_back({"axpy", "serial", "avx2", 1, 200.0, 0.0});
+  base.rows.push_back({"noisy", "serial", "avx2", 1, 50.0, /*tolerance=*/3.0});
+
+  BenchFile identical = base;
+  const RegressionReport same = compare_bench(base, identical, 0.25);
+  if (same.regressions != 0 || same.rows.size() != 3) {
+    std::fprintf(stderr, "selftest FAIL: identical run flagged\n%s",
+                 format_report(same).c_str());
+    return 1;
+  }
+
+  BenchFile slow = base;
+  slow.rows[0].ns_per_iter *= 2.0;  // 2x slowdown: must be flagged
+  slow.rows[2].ns_per_iter *= 2.0;  // 2x but inside its own 300% band: pass
+  const RegressionReport flagged = compare_bench(base, slow, 0.25);
+  if (flagged.regressions != 1 || !flagged.rows[0].regressed ||
+      flagged.rows[2].regressed) {
+    std::fprintf(stderr, "selftest FAIL: 2x slowdown handling\n%s",
+                 format_report(flagged).c_str());
+    return 1;
+  }
+
+  BenchFile skewed = base;
+  skewed.rows[1].ns_per_iter *= 1.2;  // +20% inside the default 25% band
+  const RegressionReport tolerated = compare_bench(base, skewed, 0.25);
+  if (tolerated.regressions != 0) {
+    std::fprintf(stderr, "selftest FAIL: in-band drift flagged\n%s",
+                 format_report(tolerated).c_str());
+    return 1;
+  }
+
+  std::printf("selftest ok: 2x slowdown flagged, in-band drift and per-row "
+              "bands honored\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (!args.ok()) {
+    for (const std::string& e : args.errors()) {
+      std::fprintf(stderr, "%s\n", e.c_str());
+    }
+    return 2;
+  }
+  if (args.get_bool("selftest", false)) return selftest();
+
+  const std::string baseline_path = args.get("baseline");
+  const std::string current_path = args.get("current");
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: check_regression --baseline B.json --current C.json "
+                 "[--tolerance 0.25] [--advisory] | --selftest\n");
+    return 2;
+  }
+
+  BenchFile baseline, current;
+  std::string error;
+  if (!load_bench_json(baseline_path, &baseline, &error) ||
+      !load_bench_json(current_path, &current, &error)) {
+    std::fprintf(stderr, "check_regression: %s\n", error.c_str());
+    return 2;
+  }
+
+  const double tolerance = args.get_double("tolerance", 0.25);
+  const RegressionReport report = compare_bench(baseline, current, tolerance);
+  std::printf("baseline %s (%s) vs current %s (%s), default band %.0f%%\n",
+              baseline_path.c_str(), baseline.bench.c_str(),
+              current_path.c_str(), current.bench.c_str(), tolerance * 100.0);
+  std::printf("%s", format_report(report).c_str());
+
+  if (report.regressions == 0) return 0;
+  if (args.get_bool("advisory", false)) {
+    std::printf("ADVISORY mode: %zu regression(s) reported, exit 0\n",
+                report.regressions);
+    return 0;
+  }
+  return 1;
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI lanes for Xplace. Run all lanes (default) or a single one:
 #
-#   ci/run_ci.sh [tier1|tier1-mt|tier1-scalar|tier1-serve|faultinject|asan-ubsan|tsan|all]
+#   ci/run_ci.sh [tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|faultinject|asan-ubsan|tsan|all]
 #
 #   tier1       plain build, full ctest suite
 #   tier1-mt    same build, full ctest suite with XPLACE_THREADS=4 so every
@@ -16,6 +16,12 @@
 #               Unix socket, drive it with xplace_client — two demo jobs, one
 #               cancelled mid-run — assert both reach the expected terminal
 #               state, and shut the daemon down gracefully (exit 0)
+#   tier1-obs   observability-plane smoke (DESIGN.md §12): traced daemon runs
+#               two jobs, the `metrics` scrape must expose the serve-level
+#               SLO metric families, the Chrome trace must contain per-job
+#               GP/LG/DP spans, and the perf-regression gate must pass its
+#               selftest plus an advisory comparison against the committed
+#               BENCH_simd.json baseline
 #   faultinject guardian/recovery tests (ctest -L faultinject) plus an
 #               end-to-end XPLACE_FAULT matrix over the place_bookshelf demo:
 #               every injected fault must be recovered (exit 0, legal result)
@@ -119,6 +125,86 @@ run_tier1_serve() {
   echo "=== tier1-serve lane passed ==="
 }
 
+run_tier1_obs() {
+  build build-ci
+  local sock="/tmp/xplace_ci_obs_$$.sock"
+  local trace="/tmp/xplace_ci_obs_$$.trace.json"
+  local client=./build-ci/examples/xplace_client
+
+  echo "=== tier1-obs lane: traced daemon + metrics scrape on $sock ==="
+  ./build-ci/examples/xplace_serve --socket "$sock" --jobs 2 \
+      --trace-out "$trace" &
+  serve_daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || serve_fail "daemon never bound $sock" || return 1
+
+  # Two demo jobs to terminal state so the SLO histograms have samples.
+  local id
+  for id in 1 2; do
+    "$client" --socket "$sock" submit --demo-cells 800 --max-iters 120 \
+        --label "obs$id" >/dev/null \
+        || serve_fail "submit $id failed" || return 1
+  done
+  "$client" --socket "$sock" result --id 1 --wait --timeout-s 300 \
+      | grep -q '"state":"done"' \
+      || serve_fail "job 1 did not finish" || return 1
+  "$client" --socket "$sock" result --id 2 --wait --timeout-s 300 \
+      | grep -q '"state":"done"' \
+      || serve_fail "job 2 did not finish" || return 1
+
+  # Scrape surface: every serve-level metric family must be present, and the
+  # histograms must carry enough samples to derive percentiles from.
+  local metrics
+  metrics=$("$client" --socket "$sock" metrics) \
+      || serve_fail "metrics scrape failed" || return 1
+  local family
+  for family in \
+      xplace_serve_queue_wait_s_bucket xplace_serve_queue_wait_s_count \
+      xplace_serve_run_s_bucket xplace_serve_e2e_s_bucket \
+      xplace_serve_submitted xplace_serve_completed; do
+    echo "$metrics" | grep -q "$family" \
+        || serve_fail "metric family missing from scrape: $family" || return 1
+  done
+  echo "$metrics" | grep -q 'xplace_serve_e2e_s_count 2' \
+      || serve_fail "e2e histogram did not observe both jobs" || return 1
+
+  # Stats carries server-side percentile summaries for the watch dashboard.
+  "$client" --socket "$sock" stats | grep -q '"latency"' \
+      || serve_fail "stats lacks the latency summary" || return 1
+
+  "$client" --socket "$sock" shutdown >/dev/null \
+      || serve_fail "shutdown request failed" || return 1
+  wait "$serve_daemon_pid" || serve_fail "daemon exited non-zero" || return 1
+
+  # The Chrome trace must hold one per-job timeline: job-root, GP, LG and DP
+  # spans, plus per-job process_name tracks carrying the submit labels.
+  [ -s "$trace" ] || serve_fail "daemon wrote no trace to $trace" || return 1
+  local span
+  for span in '"serve.job"' '"gp.run"' '"serve.lg"' '"serve.dp"' \
+      'obs1' 'obs2' '"process_name"'; do
+    grep -q "$span" "$trace" \
+        || serve_fail "trace lacks $span" || return 1
+  done
+  rm -f "$trace"
+
+  # Perf-regression gate: selftest (a synthetic 2x slowdown must be flagged),
+  # then an advisory comparison of a fresh micro-bench run against the
+  # committed baseline — advisory because shared CI runners are noisy.
+  ./build-ci/bench/check_regression --selftest \
+      || { echo "check_regression selftest failed" >&2; return 1; }
+  local fresh="/tmp/xplace_ci_obs_$$.bench.json"
+  ./build-ci/bench/bench_micro_ops --json "$fresh" >/dev/null \
+      || { echo "bench_micro_ops run failed" >&2; return 1; }
+  ./build-ci/bench/check_regression --baseline BENCH_simd.json \
+      --current "$fresh" --advisory \
+      || { echo "advisory regression check errored" >&2; return 1; }
+  rm -f "$fresh"
+  echo "=== tier1-obs lane passed ==="
+}
+
 run_faultinject() {
   build build-ci
   ctest --test-dir build-ci --output-on-failure -L faultinject
@@ -159,12 +245,13 @@ case "$lane" in
   tier1-mt)     run_tier1_mt ;;
   tier1-scalar) run_tier1_scalar ;;
   tier1-serve)  run_tier1_serve ;;
+  tier1-obs)    run_tier1_obs ;;
   faultinject)  run_faultinject ;;
   asan-ubsan)   run_asan_ubsan ;;
   tsan)         run_tsan ;;
   all)          run_tier1; run_tier1_mt; run_tier1_scalar; run_tier1_serve
-                run_faultinject; run_asan_ubsan; run_tsan ;;
-  *) echo "unknown lane '$lane' (tier1|tier1-mt|tier1-scalar|tier1-serve|faultinject|asan-ubsan|tsan|all)" >&2
+                run_tier1_obs; run_faultinject; run_asan_ubsan; run_tsan ;;
+  *) echo "unknown lane '$lane' (tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|faultinject|asan-ubsan|tsan|all)" >&2
      exit 2 ;;
 esac
 echo "ci lane(s) '$lane' passed"

@@ -11,7 +11,14 @@
 //   xplace_client events --id 1 --follow
 //   xplace_client cancel --id 1
 //   xplace_client stats
+//   xplace_client metrics                      # Prometheus text exposition
+//   xplace_client watch [--interval-s 2] [--count N]
 //   xplace_client shutdown [--no-drain]
+//
+// `metrics` prints the daemon's Prometheus exposition (the scrape surface of
+// DESIGN.md §12) as plain text. `watch` is a live dashboard: it polls
+// stats+metrics over one connection and redraws queue depth, running jobs,
+// SLO counters, and the latency percentile table every interval.
 //
 // Common flags: --socket PATH (default /tmp/xplace.sock).
 // Submit flags: --aux PATH | --demo-cells N [--demo-seed S], --max-iters N,
@@ -19,8 +26,12 @@
 //   --priority P, --deadline-s T, --label NAME.
 // Events flags: --id N, --from SEQ, --timeout-s T (--follow = a whole-run
 //   budget of 3600s).
+// Watch flags: --interval-s T (default 2), --count N (polls; 0 = forever),
+//   --no-clear (append screens instead of redrawing in place).
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "server/json.h"
 #include "server/protocol.h"
@@ -33,11 +44,18 @@ namespace {
 using namespace xplace;
 using namespace xplace::server;
 
+/// Read-side line cap for metrics-bearing responses: the whole Prometheus
+/// exposition arrives as one line, which can exceed the 64 KiB protocol
+/// default on a daemon with many per-job metric families.
+constexpr std::size_t kMetricsLineCap = 4u << 20;
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: xplace_client [--socket PATH] "
-               "submit|status|cancel|result|events|stats|shutdown [flags]\n"
-               "(see the header comment of examples/xplace_client.cpp)\n");
+  std::fprintf(
+      stderr,
+      "usage: xplace_client [--socket PATH] "
+      "submit|status|cancel|result|events|stats|metrics|watch|shutdown "
+      "[flags]\n"
+      "(see the header comment of examples/xplace_client.cpp)\n");
   return 2;
 }
 
@@ -48,6 +66,7 @@ bool command_from_name(const std::string& name, Command* out) {
   else if (name == "result") *out = Command::kResult;
   else if (name == "events") *out = Command::kEvents;
   else if (name == "stats") *out = Command::kStats;
+  else if (name == "metrics") *out = Command::kMetrics;
   else if (name == "shutdown") *out = Command::kShutdown;
   else return false;
   return true;
@@ -65,14 +84,124 @@ bool is_final_response(const std::string& line, bool* ok) {
   return true;
 }
 
+/// Sends one request and parses its single response line into *out.
+/// False on transport failure, an oversized line, or {"ok":false}.
+bool round_trip(UdsStream& stream, const Request& req, json::Value* out) {
+  if (!stream.write_line(build_request(req))) return false;
+  std::string line;
+  bool oversized = false;
+  if (!stream.read_line(&line, &oversized) || oversized) return false;
+  std::string error;
+  if (!json::parse(line, out, &error) || !out->is_object()) return false;
+  return out->get_bool("ok", false);
+}
+
+/// Non-#-comment line count of a Prometheus exposition = series scraped.
+std::size_t count_series(const std::string& text) {
+  std::size_t n = 0;
+  bool at_line_start = true;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (at_line_start && text[i] != '#' && text[i] != '\n') ++n;
+    at_line_start = text[i] == '\n';
+    if (!at_line_start) {
+      const std::size_t nl = text.find('\n', i);
+      if (nl == std::string::npos) break;
+      i = nl;
+      at_line_start = true;
+    }
+  }
+  return n;
+}
+
+void print_latency_row(const json::Value& lat, const char* key,
+                       const char* name) {
+  const json::Value* row = lat.find(key);
+  if (row == nullptr || !row->is_object()) return;
+  std::printf("  %-11s %9.3fs %9.3fs %9.3fs %8.0f\n", name,
+              row->get_number("p50", 0.0), row->get_number("p95", 0.0),
+              row->get_number("p99", 0.0), row->get_number("count", 0.0));
+}
+
+/// Live dashboard: polls stats + metrics over one connection and redraws.
+int run_watch(UdsStream& stream, const std::string& socket_path,
+              double interval_s, long count, bool clear) {
+  stream.set_max_line(kMetricsLineCap);
+  Request stats_req;
+  stats_req.cmd = Command::kStats;
+  Request metrics_req;
+  metrics_req.cmd = Command::kMetrics;
+  for (long poll = 0; count <= 0 || poll < count; ++poll) {
+    if (poll > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::max(0.1, interval_s)));
+    }
+    json::Value stats, metrics;
+    if (!round_trip(stream, stats_req, &stats) ||
+        !round_trip(stream, metrics_req, &metrics)) {
+      std::fprintf(stderr, "watch: daemon went away\n");
+      return 1;
+    }
+    if (clear) std::printf("\033[2J\033[H");  // clear screen, home cursor
+    std::printf("xplace_serve @ %s   poll %ld%s, every %.1fs\n\n",
+                socket_path.c_str(), poll + 1,
+                count > 0 ? ("/" + std::to_string(count)).c_str() : "",
+                interval_s);
+    std::printf("queue    %.0f / %.0f queued    %.0f running (max %.0f)    "
+                "threads %.0f / %.0f    accepting %s\n",
+                stats.get_number("queued", 0.0),
+                stats.get_number("queue_capacity", 0.0),
+                stats.get_number("running", 0.0),
+                stats.get_number("max_concurrency", 0.0),
+                stats.get_number("threads_leased", 0.0),
+                stats.get_number("thread_budget", 0.0),
+                stats.get_bool("accepting", false) ? "yes" : "no");
+    std::printf("jobs     %.0f submitted   %.0f done   %.0f cancelled   "
+                "%.0f failed   %.0f rejected\n",
+                stats.get_number("submitted", 0.0),
+                stats.get_number("completed", 0.0),
+                stats.get_number("cancelled", 0.0),
+                stats.get_number("failed", 0.0),
+                stats.get_number("rejected", 0.0));
+    std::printf("SLO      %.0f deadline missed   %.0f events dropped\n\n",
+                stats.get_number("deadline_missed", 0.0),
+                stats.get_number("events_dropped", 0.0));
+    const json::Value* lat = stats.find("latency");
+    if (lat != nullptr && lat->is_object()) {
+      std::printf("  %-11s %10s %10s %10s %8s\n", "latency", "p50", "p95",
+                  "p99", "count");
+      print_latency_row(*lat, "queue_wait_s", "queue wait");
+      print_latency_row(*lat, "run_s", "run");
+      print_latency_row(*lat, "e2e_s", "e2e");
+    }
+    std::printf("\nmetrics  %zu series from `metrics` scrape\n",
+                count_series(metrics.get_string("metrics")));
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   if (args.positional().empty()) return usage();
 
+  const std::string verb = args.positional()[0];
+  if (verb == "watch") {
+    const std::string socket_path = args.get("socket", "/tmp/xplace.sock");
+    UdsStream stream = UdsStream::connect(socket_path);
+    if (!stream.valid()) {
+      XP_ERROR("cannot connect to %s (is xplace_serve running?)",
+               socket_path.c_str());
+      return 1;
+    }
+    return run_watch(stream, socket_path, args.get_double("interval-s", 2.0),
+                     args.get_int("count", 0),
+                     !args.get_bool("no-clear", false));
+  }
+
   Request req;
-  if (!command_from_name(args.positional()[0], &req.cmd)) return usage();
+  if (!command_from_name(verb, &req.cmd)) return usage();
   req.id = static_cast<std::uint64_t>(args.get_int("id", 0));
   req.from_seq = static_cast<std::uint64_t>(args.get_int("from", 0));
   req.wait = args.get_bool("wait", false);
@@ -103,6 +232,18 @@ int main(int argc, char** argv) {
     XP_ERROR("cannot connect to %s (is xplace_serve running?)",
              socket_path.c_str());
     return 1;
+  }
+  if (req.cmd == Command::kMetrics) {
+    // Decode the exposition text out of the JSON envelope so the output is
+    // directly consumable by Prometheus-style tooling.
+    stream.set_max_line(kMetricsLineCap);
+    json::Value resp;
+    if (!round_trip(stream, req, &resp)) {
+      XP_ERROR("metrics request failed");
+      return 1;
+    }
+    std::fputs(resp.get_string("metrics").c_str(), stdout);
+    return 0;
   }
   if (!stream.write_line(build_request(req))) {
     XP_ERROR("write failed");

@@ -21,6 +21,9 @@
 //   --spill DIR         periodic XPCK checkpoint spill per job into DIR
 //   --spill-every N     iterations between spills (default 200)
 //   --simd BACKEND      SIMD kernel table (auto|avx2|scalar|off)
+//   --trace-out PATH    enable the span tracer and write a Chrome trace of
+//                       every served job on exit; each job renders as its own
+//                       process track named after its id/label (DESIGN.md §12)
 //
 // The daemon exits after a client `shutdown` request completes (drain or
 // cancel — see the protocol).
@@ -28,6 +31,8 @@
 
 #include "server/server.h"
 #include "server/uds.h"
+#include "telemetry/export.h"
+#include "telemetry/trace.h"
 #include "util/arg_parser.h"
 #include "util/backend_resolve.h"
 #include "util/logging.h"
@@ -58,8 +63,32 @@ int main(int argc, char** argv) {
   cfg.spill_dir = args.get("spill");
   cfg.spill_period = static_cast<int>(args.get_int("spill-every", 200));
 
+  const std::string trace_out = args.get("trace-out");
+  if (!trace_out.empty()) telemetry::Tracer::global().enable();
+
   server::PlacementServer srv(cfg);
   const std::string socket_path = args.get("socket", "/tmp/xplace.sock");
   if (!server::serve(srv, socket_path)) return 1;
+
+  if (!trace_out.empty()) {
+    // serve() returns only after shutdown drained the workers, so the ring
+    // is quiesced and the snapshot is exact. The label table maps each job's
+    // trace id to its "job <id> (<label>)" track name.
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    std::string error;
+    if (telemetry::write_text_file(
+            trace_out,
+            telemetry::to_chrome_trace(tracer.snapshot(), "xplace_serve",
+                                       tracer.trace_labels()),
+            &error)) {
+      XP_INFO("wrote trace to %s (%llu spans recorded, %llu dropped)",
+              trace_out.c_str(),
+              static_cast<unsigned long long>(tracer.total_recorded()),
+              static_cast<unsigned long long>(tracer.dropped()));
+    } else {
+      XP_ERROR("trace write failed: %s", error.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -86,6 +86,14 @@ struct JobRecord {
   JobState state = JobState::kQueued;
   core::StopReason stop_reason = core::StopReason::kIterCap;
 
+  /// Telemetry trace id assigned at submit: every span the scheduler and the
+  /// flow record on this job's behalf is tagged with it, so one Chrome trace
+  /// holds a coherent per-job timeline (DESIGN.md §12).
+  std::uint64_t trace_id = 0;
+  /// Progress events evicted from this job's bounded ring so far (mirrors
+  /// the per-page `dropped` count of the events verb, but survives paging).
+  std::uint64_t events_dropped = 0;
+
   // GP results (valid once the job ran; cancelled jobs carry the committed
   // best-snapshot numbers).
   double hpwl = 0.0;

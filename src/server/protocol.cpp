@@ -64,6 +64,7 @@ const char* to_string(Command cmd) {
     case Command::kResult: return "result";
     case Command::kEvents: return "events";
     case Command::kStats: return "stats";
+    case Command::kMetrics: return "metrics";
     case Command::kShutdown: return "shutdown";
   }
   return "?";
@@ -78,6 +79,7 @@ bool command_from_string(const std::string& s, Command* out) {
   else if (s == "result") *out = Command::kResult;
   else if (s == "events") *out = Command::kEvents;
   else if (s == "stats") *out = Command::kStats;
+  else if (s == "metrics") *out = Command::kMetrics;
   else if (s == "shutdown") *out = Command::kShutdown;
   else return false;
   return true;
@@ -235,6 +237,10 @@ json::Object job_to_json(const JobRecord& rec) {
   o.emplace_back("state", to_string(rec.state));
   o.emplace_back("label", rec.spec.label);
   o.emplace_back("priority", rec.spec.priority);
+  if (rec.trace_id > 0) o.emplace_back("trace_id", rec.trace_id);
+  if (rec.events_dropped > 0) {
+    o.emplace_back("events_dropped", rec.events_dropped);
+  }
   if (is_terminal(rec.state) || rec.state == JobState::kRunning) {
     o.emplace_back("stop_reason", core::to_string(rec.stop_reason));
   }

@@ -13,6 +13,11 @@
 //        {"ok":true,"event":{...}} line per GP iteration, terminated by
 //        {"ok":true,"done":true,"state":"..."} when the job is terminal
 //   {"cmd":"stats"}                             → {"ok":true,"stats":{...}}
+//   {"cmd":"metrics"}                           → {"ok":true,"metrics":"..."}
+//        with the full Prometheus text exposition of the global telemetry
+//        registry in the string (the scrape surface of DESIGN.md §12; the
+//        response line can exceed kMaxLineBytes — readers raise their cap
+//        via LineReader::set_max_line)
 //   {"cmd":"shutdown","drain":true}             → {"ok":true} then the
 //        daemon stops accepting, drains, and exits 0
 //
@@ -48,6 +53,12 @@ class LineReader {
   explicit LineReader(std::size_t max_line = kMaxLineBytes)
       : max_line_(max_line) {}
 
+  /// Raises (or lowers) the oversize cap for subsequent lines. Clients that
+  /// issue `metrics` raise theirs: the Prometheus exposition is one response
+  /// line and legitimately exceeds the request-side default.
+  void set_max_line(std::size_t max_line) { max_line_ = max_line; }
+  std::size_t max_line() const { return max_line_; }
+
   void feed(const char* data, std::size_t n);
 
   enum class Pop { kLine, kNeedMore, kOversized };
@@ -72,6 +83,7 @@ enum class Command {
   kResult,
   kEvents,
   kStats,
+  kMetrics,
   kShutdown,
 };
 

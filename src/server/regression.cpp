@@ -1,0 +1,141 @@
+#include "server/regression.h"
+
+#include <cstdio>
+#include <map>
+
+#include "server/json.h"
+
+namespace xplace::server {
+
+std::string row_key(const BenchRow& row, int occurrence) {
+  std::string key = row.kernel + "|" + row.backend + "|" + row.simd + "|t" +
+                    std::to_string(row.threads);
+  if (occurrence > 0) key += "|#" + std::to_string(occurrence);
+  return key;
+}
+
+bool load_bench_json(const std::string& path, BenchFile* out,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    text.append(chunk, n);
+  }
+  std::fclose(f);
+
+  json::Value root;
+  std::string json_error;
+  if (!json::parse(text, &root, &json_error)) {
+    *error = path + ": " + json_error;
+    return false;
+  }
+  const json::Value* results = root.find("results");
+  if (results == nullptr || !results->is_array()) {
+    *error = path + ": missing \"results\" array";
+    return false;
+  }
+  out->bench = root.get_string("bench");
+  out->rows.clear();
+  for (const json::Value& v : results->array()) {
+    if (!v.is_object() || !v.has("ns_per_iter")) continue;
+    BenchRow row;
+    row.kernel = v.get_string("kernel");
+    row.backend = v.get_string("backend");
+    row.simd = v.get_string("simd");
+    row.threads = static_cast<int>(v.get_number("threads", 1));
+    row.ns_per_iter = v.get_number("ns_per_iter", 0.0);
+    row.tolerance = v.get_number("tolerance", 0.0);
+    out->rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+namespace {
+
+/// Rows keyed with per-duplicate occurrence indices, insertion-ordered.
+std::vector<std::pair<std::string, const BenchRow*>> keyed_rows(
+    const BenchFile& file) {
+  std::map<std::string, int> seen;
+  std::vector<std::pair<std::string, const BenchRow*>> out;
+  out.reserve(file.rows.size());
+  for (const BenchRow& row : file.rows) {
+    const int occurrence = seen[row_key(row, 0)]++;
+    out.emplace_back(row_key(row, occurrence), &row);
+  }
+  return out;
+}
+
+}  // namespace
+
+RegressionReport compare_bench(const BenchFile& baseline,
+                               const BenchFile& current,
+                               double default_tolerance) {
+  RegressionReport report;
+  const auto base_rows = keyed_rows(baseline);
+  const auto cur_rows = keyed_rows(current);
+  std::map<std::string, const BenchRow*> cur_by_key;
+  for (const auto& [key, row] : cur_rows) cur_by_key.emplace(key, row);
+
+  std::map<std::string, bool> matched;
+  for (const auto& [key, base] : base_rows) {
+    const auto it = cur_by_key.find(key);
+    if (it == cur_by_key.end()) {
+      report.only_baseline.push_back(key);
+      continue;
+    }
+    matched[key] = true;
+    RowComparison cmp;
+    cmp.key = key;
+    cmp.baseline_ns = base->ns_per_iter;
+    cmp.current_ns = it->second->ns_per_iter;
+    cmp.ratio = base->ns_per_iter > 0.0
+                    ? it->second->ns_per_iter / base->ns_per_iter
+                    : 0.0;
+    // The baseline row's band wins (it was committed alongside the number);
+    // fall back to the current row's, then the comparison default.
+    cmp.tolerance = base->tolerance > 0.0 ? base->tolerance
+                    : it->second->tolerance > 0.0 ? it->second->tolerance
+                                                  : default_tolerance;
+    cmp.regressed = cmp.ratio > 1.0 + cmp.tolerance;
+    if (cmp.regressed) ++report.regressions;
+    report.rows.push_back(std::move(cmp));
+  }
+  for (const auto& [key, row] : cur_rows) {
+    (void)row;
+    if (matched.find(key) == matched.end()) {
+      report.only_current.push_back(key);
+    }
+  }
+  return report;
+}
+
+std::string format_report(const RegressionReport& report) {
+  std::string out;
+  char line[256];
+  for (const RowComparison& row : report.rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-52s %12.1f -> %12.1f ns  %6.2fx (band %.0f%%)%s\n",
+                  row.key.c_str(), row.baseline_ns, row.current_ns, row.ratio,
+                  row.tolerance * 100.0,
+                  row.regressed ? "  REGRESSION" : "");
+    out += line;
+  }
+  for (const std::string& key : report.only_baseline) {
+    out += "baseline-only (not compared): " + key + "\n";
+  }
+  for (const std::string& key : report.only_current) {
+    out += "new row (no baseline): " + key + "\n";
+  }
+  std::snprintf(line, sizeof(line), "%zu row(s) compared, %zu regression(s)\n",
+                report.rows.size(), report.regressions);
+  out += line;
+  return out;
+}
+
+}  // namespace xplace::server

@@ -1,0 +1,84 @@
+// Perf-regression gate over committed bench baselines (DESIGN.md §12).
+//
+// The benches (bench_micro_ops, bench_table3_ablation, bench_serve_soak)
+// emit a shared JSON schema:
+//
+//   {"bench": "<name>", "results": [
+//      {"kernel": "...", "backend": "...", "threads": 1, "simd": "...",
+//       "ns_per_iter": 1234.5, "tolerance": 0.35}, ...]}
+//
+// A baseline file of that schema is committed (BENCH_simd.json,
+// BENCH_serve.json); check_regression re-runs the bench and compares each
+// row against the committed number. A row regresses when
+//
+//   current > baseline * (1 + tolerance)
+//
+// where `tolerance` is the row's own field when present (noisy kernels ship
+// wider bands) or the comparison-wide default. Rows present on only one
+// side are reported but never fail the gate — baselines age across kernel
+// additions without churn.
+//
+// This lives in the server module (not telemetry) because it reuses the
+// JSON parser the protocol already owns; telemetry must stay leaf-level.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xplace::server {
+
+/// One bench measurement row. `tolerance` <= 0 means "use the default".
+struct BenchRow {
+  std::string kernel;
+  std::string backend;
+  std::string simd;
+  int threads = 1;
+  double ns_per_iter = 0.0;
+  double tolerance = 0.0;
+};
+
+struct BenchFile {
+  std::string bench;  ///< emitting binary's name ("" when absent)
+  std::vector<BenchRow> rows;
+};
+
+/// Stable row identity for matching baseline to current: kernel, backend,
+/// simd, threads, plus an occurrence index so files with repeated keys
+/// (table3 emits one row per launch-latency mode) match positionally.
+std::string row_key(const BenchRow& row, int occurrence);
+
+/// Parses a bench JSON file. False (with *error) on unreadable/malformed
+/// input or a missing `results` array; rows lacking `ns_per_iter` are
+/// skipped.
+bool load_bench_json(const std::string& path, BenchFile* out,
+                     std::string* error);
+
+/// Verdict for one matched row pair.
+struct RowComparison {
+  std::string key;
+  double baseline_ns = 0.0;
+  double current_ns = 0.0;
+  double ratio = 0.0;      ///< current / baseline
+  double tolerance = 0.0;  ///< band applied (row override or default)
+  bool regressed = false;  ///< ratio > 1 + tolerance
+};
+
+struct RegressionReport {
+  std::vector<RowComparison> rows;        ///< matched on both sides
+  std::vector<std::string> only_baseline; ///< keys missing from current
+  std::vector<std::string> only_current;  ///< keys missing from baseline
+  std::size_t regressions = 0;
+};
+
+/// Compares `current` against `baseline`. `default_tolerance` is the band
+/// for rows without their own `tolerance` field (0.25 = +25% slower fails).
+/// The row's tolerance always wins when set.
+RegressionReport compare_bench(const BenchFile& baseline,
+                               const BenchFile& current,
+                               double default_tolerance);
+
+/// Human-readable report (one line per row, regressions flagged), suitable
+/// for CI logs.
+std::string format_report(const RegressionReport& report);
+
+}  // namespace xplace::server

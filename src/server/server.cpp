@@ -10,6 +10,7 @@
 #include "io/generator.h"
 #include "lg/abacus.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace xplace::server {
@@ -58,6 +59,13 @@ core::StopReason stop_reason_from(StopCause cause) {
                                        : core::StopReason::kCancelled;
 }
 
+/// Bucket layout for the serve-level latency histograms: 1 ms .. ~2.3 h,
+/// ×2 per bucket. Shared by queue-wait / run / e2e so their percentiles are
+/// directly comparable.
+std::vector<double> latency_bounds() {
+  return telemetry::Histogram::exponential_bounds(1e-3, 2.0, 24);
+}
+
 }  // namespace
 
 PlacementServer::PlacementServer(ServerConfig cfg)
@@ -72,6 +80,10 @@ PlacementServer::PlacementServer(ServerConfig cfg)
     std::error_code ec;
     std::filesystem::create_directories(cfg_.spill_dir, ec);
   }
+  telemetry::Registry& reg = telemetry::Registry::global();
+  queue_wait_hist_ = &reg.histogram("serve.queue_wait_s", latency_bounds());
+  run_hist_ = &reg.histogram("serve.run_s", latency_bounds());
+  e2e_hist_ = &reg.histogram("serve.e2e_s", latency_bounds());
   workers_.reserve(cfg_.max_concurrency);
   for (std::size_t i = 0; i < cfg_.max_concurrency; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -117,6 +129,17 @@ PlacementServer::SubmitOutcome PlacementServer::submit(const JobSpec& spec) {
   job->rec.spec.label = sanitize_label(job->rec.spec.label);
   job->rec.state = JobState::kQueued;
   job->rec.submitted_s = log::elapsed_seconds();
+  job->submit_us = telemetry::Tracer::now_us();
+  // Request identity: every span recorded on this job's behalf — scheduler
+  // lease, GP/LG/DP phases, pooled kernels — carries this trace id, so the
+  // Chrome exporter can render one coherent timeline per job. The label is
+  // only registered when tracing is on (the table is GC'd at job eviction).
+  job->rec.trace_id = telemetry::TraceContext::new_id();
+  if (telemetry::Tracer::global().enabled()) {
+    telemetry::Tracer::global().set_trace_label(
+        job->rec.trace_id,
+        "job " + std::to_string(id) + " (" + job->rec.spec.label + ")");
+  }
   if (spec.deadline_s > 0) job->token.set_timeout(spec.deadline_s);
   jobs_.emplace(id, std::move(job));
 
@@ -221,6 +244,19 @@ PlacementServer::Stats PlacementServer::stats() const {
   s.thread_budget = cfg_.thread_budget;
   s.threads_leased = threads_leased_;
   s.accepting = accepting_;
+  s.events_dropped = events_dropped_total_;
+  s.deadline_missed = deadline_missed_;
+  const auto summarize = [](const telemetry::Histogram* h) {
+    LatencySummary sum;
+    sum.p50 = h->quantile(0.50);
+    sum.p95 = h->quantile(0.95);
+    sum.p99 = h->quantile(0.99);
+    sum.count = h->count();
+    return sum;
+  };
+  s.queue_wait = summarize(queue_wait_hist_);
+  s.run = summarize(run_hist_);
+  s.e2e = summarize(e2e_hist_);
   return s;
 }
 
@@ -309,10 +345,33 @@ void PlacementServer::worker_loop() {
     telemetry::Registry::global().gauge("serve.queue_depth")
         .set(static_cast<double>(queue_.size()));
 
+    // Queue-wait span: begins at submit (recorded then in the tracer's
+    // timebase), ends now that a worker slot picked the job up. Recorded
+    // directly since the interval did not live on any one thread.
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    if (tracer.enabled()) {
+      telemetry::SpanEvent ev;
+      ev.name = "serve.queue_wait";
+      ev.begin_us = job->submit_us;
+      ev.end_us = telemetry::Tracer::now_us();
+      ev.tid = telemetry::Tracer::thread_id();
+      ev.trace_id = job->rec.trace_id;
+      tracer.record(ev);
+    }
+
     const int requested = job->rec.spec.threads > 0
                               ? job->rec.spec.threads
                               : cfg_.default_job_threads;
-    const std::size_t leased = lease_threads(requested);
+    std::size_t leased = 0;
+    {
+      // Lease-acquire span: how long the job's slot waited for the server's
+      // thread budget (nested under the job's trace root).
+      telemetry::TraceBinding bind(job->rec.trace_id);
+      telemetry::TraceScope lease_span("serve.lease_acquire");
+      lease_span.arg("requested", requested);
+      leased = lease_threads(requested);
+      lease_span.arg("leased", static_cast<double>(leased));
+    }
     run_job(*job, leased);
     release_threads(leased);
   }
@@ -321,13 +380,23 @@ void PlacementServer::worker_loop() {
 void PlacementServer::run_job(Job& job, std::size_t leased_threads) {
   const std::uint64_t id = job.rec.id;
   const JobSpec spec = job.rec.spec;  // stable copy for the run
+  // Root span of the job's trace: every span below (design load, gp.run and
+  // its per-iteration children, lg/dp passes, pooled kernels) inherits the
+  // trace id through the thread-local binding, which the ThreadPool also
+  // forwards into its workers.
+  telemetry::TraceBinding trace_binding(job.rec.trace_id);
+  telemetry::TraceScope job_span("serve.job");
+  job_span.arg("id", static_cast<double>(id))
+      .arg("threads", static_cast<double>(leased_threads));
   XP_INFO("job %llu (%s) starting: %s, %d iters, %zu thread(s)",
           static_cast<unsigned long long>(id), spec.label.c_str(),
           spec.aux.empty() ? "demo" : spec.aux.c_str(), spec.max_iters,
           leased_threads);
   try {
+    telemetry::TraceScope load_span("serve.load_design");
     db::Database db =
         spec.aux.empty() ? make_demo_db(spec, id) : io::read_bookshelf_aux(spec.aux);
+    load_span.end();
 
     core::PlacerConfig cfg = core::PlacerConfig::xplace();
     cfg.grid_dim = spec.grid;
@@ -355,11 +424,18 @@ void PlacementServer::run_job(Job& job, std::size_t leased_threads) {
       if (job.events.size() > cfg_.event_capacity) {
         job.events.pop_front();
         ++job.dropped;
+        job.rec.events_dropped = job.dropped;
+        ++events_dropped_total_;
+        telemetry::Registry::global().counter("serve.events.dropped").inc();
       }
       job.cv.notify_all();
     });
 
     const core::GlobalPlaceResult gp = placer.run();
+    if (gp.rollbacks > 0) {
+      telemetry::Registry::global().counter("serve.guardian_rollbacks")
+          .inc(static_cast<std::uint64_t>(gp.rollbacks));
+    }
 
     bool stopped = gp.stop_reason == core::StopReason::kCancelled ||
                    gp.stop_reason == core::StopReason::kDeadline;
@@ -374,7 +450,11 @@ void PlacementServer::run_job(Job& job, std::size_t leased_threads) {
         stopped = true;
         reason = stop_reason_from(c);
       } else {
-        lg::abacus_legalize(db, &placer.execution());
+        {
+          XP_TRACE_SCOPE("serve.lg");
+          lg::abacus_legalize(db, &placer.execution());
+        }
+        XP_TRACE_SCOPE("serve.dp");
         dp::DetailedPlaceConfig dcfg;
         dcfg.stop = &job.token;
         dp::detailed_place(db, dcfg, &placer.execution());
@@ -410,11 +490,24 @@ void PlacementServer::finish_job_locked(Job& job, JobState state) {
   if (job.rec.state == JobState::kRunning) --running_;
   job.rec.state = state;
   job.rec.finished_s = log::elapsed_seconds();
+  job.rec.events_dropped = job.dropped;
   switch (state) {
     case JobState::kDone: ++completed_; break;
     case JobState::kCancelled: ++cancelled_; break;
     case JobState::kFailed: ++failed_; break;
     default: break;
+  }
+  // SLO accounting: latency histograms (percentiles derive from these) and
+  // deadline misses. Queue wait / run are only meaningful for jobs that got
+  // a worker slot; e2e covers every terminal job including queue-cancelled.
+  if (job.rec.started_s > 0.0) {
+    queue_wait_hist_->observe(job.rec.started_s - job.rec.submitted_s);
+    run_hist_->observe(job.rec.finished_s - job.rec.started_s);
+  }
+  e2e_hist_->observe(job.rec.finished_s - job.rec.submitted_s);
+  if (job.rec.stop_reason == core::StopReason::kDeadline) {
+    ++deadline_missed_;
+    telemetry::Registry::global().counter("serve.deadline_missed").inc();
   }
   terminal_order_.push_back(job.rec.id);
   evict_terminal_locked();
@@ -426,7 +519,17 @@ void PlacementServer::evict_terminal_locked() {
   while (terminal_order_.size() > cfg_.result_capacity) {
     const std::uint64_t victim = terminal_order_.front();
     terminal_order_.pop_front();
-    jobs_.erase(victim);  // waiters still holding the shared_ptr are safe
+    const auto it = jobs_.find(victim);
+    if (it != jobs_.end()) {
+      // Retention policy (DESIGN.md §12): per-job metric families and trace
+      // labels live exactly as long as the job record — evicting the record
+      // GCs `serve.job.<label>.*` and the trace-label entry, so a long-lived
+      // daemon's registry stays bounded by result_capacity.
+      telemetry::Registry::global().remove_prefix(
+          "serve.job." + it->second->rec.spec.label + ".");
+      telemetry::Tracer::global().forget_trace(it->second->rec.trace_id);
+      jobs_.erase(it);  // waiters still holding the shared_ptr are safe
+    }
   }
 }
 
@@ -444,6 +547,8 @@ void PlacementServer::publish_job_metrics(const JobRecord& rec) {
   reg.gauge(prefix + ".gp_seconds").set(rec.gp_seconds);
   reg.gauge(prefix + ".stop_reason")
       .set(static_cast<double>(rec.stop_reason));
+  reg.gauge(prefix + ".events_dropped")
+      .set(static_cast<double>(rec.events_dropped));
 }
 
 }  // namespace xplace::server

@@ -38,6 +38,7 @@
 
 #include "server/job.h"
 #include "server/job_queue.h"
+#include "telemetry/metrics.h"
 #include "util/stop_token.h"
 
 namespace xplace::server {
@@ -107,6 +108,14 @@ class PlacementServer {
   std::optional<EventBatch> events(std::uint64_t id, std::uint64_t from_seq,
                                    double timeout_s) const;
 
+  /// Percentile summary of one serve-level latency histogram (seconds).
+  /// Estimated via telemetry::Histogram::quantile over the SLO histograms
+  /// the server observes on every terminal job.
+  struct LatencySummary {
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    std::uint64_t count = 0;
+  };
+
   struct Stats {
     std::uint64_t submitted = 0, rejected = 0, completed = 0, cancelled = 0,
                   failed = 0;
@@ -114,6 +123,12 @@ class PlacementServer {
     std::size_t queue_capacity = 0, max_concurrency = 0;
     std::size_t thread_budget = 0, threads_leased = 0;
     bool accepting = true;
+    // SLO telemetry (tentpole of the observability plane, DESIGN.md §12).
+    std::uint64_t events_dropped = 0;   ///< cumulative across every job ring
+    std::uint64_t deadline_missed = 0;  ///< jobs terminated by their deadline
+    LatencySummary queue_wait;          ///< submit → start, terminal jobs
+    LatencySummary run;                 ///< start → finish
+    LatencySummary e2e;                 ///< submit → finish
   };
   Stats stats() const;
 
@@ -137,6 +152,7 @@ class PlacementServer {
     std::deque<JobEvent> events;
     std::uint64_t next_seq = 0;
     std::uint64_t dropped = 0;
+    double submit_us = 0.0;  ///< Tracer::now_us() at submit (queue-wait span)
     std::condition_variable cv;  ///< waits on mutex_: events + state changes
   };
 
@@ -166,6 +182,14 @@ class PlacementServer {
   // Counters (under mutex_; mirrored into telemetry on change).
   std::uint64_t submitted_ = 0, rejected_ = 0, completed_ = 0, cancelled_ = 0,
                 failed_ = 0;
+  std::uint64_t events_dropped_total_ = 0;
+  std::uint64_t deadline_missed_ = 0;
+
+  // Serve-level SLO histograms (global-registry entries, resolved once in
+  // the constructor; stable metric names — see DESIGN.md §12 catalog).
+  telemetry::Histogram* queue_wait_hist_ = nullptr;  // serve.queue_wait_s
+  telemetry::Histogram* run_hist_ = nullptr;         // serve.run_s
+  telemetry::Histogram* e2e_hist_ = nullptr;         // serve.e2e_s
 
   std::vector<std::thread> workers_;
 };

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/export.h"
 #include "util/logging.h"
 
 namespace xplace::server {
@@ -192,6 +193,21 @@ json::Object stats_to_json(const PlacementServer::Stats& s) {
   o.emplace_back("threads_leased",
                  static_cast<std::uint64_t>(s.threads_leased));
   o.emplace_back("accepting", json::Value(s.accepting));
+  o.emplace_back("events_dropped", s.events_dropped);
+  o.emplace_back("deadline_missed", s.deadline_missed);
+  const auto latency = [](const PlacementServer::LatencySummary& l) {
+    json::Object o;
+    o.emplace_back("p50", l.p50);
+    o.emplace_back("p95", l.p95);
+    o.emplace_back("p99", l.p99);
+    o.emplace_back("count", l.count);
+    return o;
+  };
+  json::Object lat;
+  lat.emplace_back("queue_wait_s", json::Value(latency(s.queue_wait)));
+  lat.emplace_back("run_s", json::Value(latency(s.run)));
+  lat.emplace_back("e2e_s", json::Value(latency(s.e2e)));
+  o.emplace_back("latency", json::Value(std::move(lat)));
   return o;
 }
 
@@ -259,6 +275,15 @@ void handle_connection(PlacementServer& server, ServeState& state, int fd) {
       case Command::kStats:
         stream.write_line(make_ok(stats_to_json(server.stats())));
         break;
+      case Command::kMetrics: {
+        // Scrape surface (DESIGN.md §12): the whole Prometheus exposition of
+        // the global registry as one response field.
+        json::Object o;
+        o.emplace_back("metrics",
+                       telemetry::to_prometheus(telemetry::Registry::global()));
+        stream.write_line(make_ok(std::move(o)));
+        break;
+      }
       case Command::kShutdown: {
         XP_INFO("shutdown requested over socket (drain=%d)",
                 req.drain ? 1 : 0);

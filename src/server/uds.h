@@ -47,6 +47,10 @@ class UdsStream {
   /// the caller answers with an error instead of dropping the connection.
   bool read_line(std::string* line, bool* oversized);
 
+  /// Raises the read-side line cap (clients do this before `metrics`, whose
+  /// one-line Prometheus payload can exceed the request-side default).
+  void set_max_line(std::size_t max_line) { reader_.set_max_line(max_line); }
+
  private:
   int fd_ = -1;
   LineReader reader_;

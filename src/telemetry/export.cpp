@@ -55,22 +55,50 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-std::string to_chrome_trace(const std::vector<SpanEvent>& spans,
-                            const std::string& process_name) {
+std::string to_chrome_trace(
+    const std::vector<SpanEvent>& spans, const std::string& process_name,
+    const std::vector<std::pair<std::uint64_t, std::string>>& trace_names) {
   std::string out;
   out.reserve(spans.size() * 128 + 256);
   out += "{\"traceEvents\":[";
   // Metadata event naming the process in the Perfetto track list.
   out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
          "\"args\":{\"name\":\"" + json_escape(process_name) + "\"}}";
+
+  // One process track per trace id, pids assigned in order of first
+  // appearance so the track order matches submission order.
+  std::vector<std::uint64_t> trace_ids;  // index -> trace id; pid = index + 2
+  const auto pid_of = [&](std::uint64_t trace_id) -> int {
+    if (trace_id == 0) return 1;
+    for (std::size_t i = 0; i < trace_ids.size(); ++i) {
+      if (trace_ids[i] == trace_id) return static_cast<int>(i) + 2;
+    }
+    trace_ids.push_back(trace_id);
+    std::string label = "trace " + std::to_string(trace_id);
+    for (const auto& [id, name] : trace_names) {
+      if (id == trace_id) {
+        label = name;
+        break;
+      }
+    }
+    const int pid = static_cast<int>(trace_ids.size()) + 1;
+    out += ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+           json_escape(label) + "\"}}";
+    return pid;
+  };
+
   for (const SpanEvent& ev : spans) {
+    const int pid = pid_of(ev.trace_id);
     out += ",{\"name\":\"";
     out += json_escape(ev.name != nullptr ? ev.name : "?");
     out += "\",\"cat\":\"xplace\",\"ph\":\"X\",\"ts\":";
     append_number(out, ev.begin_us);
     out += ",\"dur\":";
     append_number(out, ev.duration_us());
-    out += ",\"pid\":1,\"tid\":";
+    out += ",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
     out += std::to_string(ev.tid);
     if (ev.num_args > 0) {
       out += ",\"args\":{";

@@ -6,7 +6,9 @@
 // instances.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/metrics.h"
@@ -18,8 +20,17 @@ namespace xplace::telemetry {
 /// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing. Spans
 /// become one event each; per-span numeric args are emitted under "args".
 /// `process_name` labels pid 1 via a metadata event.
-std::string to_chrome_trace(const std::vector<SpanEvent>& spans,
-                            const std::string& process_name = "xplace");
+///
+/// Spans carrying a nonzero trace_id are grouped into one process track per
+/// trace (pid 2, 3, ... in order of first appearance), so a served job's
+/// GP/LG/DP timeline renders as one coherent lane regardless of which
+/// scheduler or pool thread recorded each span. `trace_names` supplies the
+///// track labels (e.g. Tracer::global().trace_labels()); unnamed traces get
+/// "trace <id>". Untraced spans (trace_id 0) stay on the pid-1 process.
+std::string to_chrome_trace(
+    const std::vector<SpanEvent>& spans,
+    const std::string& process_name = "xplace",
+    const std::vector<std::pair<std::uint64_t, std::string>>& trace_names = {});
 
 /// Prometheus text exposition (metric names are prefixed "xplace_" and dots
 /// become underscores; histogram buckets are cumulative `le` buckets).

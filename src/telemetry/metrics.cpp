@@ -35,6 +35,35 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  // Rank of the target observation; q = 0 resolves to the first non-empty
+  // bucket via the epsilon floor.
+  const double rank = std::max(q * static_cast<double>(total), 1e-12);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double prev_cum = cum;
+    cum += static_cast<double>(counts[i]);
+    if (cum < rank) continue;
+    if (i == bounds_.size()) {
+      // +Inf bucket: the true value is beyond the layout's resolution; clamp
+      // to the highest finite bound (Prometheus convention).
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double upper = bounds_[i];
+    if (i == 0 && upper <= 0.0) return upper;
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double in_bucket = static_cast<double>(counts[i]);
+    return lower + (upper - lower) * (rank - prev_cum) / in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();  // unreachable (cum == total)
+}
+
 std::vector<double> Histogram::exponential_bounds(double base, double growth,
                                                   int n) {
   std::vector<double> out;
@@ -92,6 +121,31 @@ std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
   return out;
+}
+
+std::size_t Registry::unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t removed = 0;
+  removed += counters_.erase(name);
+  removed += gauges_.erase(name);
+  removed += histograms_.erase(name);
+  return removed;
+}
+
+std::size_t Registry::remove_prefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t removed = 0;
+  const auto sweep = [&](auto& map) {
+    for (auto it = map.lower_bound(prefix);
+         it != map.end() && it->first.compare(0, prefix.size(), prefix) == 0;) {
+      it = map.erase(it);
+      ++removed;
+    }
+  };
+  sweep(counters_);
+  sweep(gauges_);
+  sweep(histograms_);
+  return removed;
 }
 
 void Registry::clear() {

@@ -66,6 +66,15 @@ class Histogram {
   /// Per-bucket counts, one per bound plus the trailing +Inf bucket.
   std::vector<std::uint64_t> bucket_counts() const;
 
+  /// Percentile estimate with Prometheus `histogram_quantile` semantics:
+  /// linear interpolation inside the bucket the rank falls in (the first
+  /// bucket interpolates from 0 when its upper bound is positive). Values
+  /// landing in the +Inf bucket clamp to the highest finite bound — the
+  /// estimate can never exceed what the bucket layout can resolve. Returns
+  /// 0.0 for an empty histogram; `q` is clamped to [0, 1]. Wait-free (one
+  /// relaxed pass over the bucket array).
+  double quantile(double q) const;
+
   /// Exponential boundaries: `base * growth^i` for i in [0, n).
   static std::vector<double> exponential_bounds(double base, double growth,
                                                 int n);
@@ -96,6 +105,18 @@ class Registry {
   std::vector<std::pair<std::string, const Counter*>> counters() const;
   std::vector<std::pair<std::string, const Gauge*>> gauges() const;
   std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+  /// Removes one metric by exact name (searched across all three kinds).
+  /// Returns how many entries were dropped (0 or 1 per kind). As with
+  /// clear(), outstanding references to the removed metric dangle — callers
+  /// must not cache pointers to metrics they later unregister.
+  std::size_t unregister(const std::string& name);
+
+  /// Removes every metric whose name starts with `prefix` — the per-job
+  /// label GC the serving daemon runs when it evicts a terminal job, so
+  /// `serve.job.<label>.*` families don't accumulate forever (DESIGN.md §12
+  /// documents the retention policy). Returns the number of metrics removed.
+  std::size_t remove_prefix(const std::string& prefix);
 
   /// Drops every metric. Outstanding references become dangling; only for
   /// test isolation on private registries.

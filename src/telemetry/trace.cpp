@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <string>
+#include <utility>
 
 namespace xplace::telemetry {
 namespace {
@@ -19,11 +22,36 @@ Clock::time_point trace_epoch() {
 const auto g_epoch_init = trace_epoch();
 
 std::atomic<std::uint32_t> g_next_thread_id{0};
+std::atomic<std::uint64_t> g_next_trace_id{1};
 
 thread_local std::uint32_t t_thread_id = 0xffffffffu;
 thread_local std::uint32_t t_depth = 0;
+thread_local std::uint64_t t_trace_id = 0;
+
+// Trace-id label table (off the recording hot path: written at job submit,
+// read at export, erased at job eviction).
+std::mutex& label_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::vector<std::pair<std::uint64_t, std::string>>& label_table() {
+  static std::vector<std::pair<std::uint64_t, std::string>> t;
+  return t;
+}
 
 }  // namespace
+
+std::uint64_t TraceContext::new_id() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceContext::current() { return t_trace_id; }
+
+TraceBinding::TraceBinding(std::uint64_t trace_id) : prev_(t_trace_id) {
+  t_trace_id = trace_id;
+}
+
+TraceBinding::~TraceBinding() { t_trace_id = prev_; }
 
 double Tracer::now_us() {
   return std::chrono::duration<double, std::micro>(Clock::now() - trace_epoch())
@@ -105,12 +133,38 @@ void Tracer::clear() {
   next_seq_.store(0, std::memory_order_relaxed);
 }
 
+void Tracer::set_trace_label(std::uint64_t trace_id, std::string label) {
+  std::lock_guard<std::mutex> lock(label_mutex());
+  for (auto& [id, l] : label_table()) {
+    if (id == trace_id) {
+      l = std::move(label);
+      return;
+    }
+  }
+  label_table().emplace_back(trace_id, std::move(label));
+}
+
+void Tracer::forget_trace(std::uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(label_mutex());
+  auto& t = label_table();
+  t.erase(std::remove_if(t.begin(), t.end(),
+                         [&](const auto& e) { return e.first == trace_id; }),
+          t.end());
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> Tracer::trace_labels()
+    const {
+  std::lock_guard<std::mutex> lock(label_mutex());
+  return label_table();
+}
+
 TraceScope::TraceScope(const char* name)
     : active_(Tracer::global().enabled()) {
   if (!active_) return;
   ev_.name = name;
   ev_.tid = Tracer::thread_id();
   ev_.depth = t_depth++;
+  ev_.trace_id = t_trace_id;
   ev_.begin_us = Tracer::now_us();
 }
 

@@ -49,11 +49,46 @@ struct SpanEvent {
   std::uint32_t tid = 0;   ///< small dense thread id (not the OS tid)
   std::uint32_t depth = 0; ///< nesting depth within the recording thread
   std::uint64_t seq = 0;   ///< global record order (survives ring wrap)
+  std::uint64_t trace_id = 0;  ///< request/job identity (0 = process-level)
   int num_args = 0;
   const char* arg_names[kMaxArgs] = {nullptr, nullptr, nullptr, nullptr};
   double arg_values[kMaxArgs] = {0.0, 0.0, 0.0, 0.0};
 
   double duration_us() const { return end_us - begin_us; }
+};
+
+/// Request/job identity for spans. A trace id groups every span recorded on
+/// behalf of one logical request (a served placement job), no matter which
+/// thread records it — the Chrome exporter renders each trace as its own
+/// process track so a job's GP/LG/DP timeline stays coherent across the
+/// scheduler's worker and pool threads.
+///
+/// The binding is a thread-local: `TraceBinding` installs an id for the
+/// current scope (RAII, restores the previous id on destruction), and every
+/// `TraceScope` started while it is bound tags its span with the id. The
+/// thread pool propagates the dispatching thread's binding into its workers
+/// for the duration of a parallel_for, so pooled kernels tag correctly too.
+class TraceContext {
+ public:
+  /// Allocates a fresh nonzero trace id (process-wide monotonic).
+  static std::uint64_t new_id();
+  /// The id bound to the calling thread (0 = none).
+  static std::uint64_t current();
+};
+
+/// RAII thread-local trace-id binding. Cheap enough for per-chunk use in the
+/// thread pool (two thread_local stores); no-op cost when tracing is off
+/// since TraceScope only reads the binding when it is active.
+class TraceBinding {
+ public:
+  explicit TraceBinding(std::uint64_t trace_id);
+  ~TraceBinding();
+
+  TraceBinding(const TraceBinding&) = delete;
+  TraceBinding& operator=(const TraceBinding&) = delete;
+
+ private:
+  std::uint64_t prev_;
 };
 
 class Tracer {
@@ -82,6 +117,15 @@ class Tracer {
 
   /// Clears recorded spans (keeps enabled state and capacity).
   void clear();
+
+  /// Associates a human-readable label with a trace id (shown as the
+  /// process name of the trace's Chrome-trace track). Labels live until
+  /// forget_trace — long-lived daemons must forget evicted jobs' traces or
+  /// the label table grows unboundedly.
+  void set_trace_label(std::uint64_t trace_id, std::string label);
+  void forget_trace(std::uint64_t trace_id);
+  /// Snapshot of the (trace id → label) table, insertion-ordered.
+  std::vector<std::pair<std::uint64_t, std::string>> trace_labels() const;
 
   /// Microseconds since the tracer epoch — the timebase of SpanEvent.
   static double now_us();

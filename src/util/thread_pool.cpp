@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "telemetry/trace.h"
 #include "util/timer.h"
 
 namespace xplace {
@@ -47,6 +48,9 @@ void ThreadPool::run_chunks(const Task& task, std::size_t worker_index) {
   const std::size_t n_chunks = (task.n + task.chunk - 1) / task.chunk;
   const bool was_in_chunk = t_in_pool_chunk;
   t_in_pool_chunk = true;
+  // Inherit the dispatcher's job identity for spans recorded inside chunks
+  // (two thread_local stores; restored on scope exit).
+  telemetry::TraceBinding trace_binding(task.trace_id);
   double busy = 0.0;
   for (;;) {
     const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
@@ -123,6 +127,7 @@ void ThreadPool::parallel_for(
     task_.fn = &fn;
     task_.n = n;
     task_.chunk = chunk;
+    task_.trace_id = telemetry::TraceContext::current();
     next_chunk_.store(0, std::memory_order_relaxed);
     pending_exception_ = nullptr;
     pending_ = workers_.size();

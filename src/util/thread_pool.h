@@ -77,6 +77,10 @@ class ThreadPool {
         nullptr;
     std::size_t n = 0;
     std::size_t chunk = 0;
+    /// Dispatching thread's telemetry trace binding, re-bound in each worker
+    /// for the task's duration so pooled kernel spans carry the same job
+    /// identity as the thread that launched them.
+    std::uint64_t trace_id = 0;
   };
 
   void worker_loop(std::size_t worker_index);

@@ -1,0 +1,135 @@
+// Tests for the perf-regression gate (server/regression.h): bench-JSON
+// loading, row matching (including duplicate keys), tolerance-band logic
+// (per-row override vs default), and report formatting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "server/regression.h"
+
+namespace xplace::server {
+namespace {
+
+BenchRow row(const char* kernel, double ns, double tolerance = 0.0) {
+  BenchRow r;
+  r.kernel = kernel;
+  r.backend = "serial";
+  r.simd = "avx2";
+  r.threads = 1;
+  r.ns_per_iter = ns;
+  r.tolerance = tolerance;
+  return r;
+}
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(Regression, IdenticalFilesHaveNoRegressions) {
+  BenchFile base;
+  base.rows = {row("a", 100.0), row("b", 200.0)};
+  const RegressionReport report = compare_bench(base, base, 0.25);
+  EXPECT_EQ(report.regressions, 0u);
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.rows[0].ratio, 1.0);
+  EXPECT_TRUE(report.only_baseline.empty());
+  EXPECT_TRUE(report.only_current.empty());
+}
+
+TEST(Regression, SlowdownBeyondTheBandIsFlagged) {
+  BenchFile base, cur;
+  base.rows = {row("a", 100.0), row("b", 200.0)};
+  cur.rows = {row("a", 210.0), row("b", 220.0)};  // 2.1x vs +10%
+  const RegressionReport report = compare_bench(base, cur, 0.25);
+  EXPECT_EQ(report.regressions, 1u);
+  EXPECT_TRUE(report.rows[0].regressed);
+  EXPECT_FALSE(report.rows[1].regressed);
+  EXPECT_NE(format_report(report).find("REGRESSION"), std::string::npos);
+}
+
+TEST(Regression, PerRowToleranceOverridesTheDefault) {
+  BenchFile base, cur;
+  base.rows = {row("noisy", 100.0, /*tolerance=*/2.0)};  // +200% band
+  cur.rows = {row("noisy", 250.0)};                      // 2.5x: in band
+  EXPECT_EQ(compare_bench(base, cur, 0.25).regressions, 0u);
+  cur.rows[0].ns_per_iter = 350.0;  // 3.5x: out of even the wide band
+  EXPECT_EQ(compare_bench(base, cur, 0.25).regressions, 1u);
+}
+
+TEST(Regression, UnmatchedRowsAreReportedButNeverFail) {
+  BenchFile base, cur;
+  base.rows = {row("removed", 100.0), row("kept", 100.0)};
+  cur.rows = {row("kept", 100.0), row("added", 100.0)};
+  const RegressionReport report = compare_bench(base, cur, 0.25);
+  EXPECT_EQ(report.regressions, 0u);
+  ASSERT_EQ(report.only_baseline.size(), 1u);
+  ASSERT_EQ(report.only_current.size(), 1u);
+  EXPECT_NE(report.only_baseline[0].find("removed"), std::string::npos);
+  EXPECT_NE(report.only_current[0].find("added"), std::string::npos);
+}
+
+TEST(Regression, DuplicateKeysMatchPositionally) {
+  // table3 emits one row per launch-latency mode under the same key; the
+  // occurrence index keeps the pairing positional.
+  BenchFile base, cur;
+  base.rows = {row("k", 100.0), row("k", 1000.0)};
+  cur.rows = {row("k", 110.0), row("k", 2500.0)};  // second one regresses
+  const RegressionReport report = compare_bench(base, cur, 0.25);
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.regressions, 1u);
+  EXPECT_FALSE(report.rows[0].regressed);
+  EXPECT_TRUE(report.rows[1].regressed);
+  EXPECT_NE(report.rows[0].key, report.rows[1].key);
+}
+
+TEST(Regression, LoadsTheSharedBenchSchema) {
+  const std::string path = write_temp("xplace_test_bench.json", R"({
+    "bench": "bench_micro_ops",
+    "results": [
+      {"kernel": "wa_fused", "backend": "serial", "threads": 1,
+       "simd": "avx2", "ns_per_iter": 1460722.3},
+      {"kernel": "soak", "backend": "serve", "threads": 1, "simd": "n/a",
+       "ns_per_iter": 5.0, "tolerance": 3.0},
+      {"kernel": "no_measurement"}
+    ]
+  })");
+  BenchFile file;
+  std::string error;
+  ASSERT_TRUE(load_bench_json(path, &file, &error)) << error;
+  EXPECT_EQ(file.bench, "bench_micro_ops");
+  ASSERT_EQ(file.rows.size(), 2u);  // the row without ns_per_iter is skipped
+  EXPECT_EQ(file.rows[0].kernel, "wa_fused");
+  EXPECT_DOUBLE_EQ(file.rows[0].ns_per_iter, 1460722.3);
+  EXPECT_DOUBLE_EQ(file.rows[0].tolerance, 0.0);
+  EXPECT_DOUBLE_EQ(file.rows[1].tolerance, 3.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Regression, LoadErrorsAreDiagnosed) {
+  BenchFile file;
+  std::string error;
+  EXPECT_FALSE(load_bench_json("/nonexistent_xp/b.json", &file, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+  const std::string bad = write_temp("xplace_test_bad.json", "{not json");
+  EXPECT_FALSE(load_bench_json(bad, &file, &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
+
+  const std::string no_results =
+      write_temp("xplace_test_no_results.json", R"({"bench":"x"})");
+  EXPECT_FALSE(load_bench_json(no_results, &file, &error));
+  EXPECT_NE(error.find("results"), std::string::npos);
+  std::filesystem::remove(bad);
+  std::filesystem::remove(no_results);
+}
+
+}  // namespace
+}  // namespace xplace::server

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "server/protocol.h"
 #include "server/server.h"
 #include "server/uds.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/stop_token.h"
 
 namespace xplace::server {
@@ -862,6 +865,216 @@ TEST_F(UdsDaemonTest, StatusOfUnknownJobIsAnError) {
   const json::Value v = rpc(build_request(status));
   EXPECT_FALSE(v.get_bool("ok", true));
   EXPECT_NE(v.get_string("error").find("unknown"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Observability plane (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// RAII: leaves the global tracer disabled and cleared however a test exits.
+struct TracerGuard {
+  ~TracerGuard() {
+    telemetry::Tracer::global().disable();
+    telemetry::Tracer::global().clear();
+  }
+};
+
+TEST(PlacementServer, ServedJobSpansCarryItsTraceId) {
+  TracerGuard guard;
+  telemetry::Tracer::global().enable(1 << 14);
+
+  ServerConfig cfg;
+  cfg.max_concurrency = 1;
+  PlacementServer srv(cfg);
+  JobSpec spec = demo_spec(300, 40, /*full_flow=*/true);
+  spec.label = "traced";
+  const auto out = srv.submit(spec);
+  ASSERT_TRUE(out.ok) << out.error;
+  const auto rec = srv.wait(out.id, 120.0);
+  ASSERT_TRUE(rec.has_value());
+  ASSERT_EQ(rec->state, JobState::kDone);
+  ASSERT_GT(rec->trace_id, 0u);
+  srv.shutdown(/*drain=*/true);
+
+  // The tentpole acceptance: one coherent per-job timeline — scheduler spans
+  // (queue wait, lease, job root) AND flow spans (GP run + iterations, LG,
+  // DP) all tagged with the job's trace id, regardless of recording thread.
+  std::map<std::string, int> tagged;
+  for (const auto& span : telemetry::Tracer::global().snapshot()) {
+    if (span.trace_id == rec->trace_id) ++tagged[span.name];
+  }
+  for (const char* name :
+       {"serve.queue_wait", "serve.lease_acquire", "serve.job",
+        "serve.load_design", "gp.run", "gp.iter", "serve.lg", "lg.abacus",
+        "serve.dp", "dp.run"}) {
+    EXPECT_GE(tagged[name], 1) << "span not tagged with the job id: " << name;
+  }
+  EXPECT_EQ(tagged["gp.iter"], rec->iterations);
+
+  // The label table maps the id to its human-readable track name.
+  bool labeled = false;
+  for (const auto& [id, label] : telemetry::Tracer::global().trace_labels()) {
+    if (id == rec->trace_id) {
+      EXPECT_NE(label.find("traced"), std::string::npos);
+      labeled = true;
+    }
+  }
+  EXPECT_TRUE(labeled);
+}
+
+TEST(PlacementServer, StatsReportSloLatencyPercentiles) {
+  ServerConfig cfg;
+  cfg.max_concurrency = 1;
+  PlacementServer srv(cfg);
+  // The SLO histograms are global-registry entries shared across the test
+  // process: assert deltas, not absolutes.
+  const PlacementServer::Stats before = srv.stats();
+
+  for (int i = 0; i < 2; ++i) {
+    const auto out = srv.submit(demo_spec(300, 30));
+    ASSERT_TRUE(out.ok);
+    const auto rec = srv.wait(out.id, 120.0);
+    ASSERT_TRUE(rec.has_value());
+    ASSERT_EQ(rec->state, JobState::kDone);
+  }
+  const PlacementServer::Stats after = srv.stats();
+  srv.shutdown(/*drain=*/true);
+
+  EXPECT_EQ(after.e2e.count, before.e2e.count + 2);
+  EXPECT_EQ(after.run.count, before.run.count + 2);
+  EXPECT_EQ(after.queue_wait.count, before.queue_wait.count + 2);
+  EXPECT_GT(after.e2e.p50, 0.0);
+  EXPECT_GT(after.run.p50, 0.0);
+  EXPECT_LE(after.e2e.p50, after.e2e.p95);
+  EXPECT_LE(after.e2e.p95, after.e2e.p99);
+  EXPECT_EQ(after.deadline_missed, before.deadline_missed);
+}
+
+TEST(PlacementServer, DeadlineMissesAreCounted) {
+  ServerConfig cfg;
+  cfg.max_concurrency = 1;
+  PlacementServer srv(cfg);
+  const std::uint64_t missed_before = srv.stats().deadline_missed;
+
+  // Expires while queued: the worker pops it past-deadline and never runs it.
+  JobSpec spec = demo_spec(1500, 5000);
+  spec.deadline_s = 1e-9;
+  const auto out = srv.submit(spec);
+  ASSERT_TRUE(out.ok);
+  const auto rec = srv.wait(out.id, 60.0);
+  ASSERT_TRUE(rec.has_value());
+  ASSERT_EQ(rec->state, JobState::kCancelled);
+  ASSERT_EQ(rec->stop_reason, core::StopReason::kDeadline);
+  EXPECT_EQ(srv.stats().deadline_missed, missed_before + 1);
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST(PlacementServer, EvictionGcsPerJobMetricsAndTraceLabels) {
+  TracerGuard guard;
+  telemetry::Tracer::global().enable(1 << 14);
+
+  ServerConfig cfg;
+  cfg.max_concurrency = 1;
+  cfg.result_capacity = 1;
+  PlacementServer srv(cfg);
+
+  JobSpec first = demo_spec(300, 20);
+  first.label = "gc_victim";
+  const auto out1 = srv.submit(first);
+  ASSERT_TRUE(out1.ok);
+  const auto rec1 = srv.wait(out1.id, 120.0);
+  ASSERT_TRUE(rec1.has_value());
+  ASSERT_EQ(rec1->state, JobState::kDone);
+  const std::uint64_t victim_trace = rec1->trace_id;
+
+  JobSpec second = demo_spec(300, 20);
+  second.label = "gc_survivor";
+  const auto out2 = srv.submit(second);
+  ASSERT_TRUE(out2.ok);
+  ASSERT_TRUE(srv.wait(out2.id, 120.0).has_value());
+  srv.shutdown(/*drain=*/true);
+
+  // Retention policy: metric families and trace labels live exactly as long
+  // as the job record. Job 1 was evicted (capacity 1) → fully GC'd.
+  EXPECT_FALSE(srv.status(out1.id).has_value());
+  bool victim_metrics = false, survivor_metrics = false;
+  for (const auto& [name, g] : telemetry::Registry::global().gauges()) {
+    (void)g;
+    if (name.rfind("serve.job.gc_victim.", 0) == 0) victim_metrics = true;
+    if (name.rfind("serve.job.gc_survivor.", 0) == 0) survivor_metrics = true;
+  }
+  EXPECT_FALSE(victim_metrics);
+  EXPECT_TRUE(survivor_metrics);
+  for (const auto& [id, label] : telemetry::Tracer::global().trace_labels()) {
+    (void)label;
+    EXPECT_NE(id, victim_trace);
+  }
+}
+
+TEST(Protocol, JobJsonCarriesTraceIdAndDropCount) {
+  JobRecord rec;
+  rec.id = 3;
+  rec.state = JobState::kDone;
+  rec.trace_id = 77;
+  rec.events_dropped = 5;
+  const json::Value v{job_to_json(rec)};
+  EXPECT_EQ(v.get_number("trace_id", 0), 77.0);
+  EXPECT_EQ(v.get_number("events_dropped", 0), 5.0);
+
+  JobRecord untraced;
+  untraced.id = 4;
+  const json::Value u{job_to_json(untraced)};
+  EXPECT_FALSE(u.has("trace_id"));        // 0 = never assigned: omitted
+  EXPECT_FALSE(u.has("events_dropped"));  // nothing dropped: omitted
+}
+
+TEST_F(UdsDaemonTest, MetricsVerbReturnsPrometheusText) {
+  // Run one job first so the serve.* families exist.
+  Request submit;
+  submit.cmd = Command::kSubmit;
+  submit.spec = demo_spec(300, 20);
+  const json::Value sub = rpc(build_request(submit));
+  ASSERT_TRUE(sub.get_bool("ok", false)) << sub.dump();
+  Request result;
+  result.cmd = Command::kResult;
+  result.id = static_cast<std::uint64_t>(sub.get_number("id", 0));
+  result.wait = true;
+  result.timeout_s = 120.0;
+  ASSERT_TRUE(rpc(build_request(result)).get_bool("ok", false));
+
+  UdsStream s = UdsStream::connect(socket_path_);
+  ASSERT_TRUE(s.valid());
+  s.set_max_line(4u << 20);  // the exposition is one long response line
+  Request req;
+  req.cmd = Command::kMetrics;
+  ASSERT_TRUE(s.write_line(build_request(req)));
+  std::string line;
+  bool oversized = false;
+  ASSERT_TRUE(s.read_line(&line, &oversized));
+  ASSERT_FALSE(oversized);
+  json::Value v;
+  std::string error;
+  ASSERT_TRUE(json::parse(line, &v, &error)) << error;
+  ASSERT_TRUE(v.get_bool("ok", false)) << line;
+  const std::string text = v.get_string("metrics");
+  // The SLO histogram families with percentile-derivable cumulative buckets,
+  // plus the serve counters (stable names — DESIGN.md §12 catalog).
+  for (const char* needle :
+       {"# TYPE xplace_serve_queue_wait_s histogram",
+        "xplace_serve_queue_wait_s_bucket{le=", "xplace_serve_run_s_bucket",
+        "xplace_serve_e2e_s_bucket", "xplace_serve_e2e_s_count",
+        "xplace_serve_submitted", "xplace_serve_completed"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  // Still a JSON-lines connection: a stats request works on the same stream.
+  Request stats;
+  stats.cmd = Command::kStats;
+  ASSERT_TRUE(s.write_line(build_request(stats)));
+  ASSERT_TRUE(s.read_line(&line, &oversized));
+  ASSERT_TRUE(json::parse(line, &v, &error));
+  EXPECT_TRUE(v.get_bool("ok", false));
+  EXPECT_TRUE(v.has("latency"));
+  EXPECT_TRUE(v.has("events_dropped"));
 }
 
 }  // namespace

@@ -619,5 +619,207 @@ TEST(PlacerTelemetry, IterationSpansMatchResult) {
   EXPECT_TRUE(found);
 }
 
+// ---------------- histogram percentiles (observability plane) ----------------
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(HistogramQuantile, SingleSampleInterpolatesItsBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(3.0);  // lands in (2, 4]
+  // Prometheus semantics: linear interpolation within the bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);   // halfway into (2, 4]
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);   // bucket upper bound
+  EXPECT_NEAR(h.quantile(0.0), 2.0, 1e-9);  // clamped rank ~ bucket start
+}
+
+TEST(HistogramQuantile, FirstBucketInterpolatesFromZero) {
+  Histogram h({10.0});
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);  // 0 + 10 * 0.5
+}
+
+TEST(HistogramQuantile, OverflowBucketClampsToHighestFiniteBound) {
+  Histogram h({1.0, 2.0});
+  h.observe(100.0);  // +Inf bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(HistogramQuantile, QuantileIsClampedAndMonotonic) {
+  Histogram h(Histogram::exponential_bounds(1e-3, 2.0, 20));
+  for (int i = 1; i <= 1000; ++i) h.observe(i * 1e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LT(p50, p95);
+  EXPECT_LT(p95, p99);
+  // Uniform on (0, 1]: percentile estimates land near their rank.
+  EXPECT_NEAR(p50, 0.5, 0.15);
+  EXPECT_NEAR(p95, 0.95, 0.2);
+}
+
+// ---------------- registry GC (per-job metric retention) ----------------
+
+/// The registry accessors return insertion-ordered (name, instrument) lists.
+template <typename Pairs>
+bool registry_has(const Pairs& pairs, const std::string& name) {
+  for (const auto& [n, instrument] : pairs) {
+    (void)instrument;
+    if (n == name) return true;
+  }
+  return false;
+}
+
+TEST(RegistryGc, UnregisterRemovesByExactName) {
+  Registry reg;
+  reg.counter("keep").inc();
+  reg.counter("drop").inc();
+  reg.gauge("drop").set(1.0);
+  reg.histogram("drop", {1.0});
+  EXPECT_EQ(reg.unregister("drop"), 3u);
+  EXPECT_EQ(reg.unregister("drop"), 0u);   // idempotent
+  EXPECT_EQ(reg.unregister("absent"), 0u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+  EXPECT_TRUE(registry_has(reg.counters(), "keep"));
+}
+
+TEST(RegistryGc, RemovePrefixSweepsOneJobsFamilies) {
+  Registry reg;
+  reg.gauge("serve.job.a.hpwl").set(1.0);
+  reg.gauge("serve.job.a.iterations").set(2.0);
+  reg.gauge("serve.job.ab.hpwl").set(3.0);  // shares a prefix of the label
+  reg.gauge("serve.job.b.hpwl").set(4.0);
+  reg.counter("serve.completed").inc();
+  EXPECT_EQ(reg.remove_prefix("serve.job.a."), 2u);
+  EXPECT_FALSE(registry_has(reg.gauges(), "serve.job.a.hpwl"));
+  EXPECT_TRUE(registry_has(reg.gauges(), "serve.job.ab.hpwl"));
+  EXPECT_TRUE(registry_has(reg.gauges(), "serve.job.b.hpwl"));
+  EXPECT_TRUE(registry_has(reg.counters(), "serve.completed"));
+  EXPECT_EQ(reg.remove_prefix("serve.job.a."), 0u);
+}
+
+// ---------------- trace context (request/job identity) ----------------
+
+TEST(TraceContext, IdsAreFreshAndNonzero) {
+  const std::uint64_t a = telemetry::TraceContext::new_id();
+  const std::uint64_t b = telemetry::TraceContext::new_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceContext, BindingNestsAndRestores) {
+  EXPECT_EQ(telemetry::TraceContext::current(), 0u);
+  {
+    telemetry::TraceBinding outer(7);
+    EXPECT_EQ(telemetry::TraceContext::current(), 7u);
+    {
+      telemetry::TraceBinding inner(9);
+      EXPECT_EQ(telemetry::TraceContext::current(), 9u);
+    }
+    EXPECT_EQ(telemetry::TraceContext::current(), 7u);
+  }
+  EXPECT_EQ(telemetry::TraceContext::current(), 0u);
+}
+
+TEST(TraceContext, SpansRecordTheBoundId) {
+  TracerGuard guard;
+  Tracer::global().enable(64);
+  { XP_TRACE_SCOPE("unbound"); }
+  {
+    telemetry::TraceBinding bind(42);
+    XP_TRACE_SCOPE("bound");
+  }
+  const auto spans = Tracer::global().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, 0u);
+  EXPECT_EQ(spans[1].trace_id, 42u);
+}
+
+TEST(TraceContext, ThreadPoolPropagatesTheDispatchersBinding) {
+  TracerGuard guard;
+  Tracer::global().enable(1 << 12);
+  const std::uint64_t id = telemetry::TraceContext::new_id();
+  ThreadPool pool(4);
+  {
+    telemetry::TraceBinding bind(id);
+    pool.parallel_for(
+        256,
+        [](std::size_t b, std::size_t e, std::size_t) {
+          (void)e;
+          (void)b;
+          XP_TRACE_SCOPE("chunk");
+        },
+        /*grain=*/16);
+  }
+  const auto spans = Tracer::global().snapshot();
+  ASSERT_FALSE(spans.empty());
+  for (const SpanEvent& s : spans) {
+    EXPECT_EQ(s.trace_id, id) << s.name;
+  }
+}
+
+TEST(TraceContext, LabelTableSetForgetSnapshot) {
+  TracerGuard guard;
+  Tracer& tracer = Tracer::global();
+  tracer.set_trace_label(5, "job 5 (alpha)");
+  tracer.set_trace_label(6, "job 6 (beta)");
+  tracer.set_trace_label(5, "job 5 (renamed)");  // update-in-place
+  auto labels = tracer.trace_labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].first, 5u);
+  EXPECT_EQ(labels[0].second, "job 5 (renamed)");
+  tracer.forget_trace(5);
+  labels = tracer.trace_labels();
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].first, 6u);
+  tracer.forget_trace(6);
+  EXPECT_TRUE(tracer.trace_labels().empty());
+}
+
+TEST(Export, ChromeTraceGroupsSpansByTraceId) {
+  TracerGuard guard;
+  Tracer::global().enable(64);
+  { XP_TRACE_SCOPE("process_level"); }
+  {
+    telemetry::TraceBinding bind(101);
+    XP_TRACE_SCOPE("job_a_span");
+  }
+  {
+    telemetry::TraceBinding bind(202);
+    XP_TRACE_SCOPE("job_b_span");
+  }
+  const std::string json = telemetry::to_chrome_trace(
+      Tracer::global().snapshot(), "unit", {{101, "job a"}, {202, "job b"}});
+  bool ok = false;
+  JsonParser parser(json);
+  const JsonValue root = parser.parse(&ok);
+  ASSERT_TRUE(ok) << json;
+  // Collect pid per span name and process_name metadata per pid.
+  std::map<std::string, double> span_pid;
+  std::map<double, std::string> track_name;
+  for (const JsonValue& ev : root.at("traceEvents").arr) {
+    if (ev.at("ph").str == "X") {
+      span_pid[ev.at("name").str] = ev.at("pid").num;
+    } else if (ev.at("ph").str == "M" &&
+               ev.at("name").str == "process_name") {
+      track_name[ev.at("pid").num] = ev.at("args").at("name").str;
+    }
+  }
+  ASSERT_EQ(span_pid.size(), 3u);
+  EXPECT_EQ(span_pid["process_level"], 1.0);
+  EXPECT_NE(span_pid["job_a_span"], span_pid["job_b_span"]);
+  EXPECT_NE(span_pid["job_a_span"], 1.0);
+  EXPECT_EQ(track_name[span_pid["job_a_span"]], "job a");
+  EXPECT_EQ(track_name[span_pid["job_b_span"]], "job b");
+  EXPECT_EQ(track_name[1.0], "unit");
+}
+
 }  // namespace
 }  // namespace xplace
