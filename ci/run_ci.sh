@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI lanes for Xplace. Run all lanes (default) or a single one:
 #
-#   ci/run_ci.sh [tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|faultinject|asan-ubsan|tsan|all]
+#   ci/run_ci.sh [tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|tier1-chaos|faultinject|asan-ubsan|tsan|all]
 #
 #   tier1       plain build, full ctest suite
 #   tier1-mt    same build, full ctest suite with XPLACE_THREADS=4 so every
@@ -22,6 +22,12 @@
 #               GP/LG/DP spans, and the perf-regression gate must pass its
 #               selftest plus an advisory comparison against the committed
 #               BENCH_simd.json baseline
+#   tier1-chaos crash-recovery smoke (DESIGN.md §13): a daemon with
+#               --state-dir runs three jobs, gets SIGKILLed mid-run after the
+#               first XPCK spill lands, restarts over the same state dir,
+#               must log that it is recovering, finish all three jobs, and
+#               the resumed job's HPWL must bitwise-match an uninterrupted
+#               reference run of the same spec
 #   faultinject guardian/recovery tests (ctest -L faultinject) plus an
 #               end-to-end XPLACE_FAULT matrix over the place_bookshelf demo:
 #               every injected fault must be recovered (exit 0, legal result)
@@ -205,6 +211,120 @@ run_tier1_obs() {
   echo "=== tier1-obs lane passed ==="
 }
 
+run_tier1_chaos() {
+  build build-ci
+  local sock="/tmp/xplace_ci_chaos_$$.sock"
+  local state="/tmp/xplace_ci_chaos_$$.state"
+  local log="/tmp/xplace_ci_chaos_$$.log"
+  local client=./build-ci/examples/xplace_client
+  rm -rf "$state"
+
+  # Job 1's spec, shared by the reference and the chaos run. Large enough
+  # that the first spill (iter 50) lands many seconds before the run ends.
+  local cells=8000 iters=400 spill=50
+
+  echo "=== tier1-chaos lane: reference run (uninterrupted) ==="
+  ./build-ci/examples/xplace_serve --socket "$sock" --jobs 1 &
+  serve_daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || serve_fail "reference daemon never bound $sock" || return 1
+  "$client" --socket "$sock" submit --demo-cells "$cells" \
+      --max-iters "$iters" --label chaos_ref >/dev/null \
+      || serve_fail "reference submit failed" || return 1
+  local ref hpwl_ref
+  ref=$("$client" --socket "$sock" result --id 1 --wait --timeout-s 600) \
+      || serve_fail "reference result failed" || return 1
+  echo "$ref" | grep -q '"state":"done"' \
+      || serve_fail "reference job did not finish" || return 1
+  hpwl_ref=$(echo "$ref" | sed -n 's/.*"hpwl":\([^,}]*\).*/\1/p')
+  [ -n "$hpwl_ref" ] || serve_fail "no reference hpwl" || return 1
+  "$client" --socket "$sock" shutdown >/dev/null \
+      || serve_fail "reference shutdown failed" || return 1
+  wait "$serve_daemon_pid" \
+      || serve_fail "reference daemon exited non-zero" || return 1
+
+  echo "=== tier1-chaos lane: SIGKILL mid-run, restart, recover ==="
+  ./build-ci/examples/xplace_serve --socket "$sock" --jobs 1 \
+      --state-dir "$state" --spill-every "$spill" >"$log" 2>&1 &
+  serve_daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || serve_fail "chaos daemon never bound $sock" || return 1
+  # Same spec as the reference, plus two queued jobs behind the single slot.
+  "$client" --socket "$sock" submit --demo-cells "$cells" \
+      --max-iters "$iters" --label chaos_resume >/dev/null \
+      || serve_fail "chaos submit 1 failed" || return 1
+  "$client" --socket "$sock" submit --demo-cells 1000 --max-iters 100 \
+      --label chaos_q1 >/dev/null \
+      || serve_fail "chaos submit 2 failed" || return 1
+  "$client" --socket "$sock" submit --demo-cells 1000 --max-iters 100 \
+      --label chaos_q2 >/dev/null \
+      || serve_fail "chaos submit 3 failed" || return 1
+
+  # Kill -9 the instant job 1's first durable spill lands: the journal now
+  # holds a checkpoint record, jobs 2 and 3 are still queued.
+  local spilled=0
+  for _ in $(seq 1 600); do
+    if [ -s "$state/job1.xpck" ]; then spilled=1; break; fi
+    sleep 0.05
+  done
+  [ "$spilled" = 1 ] \
+      || serve_fail "job 1 never spilled a checkpoint" || return 1
+  kill -9 "$serve_daemon_pid"
+  wait "$serve_daemon_pid" 2>/dev/null || true
+  # The dead daemon's socket file survives the SIGKILL; remove it so the
+  # bind-wait below observes the restarted daemon, not the stale inode.
+  rm -f "$sock"
+
+  ./build-ci/examples/xplace_serve --socket "$sock" --jobs 1 \
+      --state-dir "$state" --spill-every "$spill" >"$log" 2>&1 &
+  serve_daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || serve_fail "restarted daemon never bound $sock" || return 1
+  grep -q "recovering 3 job" "$log" \
+      || serve_fail "restart did not log journal recovery" || return 1
+
+  # Every job must reach a terminal state; the interrupted one must have
+  # resumed from its spill and reproduced the reference HPWL bit for bit
+  # (compared as the %.17g JSON token — textually identical iff bitwise).
+  local r1 hpwl_resumed
+  r1=$("$client" --socket "$sock" result --id 1 --wait --timeout-s 600 \
+       --wait-timeout-s 600) \
+      || serve_fail "resumed job 1 result failed" || return 1
+  echo "job 1 (resumed): $r1"
+  echo "$r1" | grep -q '"state":"done"' \
+      || serve_fail "resumed job 1 did not finish" || return 1
+  echo "$r1" | grep -q '"recovered":true' \
+      || serve_fail "job 1 lacks recovery provenance" || return 1
+  echo "$r1" | grep -q '"resumed_from"' \
+      || serve_fail "job 1 did not resume from its spill" || return 1
+  hpwl_resumed=$(echo "$r1" | sed -n 's/.*"hpwl":\([^,}]*\).*/\1/p')
+  [ "$hpwl_resumed" = "$hpwl_ref" ] \
+      || serve_fail "resumed hpwl $hpwl_resumed != reference $hpwl_ref" \
+      || return 1
+  local id
+  for id in 2 3; do
+    "$client" --socket "$sock" result --id "$id" --wait --timeout-s 600 \
+        | grep -q '"state":"done"' \
+        || serve_fail "recovered job $id did not finish" || return 1
+  done
+
+  "$client" --socket "$sock" shutdown >/dev/null \
+      || serve_fail "chaos shutdown failed" || return 1
+  wait "$serve_daemon_pid" \
+      || serve_fail "restarted daemon exited non-zero" || return 1
+  rm -rf "$state" "$log"
+  echo "=== tier1-chaos lane passed ==="
+}
+
 run_faultinject() {
   build build-ci
   ctest --test-dir build-ci --output-on-failure -L faultinject
@@ -246,12 +366,14 @@ case "$lane" in
   tier1-scalar) run_tier1_scalar ;;
   tier1-serve)  run_tier1_serve ;;
   tier1-obs)    run_tier1_obs ;;
+  tier1-chaos)  run_tier1_chaos ;;
   faultinject)  run_faultinject ;;
   asan-ubsan)   run_asan_ubsan ;;
   tsan)         run_tsan ;;
   all)          run_tier1; run_tier1_mt; run_tier1_scalar; run_tier1_serve
-                run_tier1_obs; run_faultinject; run_asan_ubsan; run_tsan ;;
-  *) echo "unknown lane '$lane' (tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|faultinject|asan-ubsan|tsan|all)" >&2
+                run_tier1_obs; run_tier1_chaos; run_faultinject
+                run_asan_ubsan; run_tsan ;;
+  *) echo "unknown lane '$lane' (tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|tier1-chaos|faultinject|asan-ubsan|tsan|all)" >&2
      exit 2 ;;
 esac
 echo "ci lane(s) '$lane' passed"

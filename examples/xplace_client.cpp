@@ -21,11 +21,20 @@
 // SLO counters, and the latency percentile table every interval.
 //
 // Common flags: --socket PATH (default /tmp/xplace.sock).
+//   --connect-retries N / --connect-backoff-s S: every connect (including
+//   reconnects mid-stream) retries with bounded exponential backoff — a
+//   daemon restarting under --state-dir is a normal event, not an error
+//   (defaults: 5 retries from 0.2s).
 // Submit flags: --aux PATH | --demo-cells N [--demo-seed S], --max-iters N,
 //   --grid N, --threads N (per-job workers; 0 = server default), --gp-only,
 //   --priority P, --deadline-s T, --label NAME.
 // Events flags: --id N, --from SEQ, --timeout-s T (--follow = a whole-run
-//   budget of 3600s).
+//   budget of 3600s; on a dropped connection --follow reconnects and resumes
+//   from the last streamed seq instead of dying mid-run).
+// Result flags: --id N, --wait, --timeout-s T (per request),
+//   --wait-timeout-s T (overall bound across reconnects; exit 3 when the job
+//   is still not terminal — e.g. it was shed, or the daemon restarted
+//   without it).
 // Watch flags: --interval-s T (default 2), --count N (polls; 0 = forever),
 //   --no-clear (append screens instead of redrawing in place).
 #include <chrono>
@@ -48,6 +57,34 @@ using namespace xplace::server;
 /// exposition arrives as one line, which can exceed the 64 KiB protocol
 /// default on a daemon with many per-job metric families.
 constexpr std::size_t kMetricsLineCap = 4u << 20;
+
+double steady_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Connect with bounded exponential backoff: `retries` extra attempts after
+/// the first, doubling from `base_s` (capped at 10s). Returns an invalid
+/// stream when every attempt failed.
+UdsStream connect_with_backoff(const std::string& path, long retries,
+                               double base_s) {
+  double backoff = std::max(0.05, base_s);
+  for (long attempt = 0;; ++attempt) {
+    UdsStream stream = UdsStream::connect(path);
+    if (stream.valid() || attempt >= retries) return stream;
+    std::fprintf(stderr,
+                 "connect to %s failed (attempt %ld/%ld); retrying in %.1fs\n",
+                 path.c_str(), attempt + 1, retries, backoff);
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    backoff = std::min(backoff * 2.0, 10.0);
+  }
+}
+
+bool is_terminal_state(const std::string& state) {
+  return state == "done" || state == "cancelled" || state == "failed" ||
+         state == "shed";
+}
 
 int usage() {
   std::fprintf(
@@ -180,6 +217,113 @@ int run_watch(UdsStream& stream, const std::string& socket_path,
   return 0;
 }
 
+/// `events` with restart resilience: streams lines, tracking the last event
+/// seq; when --follow and the connection drops mid-stream (daemon restart,
+/// EPIPE/ECONNRESET), reconnects with backoff and resumes from seq+1. A
+/// daemon answering "unknown or evicted job id" after its restart ends the
+/// follow with that error printed (exit 1), not a transport crash.
+int run_events(Request req, const std::string& socket_path, bool follow,
+               long retries, double backoff_s) {
+  UdsStream stream = connect_with_backoff(socket_path, retries, backoff_s);
+  if (!stream.valid()) {
+    XP_ERROR("cannot connect to %s (is xplace_serve running?)",
+             socket_path.c_str());
+    return 1;
+  }
+  while (true) {
+    bool got_final = false;
+    bool ok = false;
+    if (stream.write_line(build_request(req))) {
+      std::string line;
+      bool oversized = false;
+      while (stream.read_line(&line, &oversized)) {
+        if (oversized) continue;
+        std::printf("%s\n", line.c_str());
+        std::fflush(stdout);
+        json::Value v;
+        std::string error;
+        if (json::parse(line, &v, &error)) {
+          if (const json::Value* ev = v.find("event");
+              ev != nullptr && ev->is_object()) {
+            req.from_seq =
+                static_cast<std::uint64_t>(ev->get_number("seq", 0.0)) + 1;
+          }
+        }
+        if (is_final_response(line, &ok)) {
+          got_final = true;
+          break;
+        }
+      }
+    }
+    if (got_final) return ok ? 0 : 1;
+    if (!follow) {
+      XP_ERROR("connection closed before a response arrived");
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "events: stream interrupted; resuming from seq %llu\n",
+                 static_cast<unsigned long long>(req.from_seq));
+    stream = connect_with_backoff(socket_path, retries, backoff_s);
+    if (!stream.valid()) {
+      XP_ERROR("daemon did not come back on %s", socket_path.c_str());
+      return 1;
+    }
+  }
+}
+
+/// `result --wait` with an overall bound: re-issues bounded waits (surviving
+/// daemon restarts in between) until the job is terminal, the daemon reports
+/// it unknown (exit 1), or --wait-timeout-s elapses (exit 3).
+int run_result_wait(const Request& req, const std::string& socket_path,
+                    double wait_timeout_s, long retries, double backoff_s) {
+  const double deadline =
+      wait_timeout_s > 0 ? steady_now() + wait_timeout_s : 0.0;
+  UdsStream stream = connect_with_backoff(socket_path, retries, backoff_s);
+  if (!stream.valid()) {
+    XP_ERROR("cannot connect to %s (is xplace_serve running?)",
+             socket_path.c_str());
+    return 1;
+  }
+  while (true) {
+    Request r = req;
+    if (deadline > 0) {
+      const double remaining = deadline - steady_now();
+      if (remaining <= 0) {
+        std::fprintf(stderr,
+                     "result: job %llu not terminal within %.1fs wait bound\n",
+                     static_cast<unsigned long long>(req.id), wait_timeout_s);
+        return 3;
+      }
+      r.timeout_s = std::min(r.timeout_s, remaining);
+    }
+    std::string line;
+    bool oversized = false;
+    if (!stream.write_line(build_request(r)) ||
+        !stream.read_line(&line, &oversized)) {
+      stream = connect_with_backoff(socket_path, retries, backoff_s);
+      if (!stream.valid()) {
+        XP_ERROR("daemon did not come back on %s", socket_path.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (oversized) continue;
+    json::Value v;
+    std::string error;
+    if (!json::parse(line, &v, &error) || !v.is_object() ||
+        !v.get_bool("ok", false)) {
+      std::printf("%s\n", line.c_str());
+      return 1;  // unknown/evicted id, or a malformed daemon reply
+    }
+    if (is_terminal_state(v.get_string("state"))) {
+      std::printf("%s\n", line.c_str());
+      return 0;
+    }
+    // Not terminal yet (the server-side wait timed out): keep waiting until
+    // the overall bound says stop.
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,9 +331,12 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) return usage();
 
   const std::string verb = args.positional()[0];
+  const long connect_retries = args.get_int("connect-retries", 5);
+  const double connect_backoff_s = args.get_double("connect-backoff-s", 0.2);
   if (verb == "watch") {
     const std::string socket_path = args.get("socket", "/tmp/xplace.sock");
-    UdsStream stream = UdsStream::connect(socket_path);
+    UdsStream stream =
+        connect_with_backoff(socket_path, connect_retries, connect_backoff_s);
     if (!stream.valid()) {
       XP_ERROR("cannot connect to %s (is xplace_serve running?)",
                socket_path.c_str());
@@ -227,7 +374,17 @@ int main(int argc, char** argv) {
   }
 
   const std::string socket_path = args.get("socket", "/tmp/xplace.sock");
-  UdsStream stream = UdsStream::connect(socket_path);
+  if (req.cmd == Command::kEvents) {
+    return run_events(req, socket_path, args.get_bool("follow", false),
+                      connect_retries, connect_backoff_s);
+  }
+  const double wait_timeout_s = args.get_double("wait-timeout-s", 0.0);
+  if (req.cmd == Command::kResult && req.wait && wait_timeout_s > 0) {
+    return run_result_wait(req, socket_path, wait_timeout_s, connect_retries,
+                           connect_backoff_s);
+  }
+  UdsStream stream =
+      connect_with_backoff(socket_path, connect_retries, connect_backoff_s);
   if (!stream.valid()) {
     XP_ERROR("cannot connect to %s (is xplace_serve running?)",
              socket_path.c_str());

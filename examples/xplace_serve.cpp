@@ -20,6 +20,15 @@
 //   --results N         terminal job records retained (default 256)
 //   --spill DIR         periodic XPCK checkpoint spill per job into DIR
 //   --spill-every N     iterations between spills (default 200)
+//   --state-dir DIR     crash-safe operation (DESIGN.md §13): durable job
+//                       journal + XPCK spills under DIR; on start the daemon
+//                       replays the journal, re-enqueues queued jobs and
+//                       resumes interrupted ones from their last snapshot
+//   --journal-max-bytes N  journal disk budget before admission sheds
+//                       (default 64 MiB)
+//   --retries N         supervised retry budget for diverged/alloc-failed
+//                       jobs (default 2)
+//   --retry-backoff-s S base exponential backoff before a retry (default 0.5)
 //   --simd BACKEND      SIMD kernel table (auto|avx2|scalar|off)
 //   --trace-out PATH    enable the span tracer and write a Chrome trace of
 //                       every served job on exit; each job renders as its own
@@ -62,6 +71,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("results", 256));
   cfg.spill_dir = args.get("spill");
   cfg.spill_period = static_cast<int>(args.get_int("spill-every", 200));
+  cfg.state_dir = args.get("state-dir");
+  cfg.journal_max_bytes = static_cast<std::size_t>(
+      args.get_int("journal-max-bytes", 64ll << 20));
+  cfg.max_retries = static_cast<int>(args.get_int("retries", 2));
+  cfg.retry_backoff_s = args.get_double("retry-backoff-s", 0.5);
 
   const std::string trace_out = args.get("trace-out");
   if (!trace_out.empty()) telemetry::Tracer::global().enable();

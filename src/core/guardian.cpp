@@ -46,6 +46,13 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     pos = comma + 1;
     if (item.empty()) continue;
 
+    // Server-scoped kinds (server/faults.h) share the XPLACE_FAULT variable;
+    // they are not this layer's to validate or act on.
+    if (item == "journal_torn" || item == "disk_full" ||
+        item.rfind("serve_crash@", 0) == 0 || item.rfind("diverge@", 0) == 0) {
+      continue;
+    }
+
     const std::size_t at = item.find("@iter:");
     if (at == std::string::npos) {
       throw std::invalid_argument("fault '" + item +
@@ -234,6 +241,20 @@ bool Guardian::restore_best(Optimizer& opt, Scheduler& sched,
   if (!snapshot_.has_value()) return false;
   restore_checkpoint(*snapshot_, db_, optimizer_kind_, opt, sched, engine);
   return true;
+}
+
+PlacerConfig retuned_for_restart(const PlacerConfig& cfg, int attempt) {
+  PlacerConfig out = cfg;
+  if (attempt <= 0) return out;
+  // The same compounding λ/step shrink rollback() applies within a run,
+  // lifted to the whole-run restart the serve-layer supervisor performs: a
+  // trajectory that exhausted its in-run retry budget restarts from scratch
+  // with a gentler schedule than the one that diverged.
+  out.lambda_init_factor *=
+      std::pow(cfg.guardian_lambda_shrink, static_cast<double>(attempt));
+  out.initial_step_bins *=
+      std::pow(cfg.guardian_step_shrink, static_cast<double>(attempt));
+  return out;
 }
 
 }  // namespace xplace::core

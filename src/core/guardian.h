@@ -138,4 +138,10 @@ class Guardian {
   int faults_injected_ = 0;
 };
 
+/// Config for restart `attempt` (0-based; attempt 0 returns `cfg` verbatim)
+/// of a whole run that previously diverged: the guardian's compounding λ/step
+/// shrink applied at the config level, for supervisors that re-admit failed
+/// jobs (DESIGN.md §13 retry policy).
+PlacerConfig retuned_for_restart(const PlacerConfig& cfg, int attempt);
+
 }  // namespace xplace::core

@@ -240,6 +240,7 @@ GlobalPlaceResult GlobalPlacer::run() {
                              *scheduler_, *engine_),
           cfg_.checkpoint_out);
       telemetry::Registry::global().counter("gp.checkpoints_written").inc();
+      if (checkpoint_obs_) checkpoint_obs_(iter + 1, cfg_.checkpoint_out);
     }
 
     if (iter >= cfg_.min_iters && overflow < cfg_.stop_overflow) {

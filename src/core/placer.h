@@ -12,7 +12,9 @@
 // from the result; they exist only inside the electrostatic system).
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 
 #include "core/config.h"
 #include "core/gradient_engine.h"
@@ -72,6 +74,16 @@ class GlobalPlacer {
   /// a usable placement. Null (default) disables polling.
   void set_stop_token(const StopToken* token) { stop_ = token; }
 
+  /// Called right after each periodic checkpoint (cfg.checkpoint_out /
+  /// checkpoint_period) has been durably written, with the iteration the
+  /// checkpoint resumes at and the file path. Drivers that journal resume
+  /// points (xplace-serve's WAL) hook here — by the time the observer runs,
+  /// the XPCK on disk is a valid crash-recovery point.
+  void set_checkpoint_observer(
+      std::function<void(int next_iter, const std::string& path)> obs) {
+    checkpoint_obs_ = std::move(obs);
+  }
+
   GlobalPlaceResult run();
 
   const Recorder& recorder() const { return recorder_; }
@@ -93,6 +105,7 @@ class GlobalPlacer {
   db::Database& db_;
   PlacerConfig cfg_;
   const StopToken* stop_ = nullptr;
+  std::function<void(int, const std::string&)> checkpoint_obs_;
   ExecutionContext exec_;  ///< must outlive engine_ (engine holds a pointer)
   std::unique_ptr<GradientEngine> engine_;
   std::unique_ptr<Preconditioner> precond_;

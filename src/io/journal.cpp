@@ -1,0 +1,230 @@
+#include "io/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace xplace::io {
+
+namespace {
+
+constexpr std::uint32_t kJournalMagic = 0x4C4A5058;  // "XPJL" little-endian
+constexpr std::uint32_t kJournalVersion = 1;
+
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+bool get_at(const std::string& buf, std::size_t pos, T* out) {
+  if (pos + sizeof(T) > buf.size()) return false;
+  std::memcpy(out, buf.data() + pos, sizeof(T));
+  return true;
+}
+
+std::string frame_record(const JournalRecord& rec) {
+  std::string body;
+  put<std::uint32_t>(body, rec.type);
+  put<std::uint64_t>(body, rec.job_id);
+  put<double>(body, rec.time_s);
+  body.append(rec.payload);
+
+  std::string frame;
+  put<std::uint32_t>(frame, static_cast<std::uint32_t>(body.size()));
+  frame.append(body);
+  put<std::uint64_t>(frame, fnv1a64(body.data(), body.size()));
+  return frame;
+}
+
+bool write_fully(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// JournalWriter
+// ---------------------------------------------------------------------------
+
+JournalWriter::~JournalWriter() { close(); }
+
+bool JournalWriter::open(const std::string& path, bool truncate) {
+  close();
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    XP_ERROR("journal: cannot open '%s': %s", path.c_str(),
+             std::strerror(errno));
+    return false;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  path_ = path;
+  size_ = static_cast<std::uint64_t>(st.st_size);
+  records_ = 0;
+  dead_ = false;
+  if (size_ == 0) {
+    std::string header;
+    put<std::uint32_t>(header, kJournalMagic);
+    put<std::uint32_t>(header, kJournalVersion);
+    if (!write_fully(fd_, header.data(), header.size()) || ::fsync(fd_) != 0) {
+      close();
+      return false;
+    }
+    size_ = header.size();
+  }
+  return true;
+}
+
+bool JournalWriter::append(const JournalRecord& rec) {
+  if (fd_ < 0 || dead_) return false;
+  if (disk_full_) return false;  // injected ENOSPC: fail without writing
+  const std::string frame = frame_record(rec);
+  if (torn_armed_) {
+    // Crash-mid-append simulation: half the frame lands on disk, then the
+    // writer is gone. Replay must treat the partial frame as a torn tail.
+    torn_armed_ = false;
+    dead_ = true;
+    write_fully(fd_, frame.data(), frame.size() / 2);
+    ::fsync(fd_);
+    size_ += frame.size() / 2;
+    return false;
+  }
+  if (!write_fully(fd_, frame.data(), frame.size())) return false;
+  if (::fsync(fd_) != 0) return false;
+  size_ += frame.size();
+  ++records_;
+  return true;
+}
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+JournalReplay read_journal(const std::string& path) {
+  JournalReplay out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.missing = true;
+    return out;
+  }
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  out.bytes_scanned = buf.size();
+
+  std::uint32_t magic = 0, version = 0;
+  if (!get_at(buf, 0, &magic) || !get_at(buf, 4, &version)) {
+    // Shorter than a header: a journal whose very first write was torn.
+    out.torn_tail = !buf.empty();
+    return out;
+  }
+  if (magic != kJournalMagic) {
+    throw std::runtime_error(path + ": not an Xplace journal (bad magic)");
+  }
+  if (version != kJournalVersion) {
+    throw std::runtime_error(path + ": unsupported journal version " +
+                             std::to_string(version));
+  }
+
+  std::size_t pos = 8;
+  while (pos < buf.size()) {
+    std::uint32_t body_len = 0;
+    if (!get_at(buf, pos, &body_len)) {
+      out.torn_tail = true;  // partial length field
+      break;
+    }
+    if (body_len < sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+                       sizeof(double) ||
+        body_len > kMaxJournalRecordBytes) {
+      out.corrupt = true;  // structurally impossible frame
+      break;
+    }
+    const std::size_t body_pos = pos + sizeof(std::uint32_t);
+    const std::size_t sum_pos = body_pos + body_len;
+    std::uint64_t stored_sum = 0;
+    if (!get_at(buf, sum_pos, &stored_sum)) {
+      out.torn_tail = true;  // frame cut off mid-body or mid-checksum
+      break;
+    }
+    if (stored_sum != fnv1a64(buf.data() + body_pos, body_len)) {
+      out.corrupt = true;
+      break;
+    }
+    JournalRecord rec;
+    get_at(buf, body_pos, &rec.type);
+    get_at(buf, body_pos + 4, &rec.job_id);
+    get_at(buf, body_pos + 12, &rec.time_s);
+    rec.payload.assign(buf, body_pos + 20, body_len - 20);
+    out.records.push_back(std::move(rec));
+    pos = sum_pos + sizeof(std::uint64_t);
+  }
+  return out;
+}
+
+bool rewrite_journal(const std::string& path,
+                     const std::vector<JournalRecord>& records) {
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+    std::string payload;
+    put<std::uint32_t>(payload, kJournalMagic);
+    put<std::uint32_t>(payload, kJournalVersion);
+    for (const JournalRecord& rec : records) payload.append(frame_record(rec));
+    const bool ok = write_fully(fd, payload.data(), payload.size()) &&
+                    ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace xplace::io

@@ -1,0 +1,92 @@
+#include "server/faults.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace xplace::server {
+
+namespace {
+
+bool parse_job_suffix(const std::string& item, const char* prefix,
+                      std::uint64_t* out) {
+  const std::size_t plen = std::char_traits<char>::length(prefix);
+  if (item.rfind(prefix, 0) != 0) return false;
+  const std::string num = item.substr(plen);
+  try {
+    std::size_t end = 0;
+    const unsigned long long v = std::stoull(num, &end);
+    if (end != num.size() || num.empty()) throw std::invalid_argument(num);
+    *out = v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault '" + item +
+                                "': job id must be a positive integer");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ServeFaultPlan::crash_armed_for(std::uint64_t job_id) const {
+  return std::find(crash_after_checkpoint_of.begin(),
+                   crash_after_checkpoint_of.end(),
+                   job_id) != crash_after_checkpoint_of.end();
+}
+
+bool ServeFaultPlan::diverge_armed_for(std::uint64_t job_id) const {
+  return std::find(diverge_jobs.begin(), diverge_jobs.end(), job_id) !=
+         diverge_jobs.end();
+}
+
+void ServeFaultPlan::crash_now(std::uint64_t job_id) const {
+  if (crash_handler) {
+    crash_handler();
+    return;
+  }
+  XP_ERROR("injected serve_crash firing after job %llu checkpoint — _Exit(137)",
+           static_cast<unsigned long long>(job_id));
+  std::_Exit(137);  // no destructors, no flushes: a SIGKILL's footprint
+}
+
+ServeFaultPlan ServeFaultPlan::parse(const std::string& spec) {
+  ServeFaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+
+    if (item == "journal_torn") {
+      plan.journal_torn = true;
+      continue;
+    }
+    if (item == "disk_full") {
+      plan.disk_full = true;
+      continue;
+    }
+    std::uint64_t job_id = 0;
+    if (parse_job_suffix(item, "serve_crash@job:", &job_id)) {
+      plan.crash_after_checkpoint_of.push_back(job_id);
+      continue;
+    }
+    if (parse_job_suffix(item, "diverge@job:", &job_id)) {
+      plan.diverge_jobs.push_back(job_id);
+      continue;
+    }
+    // Guardian-scoped item (nonfinite_grad@iter:N, ...) — the guardian's own
+    // parser owns it; anything else unrecognized is also left to that parser
+    // so one layer reports the error.
+  }
+  return plan;
+}
+
+ServeFaultPlan ServeFaultPlan::from_env() {
+  const char* spec = std::getenv("XPLACE_FAULT");
+  return spec != nullptr ? parse(spec) : ServeFaultPlan{};
+}
+
+}  // namespace xplace::server

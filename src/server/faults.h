@@ -1,0 +1,56 @@
+// Server-layer fault injection (the serve-side complement of the guardian's
+// per-iteration FaultPlan). Grammar, shared with XPLACE_FAULT:
+//
+//   serve_crash@job:N   hard-kill the daemon right after job N's next XPCK
+//                       spill lands on disk (the chaos lane's SIGKILL point,
+//                       made deterministic)
+//   diverge@job:N       arm job N's guardian with a budget-exhausting
+//                       nonfinite-gradient schedule on its FIRST attempt, so
+//                       the run ends `diverged` and the retry path engages
+//   journal_torn        the journal's next append stops halfway through its
+//                       frame (crash mid-append; replay must see torn_tail)
+//   disk_full           every journal append fails cleanly (ENOSPC) — the
+//                       server must degrade, not crash
+//
+// Guardian-scoped items (`kind@iter:N`) in the same XPLACE_FAULT value are
+// skipped here, exactly as the guardian's parser skips these server-scoped
+// kinds — one env var drives both layers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace xplace::server {
+
+struct ServeFaultPlan {
+  std::vector<std::uint64_t> crash_after_checkpoint_of;  ///< serve_crash@job:N
+  std::vector<std::uint64_t> diverge_jobs;               ///< diverge@job:N
+  bool journal_torn = false;
+  bool disk_full = false;
+
+  /// What serve_crash does when it fires. The default is the real thing —
+  /// XP_ERROR then _Exit(137), no destructors, exactly a SIGKILL's footprint.
+  /// Tests override it to observe the trigger without dying.
+  std::function<void()> crash_handler;
+
+  bool empty() const {
+    return crash_after_checkpoint_of.empty() && diverge_jobs.empty() &&
+           !journal_torn && !disk_full;
+  }
+  bool crash_armed_for(std::uint64_t job_id) const;
+  bool diverge_armed_for(std::uint64_t job_id) const;
+  /// Terminates the process via crash_handler (or the default handler when
+  /// none was installed).
+  void crash_now(std::uint64_t job_id) const;
+
+  /// Parses the grammar above, silently skipping guardian-scoped
+  /// `kind@iter:N` items. Throws std::invalid_argument on malformed
+  /// server-scoped items (bad job number).
+  static ServeFaultPlan parse(const std::string& spec);
+  /// Plan from XPLACE_FAULT (empty plan when unset).
+  static ServeFaultPlan from_env();
+};
+
+}  // namespace xplace::server

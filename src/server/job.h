@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/placer.h"
 
@@ -50,6 +51,8 @@ enum class JobState : int {
   kCancelled = 3,  ///< cancel/deadline; result fields hold the committed
                    ///< best-snapshot placement when the job got to run
   kFailed = 4,     ///< exception (bad aux path, parse error, ...)
+  kShed = 5,       ///< evicted by admission control under saturation — the
+                   ///< graceful-degradation terminal state (DESIGN.md §13)
 };
 
 inline const char* to_string(JobState s) {
@@ -59,14 +62,25 @@ inline const char* to_string(JobState s) {
     case JobState::kDone: return "done";
     case JobState::kCancelled: return "cancelled";
     case JobState::kFailed: return "failed";
+    case JobState::kShed: return "shed";
   }
   return "?";
 }
 
 inline bool is_terminal(JobState s) {
   return s == JobState::kDone || s == JobState::kCancelled ||
-         s == JobState::kFailed;
+         s == JobState::kFailed || s == JobState::kShed;
 }
+
+/// One completed (and abandoned) run attempt of a supervised job: why it
+/// ended, and the backoff the supervisor applied before the next admission.
+struct JobAttempt {
+  int number = 0;           ///< 0-based attempt index
+  std::string outcome;      ///< "diverged", "alloc_fail", ...
+  double backoff_s = 0.0;   ///< delay before the NEXT attempt was queued
+  double started_s = 0.0;   ///< log::elapsed_seconds() domain; 0 = unknown
+  double finished_s = 0.0;  ///< (attempts replayed from the journal keep 0)
+};
 
 /// One GP-iteration progress sample, streamed to `events` subscribers.
 /// Sourced from the Recorder observer — the same numbers --record-out dumps.
@@ -105,8 +119,14 @@ struct JobRecord {
   double dp_hpwl = 0.0;
   bool legalized = false;
 
-  std::string error;       ///< kFailed diagnostic
+  std::string error;       ///< kFailed/kShed diagnostic
   std::string spill_path;  ///< XPCK checkpoint path when the server spilled
+
+  // Supervised-retry + crash-recovery lifecycle (DESIGN.md §13).
+  int attempt = 0;                  ///< current 0-based attempt number
+  std::vector<JobAttempt> attempts; ///< abandoned attempts, oldest first
+  bool recovered = false;           ///< journal-replayed across a restart
+  std::string resume_from;          ///< XPCK the current run resumed from
 
   // Lifecycle timestamps (log::elapsed_seconds() domain; 0 = not reached).
   double submitted_s = 0.0;

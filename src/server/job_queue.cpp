@@ -44,6 +44,17 @@ bool JobQueue::remove(std::uint64_t id) {
   return true;
 }
 
+bool JobQueue::weakest(QueuedJob* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.empty()) return false;
+  auto worst = entries_.begin();
+  for (auto it = worst + 1; it != entries_.end(); ++it) {
+    if (before(*worst, *it)) worst = it;
+  }
+  *out = *worst;
+  return true;
+}
+
 void JobQueue::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -47,6 +47,11 @@ class JobQueue {
   /// (already popped, or never admitted).
   bool remove(std::uint64_t id);
 
+  /// Copies out the entry that would pop LAST (lowest priority, then latest
+  /// deadline, then newest) — the load-shedding victim candidate. False when
+  /// empty. The entry stays queued; pair with remove() to actually shed.
+  bool weakest(QueuedJob* out) const;
+
   /// Rejects future pushes and wakes blocked poppers; queued entries drain
   /// normally (pop keeps returning them until empty).
   void close();

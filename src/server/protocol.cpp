@@ -256,6 +256,23 @@ json::Object job_to_json(const JobRecord& rec) {
   }
   if (!rec.error.empty()) o.emplace_back("error", rec.error);
   if (!rec.spill_path.empty()) o.emplace_back("spill", rec.spill_path);
+  // Supervised-retry + crash-recovery lifecycle (DESIGN.md §13): attempt
+  // history appears once a retry happened; recovery provenance when the
+  // daemon replayed this job across a restart.
+  if (rec.attempt > 0 || !rec.attempts.empty()) {
+    o.emplace_back("attempt", static_cast<std::uint64_t>(rec.attempt));
+    json::Array history;
+    for (const JobAttempt& att : rec.attempts) {
+      json::Object a;
+      a.emplace_back("number", static_cast<std::uint64_t>(att.number));
+      a.emplace_back("outcome", att.outcome);
+      a.emplace_back("backoff_s", att.backoff_s);
+      history.emplace_back(std::move(a));
+    }
+    o.emplace_back("attempts", std::move(history));
+  }
+  if (rec.recovered) o.emplace_back("recovered", json::Value(true));
+  if (!rec.resume_from.empty()) o.emplace_back("resumed_from", rec.resume_from);
   o.emplace_back("submitted_s", rec.submitted_s);
   if (rec.started_s > 0) o.emplace_back("started_s", rec.started_s);
   if (rec.finished_s > 0) o.emplace_back("finished_s", rec.finished_s);

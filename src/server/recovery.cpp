@@ -1,0 +1,294 @@
+#include "server/recovery.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace xplace::server {
+
+namespace {
+
+// checkpoint_io-style little-endian scalar/string codec over std::string.
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+bool get(const std::string& buf, std::size_t* pos, T* out) {
+  if (*pos + sizeof(T) > buf.size()) return false;
+  std::memcpy(out, buf.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+bool get_str(const std::string& buf, std::size_t* pos, std::string* out) {
+  std::uint32_t len = 0;
+  if (!get(buf, pos, &len)) return false;
+  if (*pos + len > buf.size()) return false;
+  out->assign(buf, *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+std::string encode_submit(const JobSpec& spec, int attempt) {
+  std::string out;
+  put_str(out, spec.aux);
+  put<std::int64_t>(out, static_cast<std::int64_t>(spec.demo_cells));
+  put<std::uint64_t>(out, spec.demo_seed);
+  put<std::int32_t>(out, spec.max_iters);
+  put<std::int32_t>(out, spec.grid);
+  put<std::int32_t>(out, spec.threads);
+  put<std::uint8_t>(out, spec.full_flow ? 1 : 0);
+  put<std::int32_t>(out, spec.priority);
+  put<double>(out, spec.deadline_s);
+  put_str(out, spec.label);
+  put<std::int32_t>(out, attempt);
+  return out;
+}
+
+bool decode_submit(const std::string& payload, JobSpec* spec, int* attempt) {
+  std::size_t pos = 0;
+  std::int64_t cells = 0;
+  std::uint8_t full = 0;
+  std::int32_t max_iters = 0, grid = 0, threads = 0, prio = 0, att = 0;
+  if (!get_str(payload, &pos, &spec->aux)) return false;
+  if (!get(payload, &pos, &cells)) return false;
+  if (!get(payload, &pos, &spec->demo_seed)) return false;
+  if (!get(payload, &pos, &max_iters)) return false;
+  if (!get(payload, &pos, &grid)) return false;
+  if (!get(payload, &pos, &threads)) return false;
+  if (!get(payload, &pos, &full)) return false;
+  if (!get(payload, &pos, &prio)) return false;
+  if (!get(payload, &pos, &spec->deadline_s)) return false;
+  if (!get_str(payload, &pos, &spec->label)) return false;
+  if (!get(payload, &pos, &att)) return false;
+  spec->demo_cells = static_cast<long>(cells);
+  spec->max_iters = max_iters;
+  spec->grid = grid;
+  spec->threads = threads;
+  spec->full_flow = full != 0;
+  spec->priority = prio;
+  *attempt = att;
+  return true;
+}
+
+std::string encode_finish(const FinishInfo& info) {
+  std::string out;
+  put<std::int32_t>(out, static_cast<std::int32_t>(info.state));
+  put<std::int32_t>(out, static_cast<std::int32_t>(info.stop_reason));
+  put<double>(out, info.hpwl);
+  put<double>(out, info.overflow);
+  put<std::int32_t>(out, info.iterations);
+  put<double>(out, info.gp_seconds);
+  put<double>(out, info.dp_hpwl);
+  put<std::uint8_t>(out, info.legalized ? 1 : 0);
+  put_str(out, info.error);
+  return out;
+}
+
+bool decode_finish(const std::string& payload, FinishInfo* info) {
+  std::size_t pos = 0;
+  std::int32_t state = 0, reason = 0, iters = 0;
+  std::uint8_t legal = 0;
+  if (!get(payload, &pos, &state)) return false;
+  if (!get(payload, &pos, &reason)) return false;
+  if (!get(payload, &pos, &info->hpwl)) return false;
+  if (!get(payload, &pos, &info->overflow)) return false;
+  if (!get(payload, &pos, &iters)) return false;
+  if (!get(payload, &pos, &info->gp_seconds)) return false;
+  if (!get(payload, &pos, &info->dp_hpwl)) return false;
+  if (!get(payload, &pos, &legal)) return false;
+  if (!get_str(payload, &pos, &info->error)) return false;
+  info->state = static_cast<JobState>(state);
+  info->stop_reason = static_cast<core::StopReason>(reason);
+  info->iterations = iters;
+  info->legalized = legal != 0;
+  return true;
+}
+
+std::string encode_checkpoint(int next_iter, const std::string& path) {
+  std::string out;
+  put<std::int32_t>(out, next_iter);
+  put_str(out, path);
+  return out;
+}
+
+bool decode_checkpoint(const std::string& payload, int* next_iter,
+                       std::string* path) {
+  std::size_t pos = 0;
+  std::int32_t iter = 0;
+  if (!get(payload, &pos, &iter)) return false;
+  if (!get_str(payload, &pos, path)) return false;
+  *next_iter = iter;
+  return true;
+}
+
+std::string encode_retry(const RetryInfo& info) {
+  std::string out;
+  put<std::int32_t>(out, info.attempt);
+  put<double>(out, info.backoff_s);
+  put_str(out, info.reason);
+  return out;
+}
+
+bool decode_retry(const std::string& payload, RetryInfo* info) {
+  std::size_t pos = 0;
+  std::int32_t att = 0;
+  if (!get(payload, &pos, &att)) return false;
+  if (!get(payload, &pos, &info->backoff_s)) return false;
+  if (!get_str(payload, &pos, &info->reason)) return false;
+  info->attempt = att;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery planning
+// ---------------------------------------------------------------------------
+
+RecoveryPlan build_recovery_plan(const io::JournalReplay& replay) {
+  RecoveryPlan plan;
+  plan.torn_tail = replay.torn_tail;
+  plan.corrupt = replay.corrupt;
+  plan.records = replay.records.size();
+
+  const auto find = [&plan](std::uint64_t id) -> RecoveredJob* {
+    for (RecoveredJob& j : plan.jobs) {
+      if (j.id == id) return &j;
+    }
+    return nullptr;
+  };
+
+  for (const io::JournalRecord& rec : replay.records) {
+    plan.max_id = std::max(plan.max_id, rec.job_id);
+    switch (static_cast<JournalEvent>(rec.type)) {
+      case JournalEvent::kSubmit: {
+        RecoveredJob job;
+        job.id = rec.job_id;
+        job.submit_time_s = rec.time_s;
+        if (!decode_submit(rec.payload, &job.spec, &job.attempt)) break;
+        if (RecoveredJob* existing = find(rec.job_id)) {
+          *existing = std::move(job);  // duplicate id: newest submit wins
+        } else {
+          plan.jobs.push_back(std::move(job));
+        }
+        break;
+      }
+      case JournalEvent::kStart:
+        if (RecoveredJob* job = find(rec.job_id)) job->was_running = true;
+        break;
+      case JournalEvent::kCheckpoint:
+        if (RecoveredJob* job = find(rec.job_id)) {
+          decode_checkpoint(rec.payload, &job->checkpoint_iter,
+                            &job->checkpoint_path);
+        }
+        break;
+      case JournalEvent::kFinish:
+        if (RecoveredJob* job = find(rec.job_id)) {
+          if (decode_finish(rec.payload, &job->finish)) {
+            job->terminal = true;
+            job->was_running = false;
+          }
+        }
+        break;
+      case JournalEvent::kCancel:
+        if (RecoveredJob* job = find(rec.job_id)) job->cancel_requested = true;
+        break;
+      case JournalEvent::kRetry:
+        if (RecoveredJob* job = find(rec.job_id)) {
+          RetryInfo info;
+          if (!decode_retry(rec.payload, &info)) break;
+          JobAttempt att;
+          att.number = info.attempt - 1;
+          att.outcome = info.reason;
+          att.backoff_s = info.backoff_s;
+          job->attempts.push_back(std::move(att));
+          job->attempt = info.attempt;
+          job->was_running = false;
+          job->terminal = false;
+          // A retried attempt never resumes the diverged trajectory's spill.
+          job->checkpoint_path.clear();
+          job->checkpoint_iter = 0;
+        }
+        break;
+      case JournalEvent::kCleanShutdown:
+        break;  // positional: only meaningful as the final record
+    }
+  }
+  plan.clean_shutdown =
+      !replay.records.empty() &&
+      static_cast<JournalEvent>(replay.records.back().type) ==
+          JournalEvent::kCleanShutdown;
+  return plan;
+}
+
+std::vector<io::JournalRecord> compaction_records(const RecoveryPlan& plan) {
+  std::vector<io::JournalRecord> out;
+  for (const RecoveredJob& job : plan.jobs) {
+    io::JournalRecord submit;
+    submit.type = static_cast<std::uint32_t>(JournalEvent::kSubmit);
+    submit.job_id = job.id;
+    submit.time_s = job.submit_time_s;
+    submit.payload = encode_submit(job.spec, 0);
+    out.push_back(std::move(submit));
+    for (const JobAttempt& att : job.attempts) {
+      io::JournalRecord retry;
+      retry.type = static_cast<std::uint32_t>(JournalEvent::kRetry);
+      retry.job_id = job.id;
+      retry.time_s = job.submit_time_s;
+      RetryInfo info;
+      info.attempt = att.number + 1;
+      info.backoff_s = att.backoff_s;
+      info.reason = att.outcome;
+      retry.payload = encode_retry(info);
+      out.push_back(std::move(retry));
+    }
+    if (job.was_running) {
+      // Re-emit the start so a crash right after compaction still folds this
+      // job as interrupted-while-running (its checkpoint stays the resume
+      // point instead of being discarded as a stale queued-job artifact).
+      io::JournalRecord start;
+      start.type = static_cast<std::uint32_t>(JournalEvent::kStart);
+      start.job_id = job.id;
+      start.time_s = job.submit_time_s;
+      out.push_back(std::move(start));
+    }
+    if (!job.checkpoint_path.empty()) {
+      io::JournalRecord ck;
+      ck.type = static_cast<std::uint32_t>(JournalEvent::kCheckpoint);
+      ck.job_id = job.id;
+      ck.time_s = job.submit_time_s;
+      ck.payload = encode_checkpoint(job.checkpoint_iter, job.checkpoint_path);
+      out.push_back(std::move(ck));
+    }
+    if (job.terminal) {
+      io::JournalRecord fin;
+      fin.type = static_cast<std::uint32_t>(JournalEvent::kFinish);
+      fin.job_id = job.id;
+      fin.time_s = job.submit_time_s;
+      fin.payload = encode_finish(job.finish);
+      out.push_back(std::move(fin));
+    } else if (job.cancel_requested) {
+      io::JournalRecord cancel;
+      cancel.type = static_cast<std::uint32_t>(JournalEvent::kCancel);
+      cancel.job_id = job.id;
+      cancel.time_s = job.submit_time_s;
+      out.push_back(std::move(cancel));
+    }
+  }
+  return out;
+}
+
+}  // namespace xplace::server

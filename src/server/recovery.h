@@ -1,0 +1,110 @@
+// Journal record semantics + startup recovery planning for xplace-serve.
+//
+// The io::Journal layer frames and checksums bytes; this module owns what the
+// bytes mean. One record type per job-lifecycle transition:
+//
+//   kSubmit      full JobSpec + attempt number (attempt > 0 after compaction
+//                of a retried job)
+//   kStart       a worker slot picked the job up
+//   kCheckpoint  a periodic XPCK spill landed on disk (next_iter + path) —
+//                the resume point if the process dies now
+//   kFinish      terminal state + result fields
+//   kCancel      cancel requested (queued-job cancels also get a kFinish;
+//                a bare kCancel means the crash hit between cancel and settle)
+//   kRetry       the supervisor re-admitted a diverged/alloc-failed job
+//                (new attempt number + backoff + reason)
+//   kCleanShutdown  drain completed with no jobs outstanding — the next start
+//                is a "clean start" (no recovery) iff this is the last record
+//
+// build_recovery_plan folds a tolerant replay (io::read_journal) into per-job
+// effective state: live jobs to re-enqueue in original submit order, running
+// jobs' newest XPCK resume points, terminal jobs' records to restore into the
+// result store. compaction_records re-emits that folded state so the journal
+// on disk stays proportional to the live+retained job set, not to history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/journal.h"
+#include "server/job.h"
+
+namespace xplace::server {
+
+enum class JournalEvent : std::uint32_t {
+  kSubmit = 1,
+  kStart = 2,
+  kCheckpoint = 3,
+  kFinish = 4,
+  kCancel = 5,
+  kRetry = 6,
+  kCleanShutdown = 7,
+};
+
+/// Decoded kFinish payload (the terminal slice of a JobRecord).
+struct FinishInfo {
+  JobState state = JobState::kDone;
+  core::StopReason stop_reason = core::StopReason::kIterCap;
+  double hpwl = 0.0;
+  double overflow = 0.0;
+  int iterations = 0;
+  double gp_seconds = 0.0;
+  double dp_hpwl = 0.0;
+  bool legalized = false;
+  std::string error;
+};
+
+/// Decoded kRetry payload.
+struct RetryInfo {
+  int attempt = 0;  ///< the attempt number the job is re-admitted as
+  double backoff_s = 0.0;
+  std::string reason;
+};
+
+// ---- payload codecs (little-endian, checkpoint_io-style) -------------------
+std::string encode_submit(const JobSpec& spec, int attempt);
+bool decode_submit(const std::string& payload, JobSpec* spec, int* attempt);
+
+std::string encode_finish(const FinishInfo& info);
+bool decode_finish(const std::string& payload, FinishInfo* info);
+
+std::string encode_checkpoint(int next_iter, const std::string& path);
+bool decode_checkpoint(const std::string& payload, int* next_iter,
+                       std::string* path);
+
+std::string encode_retry(const RetryInfo& info);
+bool decode_retry(const std::string& payload, RetryInfo* info);
+
+/// One job's effective state after folding every journal record about it.
+struct RecoveredJob {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  int attempt = 0;
+  double submit_time_s = 0.0;  ///< CLOCK_REALTIME at original submit
+  bool was_running = false;    ///< started and neither finished nor retried
+  bool cancel_requested = false;  ///< bare kCancel with no settling kFinish
+  std::string checkpoint_path;    ///< newest spill ("" = none landed)
+  int checkpoint_iter = 0;
+  bool terminal = false;
+  FinishInfo finish;           ///< valid when terminal
+  std::vector<JobAttempt> attempts;  ///< folded retry history
+};
+
+struct RecoveryPlan {
+  std::vector<RecoveredJob> jobs;  ///< original submit order
+  bool clean_shutdown = false;     ///< last record is the clean marker
+  bool torn_tail = false;          ///< forwarded from the replay
+  bool corrupt = false;
+  std::uint64_t max_id = 0;        ///< highest job id seen (id allocation)
+  std::size_t records = 0;         ///< trusted records folded
+};
+
+RecoveryPlan build_recovery_plan(const io::JournalReplay& replay);
+
+/// Re-emits `plan` as a minimal record sequence (per job: submit at its
+/// folded attempt, newest checkpoint, terminal finish or dangling cancel) —
+/// the compacted journal the daemon rewrites at startup.
+std::vector<io::JournalRecord> compaction_records(const RecoveryPlan& plan);
+
+}  // namespace xplace::server

@@ -1,8 +1,14 @@
 #include "server/server.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstring>
 #include <filesystem>
+#include <new>
 #include <stdexcept>
 
 #include "dp/detailed_placer.h"
@@ -23,6 +29,26 @@ double steady_seconds() {
       .count();
 }
 
+/// CLOCK_REALTIME seconds — the journal's time domain. The steady clock
+/// resets across a restart, so replay-side deadline accounting has to reason
+/// in wall time.
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic backoff jitter in [0, 0.25): hashed from (job id, attempt)
+/// so a retry schedule replays identically across runs and restarts — no
+/// wall-clock or RNG dependence, same spirit as the demo seeds.
+double retry_jitter(std::uint64_t id, int attempt) {
+  char key[12];
+  std::memcpy(key, &id, 8);
+  std::int32_t a = attempt;
+  std::memcpy(key + 8, &a, 4);
+  return static_cast<double>(io::fnv1a64(key, sizeof(key)) % 1024) / 4096.0;
+}
+
 std::string sanitize_label(const std::string& label) {
   std::string out = label;
   for (char& c : out) {
@@ -38,8 +64,16 @@ std::string sanitize_label(const std::string& label) {
 /// the exact database a demo CLI run does (bit-for-bit parity).
 db::Database make_demo_db(const JobSpec& spec, std::uint64_t job_id) {
   namespace fs = std::filesystem;
+  // Scratch path must be unique per process AND per server instance: job ids
+  // restart at 1 in every PlacementServer, so two daemons (or two servers in
+  // one test binary) running "job 1" concurrently would otherwise write and
+  // delete each other's bookshelf scratch files mid-parse.
+  static std::atomic<std::uint64_t> scratch_seq{0};
   const fs::path dir =
-      fs::temp_directory_path() / ("xplace_serve_job" + std::to_string(job_id));
+      fs::temp_directory_path() /
+      ("xplace_serve_" + std::to_string(::getpid()) + "_" +
+       std::to_string(scratch_seq.fetch_add(1)) + "_job" +
+       std::to_string(job_id));
   fs::create_directories(dir);
   io::GeneratorSpec gen;
   gen.name = "demo";
@@ -76,14 +110,24 @@ PlacementServer::PlacementServer(ServerConfig cfg)
     cfg_.thread_budget =
         cfg_.max_concurrency * static_cast<std::size_t>(cfg_.default_job_threads);
   }
+  if (!cfg_.state_dir.empty() && cfg_.spill_dir.empty()) {
+    // Durable mode spills next to the journal by default so running jobs
+    // always leave resume points under the state dir.
+    cfg_.spill_dir = cfg_.state_dir;
+  }
   if (!cfg_.spill_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(cfg_.spill_dir, ec);
   }
+  if (cfg_.faults.empty()) cfg_.faults = ServeFaultPlan::from_env();
   telemetry::Registry& reg = telemetry::Registry::global();
   queue_wait_hist_ = &reg.histogram("serve.queue_wait_s", latency_bounds());
   run_hist_ = &reg.histogram("serve.run_s", latency_bounds());
   e2e_hist_ = &reg.histogram("serve.e2e_s", latency_bounds());
+  // Replay + re-enqueue strictly before any worker thread exists: recovery
+  // mutates the queue and the job map without racing live execution.
+  if (!cfg_.state_dir.empty()) recover_from_journal();
+  retry_thread_ = std::thread([this] { retry_loop(); });
   workers_.reserve(cfg_.max_concurrency);
   for (std::size_t i = 0; i < cfg_.max_concurrency; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -105,6 +149,25 @@ PlacementServer::SubmitOutcome PlacementServer::submit(const JobSpec& spec) {
     return out;
   }
 
+  // Saturation checks beyond queue occupancy: losing the journal (disk_full
+  // or an I/O error) or blowing its disk budget means new work can no longer
+  // be made durable — admission degrades to the shedding path rather than
+  // accepting silently-volatile jobs (DESIGN.md §13).
+  const bool journal_saturated =
+      journal_.is_open() &&
+      (journal_degraded_ || journal_.size_bytes() > cfg_.journal_max_bytes);
+  if (journal_saturated &&
+      !shed_weakest_locked(spec.priority, journal_degraded_
+                                              ? "journal degraded"
+                                              : "journal disk budget")) {
+    out.error = journal_degraded_
+                    ? "journal degraded (durability lost) — not accepting work"
+                    : "journal disk budget saturated — retry later";
+    ++rejected_;
+    reg.counter("serve.rejected").inc();
+    return out;
+  }
+
   const std::uint64_t id = next_id_;
   QueuedJob qj;
   qj.id = id;
@@ -112,11 +175,16 @@ PlacementServer::SubmitOutcome PlacementServer::submit(const JobSpec& spec) {
   qj.deadline = spec.deadline_s > 0 ? steady_seconds() + spec.deadline_s
                                     : QueuedJob::kNoDeadline;
   if (!queue_.push(qj)) {
-    out.error = "queue full (" + std::to_string(queue_.capacity()) +
-                " jobs) — retry later";
-    ++rejected_;
-    reg.counter("serve.rejected").inc();
-    return out;
+    // Queue full: shed the weakest strictly-lower-priority queued job in
+    // favor of the incoming one; same-or-higher everywhere → plain reject.
+    if (!shed_weakest_locked(spec.priority, "queue full") ||
+        !queue_.push(qj)) {
+      out.error = "queue full (" + std::to_string(queue_.capacity()) +
+                  " jobs) — retry later";
+      ++rejected_;
+      reg.counter("serve.rejected").inc();
+      return out;
+    }
   }
   ++next_id_;
 
@@ -141,6 +209,9 @@ PlacementServer::SubmitOutcome PlacementServer::submit(const JobSpec& spec) {
         "job " + std::to_string(id) + " (" + job->rec.spec.label + ")");
   }
   if (spec.deadline_s > 0) job->token.set_timeout(spec.deadline_s);
+  job->queue_deadline = qj.deadline;
+  journal_append_locked(JournalEvent::kSubmit, id,
+                        encode_submit(job->rec.spec, /*attempt=*/0));
   jobs_.emplace(id, std::move(job));
 
   ++submitted_;
@@ -169,11 +240,24 @@ bool PlacementServer::cancel(std::uint64_t id, std::string* error) {
       return false;
     }
     job->token.request_cancel();
+    if (job->rec.state == JobState::kRunning) {
+      // Running: the settle happens later on the worker thread. Journal the
+      // intent now so a crash in between still cancels after recovery.
+      journal_append_locked(JournalEvent::kCancel, id, {});
+    }
     if (job->rec.state == JobState::kQueued) {
-      // Still waiting: pull it out of the queue and settle it here. If the
-      // remove races a worker's pop, the armed token stops the run at its
-      // first poll instead.
-      if (queue_.remove(id)) {
+      // A queued job may be waiting out a retry backoff (not in queue_);
+      // drop the pending entry so the timer never re-admits it.
+      const std::size_t before = retry_pending_.size();
+      retry_pending_.erase(
+          std::remove_if(retry_pending_.begin(), retry_pending_.end(),
+                         [id](const PendingRetry& p) { return p.id == id; }),
+          retry_pending_.end());
+      const bool was_backoff = retry_pending_.size() != before;
+      // Still waiting: pull it out of the queue (or its backoff window) and
+      // settle it here. If the remove races a worker's pop, the armed token
+      // stops the run at its first poll instead.
+      if (queue_.remove(id) || was_backoff) {
         job->rec.stop_reason = core::StopReason::kCancelled;
         finish_job_locked(*job, JobState::kCancelled);
       }
@@ -237,6 +321,14 @@ PlacementServer::Stats PlacementServer::stats() const {
   s.completed = completed_;
   s.cancelled = cancelled_;
   s.failed = failed_;
+  s.shed = shed_;
+  s.retries = retries_;
+  s.recovered = recovered_;
+  s.journal_active = journal_.is_open();
+  s.journal_degraded = journal_degraded_;
+  s.journal_bytes = journal_.size_bytes();
+  s.journal_records = journal_.records_written();
+  s.retry_pending = retry_pending_.size();
   s.queued = queue_.size();
   s.running = running_;
   s.queue_capacity = cfg_.queue_capacity;
@@ -273,6 +365,27 @@ void PlacementServer::shutdown(bool drain) {
     accepting_ = false;
   }
   XP_INFO("placement server shutdown (%s)", drain ? "drain" : "cancel");
+  {
+    // Retire the retry timer first. Drain flushes pending backoffs straight
+    // into the queue (their jobs still get their remaining attempts);
+    // no-drain settles them cancelled alongside the queued jobs below.
+    std::unique_lock<std::mutex> lock(mutex_);
+    retry_stop_ = true;
+    if (drain) {
+      for (const PendingRetry& p : retry_pending_) {
+        const auto it = jobs_.find(p.id);
+        if (it == jobs_.end() || is_terminal(it->second->rec.state)) continue;
+        QueuedJob qj;
+        qj.id = p.id;
+        qj.priority = it->second->rec.spec.priority;
+        qj.deadline = it->second->queue_deadline;
+        queue_.push(qj);
+      }
+      retry_pending_.clear();
+    }
+  }
+  retry_cv_.notify_all();
+  if (retry_thread_.joinable()) retry_thread_.join();
   if (!drain) {
     // Settle queued jobs as cancelled, then arm every live token so running
     // (or popped-in-limbo) jobs stop at their next poll.
@@ -284,6 +397,13 @@ void PlacementServer::shutdown(bool drain) {
       it->second->rec.stop_reason = core::StopReason::kCancelled;
       finish_job_locked(*it->second, JobState::kCancelled);
     }
+    for (const PendingRetry& p : retry_pending_) {
+      const auto it = jobs_.find(p.id);
+      if (it == jobs_.end() || is_terminal(it->second->rec.state)) continue;
+      it->second->rec.stop_reason = core::StopReason::kCancelled;
+      finish_job_locked(*it->second, JobState::kCancelled);
+    }
+    retry_pending_.clear();
     for (auto& [id, job] : jobs_) {
       if (!is_terminal(job->rec.state)) job->token.request_cancel();
     }
@@ -291,6 +411,19 @@ void PlacementServer::shutdown(bool drain) {
   queue_.close();  // poppers drain what is left, then exit
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
+  }
+  {
+    // Every job is terminal now. The clean-shutdown marker, as the journal's
+    // final record, lets the next start skip recovery and log "clean start".
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool all_settled = true;
+    for (const auto& [id, job] : jobs_) {
+      all_settled = all_settled && is_terminal(job->rec.state);
+    }
+    if (all_settled) {
+      journal_append_locked(JournalEvent::kCleanShutdown, 0, {});
+    }
+    journal_.close();
   }
 }
 
@@ -340,6 +473,7 @@ void PlacementServer::worker_loop() {
       job->rec.state = JobState::kRunning;
       job->rec.started_s = log::elapsed_seconds();
       ++running_;
+      journal_append_locked(JournalEvent::kStart, qj.id, {});
       job->cv.notify_all();
     }
     telemetry::Registry::global().gauge("serve.queue_depth")
@@ -402,6 +536,15 @@ void PlacementServer::run_job(Job& job, std::size_t leased_threads) {
     cfg.grid_dim = spec.grid;
     cfg.max_iters = spec.max_iters;
     cfg.threads = static_cast<int>(leased_threads);
+    // Supervised restart: attempt > 0 re-runs from scratch (never from the
+    // diverged trajectory's spill) with the guardian's compounding λ/step
+    // retune lifted to the whole-run level.
+    cfg = core::retuned_for_restart(cfg, job.rec.attempt);
+    if (!job.rec.resume_from.empty()) {
+      // Crash recovery: continue the interrupted trajectory bit-for-bit from
+      // the last journaled XPCK spill (PR 2's restore contract).
+      cfg.resume_path = job.rec.resume_from;
+    }
     std::string spill_path;
     if (!cfg_.spill_dir.empty()) {
       spill_path = cfg_.spill_dir + "/job" + std::to_string(id) + ".xpck";
@@ -411,6 +554,31 @@ void PlacementServer::run_job(Job& job, std::size_t leased_threads) {
 
     core::GlobalPlacer placer(db, cfg);
     placer.set_stop_token(&job.token);
+    placer.set_checkpoint_observer(
+        [this, id](int next_iter, const std::string& path) {
+          // The XPCK is durable on disk; journal it as the job's new resume
+          // point. serve_crash@job:N fires here — right after the snapshot
+          // the chaos lane expects recovery to resume from.
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            journal_append_locked(JournalEvent::kCheckpoint, id,
+                                  encode_checkpoint(next_iter, path));
+          }
+          if (cfg_.faults.crash_armed_for(id)) cfg_.faults.crash_now(id);
+        });
+    if (cfg_.faults.diverge_armed_for(id) && job.rec.attempt == 0) {
+      // diverge@job:N: exhaust the guardian's in-run rollback budget on the
+      // first attempt so the run ends kDiverged and the supervisor's retry
+      // path engages deterministically.
+      core::FaultPlan fp;
+      for (int it : {2, 4, 6, 8, 10, 12}) {
+        core::FaultEvent ev;
+        ev.kind = core::FaultEvent::Kind::kNonfiniteGrad;
+        ev.iter = it;
+        fp.events.push_back(ev);
+      }
+      placer.guardian().set_fault_plan(std::move(fp));
+    }
     placer.recorder().set_observer([this, &job](
                                        const core::IterationRecord& r) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -435,6 +603,13 @@ void PlacementServer::run_job(Job& job, std::size_t leased_threads) {
     if (gp.rollbacks > 0) {
       telemetry::Registry::global().counter("serve.guardian_rollbacks")
           .inc(static_cast<std::uint64_t>(gp.rollbacks));
+    }
+
+    if (gp.stop_reason == core::StopReason::kDiverged) {
+      // The in-run guardian spent its rollback budget; escalate to the
+      // supervisor: re-admit with backoff + retune, budget permitting.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (maybe_schedule_retry_locked(job, "diverged")) return;
     }
 
     bool stopped = gp.stop_reason == core::StopReason::kCancelled ||
@@ -477,6 +652,15 @@ void PlacementServer::run_job(Job& job, std::size_t leased_threads) {
     job.rec.legalized = legalized;
     job.rec.spill_path = spill_path;
     finish_job_locked(job, stopped ? JobState::kCancelled : JobState::kDone);
+  } catch (const std::bad_alloc&) {
+    // Allocation failure is transient by assumption (a co-resident job's
+    // peak, not a broken spec) — retryable, unlike a parse error.
+    XP_ERROR("job %llu hit allocation failure",
+             static_cast<unsigned long long>(id));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (maybe_schedule_retry_locked(job, "alloc_fail")) return;
+    job.rec.error = "allocation failure";
+    finish_job_locked(job, JobState::kFailed);
   } catch (const std::exception& e) {
     XP_ERROR("job %llu failed: %s", static_cast<unsigned long long>(id),
              e.what());
@@ -495,7 +679,24 @@ void PlacementServer::finish_job_locked(Job& job, JobState state) {
     case JobState::kDone: ++completed_; break;
     case JobState::kCancelled: ++cancelled_; break;
     case JobState::kFailed: ++failed_; break;
+    case JobState::kShed: ++shed_; break;
     default: break;
+  }
+  {
+    // Terminal transition → journal, so a restart restores this job straight
+    // into the result store instead of re-running it.
+    FinishInfo info;
+    info.state = state;
+    info.stop_reason = job.rec.stop_reason;
+    info.hpwl = job.rec.hpwl;
+    info.overflow = job.rec.overflow;
+    info.iterations = job.rec.iterations;
+    info.gp_seconds = job.rec.gp_seconds;
+    info.dp_hpwl = job.rec.dp_hpwl;
+    info.legalized = job.rec.legalized;
+    info.error = job.rec.error;
+    journal_append_locked(JournalEvent::kFinish, job.rec.id,
+                          encode_finish(info));
   }
   // SLO accounting: latency histograms (percentiles derive from these) and
   // deadline misses. Queue wait / run are only meaningful for jobs that got
@@ -533,12 +734,265 @@ void PlacementServer::evict_terminal_locked() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Durability & self-healing (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+void PlacementServer::journal_append_locked(JournalEvent type,
+                                            std::uint64_t job_id,
+                                            std::string payload) {
+  if (!journal_.is_open() || journal_degraded_) return;
+  io::JournalRecord rec;
+  rec.type = static_cast<std::uint32_t>(type);
+  rec.job_id = job_id;
+  rec.time_s = wall_seconds();
+  rec.payload = std::move(payload);
+  if (!journal_.append(rec)) {
+    // Keep serving from memory, but remember durability is gone: admission
+    // treats a degraded journal as saturation (see submit()).
+    journal_degraded_ = true;
+    telemetry::Registry::global().counter("serve.journal.degraded").inc();
+    XP_ERROR("journal append failed — durability degraded, serving from "
+             "memory only");
+  }
+}
+
+void PlacementServer::recover_from_journal() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(cfg_.state_dir, ec);
+  const std::string path = cfg_.state_dir + "/journal.xpjl";
+
+  const io::JournalReplay replay = io::read_journal(path);
+  RecoveryPlan plan = build_recovery_plan(replay);
+  if (replay.torn_tail) {
+    XP_WARN("journal %s: torn final record (crash mid-append); %zu intact "
+            "record(s) replayed", path.c_str(), plan.records);
+  }
+  if (replay.corrupt) {
+    XP_WARN("journal %s: corrupt record; replay kept the %zu trusted "
+            "record(s) before it", path.c_str(), plan.records);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);  // workers not started yet
+  if (replay.missing || plan.clean_shutdown) {
+    next_id_ = std::max<std::uint64_t>(next_id_, plan.max_id + 1);
+    if (!journal_.open(path, /*truncate=*/true)) journal_degraded_ = true;
+    XP_INFO("journal %s: clean start%s", path.c_str(),
+            replay.missing ? " (fresh state dir)" : " (previous shutdown drained)");
+  } else {
+    // Compact the history into folded per-job state, then restore it: live
+    // jobs re-enqueue in original submit order (the queue comparator then
+    // reproduces the original priority → deadline → FIFO pop order),
+    // interrupted running jobs carry their newest XPCK as the resume point,
+    // and terminal jobs land straight in the result store.
+    if (!io::rewrite_journal(path, compaction_records(plan)) ||
+        !journal_.open(path, /*truncate=*/false)) {
+      journal_degraded_ = true;
+    }
+    next_id_ = std::max<std::uint64_t>(next_id_, plan.max_id + 1);
+
+    const double now_wall = wall_seconds();
+    std::size_t live = 0, restored = 0;
+    for (RecoveredJob& rj : plan.jobs) {
+      auto job = std::make_shared<Job>();
+      job->rec.id = rj.id;
+      job->rec.spec = rj.spec;
+      job->rec.attempt = rj.attempt;
+      job->rec.attempts = rj.attempts;
+      job->rec.recovered = true;
+      job->rec.trace_id = telemetry::TraceContext::new_id();
+      job->submit_us = telemetry::Tracer::now_us();
+      job->rec.submitted_s = log::elapsed_seconds();
+      ++submitted_;
+      Job& ref = *job;
+      jobs_.emplace(rj.id, std::move(job));
+
+      if (rj.terminal) {
+        // Already settled before the crash: restore the record verbatim (no
+        // re-journal, no latency observation — those happened in the
+        // previous process lifetime).
+        ref.rec.state = rj.finish.state;
+        ref.rec.stop_reason = rj.finish.stop_reason;
+        ref.rec.hpwl = rj.finish.hpwl;
+        ref.rec.overflow = rj.finish.overflow;
+        ref.rec.iterations = rj.finish.iterations;
+        ref.rec.gp_seconds = rj.finish.gp_seconds;
+        ref.rec.dp_hpwl = rj.finish.dp_hpwl;
+        ref.rec.legalized = rj.finish.legalized;
+        ref.rec.error = rj.finish.error;
+        ref.rec.finished_s = ref.rec.submitted_s;
+        switch (ref.rec.state) {
+          case JobState::kDone: ++completed_; break;
+          case JobState::kCancelled: ++cancelled_; break;
+          case JobState::kFailed: ++failed_; break;
+          case JobState::kShed: ++shed_; break;
+          default: break;
+        }
+        terminal_order_.push_back(rj.id);
+        publish_job_metrics(ref.rec);
+        ++restored;
+        continue;
+      }
+
+      // Deadline accounting across the restart: the journal carries wall
+      // time, so elapsed real time (including the downtime) still counts
+      // against the job's deadline.
+      if (rj.spec.deadline_s > 0) {
+        const double remaining =
+            rj.spec.deadline_s - (now_wall - rj.submit_time_s);
+        if (remaining <= 0) {
+          ref.rec.stop_reason = core::StopReason::kDeadline;
+          finish_job_locked(ref, JobState::kCancelled);
+          continue;
+        }
+        ref.token.set_timeout(remaining);
+        ref.queue_deadline = steady_seconds() + remaining;
+      }
+      if (rj.cancel_requested) {
+        // Cancel was journaled but the settle never landed before the crash.
+        ref.rec.stop_reason = core::StopReason::kCancelled;
+        finish_job_locked(ref, JobState::kCancelled);
+        continue;
+      }
+
+      if (rj.was_running && !rj.checkpoint_path.empty() &&
+          fs::exists(rj.checkpoint_path)) {
+        ref.rec.resume_from = rj.checkpoint_path;
+      }
+      ref.rec.state = JobState::kQueued;
+      QueuedJob qj;
+      qj.id = rj.id;
+      qj.priority = rj.spec.priority;
+      qj.deadline = ref.queue_deadline;
+      queue_.push(qj);
+      ++live;
+    }
+    evict_terminal_locked();
+    recovered_ = live;
+    telemetry::Registry::global().counter("serve.recovered")
+        .inc(static_cast<std::uint64_t>(live));
+    XP_INFO("journal %s: recovering %zu job(s) (%zu re-enqueued, %zu terminal "
+            "restored)", path.c_str(), plan.jobs.size() - restored, live,
+            restored);
+  }
+  // Journal fault arming (XPLACE_FAULT journal_torn / disk_full) — applied
+  // after recovery so the replay itself stays healthy.
+  if (cfg_.faults.journal_torn) journal_.arm_torn_write();
+  if (cfg_.faults.disk_full) journal_.arm_disk_full();
+}
+
+bool PlacementServer::maybe_schedule_retry_locked(Job& job,
+                                                  const char* outcome) {
+  if (shut_down_) return false;
+  if (cfg_.max_retries <= 0 || job.rec.attempt >= cfg_.max_retries) {
+    return false;
+  }
+  if (job.token.check() != StopCause::kNone) return false;  // cancel wins
+  const int failed_attempt = job.rec.attempt;
+  double backoff =
+      std::min(cfg_.retry_backoff_s * std::pow(2.0, failed_attempt),
+               cfg_.retry_backoff_max_s);
+  backoff *= 1.0 + retry_jitter(job.rec.id, failed_attempt);
+
+  JobAttempt att;
+  att.number = failed_attempt;
+  att.outcome = outcome;
+  att.backoff_s = backoff;
+  att.started_s = job.rec.started_s;
+  att.finished_s = log::elapsed_seconds();
+  job.rec.attempts.push_back(std::move(att));
+  job.rec.attempt = failed_attempt + 1;
+  if (job.rec.state == JobState::kRunning) --running_;
+  job.rec.state = JobState::kQueued;
+  job.rec.started_s = 0.0;
+  // Never resume a broken trajectory's spill: the retry restarts from
+  // scratch with retuned_for_restart's gentler λ/step schedule.
+  job.rec.resume_from.clear();
+
+  ++retries_;
+  telemetry::Registry::global().counter("serve.retries").inc();
+  RetryInfo info;
+  info.attempt = job.rec.attempt;
+  info.backoff_s = backoff;
+  info.reason = outcome;
+  journal_append_locked(JournalEvent::kRetry, job.rec.id, encode_retry(info));
+  retry_pending_.push_back({steady_seconds() + backoff, job.rec.id});
+  XP_WARN("job %llu attempt %d ended %s; retry as attempt %d in %.2fs "
+          "(budget %d)",
+          static_cast<unsigned long long>(job.rec.id), failed_attempt, outcome,
+          job.rec.attempt, backoff, cfg_.max_retries);
+  job.cv.notify_all();
+  retry_cv_.notify_all();
+  return true;
+}
+
+void PlacementServer::retry_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!retry_stop_) {
+    if (retry_pending_.empty()) {
+      retry_cv_.wait(lock, [&] {
+        return retry_stop_ || !retry_pending_.empty();
+      });
+      continue;
+    }
+    const auto due = std::min_element(
+        retry_pending_.begin(), retry_pending_.end(),
+        [](const PendingRetry& a, const PendingRetry& b) {
+          return a.due_s < b.due_s;
+        });
+    const double now = steady_seconds();
+    if (due->due_s > now) {
+      retry_cv_.wait_for(lock,
+                         std::chrono::duration<double>(due->due_s - now));
+      continue;
+    }
+    const std::uint64_t id = due->id;
+    retry_pending_.erase(due);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->rec.state != JobState::kQueued) {
+      continue;  // cancelled (or evicted) while backing off
+    }
+    Job& job = *it->second;
+    QueuedJob qj;
+    qj.id = id;
+    qj.priority = job.rec.spec.priority;
+    qj.deadline = job.queue_deadline;
+    if (!queue_.push(qj)) {
+      // The queue filled (or closed) while this job backed off — it lost its
+      // seat; settle as shed rather than stall its waiters forever.
+      job.rec.error = "shed: queue unavailable at retry re-admission";
+      finish_job_locked(job, JobState::kShed);
+    }
+  }
+}
+
+bool PlacementServer::shed_weakest_locked(int incoming_priority,
+                                          const char* cause) {
+  QueuedJob victim;
+  if (!queue_.weakest(&victim)) return false;
+  // Strictly lower priority only: shedding a peer for a peer would let two
+  // equal clients evict each other's work in a loop.
+  if (victim.priority >= incoming_priority) return false;
+  if (!queue_.remove(victim.id)) return false;
+  const auto it = jobs_.find(victim.id);
+  if (it != jobs_.end() && !is_terminal(it->second->rec.state)) {
+    it->second->rec.error =
+        std::string("shed: ") + cause + ", displaced by higher-priority work";
+    finish_job_locked(*it->second, JobState::kShed);
+    XP_WARN("job %llu shed (%s)",
+            static_cast<unsigned long long>(victim.id), cause);
+  }
+  return true;
+}
+
 void PlacementServer::publish_job_metrics(const JobRecord& rec) {
   telemetry::Registry& reg = telemetry::Registry::global();
   switch (rec.state) {
     case JobState::kDone: reg.counter("serve.completed").inc(); break;
     case JobState::kCancelled: reg.counter("serve.cancelled").inc(); break;
     case JobState::kFailed: reg.counter("serve.failed").inc(); break;
+    case JobState::kShed: reg.counter("serve.shed").inc(); break;
     default: break;
   }
   const std::string prefix = "serve.job." + rec.spec.label;

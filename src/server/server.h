@@ -36,8 +36,11 @@
 #include <thread>
 #include <vector>
 
+#include "io/journal.h"
+#include "server/faults.h"
 #include "server/job.h"
 #include "server/job_queue.h"
+#include "server/recovery.h"
 #include "telemetry/metrics.h"
 #include "util/stop_token.h"
 
@@ -63,6 +66,26 @@ struct ServerConfig {
   /// writer (io/checkpoint_io.h) into `<spill_dir>/job<id>.xpck`.
   std::string spill_dir;
   int spill_period = 200;  ///< iterations between spill writes
+
+  // ---- durability & self-healing (DESIGN.md §13) ---------------------------
+  /// When non-empty: crash-safe operation. The job journal (journal.xpjl)
+  /// lives here, spill_dir defaults here, and the constructor replays the
+  /// journal — restoring terminal records, re-enqueuing queued jobs in their
+  /// original order, and resuming interrupted running jobs from their newest
+  /// XPCK spill — before any worker starts.
+  std::string state_dir;
+  /// Journal disk budget: once the journal on disk exceeds this, admission
+  /// switches to the load-shedding path (compaction happens at startup).
+  std::size_t journal_max_bytes = 64ull << 20;
+  /// Supervised retries: a job that ends `diverged` (or dies to allocation
+  /// failure) is re-admitted up to this many times with exponential backoff
+  /// and the guardian's compounding λ/step retune. 0 disables.
+  int max_retries = 2;
+  double retry_backoff_s = 0.5;      ///< base backoff before attempt 1
+  double retry_backoff_max_s = 30.0; ///< backoff ceiling
+  /// Server-layer fault plan (serve_crash/diverge/journal_torn/disk_full).
+  /// Empty → parsed from XPLACE_FAULT at construction.
+  ServeFaultPlan faults;
 };
 
 class PlacementServer {
@@ -119,6 +142,15 @@ class PlacementServer {
   struct Stats {
     std::uint64_t submitted = 0, rejected = 0, completed = 0, cancelled = 0,
                   failed = 0;
+    // Self-healing counters (DESIGN.md §13).
+    std::uint64_t shed = 0;       ///< jobs evicted by admission control
+    std::uint64_t retries = 0;    ///< supervised re-admissions
+    std::uint64_t recovered = 0;  ///< live jobs re-enqueued at startup
+    bool journal_active = false;  ///< a state_dir journal is open
+    bool journal_degraded = false;  ///< an append failed; durability is off
+    std::uint64_t journal_bytes = 0;
+    std::uint64_t journal_records = 0;
+    std::size_t retry_pending = 0;  ///< jobs waiting out a backoff window
     std::size_t queued = 0, running = 0;
     std::size_t queue_capacity = 0, max_concurrency = 0;
     std::size_t thread_budget = 0, threads_leased = 0;
@@ -153,6 +185,9 @@ class PlacementServer {
     std::uint64_t next_seq = 0;
     std::uint64_t dropped = 0;
     double submit_us = 0.0;  ///< Tracer::now_us() at submit (queue-wait span)
+    /// Queue-entry deadline in the steady-clock domain (kNoDeadline = none);
+    /// survives retries so the deadline keeps covering every attempt.
+    double queue_deadline = QueuedJob::kNoDeadline;
     std::condition_variable cv;  ///< waits on mutex_: events + state changes
   };
 
@@ -161,6 +196,18 @@ class PlacementServer {
   void finish_job_locked(Job& job, JobState state);
   void evict_terminal_locked();
   void publish_job_metrics(const JobRecord& rec);
+
+  // Durability & self-healing (DESIGN.md §13).
+  void recover_from_journal();
+  void journal_append_locked(JournalEvent type, std::uint64_t job_id,
+                             std::string payload);
+  /// True when the job was re-admitted for another attempt (caller must not
+  /// settle it); false when the retry budget is spent or retries are off.
+  bool maybe_schedule_retry_locked(Job& job, const char* outcome);
+  void retry_loop();
+  /// Sheds the weakest queued job strictly below `incoming_priority`.
+  /// Returns true when a victim was settled kShed (queue space freed).
+  bool shed_weakest_locked(int incoming_priority, const char* cause);
 
   // Thread-budget arbitration (counting semaphore over cfg_.thread_budget).
   std::size_t lease_threads(int requested);
@@ -182,8 +229,27 @@ class PlacementServer {
   // Counters (under mutex_; mirrored into telemetry on change).
   std::uint64_t submitted_ = 0, rejected_ = 0, completed_ = 0, cancelled_ = 0,
                 failed_ = 0;
+  std::uint64_t shed_ = 0, retries_ = 0, recovered_ = 0;
   std::uint64_t events_dropped_total_ = 0;
   std::uint64_t deadline_missed_ = 0;
+
+  // Durable journal (under mutex_). Degraded = an append failed (I/O error
+  // or injected disk_full); the server keeps serving from memory but
+  // admission treats the loss of durability as saturation.
+  io::JournalWriter journal_;
+  bool journal_degraded_ = false;
+
+  // Supervised-retry timer: jobs waiting out their backoff, as (due steady-
+  // clock seconds, id) pairs scanned for the earliest. Guarded by mutex_;
+  // retry_cv_ wakes the timer thread on schedule/shutdown.
+  struct PendingRetry {
+    double due_s = 0.0;
+    std::uint64_t id = 0;
+  };
+  std::vector<PendingRetry> retry_pending_;
+  std::condition_variable retry_cv_;
+  bool retry_stop_ = false;
+  std::thread retry_thread_;
 
   // Serve-level SLO histograms (global-registry entries, resolved once in
   // the constructor; stable metric names — see DESIGN.md §12 catalog).

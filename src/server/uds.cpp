@@ -184,6 +184,16 @@ json::Object stats_to_json(const PlacementServer::Stats& s) {
   o.emplace_back("completed", s.completed);
   o.emplace_back("cancelled", s.cancelled);
   o.emplace_back("failed", s.failed);
+  o.emplace_back("shed", s.shed);
+  o.emplace_back("retries", s.retries);
+  o.emplace_back("recovered", s.recovered);
+  o.emplace_back("retry_pending", static_cast<std::uint64_t>(s.retry_pending));
+  json::Object journal;
+  journal.emplace_back("active", json::Value(s.journal_active));
+  journal.emplace_back("degraded", json::Value(s.journal_degraded));
+  journal.emplace_back("bytes", s.journal_bytes);
+  journal.emplace_back("records", s.journal_records);
+  o.emplace_back("journal", json::Value(std::move(journal)));
   o.emplace_back("queued", static_cast<std::uint64_t>(s.queued));
   o.emplace_back("running", static_cast<std::uint64_t>(s.running));
   o.emplace_back("queue_capacity", static_cast<std::uint64_t>(s.queue_capacity));
