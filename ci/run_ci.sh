@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI lanes for Xplace. Run all lanes (default) or a single one:
 #
-#   ci/run_ci.sh [tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|tier1-chaos|faultinject|asan-ubsan|tsan|all]
+#   ci/run_ci.sh [tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|tier1-chaos|tier1-batch|faultinject|asan-ubsan|tsan|all]
 #
 #   tier1       plain build, full ctest suite
 #   tier1-mt    same build, full ctest suite with XPLACE_THREADS=4 so every
@@ -28,6 +28,11 @@
 #               must log that it is recovering, finish all three jobs, and
 #               the resumed job's HPWL must bitwise-match an uninterrupted
 #               reference run of the same spec
+#   tier1-batch design-store + batch-sweep smoke (DESIGN.md §14): upload one
+#               demo design, fan a 6-config sweep (with one repeated config)
+#               over it, assert the daemon parsed the design exactly once
+#               (serve_design_parses), every member reached a terminal done
+#               state, and the repeated config was dedup-served by its twin
 #   faultinject guardian/recovery tests (ctest -L faultinject) plus an
 #               end-to-end XPLACE_FAULT matrix over the place_bookshelf demo:
 #               every injected fault must be recovered (exit 0, legal result)
@@ -325,6 +330,73 @@ run_tier1_chaos() {
   echo "=== tier1-chaos lane passed ==="
 }
 
+run_tier1_batch() {
+  build build-ci
+  local sock="/tmp/xplace_ci_batch_$$.sock"
+  local client=./build-ci/examples/xplace_client
+
+  echo "=== tier1-batch lane: parse-once sweep on $sock ==="
+  ./build-ci/examples/xplace_serve --socket "$sock" --jobs 2 &
+  serve_daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || serve_fail "daemon never bound $sock" || return 1
+
+  # Upload once, sweep against the content hash. The second upload of the
+  # same content must be a cache hit, not a second parse.
+  local up hash
+  up=$("$client" --socket "$sock" upload --demo-cells 2000) \
+      || serve_fail "upload failed" || return 1
+  hash=$(echo "$up" | sed -n 's/.*"design":"\([0-9a-f]*\)".*/\1/p')
+  [ -n "$hash" ] || serve_fail "upload returned no design hash" || return 1
+  "$client" --socket "$sock" upload --demo-cells 2000 \
+      | grep -q '"cached":true' \
+      || serve_fail "re-upload of identical content was not a cache hit" \
+      || return 1
+
+  # 6 configs: four seed points (seed 1 listed twice — the repeat must be
+  # dedup-served by its twin, same job id) plus two density points.
+  local batch
+  batch=$("$client" --socket "$sock" sweep --design "$hash" \
+          --max-iters 120 --grid 64 --gp-only --seeds 1,2,3,1 \
+          --densities 0.75,0.9) \
+      || serve_fail "sweep submit failed" || return 1
+  echo "sweep: $batch"
+  echo "$batch" | grep -q '"dedup":true' \
+      || serve_fail "repeated config was not dedup-served" || return 1
+
+  # Every member must land terminal done; the aggregate must see all 6.
+  local result
+  result=$("$client" --socket "$sock" batch-result --id 1 --wait \
+           --timeout-s 300) \
+      || serve_fail "batch-result failed" || return 1
+  echo "$result" | grep -q '"all_terminal":true' \
+      || serve_fail "batch did not reach all-terminal" || return 1
+  echo "$result" | grep -q '"done":6' \
+      || serve_fail "batch did not finish all 6 members done" || return 1
+  echo "$result" | grep -q '"best_hpwl"' \
+      || serve_fail "batch aggregate lacks best_hpwl" || return 1
+
+  # The whole point: one design, six configs, exactly ONE parse — and the
+  # dedup counter must have seen the repeated config.
+  local metrics
+  metrics=$("$client" --socket "$sock" metrics) \
+      || serve_fail "metrics scrape failed" || return 1
+  echo "$metrics" | grep -q '^xplace_serve_design_parses 1$' \
+      || serve_fail "design was parsed more than once across the batch" \
+      || return 1
+  echo "$metrics" | grep -q '^xplace_serve_dedup_hits 1$' \
+      || serve_fail "dedup counter did not record the repeated config" \
+      || return 1
+
+  "$client" --socket "$sock" shutdown >/dev/null \
+      || serve_fail "shutdown request failed" || return 1
+  wait "$serve_daemon_pid" || serve_fail "daemon exited non-zero" || return 1
+  echo "=== tier1-batch lane passed ==="
+}
+
 run_faultinject() {
   build build-ci
   ctest --test-dir build-ci --output-on-failure -L faultinject
@@ -367,13 +439,14 @@ case "$lane" in
   tier1-serve)  run_tier1_serve ;;
   tier1-obs)    run_tier1_obs ;;
   tier1-chaos)  run_tier1_chaos ;;
+  tier1-batch)  run_tier1_batch ;;
   faultinject)  run_faultinject ;;
   asan-ubsan)   run_asan_ubsan ;;
   tsan)         run_tsan ;;
   all)          run_tier1; run_tier1_mt; run_tier1_scalar; run_tier1_serve
-                run_tier1_obs; run_tier1_chaos; run_faultinject
-                run_asan_ubsan; run_tsan ;;
-  *) echo "unknown lane '$lane' (tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|tier1-chaos|faultinject|asan-ubsan|tsan|all)" >&2
+                run_tier1_obs; run_tier1_chaos; run_tier1_batch
+                run_faultinject; run_asan_ubsan; run_tsan ;;
+  *) echo "unknown lane '$lane' (tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|tier1-chaos|tier1-batch|faultinject|asan-ubsan|tsan|all)" >&2
      exit 2 ;;
 esac
 echo "ci lane(s) '$lane' passed"

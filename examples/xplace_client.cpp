@@ -15,6 +15,24 @@
 //   xplace_client watch [--interval-s 2] [--count N]
 //   xplace_client shutdown [--no-drain]
 //
+// Design-store + batch-sweep verbs (DESIGN.md §14):
+//
+//   xplace_client upload --aux adaptec1.aux        # parse once, get the hash
+//   xplace_client upload --demo-cells 4000
+//   xplace_client designs                          # list the store
+//   xplace_client evict --design a1b2c3...
+//   xplace_client sweep --design a1b2c3... --max-iters 500 --seeds 1,2,3
+//   xplace_client sweep --demo-cells 4000 --seeds 1,2 --densities 0.7,0.9
+//   xplace_client batch-status --id 3
+//   xplace_client batch-result --id 3 --wait --timeout-s 600
+//
+// `sweep` fans one design (uploaded hash, --aux, or --demo-cells — parsed at
+// most once server-side) across the cross-product-free union of the sweep
+// axes: one config per entry of --seeds, --densities (target density), and
+// --lambdas (λ init factor), each starting from the base flags. Listing a
+// value twice submits it twice — with dedup (default on; --no-dedup) the
+// repeat is served by the first job instead of re-running.
+//
 // `metrics` prints the daemon's Prometheus exposition (the scrape surface of
 // DESIGN.md §12) as plain text. `watch` is a live dashboard: it polls
 // stats+metrics over one connection and redraws queue depth, running jobs,
@@ -39,8 +57,10 @@
 //   --no-clear (append screens instead of redrawing in place).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "server/json.h"
 #include "server/protocol.h"
@@ -90,8 +110,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: xplace_client [--socket PATH] "
-      "submit|status|cancel|result|events|stats|metrics|watch|shutdown "
-      "[flags]\n"
+      "submit|status|cancel|result|events|stats|metrics|watch|shutdown|"
+      "upload|designs|evict|sweep|batch-status|batch-result [flags]\n"
       "(see the header comment of examples/xplace_client.cpp)\n");
   return 2;
 }
@@ -105,8 +125,27 @@ bool command_from_name(const std::string& name, Command* out) {
   else if (name == "stats") *out = Command::kStats;
   else if (name == "metrics") *out = Command::kMetrics;
   else if (name == "shutdown") *out = Command::kShutdown;
+  else if (name == "upload") *out = Command::kUploadDesign;
+  else if (name == "designs") *out = Command::kListDesigns;
+  else if (name == "evict") *out = Command::kEvictDesign;
+  else if (name == "sweep") *out = Command::kSubmitBatch;
+  else if (name == "batch-status") *out = Command::kBatchStatus;
+  else if (name == "batch-result") *out = Command::kBatchResult;
   else return false;
   return true;
+}
+
+/// "1,2,3" → {"1","2","3"} (empty pieces skipped).
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
 }
 
 /// True when `line` is a final `{"ok":...}` response (vs a streamed
@@ -355,20 +394,67 @@ int main(int argc, char** argv) {
   req.timeout_s = args.get_double(
       "timeout-s", args.get_bool("follow", false) ? 3600.0 : 60.0);
   req.drain = !args.get_bool("no-drain", false);
-  if (req.cmd == Command::kSubmit) {
+  if (req.cmd == Command::kSubmit || req.cmd == Command::kUploadDesign ||
+      req.cmd == Command::kSubmitBatch) {
     JobSpec& s = req.spec;
     s.aux = args.get("aux");
     s.demo_cells = args.get_int("demo-cells", 0);
     s.demo_seed = static_cast<std::uint64_t>(args.get_int("demo-seed", 11));
+    const std::string design_hex = args.get("design");
+    if (!design_hex.empty() && !hex_to_hash(design_hex, &s.design_hash)) {
+      std::fprintf(stderr, "--design must be a 64-bit hex content hash\n");
+      return 2;
+    }
     s.max_iters = static_cast<int>(args.get_int("max-iters", 1500));
     s.grid = static_cast<int>(args.get_int("grid", 128));
+    s.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+    s.target_density = args.get_double("target-density", 0.0);
+    s.lambda_init = args.get_double("lambda-init", 0.0);
     s.threads = static_cast<int>(args.get_int("threads", 0));
     s.full_flow = !args.get_bool("gp-only", false);
     s.priority = static_cast<int>(args.get_int("priority", 0));
     s.deadline_s = args.get_double("deadline-s", 0.0);
     s.label = args.get("label");
-    if (s.aux.empty() && s.demo_cells <= 0) {
-      std::fprintf(stderr, "submit needs --aux PATH or --demo-cells N\n");
+    s.dedup = req.cmd == Command::kSubmitBatch
+                  ? !args.get_bool("no-dedup", false)
+                  : args.get_bool("dedup", false);
+    if (s.aux.empty() && s.demo_cells <= 0 && s.design_hash == 0) {
+      std::fprintf(stderr,
+                   "%s needs --aux PATH, --demo-cells N%s\n", verb.c_str(),
+                   req.cmd == Command::kUploadDesign ? ""
+                                                    : ", or --design HASH");
+      return 2;
+    }
+  }
+  if (req.cmd == Command::kEvictDesign) {
+    const std::string design_hex = args.get("design");
+    if (design_hex.empty() ||
+        !hex_to_hash(design_hex, &req.spec.design_hash)) {
+      std::fprintf(stderr, "evict needs --design HASH (64-bit hex)\n");
+      return 2;
+    }
+  }
+  if (req.cmd == Command::kSubmitBatch) {
+    // One config per sweep-axis entry, each starting from the base flags.
+    for (const std::string& v : split_list(args.get("seeds"))) {
+      JobSpec c = req.spec;
+      c.seed = static_cast<std::uint64_t>(std::strtoull(v.c_str(), nullptr, 10));
+      req.configs.push_back(std::move(c));
+    }
+    for (const std::string& v : split_list(args.get("densities"))) {
+      JobSpec c = req.spec;
+      c.target_density = std::strtod(v.c_str(), nullptr);
+      req.configs.push_back(std::move(c));
+    }
+    for (const std::string& v : split_list(args.get("lambdas"))) {
+      JobSpec c = req.spec;
+      c.lambda_init = std::strtod(v.c_str(), nullptr);
+      req.configs.push_back(std::move(c));
+    }
+    if (req.configs.empty()) {
+      std::fprintf(stderr,
+                   "sweep needs at least one axis: --seeds, --densities, "
+                   "or --lambdas (comma lists)\n");
       return 2;
     }
   }

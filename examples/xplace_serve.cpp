@@ -29,6 +29,11 @@
 //   --retries N         supervised retry budget for diverged/alloc-failed
 //                       jobs (default 2)
 //   --retry-backoff-s S base exponential backoff before a retry (default 0.5)
+//   --design-capacity N resident parsed designs in the content-addressed
+//                       design store before LRU eviction (default 16);
+//                       evicted designs lazily re-parse on next use
+//   --design-bytes N    resident-bytes bound for the design store
+//                       (default 1 GiB)
 //   --simd BACKEND      SIMD kernel table (auto|avx2|scalar|off)
 //   --trace-out PATH    enable the span tracer and write a Chrome trace of
 //                       every served job on exit; each job renders as its own
@@ -76,6 +81,10 @@ int main(int argc, char** argv) {
       args.get_int("journal-max-bytes", 64ll << 20));
   cfg.max_retries = static_cast<int>(args.get_int("retries", 2));
   cfg.retry_backoff_s = args.get_double("retry-backoff-s", 0.5);
+  cfg.design_capacity =
+      static_cast<std::size_t>(args.get_int("design-capacity", 16));
+  cfg.design_max_bytes = static_cast<std::size_t>(
+      args.get_int("design-bytes", 1ll << 30));
 
   const std::string trace_out = args.get("trace-out");
   if (!trace_out.empty()) telemetry::Tracer::global().enable();

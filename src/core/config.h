@@ -84,6 +84,9 @@ struct PlacerConfig {
   // ---- misc ---------------------------------------------------------------------
   std::uint64_t filler_seed = 1;
   std::uint64_t init_noise_seed = 2;
+  /// Per-run target-density override applied before filler insertion
+  /// (sweep axis for batched runs). 0 keeps the design's parse-time density.
+  double target_density = 0.0;
   /// Movable cells start at the region center plus Gaussian noise of this
   /// fraction of the region size (ePlace-style initialization). Negative
   /// keeps the positions already in the database.

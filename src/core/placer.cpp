@@ -49,19 +49,38 @@ PlacerConfig PlacerConfig::ablation(bool reduction, bool combination,
 }
 
 GlobalPlacer::GlobalPlacer(db::Database& db, const PlacerConfig& cfg)
-    : db_(db), cfg_(cfg), exec_(ExecutionContext::from_threads(cfg.threads)) {
-  if (db_.num_fillers() == 0) db_.insert_fillers(cfg_.filler_seed);
+    : db_(&db), cfg_(cfg), exec_(ExecutionContext::from_threads(cfg.threads)) {
+  init();
+}
+
+GlobalPlacer::GlobalPlacer(std::shared_ptr<const db::DesignSnapshot> snapshot,
+                           const PlacerConfig& cfg)
+    : snapshot_(std::move(snapshot)),
+      owned_db_(std::make_unique<db::Database>(snapshot_->materialize())),
+      db_(owned_db_.get()),
+      cfg_(cfg),
+      exec_(ExecutionContext::from_threads(cfg.threads)) {
+  init();
+}
+
+void GlobalPlacer::init() {
+  if (db_->num_fillers() == 0) {
+    // Per-run density override must land before fillers: the filler budget is
+    // D_t·free − movable, so this is what makes density a sweep axis.
+    if (cfg_.target_density > 0.0) db_->set_target_density(cfg_.target_density);
+    db_->insert_fillers(cfg_.filler_seed);
+  }
   init_positions();
-  engine_ = std::make_unique<GradientEngine>(db_, cfg_, &exec_);
-  precond_ = std::make_unique<Preconditioner>(db_);
+  engine_ = std::make_unique<GradientEngine>(*db_, cfg_, &exec_);
+  precond_ = std::make_unique<Preconditioner>(*db_);
   scheduler_ = std::make_unique<Scheduler>(
       cfg_, engine_->grid().bin_w());
   if (cfg_.optimizer == OptimizerKind::kNesterov) {
-    optimizer_ = std::make_unique<NesterovOptimizer>(db_, cfg_, cfg_.grid_dim);
+    optimizer_ = std::make_unique<NesterovOptimizer>(*db_, cfg_, cfg_.grid_dim);
   } else {
-    optimizer_ = std::make_unique<AdamOptimizer>(db_, cfg_, cfg_.grid_dim);
+    optimizer_ = std::make_unique<AdamOptimizer>(*db_, cfg_, cfg_.grid_dim);
   }
-  guardian_ = std::make_unique<Guardian>(cfg_, db_);
+  guardian_ = std::make_unique<Guardian>(cfg_, *db_);
 }
 
 GlobalPlacer::~GlobalPlacer() = default;
@@ -73,20 +92,20 @@ void GlobalPlacer::set_field_guidance(FieldGuidance* guidance) {
 void GlobalPlacer::init_positions() {
   if (cfg_.center_init_noise < 0.0) return;  // keep given positions
   Rng rng(cfg_.init_noise_seed);
-  const auto& r = db_.region();
+  const auto& r = db_->region();
   const double cx = r.cx(), cy = r.cy();
   const double sx = r.width() * cfg_.center_init_noise;
   const double sy = r.height() * cfg_.center_init_noise;
-  for (std::size_t c = 0; c < db_.num_movable(); ++c) {
-    const int fence = db_.cell_fence(c);
+  for (std::size_t c = 0; c < db_->num_movable(); ++c) {
+    const int fence = db_->cell_fence(c);
     if (fence >= 0) {
       // Fenced cells start at their fence's center (keeps GP feasible).
-      const RectD& fr = db_.fences()[fence].rect;
-      db_.set_position(c, fr.cx() + rng.normal(0.0, sx * 0.2),
+      const RectD& fr = db_->fences()[fence].rect;
+      db_->set_position(c, fr.cx() + rng.normal(0.0, sx * 0.2),
                        fr.cy() + rng.normal(0.0, sy * 0.2));
       continue;
     }
-    db_.set_position(c, cx + rng.normal(0.0, sx), cy + rng.normal(0.0, sy));
+    db_->set_position(c, cx + rng.normal(0.0, sx), cy + rng.normal(0.0, sy));
   }
   // Fillers keep their uniform-random insert positions.
 }
@@ -97,7 +116,7 @@ GlobalPlaceResult GlobalPlacer::run() {
   XP_TRACE_SCOPE("gp.run");
   Stopwatch gp_watch;
 
-  const std::size_t n = db_.num_cells_total();
+  const std::size_t n = db_->num_cells_total();
   std::vector<float> grad_x(n, 0.0f), grad_y(n, 0.0f);
 
   // Per-iteration step-time distribution (ms); ~30 ns .. ~2 s range.
@@ -115,7 +134,7 @@ GlobalPlaceResult GlobalPlacer::run() {
     // λ state, and engine caches, so the continued trajectory is bit-for-bit
     // the one the interrupted run would have produced.
     const RunCheckpoint ck = io::read_checkpoint(cfg_.resume_path);
-    restore_checkpoint(ck, db_, static_cast<int>(cfg_.optimizer), *optimizer_,
+    restore_checkpoint(ck, *db_, static_cast<int>(cfg_.optimizer), *optimizer_,
                        *scheduler_, *engine_);
     start_iter = ck.next_iter;
     gamma = ck.gamma;
@@ -123,7 +142,7 @@ GlobalPlaceResult GlobalPlacer::run() {
     best_hpwl = ck.best_hpwl;
     telemetry::Registry::global().counter("gp.resumes").inc();
     XP_INFO("[%s] resumed from %s at iter %d (hpwl %.6g, ovfl %.4f)",
-            db_.design_name().c_str(), cfg_.resume_path.c_str(), start_iter,
+            db_->design_name().c_str(), cfg_.resume_path.c_str(), start_iter,
             ck.hpwl, overflow);
   }
 
@@ -136,7 +155,7 @@ GlobalPlaceResult GlobalPlacer::run() {
                                ? StopReason::kCancelled
                                : StopReason::kDeadline;
       XP_INFO("[%s] GP stop requested at iter %d (%s)",
-              db_.design_name().c_str(), iter, to_string(cause));
+              db_->design_name().c_str(), iter, to_string(cause));
       break;
     }
     telemetry::TraceScope iter_span("gp.iter");
@@ -173,7 +192,7 @@ GlobalPlaceResult GlobalPlacer::run() {
     } else if (iter > 100 &&
                g.hpwl > best_hpwl * cfg_.divergence_hpwl_ratio) {
       XP_WARN("[%s] divergence detected at iter %d (hpwl %.4g vs best %.4g)",
-              db_.design_name().c_str(), iter, g.hpwl, best_hpwl);
+              db_->design_name().c_str(), iter, g.hpwl, best_hpwl);
       result.iterations = iter + 1;
       result.stop_reason = StopReason::kDiverged;
       break;
@@ -220,7 +239,7 @@ GlobalPlaceResult GlobalPlacer::run() {
 
     if (cfg_.verbose && iter % 50 == 0) {
       XP_INFO("[%s] iter %4d  hpwl %.6g  ovfl %.4f  gamma %.3g  lambda %.3g  omega %.3f",
-              db_.design_name().c_str(), iter, g.hpwl, overflow, gamma,
+              db_->design_name().c_str(), iter, g.hpwl, overflow, gamma,
               scheduler_->lambda(), omega);
     }
 
@@ -228,14 +247,14 @@ GlobalPlaceResult GlobalPlacer::run() {
     result.iterations = iter + 1;
 
     if (cfg_.guardian && guardian_->should_snapshot(iter, overflow)) {
-      guardian_->snapshot(db_, iter + 1, gamma, overflow, best_hpwl, g.hpwl,
+      guardian_->snapshot(*db_, iter + 1, gamma, overflow, best_hpwl, g.hpwl,
                           *optimizer_, *scheduler_, *engine_);
     }
     if (!cfg_.checkpoint_out.empty() && cfg_.checkpoint_period > 0 &&
         (iter + 1) % cfg_.checkpoint_period == 0) {
       XP_TRACE_SCOPE("gp.checkpoint_write");
       io::write_checkpoint(
-          capture_checkpoint(db_, static_cast<int>(cfg_.optimizer), iter + 1,
+          capture_checkpoint(*db_, static_cast<int>(cfg_.optimizer), iter + 1,
                              gamma, overflow, best_hpwl, g.hpwl, *optimizer_,
                              *scheduler_, *engine_),
           cfg_.checkpoint_out);
@@ -268,7 +287,7 @@ GlobalPlaceResult GlobalPlacer::run() {
   if (stopped_early &&
       guardian_->restore_best(*optimizer_, *scheduler_, *engine_)) {
     XP_WARN("[%s] committing best snapshot (hpwl %.6g) after %s stop",
-            db_.design_name().c_str(), guardian_->best().hpwl,
+            db_->design_name().c_str(), guardian_->best().hpwl,
             to_string(result.stop_reason));
     overflow = guardian_->best().overflow;
   }
@@ -277,15 +296,15 @@ GlobalPlaceResult GlobalPlacer::run() {
   // fillers are internal to the electrostatic system).
   const float* sx = optimizer_->solution_x();
   const float* sy = optimizer_->solution_y();
-  for (std::size_t c = 0; c < db_.num_movable(); ++c) {
-    db_.set_position(c, sx[c], sy[c]);
+  for (std::size_t c = 0; c < db_->num_movable(); ++c) {
+    db_->set_position(c, sx[c], sy[c]);
   }
   // Keep filler positions in the db too (harmless; useful for debugging).
-  for (std::size_t c = db_.num_physical(); c < n; ++c) {
-    db_.set_position(c, sx[c], sy[c]);
+  for (std::size_t c = db_->num_physical(); c < n; ++c) {
+    db_->set_position(c, sx[c], sy[c]);
   }
 
-  result.hpwl = db_.hpwl();
+  result.hpwl = db_->hpwl();
   result.overflow = overflow;
   result.gp_seconds = gp_watch.seconds();
   result.avg_iter_ms =
@@ -313,7 +332,7 @@ GlobalPlaceResult GlobalPlacer::run() {
   engine_->phase_timers().publish(reg, "timer.");
 
   XP_INFO("[%s] GP done (%s): %d iters, hpwl %.6g, ovfl %.4f, %.2fs (%.2f ms/iter), %llu launches",
-          db_.design_name().c_str(), to_string(result.stop_reason),
+          db_->design_name().c_str(), to_string(result.stop_reason),
           result.iterations, result.hpwl, result.overflow, result.gp_seconds,
           result.avg_iter_ms,
           static_cast<unsigned long long>(result.kernel_launches));

@@ -23,6 +23,7 @@
 #include "core/recorder.h"
 #include "core/scheduler.h"
 #include "db/database.h"
+#include "db/design_snapshot.h"
 #include "util/execution.h"
 #include "util/stop_token.h"
 
@@ -61,7 +62,18 @@ class GlobalPlacer {
  public:
   /// `db` must be finalized; fillers are inserted here if absent.
   GlobalPlacer(db::Database& db, const PlacerConfig& cfg);
+  /// Snapshot entry point: materializes a private copy-on-write run state
+  /// from the shared immutable snapshot (which stays alive for the placer's
+  /// lifetime). A run over a cached snapshot is bit-identical to a run over
+  /// a fresh parse of the same design with the same config.
+  GlobalPlacer(std::shared_ptr<const db::DesignSnapshot> snapshot,
+               const PlacerConfig& cfg);
   ~GlobalPlacer();
+
+  /// The database this run mutates (the caller's db, or the snapshot-
+  /// materialized private state). Legalization/detailed placement run here.
+  db::Database& db() { return *db_; }
+  const db::Database& db() const { return *db_; }
 
   /// Optional neural guidance (Section 3.3); must outlive run().
   void set_field_guidance(FieldGuidance* guidance);
@@ -100,9 +112,12 @@ class GlobalPlacer {
   Guardian& guardian() { return *guardian_; }
 
  private:
+  void init();
   void init_positions();
 
-  db::Database& db_;
+  std::shared_ptr<const db::DesignSnapshot> snapshot_;  ///< keeps the shared core alive
+  std::unique_ptr<db::Database> owned_db_;  ///< snapshot-materialized run state
+  db::Database* db_;
   PlacerConfig cfg_;
   const StopToken* stop_ = nullptr;
   std::function<void(int, const std::string&)> checkpoint_obs_;

@@ -11,6 +11,27 @@
 
 namespace xplace::db {
 
+std::size_t DesignCore::resident_bytes() const {
+  std::size_t bytes = sizeof(DesignCore);
+  auto vec = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  bytes += vec(widths) + vec(heights) + vec(kinds);
+  bytes += vec(net_weights) + vec(net_pin_start) + vec(pin_cell) + vec(pin_net);
+  bytes += vec(pin_offset_x) + vec(pin_offset_y);
+  bytes += vec(cell_pin_start) + vec(cell_pin_list);
+  bytes += vec(rows) + vec(cell_fence);
+  for (const std::string& s : cell_names) bytes += sizeof(std::string) + s.capacity();
+  for (const std::string& s : net_names) bytes += sizeof(std::string) + s.capacity();
+  for (const FenceRegion& f : fences) bytes += sizeof(FenceRegion) + f.name.capacity();
+  // unordered_map: buckets + one node per entry (key string + int + pointers).
+  bytes += cell_index.bucket_count() * sizeof(void*);
+  for (const auto& kv : cell_index) {
+    bytes += sizeof(void*) * 2 + sizeof(std::string) + kv.first.capacity() + sizeof(int);
+  }
+  return bytes;
+}
+
 void Database::require_builder() const {
   if (finalized_) {
     throw std::logic_error("Database already finalized");
@@ -23,15 +44,15 @@ int Database::add_cell(std::string name, double width, double height,
   if (width < 0.0 || height < 0.0) {
     throw std::invalid_argument("cell '" + name + "' has negative size");
   }
-  if (cell_index_.count(name) != 0) {
+  if (build_.cell_index.count(name) != 0) {
     throw std::invalid_argument("duplicate cell name '" + name + "'");
   }
-  const int id = static_cast<int>(cell_names_.size());
-  cell_index_.emplace(name, id);
-  cell_names_.push_back(std::move(name));
-  widths_.push_back(width);
-  heights_.push_back(height);
-  kinds_.push_back(kind);
+  const int id = static_cast<int>(build_.cell_names.size());
+  build_.cell_index.emplace(name, id);
+  build_.cell_names.push_back(std::move(name));
+  build_.widths.push_back(width);
+  build_.heights.push_back(height);
+  build_.kinds.push_back(kind);
   x_.push_back(0.0);
   y_.push_back(0.0);
   return id;
@@ -39,16 +60,16 @@ int Database::add_cell(std::string name, double width, double height,
 
 int Database::add_net(std::string name, double weight) {
   require_builder();
-  const int id = static_cast<int>(net_names_.size());
-  net_names_.push_back(std::move(name));
-  net_weights_.push_back(weight);
+  const int id = static_cast<int>(build_.net_names.size());
+  build_.net_names.push_back(std::move(name));
+  build_.net_weights.push_back(weight);
   return id;
 }
 
 void Database::add_pin(int net, int cell, double ox, double oy) {
   require_builder();
-  assert(net >= 0 && net < static_cast<int>(net_names_.size()));
-  assert(cell >= 0 && cell < static_cast<int>(cell_names_.size()));
+  assert(net >= 0 && net < static_cast<int>(build_.net_names.size()));
+  assert(cell >= 0 && cell < static_cast<int>(build_.cell_names.size()));
   raw_pins_.push_back(RawPin{net, cell, ox, oy});
 }
 
@@ -62,32 +83,32 @@ int Database::add_fence_region(std::string name, const RectD& rect) {
   if (rect.width() <= 0.0 || rect.height() <= 0.0) {
     throw std::invalid_argument("fence region '" + name + "' is degenerate");
   }
-  fences_.push_back(FenceRegion{std::move(name), rect});
-  return static_cast<int>(fences_.size() - 1);
+  build_.fences.push_back(FenceRegion{std::move(name), rect});
+  return static_cast<int>(build_.fences.size() - 1);
 }
 
 void Database::assign_to_fence(int cell, int fence) {
   require_builder();
-  if (fence < 0 || fence >= static_cast<int>(fences_.size())) {
+  if (fence < 0 || fence >= static_cast<int>(build_.fences.size())) {
     throw std::invalid_argument("unknown fence id");
   }
-  if (kinds_[cell] != CellKind::kMovable) {
+  if (build_.kinds[cell] != CellKind::kMovable) {
     throw std::invalid_argument("only movable cells can be fenced");
   }
-  if (cell_fence_.empty()) cell_fence_.assign(cell_names_.size(), -1);
-  cell_fence_.resize(cell_names_.size(), -1);
-  cell_fence_[cell] = fence;
+  if (build_.cell_fence.empty()) build_.cell_fence.assign(build_.cell_names.size(), -1);
+  build_.cell_fence.resize(build_.cell_names.size(), -1);
+  build_.cell_fence[cell] = fence;
 }
 
 void Database::finalize() {
   require_builder();
-  const std::size_t n = cell_names_.size();
+  const std::size_t n = build_.cell_names.size();
 
   // Stable permutation: movable cells first, fixed cells after.
   std::vector<std::uint32_t> order(n);
   std::iota(order.begin(), order.end(), 0u);
   std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    return (kinds_[a] == CellKind::kMovable) > (kinds_[b] == CellKind::kMovable);
+    return (build_.kinds[a] == CellKind::kMovable) > (build_.kinds[b] == CellKind::kMovable);
   });
   std::vector<std::uint32_t> old_to_new(n);
   for (std::size_t i = 0; i < n; ++i) old_to_new[order[i]] = static_cast<std::uint32_t>(i);
@@ -98,165 +119,186 @@ void Database::finalize() {
     for (std::size_t i = 0; i < n; ++i) out[i] = std::move(v[order[i]]);
     v = std::move(out);
   };
-  permute(cell_names_);
-  permute(widths_);
-  permute(heights_);
-  permute(kinds_);
+  permute(build_.cell_names);
+  permute(build_.widths);
+  permute(build_.heights);
+  permute(build_.kinds);
   permute(x_);
   permute(y_);
-  if (!cell_fence_.empty()) {
-    cell_fence_.resize(n, -1);
-    permute(cell_fence_);
+  if (!build_.cell_fence.empty()) {
+    build_.cell_fence.resize(n, -1);
+    permute(build_.cell_fence);
   }
-  cell_index_.clear();
-  for (std::size_t i = 0; i < n; ++i) cell_index_.emplace(cell_names_[i], static_cast<int>(i));
+  build_.cell_index.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    build_.cell_index.emplace(build_.cell_names[i], static_cast<int>(i));
+  }
 
-  num_movable_ = static_cast<std::size_t>(
-      std::count(kinds_.begin(), kinds_.end(), CellKind::kMovable));
-  num_physical_ = n;
+  build_.num_movable = static_cast<std::size_t>(
+      std::count(build_.kinds.begin(), build_.kinds.end(), CellKind::kMovable));
+  build_.num_physical = n;
 
   // Build net CSR. Pins keep their within-net insertion order.
-  const std::size_t num_nets = net_names_.size();
-  net_pin_start_.assign(num_nets + 1, 0);
-  for (const RawPin& p : raw_pins_) ++net_pin_start_[p.net + 1];
-  for (std::size_t e = 0; e < num_nets; ++e) net_pin_start_[e + 1] += net_pin_start_[e];
+  const std::size_t num_nets = build_.net_names.size();
+  build_.net_pin_start.assign(num_nets + 1, 0);
+  for (const RawPin& p : raw_pins_) ++build_.net_pin_start[p.net + 1];
+  for (std::size_t e = 0; e < num_nets; ++e) {
+    build_.net_pin_start[e + 1] += build_.net_pin_start[e];
+  }
   const std::size_t num_pins = raw_pins_.size();
-  pin_cell_.resize(num_pins);
-  pin_net_.resize(num_pins);
-  pin_offset_x_.resize(num_pins);
-  pin_offset_y_.resize(num_pins);
+  build_.pin_cell.resize(num_pins);
+  build_.pin_net.resize(num_pins);
+  build_.pin_offset_x.resize(num_pins);
+  build_.pin_offset_y.resize(num_pins);
   {
-    std::vector<std::uint32_t> cursor(net_pin_start_.begin(), net_pin_start_.end() - 1);
+    std::vector<std::uint32_t> cursor(build_.net_pin_start.begin(),
+                                      build_.net_pin_start.end() - 1);
     for (const RawPin& p : raw_pins_) {
       const std::uint32_t slot = cursor[p.net]++;
-      pin_cell_[slot] = old_to_new[p.cell];
-      pin_net_[slot] = static_cast<std::uint32_t>(p.net);
-      pin_offset_x_[slot] = p.ox;
-      pin_offset_y_[slot] = p.oy;
+      build_.pin_cell[slot] = old_to_new[p.cell];
+      build_.pin_net[slot] = static_cast<std::uint32_t>(p.net);
+      build_.pin_offset_x[slot] = p.ox;
+      build_.pin_offset_y[slot] = p.oy;
     }
   }
   raw_pins_.clear();
   raw_pins_.shrink_to_fit();
 
   // Build cell→pin CSR.
-  cell_pin_start_.assign(n + 1, 0);
-  for (std::uint32_t c : pin_cell_) ++cell_pin_start_[c + 1];
-  for (std::size_t c = 0; c < n; ++c) cell_pin_start_[c + 1] += cell_pin_start_[c];
-  cell_pin_list_.resize(num_pins);
+  build_.cell_pin_start.assign(n + 1, 0);
+  for (std::uint32_t c : build_.pin_cell) ++build_.cell_pin_start[c + 1];
+  for (std::size_t c = 0; c < n; ++c) {
+    build_.cell_pin_start[c + 1] += build_.cell_pin_start[c];
+  }
+  build_.cell_pin_list.resize(num_pins);
   {
-    std::vector<std::uint32_t> cursor(cell_pin_start_.begin(), cell_pin_start_.end() - 1);
+    std::vector<std::uint32_t> cursor(build_.cell_pin_start.begin(),
+                                      build_.cell_pin_start.end() - 1);
     for (std::uint32_t p = 0; p < num_pins; ++p) {
-      cell_pin_list_[cursor[pin_cell_[p]]++] = p;
+      build_.cell_pin_list[cursor[build_.pin_cell[p]]++] = p;
     }
   }
 
   // Default region: bounding box of rows if provided and region unset.
-  if (region_.width() <= 0.0 && !rows_.empty()) {
-    RectD r{rows_[0].lx, rows_[0].ly, rows_[0].hx(), rows_[0].hy()};
-    for (const Row& row : rows_) {
+  if (build_.region.width() <= 0.0 && !build_.rows.empty()) {
+    RectD r{build_.rows[0].lx, build_.rows[0].ly, build_.rows[0].hx(), build_.rows[0].hy()};
+    for (const Row& row : build_.rows) {
       r = r.united(RectD{row.lx, row.ly, row.hx(), row.hy()});
     }
-    region_ = r;
+    build_.region = r;
   }
 
-  total_movable_area_ = 0.0;
-  for (std::size_t c = 0; c < num_movable_; ++c) total_movable_area_ += area(c);
-  fixed_area_in_region_ = 0.0;
-  for (std::size_t c = num_movable_; c < n; ++c) {
-    fixed_area_in_region_ += cell_rect(c).overlap_area(region_);
+  build_.total_movable_area = 0.0;
+  for (std::size_t c = 0; c < build_.num_movable; ++c) {
+    build_.total_movable_area += build_.widths[c] * build_.heights[c];
+  }
+  build_.fixed_area_in_region = 0.0;
+  for (std::size_t c = build_.num_movable; c < n; ++c) {
+    const double hw = build_.widths[c] * 0.5, hh = build_.heights[c] * 0.5;
+    const RectD r{x_[c] - hw, y_[c] - hh, x_[c] + hw, y_[c] + hh};
+    build_.fixed_area_in_region += r.overlap_area(build_.region);
   }
 
+  // Freeze: parse-time data becomes the shared immutable core; per-run state
+  // (positions, overlays, density) seeds from it.
+  target_density_run_ = build_.target_density;
+  total_movable_area_run_ = build_.total_movable_area;
+  const std::string name = build_.design_name;
+  const std::size_t movable = build_.num_movable;
+  core_ = std::make_shared<const DesignCore>(std::move(build_));
+  build_ = DesignCore{};
   finalized_ = true;
   XP_DEBUG("finalized design '%s': %zu movable, %zu fixed, %zu nets, %zu pins",
-           design_name_.c_str(), num_movable_, num_fixed(), num_nets, num_pins);
+           name.c_str(), movable, num_fixed(), num_nets, num_pins);
 }
 
 void Database::scale_cell_width(std::size_t cell, double factor) {
   if (!finalized_) throw std::logic_error("scale_cell_width before finalize");
-  if (cell >= num_movable_) {
+  if (cell >= C().num_movable) {
     throw std::invalid_argument("scale_cell_width: not a movable cell");
   }
-  if (num_cells_total() != num_physical_) {
+  if (!filler_w_.empty()) {
     throw std::logic_error("scale_cell_width after filler insertion");
   }
   if (factor <= 0.0) throw std::invalid_argument("non-positive inflation factor");
-  const double old_area = area(cell);
-  widths_[cell] *= factor;
-  total_movable_area_ += area(cell) - old_area;
+  if (widths_cow_.empty()) widths_cow_ = C().widths;  // detach from shared core
+  const double old_area = widths_cow_[cell] * C().heights[cell];
+  widths_cow_[cell] *= factor;
+  total_movable_area_run_ += widths_cow_[cell] * C().heights[cell] - old_area;
 }
 
 void Database::insert_fillers(std::uint64_t seed) {
   if (!finalized_) throw std::logic_error("insert_fillers before finalize");
-  if (num_cells_total() != num_physical_) {
+  if (!filler_w_.empty()) {
     throw std::logic_error("fillers already inserted");
   }
-  if (num_movable_ == 0) return;
+  if (num_movable() == 0) return;
 
   // Filler size: mean movable width/height (ePlace uses the middle of the
   // sorted size distribution; the mean is equivalent for our size mixes).
   double mean_w = 0.0, mean_h = 0.0;
-  for (std::size_t c = 0; c < num_movable_; ++c) {
-    mean_w += widths_[c];
-    mean_h += heights_[c];
+  for (std::size_t c = 0; c < num_movable(); ++c) {
+    mean_w += width(c);
+    mean_h += height(c);
   }
-  mean_w /= static_cast<double>(num_movable_);
-  mean_h /= static_cast<double>(num_movable_);
+  mean_w /= static_cast<double>(num_movable());
+  mean_h /= static_cast<double>(num_movable());
   const double one_area = std::max(1e-12, mean_w * mean_h);
 
   Rng rng(seed);
   std::size_t total_count = 0;
   // Per electrostatic region: allowed area, fixed blockage inside it, member
   // movable area; filler budget = D_t·free − movable (DREAMPlace 3.0 style).
-  const int num_regions = static_cast<int>(fences_.size());
+  const std::vector<FenceRegion>& fence_list = C().fences;
+  const RectD region_rect = C().region;
+  const int num_regions = static_cast<int>(fence_list.size());
   for (int k = -1; k < num_regions; ++k) {
     double allowed_area;
-    RectD bounds = region_;
+    RectD bounds = region_rect;
     if (k >= 0) {
-      bounds = fences_[k].rect.intersection(region_);
+      bounds = fence_list[k].rect.intersection(region_rect);
       allowed_area = std::max(0.0, bounds.width()) * std::max(0.0, bounds.height());
     } else {
-      allowed_area = region_.area();
-      for (const FenceRegion& f : fences_) {
-        allowed_area -= f.rect.intersection(region_).area();
+      allowed_area = region_rect.area();
+      for (const FenceRegion& f : fence_list) {
+        allowed_area -= f.rect.intersection(region_rect).area();
       }
     }
     double fixed_area = 0.0;
-    for (std::size_t c = num_movable_; c < num_physical_; ++c) {
-      const RectD r = cell_rect(c).intersection(region_);
+    for (std::size_t c = num_movable(); c < num_physical(); ++c) {
+      const RectD r = cell_rect(c).intersection(region_rect);
       if (r.width() <= 0 || r.height() <= 0) continue;
       if (k >= 0) {
-        fixed_area += r.overlap_area(fences_[k].rect);
+        fixed_area += r.overlap_area(fence_list[k].rect);
       } else {
         double inside_fences = 0.0;
-        for (const FenceRegion& f : fences_) inside_fences += r.overlap_area(f.rect);
+        for (const FenceRegion& f : fence_list) inside_fences += r.overlap_area(f.rect);
         fixed_area += r.area() - inside_fences;
       }
     }
     double movable_area = 0.0;
-    for (std::size_t c = 0; c < num_movable_; ++c) {
+    for (std::size_t c = 0; c < num_movable(); ++c) {
       if (cell_fence(c) == k) movable_area += area(c);
     }
     const double filler_area =
-        std::max(0.0, target_density_ * (allowed_area - fixed_area) - movable_area);
+        std::max(0.0, target_density_run_ * (allowed_area - fixed_area) - movable_area);
     const std::size_t count = static_cast<std::size_t>(filler_area / one_area);
     if (count == 0) continue;
 
     const double lo_x = bounds.lx + mean_w * 0.5, hi_x = bounds.hx - mean_w * 0.5;
     const double lo_y = bounds.ly + mean_h * 0.5, hi_y = bounds.hy - mean_h * 0.5;
     for (std::size_t i = 0; i < count; ++i) {
-      const int id = static_cast<int>(cell_names_.size());
-      cell_names_.push_back("__filler_" + std::to_string(total_count + i));
-      widths_.push_back(mean_w);
-      heights_.push_back(mean_h);
-      kinds_.push_back(CellKind::kFiller);
+      filler_names_.push_back("__filler_" + std::to_string(total_count + i));
+      filler_w_.push_back(mean_w);
+      filler_h_.push_back(mean_h);
       double fx, fy;
-      if (k < 0 && !fences_.empty()) {
+      if (k < 0 && !fence_list.empty()) {
         // Default-region fillers: rejection-sample outside the fences.
         fx = rng.uniform(lo_x, std::max(lo_x + 1e-9, hi_x));
         fy = rng.uniform(lo_y, std::max(lo_y + 1e-9, hi_y));
         for (int tries = 0; tries < 16; ++tries) {
           bool inside = false;
-          for (const FenceRegion& f : fences_) {
+          for (const FenceRegion& f : fence_list) {
             if (f.rect.contains(fx, fy)) {
               inside = true;
               break;
@@ -272,33 +314,28 @@ void Database::insert_fillers(std::uint64_t seed) {
       }
       x_.push_back(fx);
       y_.push_back(fy);
-      if (!cell_fence_.empty() || k >= 0) {
-        if (cell_fence_.empty()) cell_fence_.assign(static_cast<std::size_t>(id), -1);
-        cell_fence_.resize(static_cast<std::size_t>(id) + 1, -1);
-        cell_fence_[id] = k;
-      }
+      filler_fence_.push_back(k);
     }
     total_count += count;
   }
-  if (!cell_fence_.empty()) cell_fence_.resize(num_cells_total(), -1);
-  // Fillers carry no pins: extend the cell-pin CSR with empty ranges.
-  cell_pin_start_.resize(num_cells_total() + 1, cell_pin_start_[num_physical_]);
   XP_DEBUG("inserted %zu fillers of %.3g x %.3g", total_count, mean_w, mean_h);
 }
 
 int Database::cell_id(const std::string& name) const {
-  auto it = cell_index_.find(name);
-  return it == cell_index_.end() ? -1 : it->second;
+  const auto& index = C().cell_index;
+  auto it = index.find(name);
+  return it == index.end() ? -1 : it->second;
 }
 
 double Database::net_hpwl(std::size_t net) const {
-  const std::size_t begin = net_pin_start_[net], end = net_pin_start_[net + 1];
+  const DesignCore& k = C();
+  const std::size_t begin = k.net_pin_start[net], end = k.net_pin_start[net + 1];
   if (end - begin < 2) return 0.0;
   double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
   for (std::size_t p = begin; p < end; ++p) {
-    const std::uint32_t c = pin_cell_[p];
-    const double px = x_[c] + pin_offset_x_[p];
-    const double py = y_[c] + pin_offset_y_[p];
+    const std::uint32_t c = k.pin_cell[p];
+    const double px = x_[c] + k.pin_offset_x[p];
+    const double py = y_[c] + k.pin_offset_y[p];
     min_x = std::min(min_x, px);
     max_x = std::max(max_x, px);
     min_y = std::min(min_y, py);
@@ -309,8 +346,9 @@ double Database::net_hpwl(std::size_t net) const {
 
 double Database::hpwl() const {
   double total = 0.0;
-  for (std::size_t e = 0; e < num_nets(); ++e) {
-    total += net_weights_[e] * net_hpwl(e);
+  const std::vector<double>& weights = C().net_weights;
+  for (std::size_t e = 0; e < weights.size(); ++e) {
+    total += weights[e] * net_hpwl(e);
   }
   return total;
 }

@@ -8,9 +8,17 @@
 //
 // All cell positions are *center* coordinates in the same unit as the region
 // rectangle. Pin offsets are relative to the cell center.
+//
+// Ownership model: finalize() freezes every parse-time array (netlist, sizes,
+// rows, fences, CSR pin structures) into an immutable DesignCore held behind a
+// shared_ptr. Copying a finalized Database is cheap — the core is shared
+// copy-on-write across all copies; only the per-run mutable state (positions,
+// filler overlay, width-inflation overlay, target-density override) is
+// duplicated. This is what lets one parsed design back many concurrent runs.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +49,46 @@ struct Row {
   double hy() const { return ly + height; }
 };
 
+/// Everything a parse produces and a run never mutates. Shared read-only
+/// (shared_ptr<const DesignCore>) by every Database materialized from one
+/// snapshot; per-run mutations (positions, fillers, width inflation) live as
+/// overlays in Database itself.
+struct DesignCore {
+  std::string design_name = "unnamed";
+
+  // Cell store (movable-first after finalize).
+  std::vector<std::string> cell_names;
+  std::vector<double> widths, heights;
+  std::vector<CellKind> kinds;
+  std::size_t num_movable = 0;
+  std::size_t num_physical = 0;
+  std::unordered_map<std::string, int> cell_index;
+
+  // Net store.
+  std::vector<std::string> net_names;
+  std::vector<double> net_weights;
+
+  // CSR pin structures.
+  std::vector<std::uint32_t> net_pin_start;
+  std::vector<std::uint32_t> pin_cell;
+  std::vector<std::uint32_t> pin_net;
+  std::vector<double> pin_offset_x, pin_offset_y;
+  std::vector<std::uint32_t> cell_pin_start;
+  std::vector<std::uint32_t> cell_pin_list;
+
+  RectD region{0, 0, 0, 0};
+  double target_density = 1.0;
+  std::vector<Row> rows;
+  std::vector<FenceRegion> fences;
+  std::vector<int> cell_fence;  ///< per-cell fence id (-1 default); empty if no fences
+
+  double total_movable_area = 0.0;
+  double fixed_area_in_region = 0.0;
+
+  /// Rough resident footprint of the shared arrays (cache accounting).
+  std::size_t resident_bytes() const;
+};
+
 class Database {
  public:
   // ---- construction (builder phase) ------------------------------------
@@ -50,10 +98,20 @@ class Database {
   /// Pin on `net` attached to `cell` at offset (ox, oy) from the cell center.
   void add_pin(int net, int cell, double ox, double oy);
 
-  void set_region(const RectD& region) { region_ = region; }
-  void set_target_density(double d) { target_density_ = d; }
-  void add_row(const Row& row) { rows_.push_back(row); }
-  void set_design_name(std::string name) { design_name_ = std::move(name); }
+  void set_region(const RectD& region) { build_.region = region; }
+  /// Builder phase: sets the design's parse-time density. After finalize it
+  /// only adjusts this run's density (the shared core keeps the parse value),
+  /// which makes target density a per-run sweep axis; must precede
+  /// insert_fillers() to take effect.
+  void set_target_density(double d) {
+    if (finalized_) {
+      target_density_run_ = d;
+    } else {
+      build_.target_density = d;
+    }
+  }
+  void add_row(const Row& row) { build_.rows.push_back(row); }
+  void set_design_name(std::string name) { build_.design_name = std::move(name); }
 
   /// Declares a fence region; returns its id. Builder phase only.
   int add_fence_region(std::string name, const RectD& rect);
@@ -64,58 +122,85 @@ class Database {
   void set_initial_position(int cell, double x, double y);
 
   /// Reorders cells movable-first/fixed-after, builds pin CSR structures,
-  /// and freezes the database. Must be called exactly once.
+  /// and freezes the parse-time data into the shared immutable core.
+  /// Must be called exactly once.
   void finalize();
   bool finalized() const { return finalized_; }
 
+  /// The shared immutable core (null before finalize). Two Databases with the
+  /// same core share all parse-time arrays copy-on-write.
+  std::shared_ptr<const DesignCore> core() const { return core_; }
+
   /// Scales a movable cell's width by `factor` (routability-driven
   /// inflation). Allowed after finalize (before fillers are inserted);
-  /// updates the cached movable area.
+  /// updates the cached movable area. Copy-on-write: the first call detaches
+  /// a private width array from the shared core.
   void scale_cell_width(std::size_t cell, double factor);
 
   /// Appends filler cells per ePlace: total filler area equals
   /// target_density * free_area - movable_area (clamped at 0); each filler is
   /// a square with side = sqrt(mean movable cell area), at random positions.
-  /// Must be called after finalize(). Safe to call with zero result.
+  /// Must be called after finalize(). Safe to call with zero result. Fillers
+  /// live in a per-run overlay — the shared core is untouched.
   void insert_fillers(std::uint64_t seed = 1);
 
   // ---- identity ---------------------------------------------------------
-  const std::string& design_name() const { return design_name_; }
+  const std::string& design_name() const { return C().design_name; }
 
   // ---- sizes --------------------------------------------------------------
-  std::size_t num_movable() const { return num_movable_; }
-  std::size_t num_fixed() const { return num_physical_ - num_movable_; }
-  std::size_t num_physical() const { return num_physical_; }
-  std::size_t num_fillers() const { return widths_.size() - num_physical_; }
-  std::size_t num_cells_total() const { return widths_.size(); }
-  std::size_t num_nets() const { return net_names_.size(); }
-  std::size_t num_pins() const { return pin_cell_.size(); }
+  std::size_t num_movable() const { return C().num_movable; }
+  std::size_t num_fixed() const { return C().num_physical - C().num_movable; }
+  std::size_t num_physical() const { return C().num_physical; }
+  std::size_t num_fillers() const { return filler_w_.size(); }
+  std::size_t num_cells_total() const { return C().widths.size() + filler_w_.size(); }
+  std::size_t num_nets() const { return C().net_names.size(); }
+  std::size_t num_pins() const { return C().pin_cell.size(); }
 
-  bool is_movable(std::size_t cell) const { return cell < num_movable_; }
-  bool is_filler(std::size_t cell) const { return cell >= num_physical_; }
+  bool is_movable(std::size_t cell) const { return cell < C().num_movable; }
+  bool is_filler(std::size_t cell) const { return cell >= C().num_physical; }
 
   // ---- geometry -----------------------------------------------------------
-  const RectD& region() const { return region_; }
-  double target_density() const { return target_density_; }
-  const std::vector<Row>& rows() const { return rows_; }
+  const RectD& region() const { return C().region; }
+  double target_density() const {
+    return finalized_ ? target_density_run_ : build_.target_density;
+  }
+  const std::vector<Row>& rows() const { return C().rows; }
 
-  double width(std::size_t cell) const { return widths_[cell]; }
-  double height(std::size_t cell) const { return heights_[cell]; }
-  double area(std::size_t cell) const { return widths_[cell] * heights_[cell]; }
-  CellKind kind(std::size_t cell) const { return kinds_[cell]; }
-  const std::string& cell_name(std::size_t cell) const { return cell_names_[cell]; }
-  const std::string& net_name(std::size_t net) const { return net_names_[net]; }
-  double net_weight(std::size_t net) const { return net_weights_[net]; }
+  double width(std::size_t cell) const {
+    const DesignCore& k = C();
+    if (cell >= k.widths.size()) return filler_w_[cell - k.widths.size()];
+    return widths_cow_.empty() ? k.widths[cell] : widths_cow_[cell];
+  }
+  double height(std::size_t cell) const {
+    const DesignCore& k = C();
+    return cell < k.heights.size() ? k.heights[cell]
+                                   : filler_h_[cell - k.heights.size()];
+  }
+  double area(std::size_t cell) const { return width(cell) * height(cell); }
+  CellKind kind(std::size_t cell) const {
+    const DesignCore& k = C();
+    return cell < k.kinds.size() ? k.kinds[cell] : CellKind::kFiller;
+  }
+  const std::string& cell_name(std::size_t cell) const {
+    const DesignCore& k = C();
+    return cell < k.cell_names.size() ? k.cell_names[cell]
+                                      : filler_names_[cell - k.cell_names.size()];
+  }
+  const std::string& net_name(std::size_t net) const { return C().net_names[net]; }
+  double net_weight(std::size_t net) const { return C().net_weights[net]; }
 
-  /// Cell id by name; -1 if unknown. (Names are unique per design.)
+  /// Cell id by name; -1 if unknown. (Names are unique per design; filler
+  /// cells are not indexed.)
   int cell_id(const std::string& name) const;
 
   // ---- fence regions --------------------------------------------------------
-  const std::vector<FenceRegion>& fences() const { return fences_; }
-  bool has_fences() const { return !fences_.empty(); }
+  const std::vector<FenceRegion>& fences() const { return C().fences; }
+  bool has_fences() const { return !C().fences.empty(); }
   /// Fence id of a cell, or -1 for the default (outside-all-fences) region.
   int cell_fence(std::size_t cell) const {
-    return cell_fence_.empty() ? -1 : cell_fence_[cell];
+    const DesignCore& k = C();
+    if (cell >= k.widths.size()) return filler_fence_[cell - k.widths.size()];
+    return k.cell_fence.empty() ? -1 : k.cell_fence[cell];
   }
 
   // ---- positions (center coordinates) -------------------------------------
@@ -131,35 +216,41 @@ class Database {
   std::vector<double>& mutable_y() { return y_; }
 
   RectD cell_rect(std::size_t cell) const {
-    const double hw = widths_[cell] * 0.5, hh = heights_[cell] * 0.5;
+    const double hw = width(cell) * 0.5, hh = height(cell) * 0.5;
     return {x_[cell] - hw, y_[cell] - hh, x_[cell] + hw, y_[cell] + hh};
   }
 
   // ---- connectivity (valid after finalize) ---------------------------------
   /// Net pins occupy [net_pin_start(e), net_pin_start(e+1)) in the pin arrays.
-  std::size_t net_pin_start(std::size_t net) const { return net_pin_start_[net]; }
+  std::size_t net_pin_start(std::size_t net) const { return C().net_pin_start[net]; }
   std::size_t net_degree(std::size_t net) const {
-    return net_pin_start_[net + 1] - net_pin_start_[net];
+    return C().net_pin_start[net + 1] - C().net_pin_start[net];
   }
-  int pin_cell(std::size_t pin) const { return pin_cell_[pin]; }
-  double pin_offset_x(std::size_t pin) const { return pin_offset_x_[pin]; }
-  double pin_offset_y(std::size_t pin) const { return pin_offset_y_[pin]; }
+  int pin_cell(std::size_t pin) const { return C().pin_cell[pin]; }
+  double pin_offset_x(std::size_t pin) const { return C().pin_offset_x[pin]; }
+  double pin_offset_y(std::size_t pin) const { return C().pin_offset_y[pin]; }
 
   /// Pins of a cell occupy [cell_pin_start(c), cell_pin_start(c+1)) in
   /// cell_pin_list(); filler cells have empty ranges.
-  std::size_t cell_pin_start(std::size_t cell) const { return cell_pin_start_[cell]; }
-  const std::vector<std::uint32_t>& cell_pin_list() const { return cell_pin_list_; }
-  std::uint32_t pin_net(std::size_t pin) const { return pin_net_[pin]; }
+  std::size_t cell_pin_start(std::size_t cell) const {
+    const DesignCore& k = C();
+    return k.cell_pin_start[cell < k.num_physical ? cell : k.num_physical];
+  }
+  const std::vector<std::uint32_t>& cell_pin_list() const { return C().cell_pin_list; }
+  std::uint32_t pin_net(std::size_t pin) const { return C().pin_net[pin]; }
 
   /// Number of nets incident to a cell (|S_i| in the preconditioner).
   std::size_t cell_num_nets(std::size_t cell) const {
-    return cell_pin_start_[cell + 1] - cell_pin_start_[cell];
+    return cell_pin_start(cell + 1) - cell_pin_start(cell);
   }
 
   // ---- derived quantities ---------------------------------------------------
-  double total_movable_area() const { return total_movable_area_; }
+  double total_movable_area() const { return total_movable_area_run_; }
   /// Area of fixed cells clipped to the region.
-  double fixed_area_in_region() const { return fixed_area_in_region_; }
+  double fixed_area_in_region() const { return C().fixed_area_in_region; }
+
+  /// Rough resident footprint of the shared immutable core.
+  std::size_t core_resident_bytes() const { return C().resident_bytes(); }
 
   /// Exact total HPWL at current positions: Σ_e w_e * (Δx + Δy). Nets with
   /// fewer than 2 pins contribute zero.
@@ -170,22 +261,16 @@ class Database {
 
  private:
   void require_builder() const;
+  /// Active parse-time view: the shared core once finalized, else the builder
+  /// scratch. Per-run overlays layer on top of this in the accessors.
+  const DesignCore& C() const { return core_ ? *core_ : build_; }
 
-  std::string design_name_ = "unnamed";
   bool finalized_ = false;
 
-  // Cell store (movable-first after finalize).
-  std::vector<std::string> cell_names_;
-  std::vector<double> widths_, heights_;
-  std::vector<CellKind> kinds_;
-  std::vector<double> x_, y_;
-  std::size_t num_movable_ = 0;
-  std::size_t num_physical_ = 0;
-  std::unordered_map<std::string, int> cell_index_;
-
-  // Net store.
-  std::vector<std::string> net_names_;
-  std::vector<double> net_weights_;
+  // Builder-phase scratch; moved into core_ (and reset) by finalize().
+  DesignCore build_;
+  // Immutable parse-time data, shared across every copy of this Database.
+  std::shared_ptr<const DesignCore> core_;
 
   // Builder-phase pins (net, cell, offset).
   struct RawPin {
@@ -195,22 +280,14 @@ class Database {
   };
   std::vector<RawPin> raw_pins_;
 
-  // CSR pin structures (after finalize).
-  std::vector<std::uint32_t> net_pin_start_;
-  std::vector<std::uint32_t> pin_cell_;
-  std::vector<std::uint32_t> pin_net_;
-  std::vector<double> pin_offset_x_, pin_offset_y_;
-  std::vector<std::uint32_t> cell_pin_start_;
-  std::vector<std::uint32_t> cell_pin_list_;
-
-  RectD region_{0, 0, 0, 0};
-  double target_density_ = 1.0;
-  std::vector<Row> rows_;
-  std::vector<FenceRegion> fences_;
-  std::vector<int> cell_fence_;  ///< per-cell fence id (-1 default); empty if no fences
-
-  double total_movable_area_ = 0.0;
-  double fixed_area_in_region_ = 0.0;
+  // ---- per-run mutable state (private to each Database copy) -------------
+  std::vector<double> x_, y_;           ///< positions; grows with fillers
+  std::vector<double> widths_cow_;      ///< detached widths after scale_cell_width; empty = use core
+  std::vector<std::string> filler_names_;
+  std::vector<double> filler_w_, filler_h_;
+  std::vector<int> filler_fence_;
+  double target_density_run_ = 1.0;
+  double total_movable_area_run_ = 0.0;
 };
 
 }  // namespace xplace::db

@@ -1,0 +1,35 @@
+// A content-addressed, immutable parse result: one finalized Database (pre-
+// filler, at its parse-time positions) plus the identity the design store
+// keys on. Snapshots are shared via shared_ptr<const DesignSnapshot> across
+// concurrent placement runs; materialize() hands each run a private mutable
+// state that still shares the parse-time arrays copy-on-write.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "db/database.h"
+
+namespace xplace::db {
+
+struct DesignSnapshot {
+  /// FNV-1a over the design's source bytes (bookshelf file contents) or its
+  /// generator key (demo cells/seed). Stable across processes and restarts.
+  std::uint64_t content_hash = 0;
+  /// Human-readable provenance: "aux:<path>" or "demo:<cells>:<seed>".
+  std::string source;
+  /// Finalized database, fillers not yet inserted. Never mutated after load.
+  Database base;
+  /// Estimated footprint of the shared immutable core (store accounting).
+  std::size_t resident_bytes = 0;
+
+  const std::string& design_name() const { return base.design_name(); }
+  std::size_t num_cells() const { return base.num_physical(); }
+  std::size_t num_nets() const { return base.num_nets(); }
+
+  /// Materializes a private per-run state: O(cells) position doubles are
+  /// copied; the netlist/geometry core is shared with every other run.
+  Database materialize() const { return base; }
+};
+
+}  // namespace xplace::db

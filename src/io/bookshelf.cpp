@@ -237,25 +237,71 @@ void read_scl(const std::string& path, db::Database& db) {
 
 }  // namespace
 
-db::Database read_bookshelf_aux(const std::string& aux_path) {
+namespace {
+
+/// Component files a .aux references, resolved relative to the aux directory.
+struct AuxComponents {
+  std::string nodes, nets, pl, scl, wts;
+};
+
+AuxComponents parse_aux_components(const std::string& aux_path) {
   // .aux: "RowBasedPlacement : f.nodes f.nets f.wts f.pl f.scl"
   LineReader aux(aux_path);
   std::vector<std::string> t;
   if (!aux.next(t)) aux.fail("empty aux file");
   const std::string dir = dir_of(aux_path);
-  std::string nodes_path, nets_path, pl_path, scl_path, wts_path;
+  AuxComponents out;
   for (const std::string& tok : t) {
     const std::string low = lower(tok);
     const std::string full = dir + "/" + tok;
-    if (low.size() > 6 && low.compare(low.size() - 6, 6, ".nodes") == 0) nodes_path = full;
-    else if (low.size() > 5 && low.compare(low.size() - 5, 5, ".nets") == 0) nets_path = full;
-    else if (low.size() > 3 && low.compare(low.size() - 3, 3, ".pl") == 0) pl_path = full;
-    else if (low.size() > 4 && low.compare(low.size() - 4, 4, ".scl") == 0) scl_path = full;
-    else if (low.size() > 4 && low.compare(low.size() - 4, 4, ".wts") == 0) wts_path = full;
+    if (low.size() > 6 && low.compare(low.size() - 6, 6, ".nodes") == 0) out.nodes = full;
+    else if (low.size() > 5 && low.compare(low.size() - 5, 5, ".nets") == 0) out.nets = full;
+    else if (low.size() > 3 && low.compare(low.size() - 3, 3, ".pl") == 0) out.pl = full;
+    else if (low.size() > 4 && low.compare(low.size() - 4, 4, ".scl") == 0) out.scl = full;
+    else if (low.size() > 4 && low.compare(low.size() - 4, 4, ".wts") == 0) out.wts = full;
   }
-  if (nodes_path.empty() || nets_path.empty() || pl_path.empty()) {
+  if (out.nodes.empty() || out.nets.empty() || out.pl.empty()) {
     aux.fail("aux must reference .nodes, .nets and .pl files");
   }
+  return out;
+}
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a64_accum(std::uint64_t h, const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Streams a whole file through the running FNV-1a state. `required` controls
+/// whether an unreadable file throws or is skipped (matches the parser's
+/// tolerance for a missing .wts).
+std::uint64_t hash_file_bytes(std::uint64_t h, const std::string& path, bool required) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (required) throw std::runtime_error("cannot open '" + path + "'");
+    return h;
+  }
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    h = fnv1a64_accum(h, buf, static_cast<std::size_t>(in.gcount()));
+  }
+  return h;
+}
+
+}  // namespace
+
+db::Database read_bookshelf_aux(const std::string& aux_path) {
+  const AuxComponents comp = parse_aux_components(aux_path);
+  const std::string& nodes_path = comp.nodes;
+  const std::string& nets_path = comp.nets;
+  const std::string& pl_path = comp.pl;
+  const std::string& scl_path = comp.scl;
+  const std::string& wts_path = comp.wts;
 
   std::vector<NodeRecord> nodes;
   read_nodes(nodes_path, nodes);
@@ -391,6 +437,29 @@ void write_bookshelf(const db::Database& db, const std::string& directory,
       out << "End\n";
     }
   }
+}
+
+std::uint64_t hash_bookshelf_aux(const std::string& aux_path) {
+  // Hash the aux bytes first (it pins the component file *names*), then each
+  // component's bytes in a fixed order so the hash is path-layout independent.
+  std::uint64_t h = hash_file_bytes(kFnvBasis, aux_path, /*required=*/true);
+  const AuxComponents comp = parse_aux_components(aux_path);
+  h = hash_file_bytes(h, comp.nodes, /*required=*/true);
+  h = hash_file_bytes(h, comp.nets, /*required=*/true);
+  h = hash_file_bytes(h, comp.pl, /*required=*/true);
+  if (!comp.scl.empty()) h = hash_file_bytes(h, comp.scl, /*required=*/false);
+  if (!comp.wts.empty()) h = hash_file_bytes(h, comp.wts, /*required=*/false);
+  return h;
+}
+
+std::shared_ptr<const db::DesignSnapshot> read_bookshelf_snapshot(
+    const std::string& aux_path) {
+  auto snap = std::make_shared<db::DesignSnapshot>();
+  snap->content_hash = hash_bookshelf_aux(aux_path);
+  snap->source = "aux:" + aux_path;
+  snap->base = read_bookshelf_aux(aux_path);
+  snap->resident_bytes = snap->base.core_resident_bytes();
+  return snap;
 }
 
 }  // namespace xplace::io

@@ -13,9 +13,12 @@
 // formatting), so placements can be exchanged with external bookshelf tools.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "db/database.h"
+#include "db/design_snapshot.h"
 
 namespace xplace::io {
 
@@ -23,6 +26,18 @@ namespace xplace::io {
 /// with a file/line diagnostic on malformed input. The returned database is
 /// finalized (fillers not inserted).
 db::Database read_bookshelf_aux(const std::string& aux_path);
+
+/// FNV-1a content hash over the .aux file's bytes plus the bytes of every
+/// component file it references (.nodes/.nets/.pl/.scl/.wts) — the design
+/// store's cache key. Throws when the aux or a required component is
+/// unreadable; a referenced-but-missing .wts is tolerated like the parser
+/// tolerates it.
+std::uint64_t hash_bookshelf_aux(const std::string& aux_path);
+
+/// Parse + hash in one step: an immutable content-addressed snapshot that can
+/// back many concurrent runs copy-on-write (see db::DesignSnapshot).
+std::shared_ptr<const db::DesignSnapshot> read_bookshelf_snapshot(
+    const std::string& aux_path);
 
 /// Write a complete bookshelf design (aux/nodes/nets/wts/pl/scl) under
 /// `directory` with file stem `design`.

@@ -1,11 +1,18 @@
 #include "io/generator.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
 #include <numeric>
 #include <vector>
 
+#include "io/bookshelf.h"
+#include "io/journal.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -300,6 +307,46 @@ db::Database generate(const GeneratorSpec& spec) {
           spec.name.c_str(), db.num_movable(), db.num_nets(), total_pins,
           total_pins / std::max<std::size_t>(1, spec.num_nets), width, height);
   return db;
+}
+
+std::uint64_t demo_content_hash(std::size_t cells, std::uint64_t seed) {
+  // Tagged key so demo hashes live in a different space than file-byte
+  // hashes ("demo" prefix + the two little-endian u64 generator inputs).
+  char key[4 + 8 + 8];
+  std::memcpy(key, "demo", 4);
+  const std::uint64_t c = static_cast<std::uint64_t>(cells);
+  std::memcpy(key + 4, &c, 8);
+  std::memcpy(key + 12, &seed, 8);
+  return fnv1a64(key, sizeof(key));
+}
+
+std::shared_ptr<const db::DesignSnapshot> make_demo_snapshot(std::size_t cells,
+                                                             std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  // Scratch path must be unique per process AND per call: concurrent loads
+  // (or two servers in one test binary) must not write and delete each
+  // other's bookshelf scratch files mid-parse.
+  static std::atomic<std::uint64_t> scratch_seq{0};
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("xplace_demo_" + std::to_string(::getpid()) + "_" +
+       std::to_string(scratch_seq.fetch_add(1)));
+  fs::create_directories(dir);
+  GeneratorSpec gen;
+  gen.name = "demo";
+  gen.num_cells = cells;
+  gen.num_nets = gen.num_cells + gen.num_cells / 20;
+  gen.seed = seed;
+  const db::Database generated = generate(gen);
+  write_bookshelf(generated, dir.string(), "demo");
+  auto snap = std::make_shared<db::DesignSnapshot>();
+  snap->content_hash = demo_content_hash(cells, seed);
+  snap->source = "demo:" + std::to_string(cells) + ":" + std::to_string(seed);
+  snap->base = read_bookshelf_aux((dir / "demo.aux").string());
+  snap->resident_bytes = snap->base.core_resident_bytes();
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // scratch files; ignore cleanup failures
+  return snap;
 }
 
 }  // namespace xplace::io

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "db/database.h"
+#include "db/design_snapshot.h"
 
 namespace xplace::io {
 
@@ -47,5 +49,18 @@ struct GeneratorSpec {
 /// the placer does that). Initial movable positions are scattered uniformly
 /// over the free region.
 db::Database generate(const GeneratorSpec& spec);
+
+/// Content hash of the demo design keyed on its generator inputs. The
+/// generator is bit-reproducible given (cells, seed), so hashing the key is
+/// equivalent to hashing the produced files; grid/iteration counts are
+/// placement parameters, not design identity, and are deliberately excluded.
+std::uint64_t demo_content_hash(std::size_t cells, std::uint64_t seed);
+
+/// The demo-design path of place_bookshelf, verbatim: synthesize, dump to
+/// bookshelf scratch files, read them back — so a demo snapshot is the exact
+/// database a demo CLI run parses (bit-for-bit parity). Content-addressed by
+/// demo_content_hash().
+std::shared_ptr<const db::DesignSnapshot> make_demo_snapshot(std::size_t cells,
+                                                             std::uint64_t seed);
 
 }  // namespace xplace::io

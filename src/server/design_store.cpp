@@ -1,0 +1,240 @@
+#include "server/design_store.h"
+
+#include <stdexcept>
+
+#include "io/bookshelf.h"
+#include "io/generator.h"
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+
+namespace xplace::server {
+
+namespace {
+
+telemetry::Registry& reg() { return telemetry::Registry::global(); }
+
+}  // namespace
+
+DesignStore::DesignStore(DesignStoreConfig cfg) : cfg_(cfg) {
+  cfg_.capacity = cfg_.capacity == 0 ? 1 : cfg_.capacity;
+  publish_gauges_locked();
+}
+
+void DesignStore::touch_locked(std::uint64_t hash) {
+  entries_[hash].last_use = ++tick_;
+}
+
+void DesignStore::publish_gauges_locked() {
+  reg().gauge("serve.design.resident").set(static_cast<double>(resident_count_));
+  reg().gauge("serve.design.resident_bytes").set(static_cast<double>(resident_bytes_));
+}
+
+DesignStore::SnapshotPtr DesignStore::load_locked(std::uint64_t hash,
+                                                  const SourceRef& ref,
+                                                  std::string* error) {
+  SnapshotPtr snap;
+  try {
+    snap = ref.demo ? io::make_demo_snapshot(ref.cells, ref.seed)
+                    : io::read_bookshelf_snapshot(ref.aux);
+  } catch (const std::exception& e) {
+    if (error) *error = e.what();
+    return nullptr;
+  }
+  if (snap->content_hash != hash) {
+    // Aux bytes changed on disk since the design was registered: the stored
+    // hash no longer names this content. Refuse rather than serve a liar.
+    if (error) {
+      *error = "design source '" + snap->source +
+               "' no longer matches its registered content hash";
+    }
+    return nullptr;
+  }
+  ++parses_;
+  reg().counter("serve.design.parses").inc();
+  EntryImpl& e = entries_[hash];
+  e.snapshot = snap;
+  e.source = ref;
+  ++resident_count_;
+  resident_bytes_ += snap->resident_bytes;
+  touch_locked(hash);
+  // The caller is about to use this snapshot: hold it pinned through the
+  // bound check so the LRU pass can never pick the newcomer as its victim
+  // (it would, when every other resident design is pinned by running jobs).
+  ++e.pins;
+  evict_lru_locked();
+  --e.pins;
+  publish_gauges_locked();
+  XP_INFO("design store: parsed %s (hash %016llx, %zu cells, ~%zu KiB)",
+          snap->source.c_str(), static_cast<unsigned long long>(hash),
+          snap->num_cells(), snap->resident_bytes / 1024);
+  return snap;
+}
+
+DesignStore::SnapshotPtr DesignStore::get_aux(const std::string& aux_path,
+                                              std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t hash = 0;
+  try {
+    hash = io::hash_bookshelf_aux(aux_path);
+  } catch (const std::exception& e) {
+    if (error) *error = e.what();
+    return nullptr;
+  }
+  auto it = entries_.find(hash);
+  if (it != entries_.end() && it->second.snapshot) {
+    ++cache_hits_;
+    ++it->second.hits;
+    reg().counter("serve.design.cache_hits").inc();
+    touch_locked(hash);
+    return it->second.snapshot;
+  }
+  SourceRef ref;
+  ref.aux = aux_path;
+  return load_locked(hash, ref, error);
+}
+
+DesignStore::SnapshotPtr DesignStore::get_demo(std::size_t cells,
+                                               std::uint64_t seed,
+                                               std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t hash = io::demo_content_hash(cells, seed);
+  auto it = entries_.find(hash);
+  if (it != entries_.end() && it->second.snapshot) {
+    ++cache_hits_;
+    ++it->second.hits;
+    reg().counter("serve.design.cache_hits").inc();
+    touch_locked(hash);
+    return it->second.snapshot;
+  }
+  SourceRef ref;
+  ref.demo = true;
+  ref.cells = cells;
+  ref.seed = seed;
+  return load_locked(hash, ref, error);
+}
+
+DesignStore::SnapshotPtr DesignStore::get_hash(std::uint64_t hash,
+                                               std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    if (error) *error = "unknown design hash";
+    return nullptr;
+  }
+  if (it->second.snapshot) {
+    ++cache_hits_;
+    ++it->second.hits;
+    reg().counter("serve.design.cache_hits").inc();
+    touch_locked(hash);
+    return it->second.snapshot;
+  }
+  return load_locked(hash, it->second.source, error);
+}
+
+bool DesignStore::known(std::uint64_t hash) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(hash) != 0;
+}
+
+void DesignStore::pin(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(hash);
+  if (it != entries_.end()) ++it->second.pins;
+}
+
+void DesignStore::unpin(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(hash);
+  if (it != entries_.end() && it->second.pins > 0) --it->second.pins;
+}
+
+void DesignStore::evict_lru_locked() {
+  while (resident_count_ > cfg_.capacity ||
+         resident_bytes_ > cfg_.max_resident_bytes) {
+    std::map<std::uint64_t, EntryImpl>::iterator victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.snapshot || it->second.pins > 0) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;  // everything resident is pinned
+    resident_bytes_ -= victim->second.snapshot->resident_bytes;
+    --resident_count_;
+    victim->second.snapshot.reset();  // source stays — lazy re-parse later
+    ++cache_evictions_;
+    reg().counter("serve.design.cache_evictions").inc();
+  }
+}
+
+bool DesignStore::evict(std::uint64_t hash, std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    if (error) *error = "unknown design hash";
+    return false;
+  }
+  if (it->second.pins > 0) {
+    if (error) *error = "design is pinned by a running job";
+    return false;
+  }
+  if (it->second.snapshot) {
+    resident_bytes_ -= it->second.snapshot->resident_bytes;
+    --resident_count_;
+    ++cache_evictions_;
+    reg().counter("serve.design.cache_evictions").inc();
+  }
+  entries_.erase(it);
+  publish_gauges_locked();
+  return true;
+}
+
+void DesignStore::register_source(std::uint64_t hash, SourceRef ref) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(hash);
+  if (it != entries_.end()) return;  // already known (possibly resident)
+  EntryImpl e;
+  e.source = std::move(ref);
+  entries_.emplace(hash, std::move(e));
+}
+
+std::vector<DesignStore::Entry> DesignStore::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [hash, e] : entries_) {
+    Entry row;
+    row.hash = hash;
+    row.hits = e.hits;
+    row.pins = e.pins;
+    row.resident = e.snapshot != nullptr;
+    if (e.snapshot) {
+      row.source = e.snapshot->source;
+      row.name = e.snapshot->design_name();
+      row.cells = e.snapshot->num_cells();
+      row.nets = e.snapshot->num_nets();
+      row.resident_bytes = e.snapshot->resident_bytes;
+    } else {
+      row.source = e.source.demo
+                       ? "demo:" + std::to_string(e.source.cells) + ":" +
+                             std::to_string(e.source.seed)
+                       : "aux:" + e.source.aux;
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+DesignStore::Stats DesignStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.parses = parses_;
+  s.cache_hits = cache_hits_;
+  s.cache_evictions = cache_evictions_;
+  s.resident = resident_count_;
+  s.resident_bytes = resident_bytes_;
+  return s;
+}
+
+}  // namespace xplace::server

@@ -1,0 +1,156 @@
+// Content-addressed design store: the multi-tenant cache that makes the
+// netlist — not the job — the unit of residency (DESIGN.md §14).
+//
+// A design is parsed exactly once per content hash and held as an immutable
+// db::DesignSnapshot behind a shared_ptr; every job materializes its private
+// run state from the shared snapshot copy-on-write. The store is bounded by
+// entry count and resident bytes with LRU eviction of unpinned snapshots;
+// jobs pin their snapshot for the duration of the run. Evicting a design
+// drops only its residency — the store remembers the source (aux path or
+// demo generator key) and lazily re-parses on the next reference, which is
+// also how uploaded designs survive a daemon restart (journal design-ref
+// records re-register sources without parsing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/design_snapshot.h"
+
+namespace xplace::server {
+
+struct DesignStoreConfig {
+  std::size_t capacity = 16;                     ///< max resident snapshots
+  std::size_t max_resident_bytes = 1ull << 30;   ///< LRU-evict beyond this
+};
+
+class DesignStore {
+ public:
+  using SnapshotPtr = std::shared_ptr<const db::DesignSnapshot>;
+
+  /// Where a design came from — enough to re-parse it after eviction or a
+  /// restart. Exactly one of (aux) / (demo cells+seed) is meaningful.
+  struct SourceRef {
+    bool demo = false;
+    std::string aux;
+    std::size_t cells = 0;
+    std::uint64_t seed = 0;
+  };
+
+  /// One row of list-designs.
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::string source;
+    std::string name;
+    std::size_t cells = 0;
+    std::size_t nets = 0;
+    std::size_t resident_bytes = 0;
+    std::uint64_t hits = 0;
+    int pins = 0;
+    bool resident = false;
+  };
+
+  struct Stats {
+    std::uint64_t parses = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_evictions = 0;
+    std::size_t resident = 0;
+    std::size_t resident_bytes = 0;
+  };
+
+  explicit DesignStore(DesignStoreConfig cfg);
+
+  /// Loads (or returns the cached) snapshot for a bookshelf design. The file
+  /// bytes are hashed first; a hash already resident is a cache hit with no
+  /// re-parse. The store mutex is held across the parse — loads serialize,
+  /// which is the documented price of the exactly-one-parse guarantee.
+  SnapshotPtr get_aux(const std::string& aux_path, std::string* error);
+
+  /// Demo-design variant, keyed on the generator inputs (cells, seed).
+  SnapshotPtr get_demo(std::size_t cells, std::uint64_t seed, std::string* error);
+
+  /// Snapshot by content hash: resident → returned directly; known-but-
+  /// evicted → re-parsed from the remembered source (hash-verified for aux
+  /// sources); unknown → null with *error.
+  SnapshotPtr get_hash(std::uint64_t hash, std::string* error);
+
+  /// True when the hash is resident or has a remembered source.
+  bool known(std::uint64_t hash) const;
+
+  /// Pin/unpin: pinned snapshots are exempt from LRU eviction (jobs pin for
+  /// the duration of their run). Unknown hashes are ignored.
+  void pin(std::uint64_t hash);
+  void unpin(std::uint64_t hash);
+
+  /// RAII pin for a job's run scope.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(DesignStore& store, std::uint64_t hash) : store_(&store), hash_(hash) {
+      store_->pin(hash_);
+    }
+    Pin(Pin&& o) noexcept : store_(o.store_), hash_(o.hash_) { o.store_ = nullptr; }
+    Pin& operator=(Pin&& o) noexcept {
+      if (this != &o) {
+        release();
+        store_ = o.store_;
+        hash_ = o.hash_;
+        o.store_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { release(); }
+
+   private:
+    void release() {
+      if (store_) store_->unpin(hash_);
+      store_ = nullptr;
+    }
+    DesignStore* store_ = nullptr;
+    std::uint64_t hash_ = 0;
+  };
+
+  /// Explicit eviction (evict-design verb): drops residency AND the
+  /// remembered source. Fails when the design is pinned by a running job.
+  bool evict(std::uint64_t hash, std::string* error);
+
+  /// Recovery path: remember a source without parsing (re-parse happens on
+  /// the first get_hash that misses).
+  void register_source(std::uint64_t hash, SourceRef ref);
+
+  std::vector<Entry> list() const;
+  Stats stats() const;
+
+ private:
+  SnapshotPtr load_locked(std::uint64_t hash, const SourceRef& ref,
+                          std::string* error);
+  void touch_locked(std::uint64_t hash);
+  void evict_lru_locked();
+  void publish_gauges_locked();
+
+  struct EntryImpl {
+    SnapshotPtr snapshot;  ///< null when evicted (source remembered)
+    SourceRef source;
+    std::uint64_t hits = 0;
+    int pins = 0;
+    std::uint64_t last_use = 0;  ///< LRU tick
+  };
+
+  DesignStoreConfig cfg_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, EntryImpl> entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t resident_count_ = 0;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t parses_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_evictions_ = 0;
+};
+
+}  // namespace xplace::server

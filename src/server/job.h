@@ -21,10 +21,21 @@ struct JobSpec {
   std::string aux;             ///< bookshelf .aux path ("" = demo)
   long demo_cells = 0;         ///< >0: synthesize like place_bookshelf --demo
   std::uint64_t demo_seed = 11;  ///< place_bookshelf's demo seed
+  /// Content hash of an uploaded design (upload-design verb): non-zero
+  /// selects the design store directly. Mutually exclusive with aux /
+  /// demo_cells — validate_spec() rejects ambiguous sources.
+  std::uint64_t design_hash = 0;
 
   // ---- placement config (place_bookshelf defaults) -------------------------
   int max_iters = 1500;
   int grid = 128;
+  /// Sweep seed: >0 derives the placer's stochastic seeds deterministically
+  /// (filler_seed = seed, init_noise_seed = seed + 1). 0 = placer defaults.
+  std::uint64_t seed = 0;
+  /// >0 overrides the design's target density before filler insertion.
+  double target_density = 0.0;
+  /// >0 overrides the λ-schedule init factor (PlacerConfig::lambda_init_factor).
+  double lambda_init = 0.0;
   /// Worker threads for this job's kernels; 0 = the server's per-job default.
   /// Each running job gets its own ExecutionContext so concurrent jobs never
   /// share a pool (sharing would serialize one job inline and break per-job
@@ -42,7 +53,50 @@ struct JobSpec {
   /// the global telemetry registry. Empty = "job<id>". Characters outside
   /// [A-Za-z0-9_.-] are replaced with '_'.
   std::string label;
+
+  // ---- batching / dedup ----------------------------------------------------
+  std::uint64_t batch_id = 0;  ///< owning submit-batch id (0 = standalone)
+  /// Result dedup: when set, an identical (design_hash, config_hash) with a
+  /// successful terminal result is served from cache instead of re-running.
+  /// Default off for plain submits (soak tests rely on N identical jobs
+  /// running independently); submit-batch defaults it on.
+  bool dedup = false;
 };
+
+/// demo_cells admission bound: a demo bigger than this is almost certainly a
+/// client bug (the generator would try to allocate tens of GiB).
+inline constexpr long kMaxDemoCells = 5'000'000;
+
+/// Spec validation shared by the protocol parser and the in-process
+/// PlacementServer::submit path. Returns "" when valid. This is the fix for
+/// `submit` silently preferring `aux` when both `aux` and `demo_cells` are
+/// set: ambiguous sources are rejected at admission, on both entry points.
+inline std::string validate_spec(const JobSpec& s) {
+  int sources = 0;
+  if (!s.aux.empty()) ++sources;
+  if (s.demo_cells != 0) ++sources;
+  if (s.design_hash != 0) ++sources;
+  if (sources == 0) {
+    return "job requires a design: \"aux\", \"demo_cells\" > 0, or \"design\"";
+  }
+  if (sources > 1) {
+    return "ambiguous design source: give exactly one of \"aux\", "
+           "\"demo_cells\", \"design\"";
+  }
+  if (s.demo_cells < 0) return "\"demo_cells\" must be positive";
+  if (s.demo_cells > kMaxDemoCells) {
+    return "\"demo_cells\" exceeds the " + std::to_string(kMaxDemoCells) +
+           " admission bound";
+  }
+  if (s.max_iters <= 0) return "\"max_iters\" must be positive";
+  if (s.grid <= 0) return "\"grid\" must be positive";
+  if (s.deadline_s < 0.0) return "\"deadline_s\" must be non-negative";
+  if (s.target_density < 0.0 || s.target_density > 1.0) {
+    return "\"target_density\" must be in (0, 1]";
+  }
+  if (s.lambda_init < 0.0) return "\"lambda_init\" must be non-negative";
+  return "";
+}
 
 enum class JobState : int {
   kQueued = 0,

@@ -66,8 +66,39 @@ const char* to_string(Command cmd) {
     case Command::kStats: return "stats";
     case Command::kMetrics: return "metrics";
     case Command::kShutdown: return "shutdown";
+    case Command::kUploadDesign: return "upload-design";
+    case Command::kListDesigns: return "list-designs";
+    case Command::kEvictDesign: return "evict-design";
+    case Command::kSubmitBatch: return "submit-batch";
+    case Command::kBatchStatus: return "batch-status";
+    case Command::kBatchResult: return "batch-result";
   }
   return "?";
+}
+
+std::string hash_to_hex(std::uint64_t hash) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+bool hex_to_hash(const std::string& hex, std::uint64_t* out) {
+  if (hex.empty() || hex.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (char c : hex) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else return false;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  *out = v;
+  return true;
 }
 
 namespace {
@@ -81,13 +112,20 @@ bool command_from_string(const std::string& s, Command* out) {
   else if (s == "stats") *out = Command::kStats;
   else if (s == "metrics") *out = Command::kMetrics;
   else if (s == "shutdown") *out = Command::kShutdown;
+  else if (s == "upload-design") *out = Command::kUploadDesign;
+  else if (s == "list-designs") *out = Command::kListDesigns;
+  else if (s == "evict-design") *out = Command::kEvictDesign;
+  else if (s == "submit-batch") *out = Command::kSubmitBatch;
+  else if (s == "batch-status") *out = Command::kBatchStatus;
+  else if (s == "batch-result") *out = Command::kBatchResult;
   else return false;
   return true;
 }
 
 bool needs_id(Command cmd) {
   return cmd == Command::kStatus || cmd == Command::kCancel ||
-         cmd == Command::kResult || cmd == Command::kEvents;
+         cmd == Command::kResult || cmd == Command::kEvents ||
+         cmd == Command::kBatchStatus || cmd == Command::kBatchResult;
 }
 
 /// Non-negative integral number field; false (with message) on bad type or
@@ -102,6 +140,35 @@ bool get_uint(const json::Value& obj, std::string_view key,
     return false;
   }
   *out = static_cast<std::uint64_t>(v->number());
+  return true;
+}
+
+/// Reads every JobSpec field present on `obj` into *s, leaving absent fields
+/// at their current values — which is what lets submit-batch configs start
+/// from the request's base fields and override per config.
+bool parse_spec_fields(const json::Value& obj, JobSpec* s, std::string* error) {
+  JobSpec& spec = *s;
+  if (obj.has("aux")) spec.aux = obj.get_string("aux");
+  spec.demo_cells =
+      static_cast<long>(obj.get_number("demo_cells", spec.demo_cells));
+  if (!get_uint(obj, "demo_seed", &spec.demo_seed, error)) return false;
+  if (const json::Value* v = obj.find("design"); v != nullptr) {
+    if (!v->is_string() || !hex_to_hash(v->str(), &spec.design_hash)) {
+      *error = "\"design\" must be a hex content hash";
+      return false;
+    }
+  }
+  spec.max_iters = static_cast<int>(obj.get_number("max_iters", spec.max_iters));
+  spec.grid = static_cast<int>(obj.get_number("grid", spec.grid));
+  if (!get_uint(obj, "seed", &spec.seed, error)) return false;
+  spec.target_density = obj.get_number("target_density", spec.target_density);
+  spec.lambda_init = obj.get_number("lambda_init", spec.lambda_init);
+  spec.threads = static_cast<int>(obj.get_number("threads", spec.threads));
+  spec.full_flow = obj.get_bool("full_flow", spec.full_flow);
+  spec.priority = static_cast<int>(obj.get_number("priority", spec.priority));
+  spec.deadline_s = obj.get_number("deadline_s", spec.deadline_s);
+  if (obj.has("label")) spec.label = obj.get_string("label");
+  spec.dedup = obj.get_bool("dedup", spec.dedup);
   return true;
 }
 
@@ -139,35 +206,70 @@ bool parse_request(const std::string& line, Request* out, std::string* error) {
   req.timeout_s = root.get_number("timeout_s", req.timeout_s);
   req.drain = root.get_bool("drain", true);
 
+  if (req.cmd == Command::kSubmit || req.cmd == Command::kUploadDesign ||
+      req.cmd == Command::kSubmitBatch) {
+    if (!parse_spec_fields(root, &req.spec, error)) return false;
+  }
   if (req.cmd == Command::kSubmit) {
-    JobSpec& s = req.spec;
-    s.aux = root.get_string("aux");
-    s.demo_cells = static_cast<long>(root.get_number("demo_cells", 0));
-    std::uint64_t seed = s.demo_seed;
-    if (!get_uint(root, "demo_seed", &seed, error)) return false;
-    s.demo_seed = seed;
-    s.max_iters = static_cast<int>(root.get_number("max_iters", s.max_iters));
-    s.grid = static_cast<int>(root.get_number("grid", s.grid));
-    s.threads = static_cast<int>(root.get_number("threads", s.threads));
-    s.full_flow = root.get_bool("full_flow", true);
-    s.priority = static_cast<int>(root.get_number("priority", 0));
-    s.deadline_s = root.get_number("deadline_s", 0.0);
-    s.label = root.get_string("label");
-    if (s.aux.empty() && s.demo_cells <= 0) {
-      *error = "submit requires \"aux\" or \"demo_cells\" > 0";
+    // One validation for both entry points: the wire path here, the
+    // in-process PlacementServer::submit path inside the server — so an
+    // ambiguous source (aux AND demo_cells) is rejected everywhere.
+    if (std::string verr = validate_spec(req.spec); !verr.empty()) {
+      *error = std::move(verr);
       return false;
     }
-    if (!s.aux.empty() && s.demo_cells > 0) {
-      *error = "submit takes \"aux\" or \"demo_cells\", not both";
+  }
+  if (req.cmd == Command::kUploadDesign) {
+    if (req.spec.design_hash != 0) {
+      *error = "upload-design takes \"aux\" or \"demo_cells\", not \"design\"";
       return false;
     }
-    if (s.max_iters <= 0 || s.grid <= 0) {
-      *error = "max_iters and grid must be positive";
+    if (std::string verr = validate_spec(req.spec); !verr.empty()) {
+      *error = std::move(verr);
       return false;
     }
-    if (s.deadline_s < 0) {
-      *error = "deadline_s must be non-negative";
+  }
+  if (req.cmd == Command::kEvictDesign) {
+    const json::Value* v = root.find("design");
+    std::uint64_t hash = 0;
+    if (v == nullptr || !v->is_string() || !hex_to_hash(v->str(), &hash)) {
+      *error = "evict-design requires \"design\" (hex content hash)";
       return false;
+    }
+    req.spec.design_hash = hash;
+  }
+  if (req.cmd == Command::kSubmitBatch) {
+    if (std::string verr = validate_spec(req.spec); !verr.empty()) {
+      *error = std::move(verr);
+      return false;
+    }
+    // Batch configs default dedup ON (the whole point of a sweep cache);
+    // a plain submit keeps it off unless asked.
+    req.spec.dedup = root.get_bool("dedup", true);
+    const json::Value* configs = root.find("configs");
+    if (configs == nullptr || !configs->is_array() ||
+        configs->array().empty()) {
+      *error = "submit-batch requires a non-empty \"configs\" array";
+      return false;
+    }
+    for (std::size_t i = 0; i < configs->array().size(); ++i) {
+      const json::Value& c = configs->array()[i];
+      if (!c.is_object()) {
+        *error = "configs[" + std::to_string(i) + "] must be an object";
+        return false;
+      }
+      // Each config starts from the base spec and overrides; design fields
+      // are resolved by the server from the batch's design, so configs may
+      // not name their own source.
+      if (c.has("aux") || c.has("demo_cells") || c.has("design")) {
+        *error = "configs[" + std::to_string(i) +
+                 "] must not name a design source (the batch's design is "
+                 "shared)";
+        return false;
+      }
+      JobSpec member = req.spec;
+      if (!parse_spec_fields(c, &member, error)) return false;
+      req.configs.push_back(std::move(member));
     }
   }
 
@@ -175,27 +277,83 @@ bool parse_request(const std::string& line, Request* out, std::string* error) {
   return true;
 }
 
+namespace {
+
+/// Spec fields shared by submit / upload-design / submit-batch builders.
+void append_spec_fields(json::Object* o, const JobSpec& s) {
+  if (!s.aux.empty()) o->emplace_back("aux", s.aux);
+  if (s.demo_cells > 0) {
+    o->emplace_back("demo_cells", static_cast<double>(s.demo_cells));
+    o->emplace_back("demo_seed", s.demo_seed);
+  }
+  if (s.design_hash != 0) o->emplace_back("design", hash_to_hex(s.design_hash));
+  o->emplace_back("max_iters", s.max_iters);
+  o->emplace_back("grid", s.grid);
+  if (s.seed > 0) o->emplace_back("seed", s.seed);
+  if (s.target_density > 0) o->emplace_back("target_density", s.target_density);
+  if (s.lambda_init > 0) o->emplace_back("lambda_init", s.lambda_init);
+  o->emplace_back("threads", s.threads);
+  o->emplace_back("full_flow", json::Value(s.full_flow));
+  o->emplace_back("priority", s.priority);
+  if (s.deadline_s > 0) o->emplace_back("deadline_s", s.deadline_s);
+  if (!s.label.empty()) o->emplace_back("label", s.label);
+}
+
+}  // namespace
+
 std::string build_request(const Request& req) {
   json::Object o;
   o.emplace_back("cmd", to_string(req.cmd));
   if (needs_id(req.cmd)) o.emplace_back("id", req.id);
   switch (req.cmd) {
-    case Command::kSubmit: {
+    case Command::kSubmit:
+      append_spec_fields(&o, req.spec);
+      if (req.spec.dedup) o.emplace_back("dedup", json::Value(true));
+      break;
+    case Command::kUploadDesign: {
       const JobSpec& s = req.spec;
       if (!s.aux.empty()) o.emplace_back("aux", s.aux);
       if (s.demo_cells > 0) {
         o.emplace_back("demo_cells", static_cast<double>(s.demo_cells));
         o.emplace_back("demo_seed", s.demo_seed);
       }
-      o.emplace_back("max_iters", s.max_iters);
-      o.emplace_back("grid", s.grid);
-      o.emplace_back("threads", s.threads);
-      o.emplace_back("full_flow", json::Value(s.full_flow));
-      o.emplace_back("priority", s.priority);
-      if (s.deadline_s > 0) o.emplace_back("deadline_s", s.deadline_s);
-      if (!s.label.empty()) o.emplace_back("label", s.label);
       break;
     }
+    case Command::kEvictDesign:
+      o.emplace_back("design", hash_to_hex(req.spec.design_hash));
+      break;
+    case Command::kSubmitBatch: {
+      append_spec_fields(&o, req.spec);
+      o.emplace_back("dedup", json::Value(req.spec.dedup));
+      json::Array configs;
+      for (const JobSpec& c : req.configs) {
+        // Emit only the per-config deltas that matter on the wire: the
+        // parser re-applies them over the base fields above.
+        json::Object cfg;
+        if (c.seed != req.spec.seed) cfg.emplace_back("seed", c.seed);
+        if (c.target_density != req.spec.target_density) {
+          cfg.emplace_back("target_density", c.target_density);
+        }
+        if (c.lambda_init != req.spec.lambda_init) {
+          cfg.emplace_back("lambda_init", c.lambda_init);
+        }
+        if (c.max_iters != req.spec.max_iters) {
+          cfg.emplace_back("max_iters", c.max_iters);
+        }
+        if (c.grid != req.spec.grid) cfg.emplace_back("grid", c.grid);
+        if (c.label != req.spec.label) cfg.emplace_back("label", c.label);
+        if (c.dedup != req.spec.dedup) {
+          cfg.emplace_back("dedup", json::Value(c.dedup));
+        }
+        configs.emplace_back(std::move(cfg));
+      }
+      o.emplace_back("configs", std::move(configs));
+      break;
+    }
+    case Command::kBatchResult:
+      o.emplace_back("wait", json::Value(req.wait));
+      o.emplace_back("timeout_s", req.timeout_s);
+      break;
     case Command::kResult:
       o.emplace_back("wait", json::Value(req.wait));
       o.emplace_back("timeout_s", req.timeout_s);

@@ -21,6 +21,30 @@
 //   {"cmd":"shutdown","drain":true}             → {"ok":true} then the
 //        daemon stops accepting, drains, and exits 0
 //
+// Design-store + batch-sweep verbs (DESIGN.md §14). Design content hashes are
+// 64-bit and travel as 16-char lowercase hex strings (JSON numbers are
+// doubles — 53 bits of integer precision would corrupt them):
+//
+//   {"cmd":"upload-design","demo_cells":4000}   → {"ok":true,
+//        "design":"a1b2...","name":"demo","cells":N,"nets":N,"bytes":N,
+//        "cached":false}  (idempotent: re-upload of known content is a cache
+//        hit, "cached":true)
+//   {"cmd":"list-designs"}                      → {"ok":true,"designs":[...]}
+//   {"cmd":"evict-design","design":"a1b2..."}   → {"ok":true} (fails while a
+//        running job pins the design)
+//   {"cmd":"submit-batch","design":"a1b2...","max_iters":500,
+//    "configs":[{"seed":1},{"seed":2},{"target_density":0.8}]}
+//        → {"ok":true,"batch":3,"design":"a1b2...",
+//           "jobs":[{"id":7,"dedup":false},...]}
+//        Each config starts from the base fields on the request object and
+//        overrides per-config; the design is parsed at most once for the
+//        whole batch. "dedup" (default true) serves a repeated
+//        (design, config) from the existing job instead of re-running.
+//   {"cmd":"batch-status","id":3}               → {"ok":true,"batch":{...}}
+//   {"cmd":"batch-result","id":3,"wait":true,"timeout_s":600}
+//        → {"ok":true,"batch":{...},"jobs":[{...},...]} with one full job
+//        object per member, dedup-shared members repeated by reference
+//
 // Every error is {"ok":false,"error":"..."} on one line; a malformed or
 // oversized request line never kills the connection — the server answers
 // with an error and keeps reading (the framing layer resynchronizes on the
@@ -33,6 +57,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "server/job.h"
 #include "server/json.h"
@@ -85,13 +110,25 @@ enum class Command {
   kStats,
   kMetrics,
   kShutdown,
+  kUploadDesign,
+  kListDesigns,
+  kEvictDesign,
+  kSubmitBatch,
+  kBatchStatus,
+  kBatchResult,
 };
 
 const char* to_string(Command cmd);
 
-/// One parsed request. `spec` is meaningful for kSubmit; `id` for
-/// status/cancel/result/events; `from_seq`/`wait`/`timeout_s`/`drain` for
-/// the commands that document them above.
+/// 64-bit content hash ↔ 16-char lowercase hex (the wire encoding).
+std::string hash_to_hex(std::uint64_t hash);
+bool hex_to_hash(const std::string& hex, std::uint64_t* out);
+
+/// One parsed request. `spec` is meaningful for kSubmit / kUploadDesign /
+/// kSubmitBatch (the batch base); `configs` for kSubmitBatch; `id` for
+/// status/cancel/result/events and batch-status/batch-result (the batch id);
+/// `from_seq`/`wait`/`timeout_s`/`drain` for the commands that document them
+/// above.
 struct Request {
   Command cmd = Command::kStats;
   std::uint64_t id = 0;
@@ -99,7 +136,8 @@ struct Request {
   bool wait = false;            ///< result: block until terminal
   double timeout_s = 60.0;      ///< result --wait bound
   bool drain = true;            ///< shutdown: finish queued+running first
-  JobSpec spec;                 ///< submit payload
+  JobSpec spec;                 ///< submit payload / batch base
+  std::vector<JobSpec> configs; ///< submit-batch member configs
 };
 
 /// Parses one request line. On failure returns false and sets *error to a

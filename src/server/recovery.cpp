@@ -56,6 +56,15 @@ std::string encode_submit(const JobSpec& spec, int attempt) {
   put<double>(out, spec.deadline_s);
   put_str(out, spec.label);
   put<std::int32_t>(out, attempt);
+  // Design-store / sweep fields (appended; decode reads them symmetrically —
+  // startup compaction rewrites the journal with the running binary's codec,
+  // so there is no cross-version payload to worry about).
+  put<std::uint64_t>(out, spec.design_hash);
+  put<std::uint64_t>(out, spec.seed);
+  put<double>(out, spec.target_density);
+  put<double>(out, spec.lambda_init);
+  put<std::uint64_t>(out, spec.batch_id);
+  put<std::uint8_t>(out, spec.dedup ? 1 : 0);
   return out;
 }
 
@@ -75,6 +84,14 @@ bool decode_submit(const std::string& payload, JobSpec* spec, int* attempt) {
   if (!get(payload, &pos, &spec->deadline_s)) return false;
   if (!get_str(payload, &pos, &spec->label)) return false;
   if (!get(payload, &pos, &att)) return false;
+  std::uint8_t dedup = 0;
+  if (!get(payload, &pos, &spec->design_hash)) return false;
+  if (!get(payload, &pos, &spec->seed)) return false;
+  if (!get(payload, &pos, &spec->target_density)) return false;
+  if (!get(payload, &pos, &spec->lambda_init)) return false;
+  if (!get(payload, &pos, &spec->batch_id)) return false;
+  if (!get(payload, &pos, &dedup)) return false;
+  spec->dedup = dedup != 0;
   spec->demo_cells = static_cast<long>(cells);
   spec->max_iters = max_iters;
   spec->grid = grid;
@@ -154,6 +171,57 @@ bool decode_retry(const std::string& payload, RetryInfo* info) {
   return true;
 }
 
+std::string encode_design_ref(const DesignRefInfo& info) {
+  std::string out;
+  put<std::uint8_t>(out, info.demo ? 1 : 0);
+  put_str(out, info.aux);
+  put<std::uint64_t>(out, info.cells);
+  put<std::uint64_t>(out, info.seed);
+  return out;
+}
+
+bool decode_design_ref(const std::string& payload, DesignRefInfo* info) {
+  std::size_t pos = 0;
+  std::uint8_t demo = 0;
+  if (!get(payload, &pos, &demo)) return false;
+  if (!get_str(payload, &pos, &info->aux)) return false;
+  if (!get(payload, &pos, &info->cells)) return false;
+  if (!get(payload, &pos, &info->seed)) return false;
+  info->demo = demo != 0;
+  return true;
+}
+
+std::string encode_batch(const BatchInfo& info) {
+  std::string out;
+  put<std::uint64_t>(out, info.design_hash);
+  put_str(out, info.label);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(info.job_ids.size()));
+  for (std::size_t i = 0; i < info.job_ids.size(); ++i) {
+    put<std::uint64_t>(out, info.job_ids[i]);
+    put<std::uint8_t>(out, i < info.deduped.size() ? info.deduped[i] : 0);
+  }
+  return out;
+}
+
+bool decode_batch(const std::string& payload, BatchInfo* info) {
+  std::size_t pos = 0;
+  std::uint32_t count = 0;
+  if (!get(payload, &pos, &info->design_hash)) return false;
+  if (!get_str(payload, &pos, &info->label)) return false;
+  if (!get(payload, &pos, &count)) return false;
+  info->job_ids.clear();
+  info->deduped.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t id = 0;
+    std::uint8_t dedup = 0;
+    if (!get(payload, &pos, &id)) return false;
+    if (!get(payload, &pos, &dedup)) return false;
+    info->job_ids.push_back(id);
+    info->deduped.push_back(dedup);
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Recovery planning
 // ---------------------------------------------------------------------------
@@ -172,8 +240,14 @@ RecoveryPlan build_recovery_plan(const io::JournalReplay& replay) {
   };
 
   for (const io::JournalRecord& rec : replay.records) {
-    plan.max_id = std::max(plan.max_id, rec.job_id);
-    switch (static_cast<JournalEvent>(rec.type)) {
+    const auto type = static_cast<JournalEvent>(rec.type);
+    // Non-job records reuse the job_id slot for other identities (design
+    // hash, batch id) — they must not poison job-id allocation.
+    if (type != JournalEvent::kDesignRef && type != JournalEvent::kBatch &&
+        type != JournalEvent::kCleanShutdown) {
+      plan.max_id = std::max(plan.max_id, rec.job_id);
+    }
+    switch (type) {
       case JournalEvent::kSubmit: {
         RecoveredJob job;
         job.id = rec.job_id;
@@ -225,6 +299,36 @@ RecoveryPlan build_recovery_plan(const io::JournalReplay& replay) {
         break;
       case JournalEvent::kCleanShutdown:
         break;  // positional: only meaningful as the final record
+      case JournalEvent::kDesignRef: {
+        DesignRefInfo info;
+        if (!decode_design_ref(rec.payload, &info)) break;
+        bool seen = false;
+        for (const RecoveredDesign& d : plan.designs) {
+          if (d.hash == rec.job_id) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) plan.designs.push_back(RecoveredDesign{rec.job_id, std::move(info)});
+        break;
+      }
+      case JournalEvent::kBatch: {
+        BatchInfo info;
+        if (!decode_batch(rec.payload, &info)) break;
+        plan.max_batch_id = std::max(plan.max_batch_id, rec.job_id);
+        bool seen = false;
+        for (RecoveredBatch& b : plan.batches) {
+          if (b.id == rec.job_id) {
+            b.info = std::move(info);  // duplicate id: newest wins
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          plan.batches.push_back(RecoveredBatch{rec.job_id, std::move(info), rec.time_s});
+        }
+        break;
+      }
     }
   }
   plan.clean_shutdown =
@@ -236,6 +340,15 @@ RecoveryPlan build_recovery_plan(const io::JournalReplay& replay) {
 
 std::vector<io::JournalRecord> compaction_records(const RecoveryPlan& plan) {
   std::vector<io::JournalRecord> out;
+  // Designs first: jobs and batches reference them by hash, and recovery
+  // registers sources before it re-admits any work.
+  for (const RecoveredDesign& d : plan.designs) {
+    io::JournalRecord rec;
+    rec.type = static_cast<std::uint32_t>(JournalEvent::kDesignRef);
+    rec.job_id = d.hash;
+    rec.payload = encode_design_ref(d.source);
+    out.push_back(std::move(rec));
+  }
   for (const RecoveredJob& job : plan.jobs) {
     io::JournalRecord submit;
     submit.type = static_cast<std::uint32_t>(JournalEvent::kSubmit);
@@ -287,6 +400,14 @@ std::vector<io::JournalRecord> compaction_records(const RecoveryPlan& plan) {
       cancel.time_s = job.submit_time_s;
       out.push_back(std::move(cancel));
     }
+  }
+  for (const RecoveredBatch& b : plan.batches) {
+    io::JournalRecord rec;
+    rec.type = static_cast<std::uint32_t>(JournalEvent::kBatch);
+    rec.job_id = b.id;
+    rec.time_s = b.submit_time_s;
+    rec.payload = encode_batch(b.info);
+    out.push_back(std::move(rec));
   }
   return out;
 }

@@ -40,6 +40,14 @@ enum class JournalEvent : std::uint32_t {
   kCancel = 5,
   kRetry = 6,
   kCleanShutdown = 7,
+  /// A design became known to the store (upload-design, or the first job
+  /// referencing it). The record's job_id slot carries the design's content
+  /// hash; the payload carries its source so recovery can re-register it for
+  /// lazy re-parse. Not a job record: excluded from max_id.
+  kDesignRef = 8,
+  /// A submit-batch landed: the job_id slot carries the batch id; the payload
+  /// ties the member job ids to the batch + design hash.
+  kBatch = 9,
 };
 
 /// Decoded kFinish payload (the terminal slice of a JobRecord).
@@ -76,6 +84,28 @@ bool decode_checkpoint(const std::string& payload, int* next_iter,
 std::string encode_retry(const RetryInfo& info);
 bool decode_retry(const std::string& payload, RetryInfo* info);
 
+/// Decoded kDesignRef payload (the design's hash rides in the job_id slot).
+struct DesignRefInfo {
+  bool demo = false;
+  std::string aux;
+  std::uint64_t cells = 0;
+  std::uint64_t seed = 0;
+};
+
+std::string encode_design_ref(const DesignRefInfo& info);
+bool decode_design_ref(const std::string& payload, DesignRefInfo* info);
+
+/// Decoded kBatch payload (the batch id rides in the job_id slot).
+struct BatchInfo {
+  std::uint64_t design_hash = 0;
+  std::string label;
+  std::vector<std::uint64_t> job_ids;
+  std::vector<std::uint8_t> deduped;  ///< parallel to job_ids: served from cache
+};
+
+std::string encode_batch(const BatchInfo& info);
+bool decode_batch(const std::string& payload, BatchInfo* info);
+
 /// One job's effective state after folding every journal record about it.
 struct RecoveredJob {
   std::uint64_t id = 0;
@@ -91,6 +121,21 @@ struct RecoveredJob {
   std::vector<JobAttempt> attempts;  ///< folded retry history
 };
 
+/// A design the store knew about (possibly evicted); re-registered at
+/// startup for lazy re-parse.
+struct RecoveredDesign {
+  std::uint64_t hash = 0;
+  DesignRefInfo source;
+};
+
+/// A batch whose membership survives the restart (member jobs recover
+/// independently through their own records).
+struct RecoveredBatch {
+  std::uint64_t id = 0;
+  BatchInfo info;
+  double submit_time_s = 0.0;
+};
+
 struct RecoveryPlan {
   std::vector<RecoveredJob> jobs;  ///< original submit order
   bool clean_shutdown = false;     ///< last record is the clean marker
@@ -98,6 +143,9 @@ struct RecoveryPlan {
   bool corrupt = false;
   std::uint64_t max_id = 0;        ///< highest job id seen (id allocation)
   std::size_t records = 0;         ///< trusted records folded
+  std::vector<RecoveredDesign> designs;  ///< design-ref records, first-seen order
+  std::vector<RecoveredBatch> batches;   ///< batch records, submit order
+  std::uint64_t max_batch_id = 0;
 };
 
 RecoveryPlan build_recovery_plan(const io::JournalReplay& replay);

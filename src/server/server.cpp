@@ -59,35 +59,6 @@ std::string sanitize_label(const std::string& label) {
   return out;
 }
 
-/// The demo-design path of place_bookshelf, verbatim: synthesize, dump to
-/// bookshelf, read it back — so a demo job exercises the parser and produces
-/// the exact database a demo CLI run does (bit-for-bit parity).
-db::Database make_demo_db(const JobSpec& spec, std::uint64_t job_id) {
-  namespace fs = std::filesystem;
-  // Scratch path must be unique per process AND per server instance: job ids
-  // restart at 1 in every PlacementServer, so two daemons (or two servers in
-  // one test binary) running "job 1" concurrently would otherwise write and
-  // delete each other's bookshelf scratch files mid-parse.
-  static std::atomic<std::uint64_t> scratch_seq{0};
-  const fs::path dir =
-      fs::temp_directory_path() /
-      ("xplace_serve_" + std::to_string(::getpid()) + "_" +
-       std::to_string(scratch_seq.fetch_add(1)) + "_job" +
-       std::to_string(job_id));
-  fs::create_directories(dir);
-  io::GeneratorSpec gen;
-  gen.name = "demo";
-  gen.num_cells = static_cast<std::size_t>(spec.demo_cells);
-  gen.num_nets = gen.num_cells + gen.num_cells / 20;
-  gen.seed = spec.demo_seed;
-  const db::Database generated = io::generate(gen);
-  io::write_bookshelf(generated, dir.string(), "demo");
-  db::Database db = io::read_bookshelf_aux((dir / "demo.aux").string());
-  std::error_code ec;
-  fs::remove_all(dir, ec);  // scratch files; ignore cleanup failures
-  return db;
-}
-
 core::StopReason stop_reason_from(StopCause cause) {
   return cause == StopCause::kDeadline ? core::StopReason::kDeadline
                                        : core::StopReason::kCancelled;
@@ -103,7 +74,9 @@ std::vector<double> latency_bounds() {
 }  // namespace
 
 PlacementServer::PlacementServer(ServerConfig cfg)
-    : cfg_(std::move(cfg)), queue_(cfg_.queue_capacity) {
+    : cfg_(std::move(cfg)),
+      queue_(cfg_.queue_capacity),
+      designs_(DesignStoreConfig{cfg_.design_capacity, cfg_.design_max_bytes}) {
   cfg_.max_concurrency = std::max<std::size_t>(1, cfg_.max_concurrency);
   cfg_.default_job_threads = std::max(1, cfg_.default_job_threads);
   if (cfg_.thread_budget == 0) {
@@ -140,13 +113,90 @@ PlacementServer::~PlacementServer() { shutdown(/*drain=*/false); }
 
 PlacementServer::SubmitOutcome PlacementServer::submit(const JobSpec& spec) {
   telemetry::Registry& reg = telemetry::Registry::global();
+  // Spec validation before any admission bookkeeping — the satellite fix for
+  // ambiguous sources (both aux and demo_cells) silently preferring aux. The
+  // wire path goes through the same validate_spec in the protocol parser;
+  // this covers the in-process entry point.
+  if (std::string verr = validate_spec(spec); !verr.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_;
+    reg.counter("serve.rejected").inc();
+    SubmitOutcome out;
+    out.error = std::move(verr);
+    return out;
+  }
+  // Dedup key resolution (file hash / generator key) happens outside mutex_:
+  // hashing an aux file reads its bytes from disk.
+  std::uint64_t dedup_hash = 0;
+  if (spec.dedup) {
+    if (spec.design_hash != 0) {
+      dedup_hash = spec.design_hash;
+    } else if (spec.demo_cells > 0) {
+      dedup_hash = io::demo_content_hash(
+          static_cast<std::size_t>(spec.demo_cells), spec.demo_seed);
+    } else {
+      try {
+        dedup_hash = io::hash_bookshelf_aux(spec.aux);
+      } catch (const std::exception&) {
+        // Unreadable aux: leave dedup off; the run itself will surface the
+        // parse error as a kFailed terminal state.
+      }
+    }
+  }
   std::lock_guard<std::mutex> lock(mutex_);
+  return submit_spec_locked(spec, dedup_hash, /*allow_shed=*/true);
+}
+
+std::uint64_t PlacementServer::config_hash(const JobSpec& spec) const {
+  // Everything that changes the placement result at a fixed design and a
+  // fixed thread count. Threads are resolved (spec override or server
+  // default) so the same effective run dedups across the two spellings.
+  std::uint64_t v[8];
+  v[0] = static_cast<std::uint64_t>(spec.max_iters);
+  v[1] = static_cast<std::uint64_t>(spec.grid);
+  v[2] = static_cast<std::uint64_t>(
+      spec.threads > 0 ? spec.threads : cfg_.default_job_threads);
+  v[3] = spec.full_flow ? 1 : 0;
+  v[4] = spec.seed;
+  v[5] = spec.demo_seed;
+  std::memcpy(&v[6], &spec.target_density, sizeof(double));
+  std::memcpy(&v[7], &spec.lambda_init, sizeof(double));
+  return io::fnv1a64(reinterpret_cast<const char*>(v), sizeof(v));
+}
+
+PlacementServer::SubmitOutcome PlacementServer::submit_spec_locked(
+    JobSpec spec, std::uint64_t dedup_hash, bool allow_shed) {
+  telemetry::Registry& reg = telemetry::Registry::global();
   SubmitOutcome out;
   if (!accepting_) {
     out.error = "server is shutting down";
     ++rejected_;
     reg.counter("serve.rejected").inc();
     return out;
+  }
+
+  // Result dedup: an identical (design, config) already serving — return its
+  // id instead of re-running. A still-live target is shared the same way (the
+  // flow is deterministic at fixed threads, so the eventual record is what a
+  // fresh run would produce); a target that ended anything but kDone was
+  // dropped from the index when it settled, so it never serves stale failure.
+  const std::pair<std::uint64_t, std::uint64_t> key{dedup_hash,
+                                                    config_hash(spec)};
+  if (spec.dedup && dedup_hash != 0) {
+    const auto hit = dedup_index_.find(key);
+    if (hit != dedup_index_.end()) {
+      const auto jit = jobs_.find(hit->second);
+      if (jit != jobs_.end() && (jit->second->rec.state == JobState::kDone ||
+                                 !is_terminal(jit->second->rec.state))) {
+        ++dedup_hits_;
+        reg.counter("serve.dedup_hits").inc();
+        out.ok = true;
+        out.id = hit->second;
+        out.deduped = true;
+        return out;
+      }
+      dedup_index_.erase(hit);  // stale: evicted or non-successful terminal
+    }
   }
 
   // Saturation checks beyond queue occupancy: losing the journal (disk_full
@@ -157,9 +207,10 @@ PlacementServer::SubmitOutcome PlacementServer::submit(const JobSpec& spec) {
       journal_.is_open() &&
       (journal_degraded_ || journal_.size_bytes() > cfg_.journal_max_bytes);
   if (journal_saturated &&
-      !shed_weakest_locked(spec.priority, journal_degraded_
-                                              ? "journal degraded"
-                                              : "journal disk budget")) {
+      (!allow_shed ||
+       !shed_weakest_locked(spec.priority, journal_degraded_
+                                               ? "journal degraded"
+                                               : "journal disk budget"))) {
     out.error = journal_degraded_
                     ? "journal degraded (durability lost) — not accepting work"
                     : "journal disk budget saturated — retry later";
@@ -177,7 +228,7 @@ PlacementServer::SubmitOutcome PlacementServer::submit(const JobSpec& spec) {
   if (!queue_.push(qj)) {
     // Queue full: shed the weakest strictly-lower-priority queued job in
     // favor of the incoming one; same-or-higher everywhere → plain reject.
-    if (!shed_weakest_locked(spec.priority, "queue full") ||
+    if (!allow_shed || !shed_weakest_locked(spec.priority, "queue full") ||
         !queue_.push(qj)) {
       out.error = "queue full (" + std::to_string(queue_.capacity()) +
                   " jobs) — retry later";
@@ -210,6 +261,10 @@ PlacementServer::SubmitOutcome PlacementServer::submit(const JobSpec& spec) {
   }
   if (spec.deadline_s > 0) job->token.set_timeout(spec.deadline_s);
   job->queue_deadline = qj.deadline;
+  if (spec.dedup && dedup_hash != 0) {
+    job->dedup_key = key;
+    dedup_index_[key] = id;  // later identical dedup submits share this job
+  }
   journal_append_locked(JournalEvent::kSubmit, id,
                         encode_submit(job->rec.spec, /*attempt=*/0));
   jobs_.emplace(id, std::move(job));
@@ -220,6 +275,257 @@ PlacementServer::SubmitOutcome PlacementServer::submit(const JobSpec& spec) {
   out.ok = true;
   out.id = id;
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Design store + batch sweeps (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+void PlacementServer::journal_design_ref_locked(
+    std::uint64_t hash, const DesignStore::SourceRef& ref) {
+  if (journaled_designs_.count(hash) != 0) return;
+  DesignRefInfo info;
+  info.demo = ref.demo;
+  info.aux = ref.aux;
+  info.cells = ref.cells;
+  info.seed = ref.seed;
+  journal_append_locked(JournalEvent::kDesignRef, hash,
+                        encode_design_ref(info));
+  journaled_designs_[hash] = true;
+}
+
+PlacementServer::UploadOutcome PlacementServer::upload_design(
+    const JobSpec& source) {
+  UploadOutcome out;
+  if (source.design_hash != 0) {
+    out.error = "upload-design needs a parseable source (\"aux\" or "
+                "\"demo_cells\"), not a design hash";
+    return out;
+  }
+  if (std::string verr = validate_spec(source); !verr.empty()) {
+    out.error = std::move(verr);
+    return out;
+  }
+  DesignStore::SourceRef ref;
+  std::string err;
+  DesignStore::SnapshotPtr snap;
+  const std::uint64_t parses_before = designs_.stats().parses;
+  if (!source.aux.empty()) {
+    ref.aux = source.aux;
+    snap = designs_.get_aux(source.aux, &err);
+  } else {
+    ref.demo = true;
+    ref.cells = static_cast<std::size_t>(source.demo_cells);
+    ref.seed = source.demo_seed;
+    snap = designs_.get_demo(ref.cells, ref.seed, &err);
+  }
+  if (!snap) {
+    out.error = err;
+    return out;
+  }
+  out.ok = true;
+  out.hash = snap->content_hash;
+  out.cached = designs_.stats().parses == parses_before;
+  out.name = snap->design_name();
+  out.cells = snap->num_cells();
+  out.nets = snap->num_nets();
+  out.bytes = snap->resident_bytes;
+  std::lock_guard<std::mutex> lock(mutex_);
+  journal_design_ref_locked(out.hash, ref);
+  return out;
+}
+
+std::vector<DesignStore::Entry> PlacementServer::list_designs() const {
+  return designs_.list();
+}
+
+bool PlacementServer::evict_design(std::uint64_t hash, std::string* error) {
+  return designs_.evict(hash, error);
+}
+
+PlacementServer::BatchSubmitOutcome PlacementServer::submit_batch(
+    const JobSpec& base, const std::vector<JobSpec>& configs) {
+  telemetry::Registry& reg = telemetry::Registry::global();
+  BatchSubmitOutcome out;
+  if (configs.empty()) {
+    out.error = "submit-batch needs at least one config";
+    return out;
+  }
+  if (std::string verr = validate_spec(base); !verr.empty()) {
+    out.error = std::move(verr);
+    return out;
+  }
+
+  // Resolve the design FIRST, outside mutex_ — this is the batch's single
+  // parse (or a cache hit); every member job then references the snapshot by
+  // content hash.
+  DesignStore::SourceRef ref;
+  std::string err;
+  DesignStore::SnapshotPtr snap;
+  if (base.design_hash != 0) {
+    snap = designs_.get_hash(base.design_hash, &err);
+  } else if (!base.aux.empty()) {
+    ref.aux = base.aux;
+    snap = designs_.get_aux(base.aux, &err);
+  } else {
+    ref.demo = true;
+    ref.cells = static_cast<std::size_t>(base.demo_cells);
+    ref.seed = base.demo_seed;
+    snap = designs_.get_demo(ref.cells, ref.seed, &err);
+  }
+  if (!snap) {
+    out.error = err;
+    return out;
+  }
+  const std::uint64_t dhash = snap->content_hash;
+  if (base.design_hash != 0) {
+    // The store already knows the source (upload or recovery registered it);
+    // nothing to journal beyond what those paths wrote.
+    ref = DesignStore::SourceRef{};
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!accepting_) {
+    out.error = "server is shutting down";
+    ++rejected_;
+    reg.counter("serve.rejected").inc();
+    return out;
+  }
+
+  // Build + validate every member spec before admitting any (all-or-nothing).
+  // Each config keeps its own placement fields; the design fields are
+  // overwritten with the batch's resolved hash.
+  std::vector<JobSpec> specs;
+  specs.reserve(configs.size());
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    JobSpec s = configs[i];
+    s.aux.clear();
+    s.demo_cells = 0;
+    s.demo_seed = base.demo_seed;
+    s.design_hash = dhash;
+    if (std::string verr = validate_spec(s); !verr.empty()) {
+      out.error = "config " + std::to_string(i) + ": " + verr;
+      ++rejected_;
+      reg.counter("serve.rejected").inc();
+      return out;
+    }
+    // Count the configs that will need a queue seat (a dedup hit does not).
+    const std::pair<std::uint64_t, std::uint64_t> key{dhash, config_hash(s)};
+    const auto hit = s.dedup ? dedup_index_.find(key) : dedup_index_.end();
+    bool served = false;
+    if (hit != dedup_index_.end()) {
+      const auto jit = jobs_.find(hit->second);
+      served = jit != jobs_.end() && (jit->second->rec.state == JobState::kDone ||
+                                      !is_terminal(jit->second->rec.state));
+    }
+    if (!served) ++fresh;
+    specs.push_back(std::move(s));
+  }
+  if (queue_.size() + fresh > queue_.capacity()) {
+    out.error = "queue cannot take " + std::to_string(fresh) +
+                " job(s) (" + std::to_string(queue_.capacity() - queue_.size()) +
+                " seat(s) free) — batch rejected whole";
+    ++rejected_;
+    reg.counter("serve.rejected").inc();
+    return out;
+  }
+
+  const std::uint64_t bid = next_batch_id_++;
+  if (!ref.aux.empty() || ref.demo) journal_design_ref_locked(dhash, ref);
+
+  Batch batch;
+  batch.id = bid;
+  batch.design_hash = dhash;
+  batch.label = sanitize_label(base.label.empty() ? "batch" + std::to_string(bid)
+                                                  : base.label);
+  batch.submitted_s = log::elapsed_seconds();
+  for (JobSpec& s : specs) {
+    s.batch_id = bid;
+    // A dedup hit inside the batch (within the current configs, a repeated
+    // earlier config is already in the index) shares the serving job's id.
+    const SubmitOutcome so =
+        submit_spec_locked(s, s.dedup ? dhash : 0, /*allow_shed=*/false);
+    if (!so.ok) {
+      // Post-precheck failure can only be journal saturation racing this
+      // batch's own appends; settle as a whole-batch error with the members
+      // already admitted left to run (they are real jobs now).
+      out.error = "batch admission failed at config " +
+                  std::to_string(batch.jobs.size()) + ": " + so.error;
+      break;
+    }
+    batch.jobs.push_back({so.id, so.deduped});
+  }
+  out.batch_id = bid;
+  out.design_hash = dhash;
+  out.jobs = batch.jobs;
+  out.ok = out.error.empty();
+
+  BatchInfo info;
+  info.design_hash = dhash;
+  info.label = batch.label;
+  for (const BatchJobRef& r : batch.jobs) {
+    info.job_ids.push_back(r.id);
+    info.deduped.push_back(r.deduped ? 1 : 0);
+  }
+  journal_append_locked(JournalEvent::kBatch, bid, encode_batch(info));
+  batches_.emplace(bid, std::move(batch));
+  reg.counter("serve.batches").inc();
+  return out;
+}
+
+PlacementServer::BatchStatus PlacementServer::batch_status_locked(
+    std::uint64_t id) const {
+  const Batch& b = batches_.at(id);
+  BatchStatus s;
+  s.id = b.id;
+  s.design_hash = b.design_hash;
+  s.label = b.label;
+  s.jobs = b.jobs;
+  s.all_terminal = true;
+  for (const BatchJobRef& r : b.jobs) {
+    const auto it = jobs_.find(r.id);
+    if (it == jobs_.end()) {
+      // Evicted from the bounded result store — eviction only takes terminal
+      // jobs, so this member settled (state unknown; count it done).
+      ++s.done;
+      continue;
+    }
+    const JobRecord& rec = it->second->rec;
+    switch (rec.state) {
+      case JobState::kQueued: ++s.queued; s.all_terminal = false; break;
+      case JobState::kRunning: ++s.running; s.all_terminal = false; break;
+      case JobState::kDone: ++s.done; break;
+      case JobState::kCancelled: ++s.cancelled; break;
+      case JobState::kFailed: ++s.failed; break;
+      case JobState::kShed: ++s.shed; break;
+    }
+    if (rec.state == JobState::kDone) {
+      const double h = rec.legalized ? rec.dp_hpwl : rec.hpwl;
+      if (s.best_hpwl == 0.0 || h < s.best_hpwl) {
+        s.best_hpwl = h;
+        s.best_job = rec.id;
+      }
+    }
+  }
+  return s;
+}
+
+std::optional<PlacementServer::BatchStatus> PlacementServer::batch_status(
+    std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (batches_.count(id) == 0) return std::nullopt;
+  return batch_status_locked(id);
+}
+
+std::optional<PlacementServer::BatchStatus> PlacementServer::batch_wait(
+    std::uint64_t id, double timeout_s) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (batches_.count(id) == 0) return std::nullopt;
+  batch_cv_.wait_for(lock,
+                     std::chrono::duration<double>(std::max(0.0, timeout_s)),
+                     [&] { return batch_status_locked(id).all_terminal; });
+  return batch_status_locked(id);
 }
 
 bool PlacementServer::cancel(std::uint64_t id, std::string* error) {
@@ -349,6 +655,14 @@ PlacementServer::Stats PlacementServer::stats() const {
   s.queue_wait = summarize(queue_wait_hist_);
   s.run = summarize(run_hist_);
   s.e2e = summarize(e2e_hist_);
+  const DesignStore::Stats ds = designs_.stats();
+  s.design_parses = ds.parses;
+  s.design_cache_hits = ds.cache_hits;
+  s.design_cache_evictions = ds.cache_evictions;
+  s.designs_resident = ds.resident;
+  s.design_resident_bytes = ds.resident_bytes;
+  s.batches = batches_.size();
+  s.dedup_hits = dedup_hits_;
   return s;
 }
 
@@ -524,18 +838,40 @@ void PlacementServer::run_job(Job& job, std::size_t leased_threads) {
       .arg("threads", static_cast<double>(leased_threads));
   XP_INFO("job %llu (%s) starting: %s, %d iters, %zu thread(s)",
           static_cast<unsigned long long>(id), spec.label.c_str(),
-          spec.aux.empty() ? "demo" : spec.aux.c_str(), spec.max_iters,
-          leased_threads);
+          spec.design_hash != 0 ? "stored design"
+                                : (spec.aux.empty() ? "demo" : spec.aux.c_str()),
+          spec.max_iters, leased_threads);
   try {
+    // Design resolution goes through the content-addressed store: at most
+    // one parse per distinct design ever, shared read-only across every
+    // concurrent job (DESIGN.md §14). The pin exempts the snapshot from LRU
+    // eviction for the duration of the run.
     telemetry::TraceScope load_span("serve.load_design");
-    db::Database db =
-        spec.aux.empty() ? make_demo_db(spec, id) : io::read_bookshelf_aux(spec.aux);
+    std::string derr;
+    DesignStore::SnapshotPtr snap;
+    if (spec.design_hash != 0) {
+      snap = designs_.get_hash(spec.design_hash, &derr);
+    } else if (!spec.aux.empty()) {
+      snap = designs_.get_aux(spec.aux, &derr);
+    } else {
+      snap = designs_.get_demo(static_cast<std::size_t>(spec.demo_cells),
+                               spec.demo_seed, &derr);
+    }
+    if (!snap) throw std::runtime_error(derr);
+    DesignStore::Pin pin(designs_, snap->content_hash);
     load_span.end();
 
     core::PlacerConfig cfg = core::PlacerConfig::xplace();
     cfg.grid_dim = spec.grid;
     cfg.max_iters = spec.max_iters;
     cfg.threads = static_cast<int>(leased_threads);
+    // Sweep axes (submit-batch configs, also honored on plain submits).
+    if (spec.seed > 0) {
+      cfg.filler_seed = spec.seed;
+      cfg.init_noise_seed = spec.seed + 1;
+    }
+    if (spec.target_density > 0.0) cfg.target_density = spec.target_density;
+    if (spec.lambda_init > 0.0) cfg.lambda_init_factor = spec.lambda_init;
     // Supervised restart: attempt > 0 re-runs from scratch (never from the
     // diverged trajectory's spill) with the guardian's compounding λ/step
     // retune lifted to the whole-run level.
@@ -552,7 +888,11 @@ void PlacementServer::run_job(Job& job, std::size_t leased_threads) {
       cfg.checkpoint_period = cfg_.spill_period;
     }
 
-    core::GlobalPlacer placer(db, cfg);
+    // The placer materializes its private mutable run state from the shared
+    // snapshot copy-on-write; `db` below is that per-run database (LG/DP
+    // mutate positions, never the shared core).
+    core::GlobalPlacer placer(snap, cfg);
+    db::Database& db = placer.db();
     placer.set_stop_token(&job.token);
     placer.set_checkpoint_observer(
         [this, id](int next_iter, const std::string& path) {
@@ -710,10 +1050,20 @@ void PlacementServer::finish_job_locked(Job& job, JobState state) {
     ++deadline_missed_;
     telemetry::Registry::global().counter("serve.deadline_missed").inc();
   }
+  // A dedup entry must only ever serve successful results: a job that
+  // settled anything but kDone is dropped from the index so the next
+  // identical submit runs fresh.
+  if (state != JobState::kDone && job.dedup_key.first != 0) {
+    const auto it = dedup_index_.find(job.dedup_key);
+    if (it != dedup_index_.end() && it->second == job.rec.id) {
+      dedup_index_.erase(it);
+    }
+  }
   terminal_order_.push_back(job.rec.id);
   evict_terminal_locked();
   publish_job_metrics(job.rec);
   job.cv.notify_all();
+  batch_cv_.notify_all();  // batch_wait re-aggregates on any settle
 }
 
 void PlacementServer::evict_terminal_locked() {
@@ -729,6 +1079,13 @@ void PlacementServer::evict_terminal_locked() {
       telemetry::Registry::global().remove_prefix(
           "serve.job." + it->second->rec.spec.label + ".");
       telemetry::Tracer::global().forget_trace(it->second->rec.trace_id);
+      if (it->second->dedup_key.first != 0) {
+        // The cached result is gone with the record; stop advertising it.
+        const auto dit = dedup_index_.find(it->second->dedup_key);
+        if (dit != dedup_index_.end() && dit->second == victim) {
+          dedup_index_.erase(dit);
+        }
+      }
       jobs_.erase(it);  // waiters still holding the shared_ptr are safe
     }
   }
@@ -775,9 +1132,38 @@ void PlacementServer::recover_from_journal() {
   }
 
   std::lock_guard<std::mutex> lock(mutex_);  // workers not started yet
+
+  // Design refs survive every kind of restart: register their sources for
+  // lazy re-parse (no parse happens here — first reference re-parses).
+  const auto register_designs = [&](bool mark_journaled) {
+    for (const RecoveredDesign& rd : plan.designs) {
+      DesignStore::SourceRef ref;
+      ref.demo = rd.source.demo;
+      ref.aux = rd.source.aux;
+      ref.cells = static_cast<std::size_t>(rd.source.cells);
+      ref.seed = rd.source.seed;
+      designs_.register_source(rd.hash, ref);
+      if (mark_journaled) journaled_designs_[rd.hash] = true;
+    }
+  };
+
   if (replay.missing || plan.clean_shutdown) {
     next_id_ = std::max<std::uint64_t>(next_id_, plan.max_id + 1);
+    next_batch_id_ = std::max<std::uint64_t>(next_batch_id_,
+                                             plan.max_batch_id + 1);
     if (!journal_.open(path, /*truncate=*/true)) journal_degraded_ = true;
+    // Uploaded designs outlive a clean shutdown (batches and job results do
+    // not — same retention as the result store): re-register the sources and
+    // re-journal their refs into the fresh journal.
+    register_designs(/*mark_journaled=*/false);
+    for (const RecoveredDesign& rd : plan.designs) {
+      DesignStore::SourceRef ref;
+      ref.demo = rd.source.demo;
+      ref.aux = rd.source.aux;
+      ref.cells = static_cast<std::size_t>(rd.source.cells);
+      ref.seed = rd.source.seed;
+      journal_design_ref_locked(rd.hash, ref);
+    }
     XP_INFO("journal %s: clean start%s", path.c_str(),
             replay.missing ? " (fresh state dir)" : " (previous shutdown drained)");
   } else {
@@ -791,6 +1177,23 @@ void PlacementServer::recover_from_journal() {
       journal_degraded_ = true;
     }
     next_id_ = std::max<std::uint64_t>(next_id_, plan.max_id + 1);
+    next_batch_id_ = std::max<std::uint64_t>(next_batch_id_,
+                                             plan.max_batch_id + 1);
+    // Compaction re-emitted every design ref and batch record, so neither
+    // needs re-journaling here.
+    register_designs(/*mark_journaled=*/true);
+    for (const RecoveredBatch& rb : plan.batches) {
+      Batch b;
+      b.id = rb.id;
+      b.design_hash = rb.info.design_hash;
+      b.label = rb.info.label;
+      for (std::size_t i = 0; i < rb.info.job_ids.size(); ++i) {
+        b.jobs.push_back({rb.info.job_ids[i],
+                          i < rb.info.deduped.size() && rb.info.deduped[i] != 0});
+      }
+      b.submitted_s = log::elapsed_seconds();
+      batches_.emplace(rb.id, std::move(b));
+    }
 
     const double now_wall = wall_seconds();
     std::size_t live = 0, restored = 0;
@@ -829,6 +1232,13 @@ void PlacementServer::recover_from_journal() {
           case JobState::kShed: ++shed_; break;
           default: break;
         }
+        if (ref.rec.state == JobState::kDone && ref.rec.spec.dedup &&
+            ref.rec.spec.design_hash != 0) {
+          // Restored successful results keep serving dedup hits: the cache
+          // survives the restart along with the record.
+          ref.dedup_key = {ref.rec.spec.design_hash, config_hash(ref.rec.spec)};
+          dedup_index_[ref.dedup_key] = rj.id;
+        }
         terminal_order_.push_back(rj.id);
         publish_job_metrics(ref.rec);
         ++restored;
@@ -861,6 +1271,10 @@ void PlacementServer::recover_from_journal() {
         ref.rec.resume_from = rj.checkpoint_path;
       }
       ref.rec.state = JobState::kQueued;
+      if (rj.spec.dedup && rj.spec.design_hash != 0) {
+        ref.dedup_key = {rj.spec.design_hash, config_hash(rj.spec)};
+        dedup_index_[ref.dedup_key] = rj.id;
+      }
       QueuedJob qj;
       qj.id = rj.id;
       qj.priority = rj.spec.priority;

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "io/journal.h"
+#include "server/design_store.h"
 #include "server/faults.h"
 #include "server/job.h"
 #include "server/job_queue.h"
@@ -86,6 +87,13 @@ struct ServerConfig {
   /// Server-layer fault plan (serve_crash/diverge/journal_torn/disk_full).
   /// Empty → parsed from XPLACE_FAULT at construction.
   ServeFaultPlan faults;
+
+  // ---- design store (DESIGN.md §14) ----------------------------------------
+  /// Max resident parsed designs; LRU eviction of unpinned snapshots beyond
+  /// this (pinned-while-running designs are exempt).
+  std::size_t design_capacity = 16;
+  /// Resident-bytes bound for the design store (same LRU policy).
+  std::size_t design_max_bytes = 1ull << 30;
 };
 
 class PlacementServer {
@@ -100,11 +108,64 @@ class PlacementServer {
   struct SubmitOutcome {
     bool ok = false;
     std::uint64_t id = 0;
+    bool deduped = false;  ///< served by an existing (design, config) job
     std::string error;
   };
-  /// Admission control: rejects (ok=false) when the queue is full or the
-  /// server is shutting down.
+  /// Admission control: rejects (ok=false) when the spec is invalid
+  /// (validate_spec), the queue is full, or the server is shutting down.
   SubmitOutcome submit(const JobSpec& spec);
+
+  // ---- design store (DESIGN.md §14) ----------------------------------------
+  struct UploadOutcome {
+    bool ok = false;
+    std::uint64_t hash = 0;
+    bool cached = false;  ///< content was already resident (no parse)
+    std::string name;
+    std::size_t cells = 0, nets = 0, bytes = 0;
+    std::string error;
+  };
+  /// Parses (or finds cached) the design named by spec.aux / spec.demo_cells
+  /// and registers it in the store. Idempotent per content hash.
+  UploadOutcome upload_design(const JobSpec& source);
+  std::vector<DesignStore::Entry> list_designs() const;
+  bool evict_design(std::uint64_t hash, std::string* error);
+
+  // ---- batch sweeps --------------------------------------------------------
+  struct BatchJobRef {
+    std::uint64_t id = 0;
+    bool deduped = false;
+  };
+  struct BatchSubmitOutcome {
+    bool ok = false;
+    std::uint64_t batch_id = 0;
+    std::uint64_t design_hash = 0;
+    std::vector<BatchJobRef> jobs;
+    std::string error;
+  };
+  /// Atomically fans `configs` (each a full JobSpec whose design fields are
+  /// overwritten with the batch's design) out as ordinary jobs on the queue.
+  /// All-or-nothing admission: if the queue cannot take every non-deduped
+  /// config, the whole batch is rejected. The design is resolved (one parse,
+  /// ever) before any job is enqueued.
+  BatchSubmitOutcome submit_batch(const JobSpec& base,
+                                  const std::vector<JobSpec>& configs);
+
+  struct BatchStatus {
+    std::uint64_t id = 0;
+    std::uint64_t design_hash = 0;
+    std::string label;
+    std::vector<BatchJobRef> jobs;
+    std::size_t queued = 0, running = 0, done = 0, cancelled = 0, failed = 0,
+                shed = 0;
+    bool all_terminal = false;
+    double best_hpwl = 0.0;       ///< min final HPWL among done jobs (0 = none)
+    std::uint64_t best_job = 0;
+  };
+  /// nullopt = unknown batch id.
+  std::optional<BatchStatus> batch_status(std::uint64_t id) const;
+  /// Blocks until every member job is terminal (or timeout); nullopt =
+  /// unknown id. On timeout returns the current aggregate.
+  std::optional<BatchStatus> batch_wait(std::uint64_t id, double timeout_s) const;
 
   /// Cancels a job. Queued → terminal kCancelled immediately; running → its
   /// StopToken is armed and the job lands terminal shortly (with the best-
@@ -161,6 +222,14 @@ class PlacementServer {
     LatencySummary queue_wait;          ///< submit → start, terminal jobs
     LatencySummary run;                 ///< start → finish
     LatencySummary e2e;                 ///< submit → finish
+    // Design store + batch sweeps (DESIGN.md §14).
+    std::uint64_t design_parses = 0;
+    std::uint64_t design_cache_hits = 0;
+    std::uint64_t design_cache_evictions = 0;
+    std::size_t designs_resident = 0;
+    std::size_t design_resident_bytes = 0;
+    std::size_t batches = 0;            ///< batches tracked (live + retained)
+    std::uint64_t dedup_hits = 0;       ///< submits served from the result cache
   };
   Stats stats() const;
 
@@ -188,6 +257,10 @@ class PlacementServer {
     /// Queue-entry deadline in the steady-clock domain (kNoDeadline = none);
     /// survives retries so the deadline keeps covering every attempt.
     double queue_deadline = QueuedJob::kNoDeadline;
+    /// Dedup registration: (design_hash, config_hash) this job serves in
+    /// dedup_index_ ({0,0} = none). Kept on the job so settling/eviction can
+    /// drop the index entry without re-deriving the design hash.
+    std::pair<std::uint64_t, std::uint64_t> dedup_key{0, 0};
     std::condition_variable cv;  ///< waits on mutex_: events + state changes
   };
 
@@ -196,6 +269,21 @@ class PlacementServer {
   void finish_job_locked(Job& job, JobState state);
   void evict_terminal_locked();
   void publish_job_metrics(const JobRecord& rec);
+
+  // Design store + batch plumbing (DESIGN.md §14).
+  /// Core submit path shared by submit() and submit_batch(); caller holds
+  /// mutex_. Performs the dedup lookup (spec.dedup + dedup_hash), allocates
+  /// the id, journals, and enqueues. dedup_hash = the spec's design content
+  /// hash (0 = dedup unavailable). allow_shed gates the displace-weaker
+  /// admission path (off for batch members: batches are all-or-nothing).
+  SubmitOutcome submit_spec_locked(JobSpec spec, std::uint64_t dedup_hash,
+                                   bool allow_shed);
+  /// FNV-1a over the placement-config slice of a spec (everything that
+  /// changes the result at a fixed design) — the dedup key's second half.
+  std::uint64_t config_hash(const JobSpec& spec) const;
+  BatchStatus batch_status_locked(std::uint64_t id) const;
+  void journal_design_ref_locked(std::uint64_t hash,
+                                 const DesignStore::SourceRef& ref);
 
   // Durability & self-healing (DESIGN.md §13).
   void recover_from_journal();
@@ -215,9 +303,11 @@ class PlacementServer {
 
   ServerConfig cfg_;
   JobQueue queue_;
+  DesignStore designs_;
 
   mutable std::mutex mutex_;
   mutable std::condition_variable budget_cv_;
+  mutable std::condition_variable batch_cv_;  ///< batch_wait: job settled
   std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
   std::deque<std::uint64_t> terminal_order_;  // eviction FIFO
   std::uint64_t next_id_ = 1;
@@ -232,6 +322,25 @@ class PlacementServer {
   std::uint64_t shed_ = 0, retries_ = 0, recovered_ = 0;
   std::uint64_t events_dropped_total_ = 0;
   std::uint64_t deadline_missed_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+
+  // Batch sweeps (under mutex_). Batches are bookkeeping only — member jobs
+  // live in jobs_ like any other; a batch row just names them.
+  struct Batch {
+    std::uint64_t id = 0;
+    std::uint64_t design_hash = 0;
+    std::string label;
+    std::vector<BatchJobRef> jobs;
+    double submitted_s = 0.0;
+  };
+  std::map<std::uint64_t, Batch> batches_;
+  std::uint64_t next_batch_id_ = 1;
+  /// (design_hash, config_hash) → job id serving that exact placement; used
+  /// by dedup-enabled submits. Entries are dropped when the target job ends
+  /// non-kDone or is evicted from the result store.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> dedup_index_;
+  /// Design hashes already journaled as kDesignRef (avoid duplicate records).
+  std::map<std::uint64_t, bool> journaled_designs_;
 
   // Durable journal (under mutex_). Degraded = an append failed (I/O error
   // or injected disk_full); the server keeps serving from memory but

@@ -218,6 +218,57 @@ json::Object stats_to_json(const PlacementServer::Stats& s) {
   lat.emplace_back("run_s", json::Value(latency(s.run)));
   lat.emplace_back("e2e_s", json::Value(latency(s.e2e)));
   o.emplace_back("latency", json::Value(std::move(lat)));
+  json::Object design;
+  design.emplace_back("parses", s.design_parses);
+  design.emplace_back("cache_hits", s.design_cache_hits);
+  design.emplace_back("cache_evictions", s.design_cache_evictions);
+  design.emplace_back("resident", static_cast<std::uint64_t>(s.designs_resident));
+  design.emplace_back("resident_bytes",
+                      static_cast<std::uint64_t>(s.design_resident_bytes));
+  o.emplace_back("design", json::Value(std::move(design)));
+  o.emplace_back("batches", s.batches);
+  o.emplace_back("dedup_hits", s.dedup_hits);
+  return o;
+}
+
+json::Object design_to_json(const DesignStore::Entry& e) {
+  json::Object o;
+  o.emplace_back("design", hash_to_hex(e.hash));
+  o.emplace_back("source", e.source);
+  o.emplace_back("name", e.name);
+  o.emplace_back("cells", static_cast<std::uint64_t>(e.cells));
+  o.emplace_back("nets", static_cast<std::uint64_t>(e.nets));
+  o.emplace_back("bytes", static_cast<std::uint64_t>(e.resident_bytes));
+  o.emplace_back("resident", json::Value(e.resident));
+  o.emplace_back("hits", e.hits);
+  o.emplace_back("pins", static_cast<std::uint64_t>(e.pins));
+  return o;
+}
+
+json::Object batch_to_json(const PlacementServer::BatchStatus& b) {
+  json::Object o;
+  o.emplace_back("id", b.id);
+  o.emplace_back("design", hash_to_hex(b.design_hash));
+  if (!b.label.empty()) o.emplace_back("label", b.label);
+  json::Array jobs;
+  for (const auto& j : b.jobs) {
+    json::Object jo;
+    jo.emplace_back("id", j.id);
+    jo.emplace_back("dedup", json::Value(j.deduped));
+    jobs.emplace_back(std::move(jo));
+  }
+  o.emplace_back("jobs", json::Value(std::move(jobs)));
+  o.emplace_back("queued", static_cast<std::uint64_t>(b.queued));
+  o.emplace_back("running", static_cast<std::uint64_t>(b.running));
+  o.emplace_back("done", static_cast<std::uint64_t>(b.done));
+  o.emplace_back("cancelled", static_cast<std::uint64_t>(b.cancelled));
+  o.emplace_back("failed", static_cast<std::uint64_t>(b.failed));
+  o.emplace_back("shed", static_cast<std::uint64_t>(b.shed));
+  o.emplace_back("all_terminal", json::Value(b.all_terminal));
+  if (b.best_job != 0) {
+    o.emplace_back("best_hpwl", b.best_hpwl);
+    o.emplace_back("best_job", b.best_job);
+  }
   return o;
 }
 
@@ -291,6 +342,84 @@ void handle_connection(PlacementServer& server, ServeState& state, int fd) {
         json::Object o;
         o.emplace_back("metrics",
                        telemetry::to_prometheus(telemetry::Registry::global()));
+        stream.write_line(make_ok(std::move(o)));
+        break;
+      }
+      case Command::kUploadDesign: {
+        const auto out = server.upload_design(req.spec);
+        if (!out.ok) {
+          stream.write_line(make_error(out.error));
+          break;
+        }
+        json::Object o;
+        o.emplace_back("design", hash_to_hex(out.hash));
+        o.emplace_back("name", out.name);
+        o.emplace_back("cells", static_cast<std::uint64_t>(out.cells));
+        o.emplace_back("nets", static_cast<std::uint64_t>(out.nets));
+        o.emplace_back("bytes", static_cast<std::uint64_t>(out.bytes));
+        o.emplace_back("cached", json::Value(out.cached));
+        stream.write_line(make_ok(std::move(o)));
+        break;
+      }
+      case Command::kListDesigns: {
+        json::Array designs;
+        for (const auto& e : server.list_designs()) {
+          designs.emplace_back(design_to_json(e));
+        }
+        json::Object o;
+        o.emplace_back("designs", json::Value(std::move(designs)));
+        stream.write_line(make_ok(std::move(o)));
+        break;
+      }
+      case Command::kEvictDesign: {
+        std::string why;
+        if (server.evict_design(req.spec.design_hash, &why)) {
+          stream.write_line(make_ok({}));
+        } else {
+          stream.write_line(make_error(why));
+        }
+        break;
+      }
+      case Command::kSubmitBatch: {
+        const auto out = server.submit_batch(req.spec, req.configs);
+        if (!out.ok) {
+          stream.write_line(make_error(out.error));
+          break;
+        }
+        json::Object o;
+        o.emplace_back("batch", out.batch_id);
+        o.emplace_back("design", hash_to_hex(out.design_hash));
+        json::Array jobs;
+        for (const auto& j : out.jobs) {
+          json::Object jo;
+          jo.emplace_back("id", j.id);
+          jo.emplace_back("dedup", json::Value(j.deduped));
+          jobs.emplace_back(std::move(jo));
+        }
+        o.emplace_back("jobs", json::Value(std::move(jobs)));
+        stream.write_line(make_ok(std::move(o)));
+        break;
+      }
+      case Command::kBatchStatus:
+      case Command::kBatchResult: {
+        const bool block = req.cmd == Command::kBatchResult && req.wait;
+        const auto batch = block ? server.batch_wait(req.id, req.timeout_s)
+                                 : server.batch_status(req.id);
+        if (!batch) {
+          stream.write_line(make_error("unknown batch id"));
+          break;
+        }
+        json::Object o;
+        o.emplace_back("batch", json::Value(batch_to_json(*batch)));
+        if (req.cmd == Command::kBatchResult) {
+          json::Array jobs;
+          for (const auto& j : batch->jobs) {
+            if (const auto rec = server.status(j.id)) {
+              jobs.emplace_back(job_to_json(*rec));
+            }
+          }
+          o.emplace_back("jobs", json::Value(std::move(jobs)));
+        }
         stream.write_line(make_ok(std::move(o)));
         break;
       }
