@@ -12,6 +12,11 @@
 // forced-scalar and (if the CPU has it) AVX2 backends, and a machine-readable
 // record {kernel, backend, threads, simd, ns_per_iter} per run is written to
 // <path> (see BENCH_simd.json / EXPERIMENTS.md).
+//
+// `--json-fft <path>` is the transform-level A/B mode for the plan-based
+// FFT/DCT engine: dct2 / idct2 / idxst_idct and the full Poisson solve at
+// m=256 are timed under scalar/AVX2 × serial/pooled, with bytes_per_iter
+// estimates alongside ns_per_iter (see BENCH_fft.json).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -31,6 +36,7 @@
 #include "util/arg_parser.h"
 #include "util/rng.h"
 #include "util/simd.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -293,12 +299,126 @@ int run_json_mode(const std::string& path) {
   return 0;
 }
 
+// ---------------- --json-fft: FFT plan engine A/B mode ----------------
+
+struct FftRow {
+  std::string kernel;
+  std::string backend;  // "serial" or "pooled"
+  int threads;
+  std::string simd;
+  double ns_per_iter;
+  double bytes_per_iter;
+};
+
+int run_json_fft_mode(const std::string& path) {
+  const std::size_t kM = 256;
+  Rng rng(4);
+  std::vector<double> base(kM * kM);
+  for (auto& v : base) v = rng.uniform(-1, 1);
+  std::vector<double> map = base;
+  std::vector<double> rho(kM * kM);
+  Rng rng2(5);
+  for (auto& v : rho) v = rng2.uniform(0.0, 1.0);
+  ops::PoissonSolver solver(static_cast<int>(kM), 1.0, 1.0);
+  ThreadPool pool(4);  // caller + 3 workers
+
+  // Traffic estimates: each 1-D pass reads and writes the full grid once
+  // (8 B/double), so a 2-D transform moves 4 grids of bytes. The solve is
+  // dct2 rho→coeff (4 grids) + the fused spectral scale (read coeff, write
+  // ex/ey/psi: 4) + the batched ex/ey row and column syntheses (2 grids ×
+  // 2 passes × read+write: 8).
+  const double kGrid = 8.0 * static_cast<double>(kM * kM);
+  const double kXformBytes = 4.0 * kGrid;   // 2 passes × (read + write)
+  const double kSolveBytes = 16.0 * kGrid;  // fwd(4) + scale(4) + fields(8)
+
+  std::vector<const char*> isas = {"scalar"};
+  if (simd::cpu_has_avx2()) isas.push_back("avx2");
+
+  std::vector<FftRow> rows;
+  for (const char* isa : isas) {
+    simd::select(isa);
+    for (int pooled = 0; pooled < 2; ++pooled) {
+      ThreadPool* p = pooled != 0 ? &pool : nullptr;
+      const char* backend = pooled != 0 ? "pooled" : "serial";
+      const int threads = pooled != 0 ? static_cast<int>(pool.size()) : 1;
+      rows.push_back({"dct2", backend, threads, isa, time_ns(9, 4, [&] {
+                        fft::dct2(map.data(), kM, kM, p);
+                        benchmark::DoNotOptimize(map.data());
+                      }),
+                      kXformBytes});
+      rows.push_back({"idct2", backend, threads, isa, time_ns(9, 4, [&] {
+                        fft::idct2(map.data(), kM, kM, p);
+                        benchmark::DoNotOptimize(map.data());
+                      }),
+                      kXformBytes});
+      rows.push_back({"idxst_idct", backend, threads, isa, time_ns(9, 4, [&] {
+                        fft::idxst_idct(map.data(), kM, kM, p);
+                        benchmark::DoNotOptimize(map.data());
+                      }),
+                      kXformBytes});
+      solver.set_pool(p);
+      rows.push_back({"poisson_solve", backend, threads, isa,
+                      time_ns(9, 4, [&] {
+                        solver.solve(rho.data(), /*want_potential=*/false);
+                        benchmark::DoNotOptimize(solver.ex().data());
+                      }),
+                      kSolveBytes});
+    }
+  }
+  simd::select("auto");
+  solver.set_pool(nullptr);
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  // tolerance 0.6: shared CI runners make wall-clock noisy; the band still
+  // catches the ~2x regression class (plan cache loss, de-fused passes).
+  std::fprintf(out, "{\n  \"bench\": \"bench_micro_ops_fft\",\n"
+                    "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"backend\": \"%s\", "
+                 "\"threads\": %d, \"simd\": \"%s\", \"ns_per_iter\": %.1f, "
+                 "\"bytes_per_iter\": %.0f, \"tolerance\": 0.6}%s\n",
+                 rows[i].kernel.c_str(), rows[i].backend.c_str(),
+                 rows[i].threads, rows[i].simd.c_str(), rows[i].ns_per_iter,
+                 rows[i].bytes_per_iter, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+
+  // Human-readable table: one line per kernel × backend with the
+  // scalar→avx2 speedup when both ISAs ran.
+  std::printf("%-14s %-7s %8s %14s %14s %9s\n", "kernel", "backend",
+              "threads", "scalar ns/iter", "avx2 ns/iter", "speedup");
+  const std::size_t half = rows.size() / isas.size();
+  for (std::size_t i = 0; i < half; ++i) {
+    if (isas.size() == 2) {
+      std::printf("%-14s %-7s %8d %14.0f %14.0f %8.2fx\n",
+                  rows[i].kernel.c_str(), rows[i].backend.c_str(),
+                  rows[i].threads, rows[i].ns_per_iter,
+                  rows[half + i].ns_per_iter,
+                  rows[i].ns_per_iter / rows[half + i].ns_per_iter);
+    } else {
+      std::printf("%-14s %-7s %8d %14.0f %14s %9s\n", rows[i].kernel.c_str(),
+                  rows[i].backend.c_str(), rows[i].threads,
+                  rows[i].ns_per_iter, "-", "-");
+    }
+  }
+  std::printf("json written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   xplace::ArgParser args(argc, argv);
   const std::string json = args.get("json");
   if (!json.empty()) return run_json_mode(json);
+  const std::string json_fft = args.get("json-fft");
+  if (!json_fft.empty()) return run_json_fft_mode(json_fft);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -213,6 +213,18 @@ run_tier1_obs() {
       --current "$fresh" --advisory \
       || { echo "advisory regression check errored" >&2; return 1; }
   rm -f "$fresh"
+
+  # Same gate over the FFT plan-engine transforms (dct2/idct2/idxst_idct and
+  # the full Poisson solve, scalar/AVX2 x serial/pooled): a lost plan cache
+  # or de-fused pass shows up as a ~2x ns_per_iter jump, well outside the
+  # 60% per-row band BENCH_fft.json ships.
+  local fresh_fft="/tmp/xplace_ci_obs_$$.fft.bench.json"
+  ./build-ci/bench/bench_micro_ops --json-fft "$fresh_fft" >/dev/null \
+      || { echo "bench_micro_ops --json-fft run failed" >&2; return 1; }
+  ./build-ci/bench/check_regression --baseline BENCH_fft.json \
+      --current "$fresh_fft" --advisory \
+      || { echo "advisory FFT regression check errored" >&2; return 1; }
+  rm -f "$fresh_fft"
   echo "=== tier1-obs lane passed ==="
 }
 

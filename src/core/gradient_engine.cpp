@@ -267,7 +267,8 @@ void GradientEngine::density_pass(const float* x, const float* y,
     solver_.solve(dmap_total_.data(), want_potential);
   }
   if (want_potential) {
-    // The loss the autograd formulation carries: U = ½Σρψ (one reduce).
+    // The loss the autograd formulation carries: U = ½Σρψ (one dispatched
+    // f64 dot reduce through the SIMD table).
     disp.run("es.energy_reduce", [&] { (void)solver_.energy(dmap_total_.data()); });
   }
 

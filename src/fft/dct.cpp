@@ -1,55 +1,29 @@
 #include "fft/dct.h"
 
 #include <cassert>
-#include <cmath>
-#include <map>
-#include <mutex>
-#include <numbers>
+#include <vector>
 
 #include "fft/fft.h"
+#include "fft/plan.h"
 #include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace xplace::fft {
 namespace {
 
-/// Phase factors e^{-iπk/(2N)} for the Makhoul DCT-II post-twiddle, cached per
-/// size (the inverse uses their conjugates). Mutex-guarded for the pooled 2-D
-/// passes; map node pointers stay stable after insert, so the returned
-/// reference outlives the lock.
-const std::vector<Complex>& dct_phases(std::size_t n) {
-  static std::mutex mutex;
-  static std::map<std::size_t, std::vector<Complex>> cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
-  std::vector<Complex> ph(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    const double ang = -std::numbers::pi * static_cast<double>(k) /
-                       (2.0 * static_cast<double>(n));
-    ph[k] = Complex(std::cos(ang), std::sin(ang));
-  }
-  return cache.emplace(n, std::move(ph)).first->second;
-}
-
-/// Scratch buffers reused across calls to avoid per-transform allocation.
-/// thread_local so the thread pool can run row transforms concurrently.
-/// dct/idct use tl_cbuf; idxst uses tl_sbuf so that its call into idct never
-/// aliases its own scratch; the 2-D column pass gathers strided columns into
-/// tl_colbuf (allocation-free at steady state).
-thread_local std::vector<Complex> tl_cbuf;
-thread_local std::vector<double> tl_sbuf;
-thread_local std::vector<double> tl_colbuf;
-
 /// Complex buffers viewed as interleaved (re,im) doubles for the SIMD table.
 double* flat(std::vector<Complex>& v) {
   return reinterpret_cast<double*>(v.data());
 }
-const double* flat(const std::vector<Complex>& v) {
-  return reinterpret_cast<const double*>(v.data());
-}
 
 }  // namespace
+
+// The 1-D entry points below keep the classic Makhoul glue-kernel pipeline
+// (pack → full complex FFT → rotate). The 2-D hot path no longer goes
+// through them — run_rows/run_cols drive the fused plan passes instead —
+// but they remain the reference-grade scalar pipeline for tests and for
+// callers that transform a single line. Phase factors now come from the
+// lock-free plan cache; the old mutex-guarded dct_phases() map is gone.
 
 // Makhoul's N-point algorithm: reorder x into even indices ascending followed
 // by odd indices descending, take an N-point complex FFT, then rotate.
@@ -57,12 +31,10 @@ void dct(double* x, std::size_t n) {
   assert(is_pow2(n));
   if (n == 1) return;
   const simd::Kernels& k = simd::active();
-  auto& v = tl_cbuf;
-  v.resize(n);
+  std::vector<Complex> v(n);
   k.dct_pack(x, flat(v), n);
   fft(v.data(), n);
-  const auto& ph = dct_phases(n);
-  k.dct_rotate(flat(v), flat(ph), x, n);
+  k.dct_rotate(flat(v), plan(n).ph_flat(), x, n);
 }
 
 // Inverse of the above: rebuild the complex spectrum from the real DCT
@@ -72,13 +44,12 @@ void idct(double* x, std::size_t n) {
   assert(is_pow2(n));
   if (n == 1) return;
   const simd::Kernels& k = simd::active();
-  auto& v = tl_cbuf;
-  v.resize(n);
-  const auto& ph = dct_phases(n);
+  std::vector<Complex> v(n);
+  const double* ph = plan(n).ph_flat();
   v[0] = Complex(x[0], 0.0);
   // conj(ph[k]) = e^{+iπk/(2N)}; the pre-twiddle reads x before the unpack
   // overwrites it, and v never aliases x, so the unpack writes x directly.
-  k.idct_pretwiddle(x, flat(ph), flat(v), n);
+  k.idct_pretwiddle(x, ph, flat(v), n);
   ifft(v.data(), n);
   k.idct_unpack(flat(v), x, n);
 }
@@ -92,8 +63,7 @@ void idxst(double* x, std::size_t n) {
     x[0] = 0.0;  // k=0 sine term vanishes
     return;
   }
-  auto& d = tl_sbuf;
-  d.resize(n);
+  std::vector<double> d(n);
   d[0] = 0.0;
   for (std::size_t j = 1; j < n; ++j) d[j] = x[n - j];
   idct(d.data(), n);
@@ -104,77 +74,44 @@ void idxst(double* x, std::size_t n) {
 
 namespace {
 
-/// Transforms one strided column in place via the thread_local gather buffer.
-template <typename Fn>
-void transform_column(double* data, std::size_t rows, std::size_t cols,
-                      std::size_t c, Fn&& along_rows) {
-  auto& col = tl_colbuf;
-  col.resize(rows);
-  for (std::size_t r = 0; r < rows; ++r) col[r] = data[r * cols + c];
-  along_rows(col.data(), rows);
-  for (std::size_t r = 0; r < rows; ++r) data[r * cols + c] = col[r];
+/// Per-thread scratch slab for the standalone 2-D wrappers (allocation-free
+/// at steady state). PoissonSolver bypasses these wrappers and owns its own
+/// slab so its iterations share one allocation across all passes.
+thread_local PlanScratch tl_scratch;
+
+/// One in-place separable 2-D transform through the fused plan executors:
+/// dimension 1 first (contiguous rows, paired two per complex FFT), then
+/// dimension 0 (adjacent column pairs at native stride — no gather/scatter).
+void run2d(double* data, std::size_t rows, std::size_t cols, Kind1D row_kind,
+           Kind1D col_kind, ThreadPool* pool) {
+  assert(is_pow2(rows) && is_pow2(cols));
+  ThreadPool* p = (pool != nullptr && pool->size() > 1) ? pool : nullptr;
+  const PassOp row_op{data, data, row_kind};
+  run_rows(&row_op, 1, rows, cols, p, tl_scratch);
+  const PassOp col_op{data, data, col_kind};
+  run_cols(&col_op, 1, rows, cols, p, tl_scratch);
 }
 
-/// Applies a 1-D in-place transform along both dims of a row-major array.
-/// Rows (and then columns) are independent, so with a pool they partition
-/// across workers; every 1-D transform writes a disjoint slice, making the
-/// pooled result bitwise-equal to the serial one for any worker count.
-template <typename Fn0, typename Fn1>
-void separable2(double* data, std::size_t rows, std::size_t cols, Fn0 along_rows,
-                Fn1 along_cols, ThreadPool* pool) {
-  if (pool != nullptr && pool->size() > 1 && rows >= 4 && cols >= 4) {
-    // Each index is a whole 1-D transform (coarse), so use a small grain
-    // rather than the element-loop chunk heuristic. 4 rows per chunk keeps
-    // dispatch overhead low while still spreading a 128-row grid across 8+
-    // workers.
-    pool->parallel_for(
-        rows,
-        [&](std::size_t b, std::size_t e, std::size_t) {
-          for (std::size_t r = b; r < e; ++r) along_cols(data + r * cols, cols);
-        },
-        /*grain=*/4);
-    pool->parallel_for(
-        cols,
-        [&](std::size_t b, std::size_t e, std::size_t) {
-          for (std::size_t c = b; c < e; ++c)
-            transform_column(data, rows, cols, c, along_rows);
-        },
-        /*grain=*/4);
-    return;
-  }
-  // Dimension 1 (contiguous): transform each row.
-  for (std::size_t r = 0; r < rows; ++r) along_cols(data + r * cols, cols);
-  // Dimension 0 (strided): gather each column, transform, scatter back.
-  for (std::size_t c = 0; c < cols; ++c) {
-    transform_column(data, rows, cols, c, along_rows);
-  }
-}
-
-}  // namespace
-
-namespace {
-// Disambiguated wrappers (dct/idct also have vector overloads).
-const auto kDct = [](double* p, std::size_t n) { dct(p, n); };
-const auto kIdct = [](double* p, std::size_t n) { idct(p, n); };
-const auto kIdxst = [](double* p, std::size_t n) { idxst(p, n); };
 }  // namespace
 
 void dct2(double* data, std::size_t rows, std::size_t cols, ThreadPool* pool) {
-  separable2(data, rows, cols, kDct, kDct, pool);
+  run2d(data, rows, cols, Kind1D::kDct, Kind1D::kDct, pool);
 }
 
 void idct2(double* data, std::size_t rows, std::size_t cols, ThreadPool* pool) {
-  separable2(data, rows, cols, kIdct, kIdct, pool);
+  run2d(data, rows, cols, Kind1D::kIdct, Kind1D::kIdct, pool);
 }
 
 void idxst_idct(double* data, std::size_t rows, std::size_t cols,
                 ThreadPool* pool) {
-  separable2(data, rows, cols, kIdxst, kIdct, pool);
+  // idxst along dimension 0, idct along dimension 1.
+  run2d(data, rows, cols, Kind1D::kIdct, Kind1D::kIdxst, pool);
 }
 
 void idct_idxst(double* data, std::size_t rows, std::size_t cols,
                 ThreadPool* pool) {
-  separable2(data, rows, cols, kIdct, kIdxst, pool);
+  // idct along dimension 0, idxst along dimension 1.
+  run2d(data, rows, cols, Kind1D::kIdxst, Kind1D::kIdct, pool);
 }
 
 std::vector<double> dct(const std::vector<double>& x) {

@@ -32,11 +32,11 @@ void idxst(double* x, std::size_t n);
 /// Row-major 2-D transforms over rows×cols (both powers of two).
 /// Dimension 0 = rows (x), dimension 1 = cols (y).
 ///
-/// When `pool` is non-null (and larger than one worker) the independent row
-/// transforms — and then the independent column transforms — are partitioned
-/// across it; each 1-D transform touches a disjoint slice, so the result is
-/// bitwise-identical to the serial pass for ANY worker count (the scratch
-/// buffers are thread_local, which is what anticipated exactly this use).
+/// When `pool` is non-null (and larger than one worker) the independent
+/// row-pair transforms — and then the column pairs — are partitioned across
+/// it via the plan engine's run_rows/run_cols (fft/plan.h); each pair
+/// touches a disjoint slice and its own scratch slot, so the result is
+/// bitwise-identical to the serial pass for ANY worker count.
 void dct2(double* data, std::size_t rows, std::size_t cols,
           ThreadPool* pool = nullptr);
 void idct2(double* data, std::size_t rows, std::size_t cols,

@@ -1,63 +1,12 @@
 #include "fft/fft.h"
 
 #include <cassert>
-#include <cmath>
 #include <cstdint>
-#include <map>
-#include <mutex>
-#include <numbers>
 
+#include "fft/plan.h"
 #include "util/simd.h"
 
 namespace xplace::fft {
-namespace {
-
-/// Precomputed per-size transform plan, cached for the process lifetime
-/// (sizes used are a handful of powers of two so the footprint is trivial).
-/// Mutex-guarded: row/column transforms run concurrently on the thread pool,
-/// and map node pointers stay stable after insert so the returned reference
-/// outlives the lock.
-struct FftPlan {
-  /// Stage-major contiguous twiddles: for each stage `len` (2, 4, …, n), the
-  /// values e^{-2πi k/n} for k·(n/len), k in [0, len/2), concatenated. The
-  /// per-stage slice equals the classic strided walk of the size-n table —
-  /// same doubles, unit stride — so every fft_pass launch runs with step=1.
-  std::vector<Complex> tw;
-  std::vector<std::size_t> stage_off;  // complex offset of each stage's slice
-  /// Bit-reversal swap pairs (i < j only), so the permutation is a flat pair
-  /// walk instead of the per-index bit-twiddling loop.
-  std::vector<std::uint32_t> rev_i, rev_j;
-};
-
-const FftPlan& fft_plan(std::size_t n) {
-  static std::mutex mutex;
-  static std::map<std::size_t, FftPlan> cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
-  FftPlan p;
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    p.stage_off.push_back(p.tw.size());
-    const std::size_t step = n / len;
-    for (std::size_t k = 0; k < len / 2; ++k) {
-      const double ang = -2.0 * std::numbers::pi *
-                         static_cast<double>(k * step) / static_cast<double>(n);
-      p.tw.emplace_back(std::cos(ang), std::sin(ang));
-    }
-  }
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) {
-      p.rev_i.push_back(static_cast<std::uint32_t>(i));
-      p.rev_j.push_back(static_cast<std::uint32_t>(j));
-    }
-  }
-  return cache.emplace(n, std::move(p)).first->second;
-}
-
-}  // namespace
 
 bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
@@ -70,7 +19,9 @@ std::size_t next_pow2(std::size_t n) {
 void fft(Complex* data, std::size_t n) {
   assert(is_pow2(n));
   if (n == 1) return;
-  const FftPlan& p = fft_plan(n);
+  // Twiddles, stage offsets, and bit-reversal pairs come from the shared
+  // lock-free plan cache (fft/plan.h) — same tables the fused DCT passes use.
+  const Plan& p = plan(n);
   for (std::size_t s = 0; s < p.rev_i.size(); ++s) {
     std::swap(data[p.rev_i[s]], data[p.rev_j[s]]);
   }

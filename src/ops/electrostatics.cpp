@@ -3,9 +3,10 @@
 #include <cmath>
 #include <numbers>
 
-#include "fft/dct.h"
+#include "fft/plan.h"
 #include "telemetry/trace.h"
 #include "tensor/dispatch.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace xplace::ops {
@@ -29,27 +30,29 @@ PoissonSolver::PoissonSolver(int m, double bin_w, double bin_h) : m_(m) {
 void PoissonSolver::solve(const double* rho, bool want_potential) {
   XP_TRACE_SCOPE("gp.phase.fft");
   const std::size_t m = static_cast<std::size_t>(m_);
-  const std::size_t n = m * m;
   auto& disp = Dispatcher::global();
+  ThreadPool* pool = (pool_ != nullptr && pool_->size() > 1) ? pool_ : nullptr;
+  using fft::Kind1D;
+  using fft::PassOp;
 
-  // Forward cosine transform of the (mean-removed) density. Removing the mean
-  // enforces the ∬ρ = 0 solvability condition; it is exactly the a_00 term.
+  // Forward cosine transform of the density, through the fused plan engine:
+  // the row pass reads ρ straight into coeff_ (the old copy loop is the
+  // gather of the fused head), and the spectral scaling
+  //   ψ̂ = a/(w²); Ex̂ = ψ̂·wu ; Eŷ = ψ̂·wv
+  // rides the column pass as a per-column-pair hook while the pair is cache-
+  // hot. The i = 0 special case zeroes the constant mode, which is exactly
+  // the ∬ρ = 0 mean removal. Pairs write disjoint columns, so the pooled
+  // pass stays bitwise-equal to the serial one for any worker count.
   disp.run("es.dct2", [&] {
-    for (std::size_t i = 0; i < n; ++i) coeff_[i] = rho[i];
-    fft::dct2(coeff_.data(), m, m, pool_);
-    coeff_[0] = 0.0;  // zero-mean (kills the constant mode)
-  });
-
-  // Spectral scaling: ψ̂ = a/(w²); Ex̂ = ψ̂·wu ; Eŷ = ψ̂·wv.
-  // Rows write disjoint index ranges, so the pooled pass is bitwise-equal to
-  // the serial one for any worker count.
-  disp.run("es.spectral_scale", [&] {
-    auto scale_rows = [&](std::size_t u_begin, std::size_t u_end, std::size_t) {
-      for (std::size_t u = u_begin; u < u_end; ++u) {
-        for (std::size_t v = 0; v < m; ++v) {
+    const PassOp row{rho, coeff_.data(), Kind1D::kDct};
+    fft::run_rows(&row, 1, m, m, pool, scratch_);
+    const PassOp col{coeff_.data(), coeff_.data(), Kind1D::kDct};
+    const fft::ColHook scale = [&](std::size_t c0, std::size_t c1) {
+      for (std::size_t v = c0; v <= c1; ++v) {
+        for (std::size_t u = 0; u < m; ++u) {
           const std::size_t i = u * m + v;
-          if (u == 0 && v == 0) {
-            ex_[i] = ey_[i] = psi_[i] = 0.0;
+          if (i == 0) {
+            ex_[0] = ey_[0] = psi_[0] = 0.0;
             continue;
           }
           const double denom = wu_[u] * wu_[u] + wv_[v] * wv_[v];
@@ -60,27 +63,36 @@ void PoissonSolver::solve(const double* rho, bool want_potential) {
         }
       }
     };
-    if (pool_ != nullptr && pool_->size() > 1) {
-      pool_->parallel_for(m, scale_rows, /*grain=*/8);
-    } else {
-      scale_rows(0, m, 0);
-    }
+    fft::run_cols(&col, 1, m, m, pool, scratch_, &scale);
   });
 
-  // Field syntheses (sine along the differentiated axis).
-  disp.run("es.idxst_idct", [&] { fft::idxst_idct(ex_.data(), m, m, pool_); });
-  disp.run("es.idct_idxst", [&] { fft::idct_idxst(ey_.data(), m, m, pool_); });
-
-  if (want_potential) {
-    disp.run("es.idct2_psi", [&] { fft::idct2(psi_.data(), m, m, pool_); });
-  }
+  // Field syntheses (sine along the differentiated axis), batched: every row
+  // of every needed grid fans out in one dispatch, then every column pair.
+  //   E_x = idxst_idct(Ex̂)  →  idct rows, idxst columns
+  //   E_y = idct_idxst(Eŷ)  →  idxst rows, idct columns
+  //   ψ   = idct2(ψ̂)        →  idct rows, idct columns (baseline path only)
+  const std::size_t grids = want_potential ? 3 : 2;
+  disp.run("es.field_rows", [&] {
+    const PassOp ops[3] = {
+        {ex_.data(), ex_.data(), Kind1D::kIdct},
+        {ey_.data(), ey_.data(), Kind1D::kIdxst},
+        {psi_.data(), psi_.data(), Kind1D::kIdct},
+    };
+    fft::run_rows(ops, grids, m, m, pool, scratch_);
+  });
+  disp.run("es.field_cols", [&] {
+    const PassOp ops[3] = {
+        {ex_.data(), ex_.data(), Kind1D::kIdxst},
+        {ey_.data(), ey_.data(), Kind1D::kIdct},
+        {psi_.data(), psi_.data(), Kind1D::kIdct},
+    };
+    fft::run_cols(ops, grids, m, m, pool, scratch_);
+  });
 }
 
 double PoissonSolver::energy(const double* rho) const {
-  double acc = 0.0;
   const std::size_t n = static_cast<std::size_t>(m_) * m_;
-  for (std::size_t i = 0; i < n; ++i) acc += rho[i] * psi_[i];
-  return 0.5 * acc;
+  return 0.5 * simd::active().ddot(rho, psi_.data(), n);
 }
 
 }  // namespace xplace::ops

@@ -20,6 +20,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "fft/plan.h"
+
 namespace xplace {
 class ThreadPool;
 }
@@ -63,6 +65,7 @@ class PoissonSolver {
   std::vector<double> wu_, wv_;      // angular frequencies per index
   std::vector<double> coeff_;        // scratch: DCT coefficients
   std::vector<double> ex_, ey_, psi_;
+  fft::PlanScratch scratch_;         // per-worker FFT scratch, reused forever
 };
 
 }  // namespace xplace::ops

@@ -132,6 +132,13 @@ void finite_stats(const float* __restrict a, std::size_t n,
   *abs_sum_out = acc;
 }
 
+double ddot(const double* __restrict a, const double* __restrict b,
+            std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
 void gather_pin_pos(const float* __restrict pos,
                     const std::uint32_t* __restrict cell,
                     const float* __restrict off, float* __restrict px,
@@ -253,6 +260,178 @@ void idct_unpack(const double* vd, double* x, std::size_t n) {
   }
 }
 
+// ---- plan-fused DCT passes (fft/plan.h) -----------------------------------
+// Expression order mirrors the AVX2 lane ops exactly — single-rounded
+// mul/add/sub/addsub chains, no FMA — so the two backends are bitwise-
+// identical by construction (DESIGN.md §15). Sequences a and b ride one
+// complex value as (re, im).
+
+namespace {
+
+// (xr,xi)·(wr,wi) in the addsub order the AVX2 cmul helpers produce.
+inline void plan_cmul(double xr, double xi, double wr, double wi,
+                      double* out_r, double* out_i) {
+  *out_r = xr * wr - xi * wi;
+  *out_i = xi * wr + xr * wi;
+}
+
+// z_k = ph_k·g_k for one inverse-head slot holding frequency k.
+inline void plan_inv_g(const double* a, const double* b, std::size_t stride,
+                       const double* ph, std::size_t k, std::size_t n,
+                       int sine, double* zr, double* zi) {
+  double gr, gi;
+  if (k == 0) {
+    gr = sine ? 0.0 : a[0];
+    gi = sine ? 0.0 : b[0];
+  } else {
+    const std::size_t ks = k * stride;
+    const std::size_t ms = (n - k) * stride;
+    if (sine) {
+      gr = a[ms] - b[ks];
+      gi = b[ms] + a[ks];
+    } else {
+      gr = a[ks] - b[ms];
+      gi = b[ks] + a[ms];
+    }
+  }
+  plan_cmul(gr, gi, ph[2 * k], ph[2 * k + 1], zr, zi);
+}
+
+// Disentangle Z_k (p,q) / Z_{n−k} (r,s) into the two real spectra and apply
+// the Makhoul rotate for output frequencies k and n−k of both sequences.
+inline void plan_fwd_rotate(double p, double q, double r, double s,
+                            const double* ph, std::size_t k, std::size_t n,
+                            double* a, double* b, std::size_t stride) {
+  const double ar = (p + r) * 0.5;
+  const double br = (q + s) * 0.5;
+  const double ai = (q - s) * 0.5;
+  const double bi = (p - r) * -0.5;
+  const double c1 = ph[2 * k], d1 = ph[2 * k + 1];
+  const double c2 = ph[2 * (n - k)], d2 = ph[2 * (n - k) + 1];
+  a[k * stride] = ar * c1 - ai * d1;
+  b[k * stride] = br * c1 - bi * d1;
+  a[(n - k) * stride] = ar * c2 + ai * d2;
+  b[(n - k) * stride] = br * c2 + bi * d2;
+}
+
+}  // namespace
+
+void plan_fwd_head(const double* a, const double* b, std::size_t stride,
+                   const std::uint32_t* perm, double* z, std::size_t n) {
+  if (n == 2) {  // the lone butterfly belongs to the tail's tw stage
+    z[0] = a[perm[0] * stride];
+    z[1] = b[perm[0] * stride];
+    z[2] = a[perm[1] * stride];
+    z[3] = b[perm[1] * stride];
+    return;
+  }
+  for (std::size_t j = 0; j < n; j += 2) {
+    const std::size_t s0 = perm[j] * stride;
+    const std::size_t s1 = perm[j + 1] * stride;
+    const double ur = a[s0], ui = b[s0];
+    const double vr = a[s1], vi = b[s1];
+    z[2 * j] = ur + vr;
+    z[2 * j + 1] = ui + vi;
+    z[2 * j + 2] = ur - vr;
+    z[2 * j + 3] = ui - vi;
+  }
+}
+
+void plan_inv_head(const double* a, const double* b, std::size_t stride,
+                   const std::uint32_t* brev, const double* ph, double* z,
+                   std::size_t n, int sine) {
+  if (n == 2) {
+    plan_inv_g(a, b, stride, ph, brev[0], n, sine, &z[0], &z[1]);
+    plan_inv_g(a, b, stride, ph, brev[1], n, sine, &z[2], &z[3]);
+    return;
+  }
+  for (std::size_t j = 0; j < n; j += 2) {
+    double ur, ui, vr, vi;
+    plan_inv_g(a, b, stride, ph, brev[j], n, sine, &ur, &ui);
+    plan_inv_g(a, b, stride, ph, brev[j + 1], n, sine, &vr, &vi);
+    z[2 * j] = ur + vr;
+    z[2 * j + 1] = ui + vi;
+    z[2 * j + 2] = ur - vr;
+    z[2 * j + 3] = ui - vi;
+  }
+}
+
+void plan_fwd_tail(const double* z, const double* tw, const double* ph,
+                   double* a, double* b, std::size_t stride, std::size_t n) {
+  const std::size_t h = n / 2;
+  // j = 0 feeds the two self-conjugate frequencies 0 and n/2, where both
+  // real spectra are purely real: Z_0 = (A_0, B_0), Z_{n/2} = (A_{n/2},
+  // B_{n/2}), and the rotate collapses to ·1 resp. ·Re(ph_{n/2}).
+  {
+    const double ur = z[0], ui = z[1];
+    double vr, vi;
+    plan_cmul(z[2 * h], z[2 * h + 1], tw[0], tw[1], &vr, &vi);
+    a[0] = ur + vr;
+    b[0] = ui + vi;
+    const double c = ph[2 * h];
+    a[h * stride] = (ur - vr) * c;
+    b[h * stride] = (ui - vi) * c;
+  }
+  for (std::size_t k = 1; 4 * k <= n; ++k) {
+    const std::size_t jB = h - k;
+    double vr, vi;
+    plan_cmul(z[2 * (k + h)], z[2 * (k + h) + 1], tw[2 * k], tw[2 * k + 1],
+              &vr, &vi);
+    const double sAr = z[2 * k] + vr, sAi = z[2 * k + 1] + vi;      // Z_k
+    const double dAr = z[2 * k] - vr, dAi = z[2 * k + 1] - vi;      // Z_{k+h}
+    if (k == jB) {  // k = n/4 mirrors onto itself: one pair, done
+      plan_fwd_rotate(sAr, sAi, dAr, dAi, ph, k, n, a, b, stride);
+      break;
+    }
+    plan_cmul(z[2 * (jB + h)], z[2 * (jB + h) + 1], tw[2 * jB],
+              tw[2 * jB + 1], &vr, &vi);
+    const double sBr = z[2 * jB] + vr, sBi = z[2 * jB + 1] + vi;    // Z_{h−k}
+    const double dBr = z[2 * jB] - vr, dBi = z[2 * jB + 1] - vi;    // Z_{n−k}
+    plan_fwd_rotate(sAr, sAi, dBr, dBi, ph, k, n, a, b, stride);
+    plan_fwd_rotate(sBr, sBi, dAr, dAi, ph, jB, n, a, b, stride);
+  }
+}
+
+void plan_inv_tail(const double* z, const double* tw, double* a, double* b,
+                   std::size_t stride, std::size_t n, int sine) {
+  const std::size_t h = n / 2;
+  const double e = 1.0 / static_cast<double>(n);  // exact: n a power of two
+  const double o = sine ? -e : e;
+  if (n == 2) {
+    double vr, vi;
+    plan_cmul(z[2], z[3], tw[0], tw[1], &vr, &vi);
+    a[0] = (z[0] + vr) * e;
+    b[0] = (z[1] + vi) * e;
+    a[stride] = (z[0] - vr) * o;
+    b[stride] = (z[1] - vi) * o;
+    return;
+  }
+  // y = FFT(z) = n·(w_a + i·w_b); the Makhoul unpack reads w_t into slot 2t
+  // and w_{n−1−t} into 2t+1, so butterfly i (sum y_i, diff y_{i+h}) pairs
+  // with butterfly h−1−i and the four outputs land at 2i, 2i+1, n−2−2i,
+  // n−1−2i — all distinct for every i < n/4.
+  for (std::size_t i = 0; 4 * i < n; ++i) {
+    const std::size_t jB = h - 1 - i;
+    double vr, vi;
+    plan_cmul(z[2 * (i + h)], z[2 * (i + h) + 1], tw[2 * i], tw[2 * i + 1],
+              &vr, &vi);
+    const double sAr = z[2 * i] + vr, sAi = z[2 * i + 1] + vi;
+    const double dAr = z[2 * i] - vr, dAi = z[2 * i + 1] - vi;
+    plan_cmul(z[2 * (jB + h)], z[2 * (jB + h) + 1], tw[2 * jB],
+              tw[2 * jB + 1], &vr, &vi);
+    const double sBr = z[2 * jB] + vr, sBi = z[2 * jB + 1] + vi;
+    const double dBr = z[2 * jB] - vr, dBi = z[2 * jB + 1] - vi;
+    a[(2 * i) * stride] = sAr * e;
+    b[(2 * i) * stride] = sAi * e;
+    a[(2 * i + 1) * stride] = dBr * o;
+    b[(2 * i + 1) * stride] = dBi * o;
+    a[(n - 2 - 2 * i) * stride] = sBr * e;
+    b[(n - 2 - 2 * i) * stride] = sBi * e;
+    a[(n - 1 - 2 * i) * stride] = dAr * o;
+    b[(n - 1 - 2 * i) * stride] = dAi * o;
+  }
+}
+
 void nesterov_update(float* __restrict v, float* __restrict v_prev,
                      float* __restrict g_prev, float* __restrict u,
                      const float* __restrict g, const float* __restrict lo,
@@ -308,6 +487,7 @@ const Kernels& scalar_kernels() {
       .diff_sq_sum = scalar::diff_sq_sum,
       .abs_max = scalar::abs_max,
       .finite_stats = scalar::finite_stats,
+      .ddot = scalar::ddot,
       .gather_pin_pos = scalar::gather_pin_pos,
       .minmax = scalar::minmax,
       .wa_sums = scalar::wa_sums,
@@ -320,6 +500,10 @@ const Kernels& scalar_kernels() {
       .dct_rotate = scalar::dct_rotate,
       .idct_pretwiddle = scalar::idct_pretwiddle,
       .idct_unpack = scalar::idct_unpack,
+      .plan_fwd_head = scalar::plan_fwd_head,
+      .plan_inv_head = scalar::plan_inv_head,
+      .plan_fwd_tail = scalar::plan_fwd_tail,
+      .plan_inv_tail = scalar::plan_inv_tail,
       .nesterov_update = scalar::nesterov_update,
       .precond_apply = scalar::precond_apply,
   };

@@ -92,6 +92,9 @@ struct Kernels {
   /// the finite ones.
   void (*finite_stats)(const float* a, std::size_t n, std::size_t* nonfinite,
                        double* abs_sum_out);
+  /// Σ a_i·b_i over f64 buffers (double accumulator, fixed lane-fold order) —
+  /// the Poisson potential-energy reduce.
+  double (*ddot)(const double* a, const double* b, std::size_t n);
 
   // ---- WA wirelength primitives (per net/direction) ----
   /// px[i] = pos[cell[i]] + off[i] (the per-pin position gather).
@@ -140,6 +143,33 @@ struct Kernels {
                           std::size_t n);
   /// x[2i] = Re(v[i]), x[2i+1] = Re(v[n−1−i]) for i < n/2 (idct unpack).
   void (*idct_unpack)(const double* v, double* x, std::size_t n);
+
+  // ---- plan-fused DCT passes (fft/plan.h; two real sequences per complex
+  //      FFT, sequences a and b read/written at element `stride`) ----
+  /// Forward head: z[j] = (a[perm[j]·stride], b[perm[j]·stride]) — the
+  /// Makhoul pack composed with the bit-reversal — fused with the
+  /// twiddle-free first butterfly over adjacent slot pairs when n ≥ 4.
+  void (*plan_fwd_head)(const double* a, const double* b, std::size_t stride,
+                        const std::uint32_t* perm, double* z, std::size_t n);
+  /// Inverse head: z[j] = ph_k·g_k at k = brev[j], where g packs the two
+  /// spectra (conjugate-folded so the pipeline runs a FORWARD fft):
+  ///   idct  (sine=0): g = (a_k − b_{n−k},  a_{n−k} + b_k), g_0 = (a_0, b_0)
+  ///   idxst (sine=1): g = (a_{n−k} − b_k,  a_k + b_{n−k}), g_0 = (0, 0)
+  /// fused with the first butterfly when n ≥ 4.
+  void (*plan_inv_head)(const double* a, const double* b, std::size_t stride,
+                        const std::uint32_t* brev, const double* ph, double* z,
+                        std::size_t n, int sine);
+  /// Forward tail: last butterfly (stage len = n, twiddles `tw`) fused with
+  /// the real/imag spectrum disentangle and the Makhoul rotate by `ph`,
+  /// storing both DCT outputs directly at their strided positions.
+  void (*plan_fwd_tail)(const double* z, const double* tw, const double* ph,
+                        double* a, double* b, std::size_t stride,
+                        std::size_t n);
+  /// Inverse tail: last butterfly fused with the 1/n scale and the Makhoul
+  /// de-interleave; `sine` negates odd outputs (the idxst sign pattern).
+  void (*plan_inv_tail)(const double* z, const double* tw, double* a,
+                        double* b, std::size_t stride, std::size_t n,
+                        int sine);
 
   // ---- fused optimizer updates ----
   /// One axis of the Nesterov step (history shift + clamped extrapolation):

@@ -445,6 +445,17 @@ XP_TGT void finite_stats(const float* a, std::size_t n, std::size_t* nonfinite,
   *abs_sum_out = s;
 }
 
+XP_TGT double ddot(const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc);
+  }
+  double s = hsum4(acc);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
 // ---- WA wirelength primitives ----------------------------------------------
 
 XP_TGT void gather_pin_pos(const float* pos, const std::uint32_t* cell,
@@ -829,6 +840,179 @@ XP_TGT void conj_scale(double* d, std::size_t n, double scale) {
   }
 }
 
+// ---- plan-fused DCT passes (fft/plan.h) ------------------------------------
+// One 128-bit lane pair carries the SAME element of both real sequences:
+// lane0 = a, lane1 = b. When b == a + 1 (an adjacent-column pair) every
+// load/store is a single contiguous 16-byte access; otherwise the pair
+// splits into two 8-byte halves. All arithmetic is single-rounded
+// mul/add/sub/addsub in the exact order of the scalar kernels (no FMA), so
+// the backends stay bitwise-identical.
+
+namespace {
+
+XP_TGT inline __m128d swap1(__m128d v) { return _mm_shuffle_pd(v, v, 1); }
+
+/// (x.re·w.re − x.im·w.im, x.im·w.re + x.re·w.im) for interleaved w at `w`.
+XP_TGT inline __m128d cmul1(__m128d x, const double* w) {
+  return _mm_addsub_pd(_mm_mul_pd(x, _mm_loaddup_pd(w)),
+                       _mm_mul_pd(swap1(x), _mm_loaddup_pd(w + 1)));
+}
+
+/// (a[off], b[off]) as one vector.
+XP_TGT inline __m128d load_ab(const double* a, const double* b,
+                              std::size_t off, bool adj) {
+  if (adj) return _mm_loadu_pd(a + off);
+  return _mm_loadh_pd(_mm_load_sd(a + off), b + off);
+}
+
+/// lane0 → a[off], lane1 → b[off] (b written last, like the scalar kernels,
+/// so the degenerate self-pair b == a resolves the same way).
+XP_TGT inline void store_ab(double* a, double* b, std::size_t off, bool adj,
+                            __m128d v) {
+  if (adj) {
+    _mm_storeu_pd(a + off, v);
+    return;
+  }
+  _mm_storel_pd(a + off, v);
+  _mm_storeh_pd(b + off, v);
+}
+
+/// z_k = ph_k·g_k for one inverse-head slot holding frequency k.
+XP_TGT inline __m128d plan_inv_g(const double* a, const double* b,
+                                 std::size_t stride, const double* ph,
+                                 std::size_t k, std::size_t n, int sine,
+                                 bool adj) {
+  __m128d g;
+  if (k == 0) {
+    g = sine ? _mm_setzero_pd() : load_ab(a, b, 0, adj);
+  } else {
+    const __m128d vk = load_ab(a, b, k * stride, adj);
+    const __m128d vm = load_ab(a, b, (n - k) * stride, adj);
+    // addsub(x, y) = (x0 − y0, x1 + y1): exactly the scalar g expressions.
+    g = sine ? _mm_addsub_pd(vm, swap1(vk)) : _mm_addsub_pd(vk, swap1(vm));
+  }
+  return cmul1(g, ph + 2 * k);
+}
+
+/// Disentangle Z_k / Z_{n−k} and rotate — both sequences' outputs at
+/// frequencies k and n−k in two paired stores.
+XP_TGT inline void plan_fwd_rotate(__m128d zk, __m128d znk, const double* ph,
+                                   std::size_t k, std::size_t n, double* a,
+                                   double* b, std::size_t stride, bool adj) {
+  const __m128d arbr =
+      _mm_mul_pd(_mm_add_pd(zk, znk), _mm_set1_pd(0.5));
+  const __m128d aibi = _mm_mul_pd(swap1(_mm_sub_pd(zk, znk)),
+                                  _mm_set_pd(-0.5, 0.5));
+  const double* p1 = ph + 2 * k;
+  const double* p2 = ph + 2 * (n - k);
+  store_ab(a, b, k * stride, adj,
+           _mm_sub_pd(_mm_mul_pd(arbr, _mm_loaddup_pd(p1)),
+                      _mm_mul_pd(aibi, _mm_loaddup_pd(p1 + 1))));
+  store_ab(a, b, (n - k) * stride, adj,
+           _mm_add_pd(_mm_mul_pd(arbr, _mm_loaddup_pd(p2)),
+                      _mm_mul_pd(aibi, _mm_loaddup_pd(p2 + 1))));
+}
+
+}  // namespace
+
+XP_TGT void plan_fwd_head(const double* a, const double* b, std::size_t stride,
+                          const std::uint32_t* perm, double* z,
+                          std::size_t n) {
+  const bool adj = b == a + 1;
+  if (n == 2) {
+    _mm_storeu_pd(z, load_ab(a, b, perm[0] * stride, adj));
+    _mm_storeu_pd(z + 2, load_ab(a, b, perm[1] * stride, adj));
+    return;
+  }
+  for (std::size_t j = 0; j < n; j += 2) {
+    const __m128d u = load_ab(a, b, perm[j] * stride, adj);
+    const __m128d v = load_ab(a, b, perm[j + 1] * stride, adj);
+    _mm_storeu_pd(z + 2 * j, _mm_add_pd(u, v));
+    _mm_storeu_pd(z + 2 * j + 2, _mm_sub_pd(u, v));
+  }
+}
+
+XP_TGT void plan_inv_head(const double* a, const double* b,
+                          std::size_t stride, const std::uint32_t* brev,
+                          const double* ph, double* z, std::size_t n,
+                          int sine) {
+  const bool adj = b == a + 1;
+  if (n == 2) {
+    _mm_storeu_pd(z, plan_inv_g(a, b, stride, ph, brev[0], n, sine, adj));
+    _mm_storeu_pd(z + 2, plan_inv_g(a, b, stride, ph, brev[1], n, sine, adj));
+    return;
+  }
+  for (std::size_t j = 0; j < n; j += 2) {
+    const __m128d u = plan_inv_g(a, b, stride, ph, brev[j], n, sine, adj);
+    const __m128d v = plan_inv_g(a, b, stride, ph, brev[j + 1], n, sine, adj);
+    _mm_storeu_pd(z + 2 * j, _mm_add_pd(u, v));
+    _mm_storeu_pd(z + 2 * j + 2, _mm_sub_pd(u, v));
+  }
+}
+
+XP_TGT void plan_fwd_tail(const double* z, const double* tw, const double* ph,
+                          double* a, double* b, std::size_t stride,
+                          std::size_t n) {
+  const bool adj = b == a + 1;
+  const std::size_t h = n / 2;
+  {
+    const __m128d u = _mm_loadu_pd(z);
+    const __m128d v = cmul1(_mm_loadu_pd(z + 2 * h), tw);
+    store_ab(a, b, 0, adj, _mm_add_pd(u, v));
+    store_ab(a, b, h * stride, adj,
+             _mm_mul_pd(_mm_sub_pd(u, v), _mm_loaddup_pd(ph + 2 * h)));
+  }
+  for (std::size_t k = 1; 4 * k <= n; ++k) {
+    const std::size_t jB = h - k;
+    const __m128d uA = _mm_loadu_pd(z + 2 * k);
+    const __m128d vA = cmul1(_mm_loadu_pd(z + 2 * (k + h)), tw + 2 * k);
+    const __m128d sA = _mm_add_pd(uA, vA);
+    const __m128d dA = _mm_sub_pd(uA, vA);
+    if (k == jB) {
+      plan_fwd_rotate(sA, dA, ph, k, n, a, b, stride, adj);
+      break;
+    }
+    const __m128d uB = _mm_loadu_pd(z + 2 * jB);
+    const __m128d vB = cmul1(_mm_loadu_pd(z + 2 * (jB + h)), tw + 2 * jB);
+    const __m128d sB = _mm_add_pd(uB, vB);
+    const __m128d dB = _mm_sub_pd(uB, vB);
+    plan_fwd_rotate(sA, dB, ph, k, n, a, b, stride, adj);
+    plan_fwd_rotate(sB, dA, ph, jB, n, a, b, stride, adj);
+  }
+}
+
+XP_TGT void plan_inv_tail(const double* z, const double* tw, double* a,
+                          double* b, std::size_t stride, std::size_t n,
+                          int sine) {
+  const bool adj = b == a + 1;
+  const std::size_t h = n / 2;
+  const double e = 1.0 / static_cast<double>(n);
+  const __m128d ev = _mm_set1_pd(e);
+  const __m128d ov = _mm_set1_pd(sine ? -e : e);
+  if (n == 2) {
+    const __m128d u = _mm_loadu_pd(z);
+    const __m128d v = cmul1(_mm_loadu_pd(z + 2), tw);
+    store_ab(a, b, 0, adj, _mm_mul_pd(_mm_add_pd(u, v), ev));
+    store_ab(a, b, stride, adj, _mm_mul_pd(_mm_sub_pd(u, v), ov));
+    return;
+  }
+  for (std::size_t i = 0; 4 * i < n; ++i) {
+    const std::size_t jB = h - 1 - i;
+    const __m128d uA = _mm_loadu_pd(z + 2 * i);
+    const __m128d vA = cmul1(_mm_loadu_pd(z + 2 * (i + h)), tw + 2 * i);
+    const __m128d uB = _mm_loadu_pd(z + 2 * jB);
+    const __m128d vB = cmul1(_mm_loadu_pd(z + 2 * (jB + h)), tw + 2 * jB);
+    store_ab(a, b, (2 * i) * stride, adj,
+             _mm_mul_pd(_mm_add_pd(uA, vA), ev));
+    store_ab(a, b, (2 * i + 1) * stride, adj,
+             _mm_mul_pd(_mm_sub_pd(uB, vB), ov));
+    store_ab(a, b, (n - 2 - 2 * i) * stride, adj,
+             _mm_mul_pd(_mm_add_pd(uB, vB), ev));
+    store_ab(a, b, (n - 1 - 2 * i) * stride, adj,
+             _mm_mul_pd(_mm_sub_pd(uA, vA), ov));
+  }
+}
+
 // ---- fused optimizer updates -----------------------------------------------
 
 XP_TGT void nesterov_update(float* v, float* v_prev, float* g_prev, float* u,
@@ -938,6 +1122,7 @@ const Kernels* avx2_kernels_or_null() {
       .diff_sq_sum = avx2::diff_sq_sum,
       .abs_max = avx2::abs_max,
       .finite_stats = avx2::finite_stats,
+      .ddot = avx2::ddot,
       .gather_pin_pos = avx2::gather_pin_pos,
       .minmax = avx2::minmax,
       .wa_sums = avx2::wa_sums,
@@ -950,6 +1135,10 @@ const Kernels* avx2_kernels_or_null() {
       .dct_rotate = avx2::dct_rotate,
       .idct_pretwiddle = avx2::idct_pretwiddle,
       .idct_unpack = avx2::idct_unpack,
+      .plan_fwd_head = avx2::plan_fwd_head,
+      .plan_inv_head = avx2::plan_inv_head,
+      .plan_fwd_tail = avx2::plan_fwd_tail,
+      .plan_inv_tail = avx2::plan_inv_tail,
       .nesterov_update = avx2::nesterov_update,
       .precond_apply = avx2::precond_apply,
   };

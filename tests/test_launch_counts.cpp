@@ -125,7 +125,8 @@ std::uint64_t engine_launches(const core::PlacerConfig& base, int iter) {
 
 TEST(LaunchCounts, XplaceEngineGraphIsSmall) {
   // Full Xplace tier: fused WL(1) + zero(2) + density D/D_fl/add/ovfl(4) +
-  // spectral solve(4) + gathers(2) + norms(2) + combine(1) = 16.
+  // spectral solve(3: dct2+scale, field rows, field cols) + gathers(2) +
+  // norms(2) + combine(1) = 15.
   const std::uint64_t n = engine_launches(core::PlacerConfig::xplace(), 200);
   EXPECT_LE(n, 18u);
   EXPECT_GE(n, 14u);
