@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI lanes for Xplace. Run all lanes (default) or a single one:
 #
-#   ci/run_ci.sh [tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|tier1-chaos|tier1-batch|faultinject|asan-ubsan|tsan|all]
+#   ci/run_ci.sh [tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|tier1-chaos|tier1-batch|tier1-portfolio|faultinject|asan-ubsan|tsan|all]
 #
 #   tier1       plain build, full ctest suite
 #   tier1-mt    same build, full ctest suite with XPLACE_THREADS=4 so every
@@ -33,6 +33,12 @@
 #               over it, assert the daemon parsed the design exactly once
 #               (serve_design_parses), every member reached a terminal done
 #               state, and the repeated config was dedup-served by its twin
+#   tier1-portfolio portfolio-racing smoke (DESIGN.md §16): a daemon with an
+#               aggressive kill policy races a K=4 perturbed-restart
+#               portfolio over 2 slots; the design must parse exactly once, a
+#               winner must be selected, at least one laggard must be killed
+#               early, and a fresh bench_portfolio run is compared (advisory)
+#               against the committed BENCH_portfolio.json baseline
 #   faultinject guardian/recovery tests (ctest -L faultinject) plus an
 #               end-to-end XPLACE_FAULT matrix over the place_bookshelf demo:
 #               every injected fault must be recovered (exit 0, legal result)
@@ -409,6 +415,80 @@ run_tier1_batch() {
   echo "=== tier1-batch lane passed ==="
 }
 
+run_tier1_portfolio() {
+  build build-ci
+  local sock="/tmp/xplace_ci_portfolio_$$.sock"
+  local client=./build-ci/examples/xplace_client
+
+  echo "=== tier1-portfolio lane: K-way racing on $sock ==="
+  # Aggressive racing so the lane deterministically exercises the kill path:
+  # a 3-iteration grace window, any strictly-worse HPWL qualifies, and the
+  # overflow gate never saves a laggard.
+  ./build-ci/examples/xplace_serve --socket "$sock" --jobs 2 \
+      --portfolio-poll-s 0.05 --kill-min-iter 3 --kill-margin 1.0 \
+      --kill-slack -10 &
+  serve_daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || serve_fail "daemon never bound $sock" || return 1
+
+  local up hash
+  up=$("$client" --socket "$sock" upload --demo-cells 2000) \
+      || serve_fail "upload failed" || return 1
+  hash=$(echo "$up" | sed -n 's/.*"design":"\([0-9a-f]*\)".*/\1/p')
+  [ -n "$hash" ] || serve_fail "upload returned no design hash" || return 1
+
+  # K=4 perturbed restarts over 2 slots: the racer must kill at least one
+  # laggard while the members are mid-flight.
+  local pf
+  pf=$("$client" --socket "$sock" portfolio --design "$hash" --k 4 \
+       --seed 1 --max-iters 1500 --grid 64 --gp-only) \
+      || serve_fail "submit-portfolio failed" || return 1
+  echo "portfolio: $pf"
+  echo "$pf" | grep -q '"portfolio":1' \
+      || serve_fail "submit-portfolio returned no portfolio id" || return 1
+
+  local result
+  result=$("$client" --socket "$sock" portfolio-result --id 1 --wait \
+           --timeout-s 300) \
+      || serve_fail "portfolio-result failed" || return 1
+  echo "$result" | grep -q '"all_terminal":true' \
+      || serve_fail "portfolio did not reach all-terminal" || return 1
+  echo "$result" | grep -q '"winner"' \
+      || serve_fail "portfolio selected no winner" || return 1
+  echo "$result" | grep -Eq '"killed":[1-9]' \
+      || serve_fail "racer killed no laggard" || return 1
+
+  # One design, K members, exactly ONE parse; the kill counter must agree.
+  local metrics
+  metrics=$("$client" --socket "$sock" metrics) \
+      || serve_fail "metrics scrape failed" || return 1
+  echo "$metrics" | grep -q '^xplace_serve_design_parses 1$' \
+      || serve_fail "design was parsed more than once across the portfolio" \
+      || return 1
+  echo "$metrics" | grep -Eq '^xplace_serve_portfolio_killed [1-9]' \
+      || serve_fail "portfolio kill counter did not record the laggard" \
+      || return 1
+
+  "$client" --socket "$sock" shutdown >/dev/null \
+      || serve_fail "shutdown request failed" || return 1
+  wait "$serve_daemon_pid" || serve_fail "daemon exited non-zero" || return 1
+
+  # Quality gate, advisory on shared runners: fresh single-vs-kick-vs-best-
+  # of-K HPWL numbers against the committed BENCH_portfolio.json baseline
+  # (the HPWL rows are bitwise-deterministic; the core-second rows are not).
+  local fresh="/tmp/xplace_ci_portfolio_$$.bench.json"
+  ./build-ci/bench/bench_portfolio --json "$fresh" >/dev/null \
+      || { echo "bench_portfolio run failed" >&2; return 1; }
+  ./build-ci/bench/check_regression --baseline BENCH_portfolio.json \
+      --current "$fresh" --advisory \
+      || { echo "advisory portfolio regression check errored" >&2; return 1; }
+  rm -f "$fresh"
+  echo "=== tier1-portfolio lane passed ==="
+}
+
 run_faultinject() {
   build build-ci
   ctest --test-dir build-ci --output-on-failure -L faultinject
@@ -452,13 +532,15 @@ case "$lane" in
   tier1-obs)    run_tier1_obs ;;
   tier1-chaos)  run_tier1_chaos ;;
   tier1-batch)  run_tier1_batch ;;
+  tier1-portfolio) run_tier1_portfolio ;;
   faultinject)  run_faultinject ;;
   asan-ubsan)   run_asan_ubsan ;;
   tsan)         run_tsan ;;
   all)          run_tier1; run_tier1_mt; run_tier1_scalar; run_tier1_serve
                 run_tier1_obs; run_tier1_chaos; run_tier1_batch
+                run_tier1_portfolio
                 run_faultinject; run_asan_ubsan; run_tsan ;;
-  *) echo "unknown lane '$lane' (tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|tier1-chaos|tier1-batch|faultinject|asan-ubsan|tsan|all)" >&2
+  *) echo "unknown lane '$lane' (tier1|tier1-mt|tier1-scalar|tier1-serve|tier1-obs|tier1-chaos|tier1-batch|tier1-portfolio|faultinject|asan-ubsan|tsan|all)" >&2
      exit 2 ;;
 esac
 echo "ci lane(s) '$lane' passed"

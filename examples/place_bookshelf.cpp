@@ -39,6 +39,16 @@
 //                             the guardian's best snapshot, and LG/DP are
 //                             skipped — the written .pl always holds the
 //                             best placement reached within the budget.
+//
+// Local-optima escape (see README "Escaping local optima"):
+//   --kicks N                 after GP converges, run N hill-climb kicks:
+//                             bounded random perturbation of the movable
+//                             cells + λ/γ re-anneal, keeping a kicked result
+//                             only when it improves HPWL — the final
+//                             placement is never worse than the unkicked one
+//   --seed S                  first-class run seed (derives the filler and
+//                             init-noise streams; each perturbed restart is
+//                             reproducible from this one number)
 #include <cstdio>
 #include <filesystem>
 
@@ -103,6 +113,8 @@ int main(int argc, char** argv) {
   cfg.checkpoint_period = static_cast<int>(args.get_int("checkpoint-every", 100));
   cfg.resume_path = args.get("resume");
   cfg.threads = backend.threads;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  cfg.kicks = static_cast<int>(args.get_int("kicks", 0));
   core::GlobalPlacer placer(db, cfg);
   const ExecutionContext& exec = placer.execution();
   std::printf("%s\n", backend_summary(exec).c_str());
@@ -124,6 +136,10 @@ int main(int argc, char** argv) {
       "GP phases: wirelength %.3fs  density %.3fs (fft %.3fs, field %.3fs)\n",
       phases.total("gp.phase.wirelength"), phases.total("gp.phase.density"),
       phases.total("gp.phase.fft"), phases.total("gp.phase.field"));
+  if (gp.kicks_attempted > 0) {
+    std::printf("GP kicks: %d attempted, %d accepted\n", gp.kicks_attempted,
+                gp.kicks_accepted);
+  }
   if (gp.rollbacks > 0 || gp.diverged) {
     std::printf("GP guardian: %d sentinel trip(s), %d rollback(s)%s\n",
                 gp.sentinel_trips, gp.rollbacks,

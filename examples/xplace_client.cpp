@@ -25,6 +25,21 @@
 //   xplace_client sweep --demo-cells 4000 --seeds 1,2 --densities 0.7,0.9
 //   xplace_client batch-status --id 3
 //   xplace_client batch-result --id 3 --wait --timeout-s 600
+//   xplace_client batch-cancel --id 3              # stop spending on a sweep
+//
+// Portfolio-racing verbs (DESIGN.md §16):
+//
+//   xplace_client portfolio --design a1b2c3... --k 4 --seed 1 \
+//       --max-iters 800 --deadline-s 300
+//   xplace_client portfolio-status --id 1
+//   xplace_client portfolio-result --id 1 --wait --timeout-s 600
+//
+// `portfolio` launches K perturbed restarts of one design (distinct seeds,
+// noise-injected anchors, varied γ/λ schedules — a deterministic plan from
+// (K, --seed)) raced under --deadline-s; the daemon's racer early-kills
+// strict laggards unless --no-kill. Racer overrides: --kill-min-iter N,
+// --kill-margin R, --kill-slack S. `portfolio-result` reports the aggregate
+// plus the winner's full job object.
 //
 // `sweep` fans one design (uploaded hash, --aux, or --demo-cells — parsed at
 // most once server-side) across the cross-product-free union of the sweep
@@ -52,7 +67,8 @@
 // Result flags: --id N, --wait, --timeout-s T (per request),
 //   --wait-timeout-s T (overall bound across reconnects; exit 3 when the job
 //   is still not terminal — e.g. it was shed, or the daemon restarted
-//   without it).
+//   without it). The same --wait-timeout-s bound (and exit 3) applies to
+//   batch-result --wait and portfolio-result --wait.
 // Watch flags: --interval-s T (default 2), --count N (polls; 0 = forever),
 //   --no-clear (append screens instead of redrawing in place).
 #include <chrono>
@@ -111,7 +127,8 @@ int usage() {
       stderr,
       "usage: xplace_client [--socket PATH] "
       "submit|status|cancel|result|events|stats|metrics|watch|shutdown|"
-      "upload|designs|evict|sweep|batch-status|batch-result [flags]\n"
+      "upload|designs|evict|sweep|batch-status|batch-result|batch-cancel|"
+      "portfolio|portfolio-status|portfolio-result [flags]\n"
       "(see the header comment of examples/xplace_client.cpp)\n");
   return 2;
 }
@@ -131,6 +148,10 @@ bool command_from_name(const std::string& name, Command* out) {
   else if (name == "sweep") *out = Command::kSubmitBatch;
   else if (name == "batch-status") *out = Command::kBatchStatus;
   else if (name == "batch-result") *out = Command::kBatchResult;
+  else if (name == "batch-cancel") *out = Command::kBatchCancel;
+  else if (name == "portfolio") *out = Command::kSubmitPortfolio;
+  else if (name == "portfolio-status") *out = Command::kPortfolioStatus;
+  else if (name == "portfolio-result") *out = Command::kPortfolioResult;
   else return false;
   return true;
 }
@@ -310,11 +331,35 @@ int run_events(Request req, const std::string& socket_path, bool follow,
   }
 }
 
-/// `result --wait` with an overall bound: re-issues bounded waits (surviving
-/// daemon restarts in between) until the job is terminal, the daemon reports
-/// it unknown (exit 1), or --wait-timeout-s elapses (exit 3).
-int run_result_wait(const Request& req, const std::string& socket_path,
-                    double wait_timeout_s, long retries, double backoff_s) {
+/// Terminal check for the three waitable responses: a job line carries its
+/// "state" at top level; batch/portfolio lines carry an "all_terminal" flag
+/// on their aggregate object.
+bool response_settled(Command cmd, const json::Value& v) {
+  switch (cmd) {
+    case Command::kResult:
+      return is_terminal_state(v.get_string("state"));
+    case Command::kBatchResult: {
+      const json::Value* b = v.find("batch");
+      return b != nullptr && b->is_object() &&
+             b->get_bool("all_terminal", false);
+    }
+    case Command::kPortfolioResult: {
+      const json::Value* p = v.find("portfolio");
+      return p != nullptr && p->is_object() &&
+             p->get_bool("all_terminal", false);
+    }
+    default:
+      return true;
+  }
+}
+
+/// `result|batch-result|portfolio-result --wait` with an overall bound:
+/// re-issues bounded waits (surviving daemon restarts in between) until the
+/// target is terminal, the daemon reports it unknown (exit 1), or
+/// --wait-timeout-s elapses (exit 3). One implementation so the three wait
+/// verbs honor the bound identically.
+int run_bounded_wait(const Request& req, const std::string& socket_path,
+                     double wait_timeout_s, long retries, double backoff_s) {
   const double deadline =
       wait_timeout_s > 0 ? steady_now() + wait_timeout_s : 0.0;
   UdsStream stream = connect_with_backoff(socket_path, retries, backoff_s);
@@ -329,7 +374,8 @@ int run_result_wait(const Request& req, const std::string& socket_path,
       const double remaining = deadline - steady_now();
       if (remaining <= 0) {
         std::fprintf(stderr,
-                     "result: job %llu not terminal within %.1fs wait bound\n",
+                     "%s: id %llu not terminal within %.1fs wait bound\n",
+                     to_string(req.cmd),
                      static_cast<unsigned long long>(req.id), wait_timeout_s);
         return 3;
       }
@@ -354,7 +400,7 @@ int run_result_wait(const Request& req, const std::string& socket_path,
       std::printf("%s\n", line.c_str());
       return 1;  // unknown/evicted id, or a malformed daemon reply
     }
-    if (is_terminal_state(v.get_string("state"))) {
+    if (response_settled(req.cmd, v)) {
       std::printf("%s\n", line.c_str());
       return 0;
     }
@@ -395,7 +441,8 @@ int main(int argc, char** argv) {
       "timeout-s", args.get_bool("follow", false) ? 3600.0 : 60.0);
   req.drain = !args.get_bool("no-drain", false);
   if (req.cmd == Command::kSubmit || req.cmd == Command::kUploadDesign ||
-      req.cmd == Command::kSubmitBatch) {
+      req.cmd == Command::kSubmitBatch ||
+      req.cmd == Command::kSubmitPortfolio) {
     JobSpec& s = req.spec;
     s.aux = args.get("aux");
     s.demo_cells = args.get_int("demo-cells", 0);
@@ -458,6 +505,19 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (req.cmd == Command::kSubmitPortfolio) {
+    req.k = static_cast<int>(args.get_int("k", 0));
+    if (req.k < 2) {
+      std::fprintf(stderr, "portfolio needs --k N (members, >= 2)\n");
+      return 2;
+    }
+    req.kill_min_iter = static_cast<int>(args.get_int("kill-min-iter", -1));
+    req.kill_margin = args.get_double("kill-margin", 0.0);
+    if (args.has("kill-slack")) {
+      req.kill_slack = args.get_double("kill-slack", 0.0);
+    }
+    req.no_kill = args.get_bool("no-kill", false);
+  }
 
   const std::string socket_path = args.get("socket", "/tmp/xplace.sock");
   if (req.cmd == Command::kEvents) {
@@ -465,9 +525,11 @@ int main(int argc, char** argv) {
                       connect_retries, connect_backoff_s);
   }
   const double wait_timeout_s = args.get_double("wait-timeout-s", 0.0);
-  if (req.cmd == Command::kResult && req.wait && wait_timeout_s > 0) {
-    return run_result_wait(req, socket_path, wait_timeout_s, connect_retries,
-                           connect_backoff_s);
+  if ((req.cmd == Command::kResult || req.cmd == Command::kBatchResult ||
+       req.cmd == Command::kPortfolioResult) &&
+      req.wait && wait_timeout_s > 0) {
+    return run_bounded_wait(req, socket_path, wait_timeout_s, connect_retries,
+                            connect_backoff_s);
   }
   UdsStream stream =
       connect_with_backoff(socket_path, connect_retries, connect_backoff_s);

@@ -34,6 +34,14 @@
 //                       evicted designs lazily re-parse on next use
 //   --design-bytes N    resident-bytes bound for the design store
 //                       (default 1 GiB)
+//   --portfolio-poll-s S  racer sampling period for portfolio early-kill
+//                       (default 0.25; <= 0 disables the racer — members
+//                       still run to completion and a winner is selected)
+//   --kill-min-iter N   grace iterations before a member can be judged a
+//                       laggard (default 100)
+//   --kill-margin R     laggard HPWL ratio vs the leader (default 1.15)
+//   --kill-slack S      laggard overflow gap vs the leader (default 0.05)
+//   --no-kill           default portfolios to racing without early-kill
 //   --simd BACKEND      SIMD kernel table (auto|avx2|scalar|off)
 //   --trace-out PATH    enable the span tracer and write a Chrome trace of
 //                       every served job on exit; each job renders as its own
@@ -85,6 +93,12 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("design-capacity", 16));
   cfg.design_max_bytes = static_cast<std::size_t>(
       args.get_int("design-bytes", 1ll << 30));
+  cfg.portfolio_poll_s = args.get_double("portfolio-poll-s", 0.25);
+  cfg.portfolio_policy.min_iter =
+      static_cast<int>(args.get_int("kill-min-iter", 100));
+  cfg.portfolio_policy.hpwl_margin = args.get_double("kill-margin", 1.15);
+  cfg.portfolio_policy.overflow_slack = args.get_double("kill-slack", 0.05);
+  cfg.portfolio_policy.no_kill = args.get_bool("no-kill", false);
 
   const std::string trace_out = args.get("trace-out");
   if (!trace_out.empty()) telemetry::Tracer::global().enable();

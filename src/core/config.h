@@ -81,7 +81,24 @@ struct PlacerConfig {
   ///   <0 — thread pool sized to hardware concurrency.
   int threads = 0;
 
+  // ---- local-optima escape: hill-climb kicks (arXiv 2402.18311) --------------
+  /// Perturb-and-re-anneal attempts after the main descent ends (converged or
+  /// iter-capped). Each kick displaces every movable cell by a bounded random
+  /// offset, re-anneals λ/γ, re-runs a bounded descent segment, and keeps the
+  /// result only when the committed HPWL improves — the final placement is
+  /// never worse than the unkicked one. 0 disables.
+  int kicks = 0;
+  double kick_magnitude_bins = 2.0;  ///< max |Δx|,|Δy| per cell, in bins
+  int kick_iters = 200;              ///< descent-iteration budget per kick
+  int kick_min_iters = 15;           ///< re-anneal at least this long per kick
+  double kick_lambda_scale = 0.5;    ///< λ multiplier applied before each kick
+
   // ---- misc ---------------------------------------------------------------------
+  /// First-class run seed. When > 0 it derives every stochastic stream of the
+  /// run (filler_seed = seed, init_noise_seed = seed + 1, and the kick RNG),
+  /// so a perturbed restart is reproducible from this one number. 0 keeps the
+  /// explicit per-stream seeds below.
+  std::uint64_t seed = 0;
   std::uint64_t filler_seed = 1;
   std::uint64_t init_noise_seed = 2;
   /// Per-run target-density override applied before filler insertion

@@ -64,6 +64,13 @@ GlobalPlacer::GlobalPlacer(std::shared_ptr<const db::DesignSnapshot> snapshot,
 }
 
 void GlobalPlacer::init() {
+  // First-class run seed: one number derives every stochastic stream of the
+  // run, so a perturbed restart is reproducible (and its config hashes
+  // distinctly) from `seed` alone.
+  if (cfg_.seed > 0) {
+    cfg_.filler_seed = cfg_.seed;
+    cfg_.init_noise_seed = cfg_.seed + 1;
+  }
   if (db_->num_fillers() == 0) {
     // Per-run density override must land before fillers: the filler budget is
     // D_t·free − movable, so this is what makes density a sweep axis.
@@ -117,16 +124,17 @@ GlobalPlaceResult GlobalPlacer::run() {
   Stopwatch gp_watch;
 
   const std::size_t n = db_->num_cells_total();
-  std::vector<float> grad_x(n, 0.0f), grad_y(n, 0.0f);
+  LoopState st;
+  st.grad_x.assign(n, 0.0f);
+  st.grad_y.assign(n, 0.0f);
 
   // Per-iteration step-time distribution (ms); ~30 ns .. ~2 s range.
-  telemetry::Histogram& step_hist = telemetry::Registry::global().histogram(
+  st.step_hist = &telemetry::Registry::global().histogram(
       "gp.step_ms", telemetry::Histogram::exponential_bounds(1e-3, 2.0, 22));
 
   GlobalPlaceResult result;
-  double best_hpwl = 1e300;
-  double gamma = scheduler_->gamma(1.0);
-  double overflow = 1.0;
+  st.gamma = scheduler_->gamma(1.0);
+  st.overflow = 1.0;
   int start_iter = 0;
 
   if (!cfg_.resume_path.empty()) {
@@ -137,16 +145,98 @@ GlobalPlaceResult GlobalPlacer::run() {
     restore_checkpoint(ck, *db_, static_cast<int>(cfg_.optimizer), *optimizer_,
                        *scheduler_, *engine_);
     start_iter = ck.next_iter;
-    gamma = ck.gamma;
-    overflow = ck.overflow;
-    best_hpwl = ck.best_hpwl;
+    st.gamma = ck.gamma;
+    st.overflow = ck.overflow;
+    st.best_hpwl = ck.best_hpwl;
+    st.last_hpwl = ck.hpwl;
     telemetry::Registry::global().counter("gp.resumes").inc();
     XP_INFO("[%s] resumed from %s at iter %d (hpwl %.6g, ovfl %.4f)",
             db_->design_name().c_str(), cfg_.resume_path.c_str(), start_iter,
-            ck.hpwl, overflow);
+            ck.hpwl, st.overflow);
   }
 
-  for (int iter = start_iter; iter < cfg_.max_iters; ++iter) {
+  run_segment(start_iter, cfg_.max_iters, cfg_.min_iters, st, result);
+
+  // Hill-climb kicks only make sense after a completed descent: a divergent
+  // or interrupted run already committed the guardian's best snapshot below.
+  if (cfg_.kicks > 0 && (result.stop_reason == StopReason::kConverged ||
+                         result.stop_reason == StopReason::kIterCap)) {
+    kick_phase(st, result);
+  }
+
+  // The bools are derived views of stop_reason (kept in lockstep so older
+  // callers checking `converged`/`diverged` keep working).
+  result.converged = result.stop_reason == StopReason::kConverged;
+  result.diverged = result.stop_reason == StopReason::kDiverged;
+
+  result.rollbacks = guardian_->rollbacks();
+  result.sentinel_trips = guardian_->sentinel_trips();
+
+  // On a divergent, cancelled, or deadline stop, commit the best-known
+  // snapshot instead of the current iterate: for divergence the current
+  // iterate is garbage; for cancel/deadline the snapshot is the best-overflow
+  // (most usable) placement seen, so an interrupted job still returns a
+  // meaningful result.
+  const bool stopped_early = result.stop_reason == StopReason::kDiverged ||
+                             result.stop_reason == StopReason::kCancelled ||
+                             result.stop_reason == StopReason::kDeadline;
+  if (stopped_early &&
+      guardian_->restore_best(*optimizer_, *scheduler_, *engine_)) {
+    XP_WARN("[%s] committing best snapshot (hpwl %.6g) after %s stop",
+            db_->design_name().c_str(), guardian_->best().hpwl,
+            to_string(result.stop_reason));
+    st.overflow = guardian_->best().overflow;
+  }
+
+  commit_solution();
+
+  result.hpwl = db_->hpwl();
+  result.overflow = st.overflow;
+  result.gp_seconds = gp_watch.seconds();
+  result.avg_iter_ms =
+      result.iterations > 0 ? result.gp_seconds * 1e3 / result.iterations : 0.0;
+  result.kernel_launches = disp.total_launches() - launches_before;
+
+  // Publish run-level metrics to the global registry (one place for the
+  // Prometheus dump; supersedes ad-hoc result plumbing in benches).
+  telemetry::Registry& reg = telemetry::Registry::global();
+  reg.gauge("gp.hpwl").set(result.hpwl);
+  reg.gauge("gp.overflow").set(result.overflow);
+  reg.gauge("gp.iterations").set(result.iterations);
+  reg.gauge("gp.seconds").set(result.gp_seconds);
+  reg.gauge("gp.stop_reason").set(static_cast<double>(result.stop_reason));
+  reg.counter("gp.runs").inc();
+  reg.counter("gp.kernel_launches").inc(result.kernel_launches);
+  if (result.diverged) reg.counter("gp.diverged_runs").inc();
+  if (result.stop_reason == StopReason::kCancelled ||
+      result.stop_reason == StopReason::kDeadline) {
+    reg.counter("gp.stopped_runs").inc();
+  }
+  // Backend + pool utilization, and the per-phase kernel timers the
+  // `--threads` speedup is measured against.
+  exec_.publish(reg);
+  engine_->phase_timers().publish(reg, "timer.");
+
+  XP_INFO("[%s] GP done (%s): %d iters, hpwl %.6g, ovfl %.4f, %.2fs (%.2f ms/iter), %llu launches",
+          db_->design_name().c_str(), to_string(result.stop_reason),
+          result.iterations, result.hpwl, result.overflow, result.gp_seconds,
+          result.avg_iter_ms,
+          static_cast<unsigned long long>(result.kernel_launches));
+  return result;
+}
+
+StopReason GlobalPlacer::run_segment(int start_iter, int iter_cap,
+                                     int min_iters, LoopState& st,
+                                     GlobalPlaceResult& result) {
+  const std::size_t n = db_->num_cells_total();
+  std::vector<float>& grad_x = st.grad_x;
+  std::vector<float>& grad_y = st.grad_y;
+  double& gamma = st.gamma;
+  double& overflow = st.overflow;
+  double& best_hpwl = st.best_hpwl;
+  telemetry::Histogram& step_hist = *st.step_hist;
+
+  for (int iter = start_iter; iter < iter_cap; ++iter) {
     // Cooperative stop: polled before the iteration's kernels so a cancel
     // or deadline never pays for another gradient evaluation. The committed
     // iterate is handled below on the shared best-snapshot path.
@@ -156,7 +246,7 @@ GlobalPlaceResult GlobalPlacer::run() {
                                : StopReason::kDeadline;
       XP_INFO("[%s] GP stop requested at iter %d (%s)",
               db_->design_name().c_str(), iter, to_string(cause));
-      break;
+      return result.stop_reason;
     }
     telemetry::TraceScope iter_span("gp.iter");
     Stopwatch iter_watch;
@@ -185,7 +275,7 @@ GlobalPlaceResult GlobalPlacer::run() {
         if (!guardian_->rollback(reason, *optimizer_, *scheduler_, *engine_,
                                  &gamma, &overflow)) {
           result.stop_reason = StopReason::kDiverged;
-          break;
+          return result.stop_reason;
         }
         continue;  // retry from the restored best iterate
       }
@@ -195,7 +285,7 @@ GlobalPlaceResult GlobalPlacer::run() {
               db_->design_name().c_str(), iter, g.hpwl, best_hpwl);
       result.iterations = iter + 1;
       result.stop_reason = StopReason::kDiverged;
-      break;
+      return result.stop_reason;
     }
 
     if (!scheduler_->lambda_initialized()) {
@@ -244,6 +334,7 @@ GlobalPlaceResult GlobalPlacer::run() {
     }
 
     best_hpwl = std::min(best_hpwl, g.hpwl);
+    st.last_hpwl = g.hpwl;
     result.iterations = iter + 1;
 
     if (cfg_.guardian && guardian_->should_snapshot(iter, overflow)) {
@@ -262,36 +353,16 @@ GlobalPlaceResult GlobalPlacer::run() {
       if (checkpoint_obs_) checkpoint_obs_(iter + 1, cfg_.checkpoint_out);
     }
 
-    if (iter >= cfg_.min_iters && overflow < cfg_.stop_overflow) {
+    if (iter >= min_iters && overflow < cfg_.stop_overflow) {
       result.stop_reason = StopReason::kConverged;
-      break;
+      return result.stop_reason;
     }
   }
+  result.stop_reason = StopReason::kIterCap;
+  return result.stop_reason;
+}
 
-  // The bools are derived views of stop_reason (kept in lockstep so older
-  // callers checking `converged`/`diverged` keep working).
-  result.converged = result.stop_reason == StopReason::kConverged;
-  result.diverged = result.stop_reason == StopReason::kDiverged;
-
-  result.rollbacks = guardian_->rollbacks();
-  result.sentinel_trips = guardian_->sentinel_trips();
-
-  // On a divergent, cancelled, or deadline stop, commit the best-known
-  // snapshot instead of the current iterate: for divergence the current
-  // iterate is garbage; for cancel/deadline the snapshot is the best-overflow
-  // (most usable) placement seen, so an interrupted job still returns a
-  // meaningful result.
-  const bool stopped_early = result.stop_reason == StopReason::kDiverged ||
-                             result.stop_reason == StopReason::kCancelled ||
-                             result.stop_reason == StopReason::kDeadline;
-  if (stopped_early &&
-      guardian_->restore_best(*optimizer_, *scheduler_, *engine_)) {
-    XP_WARN("[%s] committing best snapshot (hpwl %.6g) after %s stop",
-            db_->design_name().c_str(), guardian_->best().hpwl,
-            to_string(result.stop_reason));
-    overflow = guardian_->best().overflow;
-  }
-
+void GlobalPlacer::commit_solution() {
   // Commit the major iterate back to the database (movable cells only;
   // fillers are internal to the electrostatic system).
   const float* sx = optimizer_->solution_x();
@@ -300,43 +371,87 @@ GlobalPlaceResult GlobalPlacer::run() {
     db_->set_position(c, sx[c], sy[c]);
   }
   // Keep filler positions in the db too (harmless; useful for debugging).
-  for (std::size_t c = db_->num_physical(); c < n; ++c) {
+  for (std::size_t c = db_->num_physical(); c < db_->num_cells_total(); ++c) {
     db_->set_position(c, sx[c], sy[c]);
   }
+}
 
-  result.hpwl = db_->hpwl();
-  result.overflow = overflow;
-  result.gp_seconds = gp_watch.seconds();
-  result.avg_iter_ms =
-      result.iterations > 0 ? result.gp_seconds * 1e3 / result.iterations : 0.0;
-  result.kernel_launches = disp.total_launches() - launches_before;
-
-  // Publish run-level metrics to the global registry (one place for the
-  // Prometheus dump; supersedes ad-hoc result plumbing in benches).
+void GlobalPlacer::kick_phase(LoopState& st, GlobalPlaceResult& result) {
+  XP_TRACE_SCOPE("gp.kick_phase");
   telemetry::Registry& reg = telemetry::Registry::global();
-  reg.gauge("gp.hpwl").set(result.hpwl);
-  reg.gauge("gp.overflow").set(result.overflow);
-  reg.gauge("gp.iterations").set(result.iterations);
-  reg.gauge("gp.seconds").set(result.gp_seconds);
-  reg.gauge("gp.stop_reason").set(static_cast<double>(result.stop_reason));
-  reg.counter("gp.runs").inc();
-  reg.counter("gp.kernel_launches").inc(result.kernel_launches);
-  if (result.diverged) reg.counter("gp.diverged_runs").inc();
-  if (result.stop_reason == StopReason::kCancelled ||
-      result.stop_reason == StopReason::kDeadline) {
-    reg.counter("gp.stopped_runs").inc();
-  }
-  // Backend + pool utilization, and the per-phase kernel timers the
-  // `--threads` speedup is measured against.
-  exec_.publish(reg);
-  engine_->phase_timers().publish(reg, "timer.");
+  const StopReason base_reason = result.stop_reason;
+  const int kind = static_cast<int>(cfg_.optimizer);
 
-  XP_INFO("[%s] GP done (%s): %d iters, hpwl %.6g, ovfl %.4f, %.2fs (%.2f ms/iter), %llu launches",
-          db_->design_name().c_str(), to_string(result.stop_reason),
-          result.iterations, result.hpwl, result.overflow, result.gp_seconds,
-          result.avg_iter_ms,
-          static_cast<unsigned long long>(result.kernel_launches));
-  return result;
+  // Incumbent: the completed descent's placement. Every kick is judged
+  // against it by committed HPWL, so the phase is monotone — the final
+  // placement is never worse than the unkicked one.
+  commit_solution();
+  double incumbent_hpwl = db_->hpwl();
+  RunCheckpoint incumbent = capture_checkpoint(
+      *db_, kind, result.iterations, st.gamma, st.overflow, st.best_hpwl,
+      st.last_hpwl, *optimizer_, *scheduler_, *engine_);
+
+  const double mag = cfg_.kick_magnitude_bins * engine_->grid().bin_w();
+  for (int k = 0; k < cfg_.kicks; ++k) {
+    if (poll_stop(stop_) != StopCause::kNone) break;
+    ++result.kicks_attempted;
+    reg.counter("gp.kicks").inc();
+
+    // Bounded random kick of the movable cells, seeded from the run's noise
+    // seed so each kick is individually reproducible.
+    Rng rng(cfg_.init_noise_seed +
+            0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(k + 1));
+    for (std::size_t c = 0; c < db_->num_movable(); ++c) {
+      db_->set_position(c, db_->x(c) + rng.uniform(-mag, mag),
+                        db_->y(c) + rng.uniform(-mag, mag));
+    }
+    // Fresh momentum from the kicked positions + λ/γ re-anneal.
+    if (cfg_.optimizer == OptimizerKind::kNesterov) {
+      optimizer_ =
+          std::make_unique<NesterovOptimizer>(*db_, cfg_, cfg_.grid_dim);
+    } else {
+      optimizer_ = std::make_unique<AdamOptimizer>(*db_, cfg_, cfg_.grid_dim);
+    }
+    scheduler_->scale_lambda(cfg_.kick_lambda_scale);
+    st.gamma = scheduler_->gamma(st.overflow);
+
+    const int seg_start = result.iterations;
+    const StopReason r =
+        run_segment(seg_start, seg_start + cfg_.kick_iters,
+                    seg_start + cfg_.kick_min_iters, st, result);
+
+    commit_solution();
+    const double kicked_hpwl = db_->hpwl();
+    const bool completed =
+        r == StopReason::kConverged || r == StopReason::kIterCap;
+    if (completed && kicked_hpwl < incumbent_hpwl) {
+      incumbent_hpwl = kicked_hpwl;
+      incumbent = capture_checkpoint(*db_, kind, result.iterations, st.gamma,
+                                     st.overflow, st.best_hpwl, st.last_hpwl,
+                                     *optimizer_, *scheduler_, *engine_);
+      ++result.kicks_accepted;
+      reg.counter("gp.kicks_accepted").inc();
+      XP_INFO("[%s] kick %d/%d accepted (hpwl %.6g)",
+              db_->design_name().c_str(), k + 1, cfg_.kicks, kicked_hpwl);
+    } else {
+      restore_checkpoint(incumbent, *db_, kind, *optimizer_, *scheduler_,
+                         *engine_);
+      st.gamma = incumbent.gamma;
+      st.overflow = incumbent.overflow;
+      st.best_hpwl = incumbent.best_hpwl;
+      st.last_hpwl = incumbent.hpwl;
+      if (cfg_.verbose) {
+        XP_INFO("[%s] kick %d/%d rejected (hpwl %.6g vs incumbent %.6g)",
+                db_->design_name().c_str(), k + 1, cfg_.kicks, kicked_hpwl,
+                incumbent_hpwl);
+      }
+    }
+    if (!completed) break;  // token fired or kick diverged: stop climbing
+  }
+  // Kicks are opportunistic: an interrupted or divergent kick segment falls
+  // back to the incumbent above, and the run reports the main descent's
+  // stop reason — the committed placement is that descent's (or better).
+  result.stop_reason = base_reason;
 }
 
 }  // namespace xplace::core

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/config.h"
 #include "core/gradient_engine.h"
@@ -24,6 +25,7 @@
 #include "core/scheduler.h"
 #include "db/database.h"
 #include "db/design_snapshot.h"
+#include "telemetry/metrics.h"
 #include "util/execution.h"
 #include "util/stop_token.h"
 
@@ -56,6 +58,9 @@ struct GlobalPlaceResult {
   bool diverged = false;      ///< == (stop_reason == kDiverged)
   int rollbacks = 0;          ///< rollback-and-retune recoveries performed
   int sentinel_trips = 0;     ///< NONFINITE/SPIKE sentinel classifications
+  // Hill-climb kick outcome (cfg.kicks > 0).
+  int kicks_attempted = 0;
+  int kicks_accepted = 0;     ///< kicks that improved the committed HPWL
 };
 
 class GlobalPlacer {
@@ -114,6 +119,31 @@ class GlobalPlacer {
  private:
   void init();
   void init_positions();
+
+  /// Rolling state of the descent loop, shared between the main segment and
+  /// the kick segments so a kick continues the same trajectory bookkeeping.
+  struct LoopState {
+    std::vector<float> grad_x, grad_y;
+    double best_hpwl = 1e300;
+    double gamma = 0.0;
+    double overflow = 1.0;
+    double last_hpwl = 0.0;  ///< HPWL of the newest completed iteration
+    telemetry::Histogram* step_hist = nullptr;
+  };
+  /// One bounded descent segment: iterations [start_iter, iter_cap), stopping
+  /// early on convergence (not before min_iters), divergence, or the stop
+  /// token. Returns the reason the segment ended and keeps result.iterations /
+  /// result.stop_reason in sync.
+  StopReason run_segment(int start_iter, int iter_cap, int min_iters,
+                         LoopState& st, GlobalPlaceResult& result);
+  /// Writes the optimizer's committed solution back into the database
+  /// (movable cells + fillers).
+  void commit_solution();
+  /// Perturb-and-re-anneal hill climb (cfg_.kicks > 0): bounded random kick of
+  /// the movable cells, λ/γ re-anneal, bounded re-descent, accept-if-better
+  /// against the incumbent checkpoint. Leaves the incumbent (best) solution
+  /// committed in the optimizer/db on return.
+  void kick_phase(LoopState& st, GlobalPlaceResult& result);
 
   std::shared_ptr<const db::DesignSnapshot> snapshot_;  ///< keeps the shared core alive
   std::unique_ptr<db::Database> owned_db_;  ///< snapshot-materialized run state

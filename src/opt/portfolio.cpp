@@ -1,0 +1,50 @@
+#include "opt/portfolio.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace xplace::opt {
+
+std::vector<PerturbationVariant> make_portfolio_plan(int k,
+                                                     std::uint64_t base_seed) {
+  std::vector<PerturbationVariant> plan;
+  if (k <= 0) return plan;
+  plan.reserve(static_cast<std::size_t>(k));
+
+  // Variant 0: the unperturbed baseline. Its presence makes the portfolio's
+  // winner provably no worse than a single run at base_seed (it *is* that
+  // run, raced against K-1 challengers).
+  PerturbationVariant base;
+  base.seed = base_seed == 0 ? 1 : base_seed;
+  base.label = "v0";
+  plan.push_back(base);
+
+  // Challengers draw from one stream seeded by base_seed alone, so the whole
+  // plan is a pure function of (k, base_seed). Ranges follow the perturb-and-
+  // re-anneal recipe: anchor noise up to ~8× (log-uniform — small nudges and
+  // big shakes both represented), γ/λ within a factor that re-shapes the
+  // annealing path without breaking convergence.
+  Rng rng(base.seed ^ 0x706f7274666f6cULL);  // "portfol"
+  for (int i = 1; i < k; ++i) {
+    PerturbationVariant v;
+    v.seed = base.seed + static_cast<std::uint64_t>(i) * 7919ULL;
+    v.init_noise_scale = std::exp(rng.uniform(std::log(0.5), std::log(8.0)));
+    v.gamma_scale = rng.uniform(0.7, 1.4);
+    v.lambda_scale = std::exp(rng.uniform(std::log(0.5), std::log(2.0)));
+    v.label = "v" + std::to_string(i);
+    plan.push_back(v);
+  }
+  return plan;
+}
+
+core::PlacerConfig apply_variant(core::PlacerConfig cfg,
+                                 const PerturbationVariant& v) {
+  if (v.seed > 0) cfg.seed = v.seed;
+  if (v.init_noise_scale > 0.0) cfg.center_init_noise *= v.init_noise_scale;
+  if (v.gamma_scale > 0.0) cfg.gamma_base_factor *= v.gamma_scale;
+  if (v.lambda_scale > 0.0) cfg.lambda_init_factor *= v.lambda_scale;
+  return cfg;
+}
+
+}  // namespace xplace::opt

@@ -1,0 +1,47 @@
+// Portfolio plan generation for K-way perturbed-restart racing
+// (DESIGN.md §16, grounded in "Escaping Local Optima in Global Placement",
+// arXiv 2402.18311).
+//
+// Xplace's GP is a nonconvex descent: where it lands depends on the initial
+// anchor noise, the spreading order the filler seed induces, and the γ/λ
+// annealing path. A portfolio exploits that sensitivity deliberately — K
+// restarts of the *same* design, each with a perturbed stochastic stream and
+// schedule, raced to completion so the best basin wins.
+//
+// This module is the deterministic half of the subsystem: given (K, base
+// seed) it produces the exact same K perturbation variants every time, so a
+// portfolio is reproducible from two numbers and each member is individually
+// reproducible from its variant (the server threads the variant through
+// JobSpec → PlacerConfig). The racing half lives in src/server/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace xplace::opt {
+
+/// One perturbed restart: a first-class run seed plus multiplicative tweaks
+/// of the stochastic/annealing knobs that shape the descent trajectory.
+struct PerturbationVariant {
+  std::uint64_t seed = 0;        ///< PlacerConfig::seed (derives all streams)
+  double init_noise_scale = 1.0; ///< × center_init_noise (anchor injection)
+  double gamma_scale = 1.0;      ///< × gamma_base_factor (WA smoothing path)
+  double lambda_scale = 1.0;     ///< × lambda_init_factor (density pressure)
+  std::string label;             ///< "v0".."vK-1" (v0 = unperturbed baseline)
+};
+
+/// Deterministic K-way plan. Variant 0 is the unperturbed baseline at
+/// `base_seed` (so the portfolio's winner is never worse than a single run
+/// at that seed); variants 1..K-1 draw perturbations from an Rng seeded by
+/// `base_seed` alone. Same (k, base_seed) ⇒ bit-identical plan.
+std::vector<PerturbationVariant> make_portfolio_plan(int k,
+                                                     std::uint64_t base_seed);
+
+/// Applies a variant to a placement config (seed + multiplicative knobs).
+core::PlacerConfig apply_variant(core::PlacerConfig cfg,
+                                 const PerturbationVariant& v);
+
+}  // namespace xplace::opt

@@ -36,6 +36,13 @@ struct JobSpec {
   double target_density = 0.0;
   /// >0 overrides the λ-schedule init factor (PlacerConfig::lambda_init_factor).
   double lambda_init = 0.0;
+  // Perturbed-restart knobs (portfolio members, DESIGN.md §16). All are
+  // multiplicative against the placer defaults; 0 = leave the default alone.
+  // They are part of the config hash, so two variants of the same design
+  // dedup as distinct results.
+  double init_noise_scale = 0.0;  ///< × PlacerConfig::center_init_noise
+  double gamma_scale = 0.0;       ///< × PlacerConfig::gamma_base_factor
+  double lambda_scale = 0.0;      ///< × PlacerConfig::lambda_init_factor
   /// Worker threads for this job's kernels; 0 = the server's per-job default.
   /// Each running job gets its own ExecutionContext so concurrent jobs never
   /// share a pool (sharing would serialize one job inline and break per-job
@@ -56,6 +63,7 @@ struct JobSpec {
 
   // ---- batching / dedup ----------------------------------------------------
   std::uint64_t batch_id = 0;  ///< owning submit-batch id (0 = standalone)
+  std::uint64_t portfolio_id = 0;  ///< owning portfolio id (0 = none)
   /// Result dedup: when set, an identical (design_hash, config_hash) with a
   /// successful terminal result is served from cache instead of re-running.
   /// Default off for plain submits (soak tests rely on N identical jobs
@@ -95,6 +103,11 @@ inline std::string validate_spec(const JobSpec& s) {
     return "\"target_density\" must be in (0, 1]";
   }
   if (s.lambda_init < 0.0) return "\"lambda_init\" must be non-negative";
+  if (s.init_noise_scale < 0.0) {
+    return "\"init_noise_scale\" must be non-negative";
+  }
+  if (s.gamma_scale < 0.0) return "\"gamma_scale\" must be non-negative";
+  if (s.lambda_scale < 0.0) return "\"lambda_scale\" must be non-negative";
   return "";
 }
 

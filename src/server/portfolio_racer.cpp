@@ -1,0 +1,54 @@
+#include "server/portfolio_racer.h"
+
+#include <algorithm>
+
+namespace xplace::server {
+
+std::vector<std::uint64_t> laggards_to_kill(
+    const std::vector<MemberProgress>& members, const RacePolicy& policy) {
+  std::vector<std::uint64_t> victims;
+  if (policy.no_kill) return victims;
+
+  // Judgeable = live, with a progress sample past the grace window. The
+  // leader is picked among judgeable members only: comparing a 500-iteration
+  // trajectory against one that just started is noise, not racing.
+  std::size_t live = 0;
+  const MemberProgress* leader = nullptr;
+  for (const MemberProgress& m : members) {
+    if (m.terminal) continue;
+    ++live;
+    if (!m.has_progress || m.iter < policy.min_iter) continue;
+    if (leader == nullptr || m.hpwl < leader->hpwl) leader = &m;
+  }
+  if (leader == nullptr) return victims;
+
+  // Strict laggard: behind the leader on BOTH metrics. HPWL alone is not
+  // enough mid-run (a slower-spreading member can show lower wirelength while
+  // being far less legal), so the overflow gap must agree before anyone dies.
+  std::vector<const MemberProgress*> candidates;
+  for (const MemberProgress& m : members) {
+    if (m.terminal || !m.has_progress || m.iter < policy.min_iter) continue;
+    if (m.id == leader->id) continue;
+    if (m.hpwl > leader->hpwl * policy.hpwl_margin &&
+        m.overflow > leader->overflow + policy.overflow_slack) {
+      candidates.push_back(&m);
+    }
+  }
+
+  // Worst-first, and stop before the survivor floor. Ties break on id so the
+  // decision is deterministic for a fixed set of samples.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const MemberProgress* a, const MemberProgress* b) {
+              if (a->hpwl != b->hpwl) return a->hpwl > b->hpwl;
+              return a->id < b->id;
+            });
+  const std::size_t floor = std::max<std::size_t>(policy.min_survivors, 1);
+  for (const MemberProgress* m : candidates) {
+    if (live <= floor) break;
+    victims.push_back(m->id);
+    --live;
+  }
+  return victims;
+}
+
+}  // namespace xplace::server

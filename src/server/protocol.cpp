@@ -72,6 +72,10 @@ const char* to_string(Command cmd) {
     case Command::kSubmitBatch: return "submit-batch";
     case Command::kBatchStatus: return "batch-status";
     case Command::kBatchResult: return "batch-result";
+    case Command::kBatchCancel: return "batch-cancel";
+    case Command::kSubmitPortfolio: return "submit-portfolio";
+    case Command::kPortfolioStatus: return "portfolio-status";
+    case Command::kPortfolioResult: return "portfolio-result";
   }
   return "?";
 }
@@ -118,6 +122,10 @@ bool command_from_string(const std::string& s, Command* out) {
   else if (s == "submit-batch") *out = Command::kSubmitBatch;
   else if (s == "batch-status") *out = Command::kBatchStatus;
   else if (s == "batch-result") *out = Command::kBatchResult;
+  else if (s == "batch-cancel") *out = Command::kBatchCancel;
+  else if (s == "submit-portfolio") *out = Command::kSubmitPortfolio;
+  else if (s == "portfolio-status") *out = Command::kPortfolioStatus;
+  else if (s == "portfolio-result") *out = Command::kPortfolioResult;
   else return false;
   return true;
 }
@@ -125,7 +133,9 @@ bool command_from_string(const std::string& s, Command* out) {
 bool needs_id(Command cmd) {
   return cmd == Command::kStatus || cmd == Command::kCancel ||
          cmd == Command::kResult || cmd == Command::kEvents ||
-         cmd == Command::kBatchStatus || cmd == Command::kBatchResult;
+         cmd == Command::kBatchStatus || cmd == Command::kBatchResult ||
+         cmd == Command::kBatchCancel || cmd == Command::kPortfolioStatus ||
+         cmd == Command::kPortfolioResult;
 }
 
 /// Non-negative integral number field; false (with message) on bad type or
@@ -163,6 +173,10 @@ bool parse_spec_fields(const json::Value& obj, JobSpec* s, std::string* error) {
   if (!get_uint(obj, "seed", &spec.seed, error)) return false;
   spec.target_density = obj.get_number("target_density", spec.target_density);
   spec.lambda_init = obj.get_number("lambda_init", spec.lambda_init);
+  spec.init_noise_scale =
+      obj.get_number("init_noise_scale", spec.init_noise_scale);
+  spec.gamma_scale = obj.get_number("gamma_scale", spec.gamma_scale);
+  spec.lambda_scale = obj.get_number("lambda_scale", spec.lambda_scale);
   spec.threads = static_cast<int>(obj.get_number("threads", spec.threads));
   spec.full_flow = obj.get_bool("full_flow", spec.full_flow);
   spec.priority = static_cast<int>(obj.get_number("priority", spec.priority));
@@ -207,7 +221,8 @@ bool parse_request(const std::string& line, Request* out, std::string* error) {
   req.drain = root.get_bool("drain", true);
 
   if (req.cmd == Command::kSubmit || req.cmd == Command::kUploadDesign ||
-      req.cmd == Command::kSubmitBatch) {
+      req.cmd == Command::kSubmitBatch ||
+      req.cmd == Command::kSubmitPortfolio) {
     if (!parse_spec_fields(root, &req.spec, error)) return false;
   }
   if (req.cmd == Command::kSubmit) {
@@ -272,6 +287,24 @@ bool parse_request(const std::string& line, Request* out, std::string* error) {
       req.configs.push_back(std::move(member));
     }
   }
+  if (req.cmd == Command::kSubmitPortfolio) {
+    if (std::string verr = validate_spec(req.spec); !verr.empty()) {
+      *error = std::move(verr);
+      return false;
+    }
+    const json::Value* kv = root.find("k");
+    if (kv == nullptr || !kv->is_number() ||
+        kv->number() != std::floor(kv->number()) || kv->number() < 2) {
+      *error = "submit-portfolio requires \"k\" (integer >= 2)";
+      return false;
+    }
+    req.k = static_cast<int>(kv->number());
+    req.kill_min_iter = static_cast<int>(
+        root.get_number("kill_min_iter", req.kill_min_iter));
+    req.kill_margin = root.get_number("kill_margin", req.kill_margin);
+    req.kill_slack = root.get_number("kill_slack", req.kill_slack);
+    req.no_kill = root.get_bool("no_kill", false);
+  }
 
   *out = req;
   return true;
@@ -292,6 +325,11 @@ void append_spec_fields(json::Object* o, const JobSpec& s) {
   if (s.seed > 0) o->emplace_back("seed", s.seed);
   if (s.target_density > 0) o->emplace_back("target_density", s.target_density);
   if (s.lambda_init > 0) o->emplace_back("lambda_init", s.lambda_init);
+  if (s.init_noise_scale > 0) {
+    o->emplace_back("init_noise_scale", s.init_noise_scale);
+  }
+  if (s.gamma_scale > 0) o->emplace_back("gamma_scale", s.gamma_scale);
+  if (s.lambda_scale > 0) o->emplace_back("lambda_scale", s.lambda_scale);
   o->emplace_back("threads", s.threads);
   o->emplace_back("full_flow", json::Value(s.full_flow));
   o->emplace_back("priority", s.priority);
@@ -337,6 +375,15 @@ std::string build_request(const Request& req) {
         if (c.lambda_init != req.spec.lambda_init) {
           cfg.emplace_back("lambda_init", c.lambda_init);
         }
+        if (c.init_noise_scale != req.spec.init_noise_scale) {
+          cfg.emplace_back("init_noise_scale", c.init_noise_scale);
+        }
+        if (c.gamma_scale != req.spec.gamma_scale) {
+          cfg.emplace_back("gamma_scale", c.gamma_scale);
+        }
+        if (c.lambda_scale != req.spec.lambda_scale) {
+          cfg.emplace_back("lambda_scale", c.lambda_scale);
+        }
         if (c.max_iters != req.spec.max_iters) {
           cfg.emplace_back("max_iters", c.max_iters);
         }
@@ -350,7 +397,21 @@ std::string build_request(const Request& req) {
       o.emplace_back("configs", std::move(configs));
       break;
     }
+    case Command::kSubmitPortfolio:
+      append_spec_fields(&o, req.spec);
+      o.emplace_back("k", static_cast<std::uint64_t>(req.k));
+      if (req.kill_min_iter >= 0) {
+        o.emplace_back("kill_min_iter",
+                       static_cast<std::uint64_t>(req.kill_min_iter));
+      }
+      if (req.kill_margin > 0) o.emplace_back("kill_margin", req.kill_margin);
+      if (req.kill_slack != kNoSlackOverride) {
+        o.emplace_back("kill_slack", req.kill_slack);
+      }
+      if (req.no_kill) o.emplace_back("no_kill", json::Value(true));
+      break;
     case Command::kBatchResult:
+    case Command::kPortfolioResult:
       o.emplace_back("wait", json::Value(req.wait));
       o.emplace_back("timeout_s", req.timeout_s);
       break;

@@ -44,6 +44,24 @@
 //   {"cmd":"batch-result","id":3,"wait":true,"timeout_s":600}
 //        → {"ok":true,"batch":{...},"jobs":[{...},...]} with one full job
 //        object per member, dedup-shared members repeated by reference
+//   {"cmd":"batch-cancel","id":3}               → {"ok":true,"cancelled":N}
+//        cancels every non-terminal member in one shot
+//
+// Portfolio-racing verbs (DESIGN.md §16). A portfolio launches K perturbed
+// restarts of one design as a batch and races them; the racer thread
+// early-kills strict laggards unless "no_kill":
+//
+//   {"cmd":"submit-portfolio","design":"a1b2...","k":4,"seed":1,
+//    "max_iters":800,"deadline_s":120}
+//        → {"ok":true,"portfolio":1,"batch":3,"design":"a1b2...",
+//           "jobs":[{"id":7,"dedup":false},...]}
+//        Optional racer overrides: "kill_min_iter" (grace iterations),
+//        "kill_margin" (HPWL ratio), "kill_slack" (overflow gap),
+//        "no_kill":true (race without early-kill).
+//   {"cmd":"portfolio-status","id":1}           → {"ok":true,"portfolio":{...}}
+//   {"cmd":"portfolio-result","id":1,"wait":true,"timeout_s":600}
+//        → {"ok":true,"portfolio":{...},"winner":{...full job object...},
+//           "jobs":[{...},...]} (winner present once a member is done)
 //
 // Every error is {"ok":false,"error":"..."} on one line; a malformed or
 // oversized request line never kills the connection — the server answers
@@ -116,6 +134,10 @@ enum class Command {
   kSubmitBatch,
   kBatchStatus,
   kBatchResult,
+  kBatchCancel,
+  kSubmitPortfolio,
+  kPortfolioStatus,
+  kPortfolioResult,
 };
 
 const char* to_string(Command cmd);
@@ -129,6 +151,10 @@ bool hex_to_hash(const std::string& hex, std::uint64_t* out);
 /// status/cancel/result/events and batch-status/batch-result (the batch id);
 /// `from_seq`/`wait`/`timeout_s`/`drain` for the commands that document them
 /// above.
+/// Sentinel for "no kill_slack override" — overflow slack is legitimately
+/// negative (stricter-than-leader policies), so 0 cannot be the sentinel.
+inline constexpr double kNoSlackOverride = -1.0e30;
+
 struct Request {
   Command cmd = Command::kStats;
   std::uint64_t id = 0;
@@ -136,8 +162,15 @@ struct Request {
   bool wait = false;            ///< result: block until terminal
   double timeout_s = 60.0;      ///< result --wait bound
   bool drain = true;            ///< shutdown: finish queued+running first
-  JobSpec spec;                 ///< submit payload / batch base
+  JobSpec spec;                 ///< submit payload / batch or portfolio base
   std::vector<JobSpec> configs; ///< submit-batch member configs
+  // submit-portfolio fields. The racer-policy overrides keep their sentinels
+  // when absent; the daemon then applies the server-default policy.
+  int k = 0;                    ///< member count (required, >= 2)
+  int kill_min_iter = -1;       ///< grace iterations before judging (<0 = def)
+  double kill_margin = 0.0;     ///< laggard HPWL ratio (0 = default)
+  double kill_slack = kNoSlackOverride;  ///< laggard overflow gap
+  bool no_kill = false;         ///< race without early-kill
 };
 
 /// Parses one request line. On failure returns false and sets *error to a

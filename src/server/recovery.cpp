@@ -65,6 +65,11 @@ std::string encode_submit(const JobSpec& spec, int attempt) {
   put<double>(out, spec.lambda_init);
   put<std::uint64_t>(out, spec.batch_id);
   put<std::uint8_t>(out, spec.dedup ? 1 : 0);
+  // Portfolio / perturbed-restart fields (appended, same compaction argument).
+  put<std::uint64_t>(out, spec.portfolio_id);
+  put<double>(out, spec.init_noise_scale);
+  put<double>(out, spec.gamma_scale);
+  put<double>(out, spec.lambda_scale);
   return out;
 }
 
@@ -91,6 +96,10 @@ bool decode_submit(const std::string& payload, JobSpec* spec, int* attempt) {
   if (!get(payload, &pos, &spec->lambda_init)) return false;
   if (!get(payload, &pos, &spec->batch_id)) return false;
   if (!get(payload, &pos, &dedup)) return false;
+  if (!get(payload, &pos, &spec->portfolio_id)) return false;
+  if (!get(payload, &pos, &spec->init_noise_scale)) return false;
+  if (!get(payload, &pos, &spec->gamma_scale)) return false;
+  if (!get(payload, &pos, &spec->lambda_scale)) return false;
   spec->dedup = dedup != 0;
   spec->demo_cells = static_cast<long>(cells);
   spec->max_iters = max_iters;
@@ -222,6 +231,36 @@ bool decode_batch(const std::string& payload, BatchInfo* info) {
   return true;
 }
 
+std::string encode_portfolio(const PortfolioInfo& info) {
+  std::string out;
+  put<std::uint64_t>(out, info.batch_id);
+  put<std::uint64_t>(out, info.design_hash);
+  put<std::uint64_t>(out, info.base_seed);
+  put<std::uint32_t>(out, info.k);
+  put<double>(out, info.deadline_s);
+  put_str(out, info.label);
+  put<std::int32_t>(out, info.min_iter);
+  put<double>(out, info.hpwl_margin);
+  put<double>(out, info.overflow_slack);
+  put<std::uint8_t>(out, info.no_kill);
+  return out;
+}
+
+bool decode_portfolio(const std::string& payload, PortfolioInfo* info) {
+  std::size_t pos = 0;
+  if (!get(payload, &pos, &info->batch_id)) return false;
+  if (!get(payload, &pos, &info->design_hash)) return false;
+  if (!get(payload, &pos, &info->base_seed)) return false;
+  if (!get(payload, &pos, &info->k)) return false;
+  if (!get(payload, &pos, &info->deadline_s)) return false;
+  if (!get_str(payload, &pos, &info->label)) return false;
+  if (!get(payload, &pos, &info->min_iter)) return false;
+  if (!get(payload, &pos, &info->hpwl_margin)) return false;
+  if (!get(payload, &pos, &info->overflow_slack)) return false;
+  if (!get(payload, &pos, &info->no_kill)) return false;
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Recovery planning
 // ---------------------------------------------------------------------------
@@ -244,6 +283,7 @@ RecoveryPlan build_recovery_plan(const io::JournalReplay& replay) {
     // Non-job records reuse the job_id slot for other identities (design
     // hash, batch id) — they must not poison job-id allocation.
     if (type != JournalEvent::kDesignRef && type != JournalEvent::kBatch &&
+        type != JournalEvent::kPortfolio &&
         type != JournalEvent::kCleanShutdown) {
       plan.max_id = std::max(plan.max_id, rec.job_id);
     }
@@ -329,6 +369,24 @@ RecoveryPlan build_recovery_plan(const io::JournalReplay& replay) {
         }
         break;
       }
+      case JournalEvent::kPortfolio: {
+        PortfolioInfo info;
+        if (!decode_portfolio(rec.payload, &info)) break;
+        plan.max_portfolio_id = std::max(plan.max_portfolio_id, rec.job_id);
+        bool seen = false;
+        for (RecoveredPortfolio& p : plan.portfolios) {
+          if (p.id == rec.job_id) {
+            p.info = std::move(info);  // duplicate id: newest wins
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          plan.portfolios.push_back(
+              RecoveredPortfolio{rec.job_id, std::move(info), rec.time_s});
+        }
+        break;
+      }
     }
   }
   plan.clean_shutdown =
@@ -407,6 +465,14 @@ std::vector<io::JournalRecord> compaction_records(const RecoveryPlan& plan) {
     rec.job_id = b.id;
     rec.time_s = b.submit_time_s;
     rec.payload = encode_batch(b.info);
+    out.push_back(std::move(rec));
+  }
+  for (const RecoveredPortfolio& p : plan.portfolios) {
+    io::JournalRecord rec;
+    rec.type = static_cast<std::uint32_t>(JournalEvent::kPortfolio);
+    rec.job_id = p.id;
+    rec.time_s = p.submit_time_s;
+    rec.payload = encode_portfolio(p.info);
     out.push_back(std::move(rec));
   }
   return out;

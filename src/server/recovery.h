@@ -48,6 +48,10 @@ enum class JournalEvent : std::uint32_t {
   /// A submit-batch landed: the job_id slot carries the batch id; the payload
   /// ties the member job ids to the batch + design hash.
   kBatch = 9,
+  /// A submit-portfolio landed: the job_id slot carries the portfolio id; the
+  /// payload names the member batch plus the racing parameters, so a restart
+  /// resumes racing the surviving members under the same policy.
+  kPortfolio = 10,
 };
 
 /// Decoded kFinish payload (the terminal slice of a JobRecord).
@@ -106,6 +110,25 @@ struct BatchInfo {
 std::string encode_batch(const BatchInfo& info);
 bool decode_batch(const std::string& payload, BatchInfo* info);
 
+/// Decoded kPortfolio payload (the portfolio id rides in the job_id slot).
+/// Members are reachable through the named batch's kBatch record.
+struct PortfolioInfo {
+  std::uint64_t batch_id = 0;
+  std::uint64_t design_hash = 0;
+  std::uint64_t base_seed = 0;
+  std::uint32_t k = 0;
+  double deadline_s = 0.0;
+  std::string label;
+  // Racing policy (portfolio_racer.h) the run was admitted under.
+  std::int32_t min_iter = 100;
+  double hpwl_margin = 1.15;
+  double overflow_slack = 0.05;
+  std::uint8_t no_kill = 0;
+};
+
+std::string encode_portfolio(const PortfolioInfo& info);
+bool decode_portfolio(const std::string& payload, PortfolioInfo* info);
+
 /// One job's effective state after folding every journal record about it.
 struct RecoveredJob {
   std::uint64_t id = 0;
@@ -136,6 +159,14 @@ struct RecoveredBatch {
   double submit_time_s = 0.0;
 };
 
+/// A portfolio whose racing state survives the restart: membership via its
+/// batch, members via their own job records.
+struct RecoveredPortfolio {
+  std::uint64_t id = 0;
+  PortfolioInfo info;
+  double submit_time_s = 0.0;
+};
+
 struct RecoveryPlan {
   std::vector<RecoveredJob> jobs;  ///< original submit order
   bool clean_shutdown = false;     ///< last record is the clean marker
@@ -146,6 +177,8 @@ struct RecoveryPlan {
   std::vector<RecoveredDesign> designs;  ///< design-ref records, first-seen order
   std::vector<RecoveredBatch> batches;   ///< batch records, submit order
   std::uint64_t max_batch_id = 0;
+  std::vector<RecoveredPortfolio> portfolios;  ///< portfolio records, in order
+  std::uint64_t max_portfolio_id = 0;
 };
 
 RecoveryPlan build_recovery_plan(const io::JournalReplay& replay);

@@ -15,6 +15,7 @@
 #include "io/bookshelf.h"
 #include "io/generator.h"
 #include "lg/abacus.h"
+#include "opt/portfolio.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/logging.h"
@@ -101,6 +102,7 @@ PlacementServer::PlacementServer(ServerConfig cfg)
   // mutates the queue and the job map without racing live execution.
   if (!cfg_.state_dir.empty()) recover_from_journal();
   retry_thread_ = std::thread([this] { retry_loop(); });
+  portfolio_thread_ = std::thread([this] { portfolio_loop(); });
   workers_.reserve(cfg_.max_concurrency);
   for (std::size_t i = 0; i < cfg_.max_concurrency; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -151,7 +153,7 @@ std::uint64_t PlacementServer::config_hash(const JobSpec& spec) const {
   // Everything that changes the placement result at a fixed design and a
   // fixed thread count. Threads are resolved (spec override or server
   // default) so the same effective run dedups across the two spellings.
-  std::uint64_t v[8];
+  std::uint64_t v[11];
   v[0] = static_cast<std::uint64_t>(spec.max_iters);
   v[1] = static_cast<std::uint64_t>(spec.grid);
   v[2] = static_cast<std::uint64_t>(
@@ -161,6 +163,11 @@ std::uint64_t PlacementServer::config_hash(const JobSpec& spec) const {
   v[5] = spec.demo_seed;
   std::memcpy(&v[6], &spec.target_density, sizeof(double));
   std::memcpy(&v[7], &spec.lambda_init, sizeof(double));
+  // Perturbed-restart knobs: two portfolio variants of the same design must
+  // dedup as distinct results.
+  std::memcpy(&v[8], &spec.init_noise_scale, sizeof(double));
+  std::memcpy(&v[9], &spec.gamma_scale, sizeof(double));
+  std::memcpy(&v[10], &spec.lambda_scale, sizeof(double));
   return io::fnv1a64(reinterpret_cast<const char*>(v), sizeof(v));
 }
 
@@ -528,47 +535,300 @@ std::optional<PlacementServer::BatchStatus> PlacementServer::batch_wait(
   return batch_status_locked(id);
 }
 
-bool PlacementServer::cancel(std::uint64_t id, std::string* error) {
-  std::shared_ptr<Job> job;
+// ---------------------------------------------------------------------------
+// Portfolio racing (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+PlacementServer::PortfolioSubmitOutcome PlacementServer::submit_portfolio(
+    const JobSpec& base, int k, double deadline_s) {
+  return submit_portfolio(base, k, deadline_s, cfg_.portfolio_policy);
+}
+
+PlacementServer::PortfolioSubmitOutcome PlacementServer::submit_portfolio(
+    const JobSpec& base, int k, double deadline_s, const RacePolicy& policy) {
+  PortfolioSubmitOutcome out;
+  if (k < 2) {
+    out.error = "submit-portfolio needs \"k\" >= 2 (one member is a submit)";
+    return out;
+  }
+  if (k > 64) {
+    out.error = "\"k\" exceeds the 64-member portfolio bound";
+    return out;
+  }
+  if (deadline_s < 0.0) {
+    out.error = "\"deadline_s\" must be non-negative";
+    return out;
+  }
+
+  // The plan is a pure function of (k, base seed): same two numbers, same K
+  // perturbation variants, every time — the determinism acceptance.
+  const std::uint64_t base_seed = base.seed > 0 ? base.seed : 1;
+  const std::vector<opt::PerturbationVariant> plan =
+      opt::make_portfolio_plan(k, base_seed);
+
+  // Reserve the id up front so member labels can carry it before the batch
+  // admission runs (ids of rejected portfolios are simply skipped).
+  std::uint64_t pid = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = jobs_.find(id);
+    pid = next_portfolio_id_++;
+  }
+  const std::string label = sanitize_label(
+      base.label.empty() ? "p" + std::to_string(pid) : base.label);
+
+  JobSpec batch_base = base;
+  batch_base.label = label;
+  std::vector<JobSpec> configs;
+  configs.reserve(plan.size());
+  for (const opt::PerturbationVariant& v : plan) {
+    JobSpec s = base;
+    s.seed = v.seed;
+    s.init_noise_scale = v.init_noise_scale;
+    s.gamma_scale = v.gamma_scale;
+    s.lambda_scale = v.lambda_scale;
+    s.label = label + "_" + v.label;
+    s.deadline_s = deadline_s;  // shared race deadline, queue wait included
+    s.portfolio_id = pid;
+    s.dedup = true;
+    configs.push_back(std::move(s));
+  }
+
+  // The member batch does the heavy lifting: one design parse, all-or-nothing
+  // queue admission, per-member kSubmit + one kBatch journal record. Batch
+  // verbs (batch-result, batch-cancel) work on a portfolio's batch too.
+  const BatchSubmitOutcome bo = submit_batch(batch_base, configs);
+  if (!bo.ok) {
+    out.error = bo.error;
+    return out;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Portfolio p;
+  p.id = pid;
+  p.info.batch_id = bo.batch_id;
+  p.info.design_hash = bo.design_hash;
+  p.info.base_seed = base_seed;
+  p.info.k = static_cast<std::uint32_t>(k);
+  p.info.deadline_s = deadline_s;
+  p.info.label = label;
+  p.info.min_iter = policy.min_iter;
+  p.info.hpwl_margin = policy.hpwl_margin;
+  p.info.overflow_slack = policy.overflow_slack;
+  p.info.no_kill = policy.no_kill ? 1 : 0;
+  journal_append_locked(JournalEvent::kPortfolio, pid,
+                        encode_portfolio(p.info));
+  portfolios_.emplace(pid, std::move(p));
+  telemetry::Registry::global().counter("serve.portfolio.submitted").inc();
+  XP_INFO("portfolio %llu: %d-way race on design %016llx (batch %llu, base "
+          "seed %llu, deadline %.1fs)",
+          static_cast<unsigned long long>(pid), k,
+          static_cast<unsigned long long>(bo.design_hash),
+          static_cast<unsigned long long>(bo.batch_id),
+          static_cast<unsigned long long>(base_seed), deadline_s);
+  out.ok = true;
+  out.portfolio_id = pid;
+  out.batch_id = bo.batch_id;
+  out.design_hash = bo.design_hash;
+  out.jobs = bo.jobs;
+  portfolio_cv_.notify_all();  // the racer wakes up to the new portfolio
+  return out;
+}
+
+PlacementServer::PortfolioStatus PlacementServer::portfolio_status_locked(
+    const Portfolio& p) const {
+  PortfolioStatus s;
+  s.id = p.id;
+  s.batch_id = p.info.batch_id;
+  s.design_hash = p.info.design_hash;
+  s.base_seed = p.info.base_seed;
+  s.label = p.info.label;
+  s.killed = p.killed;
+  s.deadline_s = p.info.deadline_s;
+  s.all_terminal = true;
+  const auto bit = batches_.find(p.info.batch_id);
+  if (bit == batches_.end()) return s;  // defensive: batches_ never evicts
+  s.jobs = bit->second.jobs;
+  for (const BatchJobRef& r : s.jobs) {
+    const auto it = jobs_.find(r.id);
     if (it == jobs_.end()) {
-      if (error != nullptr) *error = "unknown or evicted job id";
-      return false;
+      ++s.done;  // evicted from the result store ⇒ settled (see batch_status)
+      continue;
     }
-    job = it->second;
-    if (is_terminal(job->rec.state)) {
-      if (error != nullptr) {
-        *error = std::string("job already terminal (") +
-                 to_string(job->rec.state) + ")";
-      }
-      return false;
+    const JobRecord& rec = it->second->rec;
+    switch (rec.state) {
+      case JobState::kQueued: ++s.queued; s.all_terminal = false; break;
+      case JobState::kRunning: ++s.running; s.all_terminal = false; break;
+      case JobState::kDone: ++s.done; break;
+      case JobState::kCancelled: ++s.cancelled; break;
+      case JobState::kFailed: ++s.failed; break;
+      case JobState::kShed: ++s.shed; break;
     }
-    job->token.request_cancel();
-    if (job->rec.state == JobState::kRunning) {
-      // Running: the settle happens later on the worker thread. Journal the
-      // intent now so a crash in between still cancels after recovery.
-      journal_append_locked(JournalEvent::kCancel, id, {});
-    }
-    if (job->rec.state == JobState::kQueued) {
-      // A queued job may be waiting out a retry backoff (not in queue_);
-      // drop the pending entry so the timer never re-admits it.
-      const std::size_t before = retry_pending_.size();
-      retry_pending_.erase(
-          std::remove_if(retry_pending_.begin(), retry_pending_.end(),
-                         [id](const PendingRetry& p) { return p.id == id; }),
-          retry_pending_.end());
-      const bool was_backoff = retry_pending_.size() != before;
-      // Still waiting: pull it out of the queue (or its backoff window) and
-      // settle it here. If the remove races a worker's pop, the armed token
-      // stops the run at its first poll instead.
-      if (queue_.remove(id) || was_backoff) {
-        job->rec.stop_reason = core::StopReason::kCancelled;
-        finish_job_locked(*job, JobState::kCancelled);
+    if (rec.state == JobState::kDone) {
+      const double h = rec.legalized ? rec.dp_hpwl : rec.hpwl;
+      if (s.winner == 0 || h < s.winner_hpwl ||
+          (h == s.winner_hpwl && rec.id < s.winner)) {
+        s.winner_hpwl = h;
+        s.winner = rec.id;
       }
     }
   }
+  return s;
+}
+
+std::optional<PlacementServer::PortfolioStatus>
+PlacementServer::portfolio_status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = portfolios_.find(id);
+  if (it == portfolios_.end()) return std::nullopt;
+  return portfolio_status_locked(it->second);
+}
+
+std::optional<PlacementServer::PortfolioStatus> PlacementServer::portfolio_wait(
+    std::uint64_t id, double timeout_s) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = portfolios_.find(id);
+  if (it == portfolios_.end()) return std::nullopt;
+  const Portfolio& p = it->second;  // rows are never erased while running
+  batch_cv_.wait_for(lock,
+                     std::chrono::duration<double>(std::max(0.0, timeout_s)),
+                     [&] { return portfolio_status_locked(p).all_terminal; });
+  return portfolio_status_locked(p);
+}
+
+void PlacementServer::race_portfolios_locked() {
+  telemetry::Registry& reg = telemetry::Registry::global();
+  for (auto& [pid, p] : portfolios_) {
+    if (p.settled) continue;
+    const auto bit = batches_.find(p.info.batch_id);
+    if (bit == batches_.end()) {
+      p.settled = true;
+      continue;
+    }
+    // Sample each member's newest progress event — the same Recorder-sourced
+    // numbers the events verb streams — into the racer's cross-job view.
+    std::vector<MemberProgress> members;
+    members.reserve(bit->second.jobs.size());
+    bool all_terminal = true;
+    for (const BatchJobRef& r : bit->second.jobs) {
+      MemberProgress m;
+      m.id = r.id;
+      const auto jit = jobs_.find(r.id);
+      if (jit == jobs_.end()) {
+        m.terminal = true;  // evicted ⇒ settled long ago
+      } else {
+        const Job& job = *jit->second;
+        m.terminal = is_terminal(job.rec.state);
+        if (!job.events.empty()) {
+          m.has_progress = true;
+          m.iter = job.events.back().iter;
+          m.hpwl = job.events.back().hpwl;
+          m.overflow = job.events.back().overflow;
+        }
+      }
+      all_terminal = all_terminal && m.terminal;
+      members.push_back(m);
+    }
+    if (all_terminal) {
+      p.settled = true;
+      reg.counter("serve.portfolio.settled").inc();
+      continue;
+    }
+    RacePolicy pol = cfg_.portfolio_policy;  // min_survivors stays server-wide
+    pol.min_iter = p.info.min_iter;
+    pol.hpwl_margin = p.info.hpwl_margin;
+    pol.overflow_slack = p.info.overflow_slack;
+    pol.no_kill = p.info.no_kill != 0;
+    for (const std::uint64_t victim : laggards_to_kill(members, pol)) {
+      if (!cancel_locked(victim, nullptr)) continue;
+      ++p.killed;
+      ++portfolio_kills_;
+      reg.counter("serve.portfolio.killed").inc();
+      XP_INFO("portfolio %llu: early-killed laggard job %llu",
+              static_cast<unsigned long long>(pid),
+              static_cast<unsigned long long>(victim));
+    }
+  }
+}
+
+void PlacementServer::portfolio_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!portfolio_stop_) {
+    if (cfg_.portfolio_poll_s <= 0.0) {
+      // Racing disabled: park until shutdown (members run to completion; the
+      // winner is still selected by portfolio_status).
+      portfolio_cv_.wait(lock, [&] { return portfolio_stop_; });
+      continue;
+    }
+    portfolio_cv_.wait_for(
+        lock, std::chrono::duration<double>(cfg_.portfolio_poll_s));
+    if (portfolio_stop_) break;
+    race_portfolios_locked();
+  }
+}
+
+bool PlacementServer::cancel_locked(std::uint64_t id, std::string* error) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    if (error != nullptr) *error = "unknown or evicted job id";
+    return false;
+  }
+  // Keep the job alive past a same-pass result-store eviction inside
+  // finish_job_locked (waiters' shared_ptrs do the same for them).
+  const std::shared_ptr<Job> job = it->second;
+  if (is_terminal(job->rec.state)) {
+    if (error != nullptr) {
+      *error = std::string("job already terminal (") +
+               to_string(job->rec.state) + ")";
+    }
+    return false;
+  }
+  job->token.request_cancel();
+  if (job->rec.state == JobState::kRunning) {
+    // Running: the settle happens later on the worker thread. Journal the
+    // intent now so a crash in between still cancels after recovery.
+    journal_append_locked(JournalEvent::kCancel, id, {});
+  }
+  if (job->rec.state == JobState::kQueued) {
+    // A queued job may be waiting out a retry backoff (not in queue_);
+    // drop the pending entry so the timer never re-admits it.
+    const std::size_t before = retry_pending_.size();
+    retry_pending_.erase(
+        std::remove_if(retry_pending_.begin(), retry_pending_.end(),
+                       [id](const PendingRetry& p) { return p.id == id; }),
+        retry_pending_.end());
+    const bool was_backoff = retry_pending_.size() != before;
+    // Still waiting: pull it out of the queue (or its backoff window) and
+    // settle it here. If the remove races a worker's pop, the armed token
+    // stops the run at its first poll instead.
+    if (queue_.remove(id) || was_backoff) {
+      job->rec.stop_reason = core::StopReason::kCancelled;
+      finish_job_locked(*job, JobState::kCancelled);
+    }
+  }
+  return true;
+}
+
+bool PlacementServer::cancel(std::uint64_t id, std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancel_locked(id, error);
+}
+
+bool PlacementServer::batch_cancel(std::uint64_t id, std::size_t* cancelled,
+                                   std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = batches_.find(id);
+  if (it == batches_.end()) {
+    if (error != nullptr) *error = "unknown batch id";
+    return false;
+  }
+  std::size_t n = 0;
+  for (const BatchJobRef& r : it->second.jobs) {
+    // Already-terminal (or evicted) members are simply skipped — a batch
+    // cancel is "stop spending on this sweep", not an error on stragglers.
+    if (cancel_locked(r.id, nullptr)) ++n;
+  }
+  if (cancelled != nullptr) *cancelled = n;
+  telemetry::Registry::global().counter("serve.batch.cancelled").inc();
   return true;
 }
 
@@ -663,6 +923,8 @@ PlacementServer::Stats PlacementServer::stats() const {
   s.design_resident_bytes = ds.resident_bytes;
   s.batches = batches_.size();
   s.dedup_hits = dedup_hits_;
+  s.portfolios = portfolios_.size();
+  s.portfolio_kills = portfolio_kills_;
   return s;
 }
 
@@ -700,6 +962,14 @@ void PlacementServer::shutdown(bool drain) {
   }
   retry_cv_.notify_all();
   if (retry_thread_.joinable()) retry_thread_.join();
+  {
+    // Retire the racer: no more early-kills once shutdown is in motion (the
+    // no-drain path below cancels everything anyway).
+    std::lock_guard<std::mutex> lock(mutex_);
+    portfolio_stop_ = true;
+  }
+  portfolio_cv_.notify_all();
+  if (portfolio_thread_.joinable()) portfolio_thread_.join();
   if (!drain) {
     // Settle queued jobs as cancelled, then arm every live token so running
     // (or popped-in-limbo) jobs stop at their next poll.
@@ -866,12 +1136,16 @@ void PlacementServer::run_job(Job& job, std::size_t leased_threads) {
     cfg.max_iters = spec.max_iters;
     cfg.threads = static_cast<int>(leased_threads);
     // Sweep axes (submit-batch configs, also honored on plain submits).
-    if (spec.seed > 0) {
-      cfg.filler_seed = spec.seed;
-      cfg.init_noise_seed = spec.seed + 1;
-    }
+    if (spec.seed > 0) cfg.seed = spec.seed;  // init() derives the streams
     if (spec.target_density > 0.0) cfg.target_density = spec.target_density;
     if (spec.lambda_init > 0.0) cfg.lambda_init_factor = spec.lambda_init;
+    // Perturbed-restart knobs (portfolio members): multiplicative against the
+    // defaults, matching opt::apply_variant.
+    if (spec.init_noise_scale > 0.0) {
+      cfg.center_init_noise *= spec.init_noise_scale;
+    }
+    if (spec.gamma_scale > 0.0) cfg.gamma_base_factor *= spec.gamma_scale;
+    if (spec.lambda_scale > 0.0) cfg.lambda_init_factor *= spec.lambda_scale;
     // Supervised restart: attempt > 0 re-runs from scratch (never from the
     // diverged trajectory's spill) with the guardian's compounding λ/step
     // retune lifted to the whole-run level.
@@ -1151,6 +1425,8 @@ void PlacementServer::recover_from_journal() {
     next_id_ = std::max<std::uint64_t>(next_id_, plan.max_id + 1);
     next_batch_id_ = std::max<std::uint64_t>(next_batch_id_,
                                              plan.max_batch_id + 1);
+    next_portfolio_id_ = std::max<std::uint64_t>(next_portfolio_id_,
+                                                 plan.max_portfolio_id + 1);
     if (!journal_.open(path, /*truncate=*/true)) journal_degraded_ = true;
     // Uploaded designs outlive a clean shutdown (batches and job results do
     // not — same retention as the result store): re-register the sources and
@@ -1179,8 +1455,10 @@ void PlacementServer::recover_from_journal() {
     next_id_ = std::max<std::uint64_t>(next_id_, plan.max_id + 1);
     next_batch_id_ = std::max<std::uint64_t>(next_batch_id_,
                                              plan.max_batch_id + 1);
-    // Compaction re-emitted every design ref and batch record, so neither
-    // needs re-journaling here.
+    next_portfolio_id_ = std::max<std::uint64_t>(next_portfolio_id_,
+                                                 plan.max_portfolio_id + 1);
+    // Compaction re-emitted every design ref, batch, and portfolio record,
+    // so none of them needs re-journaling here.
     register_designs(/*mark_journaled=*/true);
     for (const RecoveredBatch& rb : plan.batches) {
       Batch b;
@@ -1193,6 +1471,12 @@ void PlacementServer::recover_from_journal() {
       }
       b.submitted_s = log::elapsed_seconds();
       batches_.emplace(rb.id, std::move(b));
+    }
+    for (const RecoveredPortfolio& rp : plan.portfolios) {
+      Portfolio p;
+      p.id = rp.id;
+      p.info = rp.info;
+      portfolios_.emplace(rp.id, std::move(p));
     }
 
     const double now_wall = wall_seconds();
@@ -1281,6 +1565,21 @@ void PlacementServer::recover_from_journal() {
       qj.deadline = ref.queue_deadline;
       queue_.push(qj);
       ++live;
+    }
+    // Portfolio kill counts are not journaled per kill (the member's kCancel/
+    // kFinish already is); approximate the tally from members that settled
+    // cancelled. The racer resumes judging the surviving members as soon as
+    // its thread starts.
+    for (auto& [pid, p] : portfolios_) {
+      const auto bit = batches_.find(p.info.batch_id);
+      if (bit == batches_.end()) continue;
+      for (const BatchJobRef& r : bit->second.jobs) {
+        const auto jit = jobs_.find(r.id);
+        if (jit != jobs_.end() &&
+            jit->second->rec.state == JobState::kCancelled) {
+          ++p.killed;
+        }
+      }
     }
     evict_terminal_locked();
     recovered_ = live;

@@ -41,6 +41,7 @@
 #include "server/faults.h"
 #include "server/job.h"
 #include "server/job_queue.h"
+#include "server/portfolio_racer.h"
 #include "server/recovery.h"
 #include "telemetry/metrics.h"
 #include "util/stop_token.h"
@@ -94,6 +95,15 @@ struct ServerConfig {
   std::size_t design_capacity = 16;
   /// Resident-bytes bound for the design store (same LRU policy).
   std::size_t design_max_bytes = 1ull << 30;
+
+  // ---- portfolio racing (DESIGN.md §16) ------------------------------------
+  /// How often the racer thread samples live portfolios' member progress and
+  /// kills strict laggards. <= 0 disables the racer entirely (members still
+  /// run to completion; the winner is still selected).
+  double portfolio_poll_s = 0.25;
+  /// Server-default racing policy; submit-portfolio requests may override
+  /// per portfolio.
+  RacePolicy portfolio_policy;
 };
 
 class PlacementServer {
@@ -166,6 +176,59 @@ class PlacementServer {
   /// Blocks until every member job is terminal (or timeout); nullopt =
   /// unknown id. On timeout returns the current aggregate.
   std::optional<BatchStatus> batch_wait(std::uint64_t id, double timeout_s) const;
+  /// Cancels every non-terminal member of a batch in one shot (queued members
+  /// settle immediately, running members get their stop tokens armed). Dedup
+  /// members whose serving job belongs to another batch are cancelled too —
+  /// a batch-cancel means "stop spending on this sweep". Returns false with
+  /// *error only for unknown batch ids; *cancelled counts members acted on.
+  bool batch_cancel(std::uint64_t id, std::size_t* cancelled,
+                    std::string* error);
+
+  // ---- portfolio racing (DESIGN.md §16) ------------------------------------
+  struct PortfolioSubmitOutcome {
+    bool ok = false;
+    std::uint64_t portfolio_id = 0;
+    std::uint64_t batch_id = 0;   ///< the member batch (batch verbs work too)
+    std::uint64_t design_hash = 0;
+    std::vector<BatchJobRef> jobs;  ///< K members, plan order (v0 first)
+    std::string error;
+  };
+  /// Launches K perturbed restarts of `base`'s design as one all-or-nothing
+  /// batch (opt::make_portfolio_plan variants: distinct seeds, noise-injected
+  /// anchors, varied γ/λ schedules) raced under `deadline_s` by the racer
+  /// thread, which early-kills strict laggards per `policy`. base.seed seeds
+  /// the plan; the portfolio is deterministic from (design, k, base.seed).
+  PortfolioSubmitOutcome submit_portfolio(const JobSpec& base, int k,
+                                          double deadline_s,
+                                          const RacePolicy& policy);
+  /// submit_portfolio with the server-default policy.
+  PortfolioSubmitOutcome submit_portfolio(const JobSpec& base, int k,
+                                          double deadline_s);
+
+  struct PortfolioStatus {
+    std::uint64_t id = 0;
+    std::uint64_t batch_id = 0;
+    std::uint64_t design_hash = 0;
+    std::uint64_t base_seed = 0;
+    std::string label;
+    std::vector<BatchJobRef> jobs;
+    std::size_t queued = 0, running = 0, done = 0, cancelled = 0, failed = 0,
+                shed = 0;
+    std::size_t killed = 0;   ///< members the racer cancelled as laggards
+    bool all_terminal = false;
+    /// Winner: best final HPWL among done members (legalized DP HPWL when the
+    /// flow ran, GP HPWL otherwise; ties break on the lower job id so the
+    /// selection is deterministic). 0 = no done member yet.
+    std::uint64_t winner = 0;
+    double winner_hpwl = 0.0;
+    double deadline_s = 0.0;
+  };
+  /// nullopt = unknown portfolio id.
+  std::optional<PortfolioStatus> portfolio_status(std::uint64_t id) const;
+  /// Blocks until every member is terminal (or timeout); on timeout returns
+  /// the current aggregate. nullopt = unknown id.
+  std::optional<PortfolioStatus> portfolio_wait(std::uint64_t id,
+                                                double timeout_s) const;
 
   /// Cancels a job. Queued → terminal kCancelled immediately; running → its
   /// StopToken is armed and the job lands terminal shortly (with the best-
@@ -230,6 +293,9 @@ class PlacementServer {
     std::size_t design_resident_bytes = 0;
     std::size_t batches = 0;            ///< batches tracked (live + retained)
     std::uint64_t dedup_hits = 0;       ///< submits served from the result cache
+    // Portfolio racing (DESIGN.md §16).
+    std::size_t portfolios = 0;         ///< portfolios tracked
+    std::uint64_t portfolio_kills = 0;  ///< laggards killed early by the racer
   };
   Stats stats() const;
 
@@ -278,6 +344,9 @@ class PlacementServer {
   /// admission path (off for batch members: batches are all-or-nothing).
   SubmitOutcome submit_spec_locked(JobSpec spec, std::uint64_t dedup_hash,
                                    bool allow_shed);
+  /// Cancel core shared by cancel(), batch_cancel(), and the portfolio
+  /// racer's early-kill; caller holds mutex_.
+  bool cancel_locked(std::uint64_t id, std::string* error);
   /// FNV-1a over the placement-config slice of a spec (everything that
   /// changes the result at a fixed design) — the dedup key's second half.
   std::uint64_t config_hash(const JobSpec& spec) const;
@@ -335,6 +404,28 @@ class PlacementServer {
   };
   std::map<std::uint64_t, Batch> batches_;
   std::uint64_t next_batch_id_ = 1;
+
+  // Portfolio racing (under mutex_, DESIGN.md §16). A portfolio row names a
+  // batch plus the racing policy; member jobs live in jobs_ like any other.
+  struct Portfolio {
+    std::uint64_t id = 0;
+    PortfolioInfo info;       ///< batch id, design, seed, K, policy (journaled)
+    std::size_t killed = 0;   ///< laggards the racer cancelled
+    bool settled = false;     ///< all members terminal; racer stops sampling
+  };
+  std::map<std::uint64_t, Portfolio> portfolios_;
+  std::uint64_t next_portfolio_id_ = 1;
+  std::uint64_t portfolio_kills_ = 0;
+
+  PortfolioStatus portfolio_status_locked(const Portfolio& p) const;
+  /// One racer pass over every live portfolio: sample member progress from
+  /// the event rings, kill strict laggards via cancel_locked. Caller holds
+  /// mutex_.
+  void race_portfolios_locked();
+  void portfolio_loop();
+  std::condition_variable portfolio_cv_;
+  bool portfolio_stop_ = false;
+  std::thread portfolio_thread_;
   /// (design_hash, config_hash) → job id serving that exact placement; used
   /// by dedup-enabled submits. Entries are dropped when the target job ends
   /// non-kDone or is evicted from the result store.

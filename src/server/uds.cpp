@@ -228,6 +228,8 @@ json::Object stats_to_json(const PlacementServer::Stats& s) {
   o.emplace_back("design", json::Value(std::move(design)));
   o.emplace_back("batches", s.batches);
   o.emplace_back("dedup_hits", s.dedup_hits);
+  o.emplace_back("portfolios", static_cast<std::uint64_t>(s.portfolios));
+  o.emplace_back("portfolio_kills", s.portfolio_kills);
   return o;
 }
 
@@ -269,6 +271,37 @@ json::Object batch_to_json(const PlacementServer::BatchStatus& b) {
     o.emplace_back("best_hpwl", b.best_hpwl);
     o.emplace_back("best_job", b.best_job);
   }
+  return o;
+}
+
+json::Object portfolio_to_json(const PlacementServer::PortfolioStatus& p) {
+  json::Object o;
+  o.emplace_back("id", p.id);
+  o.emplace_back("batch", p.batch_id);
+  o.emplace_back("design", hash_to_hex(p.design_hash));
+  if (!p.label.empty()) o.emplace_back("label", p.label);
+  o.emplace_back("base_seed", p.base_seed);
+  json::Array jobs;
+  for (const auto& j : p.jobs) {
+    json::Object jo;
+    jo.emplace_back("id", j.id);
+    jo.emplace_back("dedup", json::Value(j.deduped));
+    jobs.emplace_back(std::move(jo));
+  }
+  o.emplace_back("jobs", json::Value(std::move(jobs)));
+  o.emplace_back("queued", static_cast<std::uint64_t>(p.queued));
+  o.emplace_back("running", static_cast<std::uint64_t>(p.running));
+  o.emplace_back("done", static_cast<std::uint64_t>(p.done));
+  o.emplace_back("cancelled", static_cast<std::uint64_t>(p.cancelled));
+  o.emplace_back("failed", static_cast<std::uint64_t>(p.failed));
+  o.emplace_back("shed", static_cast<std::uint64_t>(p.shed));
+  o.emplace_back("killed", static_cast<std::uint64_t>(p.killed));
+  o.emplace_back("all_terminal", json::Value(p.all_terminal));
+  if (p.winner != 0) {
+    o.emplace_back("winner", p.winner);
+    o.emplace_back("winner_hpwl", p.winner_hpwl);
+  }
+  if (p.deadline_s > 0) o.emplace_back("deadline_s", p.deadline_s);
   return o;
 }
 
@@ -414,6 +447,76 @@ void handle_connection(PlacementServer& server, ServeState& state, int fd) {
         if (req.cmd == Command::kBatchResult) {
           json::Array jobs;
           for (const auto& j : batch->jobs) {
+            if (const auto rec = server.status(j.id)) {
+              jobs.emplace_back(job_to_json(*rec));
+            }
+          }
+          o.emplace_back("jobs", json::Value(std::move(jobs)));
+        }
+        stream.write_line(make_ok(std::move(o)));
+        break;
+      }
+      case Command::kBatchCancel: {
+        std::size_t cancelled = 0;
+        std::string why;
+        if (!server.batch_cancel(req.id, &cancelled, &why)) {
+          stream.write_line(make_error(why));
+          break;
+        }
+        json::Object o;
+        o.emplace_back("cancelled", static_cast<std::uint64_t>(cancelled));
+        stream.write_line(make_ok(std::move(o)));
+        break;
+      }
+      case Command::kSubmitPortfolio: {
+        // Racer policy: server default with any per-request overrides.
+        RacePolicy policy = server.config().portfolio_policy;
+        if (req.kill_min_iter >= 0) policy.min_iter = req.kill_min_iter;
+        if (req.kill_margin > 0) policy.hpwl_margin = req.kill_margin;
+        if (req.kill_slack != kNoSlackOverride) {
+          policy.overflow_slack = req.kill_slack;
+        }
+        if (req.no_kill) policy.no_kill = true;
+        const auto out = server.submit_portfolio(req.spec, req.k,
+                                                 req.spec.deadline_s, policy);
+        if (!out.ok) {
+          stream.write_line(make_error(out.error));
+          break;
+        }
+        json::Object o;
+        o.emplace_back("portfolio", out.portfolio_id);
+        o.emplace_back("batch", out.batch_id);
+        o.emplace_back("design", hash_to_hex(out.design_hash));
+        json::Array jobs;
+        for (const auto& j : out.jobs) {
+          json::Object jo;
+          jo.emplace_back("id", j.id);
+          jo.emplace_back("dedup", json::Value(j.deduped));
+          jobs.emplace_back(std::move(jo));
+        }
+        o.emplace_back("jobs", json::Value(std::move(jobs)));
+        stream.write_line(make_ok(std::move(o)));
+        break;
+      }
+      case Command::kPortfolioStatus:
+      case Command::kPortfolioResult: {
+        const bool block = req.cmd == Command::kPortfolioResult && req.wait;
+        const auto p = block ? server.portfolio_wait(req.id, req.timeout_s)
+                             : server.portfolio_status(req.id);
+        if (!p) {
+          stream.write_line(make_error("unknown portfolio id"));
+          break;
+        }
+        json::Object o;
+        o.emplace_back("portfolio", json::Value(portfolio_to_json(*p)));
+        if (req.cmd == Command::kPortfolioResult) {
+          if (p->winner != 0) {
+            if (const auto rec = server.status(p->winner)) {
+              o.emplace_back("winner", json::Value(job_to_json(*rec)));
+            }
+          }
+          json::Array jobs;
+          for (const auto& j : p->jobs) {
             if (const auto rec = server.status(j.id)) {
               jobs.emplace_back(job_to_json(*rec));
             }
